@@ -1,0 +1,27 @@
+# Convenience targets for the tKDC reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test test-fast bench experiments demo clean
+
+install:
+	pip install -e ".[test]"
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/unit -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+experiments:
+	$(PYTHON) -m repro run all --save
+
+demo:
+	$(PYTHON) -m repro demo
+
+clean:
+	rm -rf results/ .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,116 @@
+"""Extra ablations beyond the paper (DESIGN.md Section 5): frontier
+priority orders, leaf size, and kernel family."""
+
+import pytest
+
+from repro.bench.experiments import (
+    ablation_epsilon,
+    ablation_kernels,
+    ablation_leaf_size,
+    ablation_priority_orders,
+    ablation_tree_family,
+)
+
+
+@pytest.fixture(scope="module")
+def priority_rows(persist):
+    return persist(
+        "ablation_priority",
+        ablation_priority_orders(n=10_000, n_queries=400, seed=0, verbose=True),
+    )
+
+
+@pytest.fixture(scope="module")
+def leaf_rows(persist):
+    return persist(
+        "ablation_leafsize",
+        ablation_leaf_size(leaf_sizes=(4, 8, 16, 32, 64, 128), n=10_000,
+                           n_queries=400, seed=0, verbose=True),
+    )
+
+
+@pytest.fixture(scope="module")
+def kernel_rows(persist):
+    return persist("ablation_kernel", ablation_kernels(n=8_000, seed=0, verbose=True))
+
+
+@pytest.fixture(scope="module")
+def epsilon_rows(persist):
+    return persist(
+        "ablation_epsilon",
+        ablation_epsilon(epsilons=(0.001, 0.01, 0.1, 0.5), n=5_000, seed=0,
+                         verbose=True),
+    )
+
+
+def test_epsilon_trade(epsilon_rows, benchmark):
+    def check():
+        # Accuracy never degrades beyond the licensed band: disagreement
+        # with the exact classifier stays tiny at every epsilon.
+        for row in epsilon_rows:
+            assert row["label_disagreement"] < 0.01, row
+        return epsilon_rows
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="module")
+def tree_rows(persist):
+    return persist(
+        "ablation_tree",
+        ablation_tree_family(n=8_000, dims=(2, 4, 8, 16), n_queries=250,
+                             seed=0, verbose=True),
+    )
+
+
+def test_tree_families_both_prune(tree_rows, benchmark):
+    def check():
+        for row in tree_rows:
+            # Both index families must deliver real pruning (far below
+            # an exhaustive 8000 kernels/query) at every dimension.
+            assert row["kernels_per_pt"] < 0.25 * 8_000, row
+        # Boxes are the tighter bound in low dimensions (the reason the
+        # paper's k-d tree choice is sound).
+        by_key = {(r["d"], r["index"]): r for r in tree_rows}
+        assert (
+            by_key[(2, "kdtree")]["kernels_per_pt"]
+            <= by_key[(2, "balltree")]["kernels_per_pt"]
+        )
+        return by_key
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_priority_discrepancy_competitive(priority_rows, benchmark):
+    def check():
+        by_priority = {r["priority"]: r for r in priority_rows}
+        # The paper's discrepancy ordering does no more kernel work than
+        # blind FIFO/LIFO expansion.
+        for other in ("fifo", "lifo"):
+            assert (
+                by_priority["discrepancy"]["kernels_per_pt"]
+                <= by_priority[other]["kernels_per_pt"] * 1.2
+            ), other
+        return by_priority
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_leaf_size_tradeoff(leaf_rows, benchmark):
+    def check():
+        kernels = [r["kernels_per_pt"] for r in leaf_rows]
+        # Bigger leaves evaluate more kernels (coarser pruning)...
+        assert kernels[0] < kernels[-1]
+        return kernels
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_kernel_families_consistent(kernel_rows, benchmark):
+    def check():
+        by_kernel = {r["kernel"]: r for r in kernel_rows}
+        for row in by_kernel.values():
+            assert abs(row["low_fraction"] - 0.01) < 0.01
+        return by_kernel
+
+    benchmark.pedantic(check, rounds=1, iterations=1)

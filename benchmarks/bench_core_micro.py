@@ -1,0 +1,81 @@
+"""Micro-benchmarks for tKDC's core operations (not a paper figure).
+
+Useful for tracking performance regressions in the hot paths: tree
+construction, a single pruned density-bounding traversal, grid lookup,
+and the exact vectorized baseline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.simple import NaiveKDE
+from repro.core.bounds import bound_density
+from repro.core.grid import GridCache
+from repro.core.stats import TraversalStats
+from repro.index.kdtree import KDTree
+from repro.kernels.factory import kernel_for_data
+
+N = 20_000
+DIM = 4
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(0)
+    data = rng.normal(size=(N, DIM))
+    kernel = kernel_for_data(data)
+    scaled = kernel.scale(data)
+    tree = KDTree(scaled)
+    naive = NaiveKDE().fit(data)
+    threshold = float(np.quantile(naive.density(data[:500]), 0.05))
+    return scaled, kernel, tree, threshold
+
+
+def test_bench_tree_build(workload, benchmark):
+    scaled, __, __, __ = workload
+    tree = benchmark(KDTree, scaled)
+    assert tree.size == N
+
+
+def test_bench_bound_density_pruned(workload, benchmark):
+    scaled, kernel, tree, threshold = workload
+    query = scaled[7]
+
+    def one_query():
+        return bound_density(
+            tree, kernel, query, threshold, threshold, 0.01, TraversalStats()
+        )
+
+    result = benchmark(one_query)
+    assert result.lower <= result.upper
+
+
+def test_bench_bound_density_exhaustive(workload, benchmark):
+    scaled, kernel, tree, __ = workload
+    query = scaled[7]
+
+    def one_query():
+        return bound_density(
+            tree, kernel, query, 0.0, np.inf, 0.01, TraversalStats(),
+            use_threshold_rule=False, use_tolerance_rule=False,
+        )
+
+    result = benchmark(one_query)
+    assert result.upper - result.lower < 1e-9 * kernel.max_value
+
+
+def test_bench_grid_lookup(workload, benchmark):
+    scaled, kernel, __, threshold = workload
+    grid = GridCache(scaled, kernel)
+    query = scaled[7]
+    benchmark(grid.is_certain_inlier, query, threshold, 0.01)
+
+
+def test_bench_naive_batch(workload, benchmark):
+    scaled, __, __, __ = workload
+    rng = np.random.default_rng(1)
+    data = rng.normal(size=(N, DIM))
+    naive = NaiveKDE().fit(data)
+    queries = data[:100]
+    densities = benchmark(naive.density, queries)
+    assert densities.shape == (100,)

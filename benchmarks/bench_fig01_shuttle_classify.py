@@ -1,0 +1,30 @@
+"""Figure 1: density classification of the shuttle measurement plane."""
+
+import pytest
+
+from repro import TKDCClassifier, TKDCConfig
+from repro.bench.experiments import fig1_shuttle_classification
+from repro.datasets.registry import load
+
+
+@pytest.fixture(scope="module")
+def rows(persist):
+    return persist(
+        "fig01_shuttle",
+        fig1_shuttle_classification(n=8000, p=0.15, grid_cells=32, seed=0, verbose=True),
+    )
+
+
+def test_fig1_shuttle_training(rows, benchmark):
+    """Time the full tKDC fit on the 2-d shuttle columns."""
+    row = rows[0]
+    assert 0.0 < row["high_region_fraction"] < 1.0
+    assert abs(row["training_low_fraction"] - 0.15) < 0.03
+
+    data = load("shuttle", n=8000, seed=0)[:, [3, 5]]
+    # A full fit takes ~15 s; one timed round is plenty.
+    clf = benchmark.pedantic(
+        lambda: TKDCClassifier(TKDCConfig(p=0.15, seed=0)).fit(data),
+        rounds=1, iterations=1,
+    )
+    assert clf.is_fitted

@@ -1,0 +1,25 @@
+"""Figure 8: classification F1 against exact-KDE ground truth."""
+
+import pytest
+
+from repro.bench.experiments import fig8_accuracy
+
+
+@pytest.fixture(scope="module")
+def rows(persist):
+    return persist("fig08_accuracy", fig8_accuracy(n=4000, seed=0, verbose=True))
+
+
+def test_fig8_accuracy_shape(rows, benchmark):
+    """tkdc/sklearn near-perfect; ks degrades sharply at d=4."""
+    def summarize():
+        by_key = {(r["dataset"], r["d"], r["algorithm"]): r["f1_low_class"] for r in rows}
+        for (dataset, dim, algo), f1 in by_key.items():
+            if algo in ("tkdc", "sklearn"):
+                assert f1 > 0.9, (dataset, dim, algo, f1)
+        ks_d2 = [f1 for (d, dim, a), f1 in by_key.items() if a == "ks" and dim == 2]
+        ks_d4 = [f1 for (d, dim, a), f1 in by_key.items() if a == "ks" and dim == 4]
+        assert min(ks_d2) > max(ks_d4) - 0.05
+        return by_key
+
+    benchmark.pedantic(summarize, rounds=1, iterations=1)

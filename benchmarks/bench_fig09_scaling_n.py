@@ -1,0 +1,55 @@
+"""Figure 9: query throughput vs dataset size on gauss d=2.
+
+The fitted log-log slopes verify the Section 3.8 asymptotics:
+tKDC's per-query kernel work grows as n^((d-1)/d) (= n^0.5 at d=2, and
+empirically flatter) while the naive/rkde baselines grow as n.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import fig9_scaling_n
+from repro.bench.harness import fit_loglog_slope
+from repro.bench.algorithms import train_for_queries
+from repro.datasets.registry import load
+
+SIZES = (1_000, 2_000, 4_000, 8_000, 16_000, 32_000)
+
+
+@pytest.fixture(scope="module")
+def rows(persist):
+    return persist(
+        "fig09_scaling_n",
+        fig9_scaling_n(sizes=SIZES, n_queries=300, seed=0, verbose=True),
+    )
+
+
+def test_fig9_asymptotic_slopes(rows, benchmark):
+    kernels = {
+        name: np.array([
+            r["kernels_per_query"] for r in rows
+            if r["algorithm"] == name and r["n"] > 0
+        ])
+        for name in ("tkdc", "simple")
+    }
+    xs = np.array(SIZES, dtype=float)
+    assert fit_loglog_slope(xs, kernels["simple"]) == pytest.approx(1.0, abs=0.01)
+    assert fit_loglog_slope(xs, kernels["tkdc"]) < 0.55  # paper bound: (d-1)/d = 0.5
+
+    data = load("gauss", n=16_000, seed=0)
+    queries = data[:200]
+    trained = train_for_queries("tkdc", data, p=0.01, seed=0)
+    run = benchmark(trained.classify, queries)
+    assert run.items_classified == 200
+
+
+def test_fig9_tkdc_wins_at_scale(rows, benchmark):
+    """At the largest size, tKDC out-throughputs every baseline."""
+    def check():
+        largest = max(SIZES)
+        subset = {r["algorithm"]: r for r in rows if r["n"] == largest}
+        for name in ("sklearn", "simple", "rkde"):
+            assert subset["tkdc"]["queries_per_s"] > subset[name]["queries_per_s"], name
+        return subset
+
+    benchmark.pedantic(check, rounds=1, iterations=1)

@@ -1,0 +1,42 @@
+"""Figure 10: the size sweep on the 27-dimensional hep simulator.
+
+At d=27 the paper's bound n^((d-1)/d) = n^0.963 is close to linear, so
+the asymptotic advantage is muted — but tKDC still beats its
+conservative bound and the O(n) baselines as n grows.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import fig10_scaling_hep
+from repro.bench.harness import fit_loglog_slope
+
+SIZES = (2_000, 4_000, 8_000, 16_000)
+
+
+@pytest.fixture(scope="module")
+def rows(persist):
+    return persist(
+        "fig10_scaling_hep",
+        fig10_scaling_hep(sizes=SIZES, n_queries=120, seed=0, verbose=True),
+    )
+
+
+def test_fig10_sublinear_kernel_growth(rows, benchmark):
+    def fit_slopes():
+        kernels = {
+            name: np.array([
+                r["kernels_per_query"] for r in rows
+                if r["algorithm"] == name and r["n"] > 0
+            ])
+            for name in ("tkdc", "simple")
+        }
+        xs = np.array(SIZES, dtype=float)
+        simple_slope = fit_loglog_slope(xs, kernels["simple"])
+        tkdc_slope = fit_loglog_slope(xs, kernels["tkdc"])
+        assert simple_slope == pytest.approx(1.0, abs=0.01)
+        # tkdc grows sublinearly even in 27 dimensions.
+        assert tkdc_slope < 0.97
+        return tkdc_slope
+
+    benchmark.pedantic(fit_slopes, rounds=1, iterations=1)

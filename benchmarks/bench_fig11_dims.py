@@ -1,0 +1,32 @@
+"""Figure 11: query throughput vs dimensionality (hep subsets)."""
+
+import pytest
+
+from repro.bench.experiments import fig11_dims
+
+DIMS = (1, 2, 4, 8, 16, 27)
+
+
+@pytest.fixture(scope="module")
+def rows(persist):
+    return persist(
+        "fig11_dims",
+        fig11_dims(dims=DIMS, n=8000, n_queries=200, seed=0, verbose=True),
+    )
+
+
+def test_fig11_dimension_scaling(rows, benchmark):
+    def check():
+        for dim in DIMS:
+            subset = {r["algorithm"]: r for r in rows if r["d"] == dim}
+            # The naive baseline's kernel count is dimension-independent
+            # (always n); tkdc's stays well below it at every d.
+            assert subset["simple"]["kernels_per_query"] == pytest.approx(8000, rel=0.01)
+            assert subset["tkdc"]["kernels_per_query"] < 0.5 * 8000, dim
+        # Pruning weakens with dimension (curse of dimensionality): d=27
+        # needs more kernel work per query than d=2.
+        low_d = next(r for r in rows if r["d"] == 2 and r["algorithm"] == "tkdc")
+        high_d = next(r for r in rows if r["d"] == 27 and r["algorithm"] == "tkdc")
+        assert high_d["kernels_per_query"] > low_d["kernels_per_query"]
+
+    benchmark.pedantic(check, rounds=1, iterations=1)

@@ -1,0 +1,42 @@
+"""Figure 12: cumulative factor analysis of tKDC's optimizations.
+
+Reproduces the paper's headline internal result: adding the threshold
+pruning rule to a plain tree traversal cuts kernel evaluations per point
+by orders of magnitude; tolerance, equi-width splits, and the grid each
+contribute incremental improvements.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig12_factor_analysis
+
+
+@pytest.fixture(scope="module")
+def rows(persist):
+    return persist(
+        "fig12_factor_analysis",
+        fig12_factor_analysis(n=12_000, n_queries=1_000, slow_queries=60,
+                              seed=0, verbose=True),
+    )
+
+
+def test_fig12_cumulative_gains(rows, benchmark):
+    def check():
+        by_variant = {row["variant"]: row for row in rows}
+        baseline = by_variant["baseline"]["kernels_per_pt"]
+        threshold = by_variant["+threshold"]["kernels_per_pt"]
+        final = by_variant["+grid"]["kernels_per_pt"]
+        # Baseline evaluates every kernel; the threshold rule removes
+        # >95% of them; the full stack is at least as good again.
+        assert baseline == pytest.approx(12_000, rel=0.01)
+        assert threshold < 0.05 * baseline
+        assert final <= threshold * 1.5
+        # Throughput ordering: the full stack beats the bare baseline by
+        # a wide margin.
+        assert (
+            by_variant["+grid"]["points_per_s"]
+            > 5 * by_variant["baseline"]["points_per_s"]
+        )
+        return by_variant
+
+    benchmark.pedantic(check, rounds=1, iterations=1)

@@ -1,0 +1,37 @@
+"""Figure 13: rkde cutoff-radius sweep vs tKDC.
+
+Shows the paper's point: shrinking the radius buys rkde speed only at
+the cost of density errors on the order of the threshold itself, and
+even then it cannot match tKDC.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig13_rkde_radius
+
+
+@pytest.fixture(scope="module")
+def rows(persist):
+    return persist(
+        "fig13_rkde_radius",
+        fig13_rkde_radius(radii=(0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 5.0),
+                          n=12_000, n_queries=200, seed=0, verbose=True),
+    )
+
+
+def test_fig13_radius_tradeoff(rows, benchmark):
+    def check():
+        rkde = [r for r in rows if r["algorithm"] == "rkde"]
+        radii = [r["radius"] for r in rkde]
+        errors = [r["max_err_over_t"] for r in rkde]
+        rates = [r["queries_per_s"] for r in rkde]
+        # Error shrinks monotonically with radius...
+        assert all(a >= b - 1e-12 for a, b in zip(errors, errors[1:]))
+        # ...and small radii (r <= 1.2 bandwidths) carry errors on the
+        # order of the threshold, as the paper reports.
+        assert errors[radii.index(0.5)] > 0.5
+        # Speed decreases as the radius grows.
+        assert rates[0] > rates[-1]
+        return errors
+
+    benchmark.pedantic(check, rounds=1, iterations=1)

@@ -1,0 +1,35 @@
+"""Figure 14: mnist dimensionality sweep (PCA projections, 3x bandwidth).
+
+Reproduces the paper's finding that tKDC's advantage shrinks in very
+high dimensions on small datasets but never degrades below the naive
+computation's kernel count.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig14_mnist_dims
+
+DIMS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+@pytest.fixture(scope="module")
+def rows(persist):
+    return persist(
+        "fig14_mnist_dims",
+        fig14_mnist_dims(dims=DIMS, n=3000, n_queries=100, seed=0, verbose=True),
+    )
+
+
+def test_fig14_high_dim_behaviour(rows, benchmark):
+    def check():
+        tkdc = {r["d"]: r for r in rows if r["algorithm"] == "tkdc"}
+        simple = {r["d"]: r for r in rows if r["algorithm"] == "simple"}
+        # Never worse than naive in kernel evaluations...
+        for dim in DIMS:
+            assert tkdc[dim]["kernels_per_query"] <= simple[dim]["kernels_per_query"] * 1.01
+        # ...with strong pruning in low dimensions that fades at d>=128
+        # (the paper: no meaningful speedups past ~100 dims at this n).
+        assert tkdc[2]["kernels_per_query"] < 0.1 * 3000
+        return tkdc
+
+    benchmark.pedantic(check, rounds=1, iterations=1)

@@ -1,0 +1,32 @@
+"""Figure 15: tKDC query throughput across quantile thresholds p."""
+
+import pytest
+
+from repro.bench.experiments import fig15_threshold_sweep
+
+QUANTILES = (0.01, 0.05, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99)
+
+
+@pytest.fixture(scope="module")
+def rows(persist):
+    return persist(
+        "fig15_threshold_sweep",
+        fig15_threshold_sweep(quantiles=QUANTILES, n=12_000, n_queries=300,
+                              seed=0, verbose=True),
+    )
+
+
+def test_fig15_quantile_dependence(rows, benchmark):
+    def check():
+        tkdc = {r["p"]: r for r in rows if r["algorithm"] == "tkdc"}
+        # Cost tracks the density of points near the threshold
+        # (Appendix A: runtime proportional to q'(t)): extreme-low
+        # quantiles are much cheaper than the middle.
+        assert tkdc[0.01]["kernels_per_query"] < 0.2 * tkdc[0.5]["kernels_per_query"]
+        # And tkdc remains far below the n=12000 naive kernel count at
+        # every p.
+        for p in QUANTILES:
+            assert tkdc[p]["kernels_per_query"] < 0.25 * 12_000, p
+        return tkdc
+
+    benchmark.pedantic(check, rounds=1, iterations=1)

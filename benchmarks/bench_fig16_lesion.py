@@ -1,0 +1,30 @@
+"""Figure 16: lesion analysis — remove one optimization at a time."""
+
+import pytest
+
+from repro.bench.experiments import fig16_lesion_analysis
+
+
+@pytest.fixture(scope="module")
+def rows(persist):
+    return persist(
+        "fig16_lesion",
+        fig16_lesion_analysis(n=12_000, n_queries=1_000, slow_queries=60,
+                              seed=0, verbose=True),
+    )
+
+
+def test_fig16_no_optimization_redundant(rows, benchmark):
+    def check():
+        by_variant = {row["variant"]: row for row in rows}
+        complete = by_variant["complete"]["kernels_per_pt"]
+        # Removing the threshold rule erases nearly all of the gains —
+        # the paper's foundation claim.
+        assert by_variant["-threshold"]["kernels_per_pt"] > 20 * complete
+        # The other lesions stay in the same order of magnitude but each
+        # variant remains a valid classifier run.
+        for variant in ("-tolerance", "-equiwidth", "-grid"):
+            assert by_variant[variant]["kernels_per_pt"] < 0.25 * 12_000, variant
+        return by_variant
+
+    benchmark.pedantic(check, rounds=1, iterations=1)

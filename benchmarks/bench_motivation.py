@@ -1,0 +1,24 @@
+"""Section 2.3 motivation: raw density thresholds across datasets."""
+
+import pytest
+
+from repro.bench.experiments import motivation_thresholds
+
+
+@pytest.fixture(scope="module")
+def rows(persist):
+    return persist(
+        "motivation_thresholds",
+        motivation_thresholds(n=3_000, seed=0, verbose=True),
+    )
+
+
+def test_raw_thresholds_span_many_decades(rows, benchmark):
+    def check():
+        spread = next(row for row in rows if row["dataset"] == "SPREAD")["log10_t"]
+        # The same p = 1% maps to raw densities many orders of magnitude
+        # apart — the reason tKDC is parameterized by quantile.
+        assert spread > 6.0
+        return spread
+
+    benchmark.pedantic(check, rounds=1, iterations=1)

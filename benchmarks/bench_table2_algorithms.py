@@ -1,0 +1,27 @@
+"""Table 2: the algorithm roster, cross-validated on one workload.
+
+Prints the roster with agreement-vs-exact and throughput per algorithm
+(run with ``-s``), and times tKDC's end-to-end train+classify pass as
+the representative benchmark unit.
+"""
+
+import pytest
+
+from repro.bench.algorithms import run_amortized
+from repro.bench.experiments import table2_algorithms
+from repro.datasets.registry import load
+
+
+@pytest.fixture(scope="module")
+def rows(persist):
+    return persist("table2_algorithms", table2_algorithms(n=3000, seed=0, verbose=True))
+
+
+def test_table2_tkdc_amortized(rows, benchmark):
+    """Time one tKDC train+classify pass; verify the roster agreement."""
+    for row in rows:
+        assert row["agreement_vs_exact"] > 0.97
+    data = load("gauss", n=3000, seed=0)
+    run = benchmark.pedantic(run_amortized, args=("tkdc", data, 0.01, 0.01, 0),
+                             rounds=2, iterations=1)
+    assert run.items_classified == 3000

@@ -1,0 +1,20 @@
+"""Table 3: dataset roster — generator statistics and generation speed."""
+
+import pytest
+
+from repro.bench.experiments import table3_datasets
+from repro.datasets.registry import load
+
+
+@pytest.fixture(scope="module")
+def rows(persist):
+    return persist("table3_datasets", table3_datasets(scale=0.01, seed=0, verbose=True))
+
+
+def test_table3_generators(rows, benchmark):
+    """Verify the roster and time the largest-dimensional generator."""
+    assert {row["name"] for row in rows} == {
+        "gauss", "tmy3", "home", "hep", "sift", "mnist", "shuttle"
+    }
+    data = benchmark(load, "mnist", 2000)
+    assert data.shape == (2000, 784)

@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark suite.
+
+Every ``bench_*`` module regenerates one of the paper's tables or
+figures: it runs the corresponding experiment from
+:mod:`repro.bench.experiments` (printing the paper-style rows — run with
+``-s`` to see them live), persists the rows as JSON under ``results/``,
+and times a representative operation with pytest-benchmark.
+
+Scale note: workload sizes here are chosen so the whole suite finishes
+in minutes on a laptop. The experiment functions accept larger ``n`` for
+higher-fidelity runs via the CLI (``python -m repro run <exp> --n ...``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import save_results
+
+collect_ignore_glob: list[str] = []
+
+
+@pytest.fixture(scope="session")
+def persist():
+    """Save experiment rows under results/ and return them unchanged."""
+
+    def _persist(name: str, rows: list[dict]) -> list[dict]:
+        path = save_results(name, rows)
+        print(f"\n[saved {len(rows)} rows to {path}]")
+        return rows
+
+    return _persist

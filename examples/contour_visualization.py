@@ -1,0 +1,53 @@
+"""Region-boundary visualization: density contours of iris-like data.
+
+Reproduces the paper's Figure 2a use case — understanding the contour
+lines that separate distinct modes of a distribution (here, the two
+iris sepal clusters). Renders the classified HIGH-density region as
+ASCII art at several quantile levels and extracts the exact iso-lines
+with marching squares.
+
+Run:  python examples/contour_visualization.py
+"""
+
+import numpy as np
+
+from repro import TKDCClassifier, TKDCConfig
+from repro.analysis.contours import (
+    classification_mask,
+    density_grid,
+    marching_squares,
+    render_ascii,
+)
+from repro.datasets.generators import make_iris_like
+
+
+def main() -> None:
+    data = make_iris_like(3000, seed=0)
+    xlim = (float(data[:, 0].min()) - 0.3, float(data[:, 0].max()) + 0.3)
+    ylim = (float(data[:, 1].min()) - 0.3, float(data[:, 1].max()) + 0.3)
+
+    print("=== density regions of iris-like sepal measurements ===")
+    print("x: sepal width, y: sepal length; '#' marks density above t(p)\n")
+
+    for p in (0.1, 0.5):
+        clf = TKDCClassifier(TKDCConfig(p=p, seed=0)).fit(data)
+        __, __, mask = classification_mask(clf.classify, xlim, ylim, 56, 22)
+        print(f"--- p = {p}: the densest {1 - p:.0%} of the distribution ---")
+        print(render_ascii(mask))
+        print()
+
+    # Extract the exact contour line at p = 0.5 with marching squares —
+    # what a plotting library would draw as the level-set boundary.
+    clf = TKDCClassifier(TKDCConfig(p=0.5, seed=0)).fit(data)
+    xs, ys, values = density_grid(clf.estimate_density, xlim, ylim, 48, 48)
+    segments = marching_squares(xs, ys, values, clf.threshold.value)
+    total_length = sum(
+        float(np.hypot(x1 - x0, y1 - y0)) for (x0, y0), (x1, y1) in segments
+    )
+    print(f"marching-squares contour at t(0.5): {len(segments)} segments, "
+          f"total length {total_length:.2f}")
+    print("(two separate closed curves — one per sepal cluster — as in Fig 2a)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Density-based outlier detection on the shuttle sensor simulator.
+
+The paper's motivating scenario (Section 2.1): a production engineer
+looks for unusual operating modes in shuttle telemetry. Points in
+low-density filaments between the main operating-mode clusters are the
+natural outlier candidates. This example plants rare "anomalous mode"
+readings, runs tKDC, and reports how well the density classifier
+recovers them — plus the cost savings versus exact KDE.
+
+Run:  python examples/outlier_detection.py
+"""
+
+import numpy as np
+
+from repro import TKDCClassifier, TKDCConfig
+from repro.analysis.accuracy import f1_score, precision_recall
+from repro.datasets.generators import make_shuttle
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+
+    # Normal telemetry: the 2 informative shuttle measurement columns.
+    normal = make_shuttle(12_000, seed=7)[:, [3, 5]]
+
+    # Planted anomalies: isolated readings from operating modes the
+    # shuttle never enters — scattered far outside every cluster and
+    # filament, each one alone in its region of measurement space.
+    angles = rng.uniform(0.0, 2.0 * np.pi, size=40)
+    radii = rng.uniform(400.0, 600.0, size=40)
+    anomalies = np.column_stack([radii * np.cos(angles), radii * np.sin(angles)])
+    data = np.concatenate([normal, anomalies])
+    truth = np.concatenate([np.zeros(len(normal)), np.ones(len(anomalies))])
+
+    # Classify the lowest-density 2% as outliers.
+    clf = TKDCClassifier(TKDCConfig(p=0.02, seed=7)).fit(data)
+    predicted_outlier = (np.asarray(clf.training_labels_) == 0).astype(int)
+
+    precision, recall = precision_recall(truth, predicted_outlier)
+    print("=== density-based outlier detection (shuttle telemetry) ===")
+    print(f"points: {len(data)} ({len(anomalies)} planted anomalies)")
+    print(f"threshold t(0.02) = {clf.threshold.value:.4g}")
+    print(f"flagged as outliers: {int(predicted_outlier.sum())}")
+    print(f"anomaly recall:    {recall:.3f}")
+    print(f"anomaly precision: {precision:.3f}  "
+          "(low-density filament points are legitimate flags too)")
+    print(f"F1 on planted anomalies: {f1_score(truth, predicted_outlier):.3f}")
+
+    stats = clf.stats
+    saved = 1.0 - stats.kernels_per_query / len(data)
+    print(f"\nkernel evaluations per point: {stats.kernels_per_query:.1f} "
+          f"of {len(data)} ({saved:.1%} pruned)")
+
+    # Rank the most anomalous observations for triage.
+    scores = np.asarray(clf.training_scores_)
+    worst = np.argsort(scores)[:5]
+    print("\nmost anomalous readings (lowest density first):")
+    for idx in worst:
+        kind = "planted" if truth[idx] else "natural"
+        print(f"  A={data[idx, 0]:8.2f}  B={data[idx, 1]:8.2f}  "
+              f"density={scores[idx]:.3g}  [{kind}]")
+
+
+if __name__ == "__main__":
+    main()

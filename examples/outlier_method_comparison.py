@@ -1,0 +1,103 @@
+"""tKDC vs kNN-distance vs LOF: three unsupervised outlier detectors.
+
+Paper Section 5 positions density classification among the classic
+outlier detectors. This example runs all three on the same workload —
+two clusters of *different* densities with planted anomalies — and
+highlights the qualitative differences:
+
+- **kNN distance** is a global criterion: it over-flags the sparse
+  cluster's legitimate members.
+- **LOF** adapts locally but returns dimensionless ratios.
+- **tKDC** flags globally-low-probability-density points *and* its
+  scores are interpretable probability densities (usable for p-values,
+  contours, likelihoods downstream).
+
+Run:  python examples/outlier_method_comparison.py
+"""
+
+import numpy as np
+
+from repro import TKDCClassifier, TKDCConfig
+from repro.analysis.accuracy import precision_recall
+from repro.bench.reporting import ConsoleTable
+from repro.outliers import KNNDistanceDetector, LocalOutlierFactor, OneClassSVM
+
+
+def build_workload(rng: np.random.Generator):
+    dense = rng.normal(size=(4000, 2)) * 0.3
+    sparse = rng.normal(size=(1000, 2)) * 2.0 + [12.0, 0.0]
+    anomalies = np.column_stack([
+        rng.uniform(-10.0, -6.0, size=25),
+        rng.uniform(6.0, 10.0, size=25),
+    ])
+    data = np.concatenate([dense, sparse, anomalies])
+    truth = np.concatenate([
+        np.zeros(len(dense) + len(sparse)), np.ones(len(anomalies))
+    ]).astype(int)
+    sparse_slice = slice(len(dense), len(dense) + len(sparse))
+    return data, truth, sparse_slice
+
+
+def main() -> None:
+    rng = np.random.default_rng(17)
+    data, truth, sparse_slice = build_workload(rng)
+    contamination = 0.01
+
+    tkdc = TKDCClassifier(TKDCConfig(p=contamination, seed=17)).fit(data)
+    tkdc_labels = (np.asarray(tkdc.training_labels_) == 0).astype(int)
+
+    knn = KNNDistanceDetector(k=10, contamination=contamination).fit(data)
+    knn_labels = knn.training_labels()
+
+    lof = LocalOutlierFactor(k=10, contamination=contamination).fit(data)
+    lof_labels = lof.training_labels()
+
+    ocsvm = OneClassSVM(nu=contamination).fit(data)
+    ocsvm_labels = ocsvm.training_labels()
+
+    print("=== unsupervised outlier detectors on a mixed-density workload ===")
+    print(f"{data.shape[0]} points: dense cluster (4000), sparse cluster (1000), "
+          f"25 planted anomalies; flagging the top {contamination:.0%}\n")
+
+    table = ConsoleTable(
+        ["method", "recall", "precision", "sparse_cluster_flagged", "score_semantics"]
+    )
+    semantics = {
+        "tkdc": "probability density",
+        "knn-distance": "distance (unitful)",
+        "lof": "density ratio",
+        "ocsvm": "margin distance",
+    }
+    for name, labels in (
+        ("tkdc", tkdc_labels), ("knn-distance", knn_labels),
+        ("lof", lof_labels), ("ocsvm", ocsvm_labels),
+    ):
+        precision, recall = precision_recall(truth, labels)
+        table.add_row({
+            "method": name,
+            "recall": recall,
+            "precision": precision,
+            "sparse_cluster_flagged": float(np.mean(labels[sparse_slice])),
+            "score_semantics": semantics[name],
+        })
+    table.print()
+
+    print("\nreading the table:")
+    print("- the 25 anomalies form a loose micro-cluster: LOF sees them as")
+    print("  locally consistent (its classic blind spot) and flags none;")
+    print("- knn-distance and tKDC both catch them; tKDC additionally keeps")
+    print("  the sparse-but-legitimate cluster's flag rate near the 1% base")
+    print("  rate while its scores remain actual probability densities.")
+
+    # Only the KDE-based score supports downstream statistics directly:
+    anomaly = np.array([[-8.0, 8.0]])
+    density = tkdc.estimate_density(anomaly)[0]
+    p_value = float(np.mean(np.asarray(tkdc.training_scores_) <= density))
+    print(f"\ntKDC extra: the anomaly at (-8, 8) has probability density "
+          f"{density:.3g},")
+    print(f"giving an empirical density-rank p-value of {p_value:.4f} — "
+          "a statistically interpretable quantity the paper's use cases need.")
+
+
+if __name__ == "__main__":
+    main()

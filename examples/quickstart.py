@@ -1,0 +1,44 @@
+"""Quickstart: classify points by density with tKDC in ~20 lines.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import TKDCClassifier, TKDCConfig
+
+
+def main() -> None:
+    # A bimodal 2-d dataset: two clusters with a sparse gap.
+    rng = np.random.default_rng(0)
+    cluster_a = rng.normal(size=(3000, 2)) * 0.5 + [-2.0, 0.0]
+    cluster_b = rng.normal(size=(3000, 2)) * 0.5 + [2.0, 0.0]
+    data = np.concatenate([cluster_a, cluster_b])
+
+    # Classify the lowest-density 5% of the distribution as LOW.
+    config = TKDCConfig(p=0.05, epsilon=0.01, seed=0)
+    clf = TKDCClassifier(config).fit(data)
+
+    print(f"estimated threshold t(p=0.05) = {clf.threshold.value:.5g}")
+    print(f"bracket: [{clf.threshold.lower:.5g}, {clf.threshold.upper:.5g}]")
+
+    # Classify new observations.
+    queries = np.array([
+        [-2.0, 0.0],   # center of cluster A  -> HIGH
+        [0.0, 0.0],    # the sparse gap       -> LOW
+        [2.2, 0.3],    # inside cluster B     -> HIGH
+        [6.0, 6.0],    # far away             -> LOW
+    ])
+    for point, label in zip(queries, clf.classify(queries)):
+        print(f"  {point} -> {label.name}")
+
+    # The whole point of tKDC: classification costs a tiny fraction of
+    # the n kernel evaluations exact KDE would need per query.
+    stats = clf.stats
+    print(f"\nkernel evaluations per query: {stats.kernels_per_query:.1f} "
+          f"(naive KDE would need {data.shape[0]})")
+    print(f"pruning-rule stops: {stats.prunes}, grid shortcuts: {stats.grid_hits}")
+
+
+if __name__ == "__main__":
+    main()

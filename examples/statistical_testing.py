@@ -1,0 +1,61 @@
+"""Density-based statistical testing on a galaxy-survey-like sky map.
+
+The paper's Section 2.1 physics use case: given a spatial distribution
+of galaxy mass, bound the probability density of an observation and turn
+it into a p-value ("how unusual is a detection at this location?").
+Low-density regions (voids) are the scientifically interesting ones.
+
+Run:  python examples/statistical_testing.py
+"""
+
+import numpy as np
+
+from repro import TKDCClassifier, TKDCConfig
+from repro.datasets.generators import make_galaxy_like
+
+
+def density_p_value(clf: TKDCClassifier, observation: np.ndarray) -> float:
+    """Empirical tail probability of an observation's density.
+
+    The fraction of the training distribution with density at most the
+    observation's — small values mean the observation sits in a rarely
+    occupied (void-like) region of the sky.
+    """
+    scores = np.asarray(clf.training_scores_)
+    density = clf.estimate_density(observation[None, :])[0]
+    return float(np.mean(scores <= density))
+
+
+def main() -> None:
+    sky = make_galaxy_like(15_000, seed=3)
+    clf = TKDCClassifier(TKDCConfig(p=0.05, seed=3)).fit(sky)
+
+    print("=== density-based significance of sky detections ===")
+    print(f"survey: {sky.shape[0]} galaxies; t(0.05) = {clf.threshold.value:.4g}\n")
+
+    # Three hypothetical detections: inside a cluster node, on a
+    # filament, and deep in a void.
+    names = ["cluster core", "mid filament", "deep void"]
+    detections = np.array([
+        sky[np.argmax(clf.training_scores_)],       # densest observed spot
+        0.5 * (sky[0] + sky[1]),                    # between two galaxies
+        [58.0, -58.0],                              # survey edge
+    ])
+    for name, detection in zip(names, detections):
+        p_value = density_p_value(clf, detection)
+        label = clf.classify(detection[None, :])[0]
+        verdict = "typical" if p_value > 0.05 else "rare (candidate void)"
+        print(f"{name:13s} at ({detection[0]:7.2f}, {detection[1]:7.2f}): "
+              f"density-rank p-value = {p_value:.4f} -> {verdict} [{label.name}]")
+
+    # Bounded densities also feed likelihood-ratio style statistics: the
+    # certified interval from decision_bounds is deterministic.
+    bounds = clf.decision_bounds(detections)[0]
+    print(f"\ncertified density interval at the cluster core: "
+          f"[{bounds.lower:.4g}, {bounds.upper:.4g}]")
+    print(f"kernel evaluations per query so far: {clf.stats.kernels_per_query:.1f} "
+          f"of {sky.shape[0]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Streaming anomaly monitoring with the incremental classifier.
+
+A monitoring scenario on top of the paper's algorithm: energy-load
+telemetry (the tmy3 simulator) arrives in batches. Each batch is first
+*screened* against the current model — points in low-density regions are
+flagged — then inserted, with the model refitting itself once enough new
+data has accumulated. A mid-stream regime change (a new building type
+coming online) shows both behaviours: its first batches are flagged as
+anomalous, and after refits the model absorbs the new mode.
+
+Run:  python examples/streaming_monitoring.py
+"""
+
+import numpy as np
+
+from repro import IncrementalTKDC, Label, TKDCConfig
+from repro.datasets.generators import make_tmy3
+
+
+def new_regime(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Load profiles from a building type the training data never saw."""
+    hours = np.linspace(0.0, 2.0 * np.pi, 8, endpoint=False)
+    level = 6.0 + 0.3 * rng.normal(size=(n, 1))
+    curve = level + 1.5 * np.sin(3.0 * hours[None, :])
+    return curve + rng.normal(scale=0.08, size=(n, 8))
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    # One coherent telemetry stream: the first 6000 profiles train the
+    # model, later slices arrive as "normal" batches from the same
+    # distribution.
+    stream = make_tmy3(6000 + 4 * 400, seed=11)
+    model = IncrementalTKDC(TKDCConfig(p=0.01, seed=11), refit_fraction=0.2)
+    model.fit(stream[:6000])
+    print("=== streaming energy-load monitoring (tmy3) ===")
+    print(f"initial model: {model.n_indexed} profiles, "
+          f"t(0.01) = {model.classifier.threshold.value:.4g}\n")
+
+    batches = 8
+    for batch_index in range(batches):
+        if batch_index < 4:
+            start = 6000 + batch_index * 400
+            batch = stream[start : start + 400]
+            kind = "normal"
+        else:
+            batch = new_regime(400, rng)
+            kind = "NEW REGIME"
+        flags = model.classify(batch)
+        flagged = int(np.sum([label is Label.LOW for label in flags]))
+        refits_before = model.refits
+        model.insert(batch)
+        refit_note = "  -> model refit" if model.refits > refits_before else ""
+        print(f"batch {batch_index + 1} ({kind:10s}): "
+              f"{flagged:3d}/400 flagged anomalous{refit_note}")
+
+    print(f"\nfinal model: {model.n_total} profiles after {model.refits} refits")
+    print("note: the new regime's first batch is fully flagged; once its")
+    print("points are inserted they form a dense mode (counted exactly via")
+    print("the insert buffer), so later batches from it look normal.")
+
+
+if __name__ == "__main__":
+    main()

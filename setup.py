@@ -1,0 +1,13 @@
+"""Setuptools shim for environments without the ``wheel`` package.
+
+``pip install -e .`` (PEP 660) requires ``wheel``; fully offline
+machines without it can fall back to the legacy develop install:
+
+    python setup.py develop
+
+Configuration lives in ``pyproject.toml``; this file adds nothing.
+"""
+
+from setuptools import setup
+
+setup()

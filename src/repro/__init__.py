@@ -1,0 +1,47 @@
+"""tKDC: Scalable Kernel Density Classification via Threshold-Based Pruning.
+
+A from-scratch Python reproduction of Gan & Bailis, SIGMOD 2017.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import TKDCClassifier, TKDCConfig
+>>> data = np.random.default_rng(0).normal(size=(5000, 2))
+>>> clf = TKDCClassifier(TKDCConfig(p=0.01)).fit(data)
+>>> clf.classify([[0.0, 0.0]])[0].name
+'HIGH'
+
+The public surface:
+
+- :class:`TKDCClassifier` / :class:`TKDCConfig` — the paper's algorithm
+  (threshold-pruned kernel density classification);
+- :class:`Label`, :class:`ThresholdEstimate` — result types;
+- :mod:`repro.baselines` — the comparison estimators from the paper's
+  evaluation (naive, tree-tolerance, radial-cutoff, binned/FFT);
+- :mod:`repro.datasets` — simulators for the paper's seven datasets;
+- :mod:`repro.analysis` — F1 metrics and level-set extraction;
+- :mod:`repro.bench` — the harness that regenerates every paper table
+  and figure (see ``benchmarks/`` and ``python -m repro``).
+"""
+
+from repro.core.bands import BandClassifier
+from repro.core.classifier import NotFittedError, TKDCClassifier
+from repro.core.incremental import IncrementalTKDC
+from repro.core.config import TKDCConfig
+from repro.core.result import DensityBounds, Label, ThresholdEstimate
+from repro.core.stats import TraversalStats
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TKDCClassifier",
+    "TKDCConfig",
+    "BandClassifier",
+    "IncrementalTKDC",
+    "Label",
+    "DensityBounds",
+    "ThresholdEstimate",
+    "TraversalStats",
+    "NotFittedError",
+    "__version__",
+]

@@ -1,0 +1,30 @@
+"""Analysis utilities: classification metrics and level-set extraction."""
+
+from repro.analysis.conformal import DensityConformal
+from repro.analysis.diagnostics import WorkloadProfile, profile_queries
+from repro.analysis.accuracy import (
+    ConfusionCounts,
+    confusion_counts,
+    f1_score,
+    precision_recall,
+)
+from repro.analysis.contours import (
+    classification_mask,
+    density_grid,
+    marching_squares,
+    render_ascii,
+)
+
+__all__ = [
+    "DensityConformal",
+    "WorkloadProfile",
+    "profile_queries",
+    "ConfusionCounts",
+    "confusion_counts",
+    "f1_score",
+    "precision_recall",
+    "classification_mask",
+    "density_grid",
+    "marching_squares",
+    "render_ascii",
+]

@@ -1,0 +1,153 @@
+"""Level-set extraction and lightweight visualization.
+
+The paper's motivating use cases (Section 2.1, Figures 1b and 2a) draw
+the boundary between HIGH and LOW density regions. These helpers
+evaluate a classifier or density function on a regular 2-d grid, extract
+the boundary with a from-scratch marching-squares pass, and can render
+the region as ASCII art for terminal examples.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+
+def _grid_points(
+    xlim: tuple[float, float], ylim: tuple[float, float], nx: int, ny: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    if nx < 2 or ny < 2:
+        raise ValueError(f"grid must be at least 2x2, got {nx}x{ny}")
+    xs = np.linspace(xlim[0], xlim[1], nx)
+    ys = np.linspace(ylim[0], ylim[1], ny)
+    grid_x, grid_y = np.meshgrid(xs, ys, indexing="ij")
+    points = np.column_stack([grid_x.ravel(), grid_y.ravel()])
+    return xs, ys, points
+
+
+def density_grid(
+    density_fn: Callable[[np.ndarray], np.ndarray],
+    xlim: tuple[float, float],
+    ylim: tuple[float, float],
+    nx: int = 64,
+    ny: int = 64,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Evaluate a 2-d density function on a grid.
+
+    Returns ``(xs, ys, values)`` where ``values`` has shape ``(nx, ny)``.
+    """
+    xs, ys, points = _grid_points(xlim, ylim, nx, ny)
+    values = np.asarray(density_fn(points), dtype=np.float64).reshape(nx, ny)
+    return xs, ys, values
+
+
+def classification_mask(
+    classify_fn: Callable[[np.ndarray], np.ndarray],
+    xlim: tuple[float, float],
+    ylim: tuple[float, float],
+    nx: int = 64,
+    ny: int = 64,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Classify a grid of 2-d points; True cells are HIGH density.
+
+    ``classify_fn`` must return labels comparable to 1 for HIGH (both
+    :class:`~repro.core.result.Label` arrays and int arrays work).
+    """
+    xs, ys, points = _grid_points(xlim, ylim, nx, ny)
+    labels = np.asarray([int(label) for label in classify_fn(points)])
+    return xs, ys, (labels == 1).reshape(nx, ny)
+
+
+# Marching-squares segment table: for each 4-bit corner configuration
+# (bit order: bottom-left, bottom-right, top-right, top-left), the pairs
+# of cell edges (0=bottom, 1=right, 2=top, 3=left) crossed by the
+# iso-line. Ambiguous saddles (cases 5 and 10) use the standard
+# two-segment resolution.
+_SEGMENTS: dict[int, list[tuple[int, int]]] = {
+    0: [], 15: [],
+    1: [(3, 0)], 14: [(3, 0)],
+    2: [(0, 1)], 13: [(0, 1)],
+    3: [(3, 1)], 12: [(3, 1)],
+    4: [(1, 2)], 11: [(1, 2)],
+    6: [(0, 2)], 9: [(0, 2)],
+    7: [(3, 2)], 8: [(3, 2)],
+    5: [(3, 0), (1, 2)],
+    10: [(0, 1), (3, 2)],
+}
+
+
+def marching_squares(
+    xs: np.ndarray, ys: np.ndarray, values: np.ndarray, level: float
+) -> list[tuple[tuple[float, float], tuple[float, float]]]:
+    """Extract iso-line segments of ``values == level`` on a regular grid.
+
+    ``values`` has shape ``(len(xs), len(ys))`` with ``values[i, j]``
+    sampled at ``(xs[i], ys[j])``. Returns line segments as
+    ``((x0, y0), (x1, y1))`` pairs with linear interpolation along cell
+    edges.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.shape != (len(xs), len(ys)):
+        raise ValueError(
+            f"values shape {values.shape} does not match grid ({len(xs)}, {len(ys)})"
+        )
+    segments: list[tuple[tuple[float, float], tuple[float, float]]] = []
+    for i in range(len(xs) - 1):
+        for j in range(len(ys) - 1):
+            corners = (
+                values[i, j],        # bottom-left
+                values[i + 1, j],    # bottom-right
+                values[i + 1, j + 1],  # top-right
+                values[i, j + 1],    # top-left
+            )
+            case = sum(1 << k for k, value in enumerate(corners) if value > level)
+            for edge_a, edge_b in _SEGMENTS[case]:
+                point_a = _edge_crossing(xs, ys, i, j, corners, edge_a, level)
+                point_b = _edge_crossing(xs, ys, i, j, corners, edge_b, level)
+                segments.append((point_a, point_b))
+    return segments
+
+
+def _edge_crossing(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    i: int,
+    j: int,
+    corners: tuple[float, float, float, float],
+    edge: int,
+    level: float,
+) -> tuple[float, float]:
+    """Interpolated crossing point of the iso-line on one cell edge."""
+    bottom_left, bottom_right, top_right, top_left = corners
+    if edge == 0:  # bottom: between corners 0 and 1, along x
+        t = _interp_fraction(bottom_left, bottom_right, level)
+        return (xs[i] + t * (xs[i + 1] - xs[i]), ys[j])
+    if edge == 1:  # right: between corners 1 and 2, along y
+        t = _interp_fraction(bottom_right, top_right, level)
+        return (xs[i + 1], ys[j] + t * (ys[j + 1] - ys[j]))
+    if edge == 2:  # top: between corners 3 and 2, along x
+        t = _interp_fraction(top_left, top_right, level)
+        return (xs[i] + t * (xs[i + 1] - xs[i]), ys[j + 1])
+    # left: between corners 0 and 3, along y
+    t = _interp_fraction(bottom_left, top_left, level)
+    return (xs[i], ys[j] + t * (ys[j + 1] - ys[j]))
+
+
+def _interp_fraction(value_a: float, value_b: float, level: float) -> float:
+    if value_a == value_b:
+        return 0.5
+    return float(np.clip((level - value_a) / (value_b - value_a), 0.0, 1.0))
+
+
+def render_ascii(mask: np.ndarray, high_char: str = "#", low_char: str = ".") -> str:
+    """Render a boolean (nx, ny) region mask as terminal-friendly rows.
+
+    The y axis points up (last row of output is the lowest y), matching
+    the orientation of the paper's scatter plots.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    rows = []
+    for j in range(mask.shape[1] - 1, -1, -1):
+        rows.append("".join(high_char if mask[i, j] else low_char for i in range(mask.shape[0])))
+    return "\n".join(rows)

@@ -1,0 +1,120 @@
+"""Per-query cost diagnostics for fitted classifiers.
+
+tKDC's cost is extremely skewed: most queries end after a handful of
+node expansions while the few near the threshold pay up to O(n)
+(Definition 1's near/far split). Aggregate averages hide this; when a
+workload is slower than expected, the per-query profile says whether
+the problem is a crowded threshold (many near queries), a weak index
+(high expansions everywhere), or simply scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bounds import bound_density
+from repro.core.classifier import TKDCClassifier
+from repro.core.pruning import PruneOutcome
+from repro.core.stats import TraversalStats
+from repro.validation import as_finite_matrix
+
+
+@dataclass(frozen=True)
+class QueryProfile:
+    """Cost and outcome of one classification traversal."""
+
+    kernel_evaluations: int
+    node_expansions: int
+    outcome: str  # threshold_high / threshold_low / tolerance / exhausted / grid
+
+    @property
+    def is_near(self) -> bool:
+        """Definition 1: the index alone could not classify this query."""
+        return self.kernel_evaluations > 0
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Aggregated per-query diagnostics for a query batch."""
+
+    profiles: tuple[QueryProfile, ...]
+
+    @property
+    def n_queries(self) -> int:
+        return len(self.profiles)
+
+    @property
+    def near_fraction(self) -> float:
+        """Share of queries requiring leaf-level kernel work."""
+        if not self.profiles:
+            return 0.0
+        return sum(p.is_near for p in self.profiles) / len(self.profiles)
+
+    @property
+    def outcome_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for profile in self.profiles:
+            counts[profile.outcome] = counts.get(profile.outcome, 0) + 1
+        return counts
+
+    def kernel_percentiles(
+        self, percentiles: tuple[float, ...] = (50.0, 90.0, 99.0, 100.0)
+    ) -> dict[float, float]:
+        """Distribution of kernel evaluations per query."""
+        if not self.profiles:
+            return {p: 0.0 for p in percentiles}
+        kernels = np.array([p.kernel_evaluations for p in self.profiles])
+        return {p: float(np.percentile(kernels, p)) for p in percentiles}
+
+    def summary(self) -> str:
+        """Human-readable multi-line report."""
+        pct = self.kernel_percentiles()
+        lines = [
+            f"queries: {self.n_queries}",
+            f"near fraction (needed leaf work): {self.near_fraction:.1%}",
+            "kernel evaluations per query: "
+            + ", ".join(f"p{int(k)}={v:.0f}" for k, v in pct.items()),
+            "stop reasons: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(self.outcome_counts.items())),
+        ]
+        return "\n".join(lines)
+
+
+def profile_queries(
+    classifier: TKDCClassifier, queries: np.ndarray
+) -> WorkloadProfile:
+    """Profile every query's traversal against a fitted classifier.
+
+    Runs the same classification the classifier would (grid shortcut
+    included) with per-query instrumentation. Does not mutate the
+    classifier's own stats.
+    """
+    if not classifier.is_fitted:
+        raise ValueError("profile_queries needs a fitted classifier")
+    queries = as_finite_matrix(queries, "queries")
+    kernel = classifier.kernel
+    scaled = kernel.scale(queries)
+    threshold = classifier.threshold.value
+    epsilon = classifier.config.epsilon
+    grid = classifier._grid  # noqa: SLF001 - diagnostics mirror the real path
+
+    profiles: list[QueryProfile] = []
+    for i in range(queries.shape[0]):
+        query = scaled[i]
+        if grid is not None and grid.is_certain_inlier(query, threshold, epsilon):
+            profiles.append(QueryProfile(0, 0, "grid"))
+            continue
+        stats = TraversalStats()
+        result = bound_density(
+            classifier.tree, kernel, query, threshold, threshold, epsilon, stats,
+            use_threshold_rule=classifier.config.use_threshold_rule,
+            use_tolerance_rule=classifier.config.use_tolerance_rule,
+        )
+        outcome = result.outcome.value if isinstance(result.outcome, PruneOutcome) \
+            else "exhausted"
+        profiles.append(
+            QueryProfile(stats.kernel_evaluations, stats.node_expansions, outcome)
+        )
+    return WorkloadProfile(tuple(profiles))

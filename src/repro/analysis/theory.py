@@ -1,0 +1,101 @@
+"""Empirical checks of the paper's runtime analysis (Section 3.8 / Appendix A).
+
+The analysis rests on two claims:
+
+- **Lemma 1**: the probability that a query is *near* (its density within
+  the index resolution of the threshold, forcing leaf evaluations)
+  shrinks as ``O(n^(-1/d))``.
+- **Theorem 1**: per-query cost is therefore ``O(n^((d-1)/d))`` for
+  ``d > 1`` (``O(log n)`` at ``d = 1``).
+
+These helpers measure the near fraction and cost exponents on simulated
+sweeps so the benchmarks can check the fitted slopes against the
+predictions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bench.harness import fit_loglog_slope
+
+
+def predicted_cost_exponent(dim: int) -> float:
+    """Theorem 1's per-query cost growth exponent, ``(d-1)/d``."""
+    if dim < 1:
+        raise ValueError(f"dimension must be >= 1, got {dim}")
+    return (dim - 1) / dim
+
+
+def predicted_near_exponent(dim: int) -> float:
+    """Lemma 1's near-region probability exponent, ``-1/d``."""
+    if dim < 1:
+        raise ValueError(f"dimension must be >= 1, got {dim}")
+    return -1.0 / dim
+
+
+def near_fraction(
+    densities: np.ndarray, threshold: float, resolution: float
+) -> float:
+    """Fraction of queries whose density is within ``resolution`` of ``t``.
+
+    ``resolution`` models the index precision ``Delta_n`` from the
+    Appendix A argument: queries inside the band are "near" and require
+    leaf-level work.
+    """
+    if resolution < 0:
+        raise ValueError(f"resolution must be non-negative, got {resolution}")
+    densities = np.asarray(densities, dtype=np.float64)
+    return float(np.mean(np.abs(densities - threshold) <= resolution))
+
+
+@dataclass(frozen=True)
+class ScalingFit:
+    """A fitted power law against its theoretical prediction."""
+
+    fitted_exponent: float
+    predicted_exponent: float
+
+    @property
+    def satisfied(self) -> bool:
+        """Whether the measurement is at least as good as the bound.
+
+        The paper's bounds are conservative upper bounds on cost (lower
+        bounds on shrinkage), so a *smaller* fitted cost exponent (or
+        more negative near exponent) also satisfies them. The slack
+        absorbs finite-size effects at laptop-scale n.
+        """
+        return self.fitted_exponent <= self.predicted_exponent + 0.2
+
+
+def fit_cost_scaling(
+    sizes: np.ndarray, kernels_per_query: np.ndarray, dim: int
+) -> ScalingFit:
+    """Fit measured per-query kernel work against Theorem 1's exponent."""
+    return ScalingFit(
+        fitted_exponent=fit_loglog_slope(
+            np.asarray(sizes, dtype=np.float64),
+            np.asarray(kernels_per_query, dtype=np.float64),
+        ),
+        predicted_exponent=predicted_cost_exponent(dim),
+    )
+
+
+def fit_near_scaling(
+    sizes: np.ndarray, near_fractions: np.ndarray, dim: int
+) -> ScalingFit:
+    """Fit the measured near-region probability against Lemma 1.
+
+    For the near-exponent the bound is an upper bound on the fraction,
+    so satisfaction means the fitted exponent is at most ``-1/d`` (plus
+    fitting slack).
+    """
+    return ScalingFit(
+        fitted_exponent=fit_loglog_slope(
+            np.asarray(sizes, dtype=np.float64),
+            np.asarray(near_fractions, dtype=np.float64),
+        ),
+        predicted_exponent=predicted_near_exponent(dim),
+    )

@@ -1,0 +1,40 @@
+"""Baseline density estimators from the paper's evaluation (Table 2).
+
+- :class:`~repro.baselines.simple.NaiveKDE` — the "simple" baseline:
+  every kernel evaluated explicitly.
+- :class:`~repro.baselines.nocut.TreeKDE` — "nocut"/sklearn emulation:
+  k-d tree traversal with only a tolerance stopping rule (Gray & Moore).
+- :class:`~repro.baselines.rkde.RadialKDE` — "rkde": kernel contributions
+  only from points within a cutoff radius.
+- :class:`~repro.baselines.binned.BinnedKDE` — "ks" emulation: linear
+  binning onto a grid plus FFT convolution, d <= 4.
+- :class:`~repro.baselines.gmm.GaussianMixtureKDE` — the parametric
+  strawman the paper's introduction argues against (EM-fitted GMM).
+
+All satisfy the :class:`~repro.baselines.base.DensityEstimator` protocol
+so benchmarks can drive them interchangeably, and
+:func:`~repro.baselines.base.classify_by_density` adapts any of them into
+a density classifier for head-to-head comparisons with tKDC.
+"""
+
+from repro.baselines.base import (
+    DensityEstimator,
+    classify_by_density,
+    quantile_threshold_of,
+)
+from repro.baselines.binned import BinnedKDE
+from repro.baselines.gmm import GaussianMixtureKDE
+from repro.baselines.nocut import TreeKDE
+from repro.baselines.rkde import RadialKDE
+from repro.baselines.simple import NaiveKDE
+
+__all__ = [
+    "DensityEstimator",
+    "classify_by_density",
+    "quantile_threshold_of",
+    "NaiveKDE",
+    "TreeKDE",
+    "RadialKDE",
+    "BinnedKDE",
+    "GaussianMixtureKDE",
+]

@@ -1,0 +1,66 @@
+"""Common protocol and adapters for baseline density estimators.
+
+The paper compares tKDC against *density estimators* (which compute
+``f(x)`` and compare it to a threshold afterwards). This module defines
+the estimator protocol those baselines implement and the adapter that
+turns any of them into a density classifier, so that every algorithm in
+the benchmarks solves the identical task.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.result import Label
+from repro.quantile.order_stats import quantile_of_sorted
+
+
+@runtime_checkable
+class DensityEstimator(Protocol):
+    """Anything that can be fitted to data and report densities."""
+
+    #: Short algorithm name used in benchmark tables (e.g. ``"simple"``).
+    name: str
+
+    def fit(self, data: np.ndarray) -> "DensityEstimator":
+        """Train the estimator on ``data`` of shape ``(n, d)``."""
+        ...
+
+    def density(self, queries: np.ndarray) -> np.ndarray:
+        """Estimated probability densities at ``queries``, shape ``(m,)``."""
+        ...
+
+    @property
+    def kernel_evaluations(self) -> int:
+        """Total individual kernel evaluations performed so far."""
+        ...
+
+
+def quantile_threshold_of(
+    estimator: DensityEstimator,
+    data: np.ndarray,
+    p: float,
+    self_contribution: float = 0.0,
+) -> float:
+    """The paper's quantile threshold ``t(p)`` under a given estimator.
+
+    Evaluates the estimator's densities at every training point, subtracts
+    the self-contribution correction ``f0`` (Equation 1), and returns the
+    ``p``-th order statistic.
+    """
+    densities = np.asarray(estimator.density(data), dtype=np.float64) - self_contribution
+    return quantile_of_sorted(np.sort(densities), p)
+
+
+def classify_by_density(
+    estimator: DensityEstimator, queries: np.ndarray, threshold: float
+) -> np.ndarray:
+    """Adapt a density estimator into a density classifier.
+
+    Returns an array of :class:`~repro.core.result.Label`: HIGH where the
+    estimated density exceeds ``threshold``.
+    """
+    densities = np.asarray(estimator.density(queries))
+    return np.where(densities > threshold, Label.HIGH, Label.LOW)

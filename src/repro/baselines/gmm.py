@@ -1,0 +1,194 @@
+"""Gaussian mixture model density estimation (EM, diagonal covariances).
+
+The paper's introduction argues *against* parametric density models:
+"a mixture model of five Gaussians will be unable to accurately capture
+distributions that contain more than five distinct regions of high
+density", and mis-specified parametric assumptions "deliver inaccurate
+densities" on data like the shuttle measurements. This from-scratch EM
+implementation makes that claim reproducible: the accuracy experiments
+can score a k-component GMM head-to-head against KDE-based
+classification on the multi-modal simulators.
+
+Implementation: standard EM with diagonal covariances, log-sum-exp
+responsibilities, variance flooring, and random-point initialization
+restarted across a few seeds (best log-likelihood wins).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.validation import as_finite_matrix
+
+#: Relative log-likelihood improvement below which EM stops.
+_DEFAULT_TOL = 1e-5
+
+#: Variance floor relative to the data's per-dimension variance.
+_VARIANCE_FLOOR_FRACTION = 1e-6
+
+
+class GaussianMixtureKDE:
+    """Parametric density estimator: a k-component diagonal GMM.
+
+    Satisfies the same ``DensityEstimator`` protocol as the KDE
+    baselines (``fit``, ``density``, ``kernel_evaluations``) so the
+    harness can score it interchangeably.
+
+    Parameters
+    ----------
+    n_components:
+        Number of Gaussian components (the brittle knob the paper
+        criticizes — there is no non-parametric fallback when it is
+        wrong).
+    max_iter, tol:
+        EM stopping controls.
+    n_restarts:
+        Independent EM runs; the best final log-likelihood wins.
+    seed:
+        Seed for initialization.
+    """
+
+    name = "gmm"
+
+    def __init__(
+        self,
+        n_components: int = 5,
+        max_iter: int = 200,
+        tol: float = _DEFAULT_TOL,
+        n_restarts: int = 3,
+        seed: int | None = 0,
+    ) -> None:
+        if n_components < 1:
+            raise ValueError(f"n_components must be >= 1, got {n_components}")
+        if max_iter < 1:
+            raise ValueError(f"max_iter must be >= 1, got {max_iter}")
+        if n_restarts < 1:
+            raise ValueError(f"n_restarts must be >= 1, got {n_restarts}")
+        self.n_components = n_components
+        self.max_iter = max_iter
+        self.tol = tol
+        self.n_restarts = n_restarts
+        self.seed = seed
+        self._weights: np.ndarray | None = None
+        self._means: np.ndarray | None = None
+        self._variances: np.ndarray | None = None
+        self.log_likelihood_: float = float("-inf")
+        self.iterations_: int = 0
+        self._evaluations = 0
+
+    def fit(self, data: np.ndarray) -> "GaussianMixtureKDE":
+        """Run EM (with restarts) and keep the best solution."""
+        data = as_finite_matrix(data, "training data")
+        if data.shape[0] < self.n_components:
+            raise ValueError(
+                f"need at least {self.n_components} points, got {data.shape[0]}"
+            )
+        rng = np.random.default_rng(self.seed)
+        best = None
+        for __ in range(self.n_restarts):
+            params, log_likelihood, iterations = self._em_once(data, rng)
+            if best is None or log_likelihood > best[1]:
+                best = (params, log_likelihood, iterations)
+        assert best is not None
+        (self._weights, self._means, self._variances) = best[0]
+        self.log_likelihood_ = best[1]
+        self.iterations_ = best[2]
+        return self
+
+    @property
+    def kernel_evaluations(self) -> int:
+        """Component-density evaluations performed (protocol parity)."""
+        return self._evaluations
+
+    def density(self, queries: np.ndarray) -> np.ndarray:
+        """Mixture densities at ``queries``."""
+        if self._weights is None:
+            raise RuntimeError("GaussianMixtureKDE is not fitted; call fit() first")
+        queries = as_finite_matrix(queries, "queries")
+        log_prob = self._component_log_densities(queries)
+        self._evaluations += queries.shape[0] * self.n_components
+        log_mix = log_prob + np.log(self._weights)[None, :]
+        peak = log_mix.max(axis=1, keepdims=True)
+        return np.exp(peak[:, 0]) * np.sum(np.exp(log_mix - peak), axis=1)
+
+    # ------------------------------------------------------------------
+    # EM internals
+    # ------------------------------------------------------------------
+
+    def _em_once(
+        self, data: np.ndarray, rng: np.random.Generator
+    ) -> tuple[tuple[np.ndarray, np.ndarray, np.ndarray], float, int]:
+        n, d = data.shape
+        k = self.n_components
+        floor = np.maximum(np.var(data, axis=0) * _VARIANCE_FLOOR_FRACTION, 1e-12)
+
+        # Lloyd-style initialization: full-data-variance starts make the
+        # first E step nearly uniform and EM collapses into a symmetric
+        # local optimum; tight per-cluster starting variances avoid it.
+        weights, means, variances = self._kmeans_init(data, k, rng, floor)
+
+        previous = float("-inf")
+        iterations = 0
+        for iterations in range(1, self.max_iter + 1):
+            self._weights, self._means, self._variances = weights, means, variances
+            log_prob = self._component_log_densities(data)
+            log_mix = log_prob + np.log(weights)[None, :]
+            peak = log_mix.max(axis=1, keepdims=True)
+            log_norm = peak[:, 0] + np.log(np.sum(np.exp(log_mix - peak), axis=1))
+            log_likelihood = float(np.mean(log_norm))
+
+            responsibilities = np.exp(log_mix - log_norm[:, None])
+            mass = responsibilities.sum(axis=0) + 1e-12
+            weights = mass / n
+            means = (responsibilities.T @ data) / mass[:, None]
+            spread = (
+                responsibilities.T @ (data**2) / mass[:, None] - means**2
+            )
+            variances = np.maximum(spread, floor)
+
+            if log_likelihood - previous < self.tol * max(abs(previous), 1.0):
+                previous = log_likelihood
+                break
+            previous = log_likelihood
+
+        self._weights, self._means, self._variances = weights, means, variances
+        return (weights, means, variances), previous, iterations
+
+    @staticmethod
+    def _kmeans_init(
+        data: np.ndarray, k: int, rng: np.random.Generator, floor: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """A few Lloyd iterations to seed weights/means/variances."""
+        n = data.shape[0]
+        means = data[rng.choice(n, size=k, replace=False)].copy()
+        assignment = np.zeros(n, dtype=np.int64)
+        for __ in range(10):
+            sq = ((data[:, None, :] - means[None, :, :]) ** 2).sum(axis=2)
+            assignment = np.argmin(sq, axis=1)
+            for component in range(k):
+                members = data[assignment == component]
+                if members.shape[0] == 0:
+                    means[component] = data[rng.integers(n)]
+                else:
+                    means[component] = members.mean(axis=0)
+        weights = np.empty(k)
+        variances = np.empty((k, data.shape[1]))
+        for component in range(k):
+            members = data[assignment == component]
+            weights[component] = max(members.shape[0], 1) / n
+            if members.shape[0] >= 2:
+                variances[component] = np.maximum(np.var(members, axis=0), floor)
+            else:
+                variances[component] = np.maximum(np.var(data, axis=0), floor)
+        weights /= weights.sum()
+        return weights, means, variances
+
+    def _component_log_densities(self, points: np.ndarray) -> np.ndarray:
+        """(m, k) log-densities of each point under each component."""
+        assert self._means is not None and self._variances is not None
+        diffs = points[:, None, :] - self._means[None, :, :]
+        inv_var = 1.0 / self._variances
+        quad = np.einsum("mkd,kd->mk", diffs**2, inv_var)
+        log_det = np.sum(np.log(self._variances), axis=1)
+        d = points.shape[1]
+        return -0.5 * (quad + log_det[None, :] + d * np.log(2.0 * np.pi))

@@ -1,0 +1,30 @@
+"""Benchmark harness: regenerates every table and figure in the paper.
+
+- :mod:`repro.bench.harness` — timing, throughput, log-log slope fits;
+- :mod:`repro.bench.reporting` — console tables and JSON result capture;
+- :mod:`repro.bench.algorithms` — uniform drivers for every algorithm in
+  the paper's Table 2, under the paper's two measurement protocols
+  (amortized train+classify, and query-only);
+- :mod:`repro.bench.experiments` — one function per paper table/figure.
+"""
+
+from repro.bench.algorithms import (
+    AMORTIZED_ALGORITHMS,
+    AlgorithmRun,
+    run_amortized,
+    train_for_queries,
+)
+from repro.bench.harness import Timer, fit_loglog_slope, measure
+from repro.bench.reporting import ConsoleTable, save_results
+
+__all__ = [
+    "AMORTIZED_ALGORITHMS",
+    "AlgorithmRun",
+    "run_amortized",
+    "train_for_queries",
+    "Timer",
+    "measure",
+    "fit_loglog_slope",
+    "ConsoleTable",
+    "save_results",
+]

@@ -1,0 +1,143 @@
+"""Terminal-rendered charts for the benchmark harness.
+
+The paper's figures are line/bar plots; in a text environment the
+closest faithful rendering is a character grid. These helpers draw the
+benchmark sweeps (Figures 9-11, 13-15) as scatter/line charts with
+optional log axes, and the factor/lesion analyses (Figures 12/16) as
+horizontal bar charts — so ``python -m repro run fig9`` reproduces not
+just the numbers but the *picture*.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+#: Marker characters assigned to series in declaration order.
+MARKERS = "*o+x#@%&"
+
+
+def _transform(value: float, log: bool) -> float:
+    if log:
+        if value <= 0:
+            raise ValueError(f"log axis requires positive values, got {value}")
+        return math.log10(value)
+    return value
+
+
+def _axis_range(values: list[float]) -> tuple[float, float]:
+    lo, hi = min(values), max(values)
+    if lo == hi:  # avoid zero-width axes
+        pad = abs(lo) * 0.1 or 1.0
+        return lo - pad, hi + pad
+    return lo, hi
+
+
+def _format_tick(value: float, log: bool) -> str:
+    actual = 10**value if log else value
+    return f"{actual:.3g}"
+
+
+def ascii_chart(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    width: int = 64,
+    height: int = 18,
+    logx: bool = False,
+    logy: bool = False,
+    title: str = "",
+) -> str:
+    """Render named (xs, ys) series as a character-grid scatter chart.
+
+    Each series gets a marker from :data:`MARKERS`; overlapping points
+    show the later series' marker. Axis extremes are labelled with the
+    untransformed values.
+
+    >>> chart = ascii_chart({"a": ([1, 10, 100], [1, 2, 3])}, logx=True)
+    >>> "a" in chart and "*" in chart
+    True
+    """
+    if not series:
+        raise ValueError("at least one series is required")
+    if width < 8 or height < 4:
+        raise ValueError("chart must be at least 8x4 characters")
+
+    points: dict[str, list[tuple[float, float]]] = {}
+    for name, (xs, ys) in series.items():
+        if len(xs) != len(ys):
+            raise ValueError(f"series {name!r} has mismatched lengths")
+        points[name] = [
+            (_transform(float(x), logx), _transform(float(y), logy))
+            for x, y in zip(xs, ys)
+        ]
+
+    all_x = [x for pts in points.values() for x, __ in pts]
+    all_y = [y for pts in points.values() for __, y in pts]
+    x_lo, x_hi = _axis_range(all_x)
+    y_lo, y_hi = _axis_range(all_y)
+
+    grid = [[" "] * width for __ in range(height)]
+    for index, (name, pts) in enumerate(points.items()):
+        marker = MARKERS[index % len(MARKERS)]
+        for x, y in pts:
+            col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    top_tick = _format_tick(y_hi, logy)
+    bottom_tick = _format_tick(y_lo, logy)
+    label_width = max(len(top_tick), len(bottom_tick))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = top_tick.rjust(label_width)
+        elif row_index == height - 1:
+            label = bottom_tick.rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    left = _format_tick(x_lo, logx)
+    right = _format_tick(x_hi, logx)
+    gap = max(1, width - len(left) - len(right))
+    lines.append(" " * (label_width + 2) + left + " " * gap + right)
+    legend = "   ".join(
+        f"{MARKERS[i % len(MARKERS)]} {name}" for i, name in enumerate(points)
+    )
+    lines.append(" " * (label_width + 2) + legend)
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 48,
+    logscale: bool = False,
+    unit: str = "",
+) -> str:
+    """Render labelled values as horizontal bars (Figures 12/16 style).
+
+    >>> print(ascii_bar_chart(["a", "b"], [1.0, 2.0]))  # doctest: +SKIP
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        raise ValueError("at least one bar is required")
+    if any(v < 0 for v in values):
+        raise ValueError("bar values must be non-negative")
+
+    if logscale:
+        floor = min(v for v in values if v > 0) if any(v > 0 for v in values) else 1.0
+        scaled = [math.log10(max(v, floor) / floor) + 1.0 if v > 0 else 0.0
+                  for v in values]
+    else:
+        scaled = list(values)
+    peak = max(scaled) or 1.0
+
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value, amount in zip(labels, values, scaled):
+        bar = "#" * max(1 if value > 0 else 0, round(amount / peak * width))
+        lines.append(f"{label.rjust(label_width)} |{bar.ljust(width)} {value:.4g}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,987 @@
+"""One experiment function per table and figure in the paper's evaluation.
+
+Each function returns a list of plain-dict rows (the same rows the
+paper's table or figure reports) and optionally prints them as a console
+table. Sizes default to laptop-scale draws of the dataset simulators;
+every function takes explicit size parameters so the CLI and the
+``benchmarks/`` suite can trade fidelity for runtime. See DESIGN.md's
+experiment index and EXPERIMENTS.md for paper-vs-measured numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.accuracy import f1_score
+from repro.analysis.contours import classification_mask, render_ascii
+from repro.baselines import NaiveKDE, RadialKDE, TreeKDE
+from repro.bench.algorithms import (
+    AMORTIZED_ALGORITHMS,
+    pilot_threshold,
+    run_amortized,
+    train_for_queries,
+)
+from repro.bench.harness import Timer, fit_loglog_slope
+from repro.bench.reporting import ConsoleTable
+from repro.core.bounds import bound_density
+from repro.core.classifier import TKDCClassifier
+from repro.core.config import TKDCConfig
+from repro.core.grid import GridCache
+from repro.core.result import Label
+from repro.core.stats import TraversalStats
+from repro.datasets.pca import PCA
+from repro.datasets.registry import DATASETS, load
+from repro.index.kdtree import KDTree
+from repro.kernels.factory import kernel_for_data
+from repro.quantile.order_stats import quantile_of_sorted
+
+Row = dict[str, object]
+
+
+def _print_rows(rows: list[Row], columns: list[str], title: str, verbose: bool) -> None:
+    if not verbose:
+        return
+    table = ConsoleTable(columns)
+    for row in rows:
+        table.add_row(row)
+    table.print(title)
+
+
+# ----------------------------------------------------------------------
+# Table 3: dataset roster
+# ----------------------------------------------------------------------
+
+def table3_datasets(scale: float = 0.01, seed: int = 0, verbose: bool = True) -> list[Row]:
+    """Table 3: the evaluation datasets and their simulated stand-ins.
+
+    Alongside the paper's (n, d) roster, each simulator draw is
+    characterized by the density-geometry statistics tKDC's behaviour
+    depends on: intrinsic dimensionality and tail weight.
+    """
+    from repro.datasets.stats import summarize
+
+    rows: list[Row] = []
+    for spec in DATASETS.values():
+        data = load(spec.name, scale=scale, seed=seed)
+        summary = summarize(data)
+        rows.append(
+            {
+                "name": spec.name,
+                "d": spec.dim,
+                "paper_n": spec.paper_n,
+                "sim_n": summary.n,
+                "intrinsic_d": summary.intrinsic_dim,
+                "tail_weight": summary.tail_weight,
+                "description": spec.description,
+            }
+        )
+    _print_rows(rows, ["name", "d", "paper_n", "sim_n", "intrinsic_d",
+                       "tail_weight", "description"],
+                "Table 3: datasets", verbose)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 1: shuttle density classification
+# ----------------------------------------------------------------------
+
+def fig1_shuttle_classification(
+    n: int = 15_000,
+    p: float = 0.15,
+    grid_cells: int = 40,
+    seed: int = 0,
+    verbose: bool = True,
+) -> list[Row]:
+    """Figure 1: classify the 2-d shuttle measurement space by density.
+
+    Reproduces the paper's motivating picture: train on the informative
+    shuttle columns (A, B), classify a grid of the measurement plane,
+    and report the HIGH-region coverage. With ``verbose`` the region is
+    rendered as ASCII art.
+    """
+    data = load("shuttle", n=n, seed=seed)[:, [3, 5]]
+    clf = TKDCClassifier(TKDCConfig(p=p, seed=seed)).fit(data)
+
+    # Frame the bulk of the distribution (the paper's Figure 1 axes),
+    # not the heavy-tail extremes — a min/max viewport would be almost
+    # entirely empty space.
+    lo = np.percentile(data, 1.0, axis=0)
+    hi = np.percentile(data, 99.0, axis=0)
+    pad = 0.1 * (hi - lo)
+    xlim = (float(lo[0] - pad[0]), float(hi[0] + pad[0]))
+    ylim = (float(lo[1] - pad[1]), float(hi[1] + pad[1]))
+    __, __, mask = classification_mask(clf.classify, xlim, ylim, grid_cells, grid_cells)
+
+    assert clf.training_labels_ is not None
+    rows: list[Row] = [
+        {
+            "n": n,
+            "p": p,
+            "threshold": clf.threshold.value,
+            "grid_cells": grid_cells * grid_cells,
+            "high_region_fraction": float(np.mean(mask)),
+            "training_low_fraction": float(np.mean(clf.training_labels_ == Label.LOW)),
+            "kernels_per_query": clf.stats.kernels_per_query,
+        }
+    ]
+    if verbose:
+        print("\n== Figure 1: shuttle density classification (HIGH region = '#') ==")
+        print(render_ascii(mask))
+    _print_rows(rows, list(rows[0].keys()), "Figure 1: summary", verbose)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Table 2: algorithm roster / equivalence smoke test
+# ----------------------------------------------------------------------
+
+def table2_algorithms(
+    n: int = 4_000, p: float = 0.01, seed: int = 0, verbose: bool = True
+) -> list[Row]:
+    """Table 2: run every algorithm on one workload and cross-validate.
+
+    All algorithms classify the same 2-d gauss draw; agreement is
+    measured against the exact ("simple") labels. This is the
+    equivalence check behind using them interchangeably in Figure 7.
+    """
+    data = load("gauss", n=n, seed=seed)
+    runs = {name: run_amortized(name, data, p=p, seed=seed) for name in AMORTIZED_ALGORITHMS}
+    exact_labels = runs["simple"].labels
+    rows: list[Row] = []
+    descriptions = {
+        "tkdc": "Density classification w/ pruning",
+        "simple": "Naive algorithm, iterates through every point",
+        "sklearn": "K-d tree approximation algorithm (rtol=0.1)",
+        "nocut": "tKDC with the threshold rule and grid disabled (rtol=0.01)",
+        "rkde": "Contribution from only nearby points",
+        "ks": "Binning approximation algorithm",
+    }
+    for name, run in runs.items():
+        rows.append(
+            {
+                "algorithm": name,
+                "description": descriptions[name],
+                "agreement_vs_exact": float(np.mean(run.labels == exact_labels)),
+                "throughput": run.amortized_throughput,
+            }
+        )
+    _print_rows(rows, ["algorithm", "description", "agreement_vs_exact", "throughput"],
+                "Table 2: algorithms", verbose)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 7: end-to-end amortized throughput
+# ----------------------------------------------------------------------
+
+#: The paper's eight Figure 7 panels: (dataset, dims, PCA?), sized here
+#: by per-panel n caps.
+FIG7_PANELS: list[tuple[str, int, bool]] = [
+    ("gauss", 2, False),
+    ("tmy3", 4, False),
+    ("tmy3", 8, False),
+    ("home", 10, False),
+    ("hep", 27, False),
+    ("sift", 64, False),
+    ("mnist", 64, True),
+    ("mnist", 256, True),
+]
+
+
+def fig7_throughput(
+    n: int = 8_000,
+    p: float = 0.01,
+    epsilon: float = 0.01,
+    seed: int = 0,
+    algorithms: tuple[str, ...] = AMORTIZED_ALGORITHMS,
+    panels: list[tuple[str, int, bool]] | None = None,
+    verbose: bool = True,
+) -> list[Row]:
+    """Figure 7: amortized classification throughput across datasets.
+
+    Every algorithm trains on the panel dataset and classifies all of
+    its points; throughput includes training. ``ks`` is skipped above
+    d=4 (the library limit the paper also hit).
+    """
+    rows: list[Row] = []
+    for dataset, dim, use_pca in panels if panels is not None else FIG7_PANELS:
+        data = _panel_data(dataset, dim, use_pca, n, seed)
+        scale = 3.0 if (dataset == "mnist" and dim >= 64) else 1.0
+        normalize = dim <= 64
+        for name in algorithms:
+            if name == "ks" and dim > 4:
+                continue
+            config = None
+            if name == "tkdc":
+                config = TKDCConfig(
+                    p=p, epsilon=epsilon, seed=seed, bandwidth_scale=scale,
+                    normalize_densities=normalize,
+                )
+            run = run_amortized(
+                name, data, p=p, epsilon=epsilon, seed=seed,
+                bandwidth_scale=scale, tkdc_config=config,
+            )
+            rows.append(
+                {
+                    "dataset": dataset, "d": dim, "n": data.shape[0],
+                    "algorithm": name,
+                    "throughput": run.amortized_throughput,
+                    "total_s": run.total_seconds,
+                    "kernels_per_pt": run.kernels_per_item,
+                }
+            )
+    _print_rows(rows, ["dataset", "d", "n", "algorithm", "throughput", "total_s",
+                       "kernels_per_pt"], "Figure 7: end-to-end throughput", verbose)
+    return rows
+
+
+def _panel_data(dataset: str, dim: int, use_pca: bool, n: int, seed: int) -> np.ndarray:
+    native_dim = DATASETS[dataset].dim
+    if use_pca:
+        raw = load(dataset, n=n, seed=seed)
+        return PCA(dim).fit_transform(raw)
+    if dim < native_dim:
+        return load(dataset, n=n, seed=seed)[:, :dim]
+    return load(dataset, n=n, d=dim if dim != native_dim else None, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Figure 8: classification accuracy (F1 vs exact ground truth)
+# ----------------------------------------------------------------------
+
+def fig8_accuracy(
+    n: int = 6_000,
+    p: float = 0.01,
+    epsilon: float = 0.01,
+    seed: int = 0,
+    verbose: bool = True,
+) -> list[Row]:
+    """Figure 8: F1 of the below-threshold class vs exact-KDE truth.
+
+    Panels at d = 2, 4, and 7/8 over the tmy3, home, and shuttle
+    simulators, scoring tkdc, sklearn (rtol=0.1 tree KDE), and ks
+    (d <= 4 only) exactly as the paper does.
+    """
+    panel_dims = {"tmy3": (2, 4, 8), "home": (2, 4, 7), "shuttle": (2, 4, 8)}
+    rows: list[Row] = []
+    for dataset, dims in panel_dims.items():
+        for dim in dims:
+            data = load(dataset, n=n, seed=seed)[:, :dim]
+            exact = NaiveKDE().fit(data)
+            densities = exact.density(data) - exact.kernel.max_value / data.shape[0]
+            truth_threshold = quantile_of_sorted(np.sort(densities), p)
+            # LOW (below-threshold) is the positive class; the quantile
+            # order statistic itself counts as LOW, matching the
+            # labels-from-densities convention in run_amortized.
+            truth = (densities <= truth_threshold).astype(int)
+
+            for name in ("tkdc", "sklearn", "ks"):
+                if name == "ks" and dim > 4:
+                    continue
+                run = run_amortized(name, data, p=p, epsilon=epsilon, seed=seed)
+                predicted = (run.labels == int(Label.LOW)).astype(int)
+                rows.append(
+                    {
+                        "dataset": dataset, "d": dim, "n": n, "algorithm": name,
+                        "f1_low_class": f1_score(truth, predicted, positive=1),
+                    }
+                )
+    _print_rows(rows, ["dataset", "d", "n", "algorithm", "f1_low_class"],
+                "Figure 8: classification accuracy", verbose)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figures 9 & 10: scalability over dataset size
+# ----------------------------------------------------------------------
+
+def fig9_scaling_n(
+    sizes: tuple[int, ...] = (1_000, 2_000, 4_000, 8_000, 16_000, 32_000, 64_000),
+    dim: int = 2,
+    dataset: str = "gauss",
+    n_queries: int = 400,
+    p: float = 0.01,
+    seed: int = 0,
+    algorithms: tuple[str, ...] = ("tkdc", "sklearn", "simple", "rkde"),
+    verbose: bool = True,
+) -> list[Row]:
+    """Figure 9: query-only throughput vs training-set size (gauss, d=2).
+
+    Training time is excluded. The summary rows report fitted log-log
+    slopes: the paper's analysis predicts tkdc cost growth
+    ``n^((d-1)/d)`` against ``n`` for the O(n) algorithms.
+    """
+    rng = np.random.default_rng(seed + 1)
+    rows: list[Row] = []
+    per_algo: dict[str, list[tuple[int, float]]] = {name: [] for name in algorithms}
+    for size in sizes:
+        data = load(dataset, n=size, seed=seed) if dim == DATASETS[dataset].dim else (
+            load(dataset, n=size, seed=seed)[:, :dim]
+        )
+        queries = data[rng.choice(size, size=min(n_queries, size), replace=False)]
+        queries = queries + rng.normal(scale=0.05, size=queries.shape)
+        for name in algorithms:
+            trained = train_for_queries(name, data, p=p, seed=seed)
+            run = trained.classify(queries)
+            rows.append(
+                {
+                    "n": size, "algorithm": name,
+                    "queries_per_s": run.query_throughput,
+                    "kernels_per_query": run.kernels_per_item,
+                }
+            )
+            per_algo[name].append((size, run.query_throughput))
+    for name, points in per_algo.items():
+        xs = np.array([x for x, __ in points], dtype=float)
+        ys = np.array([y for __, y in points], dtype=float)
+        rows.append(
+            {
+                "n": 0, "algorithm": f"{name}:loglog_slope",
+                "queries_per_s": fit_loglog_slope(xs, ys),
+                "kernels_per_query": float("nan"),
+            }
+        )
+    _print_rows(rows, ["n", "algorithm", "queries_per_s", "kernels_per_query"],
+                f"Figure 9: scalability over n ({dataset}, d={dim})", verbose)
+    return rows
+
+
+def fig10_scaling_hep(
+    sizes: tuple[int, ...] = (2_000, 4_000, 8_000, 16_000, 32_000),
+    n_queries: int = 200,
+    p: float = 0.01,
+    seed: int = 0,
+    verbose: bool = True,
+) -> list[Row]:
+    """Figure 10: the Figure 9 sweep on the 27-dimensional hep data."""
+    return fig9_scaling_n(
+        sizes=sizes, dim=27, dataset="hep", n_queries=n_queries, p=p, seed=seed,
+        algorithms=("tkdc", "simple", "rkde"), verbose=verbose,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 11: scalability over dimension
+# ----------------------------------------------------------------------
+
+def fig11_dims(
+    dims: tuple[int, ...] = (1, 2, 4, 8, 16, 27),
+    n: int = 10_000,
+    n_queries: int = 300,
+    p: float = 0.01,
+    seed: int = 0,
+    algorithms: tuple[str, ...] = ("tkdc", "simple", "sklearn", "rkde"),
+    verbose: bool = True,
+) -> list[Row]:
+    """Figure 11: query throughput vs dimensionality (hep subsets)."""
+    rng = np.random.default_rng(seed + 1)
+    full = load("hep", n=n, seed=seed)
+    rows: list[Row] = []
+    for dim in dims:
+        data = full[:, :dim]
+        queries = data[rng.choice(n, size=min(n_queries, n), replace=False)]
+        for name in algorithms:
+            trained = train_for_queries(name, data, p=p, seed=seed)
+            run = trained.classify(queries)
+            rows.append(
+                {
+                    "d": dim, "n": n, "algorithm": name,
+                    "queries_per_s": run.query_throughput,
+                    "kernels_per_query": run.kernels_per_item,
+                }
+            )
+    _print_rows(rows, ["d", "n", "algorithm", "queries_per_s", "kernels_per_query"],
+                "Figure 11: scalability over dimension (hep)", verbose)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figures 12 & 16: factor and lesion analyses
+# ----------------------------------------------------------------------
+
+#: (variant label, threshold rule, tolerance rule, equi-width split, grid)
+_FACTOR_STEPS: list[tuple[str, bool, bool, bool, bool]] = [
+    ("baseline", False, False, False, False),
+    ("+threshold", True, False, False, False),
+    ("+tolerance", True, True, False, False),
+    ("+equiwidth", True, True, True, False),
+    ("+grid", True, True, True, True),
+]
+
+_LESION_STEPS: list[tuple[str, bool, bool, bool, bool]] = [
+    ("complete", True, True, True, True),
+    ("-threshold", False, True, True, True),
+    ("-tolerance", True, False, True, True),
+    ("-equiwidth", True, True, False, True),
+    ("-grid", True, True, True, False),
+]
+
+
+def _optimization_analysis(
+    steps: list[tuple[str, bool, bool, bool, bool]],
+    title: str,
+    n: int,
+    dim: int,
+    p: float,
+    epsilon: float,
+    n_queries: int,
+    slow_queries: int,
+    seed: int,
+    verbose: bool,
+) -> list[Row]:
+    """Shared driver for the Figure 12 (factor) / 16 (lesion) analyses.
+
+    Classifies query samples from the tmy3 simulator under each
+    optimization configuration, reporting throughput and kernel
+    evaluations per point (training excluded, as in the paper's figures).
+    Variants without the threshold rule are measured on the smaller
+    ``slow_queries`` sample — they do orders of magnitude more work per
+    query.
+    """
+    rng = np.random.default_rng(seed + 1)
+    data = load("tmy3", n=n, d=dim, seed=seed)
+    threshold = pilot_threshold(data, p, seed=seed)
+
+    trees: dict[bool, KDTree] = {}
+    kernel = kernel_for_data(data)
+    scaled = kernel.scale(data)
+    for equiwidth in (False, True):
+        trees[equiwidth] = KDTree(
+            scaled, split_rule="trimmed_midpoint" if equiwidth else "median"
+        )
+    grid = GridCache(scaled, kernel)
+
+    rows: list[Row] = []
+    for label, use_threshold, use_tolerance, use_equiwidth, use_grid in steps:
+        m = n_queries if use_threshold else slow_queries
+        sample = scaled[rng.choice(n, size=min(m, n), replace=False)]
+        tree = trees[use_equiwidth]
+        stats = TraversalStats()
+        with Timer() as timer:
+            for query in sample:
+                if use_grid and grid.is_certain_inlier(query, threshold, epsilon):
+                    stats.grid_hits += 1
+                    stats.queries += 1
+                    continue
+                bound_density(
+                    tree, kernel, query, threshold, threshold, epsilon, stats,
+                    use_threshold_rule=use_threshold,
+                    use_tolerance_rule=use_tolerance,
+                )
+        rows.append(
+            {
+                "variant": label,
+                "points_per_s": sample.shape[0] / max(timer.elapsed, 1e-12),
+                "kernels_per_pt": stats.kernel_evaluations / sample.shape[0],
+                "queries": sample.shape[0],
+            }
+        )
+    _print_rows(rows, ["variant", "points_per_s", "kernels_per_pt", "queries"],
+                title, verbose)
+    return rows
+
+
+def fig12_factor_analysis(
+    n: int = 20_000,
+    dim: int = 4,
+    p: float = 0.01,
+    epsilon: float = 0.01,
+    n_queries: int = 2_000,
+    slow_queries: int = 100,
+    seed: int = 0,
+    verbose: bool = True,
+) -> list[Row]:
+    """Figure 12: cumulative factor analysis of tKDC's optimizations."""
+    return _optimization_analysis(
+        _FACTOR_STEPS, "Figure 12: cumulative factor analysis (tmy3 d=4)",
+        n, dim, p, epsilon, n_queries, slow_queries, seed, verbose,
+    )
+
+
+def fig16_lesion_analysis(
+    n: int = 20_000,
+    dim: int = 4,
+    p: float = 0.01,
+    epsilon: float = 0.01,
+    n_queries: int = 2_000,
+    slow_queries: int = 100,
+    seed: int = 0,
+    verbose: bool = True,
+) -> list[Row]:
+    """Figure 16: lesion analysis (remove one optimization at a time)."""
+    return _optimization_analysis(
+        _LESION_STEPS, "Figure 16: lesion analysis (tmy3 d=4)",
+        n, dim, p, epsilon, n_queries, slow_queries, seed, verbose,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 13: rkde radius sweep
+# ----------------------------------------------------------------------
+
+def fig13_rkde_radius(
+    radii: tuple[float, ...] = (0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 5.0),
+    n: int = 20_000,
+    dim: int = 4,
+    n_queries: int = 300,
+    p: float = 0.01,
+    seed: int = 0,
+    verbose: bool = True,
+) -> list[Row]:
+    """Figure 13: rkde throughput/accuracy vs cutoff radius, with a tKDC
+    reference row.
+
+    Small radii trade accuracy for speed; the density error column shows
+    the truncation error relative to the threshold (the paper notes
+    errors of order t for r <= 1.2 bandwidths).
+    """
+    rng = np.random.default_rng(seed + 1)
+    data = load("tmy3", n=n, d=dim, seed=seed)
+    queries = data[rng.choice(n, size=min(n_queries, n), replace=False)]
+    threshold = pilot_threshold(data, p, seed=seed)
+    exact = NaiveKDE().fit(data).density(queries)
+
+    rows: list[Row] = []
+    for radius in radii:
+        estimator = RadialKDE(radius_in_bandwidths=radius).fit(data)
+        with Timer() as timer:
+            densities = estimator.density(queries)
+        rows.append(
+            {
+                "algorithm": "rkde", "radius": radius,
+                "queries_per_s": queries.shape[0] / max(timer.elapsed, 1e-12),
+                "max_err_over_t": float(np.max(np.abs(densities - exact)) / threshold),
+            }
+        )
+    trained = train_for_queries("tkdc", data, p=p, seed=seed)
+    run = trained.classify(queries)
+    rows.append(
+        {
+            "algorithm": "tkdc", "radius": float("nan"),
+            "queries_per_s": run.query_throughput,
+            "max_err_over_t": 0.0,
+        }
+    )
+    _print_rows(rows, ["algorithm", "radius", "queries_per_s", "max_err_over_t"],
+                "Figure 13: rkde radius sweep (tmy3 d=4)", verbose)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 14: mnist dimensionality sweep
+# ----------------------------------------------------------------------
+
+def fig14_mnist_dims(
+    dims: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256),
+    n: int = 4_000,
+    n_queries: int = 150,
+    p: float = 0.01,
+    seed: int = 0,
+    verbose: bool = True,
+) -> list[Row]:
+    """Figure 14: query throughput vs dimensionality on mnist.
+
+    Dimensions are PCA projections of the simulator, with the paper's
+    3x bandwidth scaling; densities are unnormalized above d=64 (the
+    Gaussian constant underflows float64 there — classification is
+    scale-invariant, see DESIGN.md).
+    """
+    rng = np.random.default_rng(seed + 1)
+    raw = load("mnist", n=n, seed=seed)
+    rows: list[Row] = []
+    for dim in dims:
+        data = PCA(dim).fit_transform(raw) if dim < raw.shape[1] else raw
+        queries = data[rng.choice(n, size=min(n_queries, n), replace=False)]
+        for name in ("tkdc", "simple"):
+            config = None
+            if name == "tkdc":
+                config = TKDCConfig(
+                    p=p, seed=seed, bandwidth_scale=3.0,
+                    normalize_densities=dim <= 64,
+                    refine_threshold=False, bootstrap_s0=min(2000, n),
+                )
+            trained = train_for_queries(
+                name, data, p=p, seed=seed, bandwidth_scale=3.0, tkdc_config=config
+            )
+            run = trained.classify(queries)
+            rows.append(
+                {
+                    "d": dim, "n": n, "algorithm": name,
+                    "queries_per_s": run.query_throughput,
+                    "kernels_per_query": run.kernels_per_item,
+                }
+            )
+    _print_rows(rows, ["d", "n", "algorithm", "queries_per_s", "kernels_per_query"],
+                "Figure 14: mnist dimensionality sweep", verbose)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 15: quantile threshold sweep
+# ----------------------------------------------------------------------
+
+def fig15_threshold_sweep(
+    quantiles: tuple[float, ...] = (0.01, 0.05, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99),
+    n: int = 20_000,
+    dim: int = 4,
+    n_queries: int = 400,
+    seed: int = 0,
+    verbose: bool = True,
+) -> list[Row]:
+    """Figure 15: tKDC query throughput vs quantile threshold ``p``.
+
+    The paper's U-shape: pruning is most effective at extreme quantiles
+    where few points sit near the threshold. A simple-baseline reference
+    row (p-independent) is appended for comparison.
+    """
+    rng = np.random.default_rng(seed + 1)
+    data = load("tmy3", n=n, d=dim, seed=seed)
+    queries = data[rng.choice(n, size=min(n_queries, n), replace=False)]
+    rows: list[Row] = []
+    for p in quantiles:
+        trained = train_for_queries("tkdc", data, p=p, seed=seed)
+        run = trained.classify(queries)
+        rows.append(
+            {
+                "p": p, "algorithm": "tkdc",
+                "queries_per_s": run.query_throughput,
+                "kernels_per_query": run.kernels_per_item,
+            }
+        )
+    simple = train_for_queries("simple", data, p=0.5, seed=seed).classify(queries)
+    rows.append(
+        {
+            "p": float("nan"), "algorithm": "simple",
+            "queries_per_s": simple.query_throughput,
+            "kernels_per_query": simple.kernels_per_item,
+        }
+    )
+    _print_rows(rows, ["p", "algorithm", "queries_per_s", "kernels_per_query"],
+                "Figure 15: quantile threshold sweep (tmy3 d=4)", verbose)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Section 2.3 motivation: raw density thresholds are unwieldy
+# ----------------------------------------------------------------------
+
+def motivation_thresholds(
+    n: int = 4_000,
+    p: float = 0.01,
+    seed: int = 0,
+    verbose: bool = True,
+) -> list[Row]:
+    """Section 2.3: why tKDC parameterizes by quantile, not raw density.
+
+    The same p = 1% quantile corresponds to raw density values spanning
+    many orders of magnitude across datasets/dimensionalities — "it is
+    difficult to a priori set thresholds for new datasets". This
+    experiment measures t(p) for each simulator.
+    """
+    rows: list[Row] = []
+    for dataset, dim in [("gauss", 2), ("tmy3", 4), ("tmy3", 8),
+                         ("home", 10), ("shuttle", 9), ("hep", 27)]:
+        data = load(dataset, n=n, seed=seed)
+        if data.shape[1] > dim:
+            data = data[:, :dim]
+        clf = TKDCClassifier(TKDCConfig(p=p, seed=seed)).fit(data)
+        rows.append(
+            {
+                "dataset": dataset, "d": dim,
+                "t_quantile_p": p,
+                "t_raw_density": clf.threshold.value,
+                "log10_t": float(np.log10(max(clf.threshold.value, 1e-300))),
+            }
+        )
+    spread = max(row["log10_t"] for row in rows) - min(row["log10_t"] for row in rows)
+    rows.append({"dataset": "SPREAD", "d": 0, "t_quantile_p": p,
+                 "t_raw_density": float("nan"), "log10_t": spread})
+    _print_rows(rows, ["dataset", "d", "t_quantile_p", "t_raw_density", "log10_t"],
+                "Section 2.3: raw thresholds across datasets (same p)", verbose)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Theorem 1 / Lemma 1: the Appendix A scaling claims
+# ----------------------------------------------------------------------
+
+def thm1_scaling(
+    sizes: tuple[int, ...] = (1_000, 2_000, 4_000, 8_000, 16_000, 32_000),
+    dim: int = 2,
+    n_queries: int = 400,
+    p: float = 0.01,
+    seed: int = 0,
+    verbose: bool = True,
+) -> list[Row]:
+    """Appendix A: measure the near-query fraction and per-query cost.
+
+    A query is operationally *near* when its traversal had to evaluate
+    leaf-level kernels (the index bounds alone could not classify it) —
+    exactly Definition 1. Lemma 1 predicts the near fraction shrinks as
+    ``n^(-1/d)``; Theorem 1 predicts kernel work grows as
+    ``n^((d-1)/d)``. Summary rows report the fitted log-log slopes.
+    """
+    from repro.analysis.theory import fit_cost_scaling, fit_near_scaling
+
+    rng = np.random.default_rng(seed + 1)
+    rows: list[Row] = []
+    near_fractions: list[float] = []
+    kernel_costs: list[float] = []
+    for size in sizes:
+        data = load("gauss", n=size, d=dim, seed=seed)
+        threshold = pilot_threshold(data, p, seed=seed)
+        kernel = kernel_for_data(data)
+        scaled = kernel.scale(data)
+        tree = KDTree(scaled)
+        queries = scaled[rng.choice(size, size=min(n_queries, size), replace=False)]
+        near = 0
+        total_kernels = 0
+        for query in queries:
+            stats = TraversalStats()
+            bound_density(tree, kernel, query, threshold, threshold, 0.01, stats)
+            total_kernels += stats.kernel_evaluations
+            if stats.kernel_evaluations > 0:
+                near += 1
+        fraction = near / queries.shape[0]
+        cost = total_kernels / queries.shape[0]
+        near_fractions.append(max(fraction, 1e-6))
+        kernel_costs.append(max(cost, 1e-6))
+        rows.append(
+            {"n": size, "near_fraction": fraction, "kernels_per_query": cost}
+        )
+    cost_fit = fit_cost_scaling(np.array(sizes, float), np.array(kernel_costs), dim)
+    near_fit = fit_near_scaling(np.array(sizes, float), np.array(near_fractions), dim)
+    rows.append(
+        {
+            "n": 0, "near_fraction": near_fit.fitted_exponent,
+            "kernels_per_query": cost_fit.fitted_exponent,
+        }
+    )
+    if verbose:
+        print(f"\n== Theorem 1 scaling (gauss d={dim}) ==")
+        print(f"cost slope: fitted {cost_fit.fitted_exponent:.3f} "
+              f"vs bound {cost_fit.predicted_exponent:.3f}")
+        print(f"near slope: fitted {near_fit.fitted_exponent:.3f} "
+              f"vs bound {near_fit.predicted_exponent:.3f}")
+    _print_rows(rows, ["n", "near_fraction", "kernels_per_query"],
+                "Theorem 1: near fraction & cost vs n", verbose)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Extra ablations beyond the paper (DESIGN.md Section 5)
+# ----------------------------------------------------------------------
+
+def ablation_priority_orders(
+    n: int = 20_000,
+    dim: int = 4,
+    n_queries: int = 500,
+    p: float = 0.01,
+    epsilon: float = 0.01,
+    seed: int = 0,
+    verbose: bool = True,
+) -> list[Row]:
+    """Ablation: frontier orderings for the bounding traversal."""
+    rng = np.random.default_rng(seed + 1)
+    data = load("tmy3", n=n, d=dim, seed=seed)
+    threshold = pilot_threshold(data, p, seed=seed)
+    kernel = kernel_for_data(data)
+    scaled = kernel.scale(data)
+    tree = KDTree(scaled)
+    sample = scaled[rng.choice(n, size=min(n_queries, n), replace=False)]
+
+    rows: list[Row] = []
+    for priority in ("discrepancy", "nearest", "fifo", "lifo"):
+        stats = TraversalStats()
+        with Timer() as timer:
+            for query in sample:
+                bound_density(
+                    tree, kernel, query, threshold, threshold, epsilon, stats,
+                    priority=priority,
+                )
+        rows.append(
+            {
+                "priority": priority,
+                "points_per_s": sample.shape[0] / max(timer.elapsed, 1e-12),
+                "kernels_per_pt": stats.kernel_evaluations / sample.shape[0],
+            }
+        )
+    _print_rows(rows, ["priority", "points_per_s", "kernels_per_pt"],
+                "Ablation: frontier priority orders", verbose)
+    return rows
+
+
+def ablation_leaf_size(
+    leaf_sizes: tuple[int, ...] = (4, 8, 16, 32, 64, 128, 256),
+    n: int = 20_000,
+    dim: int = 4,
+    n_queries: int = 500,
+    p: float = 0.01,
+    epsilon: float = 0.01,
+    seed: int = 0,
+    verbose: bool = True,
+) -> list[Row]:
+    """Ablation: k-d tree leaf size (vectorized leaf work vs pruning)."""
+    rng = np.random.default_rng(seed + 1)
+    data = load("tmy3", n=n, d=dim, seed=seed)
+    threshold = pilot_threshold(data, p, seed=seed)
+    kernel = kernel_for_data(data)
+    scaled = kernel.scale(data)
+    sample = scaled[rng.choice(n, size=min(n_queries, n), replace=False)]
+
+    rows: list[Row] = []
+    for leaf_size in leaf_sizes:
+        tree = KDTree(scaled, leaf_size=leaf_size)
+        stats = TraversalStats()
+        with Timer() as timer:
+            for query in sample:
+                bound_density(tree, kernel, query, threshold, threshold, epsilon, stats)
+        rows.append(
+            {
+                "leaf_size": leaf_size,
+                "points_per_s": sample.shape[0] / max(timer.elapsed, 1e-12),
+                "kernels_per_pt": stats.kernel_evaluations / sample.shape[0],
+            }
+        )
+    _print_rows(rows, ["leaf_size", "points_per_s", "kernels_per_pt"],
+                "Ablation: leaf size", verbose)
+    return rows
+
+
+def ablation_epsilon(
+    epsilons: tuple[float, ...] = (0.001, 0.01, 0.05, 0.1, 0.5),
+    n: int = 8_000,
+    dim: int = 4,
+    p: float = 0.01,
+    seed: int = 0,
+    verbose: bool = True,
+) -> list[Row]:
+    """Ablation: the tolerance parameter epsilon's work/accuracy trade.
+
+    Epsilon only licenses errors inside ``±eps·t(p)``; larger values let
+    both pruning rules fire earlier. Reports kernel work and the label
+    disagreement vs. the exact classifier as epsilon grows.
+    """
+    data = load("tmy3", n=n, d=dim, seed=seed)
+    exact = NaiveKDE().fit(data)
+    densities = exact.density(data) - exact.kernel.max_value / n
+    exact_threshold = quantile_of_sorted(np.sort(densities), p)
+    exact_labels = (densities > exact_threshold).astype(np.int64)
+
+    rows: list[Row] = []
+    for epsilon in epsilons:
+        config = TKDCConfig(p=p, epsilon=epsilon, seed=seed)
+        run = run_amortized("tkdc", data, p=p, epsilon=epsilon, seed=seed,
+                            tkdc_config=config)
+        disagreement = float(np.mean(run.labels != exact_labels))
+        rows.append(
+            {
+                "epsilon": epsilon,
+                "kernels_per_pt": run.kernels_per_item,
+                "throughput": run.amortized_throughput,
+                "label_disagreement": disagreement,
+            }
+        )
+    _print_rows(rows, ["epsilon", "kernels_per_pt", "throughput",
+                       "label_disagreement"],
+                "Ablation: epsilon work/accuracy trade (tmy3 d=4)", verbose)
+    return rows
+
+
+def ablation_tree_family(
+    n: int = 10_000,
+    dims: tuple[int, ...] = (2, 4, 8, 16),
+    n_queries: int = 300,
+    p: float = 0.01,
+    epsilon: float = 0.01,
+    seed: int = 0,
+    verbose: bool = True,
+) -> list[Row]:
+    """Ablation: k-d tree (boxes) vs ball tree as the bound index.
+
+    Both index families plug into the same traversal; box bounds are
+    typically tighter in low dimensions while ball bounds resist box
+    elongation as d grows.
+    """
+    from repro.index.balltree import BallTree
+
+    rng = np.random.default_rng(seed + 1)
+    rows: list[Row] = []
+    for dim in dims:
+        data = load("hep", n=n, seed=seed)[:, :dim]
+        threshold = pilot_threshold(data, p, seed=seed)
+        kernel = kernel_for_data(data)
+        scaled = kernel.scale(data)
+        sample = scaled[rng.choice(n, size=min(n_queries, n), replace=False)]
+        for family, tree in (("kdtree", KDTree(scaled)), ("balltree", BallTree(scaled))):
+            stats = TraversalStats()
+            with Timer() as timer:
+                for query in sample:
+                    bound_density(tree, kernel, query, threshold, threshold,
+                                  epsilon, stats)
+            rows.append(
+                {
+                    "d": dim, "index": family,
+                    "points_per_s": sample.shape[0] / max(timer.elapsed, 1e-12),
+                    "kernels_per_pt": stats.kernel_evaluations / sample.shape[0],
+                    "expansions_per_pt": stats.node_expansions / sample.shape[0],
+                }
+            )
+    _print_rows(rows, ["d", "index", "points_per_s", "kernels_per_pt",
+                       "expansions_per_pt"], "Ablation: index family (hep)", verbose)
+    return rows
+
+
+def ablation_kernels(
+    n: int = 20_000,
+    dim: int = 4,
+    p: float = 0.01,
+    seed: int = 0,
+    verbose: bool = True,
+) -> list[Row]:
+    """Ablation: Gaussian vs Epanechnikov kernels under tKDC.
+
+    The Epanechnikov kernel's finite support zeroes distant nodes
+    exactly, which changes how often the threshold rule fires.
+    """
+    data = load("tmy3", n=n, d=dim, seed=seed)
+    rows: list[Row] = []
+    for kernel_name in ("gaussian", "epanechnikov"):
+        config = TKDCConfig(p=p, seed=seed, kernel=kernel_name)
+        run = run_amortized("tkdc", data, p=p, seed=seed, tkdc_config=config)
+        rows.append(
+            {
+                "kernel": kernel_name,
+                "throughput": run.amortized_throughput,
+                "kernels_per_pt": run.kernels_per_item,
+                "low_fraction": float(np.mean(run.labels == int(Label.LOW))),
+            }
+        )
+    _print_rows(rows, ["kernel", "throughput", "kernels_per_pt", "low_fraction"],
+                "Ablation: kernel family", verbose)
+    return rows
+
+
+#: Registry used by the CLI and the benchmark suite.
+EXPERIMENTS = {
+    "table2": table2_algorithms,
+    "table3": table3_datasets,
+    "fig1": fig1_shuttle_classification,
+    "fig7": fig7_throughput,
+    "fig8": fig8_accuracy,
+    "fig9": fig9_scaling_n,
+    "fig10": fig10_scaling_hep,
+    "fig11": fig11_dims,
+    "fig12": fig12_factor_analysis,
+    "fig13": fig13_rkde_radius,
+    "fig14": fig14_mnist_dims,
+    "fig15": fig15_threshold_sweep,
+    "fig16": fig16_lesion_analysis,
+    "thm1": thm1_scaling,
+    "motivation": motivation_thresholds,
+    "ablation-priority": ablation_priority_orders,
+    "ablation-leafsize": ablation_leaf_size,
+    "ablation-kernel": ablation_kernels,
+    "ablation-tree": ablation_tree_family,
+    "ablation-epsilon": ablation_epsilon,
+}

@@ -1,0 +1,74 @@
+"""Timing and curve-fitting primitives for the benchmark suite."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+
+
+@dataclass
+class Timer:
+    """A context manager recording wall-clock elapsed seconds.
+
+    >>> with Timer() as timer:
+    ...     __ = sum(range(1000))
+    >>> timer.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = field(default=0.0)
+    _start: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+def measure(fn: Callable[[], T]) -> tuple[T, float]:
+    """Run ``fn`` once, returning ``(result, elapsed_seconds)``."""
+    with Timer() as timer:
+        result = fn()
+    return result, timer.elapsed
+
+
+def throughput(items: int, seconds: float) -> float:
+    """Items per second, guarding against zero-duration measurements."""
+    if items < 0:
+        raise ValueError(f"items must be non-negative, got {items}")
+    return items / max(seconds, 1e-12)
+
+
+def fit_loglog_slope(xs: np.ndarray, ys: np.ndarray) -> float:
+    """Least-squares slope of ``log(y)`` against ``log(x)``.
+
+    Used to verify the paper's asymptotic claims: query cost growing as
+    ``n^((d-1)/d)`` shows up as a throughput slope near ``-(d-1)/d`` on a
+    size sweep (Figures 9 and 10).
+    """
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    if xs.shape != ys.shape or xs.ndim != 1:
+        raise ValueError("xs and ys must be 1-d arrays of equal length")
+    if xs.shape[0] < 2:
+        raise ValueError("need at least two points to fit a slope")
+    if np.any(xs <= 0) or np.any(ys <= 0):
+        raise ValueError("log-log fit requires strictly positive data")
+    slope, __ = np.polyfit(np.log(xs), np.log(ys), deg=1)
+    return float(slope)
+
+
+def human_rate(rate: float) -> str:
+    """Format a throughput like the paper's figures (55.2k, 6.36M)."""
+    if rate >= 1e6:
+        return f"{rate / 1e6:.3g}M"
+    if rate >= 1e3:
+        return f"{rate / 1e3:.3g}k"
+    return f"{rate:.3g}"

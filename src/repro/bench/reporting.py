@@ -1,0 +1,87 @@
+"""Console tables and JSON capture for benchmark results."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Mapping
+
+#: Default directory (under the repo root) where experiment runs are saved.
+DEFAULT_RESULTS_DIR = Path("results")
+
+
+class ConsoleTable:
+    """Minimal aligned-column table printer for benchmark output.
+
+    >>> table = ConsoleTable(["algo", "qps"])
+    >>> table.add_row({"algo": "tkdc", "qps": 55200})
+    >>> print(table.render())  # doctest: +NORMALIZE_WHITESPACE
+    algo | qps
+    -----+------
+    tkdc | 55200
+    """
+
+    def __init__(self, columns: list[str]) -> None:
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.columns = columns
+        self.rows: list[dict[str, str]] = []
+
+    def add_row(self, row: Mapping[str, object]) -> None:
+        """Add one row; values are formatted with :func:`format_value`."""
+        self.rows.append({col: format_value(row.get(col, "")) for col in self.columns})
+
+    def render(self) -> str:
+        widths = {
+            col: max(len(col), *(len(row[col]) for row in self.rows)) if self.rows else len(col)
+            for col in self.columns
+        }
+        header = " | ".join(col.ljust(widths[col]) for col in self.columns)
+        rule = "-+-".join("-" * widths[col] for col in self.columns)
+        lines = [header.rstrip(), rule]
+        for row in self.rows:
+            lines.append(" | ".join(row[col].ljust(widths[col]) for col in self.columns).rstrip())
+        return "\n".join(lines)
+
+    def print(self, title: str | None = None) -> None:
+        if title:
+            print(f"\n== {title} ==")
+        print(self.render())
+
+
+def format_value(value: object) -> str:
+    """Human-friendly scalar formatting (3 significant digits for floats)."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def save_results(
+    name: str, rows: Iterable[Mapping[str, object]], directory: Path | str | None = None
+) -> Path:
+    """Persist experiment rows as JSON under the results directory.
+
+    Returns the written path. Rows must be JSON-serializable after float
+    coercion (numpy scalars are converted).
+    """
+    directory = Path(directory) if directory is not None else DEFAULT_RESULTS_DIR
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{name}.json"
+    serializable = [
+        {key: _to_builtin(value) for key, value in row.items()} for row in rows
+    ]
+    path.write_text(json.dumps(serializable, indent=2))
+    return path
+
+
+def _to_builtin(value: object) -> object:
+    """Coerce numpy scalars and other simple types to JSON builtins."""
+    if hasattr(value, "item"):
+        return value.item()  # type: ignore[union-attr]
+    return value

@@ -1,0 +1,214 @@
+"""Dependency-free SVG rendering of benchmark figures.
+
+The ASCII charts (:mod:`repro.bench.charts`) serve the terminal; this
+module writes the same line/bar figures as standalone ``.svg`` files so
+experiment runs can leave shareable pictures under ``results/`` without
+a plotting dependency. The generator emits a small, readable subset of
+SVG: axes, grid-free plot area, polyline series with point markers, and
+a legend.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from typing import Mapping, Sequence
+
+#: Series colours (colour-blind-safe qualitative palette).
+PALETTE = ("#0072b2", "#d55e00", "#009e73", "#cc79a7", "#e69f00", "#56b4e9")
+
+#: Canvas geometry.
+_WIDTH, _HEIGHT = 640, 400
+_MARGIN_LEFT, _MARGIN_RIGHT = 70, 20
+_MARGIN_TOP, _MARGIN_BOTTOM = 40, 60
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def _transform(value: float, log: bool) -> float:
+    if log:
+        if value <= 0:
+            raise ValueError(f"log axis requires positive values, got {value}")
+        return math.log10(value)
+    return value
+
+
+def _ticks(lo: float, hi: float, log: bool, count: int = 5) -> list[float]:
+    """Tick positions in *transformed* coordinates."""
+    if log:
+        first, last = math.ceil(lo), math.floor(hi)
+        if first > last:
+            return [lo, hi]
+        return [float(t) for t in range(first, last + 1)]
+    if hi == lo:
+        return [lo]
+    step = (hi - lo) / (count - 1)
+    return [lo + i * step for i in range(count)]
+
+
+def _format_tick(transformed: float, log: bool) -> str:
+    actual = 10**transformed if log else transformed
+    return f"{actual:.3g}"
+
+
+def line_chart_svg(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    logx: bool = False,
+    logy: bool = False,
+) -> str:
+    """Render named (xs, ys) series as an SVG line chart string."""
+    if not series:
+        raise ValueError("at least one series is required")
+    points: dict[str, list[tuple[float, float]]] = {}
+    for name, (xs, ys) in series.items():
+        if len(xs) != len(ys) or len(xs) == 0:
+            raise ValueError(f"series {name!r} must be non-empty with equal lengths")
+        points[name] = [
+            (_transform(float(x), logx), _transform(float(y), logy))
+            for x, y in zip(xs, ys)
+        ]
+
+    all_x = [x for pts in points.values() for x, __ in pts]
+    all_y = [y for pts in points.values() for __, y in pts]
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo, y_hi = min(all_y), max(all_y)
+    if x_hi == x_lo:
+        x_lo, x_hi = x_lo - 0.5, x_hi + 0.5
+    if y_hi == y_lo:
+        y_lo, y_hi = y_lo - 0.5, y_hi + 0.5
+
+    plot_w = _WIDTH - _MARGIN_LEFT - _MARGIN_RIGHT
+    plot_h = _HEIGHT - _MARGIN_TOP - _MARGIN_BOTTOM
+
+    def px(x: float) -> float:
+        return _MARGIN_LEFT + (x - x_lo) / (x_hi - x_lo) * plot_w
+
+    def py(y: float) -> float:
+        return _MARGIN_TOP + plot_h - (y - y_lo) / (y_hi - y_lo) * plot_h
+
+    parts: list[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" '
+        f'height="{_HEIGHT}" font-family="sans-serif" font-size="12">',
+        f'<rect width="{_WIDTH}" height="{_HEIGHT}" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{_WIDTH / 2}" y="24" text-anchor="middle" '
+            f'font-size="15">{_escape(title)}</text>'
+        )
+    # Axes.
+    axis_bottom = _MARGIN_TOP + plot_h
+    parts.append(
+        f'<line x1="{_MARGIN_LEFT}" y1="{axis_bottom}" '
+        f'x2="{_MARGIN_LEFT + plot_w}" y2="{axis_bottom}" stroke="black"/>'
+    )
+    parts.append(
+        f'<line x1="{_MARGIN_LEFT}" y1="{_MARGIN_TOP}" '
+        f'x2="{_MARGIN_LEFT}" y2="{axis_bottom}" stroke="black"/>'
+    )
+    for tick in _ticks(x_lo, x_hi, logx):
+        x = px(tick)
+        parts.append(f'<line x1="{x:.1f}" y1="{axis_bottom}" x2="{x:.1f}" '
+                     f'y2="{axis_bottom + 5}" stroke="black"/>')
+        parts.append(f'<text x="{x:.1f}" y="{axis_bottom + 18}" '
+                     f'text-anchor="middle">{_format_tick(tick, logx)}</text>')
+    for tick in _ticks(y_lo, y_hi, logy):
+        y = py(tick)
+        parts.append(f'<line x1="{_MARGIN_LEFT - 5}" y1="{y:.1f}" '
+                     f'x2="{_MARGIN_LEFT}" y2="{y:.1f}" stroke="black"/>')
+        parts.append(f'<text x="{_MARGIN_LEFT - 8}" y="{y + 4:.1f}" '
+                     f'text-anchor="end">{_format_tick(tick, logy)}</text>')
+    if x_label:
+        parts.append(f'<text x="{_MARGIN_LEFT + plot_w / 2}" y="{_HEIGHT - 12}" '
+                     f'text-anchor="middle">{_escape(x_label)}</text>')
+    if y_label:
+        mid_y = _MARGIN_TOP + plot_h / 2
+        parts.append(f'<text x="16" y="{mid_y}" text-anchor="middle" '
+                     f'transform="rotate(-90 16 {mid_y})">{_escape(y_label)}</text>')
+
+    # Series polylines + markers + legend.
+    for index, (name, pts) in enumerate(points.items()):
+        colour = PALETTE[index % len(PALETTE)]
+        ordered = sorted(pts)
+        coords = " ".join(f"{px(x):.1f},{py(y):.1f}" for x, y in ordered)
+        parts.append(f'<polyline points="{coords}" fill="none" '
+                     f'stroke="{colour}" stroke-width="2"/>')
+        for x, y in ordered:
+            parts.append(f'<circle cx="{px(x):.1f}" cy="{py(y):.1f}" r="3.5" '
+                         f'fill="{colour}"/>')
+        legend_y = _MARGIN_TOP + 8 + index * 18
+        legend_x = _MARGIN_LEFT + plot_w - 130
+        parts.append(f'<rect x="{legend_x}" y="{legend_y - 9}" width="12" '
+                     f'height="12" fill="{colour}"/>')
+        parts.append(f'<text x="{legend_x + 18}" y="{legend_y + 2}">'
+                     f'{_escape(name)}</text>')
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def bar_chart_svg(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str = "",
+    value_label: str = "",
+    logscale: bool = False,
+) -> str:
+    """Render labelled values as an SVG horizontal bar chart string."""
+    if len(labels) != len(values) or not labels:
+        raise ValueError("labels and values must be non-empty and equal length")
+    if any(v < 0 for v in values):
+        raise ValueError("bar values must be non-negative")
+
+    if logscale:
+        positive = [v for v in values if v > 0]
+        floor = min(positive) if positive else 1.0
+        lengths = [math.log10(max(v, floor) / floor) + 1.0 if v > 0 else 0.0
+                   for v in values]
+    else:
+        lengths = list(values)
+    peak = max(lengths) or 1.0
+
+    bar_h, gap = 26, 10
+    height = _MARGIN_TOP + len(labels) * (bar_h + gap) + 30
+    label_w = 150
+    plot_w = _WIDTH - label_w - 90
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" '
+        f'height="{height}" font-family="sans-serif" font-size="12">',
+        f'<rect width="{_WIDTH}" height="{height}" fill="white"/>',
+    ]
+    if title:
+        parts.append(f'<text x="{_WIDTH / 2}" y="24" text-anchor="middle" '
+                     f'font-size="15">{_escape(title)}</text>')
+    for index, (label, value, length) in enumerate(zip(labels, values, lengths)):
+        y = _MARGIN_TOP + index * (bar_h + gap)
+        width = max(1.0 if value > 0 else 0.0, length / peak * plot_w)
+        colour = PALETTE[index % len(PALETTE)]
+        parts.append(f'<text x="{label_w - 8}" y="{y + bar_h / 2 + 4}" '
+                     f'text-anchor="end">{_escape(str(label))}</text>')
+        parts.append(f'<rect x="{label_w}" y="{y}" width="{width:.1f}" '
+                     f'height="{bar_h}" fill="{colour}"/>')
+        parts.append(f'<text x="{label_w + width + 6:.1f}" y="{y + bar_h / 2 + 4}">'
+                     f'{value:.4g}{_escape(value_label)}</text>')
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(path: Path | str, svg: str) -> Path:
+    """Write an SVG string to disk (suffix ``.svg`` enforced)."""
+    path = Path(path)
+    if path.suffix != ".svg":
+        path = path.with_suffix(".svg")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(svg)
+    return path

@@ -1,0 +1,312 @@
+"""Command-line interface: run any paper experiment or a quick demo.
+
+Usage examples::
+
+    python -m repro list
+    python -m repro run fig7 --n 4000
+    python -m repro run fig9 --seed 1 --save
+    python -m repro demo
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import sys
+
+import numpy as np
+
+from repro.bench.charts import ascii_bar_chart, ascii_chart
+from repro.bench.experiments import EXPERIMENTS
+from repro.bench.reporting import save_results
+
+
+def _add_run_parser(subparsers: argparse._SubParsersAction) -> None:
+    run = subparsers.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", choices=[*EXPERIMENTS, "all"])
+    run.add_argument("--n", type=int, default=None, help="override workload size")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--p", type=float, default=None, help="override quantile p")
+    run.add_argument("--save", action="store_true", help="save rows under results/")
+    run.add_argument("--svg", action="store_true",
+                     help="also write the figure as results/<name>.svg")
+
+
+def _add_fit_parser(subparsers: argparse._SubParsersAction) -> None:
+    fit = subparsers.add_parser(
+        "fit", help="train a classifier on a CSV dataset and save the model"
+    )
+    fit.add_argument("data", help="CSV file of training points (rows = points)")
+    fit.add_argument("--model", required=True, help="output model path (.tkdc)")
+    fit.add_argument("--p", type=float, default=0.01)
+    fit.add_argument("--epsilon", type=float, default=0.01)
+    fit.add_argument("--kernel", default="gaussian")
+    fit.add_argument("--bandwidth-scale", type=float, default=1.0)
+    fit.add_argument("--seed", type=int, default=0)
+    fit.add_argument("--header", action="store_true", help="CSV has a header row")
+
+
+def _add_classify_parser(subparsers: argparse._SubParsersAction) -> None:
+    classify = subparsers.add_parser(
+        "classify", help="classify a CSV of query points with a saved model"
+    )
+    classify.add_argument("queries", help="CSV file of query points")
+    classify.add_argument("--model", required=True, help="model saved by 'tkdc fit'")
+    classify.add_argument("--output", default=None,
+                          help="write labels CSV here (default: stdout)")
+    classify.add_argument("--header", action="store_true", help="CSV has a header row")
+    classify.add_argument("--densities", action="store_true",
+                          help="also compute eps-precise density estimates")
+
+
+def _add_diagnose_parser(subparsers: argparse._SubParsersAction) -> None:
+    diagnose = subparsers.add_parser(
+        "diagnose", help="per-query cost profile of a saved model on a CSV workload"
+    )
+    diagnose.add_argument("queries", help="CSV file of query points")
+    diagnose.add_argument("--model", required=True, help="model saved by 'tkdc fit'")
+    diagnose.add_argument("--header", action="store_true", help="CSV has a header row")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="tkdc",
+        description="tKDC reproduction: thresholded kernel density classification",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list available experiments")
+    subparsers.add_parser("demo", help="run the 60-second quickstart demo")
+    _add_run_parser(subparsers)
+    _add_fit_parser(subparsers)
+    _add_classify_parser(subparsers)
+    _add_diagnose_parser(subparsers)
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name, fn in EXPERIMENTS.items():
+            summary = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:20s} {summary}")
+        return 0
+    if args.command == "demo":
+        _demo()
+        return 0
+    if args.command == "fit":
+        return _fit(args)
+    if args.command == "classify":
+        return _classify(args)
+    if args.command == "diagnose":
+        return _diagnose(args)
+    return _run(args)
+
+
+def _diagnose(args: argparse.Namespace) -> int:
+    from repro.analysis.diagnostics import profile_queries
+    from repro.io.datasets import import_csv
+    from repro.io.models import load_model
+
+    clf = load_model(args.model)
+    queries = import_csv(args.queries, has_header=args.header)
+    profile = profile_queries(clf, queries)
+    print(profile.summary())
+    print(f"(training set size for reference: {clf.tree.size} kernels "
+          "per exact query)")
+    return 0
+
+
+def _fit(args: argparse.Namespace) -> int:
+    from repro import TKDCClassifier, TKDCConfig
+    from repro.io.datasets import import_csv
+    from repro.io.models import save_model
+
+    data = import_csv(args.data, has_header=args.header)
+    config = TKDCConfig(
+        p=args.p, epsilon=args.epsilon, kernel=args.kernel,
+        bandwidth_scale=args.bandwidth_scale, seed=args.seed,
+    )
+    clf = TKDCClassifier(config).fit(data)
+    path = save_model(args.model, clf)
+    low = int(np.count_nonzero(np.asarray(clf.training_labels_) == 0))
+    print(f"fitted on {data.shape[0]} points (d={data.shape[1]}); "
+          f"threshold t({args.p}) = {clf.threshold.value:.6g}; "
+          f"{low} training points below threshold")
+    print(f"model saved to {path}")
+    return 0
+
+
+def _classify(args: argparse.Namespace) -> int:
+    from repro.io.datasets import import_csv
+    from repro.io.models import load_model
+
+    clf = load_model(args.model)
+    queries = import_csv(args.queries, has_header=args.header)
+    labels = clf.predict(queries)
+    lines = ["label,density"] if args.densities else ["label"]
+    if args.densities:
+        densities = clf.estimate_density(queries)
+        lines += [f"{label},{density:.8g}" for label, density in zip(labels, densities)]
+    else:
+        lines += [str(label) for label in labels]
+    output = "\n".join(lines) + "\n"
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(output)
+        print(f"wrote {queries.shape[0]} labels to {args.output} "
+              f"({int(np.sum(labels == 0))} LOW)")
+    else:
+        print(output, end="")
+    return 0
+
+
+def _run(args: argparse.Namespace) -> int:
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        fn = EXPERIMENTS[name]
+        kwargs: dict[str, object] = {"seed": args.seed, "verbose": True}
+        signature = inspect.signature(fn)
+        if args.n is not None and "n" in signature.parameters:
+            kwargs["n"] = args.n
+        if args.p is not None and "p" in signature.parameters:
+            kwargs["p"] = args.p
+        rows = fn(**kwargs)  # type: ignore[arg-type]
+        chart = _render_chart(name, rows)
+        if chart:
+            print()
+            print(chart)
+        if args.save:
+            path = save_results(name, rows)
+            print(f"saved {len(rows)} rows to {path}")
+        if getattr(args, "svg", False):
+            svg_path = _render_svg(name, rows)
+            if svg_path:
+                print(f"saved figure to {svg_path}")
+    return 0
+
+
+def _render_svg(name: str, rows: list[dict]) -> str | None:
+    """Write the experiment's figure as results/<name>.svg when charted."""
+    from repro.bench.svg import bar_chart_svg, line_chart_svg, save_svg
+
+    if name in ("fig9", "fig10"):
+        series = _sweep_series(rows, "n", "queries_per_s",
+                               skip=lambda row: row["n"] == 0)
+        svg = line_chart_svg(series, title=f"{name}: queries/s vs n",
+                             x_label="n", y_label="queries/s",
+                             logx=True, logy=True)
+    elif name in ("fig11", "fig14"):
+        series = _sweep_series(rows, "d", "queries_per_s")
+        svg = line_chart_svg(series, title=f"{name}: queries/s vs dimension",
+                             x_label="d", y_label="queries/s",
+                             logx=True, logy=True)
+    elif name == "fig13":
+        series = _sweep_series(
+            rows, "radius", "queries_per_s",
+            skip=lambda row: not np.isfinite(float(row["radius"])),
+        )
+        svg = line_chart_svg(series, title="fig13: queries/s vs rkde radius",
+                             x_label="radius (bandwidths)", y_label="queries/s",
+                             logy=True)
+    elif name == "fig15":
+        series = _sweep_series(
+            rows, "p", "queries_per_s",
+            skip=lambda row: not np.isfinite(float(row["p"])),
+        )
+        svg = line_chart_svg(series, title="fig15: queries/s vs quantile p",
+                             x_label="p", y_label="queries/s", logy=True)
+    elif name in ("fig12", "fig16"):
+        svg = bar_chart_svg(
+            [str(row["variant"]) for row in rows],
+            [float(row["points_per_s"]) for row in rows],
+            title=f"{name}: throughput by variant", value_label=" pts/s",
+            logscale=True,
+        )
+    elif name == "fig7":
+        svg = bar_chart_svg(
+            [f"{row['dataset']}-d{row['d']}/{row['algorithm']}" for row in rows],
+            [float(row["throughput"]) for row in rows],
+            title="fig7: amortized throughput", value_label=" pts/s",
+            logscale=True,
+        )
+    else:
+        return None
+    return str(save_svg(f"results/{name}.svg", svg))
+
+
+def _render_chart(name: str, rows: list[dict]) -> str | None:
+    """Draw the experiment's figure as a terminal chart where one exists."""
+    if name in ("fig9", "fig10"):
+        series = _sweep_series(rows, "n", "queries_per_s",
+                               skip=lambda row: row["n"] == 0)
+        return ascii_chart(series, logx=True, logy=True,
+                           title=f"{name}: queries/s vs n (log-log)")
+    if name in ("fig11", "fig14"):
+        series = _sweep_series(rows, "d", "queries_per_s")
+        return ascii_chart(series, logx=True, logy=True,
+                           title=f"{name}: queries/s vs dimension (log-log)")
+    if name == "fig13":
+        series = _sweep_series(
+            rows, "radius", "queries_per_s",
+            skip=lambda row: not np.isfinite(float(row["radius"])),
+        )
+        return ascii_chart(series, logy=True, title="fig13: queries/s vs rkde radius")
+    if name == "fig15":
+        series = _sweep_series(
+            rows, "p", "queries_per_s",
+            skip=lambda row: not np.isfinite(float(row["p"])),
+        )
+        return ascii_chart(series, logy=True, title="fig15: queries/s vs quantile p")
+    if name in ("fig12", "fig16"):
+        labels = [str(row["variant"]) for row in rows]
+        values = [float(row["points_per_s"]) for row in rows]
+        return (
+            f"{name}: throughput by optimization variant (log bars)\n"
+            + ascii_bar_chart(labels, values, logscale=True, unit=" pts/s")
+        )
+    if name == "fig7":
+        labels = [f"{row['dataset']}-d{row['d']}/{row['algorithm']}" for row in rows]
+        values = [float(row["throughput"]) for row in rows]
+        return (
+            "fig7: amortized throughput (log bars)\n"
+            + ascii_bar_chart(labels, values, logscale=True, unit=" pts/s")
+        )
+    return None
+
+
+def _sweep_series(
+    rows: list[dict], x_key: str, y_key: str, skip=None
+) -> dict[str, tuple[list[float], list[float]]]:
+    """Group sweep rows into per-algorithm (xs, ys) series."""
+    series: dict[str, tuple[list[float], list[float]]] = {}
+    for row in rows:
+        name = str(row.get("algorithm", "series"))
+        if name.endswith("loglog_slope"):
+            continue
+        if skip is not None and skip(row):
+            continue
+        xs, ys = series.setdefault(name, ([], []))
+        xs.append(float(row[x_key]))
+        ys.append(float(row[y_key]))
+    return series
+
+
+def _demo() -> None:
+    """Train tKDC on a bimodal sample and print the classified region."""
+    from repro import TKDCClassifier, TKDCConfig
+    from repro.analysis.contours import classification_mask, render_ascii
+    from repro.datasets.generators import make_iris_like
+
+    data = make_iris_like(4000, seed=0)
+    clf = TKDCClassifier(TKDCConfig(p=0.2, seed=0)).fit(data)
+    print(f"threshold t(p=0.2) = {clf.threshold.value:.4g}")
+    print(f"kernel evaluations/query = {clf.stats.kernels_per_query:.1f} "
+          f"(of {data.shape[0]} training points)")
+    xlim = (float(data[:, 0].min()) - 0.3, float(data[:, 0].max()) + 0.3)
+    ylim = (float(data[:, 1].min()) - 0.3, float(data[:, 1].max()) + 0.3)
+    __, __, mask = classification_mask(clf.classify, xlim, ylim, 48, 24)
+    print(render_ascii(mask))
+    low = int(np.count_nonzero(np.asarray(clf.training_labels_) == 0))
+    print(f"{low}/{data.shape[0]} training points classified LOW (target p=0.2)")
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

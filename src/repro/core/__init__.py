@@ -1,0 +1,34 @@
+"""tKDC core: threshold-pruned kernel density classification.
+
+This package implements the paper's primary contribution:
+
+- :mod:`repro.core.bounds` — Algorithm 2, priority-queue density bounding
+  over the k-d tree with threshold and tolerance pruning rules;
+- :mod:`repro.core.threshold` — Algorithm 3, the bootstrapped quantile
+  threshold estimator;
+- :mod:`repro.core.classifier` — Algorithm 1, the end-to-end
+  :class:`~repro.core.classifier.TKDCClassifier`;
+- :mod:`repro.core.grid` — the Section 3.7 hypergrid cache for dense
+  inliers;
+- :mod:`repro.core.config` / :mod:`repro.core.stats` — configuration and
+  instrumentation.
+"""
+
+from repro.core.bands import BandClassifier
+from repro.core.classifier import TKDCClassifier
+from repro.core.config import TKDCConfig
+from repro.core.dualtree import dual_tree_classify
+from repro.core.incremental import IncrementalTKDC
+from repro.core.result import Label, ThresholdEstimate
+from repro.core.stats import TraversalStats
+
+__all__ = [
+    "TKDCClassifier",
+    "TKDCConfig",
+    "Label",
+    "ThresholdEstimate",
+    "TraversalStats",
+    "BandClassifier",
+    "dual_tree_classify",
+    "IncrementalTKDC",
+]

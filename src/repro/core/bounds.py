@@ -1,0 +1,189 @@
+"""Algorithm 2: priority-queue density bounding over the k-d tree.
+
+Maintains a running interval ``[f_l, f_u]`` that always contains the true
+kernel density ``f(x_q)``. Tree nodes in the frontier each contribute
+``count/n * K(d_max^2)`` to the lower bound and ``count/n * K(d_min^2)``
+to the upper bound (Equation 7). Iteratively replacing the frontier node
+with the largest bound discrepancy by its children (or its exact leaf
+sum) tightens the interval until a pruning rule fires or the tree is
+exhausted — at which point the interval has collapsed to the exact
+density.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pruning import PruneOutcome, check_rules
+from repro.core.stats import TraversalStats
+from repro.index.boxes import box_kernel_bounds, min_sq_dist
+from repro.index.kdtree import KDTree, Node
+from repro.kernels.base import Kernel
+
+#: Frontier orderings. "discrepancy" is the paper's rule (Section 3.4):
+#: expand the node whose bounds are loosest. The others exist for the
+#: priority-ordering ablation bench.
+PRIORITY_ORDERS = ("discrepancy", "nearest", "fifo", "lifo")
+
+
+@dataclass(frozen=True)
+class BoundResult:
+    """Outcome of one density-bounding traversal."""
+
+    lower: float
+    upper: float
+    outcome: PruneOutcome | None  # None means the tree was exhausted
+
+    @property
+    def midpoint(self) -> float:
+        return 0.5 * (self.lower + self.upper)
+
+
+def _node_bounds(
+    node: Node, query: np.ndarray, kernel: Kernel, inv_n: float
+) -> tuple[float, float]:
+    """(lower, upper) density contribution of a k-d node's points (Eq. 6).
+
+    Thin alias over :func:`repro.index.boxes.box_kernel_bounds`, kept
+    for callers that are explicitly box-based (the nocut baseline).
+    """
+    return box_kernel_bounds(node.lo, node.hi, node.count, query, kernel, inv_n)
+
+
+def bound_density(
+    tree: KDTree,
+    kernel: Kernel,
+    query: np.ndarray,
+    t_lower: float,
+    t_upper: float,
+    epsilon: float,
+    stats: TraversalStats,
+    use_threshold_rule: bool = True,
+    use_tolerance_rule: bool = True,
+    priority: str = "discrepancy",
+    tolerance_reference: float | None = None,
+    threshold_shift: float = 0.0,
+) -> BoundResult:
+    """Bound the kernel density of one query point (paper Algorithm 2).
+
+    Parameters
+    ----------
+    tree:
+        Spatial index built over *bandwidth-scaled* training
+        coordinates — a :class:`~repro.index.kdtree.KDTree` or any
+        index exposing the same surface (``size``, ``root``,
+        ``leaf_points``, ``node_bounds``), e.g.
+        :class:`~repro.index.balltree.BallTree`. The "nearest" priority
+        requires box nodes.
+    kernel:
+        The kernel the tree's densities are measured under.
+    query:
+        One query point in bandwidth-scaled space, shape ``(d,)``.
+    t_lower, t_upper:
+        Current bounds on the classification threshold ``t(p)``. Pass the
+        same value for both once a point estimate is available
+        (Algorithm 1 does exactly that at classification time).
+    epsilon:
+        The multiplicative tolerance from Problem 1.
+    stats:
+        Counter sink; mutated in place.
+    use_threshold_rule, use_tolerance_rule:
+        Pruning-rule toggles (the Figure 12/16 ablations).
+    priority:
+        Frontier ordering; see :data:`PRIORITY_ORDERS`.
+    tolerance_reference:
+        Optional anchor for the tolerance rule's width target
+        (``epsilon * tolerance_reference`` instead of
+        ``epsilon * t_lower``).
+    threshold_shift:
+        Post-margin additive offset to the threshold rule's edges.
+        Together with ``tolerance_reference`` this expresses pruning in
+        self-contribution-corrected space when scoring training points;
+        see :func:`repro.core.pruning.threshold_rule`.
+
+    Returns
+    -------
+    A :class:`BoundResult` whose interval is guaranteed to contain the
+    exact density ``f(query)``.
+    """
+    if t_lower > t_upper:
+        raise ValueError(f"t_lower {t_lower} exceeds t_upper {t_upper}")
+    if priority not in PRIORITY_ORDERS:
+        raise ValueError(f"unknown priority {priority!r}; choose from {PRIORITY_ORDERS}")
+
+    query = np.asarray(query, dtype=np.float64)
+    inv_n = 1.0 / tree.size
+    counter = itertools.count()
+    stats.queries += 1
+
+    def rank(node: Node, lower: float, upper: float) -> float:
+        if priority == "discrepancy":
+            return -(upper - lower)  # biggest improvement potential first
+        if priority == "nearest":
+            return min_sq_dist(query, node.lo, node.hi)
+        if priority == "fifo":
+            return 0.0  # seq tie-breaker makes this insertion order
+        return -float(next(counter))  # lifo: most recent first
+
+    node_bounds = tree.node_bounds  # index-family dispatch (k-d or ball)
+    root_lower, root_upper = node_bounds(tree.root, query, kernel, inv_n)
+    f_lower, f_upper = root_lower, root_upper
+    frontier: list[tuple[float, int, Node, float, float]] = []
+    heapq.heappush(
+        frontier, (rank(tree.root, root_lower, root_upper), next(counter), tree.root,
+                   root_lower, root_upper)
+    )
+
+    while frontier:
+        outcome = check_rules(
+            f_lower, f_upper, t_lower, t_upper, epsilon,
+            use_threshold_rule=use_threshold_rule,
+            use_tolerance_rule=use_tolerance_rule,
+            tolerance_reference=tolerance_reference,
+            threshold_shift=threshold_shift,
+        )
+        if outcome is not None:
+            _record_outcome(stats, outcome)
+            return BoundResult(f_lower, f_upper, outcome)
+
+        __, __, node, node_lower, node_upper = heapq.heappop(frontier)
+        f_lower -= node_lower
+        f_upper -= node_upper
+
+        if node.is_leaf:
+            points = tree.leaf_points(node)
+            exact = kernel.sum_at(points, query) * inv_n
+            stats.kernel_evaluations += node.count
+            f_lower += exact
+            f_upper += exact
+        else:
+            stats.node_expansions += 1
+            for child in node.children():
+                child_lower, child_upper = node_bounds(child, query, kernel, inv_n)
+                f_lower += child_lower
+                f_upper += child_upper
+                if child_upper - child_lower > 0.0:
+                    heapq.heappush(
+                        frontier,
+                        (rank(child, child_lower, child_upper), next(counter), child,
+                         child_lower, child_upper),
+                    )
+
+    # Tree exhausted: the interval has collapsed to the exact density
+    # (up to floating-point accumulation).
+    stats.exhausted += 1
+    f_lower, f_upper = min(f_lower, f_upper), max(f_lower, f_upper)
+    return BoundResult(f_lower, f_upper, None)
+
+
+def _record_outcome(stats: TraversalStats, outcome: PruneOutcome) -> None:
+    if outcome is PruneOutcome.THRESHOLD_HIGH:
+        stats.threshold_prunes_high += 1
+    elif outcome is PruneOutcome.THRESHOLD_LOW:
+        stats.threshold_prunes_low += 1
+    else:
+        stats.tolerance_prunes += 1

@@ -1,0 +1,344 @@
+"""Algorithm 1: the end-to-end tKDC classifier.
+
+``fit`` builds the spatial index, bootstraps probabilistic threshold
+bounds (Algorithm 3), scores every training point with those bounds, and
+refines the working threshold to the exact ``p``-quantile of the bounded
+training densities. ``classify`` then answers queries by bounding each
+query's density against the refined threshold, short-circuiting via the
+grid cache and the pruning rules.
+
+Example
+-------
+>>> import numpy as np
+>>> from repro import TKDCClassifier, TKDCConfig
+>>> rng = np.random.default_rng(0)
+>>> train = rng.normal(size=(2000, 2))
+>>> clf = TKDCClassifier(TKDCConfig(p=0.05)).fit(train)
+>>> labels = clf.classify(np.array([[0.0, 0.0], [6.0, 6.0]]))
+>>> [label.name for label in labels]
+['HIGH', 'LOW']
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bounds import BoundResult, bound_density
+from repro.core.config import TKDCConfig
+from repro.core.grid import GridCache
+from repro.core.result import DensityBounds, Label, ThresholdEstimate
+from repro.core.stats import TraversalStats
+from repro.core.threshold import bootstrap_threshold_bounds
+from repro.index.kdtree import KDTree
+from repro.kernels.base import Kernel
+from repro.kernels.factory import kernel_for_data
+from repro.quantile.order_stats import quantile_of_sorted
+from repro.validation import as_finite_matrix
+
+
+class NotFittedError(RuntimeError):
+    """Raised when a classifier method requires a prior ``fit`` call."""
+
+
+class TKDCClassifier:
+    """Thresholded kernel density classification (the paper's tKDC).
+
+    Parameters
+    ----------
+    config:
+        A :class:`~repro.core.config.TKDCConfig`; defaults reproduce the
+        paper's Table 1 settings (``p = eps = delta = 0.01``).
+
+    Attributes (populated by :meth:`fit`)
+    -------------------------------------
+    threshold:
+        The :class:`~repro.core.result.ThresholdEstimate` for ``t(p)``.
+    training_scores_:
+        Self-contribution-corrected density estimates for every training
+        point (coarse for points far from the threshold, ``eps``-precise
+        near it — exactly the guarantee classification needs).
+    training_labels_:
+        HIGH/LOW labels for the training points, as used by the paper's
+        outlier-detection workload.
+    stats:
+        :class:`~repro.core.stats.TraversalStats` accumulated over all
+        work done so far (training and queries).
+    """
+
+    def __init__(self, config: TKDCConfig | None = None) -> None:
+        self.config = config or TKDCConfig()
+        self._kernel: Kernel | None = None
+        self._tree: KDTree | None = None
+        self._grid: GridCache | None = None
+        self._threshold: ThresholdEstimate | None = None
+        self._stats = TraversalStats()
+        self.training_scores_: np.ndarray | None = None
+        self.training_labels_: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+
+    def fit(self, data: np.ndarray) -> "TKDCClassifier":
+        """Train on ``data``: index, threshold bootstrap, full scoring pass."""
+        data = as_finite_matrix(data, "training data")
+        n = data.shape[0]
+        if n < 2:
+            raise ValueError(f"need at least 2 training points, got {n}")
+        config = self.config
+        rng = np.random.default_rng(config.seed)
+
+        self._kernel = self._make_kernel(data)
+        scaled = self._kernel.scale(data)
+        self._tree = KDTree(
+            scaled, leaf_size=config.leaf_size, split_rule=config.split_rule
+        )
+
+        bootstrap = bootstrap_threshold_bounds(
+            data,
+            make_kernel=self._make_kernel,
+            config=config,
+            stats=self._stats,
+            rng=rng,
+            full_tree=self._tree,
+            full_kernel=self._kernel,
+        )
+        t_lower, t_upper = bootstrap.lower, bootstrap.upper
+
+        self._grid = None
+        if config.use_grid and data.shape[1] <= config.grid_max_dim:
+            self._grid = GridCache(scaled, self._kernel)
+
+        if config.refine_threshold:
+            scores = self._score_training_points(scaled, t_lower, t_upper)
+            refined = quantile_of_sorted(np.sort(scores), config.p)
+            # Section 3.6: the bootstrap's bounds are probabilistic — with
+            # probability delta they miss the true threshold, detectable
+            # because the refined quantile escapes the bracket. Back the
+            # escaped side off and re-score once (the scoring pass is
+            # cheap relative to silently classifying against a bad t).
+            if not t_lower <= refined <= t_upper:
+                self._stats.extras["threshold_rescores"] = (
+                    self._stats.extras.get("threshold_rescores", 0.0) + 1.0
+                )
+                if refined < t_lower:
+                    t_lower = refined / config.h_backoff
+                else:
+                    t_upper = refined * config.h_backoff
+                scores = self._score_training_points(scaled, t_lower, t_upper)
+                refined = quantile_of_sorted(np.sort(scores), config.p)
+            self._threshold = ThresholdEstimate(
+                value=refined,
+                lower=min(t_lower, refined),
+                upper=max(t_upper, refined),
+                p=config.p,
+            )
+            self.training_scores_ = scores
+            self.training_labels_ = np.where(scores > refined, Label.HIGH, Label.LOW)
+        else:
+            self._threshold = ThresholdEstimate(
+                value=0.5 * (t_lower + t_upper), lower=t_lower, upper=t_upper, p=config.p
+            )
+            self.training_scores_ = None
+            self.training_labels_ = None
+        return self
+
+    def _make_kernel(self, data: np.ndarray) -> Kernel:
+        return kernel_for_data(
+            data,
+            name=self.config.kernel,
+            scale=self.config.bandwidth_scale,
+            normalize=self.config.normalize_densities,
+        )
+
+    def _score_training_points(
+        self, scaled: np.ndarray, t_lower: float, t_upper: float
+    ) -> np.ndarray:
+        """Bound every training point's density (Algorithm 1's Dx loop).
+
+        The threshold bounds live in *self-contribution-corrected*
+        density space (Equation 1 subtracts ``K(0)/n``), while the
+        traversal bounds raw densities. Pruning therefore compares raw
+        bounds against the threshold bounds shifted up by the
+        self-contribution, with the tolerance width still anchored at
+        the unshifted ``eps * t_l`` — otherwise, on datasets where
+        ``K(0)/n`` rivals ``t(p)`` (isolated heavy-tail outliers), the
+        coarse pruned scores scramble ranks across the threshold and
+        corrupt the refined quantile.
+        """
+        assert self._tree is not None and self._kernel is not None
+        config = self.config
+        n = scaled.shape[0]
+        self_contribution = self._kernel.max_value / n
+        scores = np.empty(n)
+        for i in range(n):
+            query = scaled[i]
+            if self._grid is not None:
+                # The grid shortcut must likewise clear the threshold
+                # *after* the self-contribution correction.
+                grid_score = self._grid.density_lower_bound(query) - self_contribution
+                if grid_score > t_upper * (1.0 + config.epsilon):
+                    self._stats.grid_hits += 1
+                    scores[i] = grid_score
+                    continue
+            result = bound_density(
+                self._tree, self._kernel, query, t_lower, t_upper,
+                config.epsilon, self._stats,
+                use_threshold_rule=config.use_threshold_rule,
+                use_tolerance_rule=config.use_tolerance_rule,
+                threshold_shift=self_contribution,
+            )
+            scores[i] = result.midpoint - self_contribution
+        return scores
+
+    # ------------------------------------------------------------------
+    # Classification
+    # ------------------------------------------------------------------
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._threshold is not None
+
+    @property
+    def threshold(self) -> ThresholdEstimate:
+        """The estimated classification threshold ``t(p)``."""
+        self._require_fitted()
+        assert self._threshold is not None
+        return self._threshold
+
+    @property
+    def kernel(self) -> Kernel:
+        """The fitted kernel (Scott's-rule bandwidth on the training data)."""
+        self._require_fitted()
+        assert self._kernel is not None
+        return self._kernel
+
+    @property
+    def tree(self) -> KDTree:
+        """The k-d tree over bandwidth-scaled training points."""
+        self._require_fitted()
+        assert self._tree is not None
+        return self._tree
+
+    @property
+    def stats(self) -> TraversalStats:
+        """Work counters accumulated across training and queries."""
+        return self._stats
+
+    def classify(self, queries: np.ndarray) -> np.ndarray:
+        """Classify query points as HIGH/LOW density (paper Algorithm 1).
+
+        Returns an array of :class:`~repro.core.result.Label`. Points
+        whose exact density lies within ``±eps * t(p)`` of the threshold
+        may receive either label (Problem 1's approximate semantics).
+        """
+        self._require_fitted()
+        queries = self._as_query_matrix(queries)
+        scaled = self.kernel.scale(queries)
+        threshold = self.threshold.value
+        labels = np.empty(queries.shape[0], dtype=object)
+        for i in range(queries.shape[0]):
+            labels[i] = self._classify_scaled(scaled[i], threshold)
+        return labels
+
+    def _classify_scaled(self, query: np.ndarray, threshold: float) -> Label:
+        config = self.config
+        if self._grid is not None and self._grid.is_certain_inlier(
+            query, threshold, config.epsilon
+        ):
+            self._stats.grid_hits += 1
+            return Label.HIGH
+        result = bound_density(
+            self.tree, self.kernel, query, threshold, threshold, config.epsilon,
+            self._stats,
+            use_threshold_rule=config.use_threshold_rule,
+            use_tolerance_rule=config.use_tolerance_rule,
+        )
+        return Label.HIGH if result.midpoint > threshold else Label.LOW
+
+    def classify_batch(self, queries: np.ndarray) -> np.ndarray:
+        """Classify a batch of queries with dual-tree block sharing.
+
+        Builds a second k-d tree over the queries so spatially close
+        queries share their traversal work (see
+        :mod:`repro.core.dualtree`). Same ``±eps * t`` guarantee as
+        :meth:`classify`; much faster when the batch is spatially
+        coherent (e.g. classifying a grid of the plane for region
+        visualization).
+        """
+        from repro.core.dualtree import dual_tree_classify
+
+        self._require_fitted()
+        queries = self._as_query_matrix(queries)
+        return dual_tree_classify(
+            self.tree, self.kernel, self.kernel.scale(queries),
+            self.threshold.value, self.config.epsilon, self._stats,
+        )
+
+    def predict(self, queries: np.ndarray) -> np.ndarray:
+        """Like :meth:`classify` but returning a plain int array (1 = HIGH)."""
+        return np.array([int(label) for label in self.classify(queries)], dtype=np.int64)
+
+    def decision_bounds(self, queries: np.ndarray) -> list[DensityBounds]:
+        """The density intervals classification would act on.
+
+        Coarse away from the threshold (the pruning rules stop early),
+        ``eps * t``-tight near it.
+        """
+        self._require_fitted()
+        queries = self._as_query_matrix(queries)
+        scaled = self.kernel.scale(queries)
+        threshold = self.threshold.value
+        results: list[DensityBounds] = []
+        for i in range(queries.shape[0]):
+            bounds = bound_density(
+                self.tree, self.kernel, scaled[i], threshold, threshold,
+                self.config.epsilon, self._stats,
+                use_threshold_rule=self.config.use_threshold_rule,
+                use_tolerance_rule=self.config.use_tolerance_rule,
+            )
+            results.append(DensityBounds(bounds.lower, bounds.upper))
+        return results
+
+    def estimate_density(self, queries: np.ndarray) -> np.ndarray:
+        """``eps * t``-precise density estimates (tolerance rule only).
+
+        Unlike :meth:`classify`, this disables the threshold rule so the
+        returned values are uniformly precise — the mode downstream
+        statistical use cases (p-values, likelihood ratios) need.
+        """
+        self._require_fitted()
+        queries = self._as_query_matrix(queries)
+        scaled = self.kernel.scale(queries)
+        threshold = self.threshold.value
+        densities = np.empty(queries.shape[0])
+        for i in range(queries.shape[0]):
+            result = bound_density(
+                self.tree, self.kernel, scaled[i], threshold, threshold,
+                self.config.epsilon, self._stats,
+                use_threshold_rule=False,
+                use_tolerance_rule=True,
+            )
+            densities[i] = result.midpoint
+        return densities
+
+    def _as_query_matrix(self, queries: np.ndarray) -> np.ndarray:
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if queries.size == 0:
+            # An empty batch is a valid no-op query.
+            return queries.reshape(0, self.kernel.dim)
+        queries = as_finite_matrix(queries, "queries")
+        if queries.shape[1] != self.kernel.dim:
+            raise ValueError(
+                f"query dimensionality {queries.shape[1]} does not match the "
+                f"training dimensionality {self.kernel.dim}"
+            )
+        return queries
+
+    def _require_fitted(self) -> None:
+        if self._threshold is None:
+            raise NotFittedError("this TKDCClassifier has not been fitted; call fit() first")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "fitted" if self.is_fitted else "unfitted"
+        return f"TKDCClassifier(p={self.config.p}, eps={self.config.epsilon}, {state})"

@@ -1,0 +1,119 @@
+"""Configuration for the tKDC classifier (paper Table 1 plus Section 3.5/3.7
+tuning constants).
+
+Defaults follow the paper exactly: ``p = 0.01``, ``delta = 0.01``,
+``epsilon = 0.01``, bandwidth factor ``b = 1``, bootstrap constants
+``r0 = 200``, ``s0 = 20000``, ``h_backoff = 4``, ``h_buffer = 1.5``,
+``h_growth = 4``, grid enabled for ``d <= 4``, trimmed-midpoint splits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.kernels.factory import KERNELS
+
+
+@dataclass(frozen=True)
+class TKDCConfig:
+    """All knobs for :class:`repro.core.classifier.TKDCClassifier`.
+
+    Attributes
+    ----------
+    p:
+        Classification quantile: the fraction of the data expected below
+        the threshold ``t(p)`` (paper Table 1, default 0.01).
+    epsilon:
+        Multiplicative classification tolerance: behaviour is undefined
+        only for densities within ``±epsilon * t(p)`` of the threshold.
+    delta:
+        Acceptable failure probability for the sampled threshold bounds.
+    bandwidth_scale:
+        The paper's factor ``b`` multiplying Scott's-rule bandwidths.
+    kernel:
+        Kernel family name: ``"gaussian"`` (paper default),
+        ``"epanechnikov"``, ``"uniform"``, ``"biweight"``, or
+        ``"triweight"``.
+    use_threshold_rule / use_tolerance_rule / use_grid:
+        Pruning-rule toggles; disabling them reproduces the paper's
+        factor/lesion analyses (Figures 12 and 16).
+    grid_max_dim:
+        The grid cache is disabled above this dimensionality (paper
+        Section 3.7 disables it for ``d > 4``).
+    split_rule:
+        k-d tree split rule: ``"trimmed_midpoint"`` (the paper's
+        equi-width rule) or ``"median"``.
+    leaf_size:
+        Maximum k-d tree leaf size.
+    bootstrap_r0 / bootstrap_s0:
+        Initial training-subsample and query-sample sizes for the
+        threshold bootstrap (Algorithm 3). Both are clamped to the
+        dataset size at fit time.
+    h_backoff / h_buffer / h_growth:
+        Algorithm 3's multiplicative constants: how aggressively invalid
+        threshold bounds are widened, how much slack valid bounds get
+        when carried to a larger training subsample, and how fast the
+        training subsample grows.
+    normalize_densities:
+        When False, densities are left unnormalized (constant factor 1);
+        needed above ~200 dimensions where the Gaussian constant
+        underflows float64. Classification results are unaffected.
+    refine_threshold:
+        When True (Algorithm 1's default behaviour) fit() scores every
+        training point and re-derives the threshold from the exact
+        p-quantile of those bounded densities; when False the bootstrap's
+        probabilistic bounds are used directly (cheaper, slightly looser).
+    seed:
+        Seed for the bootstrap's subsampling RNG. Classification itself
+        is deterministic (paper Section 2.3).
+    """
+
+    p: float = 0.01
+    epsilon: float = 0.01
+    delta: float = 0.01
+    bandwidth_scale: float = 1.0
+    kernel: str = "gaussian"
+    use_threshold_rule: bool = True
+    use_tolerance_rule: bool = True
+    use_grid: bool = True
+    grid_max_dim: int = 4
+    split_rule: str = "trimmed_midpoint"
+    leaf_size: int = 32
+    bootstrap_r0: int = 200
+    bootstrap_s0: int = 20000
+    h_backoff: float = 4.0
+    h_buffer: float = 1.5
+    h_growth: float = 4.0
+    normalize_densities: bool = True
+    refine_threshold: bool = True
+    seed: int | None = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.p < 1.0:
+            raise ValueError(f"p must be in (0, 1), got {self.p}")
+        if self.epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {self.epsilon}")
+        if not 0.0 < self.delta < 1.0:
+            raise ValueError(f"delta must be in (0, 1), got {self.delta}")
+        if self.bandwidth_scale <= 0:
+            raise ValueError(f"bandwidth_scale must be positive, got {self.bandwidth_scale}")
+        if self.kernel not in KERNELS:
+            raise ValueError(
+                f"unknown kernel {self.kernel!r}; choose from {sorted(KERNELS)}"
+            )
+        if self.leaf_size < 1:
+            raise ValueError(f"leaf_size must be >= 1, got {self.leaf_size}")
+        if self.bootstrap_r0 < 2:
+            raise ValueError(f"bootstrap_r0 must be >= 2, got {self.bootstrap_r0}")
+        if self.bootstrap_s0 < 2:
+            raise ValueError(f"bootstrap_s0 must be >= 2, got {self.bootstrap_s0}")
+        if self.h_backoff <= 1.0:
+            raise ValueError(f"h_backoff must exceed 1, got {self.h_backoff}")
+        if self.h_buffer < 1.0:
+            raise ValueError(f"h_buffer must be >= 1, got {self.h_buffer}")
+        if self.h_growth <= 1.0:
+            raise ValueError(f"h_growth must exceed 1, got {self.h_growth}")
+
+    def with_updates(self, **changes: object) -> "TKDCConfig":
+        """Return a copy of this config with the given fields replaced."""
+        return replace(self, **changes)  # type: ignore[arg-type]

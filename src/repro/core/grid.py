@@ -1,0 +1,84 @@
+"""Hypergrid cache for short-circuiting obvious inliers (paper Section 3.7).
+
+Once a lower bound ``t_l`` on the threshold is known, a single pass over
+the dataset counts points per cell of a bandwidth-width grid. Any query
+sharing a cell with ``c`` points has density at least
+``c/n * K_H(d_diag)`` — every co-resident point is within one cell
+diagonal — so when that bound already clears the HIGH side of the
+threshold rule, no tree traversal is needed at all.
+
+The cache's usefulness decays exponentially with dimension (cells go
+empty), so it is disabled above ``grid_max_dim`` (the paper uses 4).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.kernels.base import Kernel
+
+
+class GridCache:
+    """Per-cell point counts over bandwidth-scaled coordinates.
+
+    Parameters
+    ----------
+    scaled_points:
+        Training points in bandwidth-scaled space, shape ``(n, d)``. In
+        this space the paper's "grid dimensions equal to the bandwidth"
+        means unit cells.
+    kernel:
+        The kernel densities are measured under.
+    cell_width:
+        Cell edge length in scaled space (1.0 = one bandwidth, the
+        paper's default).
+    """
+
+    def __init__(
+        self,
+        scaled_points: np.ndarray,
+        kernel: Kernel,
+        cell_width: float = 1.0,
+    ) -> None:
+        if cell_width <= 0:
+            raise ValueError(f"cell_width must be positive, got {cell_width}")
+        scaled_points = np.atleast_2d(np.asarray(scaled_points, dtype=np.float64))
+        self._n = scaled_points.shape[0]
+        self._dim = scaled_points.shape[1]
+        self._cell_width = cell_width
+        self._kernel = kernel
+        # Two points in the same cell differ by < cell_width per axis, so
+        # their squared scaled distance is < d * cell_width^2.
+        self._min_kernel_value = float(kernel.value(self._dim * cell_width * cell_width))
+        cells = np.floor(scaled_points / cell_width).astype(np.int64)
+        self._counts: Counter[tuple[int, ...]] = Counter(map(tuple, cells))
+
+    @property
+    def n_cells(self) -> int:
+        """Number of occupied grid cells."""
+        return len(self._counts)
+
+    @property
+    def cell_width(self) -> float:
+        return self._cell_width
+
+    def cell_count(self, scaled_query: np.ndarray) -> int:
+        """Number of training points sharing the query's cell."""
+        key = tuple(np.floor(np.asarray(scaled_query) / self._cell_width).astype(np.int64))
+        return self._counts.get(key, 0)
+
+    def density_lower_bound(self, scaled_query: np.ndarray) -> float:
+        """A conservative lower bound on the query's kernel density."""
+        return self.cell_count(scaled_query) / self._n * self._min_kernel_value
+
+    def is_certain_inlier(
+        self, scaled_query: np.ndarray, t_upper: float, epsilon: float
+    ) -> bool:
+        """True when the grid alone proves the query is HIGH.
+
+        Uses the same margin as the threshold rule, so grid-classified
+        points satisfy the identical accuracy guarantee.
+        """
+        return self.density_lower_bound(scaled_query) > t_upper * (1.0 + epsilon)

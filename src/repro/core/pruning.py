@@ -1,0 +1,95 @@
+"""The two pruning rules that short-circuit density computation.
+
+Paper Section 3.3:
+
+- **Threshold rule** (Equation 9, the key contribution): stop as soon as
+  the density interval provably lies on one side of the threshold —
+  ``f_l > t_u (1 + eps)`` classifies HIGH, ``f_u < t_l (1 - eps)``
+  classifies LOW.
+- **Tolerance rule** (Equation 8, from Gray & Moore): stop once the
+  interval is narrower than ``eps * t_l`` — the estimate is as precise
+  as approximate classification requires.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class PruneOutcome(Enum):
+    """Why a density-bounding traversal stopped early."""
+
+    THRESHOLD_HIGH = "threshold_high"
+    THRESHOLD_LOW = "threshold_low"
+    TOLERANCE = "tolerance"
+
+
+def threshold_rule(
+    f_lower: float,
+    f_upper: float,
+    t_lower: float,
+    t_upper: float,
+    epsilon: float,
+    shift: float = 0.0,
+) -> PruneOutcome | None:
+    """Equation 9: classify immediately if the bounds clear the threshold.
+
+    ``shift`` is an additive offset applied to the rule edges *after*
+    the epsilon margin. When scoring training points, the threshold
+    bounds live in self-contribution-corrected space while ``f`` bounds
+    raw densities: the corrected-space rule ``f - sc > t_u (1 + eps)``
+    becomes ``f > t_u (1 + eps) + sc``, i.e. ``shift = sc``. Folding the
+    shift into the bounds *before* the multiplication instead would
+    inflate the margin to ``eps * (t + sc)`` — catastrophic in high
+    dimensions where ``K(0)/n`` dwarfs ``t``.
+    """
+    if f_lower > t_upper * (1.0 + epsilon) + shift:
+        return PruneOutcome.THRESHOLD_HIGH
+    if f_upper < t_lower * (1.0 - epsilon) + shift:
+        return PruneOutcome.THRESHOLD_LOW
+    return None
+
+
+def tolerance_rule(
+    f_lower: float,
+    f_upper: float,
+    tolerance_width: float,
+) -> PruneOutcome | None:
+    """Equation 8: stop once the interval is within ``eps * t_l``.
+
+    ``tolerance_width`` is the absolute target width (``eps * t_l``).
+    """
+    if f_upper - f_lower < tolerance_width:
+        return PruneOutcome.TOLERANCE
+    return None
+
+
+def check_rules(
+    f_lower: float,
+    f_upper: float,
+    t_lower: float,
+    t_upper: float,
+    epsilon: float,
+    use_threshold_rule: bool = True,
+    use_tolerance_rule: bool = True,
+    tolerance_reference: float | None = None,
+    threshold_shift: float = 0.0,
+) -> PruneOutcome | None:
+    """Evaluate both rules in the paper's order (threshold first).
+
+    ``tolerance_reference`` lets callers anchor the tolerance width at a
+    threshold different from ``t_lower``, and ``threshold_shift`` adds a
+    post-margin offset to the threshold rule's edges — together they
+    express the self-contribution-corrected pruning the training scoring
+    pass needs (see :func:`threshold_rule`).
+    """
+    if use_threshold_rule:
+        outcome = threshold_rule(
+            f_lower, f_upper, t_lower, t_upper, epsilon, shift=threshold_shift
+        )
+        if outcome is not None:
+            return outcome
+    if use_tolerance_rule:
+        reference = t_lower if tolerance_reference is None else tolerance_reference
+        return tolerance_rule(f_lower, f_upper, epsilon * reference)
+    return None

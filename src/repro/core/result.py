@@ -1,0 +1,55 @@
+"""Result types shared across the tKDC core."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+
+class Label(IntEnum):
+    """Density classification outcome (paper Problem 1)."""
+
+    LOW = 0
+    HIGH = 1
+
+
+@dataclass(frozen=True)
+class DensityBounds:
+    """Deterministic lower/upper bounds on a kernel density value."""
+
+    lower: float
+    upper: float
+
+    @property
+    def midpoint(self) -> float:
+        return 0.5 * (self.lower + self.upper)
+
+    @property
+    def width(self) -> float:
+        return self.upper - self.lower
+
+    def __post_init__(self) -> None:
+        if self.lower > self.upper + 1e-12:
+            raise ValueError(f"lower bound {self.lower} exceeds upper bound {self.upper}")
+
+
+@dataclass(frozen=True)
+class ThresholdEstimate:
+    """A bracketed estimate of the quantile threshold ``t(p)``.
+
+    ``lower``/``upper`` bracket the true threshold with probability at
+    least ``1 - delta`` (paper Section 3.5); ``value`` is the working
+    point estimate used for classification.
+    """
+
+    value: float
+    lower: float
+    upper: float
+    p: float
+
+    def __post_init__(self) -> None:
+        if not self.lower <= self.value <= self.upper:
+            raise ValueError(
+                f"threshold estimate {self.value} outside its bounds "
+                f"[{self.lower}, {self.upper}]"
+            )

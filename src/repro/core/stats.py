@@ -1,0 +1,87 @@
+"""Instrumentation counters for tKDC traversals.
+
+The paper's factor and lesion analyses (Figures 12 and 16) report both
+throughput and *kernel evaluations per query* — the latter is a
+machine-independent cost proxy, so every traversal in this repository
+counts its work through a :class:`TraversalStats` instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TraversalStats:
+    """Mutable counters accumulated across density-bounding traversals."""
+
+    #: Individual kernel evaluations against training points (leaf work).
+    kernel_evaluations: int = 0
+    #: Internal nodes expanded (popped and replaced by their children).
+    node_expansions: int = 0
+    #: Queries answered (one BoundDensity call each).
+    queries: int = 0
+    #: Queries short-circuited by the grid cache before any traversal.
+    grid_hits: int = 0
+    #: Traversals stopped by the threshold rule (density provably high).
+    threshold_prunes_high: int = 0
+    #: Traversals stopped by the threshold rule (density provably low).
+    threshold_prunes_low: int = 0
+    #: Traversals stopped by the tolerance rule.
+    tolerance_prunes: int = 0
+    #: Traversals that exhausted the tree (every leaf evaluated exactly).
+    exhausted: int = 0
+    #: Extra bookkeeping for composite experiments.
+    extras: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def kernels_per_query(self) -> float:
+        """Average kernel evaluations per query (the Figure 12/16 metric)."""
+        if self.queries == 0:
+            return 0.0
+        return self.kernel_evaluations / self.queries
+
+    @property
+    def prunes(self) -> int:
+        """Total traversals ended by any pruning rule."""
+        return self.threshold_prunes_high + self.threshold_prunes_low + self.tolerance_prunes
+
+    def merge(self, other: "TraversalStats") -> None:
+        """Accumulate another stats object into this one."""
+        self.kernel_evaluations += other.kernel_evaluations
+        self.node_expansions += other.node_expansions
+        self.queries += other.queries
+        self.grid_hits += other.grid_hits
+        self.threshold_prunes_high += other.threshold_prunes_high
+        self.threshold_prunes_low += other.threshold_prunes_low
+        self.tolerance_prunes += other.tolerance_prunes
+        self.exhausted += other.exhausted
+        for key, value in other.extras.items():
+            self.extras[key] = self.extras.get(key, 0.0) + value
+
+    def reset(self) -> None:
+        """Zero every counter in place."""
+        self.kernel_evaluations = 0
+        self.node_expansions = 0
+        self.queries = 0
+        self.grid_hits = 0
+        self.threshold_prunes_high = 0
+        self.threshold_prunes_low = 0
+        self.tolerance_prunes = 0
+        self.exhausted = 0
+        self.extras.clear()
+
+    def snapshot(self) -> dict[str, float]:
+        """A plain-dict copy of all counters (for reports/JSON)."""
+        return {
+            "kernel_evaluations": self.kernel_evaluations,
+            "node_expansions": self.node_expansions,
+            "queries": self.queries,
+            "grid_hits": self.grid_hits,
+            "threshold_prunes_high": self.threshold_prunes_high,
+            "threshold_prunes_low": self.threshold_prunes_low,
+            "tolerance_prunes": self.tolerance_prunes,
+            "exhausted": self.exhausted,
+            "kernels_per_query": self.kernels_per_query,
+            **self.extras,
+        }

@@ -1,0 +1,148 @@
+"""Algorithm 3: bootstrapped quantile-threshold bounds.
+
+Estimating ``t(p)`` needs densities, but computing densities efficiently
+needs threshold bounds — the paper's chicken-and-egg problem. The
+bootstrap breaks it by training mini-KDEs on geometrically growing
+subsamples: quantile bounds computed cheaply on a small subsample become
+the pruning bounds for the next, larger subsample. Bounds that turn out
+invalid (the new order statistics escape them) are multiplicatively
+backed off and the iteration retried.
+
+The returned bounds bracket the full-data threshold ``t(p)`` with
+probability at least ``1 - delta`` (per iteration, via the order-statistic
+confidence intervals of Section 3.5).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.bounds import bound_density
+from repro.core.config import TKDCConfig
+from repro.core.stats import TraversalStats
+from repro.index.kdtree import KDTree
+from repro.kernels.base import Kernel
+from repro.quantile.order_stats import normal_order_ci
+
+#: Hard cap on bootstrap iterations (growth rounds plus backoffs); the
+#: expected count is ~log_growth(n / r0) + a handful of backoffs.
+_MAX_ITERATIONS = 200
+
+
+@dataclass(frozen=True)
+class ThresholdBootstrapResult:
+    """Outcome of the threshold bootstrap."""
+
+    lower: float
+    upper: float
+    iterations: int
+    backoffs: int
+
+
+def bootstrap_threshold_bounds(
+    data: np.ndarray,
+    make_kernel: Callable[[np.ndarray], Kernel],
+    config: TKDCConfig,
+    stats: TraversalStats,
+    rng: np.random.Generator,
+    full_tree: KDTree | None = None,
+    full_kernel: Kernel | None = None,
+) -> ThresholdBootstrapResult:
+    """Estimate probabilistic bounds on ``t(p)`` (paper Algorithm 3).
+
+    Parameters
+    ----------
+    data:
+        The full training set, shape ``(n, d)``.
+    make_kernel:
+        Factory that selects a bandwidth for (and binds a kernel to) a
+        training subsample — Algorithm 3 recalculates the bandwidth at
+        every subsample size.
+    config:
+        Supplies ``p``, ``delta``, ``epsilon``, the bootstrap constants
+        ``r0, s0, h_backoff, h_buffer, h_growth``, and tree parameters.
+    stats:
+        Counter sink for all density-bounding work done here.
+    rng:
+        Source of subsample randomness.
+    full_tree, full_kernel:
+        Optional prebuilt index/kernel over the *full* dataset; reused
+        for the final iteration instead of rebuilding.
+    """
+    data = np.atleast_2d(np.asarray(data, dtype=np.float64))
+    n = data.shape[0]
+
+    t_lower = 0.0
+    t_upper = math.inf
+    r = min(config.bootstrap_r0, n)
+    backoffs = 0
+
+    for iteration in range(1, _MAX_ITERATIONS + 1):
+        if r == n and full_tree is not None and full_kernel is not None:
+            subsample = data
+            kernel = full_kernel
+            tree = full_tree
+        else:
+            subsample = data[rng.choice(n, size=r, replace=False)] if r < n else data
+            kernel = make_kernel(subsample)
+            tree = KDTree(
+                kernel.scale(subsample),
+                leaf_size=config.leaf_size,
+                split_rule=config.split_rule,
+            )
+
+        s = min(config.bootstrap_s0, r)
+        queries = subsample[rng.choice(r, size=s, replace=False)] if s < r else subsample
+        scaled_queries = kernel.scale(queries)
+
+        # Bound the density of each sampled query under the mini-KDE,
+        # correcting for the query's own contribution to the estimate.
+        # Threshold bounds are in corrected-density space; the pruning
+        # rules shift their edges by the self-contribution *after* the
+        # epsilon margin (see repro.core.pruning.threshold_rule).
+        self_contribution = kernel.max_value / r
+        densities = np.empty(s)
+        for i in range(s):
+            result = bound_density(
+                tree, kernel, scaled_queries[i], t_lower, t_upper,
+                config.epsilon, stats,
+                use_threshold_rule=config.use_threshold_rule,
+                use_tolerance_rule=config.use_tolerance_rule,
+                threshold_shift=self_contribution,
+            )
+            densities[i] = max(result.midpoint - self_contribution, 0.0)
+        densities.sort()
+
+        rank_lower, rank_upper = normal_order_ci(s, config.p, config.delta)
+        d_lower = float(densities[rank_lower - 1])
+        d_upper = float(densities[rank_upper - 1])
+
+        if d_upper > t_upper:
+            # Upper bound was too tight: densities near the quantile were
+            # only resolved to the stale bound. Back off and retry. A
+            # zero upper bound cannot recover multiplicatively; restart
+            # it from the observed value.
+            t_upper = t_upper * config.h_backoff if t_upper > 0 else d_upper
+            backoffs += 1
+        elif d_lower < t_lower:
+            # Finite-support kernels can put the quantile at exactly
+            # zero density (isolated points with empty neighbourhoods);
+            # dividing can never reach 0, so snap there directly.
+            t_lower = t_lower / config.h_backoff if d_lower > 0 else 0.0
+            backoffs += 1
+        else:
+            if r == n:
+                return ThresholdBootstrapResult(d_lower, d_upper, iteration, backoffs)
+            # Valid bounds: buffer them and carry to a larger subsample.
+            t_upper = d_upper * config.h_buffer
+            t_lower = d_lower / config.h_buffer
+            r = min(int(r * config.h_growth), n)
+
+    raise RuntimeError(
+        f"threshold bootstrap failed to converge within {_MAX_ITERATIONS} iterations "
+        f"(n={n}, p={config.p}); the density distribution may be degenerate"
+    )

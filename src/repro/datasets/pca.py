@@ -1,0 +1,80 @@
+"""Principal component analysis via SVD.
+
+The paper reduces mnist/sift to 64/256 dimensions with PCA before KDE
+(Section 4.1, Figure 14); this is the from-scratch substrate for those
+sweeps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class PCA:
+    """Project data onto its top principal components.
+
+    Parameters
+    ----------
+    n_components:
+        Number of components to keep; must not exceed ``min(n, d)`` of
+        the data passed to :meth:`fit`.
+    """
+
+    def __init__(self, n_components: int) -> None:
+        if n_components < 1:
+            raise ValueError(f"n_components must be >= 1, got {n_components}")
+        self.n_components = n_components
+        self._mean: np.ndarray | None = None
+        self._components: np.ndarray | None = None
+        self._explained_variance: np.ndarray | None = None
+
+    def fit(self, data: np.ndarray) -> "PCA":
+        data = np.atleast_2d(np.asarray(data, dtype=np.float64))
+        n, d = data.shape
+        if self.n_components > min(n, d):
+            raise ValueError(
+                f"n_components={self.n_components} exceeds min(n, d)={min(n, d)}"
+            )
+        self._mean = data.mean(axis=0)
+        centered = data - self._mean
+        # Thin SVD: rows of vt are the principal directions.
+        __, singular_values, vt = np.linalg.svd(centered, full_matrices=False)
+        self._components = vt[: self.n_components]
+        self._explained_variance = (singular_values[: self.n_components] ** 2) / max(n - 1, 1)
+        return self
+
+    @property
+    def components(self) -> np.ndarray:
+        """Principal directions, shape ``(n_components, d)``."""
+        self._require_fitted()
+        assert self._components is not None
+        return self._components
+
+    @property
+    def explained_variance(self) -> np.ndarray:
+        """Variance captured by each kept component."""
+        self._require_fitted()
+        assert self._explained_variance is not None
+        return self._explained_variance
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        """Project ``data`` onto the fitted components."""
+        self._require_fitted()
+        assert self._mean is not None and self._components is not None
+        data = np.atleast_2d(np.asarray(data, dtype=np.float64))
+        return (data - self._mean) @ self._components.T
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        """Fit on ``data`` and return its projection."""
+        return self.fit(data).transform(data)
+
+    def inverse_transform(self, projected: np.ndarray) -> np.ndarray:
+        """Map projections back into the original space (lossy)."""
+        self._require_fitted()
+        assert self._mean is not None and self._components is not None
+        projected = np.atleast_2d(np.asarray(projected, dtype=np.float64))
+        return projected @ self._components + self._mean
+
+    def _require_fitted(self) -> None:
+        if self._mean is None:
+            raise RuntimeError("PCA is not fitted; call fit() first")

@@ -1,0 +1,110 @@
+"""Dataset registry: Table 3 metadata plus scaled loading.
+
+``load("tmy3", scale=0.05)`` yields a simulator draw whose size is the
+paper's n times the scale factor — benchmarks use this to keep the full
+suite laptop-sized while recording the paper-reported sizes alongside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.datasets import generators
+
+#: Default size scale applied by :func:`load` when none is given; chosen
+#: so the largest default load stays under ~100k points.
+DEFAULT_SCALE = 0.01
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Metadata for one paper dataset (a Table 3 row)."""
+
+    name: str
+    paper_n: int
+    dim: int
+    description: str
+    generator: Callable[..., np.ndarray]
+
+    def generate(self, n: int, d: int | None = None, seed: int | None = 0) -> np.ndarray:
+        """Draw ``n`` points; ``d`` overrides the default dimensionality."""
+        if d is None:
+            return self.generator(n, seed=seed)
+        return self.generator(n, d=d, seed=seed)
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in [
+        DatasetSpec(
+            "gauss", 100_000_000, 2,
+            "Multivariate Gaussian with zero mean and unit covariance",
+            generators.make_gauss,
+        ),
+        DatasetSpec(
+            "tmy3", 1_820_000, 8,
+            "Hourly energy load profiles for US reference buildings",
+            generators.make_tmy3,
+        ),
+        DatasetSpec(
+            "home", 929_000, 10,
+            "Home gas sensor measurements (UCI)",
+            generators.make_home,
+        ),
+        DatasetSpec(
+            "hep", 10_500_000, 27,
+            "High-energy particle collision signatures (UCI)",
+            generators.make_hep,
+        ),
+        DatasetSpec(
+            "sift", 11_200_000, 128,
+            "SIFT computer-vision image features (Caltech-256)",
+            generators.make_sift,
+        ),
+        DatasetSpec(
+            "mnist", 70_000, 784,
+            "28x28 handwritten-digit images, PCA-reducible",
+            generators.make_mnist,
+        ),
+        DatasetSpec(
+            "shuttle", 43_500, 9,
+            "Space shuttle flight sensors (UCI)",
+            generators.make_shuttle,
+        ),
+    ]
+}
+
+
+def load(
+    name: str,
+    n: int | None = None,
+    d: int | None = None,
+    scale: float = DEFAULT_SCALE,
+    seed: int | None = 0,
+    min_n: int = 2_000,
+    max_n: int = 200_000,
+) -> np.ndarray:
+    """Generate a scaled draw of a named paper dataset.
+
+    Parameters
+    ----------
+    name:
+        A key of :data:`DATASETS`.
+    n:
+        Exact size; overrides ``scale`` when given.
+    d:
+        Dimensionality override (e.g. tmy3 at d=4, hep subsets).
+    scale:
+        Fraction of the paper's dataset size, clamped into
+        ``[min_n, max_n]``.
+    """
+    if name not in DATASETS:
+        raise KeyError(f"unknown dataset {name!r}; choose from {sorted(DATASETS)}")
+    spec = DATASETS[name]
+    if n is None:
+        n = int(round(spec.paper_n * scale))
+        n = min(max(n, min_n), max_n)
+    return spec.generate(n, d=d, seed=seed)

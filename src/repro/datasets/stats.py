@@ -1,0 +1,95 @@
+"""Dataset summary statistics.
+
+Used by the Table 3 bench to characterize the simulators, and generally
+useful before fitting: tKDC's behaviour depends on the *density
+geometry* of the data (intrinsic dimensionality, tail weight, duplicate
+mass), which these summaries expose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.validation import as_finite_matrix
+
+
+def intrinsic_dimension(data: np.ndarray) -> float:
+    """Participation-ratio estimate of intrinsic dimensionality.
+
+    ``(sum(lambda))^2 / sum(lambda^2)`` over covariance eigenvalues: d
+    for isotropic data, ~k when variance concentrates in k directions.
+    The mnist simulator (784 ambient, ~15 intrinsic) is the motivating
+    case — low intrinsic dimension is why PCA+tKDC works there.
+    """
+    data = as_finite_matrix(data, "data")
+    if data.shape[0] < 2:
+        raise ValueError("need at least 2 points for covariance")
+    centered = data - data.mean(axis=0)
+    # Eigenvalues of the covariance via singular values (robust to d > n).
+    singular = np.linalg.svd(centered, compute_uv=False)
+    eigenvalues = singular**2
+    total = float(np.sum(eigenvalues))
+    if total == 0.0:
+        return 0.0
+    return float(total**2 / np.sum(eigenvalues**2))
+
+
+def tail_weight(data: np.ndarray) -> float:
+    """A scale-free tail indicator: p99.9 radius over p50 radius.
+
+    Computed on distances from the coordinate-wise median; ~3.3 for a
+    2-d Gaussian, tens-to-hundreds for Student-t style heavy tails (the
+    shuttle simulator).
+    """
+    data = as_finite_matrix(data, "data")
+    center = np.median(data, axis=0)
+    radii = np.sqrt(np.sum((data - center) ** 2, axis=1))
+    p50, p999 = np.percentile(radii, [50.0, 99.9])
+    if p50 == 0.0:
+        return float("inf") if p999 > 0 else 1.0
+    return float(p999 / p50)
+
+
+def duplicate_fraction(data: np.ndarray) -> float:
+    """Fraction of points that are exact duplicates of an earlier point."""
+    data = as_finite_matrix(data, "data")
+    unique = np.unique(data, axis=0).shape[0]
+    return 1.0 - unique / data.shape[0]
+
+
+@dataclass(frozen=True)
+class DatasetSummary:
+    """Compact characterization of one dataset draw."""
+
+    n: int
+    dim: int
+    mean_std: float
+    intrinsic_dim: float
+    tail_weight: float
+    duplicate_fraction: float
+
+    def as_row(self) -> dict[str, object]:
+        """Plain-dict form for benchmark tables."""
+        return {
+            "n": self.n,
+            "d": self.dim,
+            "mean_std": self.mean_std,
+            "intrinsic_d": self.intrinsic_dim,
+            "tail_weight": self.tail_weight,
+            "dup_frac": self.duplicate_fraction,
+        }
+
+
+def summarize(data: np.ndarray) -> DatasetSummary:
+    """Compute the full :class:`DatasetSummary` for a point matrix."""
+    data = as_finite_matrix(data, "data")
+    return DatasetSummary(
+        n=data.shape[0],
+        dim=data.shape[1],
+        mean_std=float(np.mean(np.std(data, axis=0))),
+        intrinsic_dim=intrinsic_dimension(data),
+        tail_weight=tail_weight(data),
+        duplicate_fraction=duplicate_fraction(data),
+    )

@@ -1,0 +1,116 @@
+"""Reusable synthetic distribution building blocks.
+
+The dataset simulators in :mod:`repro.datasets.generators` compose these:
+Gaussian mixtures with per-component anisotropy, filament (line-segment)
+noise between cluster centers, and heavy-tailed contamination — the
+structural features the paper's motivating figures highlight (multiple
+modes, low-density filaments, fine-grained structure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MixtureComponent:
+    """One mixture component: a (possibly anisotropic) Gaussian blob."""
+
+    weight: float
+    mean: np.ndarray
+    scales: np.ndarray  # per-dimension standard deviations
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError(f"component weight must be positive, got {self.weight}")
+        mean = np.asarray(self.mean, dtype=np.float64)
+        scales = np.asarray(self.scales, dtype=np.float64)
+        if mean.shape != scales.shape:
+            raise ValueError(
+                f"mean shape {mean.shape} does not match scales shape {scales.shape}"
+            )
+        if not np.all(scales > 0):
+            raise ValueError("all component scales must be positive")
+        object.__setattr__(self, "mean", mean)
+        object.__setattr__(self, "scales", scales)
+
+
+class GaussianMixture:
+    """Sampler for a weighted mixture of axis-aligned Gaussian blobs."""
+
+    def __init__(self, components: list[MixtureComponent]) -> None:
+        if not components:
+            raise ValueError("a mixture needs at least one component")
+        dims = {component.mean.shape[0] for component in components}
+        if len(dims) != 1:
+            raise ValueError(f"components disagree on dimensionality: {sorted(dims)}")
+        self.components = components
+        total = sum(component.weight for component in components)
+        self._probs = np.array([component.weight / total for component in components])
+        self.dim = components[0].mean.shape[0]
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` points, shape ``(n, dim)``."""
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        assignments = rng.choice(len(self.components), size=n, p=self._probs)
+        out = np.empty((n, self.dim))
+        for idx, component in enumerate(self.components):
+            mask = assignments == idx
+            count = int(np.count_nonzero(mask))
+            if count:
+                out[mask] = component.mean + rng.normal(size=(count, self.dim)) * component.scales
+        return out
+
+
+def filament_points(
+    start: np.ndarray,
+    end: np.ndarray,
+    n: int,
+    jitter: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Points scattered along the segment from ``start`` to ``end``.
+
+    Models the low-density "filaments between larger clusters" the paper
+    calls out in the shuttle data (Section 2.1) — natural outlier
+    candidates that sit between modes rather than far from all of them.
+    """
+    start = np.asarray(start, dtype=np.float64)
+    end = np.asarray(end, dtype=np.float64)
+    positions = rng.uniform(size=(n, 1))
+    points = start + positions * (end - start)
+    return points + rng.normal(scale=jitter, size=points.shape)
+
+
+def heavy_tail_noise(
+    n: int, dim: int, scale: float, dof: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Student-t distributed contamination (heavy tails)."""
+    if dof <= 0:
+        raise ValueError(f"degrees of freedom must be positive, got {dof}")
+    return scale * rng.standard_t(dof, size=(n, dim))
+
+
+def spread_counts(total: int, weights: list[float]) -> list[int]:
+    """Split ``total`` into integer counts proportional to ``weights``.
+
+    The counts sum exactly to ``total`` (remainders go to the largest
+    fractional parts), so generators can allocate sub-populations without
+    off-by-one drift.
+    """
+    if total < 0:
+        raise ValueError(f"total must be non-negative, got {total}")
+    if not weights or any(w < 0 for w in weights) or sum(weights) == 0:
+        raise ValueError("weights must be non-empty, non-negative, and not all zero")
+    fractions = np.array(weights, dtype=np.float64)
+    fractions /= fractions.sum()
+    raw = fractions * total
+    counts = np.floor(raw).astype(int)
+    shortfall = total - int(counts.sum())
+    if shortfall:
+        order = np.argsort(raw - counts)[::-1]
+        counts[order[:shortfall]] += 1
+    return counts.tolist()

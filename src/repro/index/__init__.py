@@ -1,0 +1,32 @@
+"""Spatial indexing: the k-d tree substrate tKDC traverses.
+
+The tree is a count/bounding-box augmented k-d tree (the paper's Section
+3.1, following Gray & Moore 2003 and Deng & Moore's multi-resolution
+trees): every node records the exact number of points below it and a
+*tight* bounding box of those points, which together bound the node's
+total kernel density contribution at any query.
+"""
+
+from repro.index.balltree import BallNode, BallTree
+from repro.index.boxes import box_kernel_bounds, max_sq_dist, min_sq_dist
+from repro.index.knn import k_nearest, k_nearest_all
+from repro.index.kdtree import KDTree, Node
+from repro.index.splitting import SPLIT_RULES, median_split, trimmed_midpoint_split
+from repro.index.traversal import points_within_radius, sum_kernel_within_radius
+
+__all__ = [
+    "KDTree",
+    "Node",
+    "BallTree",
+    "BallNode",
+    "k_nearest",
+    "k_nearest_all",
+    "box_kernel_bounds",
+    "min_sq_dist",
+    "max_sq_dist",
+    "median_split",
+    "trimmed_midpoint_split",
+    "SPLIT_RULES",
+    "points_within_radius",
+    "sum_kernel_within_radius",
+]

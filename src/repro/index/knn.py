@@ -1,0 +1,103 @@
+"""k-nearest-neighbour search over the k-d tree.
+
+Substrate for the alternative outlier detectors the paper discusses in
+Section 5 (kNN-distance scoring, Local Outlier Factor) and for
+neighbour-based bandwidth heuristics. Uses the classic best-first
+branch-and-bound: a node is visited only if its box could contain a
+point closer than the current k-th best.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+import numpy as np
+
+from repro.index.boxes import min_sq_dist
+from repro.index.kdtree import KDTree
+
+
+def k_nearest(
+    tree: KDTree, query: np.ndarray, k: int, exclude_index: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """The ``k`` nearest indexed points to ``query``.
+
+    Parameters
+    ----------
+    tree:
+        The index (any coordinate space; distances are Euclidean in it).
+    query:
+        One point, shape ``(d,)``.
+    k:
+        Number of neighbours; must not exceed the available points.
+    exclude_index:
+        Original-input index to skip — pass the query's own index when
+        querying with a training point so it is not its own neighbour.
+
+    Returns
+    -------
+    ``(indices, sq_dists)`` sorted by ascending distance; ``indices``
+    refer to the tree's original input order.
+    """
+    available = tree.size - (1 if exclude_index is not None else 0)
+    if not 1 <= k <= available:
+        raise ValueError(f"k must be in [1, {available}], got {k}")
+    query = np.asarray(query, dtype=np.float64)
+
+    # Max-heap of the best k (negated distance, index) seen so far.
+    best: list[tuple[float, int]] = []
+    counter = itertools.count()
+    frontier: list[tuple[float, int, object]] = [
+        (min_sq_dist(query, tree.root.lo, tree.root.hi), next(counter), tree.root)
+    ]
+    while frontier:
+        node_dist, __, node = heapq.heappop(frontier)
+        if len(best) == k and node_dist > -best[0][0]:
+            break  # nothing closer remains anywhere in the frontier
+        if node.is_leaf:  # type: ignore[union-attr]
+            points = tree.leaf_points(node)  # type: ignore[arg-type]
+            indices = tree.leaf_indices(node)  # type: ignore[arg-type]
+            diffs = points - query
+            sq = np.einsum("ij,ij->i", diffs, diffs)
+            for point_index, point_sq in zip(indices, sq):
+                if exclude_index is not None and point_index == exclude_index:
+                    continue
+                if len(best) < k:
+                    heapq.heappush(best, (-point_sq, int(point_index)))
+                elif point_sq < -best[0][0]:
+                    heapq.heapreplace(best, (-point_sq, int(point_index)))
+        else:
+            for child in node.children():  # type: ignore[union-attr]
+                child_dist = min_sq_dist(query, child.lo, child.hi)
+                if len(best) < k or child_dist <= -best[0][0]:
+                    heapq.heappush(frontier, (child_dist, next(counter), child))
+
+    ordered = sorted((-neg_sq, index) for neg_sq, index in best)
+    sq_dists = np.array([sq for sq, __ in ordered])
+    indices = np.array([index for __, index in ordered], dtype=np.int64)
+    return indices, sq_dists
+
+
+def k_nearest_all(
+    tree: KDTree, k: int, self_exclude: bool = True
+) -> tuple[np.ndarray, np.ndarray]:
+    """k-NN for every indexed point against the rest of the index.
+
+    Returns ``(indices, sq_dists)`` of shapes ``(n, k)`` in the tree's
+    original input order. ``self_exclude`` skips each point's own entry
+    (the usual convention for outlier scoring).
+    """
+    n = tree.size
+    all_indices = np.empty((n, k), dtype=np.int64)
+    all_sq = np.empty((n, k))
+    # Iterate in permuted order for locality; write to original slots.
+    for slot in range(n):
+        original = int(tree.indices[slot])
+        neighbour_idx, neighbour_sq = k_nearest(
+            tree, tree.points[slot], k,
+            exclude_index=original if self_exclude else None,
+        )
+        all_indices[original] = neighbour_idx
+        all_sq[original] = neighbour_sq
+    return all_indices, all_sq

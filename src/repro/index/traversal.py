@@ -1,0 +1,85 @@
+"""Generic k-d tree traversals: range queries and radial kernel sums.
+
+These are the substrate for the ``rkde`` baseline (paper Table 2 and
+Figure 13), which sums kernel contributions only from points within a
+fixed radius of the query.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.index.boxes import min_sq_dist
+from repro.index.kdtree import KDTree
+from repro.kernels.base import Kernel
+
+
+def points_within_radius(tree: KDTree, query: np.ndarray, radius: float) -> np.ndarray:
+    """Indices (into the original input) of points within ``radius``.
+
+    Euclidean distance in the tree's coordinate space; the boundary is
+    inclusive.
+    """
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+    query = np.asarray(query, dtype=np.float64)
+    sq_radius = radius * radius
+    hits: list[np.ndarray] = []
+    stack = [tree.root]
+    while stack:
+        node = stack.pop()
+        if min_sq_dist(query, node.lo, node.hi) > sq_radius:
+            continue
+        if node.is_leaf:
+            pts = tree.leaf_points(node)
+            diffs = pts - query
+            sq = np.einsum("ij,ij->i", diffs, diffs)
+            inside = sq <= sq_radius
+            if np.any(inside):
+                hits.append(tree.leaf_indices(node)[inside])
+        else:
+            left, right = node.children()
+            stack.append(left)
+            stack.append(right)
+    if not hits:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(hits)
+
+
+def sum_kernel_within_radius(
+    tree: KDTree,
+    kernel: Kernel,
+    query: np.ndarray,
+    radius: float,
+) -> tuple[float, int]:
+    """Total kernel value from points within ``radius`` of ``query``.
+
+    Operates in bandwidth-scaled space (the tree must be built on scaled
+    coordinates). Returns ``(total, kernel_evaluations)`` where the total
+    is unaveraged (callers divide by the training-set size).
+    """
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+    query = np.asarray(query, dtype=np.float64)
+    sq_radius = radius * radius
+    total = 0.0
+    evaluations = 0
+    stack = [tree.root]
+    while stack:
+        node = stack.pop()
+        if min_sq_dist(query, node.lo, node.hi) > sq_radius:
+            continue
+        if node.is_leaf:
+            pts = tree.leaf_points(node)
+            diffs = pts - query
+            sq = np.einsum("ij,ij->i", diffs, diffs)
+            inside = sq <= sq_radius
+            n_inside = int(np.count_nonzero(inside))
+            if n_inside:
+                total += float(np.sum(kernel.value(sq[inside])))
+                evaluations += n_inside
+        else:
+            left, right = node.children()
+            stack.append(left)
+            stack.append(right)
+    return total, evaluations

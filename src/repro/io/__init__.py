@@ -1,0 +1,23 @@
+"""Persistence utilities: dataset files and experiment results."""
+
+from repro.io.datasets import (
+    cached_dataset,
+    export_csv,
+    import_csv,
+    load_dataset,
+    save_dataset,
+)
+from repro.io.models import load_model, save_model
+from repro.io.results import load_results, results_summary
+
+__all__ = [
+    "save_dataset",
+    "load_dataset",
+    "export_csv",
+    "import_csv",
+    "cached_dataset",
+    "save_model",
+    "load_model",
+    "load_results",
+    "results_summary",
+]

@@ -1,0 +1,109 @@
+"""Dataset file formats: compressed .npz with metadata, and CSV.
+
+The simulators in :mod:`repro.datasets` regenerate deterministically
+from seeds, but downstream users bring their own data; these helpers
+give them a stable on-disk interchange (and let the benchmarks cache
+expensive draws between runs).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Mapping
+
+import numpy as np
+
+#: Key under which the point matrix is stored inside the .npz archive.
+_DATA_KEY = "data"
+_METADATA_KEY = "metadata_json"
+
+
+def save_dataset(
+    path: Path | str, data: np.ndarray, metadata: Mapping[str, object] | None = None
+) -> Path:
+    """Write a point matrix (and optional JSON metadata) to a .npz file.
+
+    Returns the written path (with the ``.npz`` suffix enforced).
+    """
+    data = np.atleast_2d(np.asarray(data, dtype=np.float64))
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {_DATA_KEY: data}
+    if metadata is not None:
+        payload[_METADATA_KEY] = np.frombuffer(
+            json.dumps(dict(metadata)).encode(), dtype=np.uint8
+        )
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_dataset(path: Path | str) -> tuple[np.ndarray, dict[str, object]]:
+    """Read a dataset written by :func:`save_dataset`.
+
+    Returns ``(data, metadata)``; metadata is empty when none was saved.
+    """
+    path = Path(path)
+    if not path.exists() and path.with_suffix(".npz").exists():
+        path = path.with_suffix(".npz")
+    with np.load(path) as archive:
+        if _DATA_KEY not in archive:
+            raise ValueError(f"{path} is not a repro dataset file (missing '{_DATA_KEY}')")
+        data = archive[_DATA_KEY]
+        metadata: dict[str, object] = {}
+        if _METADATA_KEY in archive:
+            metadata = json.loads(archive[_METADATA_KEY].tobytes().decode())
+    return data, metadata
+
+
+def export_csv(
+    path: Path | str, data: np.ndarray, column_names: list[str] | None = None
+) -> Path:
+    """Write a point matrix as CSV (optionally with a header row)."""
+    data = np.atleast_2d(np.asarray(data, dtype=np.float64))
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if column_names is not None and len(column_names) != data.shape[1]:
+        raise ValueError(
+            f"{len(column_names)} column names for {data.shape[1]} columns"
+        )
+    header = ",".join(column_names) if column_names is not None else ""
+    np.savetxt(path, data, delimiter=",", header=header, comments="")
+    return path
+
+
+def import_csv(path: Path | str, has_header: bool = False) -> np.ndarray:
+    """Read a CSV point matrix written by :func:`export_csv` (or similar)."""
+    return np.atleast_2d(
+        np.loadtxt(Path(path), delimiter=",", skiprows=1 if has_header else 0)
+    )
+
+
+def cached_dataset(
+    name: str,
+    generate: Callable[[], np.ndarray],
+    directory: Path | str = "data_cache",
+) -> np.ndarray:
+    """Generate a dataset once and reuse the on-disk copy afterwards.
+
+    >>> import numpy as np
+    >>> calls = []
+    >>> def gen():
+    ...     calls.append(1)
+    ...     return np.zeros((3, 2))
+    >>> import tempfile
+    >>> with tempfile.TemporaryDirectory() as tmp:
+    ...     first = cached_dataset("zeros", gen, tmp)
+    ...     second = cached_dataset("zeros", gen, tmp)
+    >>> len(calls)
+    1
+    """
+    path = Path(directory) / f"{name}.npz"
+    if path.exists():
+        data, __ = load_dataset(path)
+        return data
+    data = generate()
+    save_dataset(path, data, metadata={"name": name})
+    return data

@@ -1,0 +1,62 @@
+"""Saving and loading fitted classifiers.
+
+A fitted :class:`~repro.core.classifier.TKDCClassifier` holds plain
+numpy arrays and dataclasses, so Python's pickle serializes it
+faithfully. The wrapper adds a format header with the library version so
+stale files fail loudly instead of mis-deserializing after refactors.
+
+Security note: pickle executes code on load — only load model files you
+produced yourself (the standard caveat for pickle-based model formats).
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+
+import repro
+from repro.core.classifier import TKDCClassifier
+
+#: Format marker stored alongside the model.
+_MAGIC = "repro-tkdc-model"
+
+
+def save_model(path: Path | str, classifier: TKDCClassifier) -> Path:
+    """Serialize a fitted classifier to ``path`` (suffix ``.tkdc``)."""
+    if not classifier.is_fitted:
+        raise ValueError("refusing to save an unfitted classifier")
+    path = Path(path)
+    if path.suffix != ".tkdc":
+        path = path.with_suffix(".tkdc")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "magic": _MAGIC,
+        "version": repro.__version__,
+        "classifier": classifier,
+    }
+    with open(path, "wb") as handle:
+        pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    return path
+
+
+def load_model(path: Path | str) -> TKDCClassifier:
+    """Load a classifier saved by :func:`save_model`.
+
+    Raises ``ValueError`` for foreign files and version mismatches.
+    """
+    path = Path(path)
+    if not path.exists() and path.with_suffix(".tkdc").exists():
+        path = path.with_suffix(".tkdc")
+    with open(path, "rb") as handle:
+        payload = pickle.load(handle)
+    if not isinstance(payload, dict) or payload.get("magic") != _MAGIC:
+        raise ValueError(f"{path} is not a repro tKDC model file")
+    if payload.get("version") != repro.__version__:
+        raise ValueError(
+            f"{path} was saved by repro {payload.get('version')}, "
+            f"this is {repro.__version__}; re-fit and re-save"
+        )
+    classifier = payload["classifier"]
+    if not isinstance(classifier, TKDCClassifier):
+        raise ValueError(f"{path} does not contain a TKDCClassifier")
+    return classifier

@@ -1,0 +1,41 @@
+"""Reading back saved experiment results.
+
+Counterpart of :func:`repro.bench.reporting.save_results`: loads the
+JSON rows an experiment run persisted under ``results/`` and produces
+compact summaries for reports like EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.bench.reporting import DEFAULT_RESULTS_DIR
+
+
+def load_results(name: str, directory: Path | str | None = None) -> list[dict]:
+    """Load one experiment's saved rows (raises FileNotFoundError if absent)."""
+    directory = Path(directory) if directory is not None else DEFAULT_RESULTS_DIR
+    path = directory / f"{name}.json"
+    return json.loads(path.read_text())
+
+
+def results_summary(
+    rows: list[dict], group_by: str, value: str
+) -> dict[str, float]:
+    """Collapse rows to ``{group: mean(value)}`` for quick comparisons.
+
+    Rows missing either key, or whose value is not numeric, are skipped.
+    """
+    sums: dict[str, float] = {}
+    counts: dict[str, int] = {}
+    for row in rows:
+        if group_by not in row or value not in row:
+            continue
+        raw = row[value]
+        if not isinstance(raw, (int, float)) or raw != raw:  # skip NaN
+            continue
+        key = str(row[group_by])
+        sums[key] = sums.get(key, 0.0) + float(raw)
+        counts[key] = counts.get(key, 0) + 1
+    return {key: sums[key] / counts[key] for key in sums}

@@ -1,0 +1,102 @@
+"""Likelihood cross-validation for the bandwidth scale factor.
+
+The paper uses Scott's rule with a user factor ``b`` (Equation 4) and
+cites the bandwidth-selection literature for tuning it. This module
+implements the standard leave-one-out likelihood criterion over a grid
+of candidate factors:
+
+    score(b) = mean_i log f_{-i}(x_i)
+
+where ``f_{-i}`` is the KDE trained without point ``i``. Evaluated on a
+random scoring subsample for tractability; the exact per-point LOO
+density is recovered algebraically from the full-sample density
+(``f_{-i}(x) = (n f(x) - K_b(0)) / (n - 1)``), so no model refits are
+needed inside a candidate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.kernels.bandwidth import scotts_rule
+from repro.kernels.factory import KERNELS
+from repro.validation import as_finite_matrix
+
+#: Default candidate multipliers around Scott's rule.
+DEFAULT_CANDIDATES = (0.25, 0.5, 1.0, 2.0, 4.0)
+
+#: Floor for log-densities so empty neighbourhoods don't produce -inf.
+_LOG_FLOOR = -745.0
+
+
+@dataclass(frozen=True)
+class BandwidthSelection:
+    """Outcome of the cross-validation sweep."""
+
+    scale: float
+    bandwidth: np.ndarray
+    scores: dict[float, float]  # candidate scale -> mean LOO log-density
+
+
+def loo_log_likelihood(
+    data: np.ndarray,
+    scale: float,
+    kernel_name: str = "gaussian",
+    sample_size: int = 500,
+    seed: int | None = 0,
+) -> float:
+    """Mean leave-one-out log-density over a scoring subsample."""
+    data = as_finite_matrix(data, "data")
+    n = data.shape[0]
+    if n < 3:
+        raise ValueError(f"need at least 3 points for LOO scoring, got {n}")
+    kernel = KERNELS[kernel_name](scotts_rule(data, scale=scale))
+    scaled = kernel.scale(data)
+    rng = np.random.default_rng(seed)
+    sample = rng.choice(n, size=min(sample_size, n), replace=False)
+
+    logs = np.empty(sample.shape[0])
+    for out_index, i in enumerate(sample):
+        diffs = scaled - scaled[i]
+        sq = np.einsum("ij,ij->i", diffs, diffs)
+        total = float(np.sum(kernel.value(sq)))
+        loo = (total - kernel.max_value) / (n - 1)
+        logs[out_index] = np.log(loo) if loo > 0 else _LOG_FLOOR
+    return float(np.mean(logs))
+
+
+def select_bandwidth_scale(
+    data: np.ndarray,
+    candidates: tuple[float, ...] = DEFAULT_CANDIDATES,
+    kernel_name: str = "gaussian",
+    sample_size: int = 500,
+    seed: int | None = 0,
+) -> BandwidthSelection:
+    """Pick the Scott's-rule factor maximizing LOO log-likelihood.
+
+    >>> import numpy as np
+    >>> data = np.random.default_rng(0).normal(size=(800, 2))
+    >>> selection = select_bandwidth_scale(data, sample_size=200)
+    >>> 0.25 <= selection.scale <= 4.0
+    True
+    """
+    if not candidates:
+        raise ValueError("at least one candidate scale is required")
+    if any(candidate <= 0 for candidate in candidates):
+        raise ValueError(f"candidate scales must be positive, got {candidates}")
+    data = as_finite_matrix(data, "data")
+    scores = {
+        float(candidate): loo_log_likelihood(
+            data, candidate, kernel_name=kernel_name,
+            sample_size=sample_size, seed=seed,
+        )
+        for candidate in candidates
+    }
+    best = max(scores, key=scores.get)  # type: ignore[arg-type]
+    return BandwidthSelection(
+        scale=best,
+        bandwidth=scotts_rule(data, scale=best),
+        scores=scores,
+    )

@@ -1,0 +1,39 @@
+"""Kernel construction helpers shared by the classifier and baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.bandwidth import scotts_rule
+from repro.kernels.base import Kernel
+from repro.kernels.epanechnikov import EpanechnikovKernel
+from repro.kernels.gaussian import GaussianKernel
+from repro.kernels.polynomial import BiweightKernel, TriweightKernel, UniformKernel
+
+#: Kernel families available by name.
+KERNELS: dict[str, type[Kernel]] = {
+    "gaussian": GaussianKernel,
+    "epanechnikov": EpanechnikovKernel,
+    "uniform": UniformKernel,
+    "biweight": BiweightKernel,
+    "triweight": TriweightKernel,
+}
+
+
+def kernel_for_data(
+    data: np.ndarray,
+    name: str = "gaussian",
+    scale: float = 1.0,
+    normalize: bool = True,
+) -> Kernel:
+    """Bind a named kernel to a Scott's-rule bandwidth for ``data``.
+
+    This is the paper's default configuration: product kernel, diagonal
+    bandwidth from Equation 4 with user factor ``scale`` (= ``b``).
+    ``normalize=False`` yields unnormalized densities for very high
+    dimensions where the true constant underflows (see
+    :class:`repro.kernels.base.Kernel`).
+    """
+    if name not in KERNELS:
+        raise ValueError(f"unknown kernel {name!r}; choose from {sorted(KERNELS)}")
+    return KERNELS[name](scotts_rule(data, scale=scale), normalize=normalize)

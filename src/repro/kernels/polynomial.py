@@ -1,0 +1,82 @@
+"""The polynomial (spherical Beta) kernel family: profile (1 - s)^k.
+
+Degree 0 is the spherical uniform kernel, degree 1 the Epanechnikov
+kernel (implemented separately in :mod:`repro.kernels.epanechnikov` for
+historical parity with the paper), degree 2 the biweight and degree 3
+the triweight. All have unit support radius in bandwidth-scaled space,
+which lets tKDC's threshold rule discard distant tree nodes exactly.
+
+Normalization: ``∫_{B_d} (1 - |u|^2)^k du = π^(d/2) Γ(k+1) / Γ(k + d/2 + 1)``,
+so the scaled-space constant is its reciprocal, divided by ``prod(h)``
+for the original-space density.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.kernels.base import Kernel
+
+
+class PolynomialKernel(Kernel):
+    """Base class: profile ``max(0, 1 - s)^degree`` on the unit ball."""
+
+    #: Polynomial degree k; subclasses pin it.
+    degree: int = 1
+
+    def _compute_norm_constant(self) -> float:
+        d, k = self.dim, self.degree
+        ball_integral = (
+            math.pi ** (d / 2.0) * math.gamma(k + 1.0) / math.gamma(k + d / 2.0 + 1.0)
+        )
+        return 1.0 / (ball_integral * float(np.prod(self.bandwidth)))
+
+    def profile(self, sq_dists: np.ndarray) -> np.ndarray:
+        inside = sq_dists < 1.0
+        if self.degree == 0:
+            # (1 - s)^0 would be 1 everywhere (0^0 == 1); the uniform
+            # profile is the indicator of the open unit ball.
+            return inside.astype(np.float64)
+        return np.where(inside, np.maximum(0.0, 1.0 - sq_dists) ** self.degree, 0.0)
+
+    def value_scalar(self, sq_dist: float) -> float:
+        if sq_dist >= 1.0:
+            return 0.0
+        return self._norm_constant * (1.0 - sq_dist) ** self.degree
+
+    @property
+    def support_sq_radius(self) -> float:
+        return 1.0
+
+    def inverse_profile(self, value: float) -> float:
+        if not 0.0 < value <= 1.0:
+            raise ValueError(f"value must be in (0, 1], got {value}")
+        if self.degree == 0:
+            # The uniform profile is the indicator of the unit ball: any
+            # value below 1 is only reached at (and beyond) the support
+            # edge.
+            return 0.0 if value >= 1.0 else 1.0
+        return 1.0 - value ** (1.0 / self.degree)
+
+
+class UniformKernel(PolynomialKernel):
+    """Spherical uniform (boxcar) kernel: constant on the unit ball."""
+
+    name = "uniform"
+    degree = 0
+
+
+class BiweightKernel(PolynomialKernel):
+    """Biweight (quartic) kernel: profile ``(1 - s)^2``."""
+
+    name = "biweight"
+    degree = 2
+
+
+class TriweightKernel(PolynomialKernel):
+    """Triweight kernel: profile ``(1 - s)^3``."""
+
+    name = "triweight"
+    degree = 3

@@ -1,0 +1,17 @@
+"""Alternative outlier detectors the paper positions tKDC against.
+
+Section 5 of the paper situates density classification among the
+classic unsupervised outlier-detection methods: kNN-distance scoring
+(Ramaswamy et al. 2000) and Local Outlier Factor (Breunig et al. 2000).
+Unlike KDE, their scores are not statistically interpretable
+probability densities — the paper's core argument for tKDC — but they
+are the standard comparison points, so this package implements both on
+top of the same k-d tree substrate for the cross-method example and
+bench.
+"""
+
+from repro.outliers.knn_distance import KNNDistanceDetector
+from repro.outliers.lof import LocalOutlierFactor
+from repro.outliers.ocsvm import OneClassSVM
+
+__all__ = ["KNNDistanceDetector", "LocalOutlierFactor", "OneClassSVM"]

@@ -1,0 +1,98 @@
+"""kNN-distance outlier scoring (Ramaswamy, Rastogi & Shim, SIGMOD 2000).
+
+A point's outlier score is its distance to its k-th nearest neighbour:
+points in sparse regions are far from even their closest peers. Simple,
+non-parametric, and the most common baseline the density-classification
+literature compares against (paper Section 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.index.kdtree import KDTree
+from repro.index.knn import k_nearest, k_nearest_all
+from repro.quantile.order_stats import quantile_of_sorted
+from repro.validation import as_finite_matrix
+
+#: Literature-standard default neighbourhood size.
+DEFAULT_K = 10
+
+
+class KNNDistanceDetector:
+    """Outlier detection by distance to the k-th nearest neighbour.
+
+    Parameters
+    ----------
+    k:
+        Neighbourhood size (default 10).
+    contamination:
+        Fraction of the training data labelled outlier by
+        :meth:`training_labels` — the analogue of tKDC's ``p``.
+    """
+
+    name = "knn"
+
+    def __init__(self, k: int = DEFAULT_K, contamination: float = 0.01) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if not 0.0 < contamination < 1.0:
+            raise ValueError(f"contamination must be in (0, 1), got {contamination}")
+        self.k = k
+        self.contamination = contamination
+        self._tree: KDTree | None = None
+        self._training_scores: np.ndarray | None = None
+        self._threshold: float | None = None
+
+    def fit(self, data: np.ndarray) -> "KNNDistanceDetector":
+        """Index the data and score every training point."""
+        data = as_finite_matrix(data, "training data")
+        if data.shape[0] <= self.k:
+            raise ValueError(
+                f"need more than k={self.k} points, got {data.shape[0]}"
+            )
+        self._tree = KDTree(data)
+        __, sq = k_nearest_all(self._tree, self.k, self_exclude=True)
+        self._training_scores = np.sqrt(sq[:, -1])
+        # High scores are outliers: the threshold is the (1 - c)-quantile.
+        self._threshold = quantile_of_sorted(
+            np.sort(self._training_scores), 1.0 - self.contamination
+        )
+        return self
+
+    @property
+    def training_scores_(self) -> np.ndarray:
+        """k-th-NN distance of each training point."""
+        self._require_fitted()
+        assert self._training_scores is not None
+        return self._training_scores
+
+    @property
+    def threshold(self) -> float:
+        """Score above which points are labelled outliers."""
+        self._require_fitted()
+        assert self._threshold is not None
+        return self._threshold
+
+    def score(self, queries: np.ndarray) -> np.ndarray:
+        """k-th-NN distances of query points (larger = more outlying)."""
+        self._require_fitted()
+        assert self._tree is not None
+        queries = as_finite_matrix(queries, "queries")
+        out = np.empty(queries.shape[0])
+        for i in range(queries.shape[0]):
+            __, sq = k_nearest(self._tree, queries[i], self.k)
+            out[i] = float(np.sqrt(sq[-1]))
+        return out
+
+    def predict(self, queries: np.ndarray) -> np.ndarray:
+        """1 where the query is an outlier (score above threshold)."""
+        return (self.score(queries) > self.threshold).astype(np.int64)
+
+    def training_labels(self) -> np.ndarray:
+        """1 where a training point's score exceeds the threshold."""
+        return (self.training_scores_ > self.threshold).astype(np.int64)
+
+    def _require_fitted(self) -> None:
+        if self._tree is None:
+            raise RuntimeError("KNNDistanceDetector is not fitted; call fit() first")

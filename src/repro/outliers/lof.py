@@ -1,0 +1,121 @@
+"""Local Outlier Factor (Breunig, Kriegel, Ng & Sander, SIGMOD 2000).
+
+LOF compares a point's local density against its neighbours': scores
+near 1 mean comparable density (inlier); scores well above 1 mean the
+point is locally much sparser than its neighbourhood. Unlike global
+kNN-distance scoring, LOF adapts to clusters of different densities —
+and unlike KDE, its scores are ratios, not probability densities (the
+interpretability distinction the paper draws in Section 5).
+
+Definitions (neighbourhood size k):
+
+- ``k_dist(o)`` — distance from ``o`` to its k-th nearest neighbour;
+- ``reach_dist(p, o) = max(k_dist(o), d(p, o))``;
+- ``lrd(p) = 1 / mean_{o in N_k(p)} reach_dist(p, o)``;
+- ``LOF(p) = mean_{o in N_k(p)} lrd(o) / lrd(p)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.index.kdtree import KDTree
+from repro.index.knn import k_nearest, k_nearest_all
+from repro.quantile.order_stats import quantile_of_sorted
+from repro.validation import as_finite_matrix
+
+#: The original paper's recommended lower bound for k.
+DEFAULT_K = 10
+
+#: Guard against division by zero for exactly duplicated points.
+_MIN_REACH = 1e-300
+
+
+class LocalOutlierFactor:
+    """LOF outlier detection over the shared k-d tree substrate.
+
+    Parameters
+    ----------
+    k:
+        Neighbourhood size (``MinPts`` in the original paper).
+    contamination:
+        Fraction of the training data labelled outlier, for threshold
+        selection comparable to tKDC's ``p``.
+    """
+
+    name = "lof"
+
+    def __init__(self, k: int = DEFAULT_K, contamination: float = 0.01) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if not 0.0 < contamination < 1.0:
+            raise ValueError(f"contamination must be in (0, 1), got {contamination}")
+        self.k = k
+        self.contamination = contamination
+        self._tree: KDTree | None = None
+        self._k_dist: np.ndarray | None = None
+        self._lrd: np.ndarray | None = None
+        self._training_scores: np.ndarray | None = None
+        self._threshold: float | None = None
+
+    def fit(self, data: np.ndarray) -> "LocalOutlierFactor":
+        """Index the data and compute k-distances, lrd, and LOF scores."""
+        data = as_finite_matrix(data, "training data")
+        n = data.shape[0]
+        if n <= self.k:
+            raise ValueError(f"need more than k={self.k} points, got {n}")
+        self._tree = KDTree(data)
+        neighbour_idx, neighbour_sq = k_nearest_all(self._tree, self.k, self_exclude=True)
+        dists = np.sqrt(neighbour_sq)
+        self._k_dist = dists[:, -1]
+
+        # reach_dist(p, o) = max(k_dist(o), d(p, o)), vectorized over the
+        # neighbour matrix.
+        reach = np.maximum(self._k_dist[neighbour_idx], dists)
+        self._lrd = 1.0 / np.maximum(reach.mean(axis=1), _MIN_REACH)
+        self._training_scores = self._lrd[neighbour_idx].mean(axis=1) / self._lrd
+        self._threshold = quantile_of_sorted(
+            np.sort(self._training_scores), 1.0 - self.contamination
+        )
+        return self
+
+    @property
+    def training_scores_(self) -> np.ndarray:
+        """LOF score of each training point (ascending = more inlying)."""
+        self._require_fitted()
+        assert self._training_scores is not None
+        return self._training_scores
+
+    @property
+    def threshold(self) -> float:
+        """LOF score above which points are labelled outliers."""
+        self._require_fitted()
+        assert self._threshold is not None
+        return self._threshold
+
+    def score(self, queries: np.ndarray) -> np.ndarray:
+        """LOF scores of query points against the training neighbourhoods."""
+        self._require_fitted()
+        assert self._tree is not None and self._k_dist is not None
+        assert self._lrd is not None
+        queries = as_finite_matrix(queries, "queries")
+        out = np.empty(queries.shape[0])
+        for i in range(queries.shape[0]):
+            neighbour_idx, neighbour_sq = k_nearest(self._tree, queries[i], self.k)
+            dists = np.sqrt(neighbour_sq)
+            reach = np.maximum(self._k_dist[neighbour_idx], dists)
+            lrd_query = 1.0 / max(float(reach.mean()), _MIN_REACH)
+            out[i] = float(self._lrd[neighbour_idx].mean()) / lrd_query
+        return out
+
+    def predict(self, queries: np.ndarray) -> np.ndarray:
+        """1 where the query is an outlier (LOF above threshold)."""
+        return (self.score(queries) > self.threshold).astype(np.int64)
+
+    def training_labels(self) -> np.ndarray:
+        """1 where a training point's LOF exceeds the threshold."""
+        return (self.training_scores_ > self.threshold).astype(np.int64)
+
+    def _require_fitted(self) -> None:
+        if self._tree is None:
+            raise RuntimeError("LocalOutlierFactor is not fitted; call fit() first")

@@ -1,0 +1,22 @@
+"""Order-statistics machinery for probabilistic quantile bounds.
+
+Implements the paper's Equations 10-11: confidence intervals on a
+population quantile derived from the order statistics of a random
+subsample, used by tKDC's bootstrapped threshold estimation.
+"""
+
+from repro.quantile.order_stats import (
+    binomial_order_ci,
+    normal_order_ci,
+    order_statistic_coverage,
+    quantile_index,
+    quantile_of_sorted,
+)
+
+__all__ = [
+    "binomial_order_ci",
+    "normal_order_ci",
+    "order_statistic_coverage",
+    "quantile_index",
+    "quantile_of_sorted",
+]

@@ -1,0 +1,32 @@
+"""Shared input validation for estimators and classifiers.
+
+Kernel density machinery silently misbehaves on non-finite inputs (NaN
+coordinates poison every distance they touch; infinities collapse
+bounding boxes), so every ``fit``/``density``/``classify`` entry point
+funnels its arrays through these checks and fails loudly instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def as_finite_matrix(data: np.ndarray, name: str = "data") -> np.ndarray:
+    """Coerce to a float64 ``(n, d)`` matrix, rejecting non-finite values.
+
+    Raises ``ValueError`` naming the offending argument when the input
+    contains NaN or infinity, is empty, or cannot be shaped into a
+    2-d matrix.
+    """
+    matrix = np.atleast_2d(np.asarray(data, dtype=np.float64))
+    if matrix.ndim != 2:
+        raise ValueError(f"{name} must be a 2-d point matrix, got shape {matrix.shape}")
+    if matrix.size == 0:
+        raise ValueError(f"{name} must not be empty")
+    if not np.all(np.isfinite(matrix)):
+        bad = int(np.count_nonzero(~np.isfinite(matrix)))
+        raise ValueError(
+            f"{name} contains {bad} non-finite value(s) (NaN or inf); "
+            "clean or impute them before fitting/querying"
+        )
+    return matrix

@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernels.gaussian import GaussianKernel
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_gauss(rng: np.random.Generator) -> np.ndarray:
+    """A small 2-d standard-normal sample."""
+    return rng.normal(size=(400, 2))
+
+
+@pytest.fixture
+def medium_gauss(rng: np.random.Generator) -> np.ndarray:
+    """A medium 2-d standard-normal sample (for classifier tests)."""
+    return rng.normal(size=(2000, 2))
+
+
+@pytest.fixture
+def bimodal_2d(rng: np.random.Generator) -> np.ndarray:
+    """A clearly bimodal 2-d sample with a sparse gap between modes."""
+    a = rng.normal(size=(500, 2)) * 0.4 + np.array([-3.0, 0.0])
+    b = rng.normal(size=(500, 2)) * 0.4 + np.array([3.0, 0.0])
+    data = np.concatenate([a, b])
+    rng.shuffle(data)
+    return data
+
+
+@pytest.fixture
+def unit_kernel_2d() -> GaussianKernel:
+    """A 2-d Gaussian kernel with unit bandwidth."""
+    return GaussianKernel(np.array([1.0, 1.0]))
+
+
+def exact_density(scaled_points: np.ndarray, kernel, scaled_query: np.ndarray) -> float:
+    """Brute-force exact KDE density at one scaled query point."""
+    diffs = scaled_points - scaled_query
+    sq = np.einsum("ij,ij->i", diffs, diffs)
+    return float(np.sum(kernel.value(sq)) / scaled_points.shape[0])

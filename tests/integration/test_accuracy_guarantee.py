@@ -1,0 +1,96 @@
+"""Integration tests pinning down the paper's accuracy guarantee under
+stress: heavy tails, duplicates, tiny thresholds, and both kernels."""
+
+import numpy as np
+import pytest
+
+from repro import Label, TKDCClassifier, TKDCConfig
+from repro.baselines.simple import NaiveKDE
+from repro.datasets.generators import make_shuttle
+from repro.quantile.order_stats import quantile_of_sorted
+
+
+def _check_guarantee(data: np.ndarray, config: TKDCConfig, kernel_name="gaussian"):
+    """tKDC must match the exact classifier outside the eps-band."""
+    clf = TKDCClassifier(config).fit(data)
+    naive = NaiveKDE(kernel_name=kernel_name,
+                     bandwidth_scale=config.bandwidth_scale).fit(data)
+    n = data.shape[0]
+    exact = naive.density(data) - naive.kernel.max_value / n
+    t = clf.threshold.value
+    eps = config.epsilon
+    labels = np.asarray(clf.training_labels_)
+    mismatches = 0
+    for density, label in zip(exact, labels):
+        if density > t * (1 + eps) and label != Label.HIGH:
+            mismatches += 1
+        elif density < t * (1 - eps) and label != Label.LOW:
+            mismatches += 1
+    assert mismatches == 0
+
+
+class TestGuaranteeUnderStress:
+    def test_heavy_tailed_shuttle(self):
+        data = make_shuttle(3000, seed=1)[:, [3, 5]]
+        _check_guarantee(data, TKDCConfig(p=0.01, seed=1))
+
+    def test_shuttle_with_secondary_sensors(self):
+        data = make_shuttle(2500, seed=2)[:, :6]
+        _check_guarantee(data, TKDCConfig(p=0.01, seed=2))
+
+    def test_duplicated_points(self, rng):
+        base = rng.normal(size=(400, 2))
+        data = np.concatenate([base, base, base[:100]])
+        _check_guarantee(data, TKDCConfig(p=0.05, seed=0))
+
+    def test_tiny_epsilon(self, medium_gauss):
+        _check_guarantee(medium_gauss, TKDCConfig(p=0.01, epsilon=0.001, seed=0))
+
+    def test_large_epsilon(self, medium_gauss):
+        _check_guarantee(medium_gauss, TKDCConfig(p=0.01, epsilon=0.2, seed=0))
+
+    def test_moderate_quantile(self, medium_gauss):
+        _check_guarantee(medium_gauss, TKDCConfig(p=0.5, seed=0))
+
+    def test_high_quantile(self, medium_gauss):
+        _check_guarantee(medium_gauss, TKDCConfig(p=0.9, seed=0))
+
+    def test_epanechnikov_guarantee(self, medium_gauss):
+        _check_guarantee(
+            medium_gauss,
+            TKDCConfig(p=0.05, kernel="epanechnikov", seed=0),
+            kernel_name="epanechnikov",
+        )
+
+    def test_guarantee_without_grid(self, medium_gauss):
+        _check_guarantee(medium_gauss, TKDCConfig(p=0.01, use_grid=False, seed=0))
+
+    def test_guarantee_with_median_splits(self, medium_gauss):
+        _check_guarantee(medium_gauss, TKDCConfig(p=0.01, split_rule="median", seed=0))
+
+    def test_mixed_scales(self, rng):
+        # Dimensions with wildly different scales exercise the diagonal
+        # bandwidth handling.
+        data = rng.normal(size=(2000, 3)) * np.array([1e-3, 1.0, 1e3])
+        _check_guarantee(data, TKDCConfig(p=0.02, seed=0))
+
+    def test_clustered_and_constant_dim(self, rng):
+        data = np.concatenate([
+            rng.normal(size=(800, 3)) * 0.2,
+            rng.normal(size=(800, 3)) * 0.2 + 4.0,
+        ])
+        data[:, 2] = 1.0 + rng.normal(scale=1e-9, size=1600)  # near-constant
+        _check_guarantee(data, TKDCConfig(p=0.05, seed=0))
+
+
+class TestThresholdAccuracyAcrossSeeds:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_threshold_within_epsilon_of_exact(self, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(1500, 2))
+        config = TKDCConfig(p=0.05, seed=seed)
+        clf = TKDCClassifier(config).fit(data)
+        naive = NaiveKDE().fit(data)
+        densities = naive.density(data) - naive.kernel.max_value / 1500
+        exact = quantile_of_sorted(np.sort(densities), 0.05)
+        assert clf.threshold.value == pytest.approx(exact, rel=2 * config.epsilon)

@@ -1,0 +1,102 @@
+"""Cross-validation: every estimator in Table 2 solves the same problem."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BinnedKDE, NaiveKDE, RadialKDE, TreeKDE
+from repro.bench.algorithms import AMORTIZED_ALGORITHMS, run_amortized
+from repro.datasets.registry import load
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return load("tmy3", n=1500, d=2, seed=0)
+
+
+class TestDensityAgreement:
+    def test_all_estimators_close_to_exact(self, workload):
+        exact = NaiveKDE().fit(workload)
+        queries = workload[:100]
+        truth = exact.density(queries)
+        threshold = float(np.quantile(truth, 0.05))
+
+        estimators = [
+            TreeKDE(rtol=0.01),
+            TreeKDE(rtol=0.1),
+            RadialKDE(epsilon=0.01, threshold_hint=threshold),
+            BinnedKDE(),
+        ]
+        for estimator in estimators:
+            estimator.fit(workload)
+            got = estimator.density(queries)
+            rel_err = np.abs(got - truth) / truth
+            # Every approximation is within its documented regime: 15%
+            # worst-case leaves room for ks's bin bias at cluster edges.
+            assert np.median(rel_err) < 0.02, type(estimator).__name__
+            assert np.max(rel_err) < 0.25, type(estimator).__name__
+
+
+class TestClassificationAgreement:
+    def test_label_agreement_across_all_algorithms(self, workload):
+        runs = {
+            name: run_amortized(name, workload, p=0.05, seed=0)
+            for name in AMORTIZED_ALGORITHMS
+        }
+        exact_labels = runs["simple"].labels
+        for name, run in runs.items():
+            agreement = float(np.mean(run.labels == exact_labels))
+            assert agreement > 0.97, name
+
+    def test_thresholds_mutually_consistent(self, workload):
+        runs = {
+            name: run_amortized(name, workload, p=0.05, seed=0)
+            for name in ("tkdc", "simple", "nocut")
+        }
+        reference = runs["simple"].threshold
+        for name, run in runs.items():
+            assert run.threshold == pytest.approx(reference, rel=0.1), name
+
+
+class TestParametricStrawman:
+    def test_gmm_classification_degrades_on_multimodal_shuttle(self):
+        """The paper's introductory claim, end to end: on shuttle-like
+        multi-modal data, classifying with a (mis-specified) parametric
+        GMM is far less faithful to the exact density classification
+        than tKDC."""
+        from repro.analysis.accuracy import f1_score
+        from repro.baselines import GaussianMixtureKDE
+        from repro.baselines.base import quantile_threshold_of
+        from repro import TKDCClassifier, TKDCConfig
+
+        data = load("shuttle", n=3000, seed=0)[:, [3, 5]]
+        p = 0.05
+        exact = NaiveKDE().fit(data)
+        densities = exact.density(data) - exact.kernel.max_value / data.shape[0]
+        truth_threshold = np.sort(densities)[int(np.ceil(p * len(densities))) - 1]
+        truth = (densities <= truth_threshold).astype(int)
+
+        tkdc = TKDCClassifier(TKDCConfig(p=p, seed=0)).fit(data)
+        tkdc_pred = (np.asarray(tkdc.training_labels_) == 0).astype(int)
+
+        gmm = GaussianMixtureKDE(n_components=5, seed=0).fit(data)
+        gmm_threshold = quantile_threshold_of(gmm, data, p)
+        gmm_pred = (gmm.density(data) <= gmm_threshold).astype(int)
+
+        tkdc_f1 = f1_score(truth, tkdc_pred)
+        gmm_f1 = f1_score(truth, gmm_pred)
+        assert tkdc_f1 > 0.95
+        assert gmm_f1 < tkdc_f1 - 0.2
+
+
+class TestHigherDimensionalAgreement:
+    def test_d8_tkdc_vs_simple(self):
+        data = load("tmy3", n=1500, d=8, seed=0)
+        tkdc = run_amortized("tkdc", data, p=0.05, seed=0)
+        simple = run_amortized("simple", data, p=0.05, seed=0)
+        assert float(np.mean(tkdc.labels == simple.labels)) > 0.97
+
+    def test_d27_tkdc_vs_simple(self):
+        data = load("hep", n=1200, seed=0)
+        tkdc = run_amortized("tkdc", data, p=0.05, seed=0)
+        simple = run_amortized("simple", data, p=0.05, seed=0)
+        assert float(np.mean(tkdc.labels == simple.labels)) > 0.97

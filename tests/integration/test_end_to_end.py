@@ -1,0 +1,101 @@
+"""End-to-end integration tests: tKDC vs exact ground truth on every
+dataset simulator."""
+
+import numpy as np
+import pytest
+
+from repro import Label, TKDCClassifier, TKDCConfig
+from repro.analysis.accuracy import f1_score
+from repro.baselines.simple import NaiveKDE
+from repro.datasets.registry import load
+from repro.quantile.order_stats import quantile_of_sorted
+
+
+def _ground_truth(data: np.ndarray, p: float) -> tuple[np.ndarray, float]:
+    naive = NaiveKDE().fit(data)
+    densities = naive.density(data) - naive.kernel.max_value / data.shape[0]
+    threshold = quantile_of_sorted(np.sort(densities), p)
+    return (densities <= threshold).astype(int), threshold
+
+
+@pytest.mark.parametrize("dataset,dim", [
+    ("gauss", 2),
+    ("shuttle", 2),
+    ("shuttle", 9),
+    ("tmy3", 4),
+    ("tmy3", 8),
+    ("home", 10),
+    ("hep", 8),
+])
+def test_tkdc_matches_exact_classification(dataset, dim):
+    data = load(dataset, n=2500, seed=0)
+    if data.shape[1] > dim:
+        data = data[:, :dim]
+    truth, __ = _ground_truth(data, 0.01)
+    clf = TKDCClassifier(TKDCConfig(p=0.01, seed=0)).fit(data)
+    predicted = (np.asarray(clf.training_labels_) == Label.LOW).astype(int)
+    assert f1_score(truth, predicted) > 0.95
+
+
+def test_outlier_detection_workflow():
+    """The paper's headline use case: find the planted low-density tail."""
+    rng = np.random.default_rng(0)
+    inliers = rng.normal(size=(4000, 2))
+    outliers = rng.uniform(6, 10, size=(40, 2)) * rng.choice([-1, 1], size=(40, 2))
+    data = np.concatenate([inliers, outliers])
+    clf = TKDCClassifier(TKDCConfig(p=0.02, seed=0)).fit(data)
+    labels = np.asarray(clf.training_labels_)
+    outlier_labels = labels[4000:]
+    # Every planted outlier sits far below the 2% quantile.
+    assert np.all(outlier_labels == Label.LOW)
+    # And the vast majority of inliers are kept.
+    assert float(np.mean(labels[:4000] == Label.HIGH)) > 0.97
+
+
+def test_fresh_query_classification_consistency():
+    """classify() on held-out points agrees with exact densities."""
+    rng = np.random.default_rng(1)
+    train = load("tmy3", n=4000, d=4, seed=0)
+    queries = train[rng.choice(4000, 300, replace=False)] + rng.normal(
+        scale=0.01, size=(300, 4)
+    )
+    clf = TKDCClassifier(TKDCConfig(p=0.05, seed=0)).fit(train)
+    naive = NaiveKDE().fit(train)
+    exact = naive.density(queries)
+    t = clf.threshold.value
+    eps = clf.config.epsilon
+    predicted = clf.predict(queries)
+    outside_band = np.abs(exact - t) > eps * t
+    expected = (exact > t).astype(int)
+    agreement = np.mean(predicted[outside_band] == expected[outside_band])
+    assert agreement == 1.0
+
+
+def test_contour_extraction_workflow():
+    """Figure 2a workflow: level-set contours of a bimodal density."""
+    from repro.analysis.contours import density_grid, marching_squares
+    from repro.datasets.generators import make_iris_like
+
+    data = make_iris_like(2000, seed=0)
+    clf = TKDCClassifier(TKDCConfig(p=0.3, seed=0)).fit(data)
+    xs, ys, values = density_grid(
+        clf.estimate_density,
+        (float(data[:, 0].min()), float(data[:, 0].max())),
+        (float(data[:, 1].min()), float(data[:, 1].max())),
+        nx=24, ny=24,
+    )
+    segments = marching_squares(xs, ys, values, clf.threshold.value)
+    assert len(segments) > 4  # a closed-ish boundary exists
+
+
+def test_statistical_testing_workflow():
+    """Section 2.1's p-value use case: density-based tail probability."""
+    data = load("gauss", n=4000, seed=0)
+    clf = TKDCClassifier(TKDCConfig(p=0.05, seed=0)).fit(data)
+    scores = np.asarray(clf.training_scores_)
+    # Empirical tail probability of a fresh observation's density.
+    observation = np.array([[2.8, 2.8]])
+    density = clf.estimate_density(observation)[0]
+    p_value = float(np.mean(scores <= density))
+    # (2.8, 2.8) is ~4 sigma out: rare but not impossible.
+    assert 0.0 <= p_value < 0.1

@@ -1,0 +1,43 @@
+"""Every example script must run cleanly end to end.
+
+Examples are the public face of the library; these tests execute each
+one in a subprocess (small sizes via env where supported) and check for
+the landmarks of a successful run.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+#: (script, args, landmark strings expected in stdout)
+CASES = [
+    ("quickstart.py", [], ["threshold", "HIGH", "LOW", "kernel evaluations"]),
+    ("outlier_detection.py", [], ["anomaly recall", "most anomalous readings"]),
+    ("contour_visualization.py", [], ["#", "marching-squares contour"]),
+    ("statistical_testing.py", [], ["p-value", "certified density interval"]),
+    ("algorithm_comparison.py", ["1500"], ["tkdc", "agreement", "fewer"]),
+    ("density_bands.py", [], ["band", "dual-tree batch", "agreement"]),
+    ("streaming_monitoring.py", [], ["NEW REGIME", "model refit"]),
+    ("outlier_method_comparison.py", [], ["lof", "ocsvm", "p-value"]),
+]
+
+
+@pytest.mark.parametrize("script,args,landmarks", CASES,
+                         ids=[case[0] for case in CASES])
+def test_example_runs(script, args, landmarks):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True, text=True, timeout=900,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    for landmark in landmarks:
+        assert landmark in result.stdout, (script, landmark, result.stdout[-1500:])
+
+
+def test_every_example_covered():
+    scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == {case[0] for case in CASES}

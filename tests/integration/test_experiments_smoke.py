@@ -1,0 +1,219 @@
+"""Smoke tests: every paper experiment runs at miniature scale and its
+headline qualitative claims hold."""
+
+import numpy as np
+import pytest
+
+from repro.bench import experiments
+
+
+class TestTableExperiments:
+    def test_table2(self):
+        rows = experiments.table2_algorithms(n=800, seed=0, verbose=False)
+        by_name = {row["algorithm"]: row for row in rows}
+        assert set(by_name) == {"tkdc", "simple", "sklearn", "rkde", "nocut", "ks"}
+        for row in rows:
+            assert row["agreement_vs_exact"] > 0.95
+
+    def test_table3(self):
+        rows = experiments.table3_datasets(scale=0.001, verbose=False)
+        assert {row["name"] for row in rows} == {
+            "gauss", "tmy3", "home", "hep", "sift", "mnist", "shuttle"
+        }
+
+
+class TestFigure1:
+    def test_runs_and_region_sane(self):
+        rows = experiments.fig1_shuttle_classification(
+            n=2500, grid_cells=16, seed=0, verbose=False
+        )
+        row = rows[0]
+        assert 0.0 < row["high_region_fraction"] < 1.0
+        assert row["training_low_fraction"] == pytest.approx(0.15, abs=0.03)
+
+
+class TestFigure7:
+    def test_tkdc_beats_simple_on_2d(self):
+        rows = experiments.fig7_throughput(
+            n=1500, seed=0, verbose=False,
+            panels=[("gauss", 2, False)],
+            algorithms=("tkdc", "simple"),
+        )
+        by_algo = {row["algorithm"]: row for row in rows}
+        # At smoke scale we assert the machine-independent metric: tkdc
+        # classifies with a small fraction of the kernel evaluations.
+        # (Wall-clock dominance needs larger n in pure Python; the full
+        # bench suite measures it there.)
+        assert (
+            by_algo["tkdc"]["kernels_per_pt"]
+            < 0.1 * by_algo["simple"]["kernels_per_pt"]
+        )
+
+    def test_high_dim_panel_runs(self):
+        rows = experiments.fig7_throughput(
+            n=600, seed=0, verbose=False,
+            panels=[("mnist", 64, True)],
+            algorithms=("tkdc", "simple"),
+        )
+        assert len(rows) == 2
+
+
+class TestFigure8:
+    def test_accuracy_high_for_guaranteed_algorithms(self):
+        rows = experiments.fig8_accuracy(n=1200, seed=0, verbose=False)
+        for row in rows:
+            if row["algorithm"] in ("tkdc", "sklearn"):
+                assert row["f1_low_class"] > 0.9, row
+        # ks degrades at d=4 relative to d=2 (the paper's bin-bias story).
+        ks_rows = {(r["dataset"], r["d"]): r["f1_low_class"]
+                   for r in rows if r["algorithm"] == "ks"}
+        assert ks_rows[("tmy3", 4)] <= ks_rows[("tmy3", 2)] + 0.02
+
+
+class TestFigures9And10:
+    def test_slopes_reproduce_asymptotics(self):
+        import numpy as np
+
+        from repro.bench.harness import fit_loglog_slope
+
+        sizes = (1000, 2000, 4000, 8000)
+        rows = experiments.fig9_scaling_n(
+            sizes=sizes, n_queries=150, seed=0,
+            algorithms=("tkdc", "simple"), verbose=False,
+        )
+        # Fit per-query *kernel-evaluation* growth — the deterministic,
+        # machine-independent counterpart of the paper's throughput
+        # slopes. simple is exactly O(n); tkdc's bound is n^((d-1)/d)
+        # = n^0.5 at d=2 and is usually beaten in practice.
+        kernels = {
+            name: np.array([
+                row["kernels_per_query"] for row in rows
+                if row["algorithm"] == name and row["n"] > 0
+            ])
+            for name in ("tkdc", "simple")
+        }
+        xs = np.array(sizes, dtype=float)
+        assert fit_loglog_slope(xs, kernels["simple"]) == pytest.approx(1.0, abs=0.01)
+        assert fit_loglog_slope(xs, kernels["tkdc"]) < 0.6
+
+    def test_fig10_runs(self):
+        rows = experiments.fig10_scaling_hep(
+            sizes=(800, 1600), n_queries=50, seed=0, verbose=False
+        )
+        assert any(str(r["algorithm"]).endswith("loglog_slope") for r in rows)
+
+
+class TestFigure11:
+    def test_tkdc_prunes_at_every_dim(self):
+        rows = experiments.fig11_dims(
+            dims=(2, 8), n=2000, n_queries=100, seed=0,
+            algorithms=("tkdc", "simple"), verbose=False,
+        )
+        for dim in (2, 8):
+            subset = {r["algorithm"]: r for r in rows if r["d"] == dim}
+            # Machine-independent claim at smoke scale: tkdc evaluates a
+            # small fraction of the kernels per query at every dimension.
+            assert (
+                subset["tkdc"]["kernels_per_query"]
+                < 0.25 * subset["simple"]["kernels_per_query"]
+            )
+
+
+class TestFactorAndLesion:
+    def test_threshold_rule_is_the_big_win(self):
+        rows = experiments.fig12_factor_analysis(
+            n=3000, n_queries=200, slow_queries=30, seed=0, verbose=False
+        )
+        by_variant = {row["variant"]: row for row in rows}
+        assert by_variant["baseline"]["kernels_per_pt"] == pytest.approx(3000, rel=0.01)
+        assert by_variant["+threshold"]["kernels_per_pt"] < 0.1 * 3000
+
+    def test_lesion_no_optimization_redundant(self):
+        rows = experiments.fig16_lesion_analysis(
+            n=3000, n_queries=200, slow_queries=30, seed=0, verbose=False
+        )
+        by_variant = {row["variant"]: row for row in rows}
+        # Removing the threshold rule explodes the kernel count.
+        assert (
+            by_variant["-threshold"]["kernels_per_pt"]
+            > 10 * by_variant["complete"]["kernels_per_pt"]
+        )
+
+
+class TestRadiusAndThresholdSweeps:
+    def test_fig13_error_decreases_with_radius(self):
+        rows = experiments.fig13_rkde_radius(
+            radii=(0.5, 2.0, 4.0), n=3000, n_queries=80, seed=0, verbose=False
+        )
+        rkde_rows = [r for r in rows if r["algorithm"] == "rkde"]
+        errors = [r["max_err_over_t"] for r in rkde_rows]
+        assert errors[0] > errors[-1]
+
+    def test_fig15_low_quantile_much_cheaper(self):
+        rows = experiments.fig15_threshold_sweep(
+            quantiles=(0.01, 0.5, 0.99), n=4000, n_queries=150, seed=0, verbose=False
+        )
+        tkdc = {r["p"]: r["kernels_per_query"] for r in rows if r["algorithm"] == "tkdc"}
+        # Low thresholds have few nearby points -> aggressive pruning.
+        assert tkdc[0.01] < 0.2 * tkdc[0.5]
+        # The right side flattens rather than exploding: cost at p=0.99
+        # stays in the same ballpark as the middle. (The paper's sharp
+        # right-side dip depends on the density-of-densities of the real
+        # tmy3 data; our simulator's is flatter — see EXPERIMENTS.md.)
+        assert tkdc[0.99] < 2.0 * tkdc[0.5]
+
+
+class TestFigure14:
+    def test_mnist_sweep_runs(self):
+        rows = experiments.fig14_mnist_dims(
+            dims=(4, 64), n=800, n_queries=40, seed=0, verbose=False
+        )
+        assert {r["d"] for r in rows} == {4, 64}
+        for row in rows:
+            assert row["queries_per_s"] > 0
+
+
+class TestExtraAblations:
+    def test_priority_orders(self):
+        rows = experiments.ablation_priority_orders(
+            n=3000, n_queries=120, seed=0, verbose=False
+        )
+        by_priority = {r["priority"]: r for r in rows}
+        # The paper's discrepancy ordering should not do more kernel work
+        # than naive FIFO expansion.
+        assert (
+            by_priority["discrepancy"]["kernels_per_pt"]
+            <= by_priority["fifo"]["kernels_per_pt"] * 1.5
+        )
+
+    def test_leaf_size_sweep(self):
+        rows = experiments.ablation_leaf_size(
+            leaf_sizes=(8, 64), n=3000, n_queries=120, seed=0, verbose=False
+        )
+        assert len(rows) == 2
+
+    def test_kernel_ablation(self):
+        rows = experiments.ablation_kernels(n=2500, seed=0, verbose=False)
+        by_kernel = {r["kernel"]: r for r in rows}
+        for row in by_kernel.values():
+            assert row["low_fraction"] == pytest.approx(0.01, abs=0.01)
+
+
+class TestTheorem1:
+    def test_thm1_scaling_runs(self):
+        rows = experiments.thm1_scaling(
+            sizes=(1000, 2000, 4000), n_queries=120, seed=0, verbose=False
+        )
+        sweep = [r for r in rows if r["n"] > 0]
+        assert len(sweep) == 3
+        # Near fraction shrinks with n at this scale.
+        assert sweep[-1]["near_fraction"] <= sweep[0]["near_fraction"]
+
+
+class TestDeterminism:
+    def test_experiments_deterministic_given_seed(self):
+        first = experiments.fig8_accuracy(n=800, seed=0, verbose=False)
+        second = experiments.fig8_accuracy(n=800, seed=0, verbose=False)
+        f1_first = [r["f1_low_class"] for r in first]
+        f1_second = [r["f1_low_class"] for r in second]
+        np.testing.assert_allclose(f1_first, f1_second)

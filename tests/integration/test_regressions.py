@@ -1,0 +1,110 @@
+"""Regression tests for bugs found during development.
+
+Each test pins the *mechanism* of a past defect, not just its symptom,
+so refactors that reintroduce the failure mode are caught immediately.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Label, TKDCClassifier, TKDCConfig
+from repro.baselines.simple import NaiveKDE
+from repro.datasets.registry import load
+from repro.quantile.order_stats import quantile_of_sorted
+
+
+class TestSelfContributionShift:
+    """High-d datasets have K(0)/n >> t(p). Two historical bugs:
+
+    1. grid-hit scores recorded below the quantile corrupted the refined
+       threshold (shuttle d=4);
+    2. shifting the threshold bounds *before* the epsilon margin
+       inflated the margin to eps*(t + K(0)/n), degrading the scoring
+       pass to worse-than-exhaustive (hep d=27: 13k kernels/pt at
+       n=2500).
+    """
+
+    def test_hep_scoring_stays_sublinear(self):
+        data = load("hep", n=2000, seed=0)
+        clf = TKDCClassifier(TKDCConfig(p=0.01, seed=0)).fit(data)
+        # Worse-than-exhaustive scoring showed up as kernels/query > n.
+        assert clf.stats.kernels_per_query < 0.6 * data.shape[0]
+
+    def test_hep_threshold_matches_exact(self):
+        data = load("hep", n=2000, seed=0)
+        clf = TKDCClassifier(TKDCConfig(p=0.01, seed=0)).fit(data)
+        naive = NaiveKDE().fit(data)
+        densities = naive.density(data) - naive.kernel.max_value / data.shape[0]
+        exact = quantile_of_sorted(np.sort(densities), 0.01)
+        assert clf.threshold.value == pytest.approx(exact, rel=0.05)
+
+    def test_shuttle_grid_scores_respect_quantile(self):
+        data = load("shuttle", n=3000, seed=0)[:, :4]  # grid active at d=4
+        clf = TKDCClassifier(TKDCConfig(p=0.01, seed=0)).fit(data)
+        naive = NaiveKDE().fit(data)
+        densities = naive.density(data) - naive.kernel.max_value / data.shape[0]
+        exact = quantile_of_sorted(np.sort(densities), 0.01)
+        assert clf.threshold.value == pytest.approx(exact, rel=0.05)
+        low_fraction = float(np.mean(np.asarray(clf.training_labels_) == Label.LOW))
+        assert low_fraction == pytest.approx(0.01, abs=0.005)
+
+
+class TestBootstrapZeroSnapping:
+    """Finite-support kernels can place the quantile at exactly zero
+    density; multiplicative backoff can never reach zero, which once
+    spun the bootstrap to its iteration cap."""
+
+    def test_epanechnikov_with_isolated_points_fits(self, rng):
+        cluster = rng.normal(size=(900, 2)) * 0.1
+        isolated = rng.uniform(50, 300, size=(100, 2)) * rng.choice(
+            [-1, 1], size=(100, 2)
+        )
+        data = np.concatenate([cluster, isolated])
+        clf = TKDCClassifier(
+            TKDCConfig(p=0.05, kernel="epanechnikov", seed=0)
+        ).fit(data)
+        assert clf.is_fitted
+        # The isolated points have exactly-zero corrected density and
+        # must be the LOW ones.
+        labels = np.asarray(clf.training_labels_)
+        assert np.mean(labels[900:] == Label.LOW) > 0.4
+
+
+class TestDualTreeWeighting:
+    """The block traversal once weighted child contributions by the
+    query node's count instead of the training child's, producing
+    certified-looking but wrong bounds."""
+
+    def test_grid_batch_matches_exact_everywhere(self, rng):
+        data = rng.normal(size=(2000, 2))
+        clf = TKDCClassifier(TKDCConfig(p=0.1, seed=0)).fit(data)
+        xs = np.linspace(-4, 4, 25)
+        grid_x, grid_y = np.meshgrid(xs, xs, indexing="ij")
+        queries = np.column_stack([grid_x.ravel(), grid_y.ravel()])
+        dual = clf.classify_batch(queries)
+        naive = NaiveKDE().fit(data)
+        exact = naive.density(queries)
+        t, eps = clf.threshold.value, clf.config.epsilon
+        for density, label in zip(exact, dual):
+            if density > t * (1 + eps):
+                assert label is Label.HIGH
+            elif density < t * (1 - eps):
+                assert label is Label.LOW
+
+
+class TestUniformKernelSupport:
+    """(1 - s)^0 == 1 everywhere made the uniform kernel non-zero
+    outside its support; bounds then never converged for far nodes."""
+
+    def test_uniform_zero_outside_ball(self):
+        from repro.kernels.polynomial import UniformKernel
+
+        kernel = UniformKernel(np.ones(2))
+        assert float(kernel.value(4.0)) == 0.0
+        assert kernel.value_scalar(4.0) == 0.0
+
+    def test_uniform_classifier_end_to_end(self, medium_gauss):
+        clf = TKDCClassifier(TKDCConfig(p=0.05, kernel="uniform", seed=0)).fit(
+            medium_gauss
+        )
+        assert clf.classify(np.array([[0.0, 0.0]]))[0] is Label.HIGH

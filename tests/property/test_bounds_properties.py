@@ -1,0 +1,115 @@
+"""Property-based tests for the density-bounding traversal.
+
+The central soundness property of the whole paper: at every stopping
+point, the interval produced by ``bound_density`` contains the exact
+kernel density, and pruned classifications are correct outside the
+``eps``-band.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.bounds import bound_density
+from repro.core.pruning import PruneOutcome
+from repro.core.stats import TraversalStats
+from repro.index.kdtree import KDTree
+from repro.kernels.epanechnikov import EpanechnikovKernel
+from repro.kernels.gaussian import GaussianKernel
+from tests.conftest import exact_density
+
+coords = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False, width=64)
+
+
+def workloads(max_points: int = 80, max_dim: int = 3):
+    return st.integers(1, max_dim).flatmap(
+        lambda d: st.tuples(
+            arrays(np.float64, st.tuples(st.integers(2, max_points), st.just(d)),
+                   elements=coords),
+            arrays(np.float64, (d,), elements=coords),
+        )
+    )
+
+
+@given(
+    workload=workloads(),
+    threshold=st.floats(min_value=1e-9, max_value=1.0),
+    epsilon=st.floats(min_value=1e-3, max_value=0.5),
+    kernel_cls=st.sampled_from([GaussianKernel, EpanechnikovKernel]),
+    leaf_size=st.integers(1, 16),
+)
+@settings(max_examples=150, deadline=None)
+def test_bounds_always_contain_exact_density(
+    workload, threshold, epsilon, kernel_cls, leaf_size
+):
+    points, query = workload
+    kernel = kernel_cls(np.ones(points.shape[1]))
+    tree = KDTree(points, leaf_size=leaf_size)
+    result = bound_density(
+        tree, kernel, query, threshold, threshold, epsilon, TraversalStats()
+    )
+    truth = exact_density(points, kernel, query)
+    slack = 1e-9 * max(truth, kernel.max_value)
+    assert result.lower <= truth + slack
+    assert result.upper >= truth - slack
+
+
+@given(
+    workload=workloads(),
+    threshold=st.floats(min_value=1e-9, max_value=1.0),
+    epsilon=st.floats(min_value=1e-3, max_value=0.2),
+)
+@settings(max_examples=150, deadline=None)
+def test_pruned_classifications_are_certified(workload, threshold, epsilon):
+    points, query = workload
+    kernel = GaussianKernel(np.ones(points.shape[1]))
+    tree = KDTree(points, leaf_size=4)
+    result = bound_density(
+        tree, kernel, query, threshold, threshold, epsilon, TraversalStats()
+    )
+    truth = exact_density(points, kernel, query)
+    slack = 1e-9 * kernel.max_value
+    if result.outcome is PruneOutcome.THRESHOLD_HIGH:
+        assert truth > threshold * (1 + epsilon) - slack
+    elif result.outcome is PruneOutcome.THRESHOLD_LOW:
+        assert truth < threshold * (1 - epsilon) + slack
+    elif result.outcome is PruneOutcome.TOLERANCE:
+        assert result.upper - result.lower < epsilon * threshold
+
+
+@given(workload=workloads())
+@settings(max_examples=80, deadline=None)
+def test_exhaustive_traversal_is_exact(workload):
+    points, query = workload
+    kernel = GaussianKernel(np.ones(points.shape[1]))
+    tree = KDTree(points, leaf_size=4)
+    result = bound_density(
+        tree, kernel, query, 0.0, math.inf, 0.01, TraversalStats(),
+        use_threshold_rule=False, use_tolerance_rule=False,
+    )
+    truth = exact_density(points, kernel, query)
+    assert np.isclose(result.lower, truth, rtol=1e-8, atol=1e-15)
+    assert np.isclose(result.upper, truth, rtol=1e-8, atol=1e-15)
+
+
+@given(
+    workload=workloads(max_points=60),
+    priority=st.sampled_from(["discrepancy", "nearest", "fifo", "lifo"]),
+    threshold=st.floats(min_value=1e-6, max_value=0.5),
+)
+@settings(max_examples=80, deadline=None)
+def test_priority_order_never_affects_soundness(workload, priority, threshold):
+    points, query = workload
+    kernel = GaussianKernel(np.ones(points.shape[1]))
+    tree = KDTree(points, leaf_size=4)
+    result = bound_density(
+        tree, kernel, query, threshold, threshold, 0.05, TraversalStats(),
+        priority=priority,
+    )
+    truth = exact_density(points, kernel, query)
+    slack = 1e-9 * kernel.max_value
+    assert result.lower <= truth + slack
+    assert result.upper >= truth - slack

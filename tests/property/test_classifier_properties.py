@@ -1,0 +1,67 @@
+"""Property-based tests for the end-to-end classifier guarantee.
+
+Paper Problem 1: any query whose exact density is outside the
+``±eps * t`` band must be classified correctly. We generate mixture-ish
+datasets and random queries and verify the guarantee holds relative to
+tKDC's own threshold estimate.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import TKDCClassifier, TKDCConfig
+from repro.baselines.simple import NaiveKDE
+
+
+@st.composite
+def clustered_datasets(draw):
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    dim = draw(st.integers(1, 3))
+    n_clusters = draw(st.integers(1, 4))
+    n = draw(st.integers(300, 800))
+    centers = rng.uniform(-10, 10, size=(n_clusters, dim))
+    assignments = rng.integers(0, n_clusters, size=n)
+    scales = rng.uniform(0.3, 2.0, size=n_clusters)
+    data = centers[assignments] + rng.normal(size=(n, dim)) * scales[assignments, None]
+    queries = rng.uniform(-14, 14, size=(15, dim))
+    return data, queries, seed
+
+
+@given(workload=clustered_datasets(), p=st.sampled_from([0.01, 0.05, 0.2]))
+@settings(max_examples=25, deadline=None)
+def test_classification_guarantee_outside_eps_band(workload, p):
+    data, queries, seed = workload
+    config = TKDCConfig(p=p, epsilon=0.01, seed=seed, bootstrap_s0=500)
+    clf = TKDCClassifier(config).fit(data)
+    naive = NaiveKDE().fit(data)
+    exact = naive.density(queries)
+    t = clf.threshold.value
+    eps = config.epsilon
+    labels = clf.predict(queries)
+    for density, label in zip(exact, labels):
+        if density > t * (1 + eps):
+            assert label == 1
+        elif density < t * (1 - eps):
+            assert label == 0
+
+
+@given(workload=clustered_datasets())
+@settings(max_examples=15, deadline=None)
+def test_training_low_fraction_close_to_p(workload):
+    data, __, seed = workload
+    p = 0.1
+    clf = TKDCClassifier(TKDCConfig(p=p, seed=seed, bootstrap_s0=500)).fit(data)
+    low_fraction = float(np.mean(np.asarray(clf.training_labels_) == 0))
+    assert abs(low_fraction - p) < 0.05
+
+
+@given(workload=clustered_datasets())
+@settings(max_examples=15, deadline=None)
+def test_threshold_bracket_contains_estimate(workload):
+    data, __, seed = workload
+    clf = TKDCClassifier(TKDCConfig(seed=seed, bootstrap_s0=500)).fit(data)
+    t = clf.threshold
+    assert t.lower <= t.value <= t.upper
+    assert t.lower >= 0.0

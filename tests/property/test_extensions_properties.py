@@ -1,0 +1,130 @@
+"""Property-based tests for the extension modules.
+
+Dual-tree block bounds, band assignment, and the incremental
+classifier's combined-density algebra all carry the same soundness
+obligation as the core traversal: never misclassify outside the
+epsilon band.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.bands import band_of, bound_band
+from repro.core.dualtree import dual_tree_classify
+from repro.core.result import Label
+from repro.core.stats import TraversalStats
+from repro.index.boxes import box_max_sq_dist, box_min_sq_dist
+from repro.index.kdtree import KDTree
+from repro.kernels.gaussian import GaussianKernel
+from tests.conftest import exact_density
+
+coords = st.floats(min_value=-30.0, max_value=30.0, allow_nan=False, width=64)
+
+
+def point_batches(max_points: int = 70, max_queries: int = 12, max_dim: int = 3):
+    return st.integers(1, max_dim).flatmap(
+        lambda d: st.tuples(
+            arrays(np.float64, st.tuples(st.integers(4, max_points), st.just(d)),
+                   elements=coords),
+            arrays(np.float64, st.tuples(st.integers(1, max_queries), st.just(d)),
+                   elements=coords),
+        )
+    )
+
+
+@given(
+    batch=point_batches(),
+    threshold=st.floats(min_value=1e-8, max_value=0.5),
+    epsilon=st.floats(min_value=1e-3, max_value=0.2),
+)
+@settings(max_examples=60, deadline=None)
+def test_dual_tree_never_misclassifies_outside_band(batch, threshold, epsilon):
+    points, queries = batch
+    kernel = GaussianKernel(np.ones(points.shape[1]))
+    tree = KDTree(points, leaf_size=4)
+    labels = dual_tree_classify(
+        tree, kernel, queries, threshold, epsilon, TraversalStats(),
+        query_leaf_size=4,
+    )
+    slack = 1e-9 * kernel.max_value
+    for query, label in zip(queries, labels):
+        truth = exact_density(points, kernel, query)
+        if truth > threshold * (1 + epsilon) + slack:
+            assert label is Label.HIGH
+        elif truth < threshold * (1 - epsilon) - slack:
+            assert label is Label.LOW
+
+
+@given(
+    boxes=st.tuples(
+        arrays(np.float64, (4, 2), elements=coords),
+        arrays(np.float64, (4, 2), elements=coords),
+    )
+)
+@settings(max_examples=150)
+def test_box_box_distances_bracket_pairs(boxes):
+    a, b = boxes
+    lo_a, hi_a = a.min(axis=0), a.max(axis=0)
+    lo_b, hi_b = b.min(axis=0), b.max(axis=0)
+    pair_sq = ((a[:, None, :] - b[None, :, :]) ** 2).sum(axis=2)
+    assert box_min_sq_dist(lo_a, hi_a, lo_b, hi_b) <= pair_sq.min() + 1e-9
+    assert box_max_sq_dist(lo_a, hi_a, lo_b, hi_b) >= pair_sq.max() - 1e-9
+
+
+@given(
+    batch=point_batches(max_queries=6),
+    raw_thresholds=st.lists(
+        st.floats(min_value=1e-7, max_value=0.5), min_size=1, max_size=4, unique=True
+    ),
+    epsilon=st.floats(min_value=1e-3, max_value=0.1),
+)
+@settings(max_examples=60, deadline=None)
+def test_band_assignment_correct_outside_bands(batch, raw_thresholds, epsilon):
+    points, queries = batch
+    kernel = GaussianKernel(np.ones(points.shape[1]))
+    tree = KDTree(points, leaf_size=4)
+    thresholds = np.sort(np.asarray(raw_thresholds))
+    for query in queries:
+        band = bound_band(tree, kernel, query, thresholds, epsilon, TraversalStats())
+        truth = exact_density(points, kernel, query)
+        near_any = bool(np.any(np.abs(truth - thresholds) <= epsilon * thresholds
+                               + 1e-12 * kernel.max_value))
+        if not near_any:
+            assert band == band_of(truth, thresholds)
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    n_extra=st.integers(1, 80),
+)
+@settings(max_examples=20, deadline=None)
+def test_incremental_matches_combined_exact(seed, n_extra):
+    from repro.core.config import TKDCConfig
+    from repro.core.incremental import IncrementalTKDC
+
+    rng = np.random.default_rng(seed)
+    base = rng.normal(size=(400, 2))
+    extra = rng.normal(size=(n_extra, 2)) * rng.uniform(0.5, 2.0)
+    model = IncrementalTKDC(
+        TKDCConfig(p=0.05, seed=seed, bootstrap_s0=200), refit_fraction=0.5
+    ).fit(base)
+    model.insert(extra)
+
+    combined = np.concatenate([base, extra])
+    kernel = model.classifier.kernel
+    scaled_all = kernel.scale(combined)
+    queries = rng.uniform(-4, 4, size=(10, 2))
+    scaled_queries = kernel.scale(queries)
+    t = model.classifier.threshold.value
+    eps = model.config.epsilon
+    labels = model.predict(queries)
+    for i in range(queries.shape[0]):
+        diffs = scaled_all - scaled_queries[i]
+        sq = np.einsum("ij,ij->i", diffs, diffs)
+        density = float(np.sum(kernel.value(sq))) / combined.shape[0]
+        if density > t * (1 + eps):
+            assert labels[i] == 1
+        elif density < t * (1 - eps):
+            assert labels[i] == 0

@@ -1,0 +1,109 @@
+"""Metamorphic invariance tests for the classifier.
+
+Density classification with Scott's-rule bandwidths has exact symmetry
+properties: the labels must be invariant under translation of the whole
+problem, under per-axis rescaling (the diagonal bandwidth absorbs it),
+and under permutation of the training points (for points away from the
+threshold, where bootstrap sampling noise cannot flip a decision).
+Violations of any of these indicate coordinate-handling bugs that
+pointwise accuracy tests can miss.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import TKDCClassifier, TKDCConfig
+from repro.baselines.simple import NaiveKDE
+
+
+def _fit_and_label(data, queries, seed):
+    config = TKDCConfig(p=0.1, seed=seed, bootstrap_s0=300)
+    clf = TKDCClassifier(config).fit(data)
+    return clf, clf.predict(queries)
+
+
+def _off_band_mask(data, queries, threshold, epsilon, margin=3.0):
+    naive = NaiveKDE().fit(data)
+    densities = naive.density(queries)
+    return np.abs(densities - threshold) > margin * epsilon * threshold
+
+
+@st.composite
+def workloads(draw):
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    dim = draw(st.integers(1, 3))
+    n = draw(st.integers(300, 700))
+    clusters = rng.uniform(-5, 5, size=(draw(st.integers(1, 3)), dim))
+    assignment = rng.integers(0, clusters.shape[0], size=n)
+    data = clusters[assignment] + rng.normal(size=(n, dim))
+    queries = rng.uniform(-8, 8, size=(12, dim))
+    return data, queries, seed
+
+
+@given(workload=workloads(), shift_scale=st.floats(-1e3, 1e3, allow_nan=False))
+@settings(max_examples=15, deadline=None)
+def test_translation_invariance(workload, shift_scale):
+    data, queries, seed = workload
+    rng = np.random.default_rng(seed + 1)
+    shift = rng.normal(size=data.shape[1]) * shift_scale
+    clf, labels = _fit_and_label(data, queries, seed)
+    __, shifted_labels = _fit_and_label(data + shift, queries + shift, seed)
+    off_band = _off_band_mask(data, queries, clf.threshold.value, clf.config.epsilon)
+    np.testing.assert_array_equal(labels[off_band], shifted_labels[off_band])
+
+
+@given(workload=workloads(), log_scale=st.floats(-3.0, 3.0, allow_nan=False))
+@settings(max_examples=15, deadline=None)
+def test_axis_scaling_invariance(workload, log_scale):
+    """Scaling an axis rescales densities uniformly; labels (from the
+    quantile threshold, which rescales identically) must not change."""
+    data, queries, seed = workload
+    rng = np.random.default_rng(seed + 2)
+    scales = 10.0 ** (rng.uniform(-1, 1, size=data.shape[1]) * abs(log_scale) / 3)
+    clf, labels = _fit_and_label(data, queries, seed)
+    __, scaled_labels = _fit_and_label(data * scales, queries * scales, seed)
+    off_band = _off_band_mask(data, queries, clf.threshold.value, clf.config.epsilon)
+    np.testing.assert_array_equal(labels[off_band], scaled_labels[off_band])
+
+
+@given(workload=workloads())
+@settings(max_examples=15, deadline=None)
+def test_permutation_invariance(workload):
+    """Shuffling the training rows must not flip off-band labels.
+
+    (Near-threshold labels may legitimately differ: the bootstrap
+    subsamples by row position, so the estimated threshold moves within
+    its epsilon band.)"""
+    data, queries, seed = workload
+    rng = np.random.default_rng(seed + 3)
+    permutation = rng.permutation(data.shape[0])
+    clf, labels = _fit_and_label(data, queries, seed)
+    __, permuted_labels = _fit_and_label(data[permutation], queries, seed)
+    off_band = _off_band_mask(data, queries, clf.threshold.value, clf.config.epsilon)
+    np.testing.assert_array_equal(labels[off_band], permuted_labels[off_band])
+
+
+@given(workload=workloads())
+@settings(max_examples=10, deadline=None)
+def test_duplication_shifts_threshold_not_geometry(workload):
+    """Training on the data twice over changes n (and so the bandwidth)
+    but not the geometry: clearly-dense and clearly-sparse queries keep
+    their labels."""
+    data, queries, seed = workload
+    clf, labels = _fit_and_label(data, queries, seed)
+    doubled = np.concatenate([data, data])
+    __, doubled_labels = _fit_and_label(doubled, queries, seed)
+    # Compare only far-off-band queries (factor 10 margin): bandwidth
+    # shrink moves densities, but order-of-magnitude gaps survive.
+    off_band = _off_band_mask(
+        data, queries, clf.threshold.value, clf.config.epsilon, margin=10.0
+    )
+    naive = NaiveKDE().fit(data)
+    densities = naive.density(queries)
+    really_clear = off_band & (
+        (densities > 10 * clf.threshold.value)
+        | (densities < 0.1 * clf.threshold.value)
+    )
+    np.testing.assert_array_equal(labels[really_clear], doubled_labels[really_clear])

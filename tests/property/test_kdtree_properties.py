@@ -1,0 +1,70 @@
+"""Property-based tests for k-d tree invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.index.boxes import max_sq_dist, min_sq_dist
+from repro.index.kdtree import KDTree
+
+#: Finite, moderately sized coordinates keep distance arithmetic exact
+#: enough for strict assertions.
+coords = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False, width=64
+)
+
+
+def point_sets(min_points: int = 1, max_points: int = 120, max_dim: int = 4):
+    return st.integers(1, max_dim).flatmap(
+        lambda d: arrays(
+            np.float64,
+            st.tuples(st.integers(min_points, max_points), st.just(d)),
+            elements=coords,
+        )
+    )
+
+
+@given(data=point_sets(), leaf_size=st.integers(1, 16))
+@settings(max_examples=60, deadline=None)
+def test_leaves_partition_points(data, leaf_size):
+    tree = KDTree(data, leaf_size=leaf_size)
+    assert sum(leaf.count for leaf in tree.leaves()) == data.shape[0]
+    assert sorted(tree.indices.tolist()) == list(range(data.shape[0]))
+
+
+@given(data=point_sets(min_points=2), leaf_size=st.integers(1, 8))
+@settings(max_examples=60, deadline=None)
+def test_every_point_inside_ancestor_boxes(data, leaf_size):
+    tree = KDTree(data, leaf_size=leaf_size)
+    for node in tree.iter_nodes():
+        slab = tree.points[node.start : node.end]
+        assert np.all(slab >= node.lo - 1e-12)
+        assert np.all(slab <= node.hi + 1e-12)
+
+
+@given(
+    data=point_sets(min_points=3),
+    query=arrays(np.float64, (4,), elements=coords),
+)
+@settings(max_examples=60, deadline=None)
+def test_box_distance_bounds_bracket_point_distances(data, query):
+    q = query[: data.shape[1]]
+    tree = KDTree(data, leaf_size=4)
+    for node in tree.iter_nodes():
+        slab = tree.points[node.start : node.end]
+        sq = np.sum((slab - q) ** 2, axis=1)
+        lo = min_sq_dist(q, node.lo, node.hi)
+        hi = max_sq_dist(q, node.lo, node.hi)
+        assert lo <= sq.min() * (1 + 1e-9) + 1e-9
+        assert hi >= sq.max() * (1 - 1e-9) - 1e-9
+
+
+@given(data=point_sets(min_points=4), split_rule=st.sampled_from(["median", "trimmed_midpoint"]))
+@settings(max_examples=40, deadline=None)
+def test_split_rules_both_produce_valid_trees(data, split_rule):
+    tree = KDTree(data, leaf_size=2, split_rule=split_rule)
+    for node in tree.iter_nodes():
+        if not node.is_leaf:
+            left, right = node.children()
+            assert left.count >= 1 and right.count >= 1

@@ -1,0 +1,87 @@
+"""Property-based tests for kernel invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.epanechnikov import EpanechnikovKernel
+from repro.kernels.gaussian import GaussianKernel
+from repro.kernels.polynomial import BiweightKernel, TriweightKernel, UniformKernel
+
+bandwidths = st.lists(
+    st.floats(min_value=1e-3, max_value=1e3, allow_nan=False), min_size=1, max_size=6
+).map(np.array)
+
+sq_dists = st.floats(min_value=0.0, max_value=1e4, allow_nan=False)
+
+kernel_classes = st.sampled_from(
+    [GaussianKernel, EpanechnikovKernel, UniformKernel, BiweightKernel, TriweightKernel]
+)
+
+
+@given(h=bandwidths, s1=sq_dists, s2=sq_dists, cls=kernel_classes)
+@settings(max_examples=200)
+def test_kernel_monotone_non_increasing(h, s1, s2, cls):
+    kernel = cls(h)
+    lo, hi = sorted((s1, s2))
+    assert kernel.value(hi) <= kernel.value(lo) + 1e-18
+
+
+@given(h=bandwidths, cls=kernel_classes)
+@settings(max_examples=100)
+def test_profile_normalized_at_zero(h, cls):
+    kernel = cls(h)
+    assert kernel.profile(np.array(0.0)) == 1.0
+    assert kernel.value(0.0) == kernel.max_value
+
+
+@given(h=bandwidths, s=sq_dists, cls=kernel_classes)
+@settings(max_examples=200)
+def test_kernel_non_negative(h, s, cls):
+    assert cls(h).value(s) >= 0.0
+
+
+@given(h=bandwidths, value=st.floats(min_value=1e-12, max_value=1.0), cls=kernel_classes)
+@settings(max_examples=200)
+def test_inverse_profile_contract(h, value, cls):
+    """inverse_profile(v) is the smallest s with profile(s) <= v.
+
+    For step profiles (the uniform kernel) an exact round-trip is
+    impossible, so the contract is one-sided: the profile at the
+    returned distance is at most v, and just inside it the profile is
+    at least v.
+    """
+    kernel = cls(h)
+    sq = kernel.inverse_profile(value)
+    at = float(kernel.profile(np.array(sq)))
+    assert at <= value * (1 + 1e-9) + 1e-15
+    if sq > 0:
+        just_inside = float(kernel.profile(np.array(sq * (1 - 1e-9))))
+        assert just_inside >= value * (1 - 1e-6) - 1e-15
+
+
+@given(h=bandwidths, tail=st.floats(min_value=1e-300, max_value=1e-3), cls=kernel_classes)
+@settings(max_examples=100)
+def test_cutoff_radius_guarantee(h, tail, cls):
+    kernel = cls(h)
+    tail_value = tail * kernel.max_value
+    radius = kernel.cutoff_radius(tail_value)
+    # Every point beyond the radius contributes strictly less than tail.
+    beyond = radius * radius * (1 + 1e-9) + 1e-12
+    assert kernel.value(beyond) <= tail_value * (1 + 1e-6)
+
+
+@given(
+    h=bandwidths,
+    scale=st.floats(min_value=0.1, max_value=10.0),
+    s=sq_dists,
+)
+@settings(max_examples=100)
+def test_gaussian_bandwidth_scaling_of_constant(h, scale, s):
+    """Scaling every bandwidth by c scales the density by c^-d."""
+    base = GaussianKernel(h)
+    scaled = GaussianKernel(h * scale)
+    d = h.shape[0]
+    assert np.isclose(
+        scaled.norm_constant, base.norm_constant * scale**-d, rtol=1e-9
+    )

@@ -1,0 +1,81 @@
+"""Property-based tests for order-statistic quantile machinery."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantile.order_stats import (
+    binomial_order_ci,
+    normal_order_ci,
+    order_statistic_coverage,
+    quantile_index,
+    quantile_of_sorted,
+)
+
+
+@given(size=st.integers(1, 10_000), p=st.floats(0.0, 1.0, allow_nan=False))
+@settings(max_examples=300)
+def test_quantile_index_in_range(size, p):
+    idx = quantile_index(size, p)
+    assert 0 <= idx < size
+
+
+@given(size=st.integers(1, 1000), p1=st.floats(0.0, 1.0), p2=st.floats(0.0, 1.0))
+@settings(max_examples=200)
+def test_quantile_index_monotone_in_p(size, p1, p2):
+    lo, hi = sorted((p1, p2))
+    assert quantile_index(size, lo) <= quantile_index(size, hi)
+
+
+@given(
+    values=st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=200),
+    p=st.floats(0.01, 0.99),
+)
+@settings(max_examples=200)
+def test_quantile_of_sorted_is_an_element(values, p):
+    arr = np.sort(np.array(values))
+    q = quantile_of_sorted(arr, p)
+    assert q in arr
+
+
+@given(
+    values=st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=10, max_size=200),
+    p=st.floats(0.05, 0.95),
+)
+@settings(max_examples=200)
+def test_quantile_splits_mass_correctly(values, p):
+    arr = np.sort(np.array(values))
+    q = quantile_of_sorted(arr, p)
+    # At least ceil(np) values are <= q (order-statistic definition).
+    assert np.count_nonzero(arr <= q) >= int(np.ceil(len(arr) * p))
+
+
+@given(
+    s=st.integers(10, 5000),
+    p=st.floats(0.001, 0.999),
+    delta=st.floats(0.001, 0.3),
+)
+@settings(max_examples=200)
+def test_ci_ranks_are_ordered_and_in_range(s, p, delta):
+    for ci in (normal_order_ci, binomial_order_ci):
+        lower, upper = ci(s, p, delta)
+        assert 1 <= lower <= upper <= s
+
+
+@given(
+    s=st.integers(50, 2000),
+    p=st.floats(0.01, 0.5),
+    delta=st.floats(0.01, 0.2),
+)
+@settings(max_examples=100)
+def test_binomial_ci_coverage_property(s, p, delta):
+    from hypothesis import assume
+    from scipy import stats
+
+    # The guarantee applies when each tail can be carried by an order
+    # statistic (no clamping at the sample extremes); tiny s*p regimes
+    # are best-effort by design (see binomial_order_ci's docstring).
+    assume(stats.binom.ppf(delta / 2, s, p) >= 1)
+    assume(stats.binom.ppf(1 - delta / 2, s, p) + 1 <= s)
+    lower, upper = binomial_order_ci(s, p, delta)
+    assert order_statistic_coverage(s, p, lower, upper) >= 1 - delta - 1e-9

@@ -1,0 +1,82 @@
+"""Unit tests for the from-scratch classification metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.accuracy import (
+    ConfusionCounts,
+    confusion_counts,
+    f1_score,
+    precision_recall,
+)
+
+
+class TestConfusionCounts:
+    def test_basic(self):
+        truth = np.array([1, 1, 0, 0, 1])
+        pred = np.array([1, 0, 0, 1, 1])
+        counts = confusion_counts(truth, pred)
+        assert counts.true_positive == 2
+        assert counts.false_negative == 1
+        assert counts.false_positive == 1
+        assert counts.true_negative == 1
+        assert counts.total == 5
+
+    def test_accuracy(self):
+        counts = ConfusionCounts(2, 1, 1, 1)
+        assert counts.accuracy == pytest.approx(0.6)
+
+    def test_empty_accuracy(self):
+        assert ConfusionCounts(0, 0, 0, 0).accuracy == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            confusion_counts(np.zeros(3), np.zeros(4))
+
+    def test_custom_positive_label(self):
+        truth = np.array(["a", "b", "a"])
+        pred = np.array(["a", "a", "b"])
+        counts = confusion_counts(truth, pred, positive="a")
+        assert counts.true_positive == 1
+        assert counts.false_positive == 1
+        assert counts.false_negative == 1
+
+
+class TestPrecisionRecall:
+    def test_perfect(self):
+        truth = np.array([1, 0, 1])
+        precision, recall = precision_recall(truth, truth)
+        assert precision == 1.0
+        assert recall == 1.0
+
+    def test_no_predictions_positive(self):
+        precision, recall = precision_recall(np.array([1, 1]), np.array([0, 0]))
+        assert precision == 0.0
+        assert recall == 0.0
+
+    def test_known_values(self):
+        truth = np.array([1, 1, 1, 0, 0])
+        pred = np.array([1, 1, 0, 1, 0])
+        precision, recall = precision_recall(truth, pred)
+        assert precision == pytest.approx(2 / 3)
+        assert recall == pytest.approx(2 / 3)
+
+
+class TestF1:
+    def test_perfect(self):
+        truth = np.array([1, 0, 1, 0])
+        assert f1_score(truth, truth) == 1.0
+
+    def test_all_wrong(self):
+        truth = np.array([1, 0])
+        pred = np.array([0, 1])
+        assert f1_score(truth, pred) == 0.0
+
+    def test_harmonic_mean(self):
+        truth = np.array([1, 1, 1, 0, 0])
+        pred = np.array([1, 1, 0, 1, 0])
+        p = r = 2 / 3
+        assert f1_score(truth, pred) == pytest.approx(2 * p * r / (p + r))
+
+    def test_undefined_is_zero(self):
+        assert f1_score(np.array([0, 0]), np.array([0, 0])) == 0.0

@@ -1,0 +1,106 @@
+"""Unit tests for the ball-tree index and its traversal compatibility."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import bound_density
+from repro.core.stats import TraversalStats
+from repro.index.balltree import BallTree
+from tests.conftest import exact_density
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            BallTree(np.empty((0, 2)))
+
+    def test_rejects_bad_leaf_size(self, small_gauss):
+        with pytest.raises(ValueError, match="leaf_size"):
+            BallTree(small_gauss, leaf_size=0)
+
+    def test_counts_partition(self, small_gauss):
+        tree = BallTree(small_gauss, leaf_size=8)
+        assert sum(leaf.count for leaf in tree.leaves()) == tree.size
+
+    def test_indices_are_permutation(self, small_gauss):
+        tree = BallTree(small_gauss)
+        assert sorted(tree.indices.tolist()) == list(range(small_gauss.shape[0]))
+
+    def test_identical_points_stay_leaf(self):
+        tree = BallTree(np.ones((50, 3)), leaf_size=4)
+        assert tree.root.is_leaf
+        assert tree.root.radius == 0.0
+
+
+class TestBallInvariants:
+    def test_every_point_inside_its_balls(self, small_gauss):
+        tree = BallTree(small_gauss, leaf_size=8)
+        for node in tree.iter_nodes():
+            slab = tree.points[node.start : node.end]
+            dists = np.sqrt(np.sum((slab - node.center) ** 2, axis=1))
+            assert np.all(dists <= node.radius + 1e-12)
+
+    def test_radius_is_tight(self, small_gauss):
+        tree = BallTree(small_gauss, leaf_size=8)
+        for node in tree.iter_nodes():
+            slab = tree.points[node.start : node.end]
+            dists = np.sqrt(np.sum((slab - node.center) ** 2, axis=1))
+            assert node.radius == pytest.approx(float(dists.max()))
+
+    def test_node_bounds_bracket_contributions(self, small_gauss, unit_kernel_2d, rng):
+        tree = BallTree(small_gauss, leaf_size=8)
+        inv_n = 1.0 / tree.size
+        for __ in range(10):
+            q = rng.normal(size=2) * 2
+            for node in tree.iter_nodes():
+                lower, upper = tree.node_bounds(node, q, unit_kernel_2d, inv_n)
+                slab = tree.points[node.start : node.end]
+                actual = unit_kernel_2d.sum_at(slab, q) * inv_n
+                assert lower <= actual + 1e-12
+                assert upper >= actual - 1e-12
+
+
+class TestTraversalCompatibility:
+    def test_bound_density_exact_on_exhaustion(self, small_gauss, unit_kernel_2d, rng):
+        tree = BallTree(small_gauss, leaf_size=8)
+        for __ in range(10):
+            q = rng.normal(size=2) * 2
+            result = bound_density(
+                tree, unit_kernel_2d, q, 0.0, math.inf, 0.01, TraversalStats(),
+                use_threshold_rule=False, use_tolerance_rule=False,
+            )
+            truth = exact_density(small_gauss, unit_kernel_2d, q)
+            assert result.lower == pytest.approx(truth, rel=1e-9)
+            assert result.upper == pytest.approx(truth, rel=1e-9)
+
+    def test_bound_density_prunes_with_threshold(self, small_gauss, unit_kernel_2d):
+        tree = BallTree(small_gauss, leaf_size=8)
+        stats = TraversalStats()
+        result = bound_density(
+            tree, unit_kernel_2d, np.zeros(2), 0.001, 0.001, 0.01, stats
+        )
+        truth = exact_density(small_gauss, unit_kernel_2d, np.zeros(2))
+        assert result.lower <= truth <= result.upper
+        assert stats.kernel_evaluations < small_gauss.shape[0]
+
+    def test_classification_agrees_with_kdtree(self, medium_gauss, unit_kernel_2d, rng):
+        from repro.index.kdtree import KDTree
+
+        kd = KDTree(medium_gauss, leaf_size=16)
+        ball = BallTree(medium_gauss, leaf_size=16)
+        threshold = 0.01
+        queries = rng.normal(size=(100, 2)) * 2
+        for q in queries:
+            kd_result = bound_density(
+                kd, unit_kernel_2d, q, threshold, threshold, 0.01, TraversalStats()
+            )
+            ball_result = bound_density(
+                ball, unit_kernel_2d, q, threshold, threshold, 0.01, TraversalStats()
+            )
+            truth = exact_density(medium_gauss, unit_kernel_2d, q)
+            if abs(truth - threshold) > 0.01 * threshold:
+                assert (kd_result.midpoint > threshold) == (
+                    ball_result.midpoint > threshold
+                )

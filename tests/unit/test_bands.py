@@ -1,0 +1,135 @@
+"""Unit tests for the multi-threshold band classifier."""
+
+import numpy as np
+import pytest
+
+from repro import TKDCClassifier, TKDCConfig
+from repro.baselines.simple import NaiveKDE
+from repro.core.bands import BandClassifier, band_of
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    rng = np.random.default_rng(0)
+    data = rng.normal(size=(3000, 2))
+    return data, TKDCClassifier(TKDCConfig(seed=0)).fit(data)
+
+
+class TestBandOf:
+    def test_below_all(self):
+        assert band_of(0.5, [1.0, 2.0, 3.0]) == 0
+
+    def test_between(self):
+        assert band_of(1.5, [1.0, 2.0, 3.0]) == 1
+        assert band_of(2.5, [1.0, 2.0, 3.0]) == 2
+
+    def test_above_all(self):
+        assert band_of(9.0, [1.0, 2.0, 3.0]) == 3
+
+    def test_strictness_at_threshold(self):
+        assert band_of(1.0, [1.0]) == 0
+
+
+class TestValidation:
+    def test_requires_fitted(self):
+        with pytest.raises(ValueError, match="fitted"):
+            BandClassifier(TKDCClassifier(), (0.5,))
+
+    def test_requires_training_scores(self, fitted):
+        data, __ = fitted
+        clf = TKDCClassifier(
+            TKDCConfig(seed=0, refine_threshold=False, bootstrap_s0=500)
+        ).fit(data)
+        with pytest.raises(ValueError, match="refine_threshold"):
+            BandClassifier(clf, (0.5,))
+
+    def test_rejects_empty_quantiles(self, fitted):
+        __, clf = fitted
+        with pytest.raises(ValueError, match="at least one"):
+            BandClassifier(clf, ())
+
+    def test_rejects_unsorted(self, fitted):
+        __, clf = fitted
+        with pytest.raises(ValueError, match="ascending"):
+            BandClassifier(clf, (0.9, 0.1))
+
+    def test_rejects_out_of_range(self, fitted):
+        __, clf = fitted
+        with pytest.raises(ValueError, match="in \\(0, 1\\)"):
+            BandClassifier(clf, (0.0, 0.5))
+
+
+class TestClassifyBands:
+    def test_band_count(self, fitted):
+        __, clf = fitted
+        bands = BandClassifier(clf, (0.1, 0.5, 0.9))
+        assert bands.n_bands == 4
+
+    def test_matches_exact_bands_outside_eps(self, fitted, rng):
+        data, clf = fitted
+        bands = BandClassifier(clf, (0.1, 0.5, 0.9))
+        queries = rng.normal(size=(200, 2)) * 1.5
+        got = bands.classify_bands(queries)
+        naive = NaiveKDE().fit(data)
+        exact = naive.density(queries)
+        eps = clf.config.epsilon
+        for density, band in zip(exact, got):
+            # Only thresholds the density is eps-close to may be crossed.
+            near_some = np.any(
+                np.abs(density - bands.thresholds) <= eps * bands.thresholds
+            )
+            if not near_some:
+                assert band == band_of(density, bands.thresholds)
+
+    def test_radial_monotonicity(self, fitted):
+        """Bands decrease moving outward from a unimodal center."""
+        __, clf = fitted
+        bands = BandClassifier(clf, (0.2, 0.5, 0.8))
+        radii = np.array([0.0, 1.0, 2.0, 3.5])
+        queries = np.column_stack([radii, np.zeros_like(radii)])
+        got = bands.classify_bands(queries)
+        assert list(got) == sorted(got, reverse=True)
+        assert got[0] == 3  # center is the densest band
+        assert got[-1] == 0  # far out is the sparsest
+
+    def test_single_threshold_agrees_with_classify(self, fitted, rng):
+        data, clf = fitted
+        bands = BandClassifier(clf, (clf.config.p,))
+        queries = rng.normal(size=(100, 2)) * 2
+        got = bands.classify_bands(queries)
+        labels = clf.predict(queries)
+        # Band 1 == HIGH; allow eps-band ties only.
+        naive = NaiveKDE().fit(data)
+        exact = naive.density(queries)
+        eps = clf.config.epsilon
+        t = bands.thresholds[0]
+        for density, band, label in zip(exact, got, labels):
+            if abs(density - t) > 2 * eps * t:
+                assert band == label
+
+    def test_training_bands_fractions(self, fitted):
+        __, clf = fitted
+        bands = BandClassifier(clf, (0.25, 0.75))
+        training = bands.training_bands()
+        fractions = [float(np.mean(training == b)) for b in range(3)]
+        assert fractions[0] == pytest.approx(0.25, abs=0.02)
+        assert fractions[1] == pytest.approx(0.50, abs=0.02)
+        assert fractions[2] == pytest.approx(0.25, abs=0.02)
+
+    def test_cheaper_than_per_threshold_runs(self, fitted, rng):
+        """One band traversal beats k separate threshold traversals."""
+        from repro.core.stats import TraversalStats
+        from repro.core.bands import bound_band
+        from repro.core.bounds import bound_density
+
+        data, clf = fitted
+        bands = BandClassifier(clf, (0.1, 0.5, 0.9))
+        queries = clf.kernel.scale(rng.normal(size=(50, 2)))
+        band_stats = TraversalStats()
+        for q in queries:
+            bound_band(clf.tree, clf.kernel, q, bands.thresholds, 0.01, band_stats)
+        separate_stats = TraversalStats()
+        for q in queries:
+            for t in bands.thresholds:
+                bound_density(clf.tree, clf.kernel, q, t, t, 0.01, separate_stats)
+        assert band_stats.kernel_evaluations < separate_stats.kernel_evaluations

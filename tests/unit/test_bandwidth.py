@@ -1,0 +1,69 @@
+"""Unit tests for bandwidth selection rules."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.bandwidth import scotts_rule, silverman_rule
+
+
+class TestScottsRule:
+    def test_matches_equation_4(self, rng):
+        data = rng.normal(size=(500, 3))
+        h = scotts_rule(data)
+        expected = 500 ** (-1.0 / 7.0) * np.std(data, axis=0)
+        np.testing.assert_allclose(h, expected)
+
+    def test_scale_factor_is_linear(self, rng):
+        data = rng.normal(size=(100, 2))
+        np.testing.assert_allclose(scotts_rule(data, scale=2.5), 2.5 * scotts_rule(data))
+
+    def test_shrinks_with_n(self, rng):
+        small = rng.normal(size=(100, 2))
+        # Same distribution, more data -> smaller bandwidth.
+        large = rng.normal(size=(10_000, 2))
+        assert np.all(scotts_rule(large) < scotts_rule(small) * 1.1)
+
+    def test_zero_variance_dimension_gets_floor(self, rng):
+        data = rng.normal(size=(200, 3))
+        data[:, 1] = 42.0  # constant column
+        h = scotts_rule(data)
+        assert np.all(h > 0)
+
+    def test_all_zero_variance(self):
+        data = np.ones((50, 2))
+        h = scotts_rule(data)
+        assert np.all(h > 0)
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            scotts_rule(np.ones((1, 2)))
+
+    def test_rejects_non_positive_scale(self, rng):
+        data = rng.normal(size=(10, 2))
+        with pytest.raises(ValueError, match="positive"):
+            scotts_rule(data, scale=0.0)
+
+    def test_per_dimension_scaling(self, rng):
+        data = rng.normal(size=(1000, 2)) * np.array([1.0, 10.0])
+        h = scotts_rule(data)
+        assert h[1] / h[0] == pytest.approx(10.0, rel=0.2)
+
+
+class TestSilvermanRule:
+    def test_positive(self, rng):
+        data = rng.normal(size=(300, 4))
+        assert np.all(silverman_rule(data) > 0)
+
+    def test_known_factor_vs_scott(self, rng):
+        data = rng.normal(size=(300, 2))
+        d = 2
+        factor = (4.0 / (d + 2.0)) ** (1.0 / (d + 4))
+        np.testing.assert_allclose(silverman_rule(data), factor * scotts_rule(data))
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            silverman_rule(np.zeros((1, 3)))
+
+    def test_rejects_non_positive_scale(self, rng):
+        with pytest.raises(ValueError):
+            silverman_rule(rng.normal(size=(10, 2)), scale=-1.0)

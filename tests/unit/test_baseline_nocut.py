@@ -1,0 +1,75 @@
+"""Unit tests for the tolerance-only tree KDE (nocut/sklearn emulation)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.nocut import TreeKDE
+from repro.baselines.simple import NaiveKDE
+
+
+class TestAccuracy:
+    def test_within_rtol_of_exact(self, small_gauss, rng):
+        exact = NaiveKDE().fit(small_gauss)
+        approx = TreeKDE(rtol=0.01).fit(small_gauss)
+        queries = rng.normal(size=(30, 2)) * 1.5
+        truth = exact.density(queries)
+        got = approx.density(queries)
+        np.testing.assert_allclose(got, truth, rtol=0.011)
+
+    def test_tighter_rtol_more_accurate(self, small_gauss, rng):
+        exact = NaiveKDE().fit(small_gauss)
+        queries = rng.normal(size=(20, 2))
+        truth = exact.density(queries)
+        loose = TreeKDE(rtol=0.2).fit(small_gauss).density(queries)
+        tight = TreeKDE(rtol=0.001).fit(small_gauss).density(queries)
+        assert np.max(np.abs(tight - truth) / truth) <= np.max(
+            np.abs(loose - truth) / truth
+        ) + 1e-12
+
+    def test_atol_stopping(self, small_gauss, rng):
+        exact = NaiveKDE().fit(small_gauss)
+        approx = TreeKDE(rtol=0.0, atol=1e-4).fit(small_gauss)
+        queries = rng.normal(size=(10, 2))
+        np.testing.assert_allclose(
+            approx.density(queries), exact.density(queries), atol=1e-4
+        )
+
+
+class TestEfficiency:
+    def test_fewer_kernel_evaluations_than_naive(self, medium_gauss, rng):
+        approx = TreeKDE(rtol=0.1).fit(medium_gauss)
+        queries = rng.normal(size=(10, 2))
+        approx.density(queries)
+        assert approx.kernel_evaluations < 10 * medium_gauss.shape[0]
+
+    def test_looser_tolerance_fewer_evaluations(self, medium_gauss, rng):
+        queries = rng.normal(size=(10, 2))
+        loose = TreeKDE(rtol=0.2).fit(medium_gauss)
+        tight = TreeKDE(rtol=0.001).fit(medium_gauss)
+        loose.density(queries)
+        tight.density(queries)
+        assert loose.kernel_evaluations <= tight.kernel_evaluations
+
+
+class TestValidation:
+    def test_rejects_negative_tolerances(self):
+        with pytest.raises(ValueError):
+            TreeKDE(rtol=-0.1)
+        with pytest.raises(ValueError):
+            TreeKDE(rtol=0.1, atol=-1.0)
+
+    def test_rejects_both_zero(self):
+        with pytest.raises(ValueError, match="at least one"):
+            TreeKDE(rtol=0.0, atol=0.0)
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            TreeKDE().density(np.zeros((1, 2)))
+
+    def test_median_split_variant(self, small_gauss, rng):
+        est = TreeKDE(rtol=0.01, split_rule="median").fit(small_gauss)
+        exact = NaiveKDE().fit(small_gauss)
+        queries = rng.normal(size=(10, 2))
+        np.testing.assert_allclose(
+            est.density(queries), exact.density(queries), rtol=0.011
+        )

@@ -1,0 +1,88 @@
+"""Unit tests for the radial-cutoff KDE baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.rkde import RadialKDE, radius_for_guarantee
+from repro.baselines.simple import NaiveKDE
+from repro.kernels.gaussian import GaussianKernel
+
+
+class TestRadiusForGuarantee:
+    def test_truncation_error_bounded(self, small_gauss, rng):
+        exact = NaiveKDE().fit(small_gauss)
+        queries = rng.normal(size=(40, 2)) * 2
+        truth = exact.density(queries)
+        threshold = float(np.quantile(truth, 0.1))
+        epsilon = 0.01
+        est = RadialKDE(epsilon=epsilon, threshold_hint=threshold).fit(small_gauss)
+        got = est.density(queries)
+        assert np.max(np.abs(got - truth)) <= epsilon * threshold + 1e-15
+
+    def test_radius_monotone_in_epsilon(self):
+        kernel = GaussianKernel(np.ones(2))
+        tight = radius_for_guarantee(kernel, 0.001, 0.01)
+        loose = radius_for_guarantee(kernel, 0.1, 0.01)
+        assert tight > loose
+
+    def test_rejects_bad_inputs(self):
+        kernel = GaussianKernel(np.ones(2))
+        with pytest.raises(ValueError):
+            radius_for_guarantee(kernel, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            radius_for_guarantee(kernel, 0.1, 0.0)
+
+
+class TestExplicitRadius:
+    def test_huge_radius_is_exact(self, small_gauss, rng):
+        exact = NaiveKDE().fit(small_gauss)
+        est = RadialKDE(radius_in_bandwidths=100.0).fit(small_gauss)
+        queries = rng.normal(size=(20, 2))
+        np.testing.assert_allclose(est.density(queries), exact.density(queries))
+
+    def test_zero_radius_counts_coincident_only(self, small_gauss):
+        est = RadialKDE(radius_in_bandwidths=0.0).fit(small_gauss)
+        # At an off-data location nothing is within radius zero.
+        assert est.density(np.array([[37.0, 41.0]]))[0] == 0.0
+
+    def test_density_monotone_in_radius(self, small_gauss):
+        q = np.zeros((1, 2))
+        densities = [
+            RadialKDE(radius_in_bandwidths=r).fit(small_gauss).density(q)[0]
+            for r in (0.5, 1.0, 2.0, 4.0)
+        ]
+        assert densities == sorted(densities)
+
+    def test_underestimates_exact(self, small_gauss, rng):
+        # Truncation can only remove mass.
+        exact = NaiveKDE().fit(small_gauss)
+        est = RadialKDE(radius_in_bandwidths=1.0).fit(small_gauss)
+        queries = rng.normal(size=(20, 2))
+        assert np.all(est.density(queries) <= exact.density(queries) + 1e-15)
+
+    def test_radius_property(self, small_gauss):
+        est = RadialKDE(radius_in_bandwidths=2.5).fit(small_gauss)
+        assert est.radius == 2.5
+
+
+class TestValidation:
+    def test_needs_radius_or_hint(self):
+        with pytest.raises(ValueError, match="radius_in_bandwidths or"):
+            RadialKDE()
+
+    def test_rejects_negative_radius(self):
+        with pytest.raises(ValueError):
+            RadialKDE(radius_in_bandwidths=-1.0)
+
+    def test_requires_fit(self):
+        est = RadialKDE(radius_in_bandwidths=1.0)
+        with pytest.raises(RuntimeError, match="not fitted"):
+            est.density(np.zeros((1, 2)))
+        with pytest.raises(RuntimeError, match="not fitted"):
+            __ = est.radius
+
+    def test_kernel_evaluations_counted(self, small_gauss):
+        est = RadialKDE(radius_in_bandwidths=1.0).fit(small_gauss)
+        est.density(np.zeros((1, 2)))
+        assert est.kernel_evaluations > 0
+        assert est.kernel_evaluations < small_gauss.shape[0]

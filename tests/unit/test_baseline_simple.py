@@ -1,0 +1,66 @@
+"""Unit tests for the naive exact KDE baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.simple import NaiveKDE
+from tests.conftest import exact_density
+
+
+class TestDensity:
+    def test_matches_manual_sum(self, small_gauss, rng):
+        est = NaiveKDE().fit(small_gauss)
+        queries = rng.normal(size=(10, 2))
+        scaled_points = est.kernel.scale(small_gauss)
+        scaled_queries = est.kernel.scale(queries)
+        got = est.density(queries)
+        for i in range(10):
+            assert got[i] == pytest.approx(
+                exact_density(scaled_points, est.kernel, scaled_queries[i])
+            )
+
+    def test_integrates_to_one_monte_carlo(self, small_gauss, rng):
+        est = NaiveKDE().fit(small_gauss)
+        box = 12.0
+        samples = rng.uniform(-box / 2, box / 2, size=(40_000, 2))
+        estimate = float(np.mean(est.density(samples))) * box * box
+        assert estimate == pytest.approx(1.0, abs=0.05)
+
+    def test_density_positive(self, small_gauss, rng):
+        est = NaiveKDE().fit(small_gauss)
+        assert np.all(est.density(rng.normal(size=(20, 2)) * 5) >= 0)
+
+    def test_chunking_consistency(self, rng):
+        # Force multiple chunks by exceeding the pair block cap.
+        data = rng.normal(size=(500, 2))
+        est = NaiveKDE().fit(data)
+        queries = rng.normal(size=(50, 2))
+        all_at_once = est.density(queries)
+        one_by_one = np.array([est.density(q[None, :])[0] for q in queries])
+        np.testing.assert_allclose(all_at_once, one_by_one)
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            NaiveKDE().density(np.zeros((1, 2)))
+        with pytest.raises(RuntimeError, match="not fitted"):
+            __ = NaiveKDE().kernel
+
+
+class TestAccounting:
+    def test_kernel_evaluation_count(self, small_gauss):
+        est = NaiveKDE().fit(small_gauss)
+        est.density(np.zeros((3, 2)))
+        assert est.kernel_evaluations == 3 * small_gauss.shape[0]
+
+    def test_bandwidth_scale_passthrough(self, small_gauss):
+        wide = NaiveKDE(bandwidth_scale=2.0).fit(small_gauss)
+        base = NaiveKDE().fit(small_gauss)
+        np.testing.assert_allclose(wide.kernel.bandwidth, 2.0 * base.kernel.bandwidth)
+
+    def test_epanechnikov_variant(self, small_gauss):
+        est = NaiveKDE(kernel_name="epanechnikov").fit(small_gauss)
+        assert est.density(np.zeros((1, 2)))[0] > 0
+
+    def test_unnormalized_variant(self, small_gauss):
+        est = NaiveKDE(normalize=False).fit(small_gauss)
+        assert est.kernel.max_value == 1.0

@@ -1,0 +1,81 @@
+"""Unit tests for the benchmark algorithm drivers."""
+
+import numpy as np
+import pytest
+
+from repro.bench.algorithms import (
+    AMORTIZED_ALGORITHMS,
+    pilot_threshold,
+    run_amortized,
+    train_for_queries,
+)
+from repro.baselines.simple import NaiveKDE
+from repro.quantile.order_stats import quantile_of_sorted
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return np.random.default_rng(3).normal(size=(1200, 2))
+
+
+class TestPilotThreshold:
+    def test_close_to_full_quantile(self, workload):
+        naive = NaiveKDE().fit(workload)
+        densities = naive.density(workload) - naive.kernel.max_value / len(workload)
+        exact = quantile_of_sorted(np.sort(densities), 0.1)
+        pilot = pilot_threshold(workload, 0.1, pilot_size=600, seed=0)
+        assert pilot == pytest.approx(exact, rel=0.3)
+
+    def test_pilot_larger_than_n_uses_all(self, workload):
+        value = pilot_threshold(workload, 0.1, pilot_size=10_000, seed=0)
+        assert np.isfinite(value)
+
+
+class TestRunAmortized:
+    @pytest.mark.parametrize("name", AMORTIZED_ALGORITHMS)
+    def test_runs_and_labels_everything(self, workload, name):
+        run = run_amortized(name, workload, p=0.05, seed=0)
+        assert run.items_classified == workload.shape[0]
+        assert run.labels.shape == (workload.shape[0],)
+        assert set(np.unique(run.labels)).issubset({0, 1})
+        assert run.total_seconds > 0
+        assert run.amortized_throughput > 0
+
+    def test_low_fraction_matches_p(self, workload):
+        for name in ("tkdc", "simple"):
+            run = run_amortized(name, workload, p=0.1, seed=0)
+            low = float(np.mean(run.labels == 0))
+            assert low == pytest.approx(0.1, abs=0.02)
+
+    def test_unknown_algorithm(self, workload):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            run_amortized("magic", workload)
+
+    def test_kernels_per_item(self, workload):
+        run = run_amortized("simple", workload, seed=0)
+        # Naive KDE evaluates every pair (plus the pilot has none here).
+        assert run.kernels_per_item == pytest.approx(workload.shape[0], rel=0.01)
+
+
+class TestTrainForQueries:
+    @pytest.mark.parametrize("name", ["tkdc", "simple", "sklearn", "rkde", "nocut", "ks"])
+    def test_classify_fresh_queries(self, workload, name, rng):
+        trained = train_for_queries(name, workload, p=0.05, seed=0)
+        queries = rng.normal(size=(40, 2))
+        run = trained.classify(queries)
+        assert run.items_classified == 40
+        assert run.classify_seconds >= 0.0
+        assert run.labels.shape == (40,)
+
+    def test_center_and_outlier_agree_across_algorithms(self, workload):
+        queries = np.array([[0.0, 0.0], [7.0, 7.0]])
+        for name in ("tkdc", "simple", "rkde"):
+            trained = train_for_queries(name, workload, p=0.05, seed=0)
+            labels = trained.classify(queries).labels
+            assert labels[0] == 1, name
+            assert labels[1] == 0, name
+
+    def test_kernel_evaluations_delta(self, workload, rng):
+        trained = train_for_queries("simple", workload, p=0.05, seed=0)
+        run = trained.classify(rng.normal(size=(5, 2)))
+        assert run.kernel_evaluations == 5 * workload.shape[0]

@@ -1,0 +1,148 @@
+"""Unit tests for the Algorithm 2 density-bounding traversal."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import PRIORITY_ORDERS, bound_density
+from repro.core.pruning import PruneOutcome
+from repro.core.stats import TraversalStats
+from repro.index.kdtree import KDTree
+from repro.kernels.gaussian import GaussianKernel
+from tests.conftest import exact_density
+
+
+@pytest.fixture
+def setup(small_gauss, unit_kernel_2d):
+    tree = KDTree(small_gauss, leaf_size=8)
+    return tree, unit_kernel_2d, small_gauss
+
+
+class TestExhaustiveTraversal:
+    def test_collapses_to_exact_density(self, setup, rng):
+        tree, kernel, data = setup
+        for __ in range(10):
+            q = rng.normal(size=2) * 2
+            result = bound_density(
+                tree, kernel, q, 0.0, math.inf, 0.01, TraversalStats(),
+                use_threshold_rule=False, use_tolerance_rule=False,
+            )
+            truth = exact_density(data, kernel, q)
+            assert result.lower == pytest.approx(truth, rel=1e-9)
+            assert result.upper == pytest.approx(truth, rel=1e-9)
+            assert result.outcome is None
+
+    def test_counts_every_kernel_evaluation(self, setup):
+        tree, kernel, data = setup
+        stats = TraversalStats()
+        bound_density(tree, kernel, np.zeros(2), 0.0, math.inf, 0.01, stats,
+                      use_threshold_rule=False, use_tolerance_rule=False)
+        assert stats.kernel_evaluations == data.shape[0]
+        assert stats.exhausted == 1
+        assert stats.queries == 1
+
+
+class TestBoundValidity:
+    def test_interval_contains_exact_density(self, setup, rng):
+        tree, kernel, data = setup
+        for __ in range(20):
+            q = rng.normal(size=2) * 3
+            t = float(rng.uniform(1e-4, 0.1))
+            result = bound_density(tree, kernel, q, t, t, 0.01, TraversalStats())
+            truth = exact_density(data, kernel, q)
+            assert result.lower <= truth * (1 + 1e-9) + 1e-15
+            assert result.upper >= truth * (1 - 1e-9) - 1e-15
+
+    def test_threshold_high_certifies_density(self, setup):
+        tree, kernel, data = setup
+        q = np.zeros(2)  # dense center
+        t = 0.01
+        result = bound_density(tree, kernel, q, t, t, 0.01, TraversalStats())
+        if result.outcome is PruneOutcome.THRESHOLD_HIGH:
+            assert exact_density(data, kernel, q) > t
+
+    def test_threshold_low_certifies_density(self, setup):
+        tree, kernel, data = setup
+        q = np.array([10.0, 10.0])  # far outlier
+        t = 0.01
+        result = bound_density(tree, kernel, q, t, t, 0.01, TraversalStats())
+        assert result.outcome is PruneOutcome.THRESHOLD_LOW
+        assert exact_density(data, kernel, q) < t
+
+    def test_tolerance_interval_width(self, setup, rng):
+        tree, kernel, data = setup
+        # With threshold rule disabled the traversal must narrow the
+        # interval to eps * t_lower.
+        eps, t = 0.05, 0.01
+        for __ in range(5):
+            q = rng.normal(size=2)
+            result = bound_density(
+                tree, kernel, q, t, t, eps, TraversalStats(), use_threshold_rule=False
+            )
+            assert result.upper - result.lower < eps * t
+
+
+class TestPruningEfficiency:
+    def test_threshold_rule_saves_kernel_evaluations(self, setup):
+        tree, kernel, data = setup
+        t = 0.01
+        with_rule = TraversalStats()
+        without_rule = TraversalStats()
+        q = np.zeros(2)
+        bound_density(tree, kernel, q, t, t, 0.01, with_rule)
+        bound_density(tree, kernel, q, t, t, 0.01, without_rule,
+                      use_threshold_rule=False)
+        assert with_rule.kernel_evaluations <= without_rule.kernel_evaluations
+
+    def test_far_point_prunes_immediately(self, setup):
+        tree, kernel, __ = setup
+        stats = TraversalStats()
+        bound_density(tree, kernel, np.array([100.0, 100.0]), 0.01, 0.01, 0.01, stats)
+        assert stats.kernel_evaluations == 0
+        assert stats.threshold_prunes_low == 1
+
+
+class TestPriorityOrders:
+    @pytest.mark.parametrize("priority", PRIORITY_ORDERS)
+    def test_all_orders_give_valid_bounds(self, setup, priority, rng):
+        tree, kernel, data = setup
+        q = rng.normal(size=2)
+        t = 0.01
+        result = bound_density(
+            tree, kernel, q, t, t, 0.01, TraversalStats(), priority=priority
+        )
+        truth = exact_density(data, kernel, q)
+        assert result.lower <= truth + 1e-12
+        assert result.upper >= truth - 1e-12
+
+    def test_rejects_unknown_priority(self, setup):
+        tree, kernel, __ = setup
+        with pytest.raises(ValueError, match="priority"):
+            bound_density(tree, kernel, np.zeros(2), 0.0, 1.0, 0.01,
+                          TraversalStats(), priority="random")
+
+
+class TestValidation:
+    def test_rejects_inverted_thresholds(self, setup):
+        tree, kernel, __ = setup
+        with pytest.raises(ValueError, match="exceeds"):
+            bound_density(tree, kernel, np.zeros(2), 1.0, 0.5, 0.01, TraversalStats())
+
+    def test_midpoint_property(self, setup):
+        tree, kernel, __ = setup
+        result = bound_density(tree, kernel, np.zeros(2), 0.01, 0.01, 0.01,
+                               TraversalStats())
+        assert result.midpoint == pytest.approx(0.5 * (result.lower + result.upper))
+
+
+class TestStatsAccounting:
+    def test_outcomes_recorded(self, setup, rng):
+        tree, kernel, __ = setup
+        stats = TraversalStats()
+        queries = rng.normal(size=(50, 2)) * 2
+        for q in queries:
+            bound_density(tree, kernel, q, 0.01, 0.01, 0.01, stats)
+        total_outcomes = stats.prunes + stats.exhausted
+        assert stats.queries == 50
+        assert total_outcomes == 50

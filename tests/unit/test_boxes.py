@@ -1,0 +1,103 @@
+"""Unit tests for bounding-box distance computations."""
+
+import numpy as np
+import pytest
+
+from repro.index.boxes import (
+    max_sq_dist,
+    max_sq_dists,
+    min_sq_dist,
+    min_sq_dists,
+    tight_box,
+)
+
+
+class TestMinSqDist:
+    def test_zero_inside_box(self):
+        lo, hi = np.array([0.0, 0.0]), np.array([2.0, 2.0])
+        assert min_sq_dist(np.array([1.0, 1.0]), lo, hi) == 0.0
+
+    def test_zero_on_boundary(self):
+        lo, hi = np.array([0.0, 0.0]), np.array([2.0, 2.0])
+        assert min_sq_dist(np.array([0.0, 1.0]), lo, hi) == 0.0
+        assert min_sq_dist(np.array([2.0, 2.0]), lo, hi) == 0.0
+
+    def test_outside_one_axis(self):
+        lo, hi = np.array([0.0, 0.0]), np.array([2.0, 2.0])
+        assert min_sq_dist(np.array([3.0, 1.0]), lo, hi) == pytest.approx(1.0)
+
+    def test_outside_corner(self):
+        lo, hi = np.array([0.0, 0.0]), np.array([1.0, 1.0])
+        assert min_sq_dist(np.array([2.0, 3.0]), lo, hi) == pytest.approx(1.0 + 4.0)
+
+    def test_below_box(self):
+        lo, hi = np.array([0.0]), np.array([1.0])
+        assert min_sq_dist(np.array([-2.0]), lo, hi) == pytest.approx(4.0)
+
+
+class TestMaxSqDist:
+    def test_inside_box_reaches_far_corner(self):
+        lo, hi = np.array([0.0, 0.0]), np.array([4.0, 2.0])
+        # From (1, 1): farthest corner is (4, 2)? No: per-axis max(|1-0|,|1-4|)=3, max(|1-0|,|1-2|)=1.
+        assert max_sq_dist(np.array([1.0, 1.0]), lo, hi) == pytest.approx(9.0 + 1.0)
+
+    def test_point_box(self):
+        lo = hi = np.array([1.0, 2.0])
+        assert max_sq_dist(np.array([0.0, 0.0]), lo, hi) == pytest.approx(1.0 + 4.0)
+
+    def test_max_at_least_min(self, rng):
+        for __ in range(50):
+            pts = rng.normal(size=(5, 3))
+            lo, hi = pts.min(axis=0), pts.max(axis=0)
+            q = rng.normal(size=3) * 2
+            assert max_sq_dist(q, lo, hi) >= min_sq_dist(q, lo, hi)
+
+
+class TestBruteForceAgreement:
+    """Distance bounds must bracket every point actually in the box."""
+
+    def test_bounds_bracket_contained_points(self, rng):
+        for __ in range(20):
+            pts = rng.normal(size=(40, 3))
+            lo, hi = pts.min(axis=0), pts.max(axis=0)
+            q = rng.normal(size=3) * 3
+            sq = np.sum((pts - q) ** 2, axis=1)
+            assert min_sq_dist(q, lo, hi) <= sq.min() + 1e-12
+            assert max_sq_dist(q, lo, hi) >= sq.max() - 1e-12
+
+    def test_min_dist_attained_by_some_box_point(self, rng):
+        # The min distance is achieved by the clamped projection.
+        for __ in range(20):
+            lo = rng.normal(size=2)
+            hi = lo + np.abs(rng.normal(size=2)) + 0.1
+            q = rng.normal(size=2) * 3
+            projection = np.clip(q, lo, hi)
+            assert min_sq_dist(q, lo, hi) == pytest.approx(float(np.sum((projection - q) ** 2)))
+
+
+class TestVectorizedVariants:
+    def test_min_sq_dists_matches_scalar(self, rng):
+        lo, hi = np.array([-1.0, 0.0]), np.array([1.0, 2.0])
+        queries = rng.normal(size=(30, 2)) * 3
+        batch = min_sq_dists(queries, lo, hi)
+        for i, q in enumerate(queries):
+            assert batch[i] == pytest.approx(min_sq_dist(q, lo, hi))
+
+    def test_max_sq_dists_matches_scalar(self, rng):
+        lo, hi = np.array([-1.0, 0.0]), np.array([1.0, 2.0])
+        queries = rng.normal(size=(30, 2)) * 3
+        batch = max_sq_dists(queries, lo, hi)
+        for i, q in enumerate(queries):
+            assert batch[i] == pytest.approx(max_sq_dist(q, lo, hi))
+
+
+class TestTightBox:
+    def test_tight_box(self, rng):
+        pts = rng.normal(size=(20, 4))
+        lo, hi = tight_box(pts)
+        np.testing.assert_allclose(lo, pts.min(axis=0))
+        np.testing.assert_allclose(hi, pts.max(axis=0))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            tight_box(np.empty((0, 2)))

@@ -1,0 +1,98 @@
+"""Unit tests for the terminal chart renderers."""
+
+import pytest
+
+from repro.bench.charts import MARKERS, ascii_bar_chart, ascii_chart
+
+
+class TestAsciiChart:
+    def test_contains_markers_and_legend(self):
+        chart = ascii_chart({"tkdc": ([1, 2, 3], [10, 20, 30])})
+        assert "*" in chart
+        assert "tkdc" in chart
+
+    def test_multiple_series_distinct_markers(self):
+        chart = ascii_chart({
+            "a": ([1, 2], [1, 2]),
+            "b": ([1, 2], [2, 1]),
+        })
+        assert MARKERS[0] in chart
+        assert MARKERS[1] in chart
+
+    def test_log_axes_label_actual_values(self):
+        chart = ascii_chart({"s": ([10, 1000], [1, 100])}, logx=True, logy=True)
+        assert "10" in chart
+        assert "1e+03" in chart or "1000" in chart
+
+    def test_title_rendered(self):
+        chart = ascii_chart({"s": ([1], [1])}, title="my title")
+        assert chart.splitlines()[0] == "my title"
+
+    def test_constant_series_does_not_crash(self):
+        chart = ascii_chart({"s": ([1, 2, 3], [5, 5, 5])})
+        assert "5" in chart
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ascii_chart({})
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="mismatched"):
+            ascii_chart({"s": ([1, 2], [1])})
+
+    def test_rejects_non_positive_on_log_axis(self):
+        with pytest.raises(ValueError, match="positive"):
+            ascii_chart({"s": ([0, 1], [1, 2])}, logx=True)
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ValueError, match="at least"):
+            ascii_chart({"s": ([1], [1])}, width=4, height=2)
+
+    def test_extreme_points_at_corners(self):
+        chart = ascii_chart({"s": ([0, 10], [0, 10])}, width=20, height=10)
+        lines = [line for line in chart.splitlines() if "|" in line]
+        # Max point top-right, min point bottom-left of the plot area.
+        assert lines[0].rstrip().endswith("*")
+        assert lines[-1].split("|")[1][0] == "*"
+
+
+class TestAsciiBarChart:
+    def test_bars_scale_with_values(self):
+        chart = ascii_bar_chart(["small", "large"], [1.0, 10.0])
+        lines = chart.splitlines()
+        assert lines[0].count("#") < lines[1].count("#")
+
+    def test_values_displayed(self):
+        chart = ascii_bar_chart(["a"], [42.5])
+        assert "42.5" in chart
+
+    def test_logscale_compresses(self):
+        linear = ascii_bar_chart(["a", "b"], [1.0, 1000.0])
+        logarithmic = ascii_bar_chart(["a", "b"], [1.0, 1000.0], logscale=True)
+        ratio_linear = linear.splitlines()[1].count("#") / max(
+            linear.splitlines()[0].count("#"), 1
+        )
+        ratio_log = logarithmic.splitlines()[1].count("#") / max(
+            logarithmic.splitlines()[0].count("#"), 1
+        )
+        assert ratio_log < ratio_linear
+
+    def test_zero_value_empty_bar(self):
+        chart = ascii_bar_chart(["zero", "one"], [0.0, 1.0])
+        assert chart.splitlines()[0].count("#") == 0
+
+    def test_unit_suffix(self):
+        chart = ascii_bar_chart(["a"], [5.0], unit=" pts/s")
+        assert "pts/s" in chart
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ValueError, match="equal length"):
+            ascii_bar_chart(["a"], [1.0, 2.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ascii_bar_chart([], [])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ascii_bar_chart(["a"], [-1.0])

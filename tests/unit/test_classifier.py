@@ -1,0 +1,156 @@
+"""Unit tests for the TKDCClassifier (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro import Label, NotFittedError, TKDCClassifier, TKDCConfig
+from repro.baselines.simple import NaiveKDE
+from repro.quantile.order_stats import quantile_of_sorted
+
+
+@pytest.fixture
+def fitted(medium_gauss):
+    return TKDCClassifier(TKDCConfig(p=0.01, seed=0)).fit(medium_gauss)
+
+
+class TestFitValidation:
+    def test_rejects_tiny_dataset(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            TKDCClassifier().fit(np.array([[1.0, 2.0]]))
+
+    def test_not_fitted_errors(self):
+        clf = TKDCClassifier()
+        assert not clf.is_fitted
+        with pytest.raises(NotFittedError):
+            __ = clf.threshold
+        with pytest.raises(NotFittedError):
+            clf.classify(np.zeros((1, 2)))
+
+    def test_fit_returns_self(self, medium_gauss):
+        clf = TKDCClassifier(TKDCConfig(seed=0))
+        assert clf.fit(medium_gauss) is clf
+
+    def test_query_dimension_mismatch(self, fitted):
+        with pytest.raises(ValueError, match="dimensionality"):
+            fitted.classify(np.zeros((1, 3)))
+
+
+class TestThresholdQuality:
+    def test_threshold_close_to_exact(self, medium_gauss, fitted):
+        naive = NaiveKDE().fit(medium_gauss)
+        densities = naive.density(medium_gauss) - naive.kernel.max_value / len(medium_gauss)
+        exact = quantile_of_sorted(np.sort(densities), 0.01)
+        assert fitted.threshold.value == pytest.approx(exact, rel=0.05)
+
+    def test_threshold_within_bracket(self, fitted):
+        t = fitted.threshold
+        assert t.lower <= t.value <= t.upper
+
+    def test_training_low_fraction_matches_p(self, medium_gauss):
+        for p in (0.01, 0.1, 0.25):
+            clf = TKDCClassifier(TKDCConfig(p=p, seed=0)).fit(medium_gauss)
+            low_fraction = float(np.mean(np.asarray(clf.training_labels_) == Label.LOW))
+            assert low_fraction == pytest.approx(p, abs=0.02)
+
+
+class TestClassification:
+    def test_center_is_high(self, fitted):
+        assert fitted.classify(np.array([[0.0, 0.0]]))[0] is Label.HIGH
+
+    def test_far_point_is_low(self, fitted):
+        assert fitted.classify(np.array([[8.0, 8.0]]))[0] is Label.LOW
+
+    def test_predict_matches_classify(self, fitted, rng):
+        queries = rng.normal(size=(20, 2)) * 2
+        labels = fitted.classify(queries)
+        ints = fitted.predict(queries)
+        np.testing.assert_array_equal(ints, [int(label) for label in labels])
+
+    def test_single_query_as_1d(self, fitted):
+        # A single d-vector is promoted to a (1, d) matrix.
+        labels = fitted.classify(np.array([0.0, 0.0]))
+        assert labels.shape == (1,)
+
+    def test_agreement_with_exact_classification(self, medium_gauss, fitted, rng):
+        queries = rng.normal(size=(200, 2)) * 1.5
+        naive = NaiveKDE().fit(medium_gauss)
+        exact = naive.density(queries)
+        t = fitted.threshold.value
+        eps = fitted.config.epsilon
+        predicted = fitted.predict(queries)
+        for density, label in zip(exact, predicted):
+            # The guarantee: points outside the eps-band must be correct.
+            if density > t * (1 + eps):
+                assert label == 1
+            elif density < t * (1 - eps):
+                assert label == 0
+
+
+class TestDensityEstimates:
+    def test_estimate_density_accuracy(self, medium_gauss, fitted, rng):
+        queries = rng.normal(size=(50, 2))
+        naive = NaiveKDE().fit(medium_gauss)
+        exact = naive.density(queries)
+        estimates = fitted.estimate_density(queries)
+        t = fitted.threshold.value
+        np.testing.assert_allclose(estimates, exact, atol=fitted.config.epsilon * t)
+
+    def test_decision_bounds_bracket_exact(self, medium_gauss, fitted, rng):
+        queries = rng.normal(size=(30, 2)) * 2
+        naive = NaiveKDE().fit(medium_gauss)
+        exact = naive.density(queries)
+        for bounds, density in zip(fitted.decision_bounds(queries), exact):
+            assert bounds.lower <= density + 1e-12
+            assert bounds.upper >= density - 1e-12
+
+
+class TestConfigurationVariants:
+    def test_no_refine_threshold(self, medium_gauss):
+        clf = TKDCClassifier(
+            TKDCConfig(seed=0, refine_threshold=False, bootstrap_s0=1000)
+        ).fit(medium_gauss)
+        assert clf.training_scores_ is None
+        assert clf.is_fitted
+        assert clf.classify(np.array([[0.0, 0.0]]))[0] is Label.HIGH
+
+    def test_grid_disabled_same_labels(self, medium_gauss):
+        with_grid = TKDCClassifier(TKDCConfig(seed=0)).fit(medium_gauss)
+        without_grid = TKDCClassifier(TKDCConfig(seed=0, use_grid=False)).fit(medium_gauss)
+        agreement = np.mean(
+            np.asarray(with_grid.training_labels_)
+            == np.asarray(without_grid.training_labels_)
+        )
+        assert agreement > 0.99
+
+    def test_grid_disabled_above_max_dim(self, rng):
+        data = rng.normal(size=(500, 6))
+        clf = TKDCClassifier(TKDCConfig(seed=0)).fit(data)
+        assert clf._grid is None  # noqa: SLF001 - verifying internal policy
+
+    def test_median_split_works(self, medium_gauss):
+        clf = TKDCClassifier(TKDCConfig(seed=0, split_rule="median")).fit(medium_gauss)
+        assert clf.classify(np.array([[0.0, 0.0]]))[0] is Label.HIGH
+
+    def test_epanechnikov_kernel(self, medium_gauss):
+        clf = TKDCClassifier(TKDCConfig(seed=0, kernel="epanechnikov")).fit(medium_gauss)
+        assert clf.classify(np.array([[0.0, 0.0]]))[0] is Label.HIGH
+        assert clf.classify(np.array([[9.0, 9.0]]))[0] is Label.LOW
+
+    def test_unnormalized_densities(self, medium_gauss):
+        clf = TKDCClassifier(
+            TKDCConfig(seed=0, normalize_densities=False)
+        ).fit(medium_gauss)
+        assert clf.kernel.max_value == 1.0
+        assert clf.classify(np.array([[0.0, 0.0]]))[0] is Label.HIGH
+
+
+class TestStatsExposure:
+    def test_stats_accumulate(self, fitted, rng):
+        before = fitted.stats.queries
+        fitted.classify(rng.normal(size=(10, 2)))
+        assert fitted.stats.queries >= before  # grid hits bypass traversal
+
+    def test_pruning_dominates_on_training_pass(self, fitted):
+        # The headline claim: most training points are classified with
+        # far fewer kernel evaluations than n.
+        assert fitted.stats.kernels_per_query < 0.25 * 2000

@@ -1,0 +1,75 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out
+        assert "fig16" in out
+        assert "table3" in out
+
+
+class TestDemo:
+    def test_demo_runs(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "threshold" in out
+        assert "#" in out  # the rendered HIGH region
+
+
+class TestRun:
+    def test_run_table3(self, capsys):
+        assert main(["run", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "shuttle" in out
+
+    def test_run_with_overrides(self, capsys):
+        assert main(["run", "table2", "--n", "800", "--p", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "tkdc" in out
+
+    def test_run_save(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(["run", "table3", "--save"]) == 0
+        assert (tmp_path / "results" / "table3.json").exists()
+
+    def test_run_sweep_renders_chart(self, capsys):
+        assert main(["run", "fig15", "--n", "1500"]) == 0
+        out = capsys.readouterr().out
+        # The terminal chart footer carries the series legend.
+        assert "queries/s vs quantile p" in out
+        assert "* tkdc" in out
+
+    def test_run_bar_chart_for_factor_analysis(self, capsys):
+        assert main(["run", "fig12", "--n", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "throughput by optimization variant" in out
+        assert "#" in out
+
+    def test_diagnose_command(self, tmp_path, capsys, rng):
+        import numpy as np
+
+        train_csv = tmp_path / "train.csv"
+        np.savetxt(train_csv, rng.normal(size=(600, 2)), delimiter=",")
+        queries_csv = tmp_path / "q.csv"
+        np.savetxt(queries_csv, rng.normal(size=(20, 2)) * 2, delimiter=",")
+        model = tmp_path / "m.tkdc"
+        main(["fit", str(train_csv), "--model", str(model)])
+        capsys.readouterr()
+        assert main(["diagnose", str(queries_csv), "--model", str(model)]) == 0
+        out = capsys.readouterr().out
+        assert "near fraction" in out
+        assert "stop reasons" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig99"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,65 @@
+"""Unit tests for TKDCConfig validation."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import TKDCConfig
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        config = TKDCConfig()
+        assert config.p == 0.01
+        assert config.epsilon == 0.01
+        assert config.delta == 0.01
+        assert config.bandwidth_scale == 1.0
+        assert config.bootstrap_r0 == 200
+        assert config.bootstrap_s0 == 20_000
+        assert config.h_backoff == 4.0
+        assert config.h_buffer == 1.5
+        assert config.h_growth == 4.0
+        assert config.grid_max_dim == 4
+        assert config.split_rule == "trimmed_midpoint"
+
+    def test_frozen(self):
+        config = TKDCConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.p = 0.5  # type: ignore[misc]
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field,value", [
+        ("p", 0.0), ("p", 1.0), ("p", -0.1),
+        ("epsilon", 0.0), ("epsilon", -1.0),
+        ("delta", 0.0), ("delta", 1.0),
+        ("bandwidth_scale", 0.0),
+        ("kernel", "triangular"),
+        ("leaf_size", 0),
+        ("bootstrap_r0", 1),
+        ("bootstrap_s0", 0),
+        ("h_backoff", 1.0),
+        ("h_buffer", 0.9),
+        ("h_growth", 1.0),
+    ])
+    def test_rejects_invalid(self, field, value):
+        with pytest.raises(ValueError):
+            TKDCConfig(**{field: value})
+
+    def test_accepts_valid_overrides(self):
+        config = TKDCConfig(p=0.5, epsilon=0.1, kernel="epanechnikov", leaf_size=64)
+        assert config.p == 0.5
+        assert config.kernel == "epanechnikov"
+
+
+class TestWithUpdates:
+    def test_returns_modified_copy(self):
+        base = TKDCConfig()
+        changed = base.with_updates(p=0.2, use_grid=False)
+        assert changed.p == 0.2
+        assert not changed.use_grid
+        assert base.p == 0.01  # original untouched
+
+    def test_validates_updates(self):
+        with pytest.raises(ValueError):
+            TKDCConfig().with_updates(p=2.0)

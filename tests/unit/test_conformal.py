@@ -1,0 +1,89 @@
+"""Unit tests for split-conformal density inference."""
+
+import numpy as np
+import pytest
+
+from repro import TKDCClassifier, TKDCConfig
+from repro.analysis.conformal import DensityConformal
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(2)
+    train = rng.normal(size=(1500, 2))
+    calibration = rng.normal(size=(400, 2))
+    clf = TKDCClassifier(TKDCConfig(seed=2)).fit(train)
+    return clf, calibration, rng
+
+
+class TestValidation:
+    def test_requires_fitted(self, setup):
+        __, calibration, __ = setup
+        with pytest.raises(ValueError, match="fitted"):
+            DensityConformal(TKDCClassifier(), calibration)
+
+    def test_requires_enough_calibration(self, setup):
+        clf, calibration, __ = setup
+        with pytest.raises(ValueError, match="at least 10"):
+            DensityConformal(clf, calibration[:5])
+
+    def test_rejects_bad_alpha(self, setup):
+        clf, calibration, __ = setup
+        conformal = DensityConformal(clf, calibration)
+        with pytest.raises(ValueError):
+            conformal.is_typical(np.zeros((1, 2)), alpha=0.0)
+        with pytest.raises(ValueError):
+            conformal.prediction_region_threshold(alpha=1.0)
+
+
+class TestPValues:
+    def test_range(self, setup):
+        clf, calibration, rng = setup
+        conformal = DensityConformal(clf, calibration)
+        p = conformal.p_values(rng.normal(size=(50, 2)) * 2)
+        n = conformal.n_calibration
+        assert np.all(p >= 1.0 / (n + 1) - 1e-12)
+        assert np.all(p <= 1.0)
+
+    def test_center_typical_far_point_not(self, setup):
+        clf, calibration, __ = setup
+        conformal = DensityConformal(clf, calibration)
+        p = conformal.p_values(np.array([[0.0, 0.0], [7.0, 7.0]]))
+        assert p[0] > 0.2
+        assert p[1] <= 1.0 / (conformal.n_calibration + 1) + 1e-12
+
+    def test_monotone_in_density(self, setup):
+        clf, calibration, __ = setup
+        conformal = DensityConformal(clf, calibration)
+        radii = np.array([0.0, 1.0, 2.0, 3.0, 5.0])
+        p = conformal.p_values(np.column_stack([radii, np.zeros_like(radii)]))
+        assert list(p) == sorted(p, reverse=True)
+
+
+class TestGuarantee:
+    def test_false_rejection_rate_bounded(self, setup):
+        """Fresh draws from the training distribution are rejected at
+        rate <= alpha (up to Monte Carlo noise)."""
+        clf, calibration, __ = setup
+        rng = np.random.default_rng(99)
+        conformal = DensityConformal(clf, calibration)
+        fresh = rng.normal(size=(1200, 2))
+        alpha = 0.1
+        rejected = ~conformal.is_typical(fresh, alpha=alpha)
+        assert float(np.mean(rejected)) < alpha + 0.04
+
+    def test_power_against_outliers(self, setup):
+        clf, calibration, rng = setup
+        conformal = DensityConformal(clf, calibration)
+        outliers = rng.uniform(5, 8, size=(100, 2))
+        assert float(np.mean(conformal.is_typical(outliers, alpha=0.05))) < 0.05
+
+    def test_prediction_region_coverage(self, setup):
+        clf, calibration, __ = setup
+        rng = np.random.default_rng(123)
+        conformal = DensityConformal(clf, calibration)
+        threshold = conformal.prediction_region_threshold(alpha=0.1)
+        fresh = rng.normal(size=(1500, 2))
+        densities = clf.estimate_density(fresh)
+        coverage = float(np.mean(densities >= threshold))
+        assert coverage >= 0.86  # target 0.90, Monte Carlo + estimate slack

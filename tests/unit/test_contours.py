@@ -1,0 +1,91 @@
+"""Unit tests for level-set extraction and rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.contours import (
+    classification_mask,
+    density_grid,
+    marching_squares,
+    render_ascii,
+)
+
+
+class TestDensityGrid:
+    def test_shape_and_values(self):
+        xs, ys, values = density_grid(
+            lambda pts: pts[:, 0] + pts[:, 1], (0.0, 1.0), (0.0, 2.0), nx=5, ny=9
+        )
+        assert xs.shape == (5,)
+        assert ys.shape == (9,)
+        assert values.shape == (5, 9)
+        assert values[0, 0] == pytest.approx(0.0)
+        assert values[-1, -1] == pytest.approx(3.0)
+
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(ValueError, match="2x2"):
+            density_grid(lambda pts: pts[:, 0], (0, 1), (0, 1), nx=1, ny=5)
+
+
+class TestClassificationMask:
+    def test_mask_matches_rule(self):
+        def classify(points):
+            return (points[:, 0] > 0.5).astype(int)
+
+        __, __, mask = classification_mask(classify, (0.0, 1.0), (0.0, 1.0), 11, 3)
+        assert mask.shape == (11, 3)
+        assert not mask[0].any()
+        assert mask[-1].all()
+
+
+class TestMarchingSquares:
+    def test_circle_iso_line(self):
+        xs = np.linspace(-2, 2, 41)
+        ys = np.linspace(-2, 2, 41)
+        gx, gy = np.meshgrid(xs, ys, indexing="ij")
+        values = -(gx**2 + gy**2)  # level set -1 is the unit circle
+        segments = marching_squares(xs, ys, values, level=-1.0)
+        assert segments
+        for (x0, y0), (x1, y1) in segments:
+            for x, y in ((x0, y0), (x1, y1)):
+                assert np.hypot(x, y) == pytest.approx(1.0, abs=0.06)
+
+    def test_no_crossing_no_segments(self):
+        xs = ys = np.linspace(0, 1, 5)
+        values = np.ones((5, 5))
+        assert marching_squares(xs, ys, values, level=0.0) == []
+        assert marching_squares(xs, ys, values, level=2.0) == []
+
+    def test_vertical_boundary(self):
+        xs = np.linspace(0, 1, 11)
+        ys = np.linspace(0, 1, 11)
+        gx, __ = np.meshgrid(xs, ys, indexing="ij")
+        segments = marching_squares(xs, ys, gx, level=0.5)
+        for (x0, __), (x1, __) in segments:
+            assert x0 == pytest.approx(0.5, abs=0.05)
+            assert x1 == pytest.approx(0.5, abs=0.05)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="shape"):
+            marching_squares(np.arange(3), np.arange(4), np.zeros((3, 3)), 0.0)
+
+    def test_saddle_produces_two_segments(self):
+        xs = ys = np.array([0.0, 1.0])
+        values = np.array([[1.0, -1.0], [-1.0, 1.0]])  # corners alternate
+        segments = marching_squares(xs, ys, values, level=0.0)
+        assert len(segments) == 2
+
+
+class TestRenderAscii:
+    def test_characters(self):
+        mask = np.array([[True, False], [False, True]])
+        art = render_ascii(mask)
+        lines = art.splitlines()
+        assert len(lines) == 2
+        # y axis points up: top line is j=1 -> (mask[0,1], mask[1,1]).
+        assert lines[0] == ".#"
+        assert lines[1] == "#."
+
+    def test_custom_chars(self):
+        mask = np.array([[True]])
+        assert render_ascii(mask, high_char="X", low_char=" ") == "X"

@@ -1,0 +1,85 @@
+"""Unit tests for cross-validated bandwidth selection."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.crossval import (
+    BandwidthSelection,
+    loo_log_likelihood,
+    select_bandwidth_scale,
+)
+from repro.kernels.bandwidth import scotts_rule
+
+
+class TestLooLogLikelihood:
+    def test_finite_for_normal_data(self, medium_gauss):
+        score = loo_log_likelihood(medium_gauss, scale=1.0, sample_size=200)
+        assert np.isfinite(score)
+
+    def test_extreme_scales_score_worse(self, medium_gauss):
+        good = loo_log_likelihood(medium_gauss, 1.0, sample_size=300)
+        too_narrow = loo_log_likelihood(medium_gauss, 0.02, sample_size=300)
+        too_wide = loo_log_likelihood(medium_gauss, 50.0, sample_size=300)
+        assert good > too_narrow
+        assert good > too_wide
+
+    def test_deterministic_given_seed(self, medium_gauss):
+        a = loo_log_likelihood(medium_gauss, 1.0, sample_size=100, seed=4)
+        b = loo_log_likelihood(medium_gauss, 1.0, sample_size=100, seed=4)
+        assert a == b
+
+    def test_rejects_tiny_datasets(self):
+        with pytest.raises(ValueError, match="at least 3"):
+            loo_log_likelihood(np.zeros((2, 2)), 1.0)
+
+    def test_isolated_points_floored_not_inf(self, rng):
+        # Epanechnikov: isolated points have zero LOO density.
+        data = np.concatenate([
+            rng.normal(size=(200, 2)) * 0.1,
+            np.array([[100.0, 100.0]]),
+        ])
+        score = loo_log_likelihood(data, 1.0, kernel_name="epanechnikov",
+                                   sample_size=201)
+        assert np.isfinite(score)
+
+
+class TestSelectBandwidthScale:
+    def test_picks_moderate_scale_for_gaussian(self, medium_gauss):
+        selection = select_bandwidth_scale(
+            medium_gauss, candidates=(0.05, 0.5, 1.0, 2.0, 20.0), sample_size=300
+        )
+        # Scott's rule is near-optimal for Gaussian data; the extremes
+        # must not win.
+        assert selection.scale in (0.5, 1.0, 2.0)
+
+    def test_returns_all_scores(self, medium_gauss):
+        selection = select_bandwidth_scale(
+            medium_gauss, candidates=(0.5, 1.0), sample_size=100
+        )
+        assert set(selection.scores) == {0.5, 1.0}
+        assert isinstance(selection, BandwidthSelection)
+
+    def test_bandwidth_matches_scotts_rule(self, medium_gauss):
+        selection = select_bandwidth_scale(
+            medium_gauss, candidates=(1.0,), sample_size=100
+        )
+        np.testing.assert_allclose(
+            selection.bandwidth, scotts_rule(medium_gauss, scale=1.0)
+        )
+
+    def test_rejects_bad_candidates(self, medium_gauss):
+        with pytest.raises(ValueError, match="at least one"):
+            select_bandwidth_scale(medium_gauss, candidates=())
+        with pytest.raises(ValueError, match="positive"):
+            select_bandwidth_scale(medium_gauss, candidates=(1.0, -2.0))
+
+    def test_selected_scale_improves_clustered_data(self, rng):
+        """On tightly clustered multimodal data, plain Scott's rule
+        oversmooths; CV should pick a smaller factor."""
+        centers = rng.uniform(-20, 20, size=(12, 2))
+        data = (centers[rng.integers(0, 12, size=1500)]
+                + rng.normal(size=(1500, 2)) * 0.05)
+        selection = select_bandwidth_scale(
+            data, candidates=(0.05, 0.25, 1.0, 4.0), sample_size=300
+        )
+        assert selection.scale < 1.0

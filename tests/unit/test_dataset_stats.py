@@ -1,0 +1,74 @@
+"""Unit tests for dataset summary statistics."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.stats import (
+    DatasetSummary,
+    duplicate_fraction,
+    intrinsic_dimension,
+    summarize,
+    tail_weight,
+)
+
+
+class TestIntrinsicDimension:
+    def test_isotropic_gaussian(self, rng):
+        data = rng.normal(size=(3000, 5))
+        assert intrinsic_dimension(data) == pytest.approx(5.0, abs=0.3)
+
+    def test_low_rank_embedding(self, rng):
+        latent = rng.normal(size=(2000, 2))
+        mixing = rng.normal(size=(2, 20))
+        data = latent @ mixing + rng.normal(scale=1e-4, size=(2000, 20))
+        assert intrinsic_dimension(data) < 3.0
+
+    def test_degenerate_constant(self):
+        assert intrinsic_dimension(np.ones((50, 3))) == 0.0
+
+    def test_mnist_simulator_low_intrinsic(self):
+        from repro.datasets.generators import make_mnist
+
+        data = make_mnist(400, seed=0)
+        assert intrinsic_dimension(data) < 60  # 784 ambient dims
+
+
+class TestTailWeight:
+    def test_gaussian_reference(self, rng):
+        data = rng.normal(size=(20_000, 2))
+        assert 2.0 < tail_weight(data) < 4.5
+
+    def test_heavy_tails_much_larger(self, rng):
+        gaussian = rng.normal(size=(20_000, 2))
+        heavy = rng.standard_t(2.0, size=(20_000, 2))
+        assert tail_weight(heavy) > 3 * tail_weight(gaussian)
+
+    def test_all_identical(self):
+        assert tail_weight(np.ones((100, 2))) == 1.0
+
+
+class TestDuplicateFraction:
+    def test_no_duplicates(self, rng):
+        assert duplicate_fraction(rng.normal(size=(100, 2))) == 0.0
+
+    def test_half_duplicates(self, rng):
+        base = rng.normal(size=(50, 2))
+        data = np.concatenate([base, base])
+        assert duplicate_fraction(data) == pytest.approx(0.5)
+
+
+class TestSummarize:
+    def test_full_summary(self, rng):
+        data = rng.normal(size=(500, 3))
+        summary = summarize(data)
+        assert isinstance(summary, DatasetSummary)
+        assert summary.n == 500
+        assert summary.dim == 3
+        assert summary.mean_std == pytest.approx(1.0, abs=0.15)
+        row = summary.as_row()
+        assert set(row) == {"n", "d", "mean_std", "intrinsic_d", "tail_weight",
+                            "dup_frac"}
+
+    def test_rejects_dirty_data(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            summarize(np.array([[1.0, float("nan")]]))

@@ -1,0 +1,175 @@
+"""Unit tests for the synthetic building blocks and dataset simulators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.generators import (
+    make_galaxy_like,
+    make_gauss,
+    make_hep,
+    make_home,
+    make_iris_like,
+    make_mnist,
+    make_shuttle,
+    make_sift,
+    make_tmy3,
+)
+from repro.datasets.registry import DATASETS, DatasetSpec, load
+from repro.datasets.synthetic import (
+    GaussianMixture,
+    MixtureComponent,
+    filament_points,
+    heavy_tail_noise,
+    spread_counts,
+)
+
+
+class TestSpreadCounts:
+    def test_sums_exactly(self):
+        for total in (0, 1, 7, 100, 12345):
+            counts = spread_counts(total, [0.5, 0.3, 0.2])
+            assert sum(counts) == total
+
+    def test_proportions_respected(self):
+        counts = spread_counts(1000, [0.9, 0.1])
+        assert counts == [900, 100]
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ValueError):
+            spread_counts(10, [])
+        with pytest.raises(ValueError):
+            spread_counts(10, [0.0, 0.0])
+        with pytest.raises(ValueError):
+            spread_counts(-1, [1.0])
+
+
+class TestMixture:
+    def test_component_validation(self):
+        with pytest.raises(ValueError, match="weight"):
+            MixtureComponent(0.0, np.zeros(2), np.ones(2))
+        with pytest.raises(ValueError, match="scales"):
+            MixtureComponent(1.0, np.zeros(2), np.array([1.0, 0.0]))
+        with pytest.raises(ValueError, match="shape"):
+            MixtureComponent(1.0, np.zeros(2), np.ones(3))
+
+    def test_mixture_dimension_check(self):
+        with pytest.raises(ValueError, match="dimensionality"):
+            GaussianMixture([
+                MixtureComponent(1.0, np.zeros(2), np.ones(2)),
+                MixtureComponent(1.0, np.zeros(3), np.ones(3)),
+            ])
+
+    def test_empty_mixture_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            GaussianMixture([])
+
+    def test_sampling_shape_and_location(self, rng):
+        mixture = GaussianMixture([
+            MixtureComponent(1.0, np.array([10.0, 0.0]), np.array([0.1, 0.1])),
+        ])
+        sample = mixture.sample(200, rng)
+        assert sample.shape == (200, 2)
+        assert np.allclose(sample.mean(axis=0), [10.0, 0.0], atol=0.1)
+
+    def test_component_weights_respected(self, rng):
+        mixture = GaussianMixture([
+            MixtureComponent(0.9, np.array([-10.0]), np.array([0.1])),
+            MixtureComponent(0.1, np.array([10.0]), np.array([0.1])),
+        ])
+        sample = mixture.sample(5000, rng)
+        left_fraction = float(np.mean(sample < 0))
+        assert left_fraction == pytest.approx(0.9, abs=0.03)
+
+
+class TestHelpers:
+    def test_filament_points_stay_near_segment(self, rng):
+        pts = filament_points(np.zeros(2), np.array([10.0, 0.0]), 200, 0.01, rng)
+        assert pts.shape == (200, 2)
+        assert np.all(pts[:, 0] > -1.0) and np.all(pts[:, 0] < 11.0)
+        assert np.all(np.abs(pts[:, 1]) < 0.2)
+
+    def test_heavy_tail_noise_shape(self, rng):
+        noise = heavy_tail_noise(100, 3, scale=2.0, dof=3.0, rng=rng)
+        assert noise.shape == (100, 3)
+
+    def test_heavy_tail_rejects_bad_dof(self, rng):
+        with pytest.raises(ValueError):
+            heavy_tail_noise(10, 2, 1.0, 0.0, rng)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("maker,expected_dim", [
+        (make_gauss, 2), (make_tmy3, 8), (make_home, 10), (make_hep, 27),
+        (make_sift, 128), (make_shuttle, 9),
+    ])
+    def test_shapes(self, maker, expected_dim):
+        data = maker(300, seed=0)
+        assert data.shape == (300, expected_dim)
+        assert np.all(np.isfinite(data))
+
+    def test_mnist_shape(self):
+        data = make_mnist(100, seed=0)
+        assert data.shape == (100, 784)
+        assert np.all(data >= 0)  # pixel-like intensities
+
+    def test_sift_non_negative(self):
+        assert np.all(make_sift(200, seed=0) >= 0)
+
+    def test_deterministic_given_seed(self):
+        np.testing.assert_array_equal(make_shuttle(100, seed=5), make_shuttle(100, seed=5))
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(make_gauss(100, seed=0), make_gauss(100, seed=1))
+
+    def test_shuttle_informative_columns_multimodal(self):
+        """Columns 3 and 5 carry the multi-cluster structure."""
+        data = make_shuttle(5000, seed=0)
+        informative = data[:, [3, 5]]
+        # Spread across multiple centers: std much larger than any single
+        # cluster scale.
+        assert np.all(np.std(informative, axis=0) > 10.0)
+
+    def test_iris_like_bimodal(self):
+        data = make_iris_like(600, seed=0)
+        assert data.shape == (600, 2)
+        # Two modes along sepal length (y axis here).
+        assert np.std(data[:, 1]) > 0.5
+
+    def test_galaxy_like(self):
+        data = make_galaxy_like(1000, seed=0)
+        assert data.shape == (1000, 2)
+
+    def test_tmy3_dimension_override(self):
+        assert make_tmy3(100, d=4, seed=0).shape == (100, 4)
+
+    def test_gauss_is_standard_normal(self):
+        data = make_gauss(20_000, d=3, seed=0)
+        assert np.allclose(data.mean(axis=0), 0.0, atol=0.05)
+        assert np.allclose(data.std(axis=0), 1.0, atol=0.05)
+
+
+class TestRegistry:
+    def test_table3_contents(self):
+        assert set(DATASETS) == {"gauss", "tmy3", "home", "hep", "sift", "mnist", "shuttle"}
+        assert DATASETS["hep"].paper_n == 10_500_000
+        assert DATASETS["mnist"].dim == 784
+
+    def test_load_explicit_n(self):
+        data = load("gauss", n=123)
+        assert data.shape == (123, 2)
+
+    def test_load_scale_clamps(self):
+        # shuttle: 43_500 * 0.0001 ~ 4 -> clamped to min_n.
+        data = load("shuttle", scale=0.0001, min_n=500)
+        assert data.shape[0] == 500
+        # gauss: 100M * 0.5 -> clamped to max_n.
+        data = load("gauss", scale=0.5, max_n=1000)
+        assert data.shape[0] == 1000
+
+    def test_load_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load("nope")
+
+    def test_spec_generate_with_dim(self):
+        spec = DATASETS["tmy3"]
+        assert spec.generate(50, d=4).shape == (50, 4)

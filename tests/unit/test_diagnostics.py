@@ -1,0 +1,74 @@
+"""Unit tests for per-query diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro import TKDCClassifier, TKDCConfig
+from repro.analysis.diagnostics import QueryProfile, WorkloadProfile, profile_queries
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    data = np.random.default_rng(1).normal(size=(2000, 2))
+    return data, TKDCClassifier(TKDCConfig(p=0.05, seed=1)).fit(data)
+
+
+class TestProfileQueries:
+    def test_profiles_every_query(self, fitted, rng):
+        __, clf = fitted
+        queries = rng.normal(size=(40, 2)) * 2
+        profile = profile_queries(clf, queries)
+        assert profile.n_queries == 40
+
+    def test_far_point_is_cheap_and_far(self, fitted):
+        __, clf = fitted
+        profile = profile_queries(clf, np.array([[50.0, 50.0]]))
+        only = profile.profiles[0]
+        assert only.kernel_evaluations == 0
+        assert not only.is_near
+        assert only.outcome == "threshold_low"
+
+    def test_near_threshold_point_is_near(self, fitted, rng):
+        data, clf = fitted
+        # Points ~2 sigma out sit near the 5% threshold.
+        ring = rng.normal(size=(100, 2))
+        ring = 2.0 * ring / np.linalg.norm(ring, axis=1, keepdims=True)
+        profile = profile_queries(clf, ring)
+        assert profile.near_fraction > 0.2
+
+    def test_grid_hits_recorded(self, fitted):
+        __, clf = fitted
+        profile = profile_queries(clf, np.zeros((5, 2)))
+        assert profile.outcome_counts.get("grid", 0) + profile.outcome_counts.get(
+            "threshold_high", 0
+        ) == 5
+
+    def test_does_not_mutate_classifier_stats(self, fitted, rng):
+        __, clf = fitted
+        before = clf.stats.queries
+        profile_queries(clf, rng.normal(size=(10, 2)))
+        assert clf.stats.queries == before
+
+    def test_requires_fitted(self):
+        with pytest.raises(ValueError, match="fitted"):
+            profile_queries(TKDCClassifier(), np.zeros((1, 2)))
+
+
+class TestWorkloadProfile:
+    def test_percentiles_and_summary(self):
+        profiles = tuple(
+            QueryProfile(k, 1, "tolerance") for k in (0, 0, 10, 100)
+        )
+        workload = WorkloadProfile(profiles)
+        assert workload.near_fraction == 0.5
+        pct = workload.kernel_percentiles((50.0, 100.0))
+        assert pct[100.0] == 100.0
+        text = workload.summary()
+        assert "near fraction" in text
+        assert "tolerance=4" in text
+
+    def test_empty_profile(self):
+        workload = WorkloadProfile(())
+        assert workload.near_fraction == 0.0
+        assert workload.kernel_percentiles() == {50.0: 0.0, 90.0: 0.0, 99.0: 0.0,
+                                                 100.0: 0.0}

@@ -1,0 +1,36 @@
+"""Execute the runnable examples embedded in docstrings.
+
+Docstring examples are part of the public documentation; this runner
+keeps them honest.
+"""
+
+import doctest
+
+import pytest
+
+import repro.analysis.conformal
+import repro.bench.charts
+import repro.bench.harness
+import repro.core.bands
+import repro.core.classifier
+import repro.core.incremental
+import repro.io.datasets
+import repro.kernels.crossval
+
+MODULES = [
+    repro.core.classifier,
+    repro.core.bands,
+    repro.core.incremental,
+    repro.analysis.conformal,
+    repro.kernels.crossval,
+    repro.io.datasets,
+    repro.bench.charts,
+    repro.bench.harness,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, optionflags=doctest.ELLIPSIS, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0  # the module is expected to carry examples

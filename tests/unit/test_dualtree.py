@@ -1,0 +1,144 @@
+"""Unit tests for dual-tree batch classification."""
+
+import numpy as np
+import pytest
+
+from repro import Label, TKDCClassifier, TKDCConfig
+from repro.baselines.simple import NaiveKDE
+from repro.core.dualtree import _bound_block, dual_tree_classify
+from repro.core.stats import TraversalStats
+from repro.index.boxes import box_max_sq_dist, box_min_sq_dist
+from repro.index.kdtree import KDTree
+from repro.kernels.gaussian import GaussianKernel
+
+
+class TestBoxBoxDistances:
+    def test_overlapping_boxes_zero_min(self):
+        lo_a, hi_a = np.array([0.0, 0.0]), np.array([2.0, 2.0])
+        lo_b, hi_b = np.array([1.0, 1.0]), np.array([3.0, 3.0])
+        assert box_min_sq_dist(lo_a, hi_a, lo_b, hi_b) == 0.0
+
+    def test_disjoint_boxes(self):
+        lo_a, hi_a = np.array([0.0]), np.array([1.0])
+        lo_b, hi_b = np.array([3.0]), np.array([4.0])
+        assert box_min_sq_dist(lo_a, hi_a, lo_b, hi_b) == pytest.approx(4.0)
+        assert box_max_sq_dist(lo_a, hi_a, lo_b, hi_b) == pytest.approx(16.0)
+
+    def test_symmetry(self, rng):
+        for __ in range(20):
+            a = rng.normal(size=(5, 3))
+            b = rng.normal(size=(5, 3)) + rng.normal(size=3) * 3
+            lo_a, hi_a = a.min(axis=0), a.max(axis=0)
+            lo_b, hi_b = b.min(axis=0), b.max(axis=0)
+            assert box_min_sq_dist(lo_a, hi_a, lo_b, hi_b) == pytest.approx(
+                box_min_sq_dist(lo_b, hi_b, lo_a, hi_a)
+            )
+            assert box_max_sq_dist(lo_a, hi_a, lo_b, hi_b) == pytest.approx(
+                box_max_sq_dist(lo_b, hi_b, lo_a, hi_a)
+            )
+
+    def test_brackets_all_point_pairs(self, rng):
+        for __ in range(20):
+            a = rng.normal(size=(8, 2))
+            b = rng.normal(size=(8, 2)) + 2.0
+            lo_a, hi_a = a.min(axis=0), a.max(axis=0)
+            lo_b, hi_b = b.min(axis=0), b.max(axis=0)
+            pair_sq = ((a[:, None, :] - b[None, :, :]) ** 2).sum(axis=2)
+            assert box_min_sq_dist(lo_a, hi_a, lo_b, hi_b) <= pair_sq.min() + 1e-12
+            assert box_max_sq_dist(lo_a, hi_a, lo_b, hi_b) >= pair_sq.max() - 1e-12
+
+    def test_degenerate_box_matches_point_distance(self, rng):
+        from repro.index.boxes import max_sq_dist, min_sq_dist
+
+        q = rng.normal(size=3)
+        lo, hi = np.array([-1.0, 0.0, 1.0]), np.array([0.5, 2.0, 3.0])
+        assert box_min_sq_dist(q, q, lo, hi) == pytest.approx(min_sq_dist(q, lo, hi))
+        assert box_max_sq_dist(q, q, lo, hi) == pytest.approx(max_sq_dist(q, lo, hi))
+
+
+class TestBoundBlock:
+    def test_degenerate_block_matches_exact_side(self, small_gauss, unit_kernel_2d):
+        tree = KDTree(small_gauss, leaf_size=8)
+        naive_density = (
+            lambda q: float(unit_kernel_2d.sum_at(small_gauss, q)) / small_gauss.shape[0]
+        )
+        threshold = 0.01
+        for q in (np.zeros(2), np.array([5.0, 5.0]), np.array([1.5, -1.0])):
+            qtree = KDTree(q[None, :], leaf_size=1)
+            outcome = _bound_block(
+                tree, unit_kernel_2d, qtree.root, threshold, 0.01,
+                TraversalStats(), 10**9,
+            )
+            exact = naive_density(q)
+            if outcome.label is Label.HIGH:
+                assert exact > threshold
+            elif outcome.label is Label.LOW:
+                assert exact < threshold
+
+
+class TestDualTreeClassify:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(3000, 2))
+        return data, TKDCClassifier(TKDCConfig(p=0.05, seed=0)).fit(data)
+
+    def test_agrees_with_single_query_outside_band(self, fitted, rng):
+        data, clf = fitted
+        queries = rng.normal(size=(300, 2)) * 2
+        dual = clf.classify_batch(queries)
+        naive = NaiveKDE().fit(data)
+        exact = naive.density(queries)
+        t = clf.threshold.value
+        eps = clf.config.epsilon
+        for density, label in zip(exact, dual):
+            if density > t * (1 + eps):
+                assert label is Label.HIGH
+            elif density < t * (1 - eps):
+                assert label is Label.LOW
+
+    def test_grid_batch(self, fitted):
+        __, clf = fitted
+        xs = np.linspace(-4, 4, 30)
+        grid_x, grid_y = np.meshgrid(xs, xs, indexing="ij")
+        queries = np.column_stack([grid_x.ravel(), grid_y.ravel()])
+        labels = clf.classify_batch(queries)
+        # Center HIGH, far corner LOW.
+        center = np.argmin(np.sum(queries**2, axis=1))
+        corner = np.argmax(np.sum(queries**2, axis=1))
+        assert labels[center] is Label.HIGH
+        assert labels[corner] is Label.LOW
+
+    def test_block_hits_recorded(self, fitted):
+        __, clf = fitted
+        before = clf.stats.extras.get("dual_block_hits", 0.0)
+        xs = np.linspace(-6, 6, 40)
+        grid_x, grid_y = np.meshgrid(xs, xs, indexing="ij")
+        queries = np.column_stack([grid_x.ravel(), grid_y.ravel()])
+        clf.classify_batch(queries)
+        assert clf.stats.extras.get("dual_block_hits", 0.0) > before
+
+    def test_empty_batch(self, fitted):
+        __, clf = fitted
+        labels = clf.classify_batch(np.empty((0, 2)))
+        assert labels.shape == (0,)
+
+    def test_single_query_batch(self, fitted):
+        __, clf = fitted
+        labels = clf.classify_batch(np.array([[0.0, 0.0]]))
+        assert labels[0] is Label.HIGH
+
+    def test_direct_function_call(self, fitted):
+        data, clf = fitted
+        scaled = clf.kernel.scale(data[:64])
+        stats = TraversalStats()
+        labels = dual_tree_classify(
+            clf.tree, clf.kernel, scaled, clf.threshold.value, 0.01, stats
+        )
+        assert labels.shape == (64,)
+        assert all(label in (Label.HIGH, Label.LOW) for label in labels)
+
+    def test_requires_fit(self):
+        clf = TKDCClassifier()
+        with pytest.raises(Exception):
+            clf.classify_batch(np.zeros((1, 2)))

@@ -1,0 +1,74 @@
+"""Unit tests for benchmark-harness helper functions."""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import FIG7_PANELS, _panel_data
+from repro.cli import _render_chart, _sweep_series
+
+
+class TestPanelData:
+    def test_native_dimension(self):
+        data = _panel_data("gauss", 2, False, 500, seed=0)
+        assert data.shape == (500, 2)
+
+    def test_column_subset(self):
+        data = _panel_data("tmy3", 4, False, 400, seed=0)
+        assert data.shape == (400, 4)
+
+    def test_pca_projection(self):
+        data = _panel_data("mnist", 16, True, 300, seed=0)
+        assert data.shape == (300, 16)
+        # PCA output is centered.
+        np.testing.assert_allclose(data.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_panel_roster_matches_paper(self):
+        assert len(FIG7_PANELS) == 8
+        assert ("hep", 27, False) in FIG7_PANELS
+        assert ("mnist", 256, True) in FIG7_PANELS
+
+
+class TestSweepSeries:
+    def test_groups_by_algorithm(self):
+        rows = [
+            {"algorithm": "tkdc", "n": 100, "qps": 10.0},
+            {"algorithm": "tkdc", "n": 200, "qps": 9.0},
+            {"algorithm": "simple", "n": 100, "qps": 5.0},
+        ]
+        series = _sweep_series(rows, "n", "qps")
+        assert series["tkdc"] == ([100.0, 200.0], [10.0, 9.0])
+        assert series["simple"] == ([100.0], [5.0])
+
+    def test_skips_slope_rows_and_filtered(self):
+        rows = [
+            {"algorithm": "tkdc", "n": 100, "qps": 10.0},
+            {"algorithm": "tkdc:loglog_slope", "n": 0, "qps": -0.5},
+            {"algorithm": "tkdc", "n": 0, "qps": 1.0},
+        ]
+        series = _sweep_series(rows, "n", "qps", skip=lambda row: row["n"] == 0)
+        assert series["tkdc"] == ([100.0], [10.0])
+
+
+class TestRenderChart:
+    def test_sweep_chart(self):
+        rows = [
+            {"algorithm": "tkdc", "n": 1000, "queries_per_s": 100.0,
+             "kernels_per_query": 5.0},
+            {"algorithm": "tkdc", "n": 2000, "queries_per_s": 90.0,
+             "kernels_per_query": 5.0},
+        ]
+        chart = _render_chart("fig9", rows)
+        assert chart is not None
+        assert "tkdc" in chart
+
+    def test_bar_chart(self):
+        rows = [
+            {"variant": "baseline", "points_per_s": 10.0},
+            {"variant": "+threshold", "points_per_s": 5000.0},
+        ]
+        chart = _render_chart("fig12", rows)
+        assert chart is not None
+        assert "baseline" in chart
+
+    def test_unknown_experiment_has_no_chart(self):
+        assert _render_chart("table3", [{"name": "gauss"}]) is None

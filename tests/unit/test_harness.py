@@ -1,0 +1,58 @@
+"""Unit tests for the benchmark timing/fitting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import Timer, fit_loglog_slope, human_rate, measure, throughput
+
+
+class TestTimer:
+    def test_records_elapsed(self):
+        with Timer() as timer:
+            sum(range(10_000))
+        assert timer.elapsed > 0.0
+
+    def test_measure_returns_result(self):
+        result, elapsed = measure(lambda: 42)
+        assert result == 42
+        assert elapsed >= 0.0
+
+
+class TestThroughput:
+    def test_basic(self):
+        assert throughput(100, 2.0) == 50.0
+
+    def test_zero_duration_guard(self):
+        assert throughput(100, 0.0) > 0
+
+    def test_rejects_negative_items(self):
+        with pytest.raises(ValueError):
+            throughput(-1, 1.0)
+
+
+class TestLogLogSlope:
+    def test_power_law_recovered(self):
+        xs = np.array([1e3, 1e4, 1e5, 1e6])
+        ys = 7.0 * xs**-0.5
+        assert fit_loglog_slope(xs, ys) == pytest.approx(-0.5)
+
+    def test_linear_scaling(self):
+        xs = np.array([10.0, 100.0, 1000.0])
+        assert fit_loglog_slope(xs, 3.0 * xs) == pytest.approx(1.0)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            fit_loglog_slope(np.array([1.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            fit_loglog_slope(np.array([1.0, 2.0]), np.array([1.0, 2.0, 3.0]))
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            fit_loglog_slope(np.array([1.0, 2.0]), np.array([0.0, 1.0]))
+
+
+class TestHumanRate:
+    def test_formats(self):
+        assert human_rate(55_200) == "55.2k"
+        assert human_rate(6_360_000) == "6.36M"
+        assert human_rate(12.6) == "12.6"

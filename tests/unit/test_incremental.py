@@ -1,0 +1,94 @@
+"""Unit tests for the incremental classifier."""
+
+import numpy as np
+import pytest
+
+from repro import Label, TKDCConfig
+from repro.baselines.simple import NaiveKDE
+from repro.core.incremental import IncrementalTKDC
+
+
+@pytest.fixture
+def model(medium_gauss):
+    return IncrementalTKDC(TKDCConfig(p=0.05, seed=0)).fit(medium_gauss)
+
+
+class TestLifecycle:
+    def test_requires_fit(self):
+        model = IncrementalTKDC()
+        with pytest.raises(RuntimeError, match="not fitted"):
+            model.insert(np.zeros((1, 2)))
+        with pytest.raises(RuntimeError, match="not fitted"):
+            __ = model.classifier
+
+    def test_rejects_bad_refit_fraction(self):
+        with pytest.raises(ValueError, match="positive"):
+            IncrementalTKDC(refit_fraction=0.0)
+
+    def test_counts(self, model, rng):
+        assert model.n_indexed == 2000
+        assert model.n_buffered == 0
+        model.insert(rng.normal(size=(50, 2)))
+        assert model.n_buffered == 50
+        assert model.n_total == 2050
+
+    def test_dimension_mismatch(self, model):
+        with pytest.raises(ValueError, match="dimensionality"):
+            model.insert(np.zeros((1, 3)))
+
+    def test_refit_triggers(self, medium_gauss, rng):
+        model = IncrementalTKDC(TKDCConfig(p=0.05, seed=0), refit_fraction=0.1)
+        model.fit(medium_gauss)
+        model.insert(rng.normal(size=(250, 2)))  # > 10% of 2000
+        assert model.refits == 1
+        assert model.n_buffered == 0
+        assert model.n_indexed == 2250
+
+
+class TestClassification:
+    def test_matches_batch_when_buffer_empty(self, model, medium_gauss, rng):
+        queries = rng.normal(size=(50, 2)) * 2
+        incremental = model.predict(queries)
+        batch = model.classifier.predict(queries)
+        np.testing.assert_array_equal(incremental, batch)
+
+    def test_buffer_contributions_counted(self, model, rng):
+        # A previously empty region becomes dense after inserts; the
+        # combined density must flip the classification without a refit.
+        spot = np.array([8.0, 8.0])
+        assert model.classify(spot[None, :])[0] is Label.LOW
+        cluster = spot + rng.normal(scale=0.05, size=(400, 2))
+        model.insert(cluster)
+        assert model.n_buffered == 400  # no refit yet (<= 25% of 2000)
+        assert model.classify(spot[None, :])[0] is Label.HIGH
+
+    def test_combined_density_guarantee(self, medium_gauss, rng):
+        """Labels match exact combined-density classification."""
+        model = IncrementalTKDC(TKDCConfig(p=0.05, seed=0), refit_fraction=0.5)
+        model.fit(medium_gauss)
+        extra = rng.normal(size=(300, 2)) * 0.5
+        model.insert(extra)
+        assert model.n_buffered == 300
+
+        combined = np.concatenate([medium_gauss, extra])
+        # Exact densities under the *model's* (stale-bandwidth) kernel.
+        kernel = model.classifier.kernel
+        scaled_all = kernel.scale(combined)
+        queries = rng.normal(size=(80, 2)) * 1.5
+        scaled_queries = kernel.scale(queries)
+        t = model.classifier.threshold.value
+        eps = model.config.epsilon
+        labels = model.predict(queries)
+        for i in range(queries.shape[0]):
+            diffs = scaled_all - scaled_queries[i]
+            sq = np.einsum("ij,ij->i", diffs, diffs)
+            density = float(np.sum(kernel.value(sq))) / combined.shape[0]
+            if density > t * (1 + eps):
+                assert labels[i] == 1, i
+            elif density < t * (1 - eps):
+                assert labels[i] == 0, i
+
+    def test_stats_exposed(self, model, rng):
+        before = model.stats.queries
+        model.classify(rng.normal(size=(5, 2)))
+        assert model.stats.queries >= before

@@ -1,0 +1,103 @@
+"""Unit tests for the persistence helpers."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.io.datasets import (
+    cached_dataset,
+    export_csv,
+    import_csv,
+    load_dataset,
+    save_dataset,
+)
+from repro.io.results import load_results, results_summary
+
+
+class TestNpzRoundTrip:
+    def test_data_round_trip(self, tmp_path, rng):
+        data = rng.normal(size=(50, 3))
+        path = save_dataset(tmp_path / "points", data)
+        loaded, metadata = load_dataset(path)
+        np.testing.assert_allclose(loaded, data)
+        assert metadata == {}
+
+    def test_metadata_round_trip(self, tmp_path):
+        data = np.zeros((2, 2))
+        path = save_dataset(tmp_path / "points", data, metadata={"seed": 7, "name": "x"})
+        __, metadata = load_dataset(path)
+        assert metadata == {"seed": 7, "name": "x"}
+
+    def test_suffix_enforced(self, tmp_path):
+        path = save_dataset(tmp_path / "points.bin", np.zeros((1, 1)))
+        assert path.suffix == ".npz"
+
+    def test_load_without_suffix(self, tmp_path):
+        save_dataset(tmp_path / "points", np.ones((2, 2)))
+        loaded, __ = load_dataset(tmp_path / "points")
+        assert loaded.shape == (2, 2)
+
+    def test_rejects_foreign_npz(self, tmp_path):
+        foreign = tmp_path / "other.npz"
+        np.savez(foreign, stuff=np.zeros(3))
+        with pytest.raises(ValueError, match="not a repro dataset"):
+            load_dataset(foreign)
+
+
+class TestCsv:
+    def test_round_trip(self, tmp_path, rng):
+        data = rng.normal(size=(20, 4))
+        path = export_csv(tmp_path / "points.csv", data)
+        np.testing.assert_allclose(import_csv(path), data)
+
+    def test_header_round_trip(self, tmp_path):
+        data = np.arange(6.0).reshape(2, 3)
+        path = export_csv(tmp_path / "points.csv", data, column_names=["a", "b", "c"])
+        assert path.read_text().splitlines()[0] == "a,b,c"
+        np.testing.assert_allclose(import_csv(path, has_header=True), data)
+
+    def test_rejects_wrong_header_length(self, tmp_path):
+        with pytest.raises(ValueError, match="column names"):
+            export_csv(tmp_path / "x.csv", np.zeros((2, 3)), column_names=["only"])
+
+
+class TestCachedDataset:
+    def test_generates_once(self, tmp_path):
+        calls = []
+
+        def generate():
+            calls.append(1)
+            return np.full((4, 2), 3.0)
+
+        first = cached_dataset("demo", generate, tmp_path)
+        second = cached_dataset("demo", generate, tmp_path)
+        assert len(calls) == 1
+        np.testing.assert_allclose(first, second)
+
+
+class TestResults:
+    def test_load_results(self, tmp_path):
+        rows = [{"algo": "tkdc", "qps": 10.0}, {"algo": "simple", "qps": 1.0}]
+        (tmp_path / "exp.json").write_text(json.dumps(rows))
+        assert load_results("exp", tmp_path) == rows
+
+    def test_missing_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_results("nope", tmp_path)
+
+    def test_summary_means(self):
+        rows = [
+            {"algo": "a", "v": 1.0},
+            {"algo": "a", "v": 3.0},
+            {"algo": "b", "v": 10.0},
+        ]
+        assert results_summary(rows, "algo", "v") == {"a": 2.0, "b": 10.0}
+
+    def test_summary_skips_nan_and_missing(self):
+        rows = [
+            {"algo": "a", "v": float("nan")},
+            {"algo": "a"},
+            {"algo": "a", "v": 4.0},
+        ]
+        assert results_summary(rows, "algo", "v") == {"a": 4.0}

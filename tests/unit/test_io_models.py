@@ -1,0 +1,94 @@
+"""Unit tests for model persistence and the fit/classify CLI."""
+
+import numpy as np
+import pytest
+
+from repro import TKDCClassifier, TKDCConfig
+from repro.cli import main
+from repro.io.models import load_model, save_model
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    data = np.random.default_rng(0).normal(size=(1000, 2))
+    return data, TKDCClassifier(TKDCConfig(p=0.05, seed=0)).fit(data)
+
+
+class TestSaveLoad:
+    def test_round_trip_preserves_labels(self, fitted, tmp_path, rng):
+        data, clf = fitted
+        path = save_model(tmp_path / "model", clf)
+        loaded = load_model(path)
+        queries = rng.normal(size=(30, 2)) * 2
+        np.testing.assert_array_equal(loaded.predict(queries), clf.predict(queries))
+        assert loaded.threshold.value == clf.threshold.value
+
+    def test_suffix_enforced(self, fitted, tmp_path):
+        __, clf = fitted
+        path = save_model(tmp_path / "model.bin", clf)
+        assert path.suffix == ".tkdc"
+
+    def test_load_without_suffix(self, fitted, tmp_path):
+        __, clf = fitted
+        save_model(tmp_path / "model", clf)
+        assert load_model(tmp_path / "model").is_fitted
+
+    def test_rejects_unfitted(self, tmp_path):
+        with pytest.raises(ValueError, match="unfitted"):
+            save_model(tmp_path / "model", TKDCClassifier())
+
+    def test_rejects_foreign_file(self, tmp_path):
+        import pickle
+
+        bogus = tmp_path / "bogus.tkdc"
+        bogus.write_bytes(pickle.dumps({"not": "a model"}))
+        with pytest.raises(ValueError, match="not a repro"):
+            load_model(bogus)
+
+    def test_rejects_version_mismatch(self, fitted, tmp_path):
+        import pickle
+
+        __, clf = fitted
+        stale = tmp_path / "stale.tkdc"
+        stale.write_bytes(pickle.dumps({
+            "magic": "repro-tkdc-model", "version": "0.0.1", "classifier": clf
+        }))
+        with pytest.raises(ValueError, match="re-fit"):
+            load_model(stale)
+
+
+class TestCliFitClassify:
+    def test_end_to_end(self, tmp_path, capsys, rng):
+        train_csv = tmp_path / "train.csv"
+        np.savetxt(train_csv, rng.normal(size=(800, 2)), delimiter=",")
+        queries_csv = tmp_path / "queries.csv"
+        np.savetxt(queries_csv, np.array([[0.0, 0.0], [6.0, 6.0]]), delimiter=",")
+        model_path = tmp_path / "model.tkdc"
+
+        assert main(["fit", str(train_csv), "--model", str(model_path),
+                     "--p", "0.05"]) == 0
+        assert model_path.exists()
+        capsys.readouterr()
+
+        assert main(["classify", str(queries_csv), "--model", str(model_path)]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert out == ["label", "1", "0"]
+
+    def test_classify_with_densities_and_output(self, tmp_path, capsys, rng):
+        train_csv = tmp_path / "train.csv"
+        np.savetxt(train_csv, rng.normal(size=(600, 2)), delimiter=",")
+        queries_csv = tmp_path / "queries.csv"
+        np.savetxt(queries_csv, np.zeros((1, 2)), delimiter=",")
+        model_path = tmp_path / "m.tkdc"
+        output_csv = tmp_path / "labels.csv"
+
+        main(["fit", str(train_csv), "--model", str(model_path)])
+        assert main([
+            "classify", str(queries_csv), "--model", str(model_path),
+            "--densities", "--output", str(output_csv),
+        ]) == 0
+        lines = output_csv.read_text().strip().splitlines()
+        assert lines[0] == "label,density"
+        label, density = lines[1].split(",")
+        assert label == "1"
+        assert float(density) > 0

@@ -1,0 +1,78 @@
+"""Unit tests for the Epanechnikov kernel."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import integrate
+
+from repro.kernels.epanechnikov import EpanechnikovKernel, _unit_ball_volume
+
+
+class TestUnitBallVolume:
+    def test_known_volumes(self):
+        assert _unit_ball_volume(1) == pytest.approx(2.0)
+        assert _unit_ball_volume(2) == pytest.approx(math.pi)
+        assert _unit_ball_volume(3) == pytest.approx(4.0 / 3.0 * math.pi)
+
+
+class TestValues:
+    def test_finite_support(self):
+        kernel = EpanechnikovKernel(np.array([1.0, 1.0]))
+        assert kernel.support_sq_radius == 1.0
+        assert kernel.value(1.0) == 0.0
+        assert kernel.value(2.0) == 0.0
+        assert kernel.value(0.99) > 0.0
+
+    def test_profile_linear_in_sq_distance(self):
+        kernel = EpanechnikovKernel(np.array([1.0]))
+        np.testing.assert_allclose(
+            kernel.profile(np.array([0.0, 0.25, 0.5, 1.0])), [1.0, 0.75, 0.5, 0.0]
+        )
+
+    def test_monotone_decreasing(self):
+        kernel = EpanechnikovKernel(np.array([1.0, 1.0, 1.0]))
+        sq = np.linspace(0.0, 2.0, 50)
+        values = kernel.value(sq)
+        assert np.all(np.diff(values) <= 0)
+
+    def test_integrates_to_one_1d(self):
+        h = 0.5
+        kernel = EpanechnikovKernel(np.array([h]))
+        total, __ = integrate.quad(lambda x: kernel.value((x / h) ** 2), -h, h)
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_integrates_to_one_2d(self):
+        h = np.array([1.0, 2.0])
+        kernel = EpanechnikovKernel(h)
+
+        def integrand(y: float, x: float) -> float:
+            return float(kernel.value((x / h[0]) ** 2 + (y / h[1]) ** 2))
+
+        # Support is x in [-1, 1], y in [-2, 2] for h = (1, 2); dblquad's
+        # outer variable is x, inner is y.
+        total, __ = integrate.dblquad(integrand, -1.5, 1.5, -2.5, 2.5)
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_max_value_known_formula_1d(self):
+        # 1-d Epanechnikov peak is 3/4 at unit bandwidth.
+        kernel = EpanechnikovKernel(np.array([1.0]))
+        assert kernel.max_value == pytest.approx(0.75)
+
+
+class TestInverseProfile:
+    def test_roundtrip(self):
+        kernel = EpanechnikovKernel(np.array([1.0]))
+        for value in (1.0, 0.5, 0.123):
+            sq = kernel.inverse_profile(value)
+            assert kernel.profile(np.array(sq)) == pytest.approx(value)
+
+    def test_rejects_out_of_range(self):
+        kernel = EpanechnikovKernel(np.array([1.0]))
+        with pytest.raises(ValueError):
+            kernel.inverse_profile(0.0)
+
+    def test_cutoff_radius_within_support(self):
+        kernel = EpanechnikovKernel(np.array([1.0, 1.0]))
+        radius = kernel.cutoff_radius(kernel.max_value * 0.1)
+        assert 0.0 < radius <= 1.0

@@ -1,0 +1,138 @@
+"""Unit tests for the Gaussian kernel."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import integrate
+
+from repro.kernels.gaussian import GaussianKernel
+
+
+class TestConstruction:
+    def test_norm_constant_1d_unit_bandwidth(self):
+        kernel = GaussianKernel(np.array([1.0]))
+        assert kernel.norm_constant == pytest.approx(1.0 / math.sqrt(2 * math.pi))
+
+    def test_norm_constant_2d_unit_bandwidth(self):
+        kernel = GaussianKernel(np.array([1.0, 1.0]))
+        assert kernel.norm_constant == pytest.approx(1.0 / (2 * math.pi))
+
+    def test_norm_constant_scales_with_bandwidth(self):
+        narrow = GaussianKernel(np.array([0.5, 0.5]))
+        wide = GaussianKernel(np.array([2.0, 2.0]))
+        assert narrow.norm_constant == pytest.approx(16.0 * wide.norm_constant)
+
+    def test_rejects_non_positive_bandwidth(self):
+        with pytest.raises(ValueError, match="strictly positive"):
+            GaussianKernel(np.array([1.0, 0.0]))
+        with pytest.raises(ValueError, match="strictly positive"):
+            GaussianKernel(np.array([-1.0]))
+
+    def test_rejects_matrix_bandwidth(self):
+        with pytest.raises(ValueError, match="1-d vector"):
+            GaussianKernel(np.eye(2))
+
+    def test_dim_matches_bandwidth(self):
+        kernel = GaussianKernel(np.array([1.0, 2.0, 3.0]))
+        assert kernel.dim == 3
+
+    def test_unnormalized_constant_is_one(self):
+        kernel = GaussianKernel(np.array([0.3, 0.7]), normalize=False)
+        assert kernel.norm_constant == 1.0
+        assert kernel.max_value == 1.0
+
+
+class TestValues:
+    def test_max_value_at_zero_distance(self):
+        kernel = GaussianKernel(np.array([1.0, 1.0]))
+        assert kernel.value(0.0) == pytest.approx(kernel.max_value)
+
+    def test_profile_is_one_at_zero(self):
+        kernel = GaussianKernel(np.array([2.0]))
+        assert kernel.profile(np.array(0.0)) == pytest.approx(1.0)
+
+    def test_monotone_decreasing_in_sq_distance(self):
+        kernel = GaussianKernel(np.array([1.0, 1.0]))
+        sq = np.linspace(0.0, 50.0, 100)
+        values = kernel.value(sq)
+        assert np.all(np.diff(values) <= 0)
+
+    def test_matches_paper_equation_2(self):
+        """K_H(x) = (2pi)^(-d/2) |H|^(-1/2) exp(-x^T H^-1 x / 2)."""
+        h = np.array([0.5, 1.5])
+        kernel = GaussianKernel(h)
+        x = np.array([0.3, -0.8])
+        det_h = float(np.prod(h**2))
+        expected = (
+            (2 * math.pi) ** -1.0 * det_h**-0.5
+            * math.exp(-0.5 * float(np.sum(x**2 / h**2)))
+        )
+        sq_scaled = float(np.sum((x / h) ** 2))
+        assert kernel.value(sq_scaled) == pytest.approx(expected)
+
+    def test_integrates_to_one_1d(self):
+        kernel = GaussianKernel(np.array([0.7]))
+        total, __ = integrate.quad(lambda x: kernel.value((x / 0.7) ** 2), -10, 10)
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_integrates_to_one_2d(self):
+        h = np.array([0.8, 1.2])
+        kernel = GaussianKernel(h)
+
+        def integrand(y: float, x: float) -> float:
+            sq = (x / h[0]) ** 2 + (y / h[1]) ** 2
+            return float(kernel.value(sq))
+
+        total, __ = integrate.dblquad(integrand, -6, 6, -8, 8)
+        assert total == pytest.approx(1.0, abs=1e-4)
+
+    def test_infinite_support(self):
+        kernel = GaussianKernel(np.array([1.0]))
+        assert kernel.support_sq_radius == math.inf
+        assert kernel.value(1e4) >= 0.0
+
+
+class TestInverseProfile:
+    def test_roundtrip(self):
+        kernel = GaussianKernel(np.array([1.0]))
+        for value in (1.0, 0.5, 0.01, 1e-9):
+            sq = kernel.inverse_profile(value)
+            assert kernel.profile(np.array(sq)) == pytest.approx(value)
+
+    def test_rejects_out_of_range(self):
+        kernel = GaussianKernel(np.array([1.0]))
+        with pytest.raises(ValueError):
+            kernel.inverse_profile(0.0)
+        with pytest.raises(ValueError):
+            kernel.inverse_profile(1.5)
+
+    def test_cutoff_radius_guarantee(self):
+        kernel = GaussianKernel(np.array([1.0, 1.0]))
+        radius = kernel.cutoff_radius(1e-6)
+        assert kernel.value(radius**2) == pytest.approx(1e-6, rel=1e-9)
+
+    def test_cutoff_radius_zero_when_above_max(self):
+        kernel = GaussianKernel(np.array([1.0]))
+        assert kernel.cutoff_radius(kernel.max_value * 2) == 0.0
+
+    def test_cutoff_radius_rejects_non_positive(self):
+        kernel = GaussianKernel(np.array([1.0]))
+        with pytest.raises(ValueError):
+            kernel.cutoff_radius(0.0)
+
+
+class TestScaling:
+    def test_scale_divides_by_bandwidth(self):
+        kernel = GaussianKernel(np.array([2.0, 4.0]))
+        points = np.array([[2.0, 4.0], [4.0, 8.0]])
+        np.testing.assert_allclose(kernel.scale(points), [[1.0, 1.0], [2.0, 2.0]])
+
+    def test_sum_at_matches_manual(self, rng):
+        kernel = GaussianKernel(np.array([1.0, 1.0]))
+        points = rng.normal(size=(50, 2))
+        query = np.array([0.1, -0.2])
+        manual = sum(
+            float(kernel.value(float(np.sum((p - query) ** 2)))) for p in points
+        )
+        assert kernel.sum_at(points, query) == pytest.approx(manual)

@@ -1,0 +1,115 @@
+"""Unit tests for the polynomial (uniform/biweight/triweight) kernels."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import integrate
+
+from repro.kernels.epanechnikov import EpanechnikovKernel
+from repro.kernels.polynomial import (
+    BiweightKernel,
+    PolynomialKernel,
+    TriweightKernel,
+    UniformKernel,
+)
+
+ALL_POLYNOMIAL = [UniformKernel, BiweightKernel, TriweightKernel]
+
+
+class TestNormalization:
+    @pytest.mark.parametrize("cls", ALL_POLYNOMIAL)
+    def test_integrates_to_one_1d(self, cls):
+        h = 0.8
+        kernel = cls(np.array([h]))
+        total, __ = integrate.quad(lambda x: kernel.value((x / h) ** 2), -h, h)
+        assert total == pytest.approx(1.0, abs=1e-8)
+
+    @pytest.mark.parametrize("cls", ALL_POLYNOMIAL)
+    def test_integrates_to_one_2d_monte_carlo(self, cls, rng):
+        h = np.array([1.0, 1.5])
+        kernel = cls(h)
+        samples = rng.uniform([-1.0, -1.5], [1.0, 1.5], size=(400_000, 2))
+        values = kernel.value((samples[:, 0] / h[0]) ** 2 + (samples[:, 1] / h[1]) ** 2)
+        estimate = float(values.mean()) * 2.0 * 3.0
+        assert estimate == pytest.approx(1.0, abs=0.02)
+
+    def test_uniform_1d_constant(self):
+        # 1-d uniform kernel at unit bandwidth is 1/2 over [-1, 1].
+        kernel = UniformKernel(np.array([1.0]))
+        assert kernel.max_value == pytest.approx(0.5)
+        assert kernel.value(0.5) == pytest.approx(0.5)
+
+    def test_biweight_1d_peak(self):
+        # 1-d biweight peak: 15/16 at unit bandwidth.
+        kernel = BiweightKernel(np.array([1.0]))
+        assert kernel.max_value == pytest.approx(15.0 / 16.0)
+
+    def test_triweight_1d_peak(self):
+        # 1-d triweight peak: 35/32 at unit bandwidth.
+        kernel = TriweightKernel(np.array([1.0]))
+        assert kernel.max_value == pytest.approx(35.0 / 32.0)
+
+    def test_degree_one_matches_epanechnikov(self):
+        class DegreeOne(PolynomialKernel):
+            degree = 1
+
+        h = np.array([0.7, 1.3])
+        poly = DegreeOne(h)
+        epan = EpanechnikovKernel(h)
+        assert poly.norm_constant == pytest.approx(epan.norm_constant)
+        sq = np.linspace(0, 1.5, 20)
+        np.testing.assert_allclose(poly.value(sq), epan.value(sq))
+
+
+class TestSupport:
+    @pytest.mark.parametrize("cls", ALL_POLYNOMIAL)
+    def test_zero_outside_unit_ball(self, cls):
+        kernel = cls(np.array([1.0, 1.0]))
+        assert kernel.support_sq_radius == 1.0
+        assert kernel.value(1.0) == 0.0
+        assert kernel.value_scalar(1.2) == 0.0
+
+    @pytest.mark.parametrize("cls", ALL_POLYNOMIAL)
+    def test_monotone_non_increasing(self, cls):
+        kernel = cls(np.array([1.0, 1.0]))
+        sq = np.linspace(0.0, 1.5, 100)
+        values = kernel.value(sq)
+        assert np.all(np.diff(values) <= 1e-15)
+
+    @pytest.mark.parametrize("cls", ALL_POLYNOMIAL)
+    def test_scalar_matches_array(self, cls):
+        kernel = cls(np.array([0.5, 2.0]))
+        for s in (0.0, 0.3, 0.99, 1.0, 5.0):
+            assert kernel.value_scalar(s) == pytest.approx(float(kernel.value(s)))
+
+
+class TestInverseProfile:
+    @pytest.mark.parametrize("cls", [BiweightKernel, TriweightKernel])
+    def test_roundtrip(self, cls):
+        kernel = cls(np.array([1.0]))
+        for value in (1.0, 0.5, 0.01):
+            sq = kernel.inverse_profile(value)
+            assert float(kernel.profile(np.array(sq))) == pytest.approx(value)
+
+    def test_uniform_inverse(self):
+        kernel = UniformKernel(np.array([1.0]))
+        assert kernel.inverse_profile(1.0) == 0.0
+        assert kernel.inverse_profile(0.5) == 1.0
+
+    @pytest.mark.parametrize("cls", ALL_POLYNOMIAL)
+    def test_rejects_out_of_range(self, cls):
+        with pytest.raises(ValueError):
+            cls(np.array([1.0])).inverse_profile(0.0)
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("name", ["uniform", "biweight", "triweight"])
+    def test_tkdc_with_polynomial_kernel(self, name, medium_gauss):
+        from repro import Label, TKDCClassifier, TKDCConfig
+
+        clf = TKDCClassifier(TKDCConfig(p=0.05, kernel=name, seed=0)).fit(medium_gauss)
+        assert clf.classify(np.array([[0.0, 0.0]]))[0] is Label.HIGH
+        assert clf.classify(np.array([[9.0, 9.0]]))[0] is Label.LOW
+        low_fraction = float(np.mean(np.asarray(clf.training_labels_) == Label.LOW))
+        assert low_fraction == pytest.approx(0.05, abs=0.02)

@@ -1,0 +1,88 @@
+"""Unit tests for k-nearest-neighbour search."""
+
+import numpy as np
+import pytest
+
+from repro.index.kdtree import KDTree
+from repro.index.knn import k_nearest, k_nearest_all
+
+
+def brute_force_knn(data, query, k, exclude=None):
+    sq = np.sum((data - query) ** 2, axis=1)
+    order = np.argsort(sq, kind="stable")
+    if exclude is not None:
+        order = order[order != exclude]
+    return order[:k], sq[order[:k]]
+
+
+class TestKNearest:
+    def test_matches_brute_force(self, small_gauss, rng):
+        tree = KDTree(small_gauss, leaf_size=8)
+        for __ in range(20):
+            q = rng.normal(size=2) * 2
+            k = int(rng.integers(1, 10))
+            __, expected_sq = brute_force_knn(small_gauss, q, k)
+            idx, sq = k_nearest(tree, q, k)
+            np.testing.assert_allclose(np.sort(sq), np.sort(expected_sq))
+            # Distances of returned indices match.
+            actual = np.sum((small_gauss[idx] - q) ** 2, axis=1)
+            np.testing.assert_allclose(actual, sq)
+
+    def test_sorted_ascending(self, small_gauss):
+        tree = KDTree(small_gauss)
+        __, sq = k_nearest(tree, np.zeros(2), 15)
+        assert np.all(np.diff(sq) >= 0)
+
+    def test_exclude_self(self, small_gauss):
+        tree = KDTree(small_gauss, leaf_size=4)
+        idx, sq = k_nearest(tree, small_gauss[7], 3, exclude_index=7)
+        assert 7 not in idx
+        # Without exclusion the nearest neighbour is the point itself.
+        idx_with, sq_with = k_nearest(tree, small_gauss[7], 1)
+        assert idx_with[0] == 7
+        assert sq_with[0] == 0.0
+
+    def test_k_equals_n(self, rng):
+        data = rng.normal(size=(20, 3))
+        tree = KDTree(data, leaf_size=4)
+        idx, __ = k_nearest(tree, np.zeros(3), 20)
+        assert sorted(idx.tolist()) == list(range(20))
+
+    def test_rejects_bad_k(self, small_gauss):
+        tree = KDTree(small_gauss)
+        with pytest.raises(ValueError):
+            k_nearest(tree, np.zeros(2), 0)
+        with pytest.raises(ValueError):
+            k_nearest(tree, np.zeros(2), small_gauss.shape[0] + 1)
+
+    def test_duplicates_handled(self):
+        data = np.repeat(np.array([[0.0, 0.0], [5.0, 5.0]]), 10, axis=0)
+        tree = KDTree(data, leaf_size=4)
+        idx, sq = k_nearest(tree, np.array([0.0, 0.0]), 10)
+        assert np.all(sq == 0.0)
+        assert len(set(idx.tolist())) == 10  # distinct duplicate points
+
+
+class TestKNearestAll:
+    def test_matches_per_point_queries(self, rng):
+        data = rng.normal(size=(60, 2))
+        tree = KDTree(data, leaf_size=8)
+        all_idx, all_sq = k_nearest_all(tree, 4)
+        for i in range(60):
+            __, expected_sq = brute_force_knn(data, data[i], 4, exclude=i)
+            np.testing.assert_allclose(all_sq[i], expected_sq)
+
+    def test_self_not_among_neighbours(self, rng):
+        data = rng.normal(size=(40, 2))
+        tree = KDTree(data)
+        all_idx, __ = k_nearest_all(tree, 5)
+        for i in range(40):
+            assert i not in all_idx[i]
+
+    def test_include_self(self, rng):
+        data = rng.normal(size=(30, 2))
+        tree = KDTree(data)
+        all_idx, all_sq = k_nearest_all(tree, 1, self_exclude=False)
+        # Each point's nearest neighbour (self included) is itself.
+        np.testing.assert_array_equal(all_idx[:, 0], np.arange(30))
+        np.testing.assert_allclose(all_sq[:, 0], 0.0)

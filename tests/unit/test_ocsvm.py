@@ -1,0 +1,104 @@
+"""Unit tests for the from-scratch One-Class SVM."""
+
+import numpy as np
+import pytest
+
+from repro.outliers.ocsvm import OneClassSVM, rbf_gamma_scale
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    rng = np.random.default_rng(3)
+    return rng.normal(size=(600, 2))
+
+
+class TestFit:
+    def test_nu_bounds_training_outlier_fraction(self, cluster):
+        for nu in (0.02, 0.1, 0.3):
+            model = OneClassSVM(nu=nu).fit(cluster)
+            outlier_fraction = float(np.mean(model.training_labels()))
+            # The nu-property: outlier fraction is upper-bounded by nu
+            # (up to solver tolerance) and approaches it from below.
+            assert outlier_fraction <= nu + 0.02
+            assert outlier_fraction >= nu - 0.07
+
+    def test_nu_lower_bounds_support_fraction(self, cluster):
+        model = OneClassSVM(nu=0.2).fit(cluster)
+        assert model.n_support >= 0.2 * cluster.shape[0] - 2
+
+    def test_alpha_constraints_satisfied(self, cluster):
+        model = OneClassSVM(nu=0.1).fit(cluster)
+        alphas = model._support_alphas  # noqa: SLF001
+        upper = 1.0 / (0.1 * cluster.shape[0])
+        assert np.all(alphas > 0)
+        assert np.all(alphas <= upper + 1e-10)
+        assert float(np.sum(alphas)) == pytest.approx(1.0, abs=1e-9)
+
+    def test_converges(self, cluster):
+        model = OneClassSVM(nu=0.1).fit(cluster)
+        assert model.iterations_ < model.max_iter
+
+    def test_rho_positive_for_rbf(self, cluster):
+        # With an RBF kernel all K values are in (0, 1]; the expansion
+        # at support vectors is positive, so rho > 0.
+        model = OneClassSVM(nu=0.1).fit(cluster)
+        assert model.rho > 0
+
+
+class TestDecision:
+    def test_center_in_far_out(self, cluster):
+        model = OneClassSVM(nu=0.05).fit(cluster)
+        decisions = model.decision_function(np.array([[0.0, 0.0], [8.0, 8.0]]))
+        assert decisions[0] > 0
+        assert decisions[1] < 0
+
+    def test_predict_matches_decision_sign(self, cluster, rng):
+        model = OneClassSVM(nu=0.05).fit(cluster)
+        queries = rng.normal(size=(50, 2)) * 2
+        decisions = model.decision_function(queries)
+        np.testing.assert_array_equal(model.predict(queries), (decisions < 0).astype(int))
+
+    def test_detects_planted_outliers(self, cluster, rng):
+        outliers = rng.uniform(5, 8, size=(10, 2))
+        model = OneClassSVM(nu=0.05).fit(cluster)
+        assert np.all(model.predict(outliers) == 1)
+
+    def test_decision_decays_outside_support(self, cluster):
+        """Scores are near-flat inside the support (a boundary method)
+        and decrease monotonically once outside it."""
+        model = OneClassSVM(nu=0.1).fit(cluster)
+        inside = model.decision_function(np.array([[0.0, 0.0], [1.0, 0.0]]))
+        assert np.all(inside > 0)
+        radii = np.array([2.5, 3.5, 5.0, 8.0])
+        outside = model.decision_function(
+            np.column_stack([radii, np.zeros_like(radii)])
+        )
+        assert np.all(outside < 0)
+        assert list(outside) == sorted(outside, reverse=True)
+
+
+class TestValidation:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            OneClassSVM(nu=0.0)
+        with pytest.raises(ValueError):
+            OneClassSVM(nu=1.5)
+        with pytest.raises(ValueError):
+            OneClassSVM(gamma=-1.0)
+        with pytest.raises(ValueError):
+            OneClassSVM(tol=0.0)
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            OneClassSVM().decision_function(np.zeros((1, 2)))
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            OneClassSVM().fit(np.zeros((1, 2)))
+
+    def test_gamma_scale_heuristic(self, cluster):
+        gamma = rbf_gamma_scale(cluster)
+        assert gamma == pytest.approx(1.0 / (2 * np.var(cluster)))
+
+    def test_gamma_scale_degenerate(self):
+        assert rbf_gamma_scale(np.ones((5, 3))) == pytest.approx(1.0 / 3.0)

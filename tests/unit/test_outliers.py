@@ -1,0 +1,103 @@
+"""Unit tests for the kNN-distance and LOF outlier detectors."""
+
+import numpy as np
+import pytest
+
+from repro.outliers import KNNDistanceDetector, LocalOutlierFactor
+
+
+@pytest.fixture(scope="module")
+def planted():
+    """A dense cluster plus a handful of clear planted outliers."""
+    rng = np.random.default_rng(5)
+    inliers = rng.normal(size=(800, 2)) * 0.5
+    outliers = rng.uniform(4.0, 6.0, size=(8, 2)) * rng.choice([-1, 1], size=(8, 2))
+    data = np.concatenate([inliers, outliers])
+    truth = np.concatenate([np.zeros(800), np.ones(8)]).astype(int)
+    return data, truth
+
+
+class TestKNNDistance:
+    def test_detects_planted_outliers(self, planted):
+        data, truth = planted
+        detector = KNNDistanceDetector(k=5, contamination=0.01).fit(data)
+        labels = detector.training_labels()
+        assert np.all(labels[truth == 1] == 1)
+
+    def test_score_ordering(self, planted):
+        data, __ = planted
+        detector = KNNDistanceDetector(k=5).fit(data)
+        center = detector.score(np.array([[0.0, 0.0]]))[0]
+        far = detector.score(np.array([[10.0, 10.0]]))[0]
+        assert far > center
+
+    def test_contamination_controls_flag_rate(self, planted):
+        data, __ = planted
+        detector = KNNDistanceDetector(k=5, contamination=0.05).fit(data)
+        flagged = float(np.mean(detector.training_labels()))
+        assert flagged == pytest.approx(0.05, abs=0.01)
+
+    def test_predict_queries(self, planted):
+        data, __ = planted
+        detector = KNNDistanceDetector(k=5).fit(data)
+        labels = detector.predict(np.array([[0.0, 0.0], [12.0, -12.0]]))
+        assert labels.tolist() == [0, 1]
+
+    def test_validation(self, planted):
+        data, __ = planted
+        with pytest.raises(ValueError):
+            KNNDistanceDetector(k=0)
+        with pytest.raises(ValueError):
+            KNNDistanceDetector(contamination=1.0)
+        with pytest.raises(ValueError, match="more than k"):
+            KNNDistanceDetector(k=10).fit(data[:5])
+        with pytest.raises(RuntimeError, match="not fitted"):
+            KNNDistanceDetector().score(np.zeros((1, 2)))
+
+
+class TestLOF:
+    def test_detects_planted_outliers(self, planted):
+        data, truth = planted
+        detector = LocalOutlierFactor(k=10, contamination=0.01).fit(data)
+        labels = detector.training_labels()
+        assert np.all(labels[truth == 1] == 1)
+
+    def test_inlier_scores_near_one(self, planted):
+        data, truth = planted
+        detector = LocalOutlierFactor(k=10).fit(data)
+        inlier_scores = detector.training_scores_[truth == 0]
+        assert np.median(inlier_scores) == pytest.approx(1.0, abs=0.1)
+
+    def test_adapts_to_mixed_densities(self, rng):
+        """LOF's selling point: a sparse-cluster member is not an outlier
+        just because a dense cluster exists elsewhere."""
+        dense = rng.normal(size=(500, 2)) * 0.1
+        sparse = rng.normal(size=(500, 2)) * 2.0 + [20.0, 0.0]
+        data = np.concatenate([dense, sparse])
+        detector = LocalOutlierFactor(k=10, contamination=0.02).fit(data)
+        labels = detector.training_labels()
+        sparse_flag_rate = float(np.mean(labels[500:]))
+        # The sparse cluster is not disproportionately flagged.
+        assert sparse_flag_rate < 0.10
+
+    def test_query_scoring(self, planted):
+        data, __ = planted
+        detector = LocalOutlierFactor(k=10).fit(data)
+        scores = detector.score(np.array([[0.0, 0.0], [15.0, 15.0]]))
+        assert scores[1] > scores[0]
+        assert scores[0] == pytest.approx(1.0, abs=0.3)
+
+    def test_duplicate_points_finite_scores(self):
+        data = np.concatenate([
+            np.repeat([[0.0, 0.0]], 30, axis=0),
+            np.random.default_rng(0).normal(size=(30, 2)) + 5.0,
+        ])
+        detector = LocalOutlierFactor(k=5, contamination=0.05).fit(data)
+        assert np.all(np.isfinite(detector.training_scores_))
+
+    def test_validation(self, planted):
+        data, __ = planted
+        with pytest.raises(ValueError):
+            LocalOutlierFactor(k=0)
+        with pytest.raises(RuntimeError, match="not fitted"):
+            LocalOutlierFactor().predict(np.zeros((1, 2)))

@@ -1,0 +1,77 @@
+"""Unit tests for the from-scratch PCA."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.pca import PCA
+
+
+class TestFit:
+    def test_recovers_dominant_direction(self, rng):
+        # Data varying almost entirely along one axis.
+        data = np.column_stack([
+            rng.normal(scale=10.0, size=500),
+            rng.normal(scale=0.1, size=500),
+        ])
+        pca = PCA(1).fit(data)
+        direction = np.abs(pca.components[0])
+        assert direction[0] > 0.99
+
+    def test_explained_variance_ordering(self, rng):
+        data = rng.normal(size=(300, 5)) * np.array([5.0, 4.0, 3.0, 2.0, 1.0])
+        pca = PCA(5).fit(data)
+        variances = pca.explained_variance
+        assert np.all(np.diff(variances) <= 1e-9)
+
+    def test_explained_variance_matches_cov(self, rng):
+        data = rng.normal(size=(1000, 3)) * np.array([3.0, 2.0, 1.0])
+        pca = PCA(3).fit(data)
+        total = float(np.sum(pca.explained_variance))
+        assert total == pytest.approx(float(np.trace(np.cov(data.T))), rel=1e-9)
+
+    def test_components_orthonormal(self, rng):
+        data = rng.normal(size=(200, 6))
+        pca = PCA(4).fit(data)
+        gram = pca.components @ pca.components.T
+        np.testing.assert_allclose(gram, np.eye(4), atol=1e-10)
+
+
+class TestTransform:
+    def test_shapes(self, rng):
+        data = rng.normal(size=(100, 10))
+        pca = PCA(3).fit(data)
+        assert pca.transform(data).shape == (100, 3)
+
+    def test_projection_centered(self, rng):
+        data = rng.normal(size=(500, 4)) + 10.0
+        projected = PCA(2).fit_transform(data)
+        np.testing.assert_allclose(projected.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_full_rank_roundtrip(self, rng):
+        data = rng.normal(size=(50, 4))
+        pca = PCA(4).fit(data)
+        recovered = pca.inverse_transform(pca.transform(data))
+        np.testing.assert_allclose(recovered, data, atol=1e-9)
+
+    def test_lossy_roundtrip_reduces_error_with_components(self, rng):
+        data = rng.normal(size=(200, 8)) * np.arange(1, 9)[::-1]
+        err = []
+        for k in (2, 6):
+            pca = PCA(k).fit(data)
+            recovered = pca.inverse_transform(pca.transform(data))
+            err.append(float(np.mean((recovered - data) ** 2)))
+        assert err[1] < err[0]
+
+
+class TestValidation:
+    def test_rejects_bad_component_count(self):
+        with pytest.raises(ValueError):
+            PCA(0)
+
+    def test_rejects_too_many_components(self, rng):
+        with pytest.raises(ValueError, match="exceeds"):
+            PCA(10).fit(rng.normal(size=(5, 3)))
+
+    def test_requires_fit(self, rng):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            PCA(2).transform(rng.normal(size=(5, 3)))

@@ -1,0 +1,74 @@
+"""Unit tests for the threshold and tolerance pruning rules."""
+
+import pytest
+
+from repro.core.pruning import PruneOutcome, check_rules, threshold_rule, tolerance_rule
+
+
+class TestThresholdRule:
+    def test_fires_high(self):
+        assert (
+            threshold_rule(2.0, 3.0, t_lower=1.0, t_upper=1.5, epsilon=0.01)
+            is PruneOutcome.THRESHOLD_HIGH
+        )
+
+    def test_fires_low(self):
+        assert (
+            threshold_rule(0.1, 0.5, t_lower=1.0, t_upper=1.5, epsilon=0.01)
+            is PruneOutcome.THRESHOLD_LOW
+        )
+
+    def test_no_fire_when_straddling(self):
+        assert threshold_rule(0.5, 2.0, 1.0, 1.5, 0.01) is None
+
+    def test_epsilon_margin_high(self):
+        # f_lower must exceed t_upper * (1 + eps), not just t_upper.
+        assert threshold_rule(1.54, 2.0, 1.0, 1.5, 0.1) is None
+        assert threshold_rule(1.66, 2.0, 1.0, 1.5, 0.1) is PruneOutcome.THRESHOLD_HIGH
+
+    def test_epsilon_margin_low(self):
+        assert threshold_rule(0.1, 0.95, 1.0, 1.5, 0.1) is None
+        assert threshold_rule(0.1, 0.85, 1.0, 1.5, 0.1) is PruneOutcome.THRESHOLD_LOW
+
+
+class TestToleranceRule:
+    def test_fires_when_narrow(self):
+        assert tolerance_rule(1.0, 1.005, tolerance_width=0.01) is PruneOutcome.TOLERANCE
+
+    def test_no_fire_when_wide(self):
+        assert tolerance_rule(1.0, 1.5, tolerance_width=0.01) is None
+
+    def test_zero_width_target_never_fires_on_open_interval(self):
+        assert tolerance_rule(1.0, 1.0001, tolerance_width=0.0) is None
+
+
+class TestCheckRules:
+    def test_threshold_takes_precedence(self):
+        # Both rules would fire; threshold is checked first.
+        outcome = check_rules(2.0, 2.001, 1.0, 1.5, epsilon=0.01)
+        assert outcome is PruneOutcome.THRESHOLD_HIGH
+
+    def test_tolerance_fallback(self):
+        outcome = check_rules(1.2, 1.2001, 1.0, 1.5, epsilon=0.01)
+        assert outcome is PruneOutcome.TOLERANCE
+
+    def test_disabled_threshold_rule(self):
+        outcome = check_rules(2.0, 3.0, 1.0, 1.5, 0.01, use_threshold_rule=False)
+        assert outcome is None
+
+    def test_disabled_tolerance_rule(self):
+        outcome = check_rules(1.2, 1.2001, 1.0, 1.5, 0.01, use_tolerance_rule=False)
+        assert outcome is None
+
+    def test_both_disabled(self):
+        assert check_rules(5.0, 5.0, 1.0, 1.5, 0.01, False, False) is None
+
+    def test_tolerance_reference_override(self):
+        # Width 0.05: fires against reference 10 (target 0.1), not
+        # against t_lower=1 (target 0.01).
+        assert check_rules(
+            1.2, 1.25, 1.0, 1.5, 0.01, use_threshold_rule=False
+        ) is None
+        assert check_rules(
+            1.2, 1.25, 1.0, 1.5, 0.01, use_threshold_rule=False, tolerance_reference=10.0
+        ) is PruneOutcome.TOLERANCE

@@ -1,0 +1,58 @@
+"""Unit tests for console tables and JSON result capture."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench.reporting import ConsoleTable, format_value, save_results
+
+
+class TestConsoleTable:
+    def test_render_alignment(self):
+        table = ConsoleTable(["algo", "qps"])
+        table.add_row({"algo": "tkdc", "qps": 55200})
+        table.add_row({"algo": "simple", "qps": 0.12})
+        lines = table.render().splitlines()
+        assert lines[0].startswith("algo")
+        assert "tkdc" in lines[2]
+        assert "simple" in lines[3]
+
+    def test_missing_column_blank(self):
+        table = ConsoleTable(["a", "b"])
+        table.add_row({"a": 1})
+        assert "1" in table.render()
+
+    def test_rejects_no_columns(self):
+        with pytest.raises(ValueError):
+            ConsoleTable([])
+
+    def test_empty_table_renders_header(self):
+        table = ConsoleTable(["x"])
+        assert table.render().splitlines()[0] == "x"
+
+
+class TestFormatValue:
+    def test_floats(self):
+        assert format_value(0.0) == "0"
+        assert format_value(1234.5678) == "1235"
+        assert format_value(1.0e-6) == "1e-06"
+        assert format_value(2.5e7) == "2.5e+07"
+
+    def test_non_floats(self):
+        assert format_value("tkdc") == "tkdc"
+        assert format_value(42) == "42"
+        assert format_value(True) == "True"
+
+
+class TestSaveResults:
+    def test_round_trip(self, tmp_path):
+        rows = [{"algo": "tkdc", "qps": np.float64(55.5), "n": np.int64(100)}]
+        path = save_results("test_exp", rows, directory=tmp_path)
+        loaded = json.loads(path.read_text())
+        assert loaded == [{"algo": "tkdc", "qps": 55.5, "n": 100}]
+
+    def test_creates_directory(self, tmp_path):
+        target = tmp_path / "nested" / "dir"
+        path = save_results("exp", [], directory=target)
+        assert path.exists()

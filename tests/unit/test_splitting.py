@@ -1,0 +1,57 @@
+"""Unit tests for k-d tree split rules."""
+
+import numpy as np
+import pytest
+
+from repro.index.splitting import (
+    SPLIT_RULES,
+    cycle_axis,
+    median_split,
+    trimmed_midpoint_split,
+    widest_axis,
+)
+
+
+class TestMedianSplit:
+    def test_odd_count(self):
+        assert median_split(np.array([3.0, 1.0, 2.0])) == 2.0
+
+    def test_even_count_interpolates(self):
+        assert median_split(np.array([1.0, 2.0, 3.0, 4.0])) == pytest.approx(2.5)
+
+
+class TestTrimmedMidpointSplit:
+    def test_symmetric_data_gives_center(self):
+        coords = np.linspace(-1.0, 1.0, 101)
+        assert trimmed_midpoint_split(coords) == pytest.approx(0.0, abs=1e-12)
+
+    def test_ignores_extreme_outliers(self):
+        # One huge outlier should barely move the split (unlike a plain
+        # midpoint of min/max, which would land near 500).
+        coords = np.concatenate([np.linspace(0.0, 1.0, 99), [1000.0]])
+        assert trimmed_midpoint_split(coords) < 2.0
+
+    def test_matches_paper_definition(self, rng):
+        coords = rng.normal(size=500)
+        p10, p90 = np.percentile(coords, [10, 90])
+        assert trimmed_midpoint_split(coords) == pytest.approx(0.5 * (p10 + p90))
+
+
+class TestAxisPolicies:
+    def test_cycle_axis_wraps(self):
+        assert [cycle_axis(depth, 3) for depth in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_widest_axis(self):
+        lo = np.array([0.0, 0.0, 0.0])
+        hi = np.array([1.0, 5.0, 2.0])
+        assert widest_axis(lo, hi) == 1
+
+
+class TestRegistry:
+    def test_contains_both_rules(self):
+        assert set(SPLIT_RULES) == {"median", "trimmed_midpoint"}
+
+    def test_rules_return_floats(self, rng):
+        coords = rng.normal(size=50)
+        for rule in SPLIT_RULES.values():
+            assert isinstance(rule(coords), float)

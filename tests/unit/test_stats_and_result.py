@@ -1,0 +1,88 @@
+"""Unit tests for TraversalStats and the result types."""
+
+import pytest
+
+from repro.core.result import DensityBounds, Label, ThresholdEstimate
+from repro.core.stats import TraversalStats
+
+
+class TestTraversalStats:
+    def test_initial_state(self):
+        stats = TraversalStats()
+        assert stats.kernel_evaluations == 0
+        assert stats.kernels_per_query == 0.0
+        assert stats.prunes == 0
+
+    def test_kernels_per_query(self):
+        stats = TraversalStats(kernel_evaluations=100, queries=4)
+        assert stats.kernels_per_query == 25.0
+
+    def test_merge(self):
+        a = TraversalStats(kernel_evaluations=10, queries=1, grid_hits=2)
+        b = TraversalStats(kernel_evaluations=5, queries=2, tolerance_prunes=3)
+        a.merge(b)
+        assert a.kernel_evaluations == 15
+        assert a.queries == 3
+        assert a.grid_hits == 2
+        assert a.tolerance_prunes == 3
+
+    def test_merge_extras(self):
+        a = TraversalStats(extras={"x": 1.0})
+        b = TraversalStats(extras={"x": 2.0, "y": 3.0})
+        a.merge(b)
+        assert a.extras == {"x": 3.0, "y": 3.0}
+
+    def test_reset(self):
+        stats = TraversalStats(kernel_evaluations=10, queries=2, extras={"a": 1.0})
+        stats.reset()
+        assert stats.kernel_evaluations == 0
+        assert stats.queries == 0
+        assert stats.extras == {}
+
+    def test_snapshot_roundtrip(self):
+        stats = TraversalStats(kernel_evaluations=7, queries=2, threshold_prunes_high=1)
+        snap = stats.snapshot()
+        assert snap["kernel_evaluations"] == 7
+        assert snap["kernels_per_query"] == 3.5
+        assert snap["threshold_prunes_high"] == 1
+
+    def test_prunes_totals(self):
+        stats = TraversalStats(
+            threshold_prunes_high=2, threshold_prunes_low=3, tolerance_prunes=4
+        )
+        assert stats.prunes == 9
+
+
+class TestLabel:
+    def test_values(self):
+        assert int(Label.LOW) == 0
+        assert int(Label.HIGH) == 1
+
+    def test_names(self):
+        assert Label.HIGH.name == "HIGH"
+        assert Label(0) is Label.LOW
+
+
+class TestDensityBounds:
+    def test_midpoint_and_width(self):
+        bounds = DensityBounds(1.0, 3.0)
+        assert bounds.midpoint == 2.0
+        assert bounds.width == 2.0
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            DensityBounds(2.0, 1.0)
+
+    def test_accepts_degenerate(self):
+        bounds = DensityBounds(1.5, 1.5)
+        assert bounds.width == 0.0
+
+
+class TestThresholdEstimate:
+    def test_valid(self):
+        estimate = ThresholdEstimate(value=1.0, lower=0.5, upper=2.0, p=0.01)
+        assert estimate.value == 1.0
+
+    def test_rejects_value_outside_bounds(self):
+        with pytest.raises(ValueError, match="outside"):
+            ThresholdEstimate(value=3.0, lower=0.5, upper=2.0, p=0.01)

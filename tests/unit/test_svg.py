@@ -1,0 +1,91 @@
+"""Unit tests for the SVG chart renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.bench.svg import bar_chart_svg, line_chart_svg, save_svg
+
+
+def parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+class TestLineChart:
+    def test_valid_xml(self):
+        svg = line_chart_svg({"tkdc": ([1, 2, 3], [10, 20, 30])}, title="t")
+        root = parse(svg)
+        assert root.tag.endswith("svg")
+
+    def test_series_and_legend_present(self):
+        svg = line_chart_svg({"a": ([1, 2], [1, 2]), "b": ([1, 2], [2, 1])})
+        root = parse(svg)
+        ns = "{http://www.w3.org/2000/svg}"
+        polylines = root.findall(f"{ns}polyline")
+        assert len(polylines) == 2
+        texts = [t.text for t in root.findall(f"{ns}text")]
+        assert "a" in texts and "b" in texts
+
+    def test_log_axes(self):
+        svg = line_chart_svg({"s": ([10, 100, 1000], [1, 10, 100])},
+                             logx=True, logy=True)
+        assert "100" in svg
+
+    def test_markers_match_points(self):
+        svg = line_chart_svg({"s": ([1, 2, 3, 4], [1, 2, 3, 4])})
+        root = parse(svg)
+        ns = "{http://www.w3.org/2000/svg}"
+        assert len(root.findall(f"{ns}circle")) == 4
+
+    def test_escapes_labels(self):
+        svg = line_chart_svg({"a<b": ([1], [1])}, title='x & "y"')
+        parse(svg)  # would raise on bad escaping
+        assert "a&lt;b" in svg
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            line_chart_svg({})
+        with pytest.raises(ValueError):
+            line_chart_svg({"s": ([], [])})
+
+    def test_rejects_log_nonpositive(self):
+        with pytest.raises(ValueError, match="positive"):
+            line_chart_svg({"s": ([0, 1], [1, 2])}, logx=True)
+
+    def test_constant_series(self):
+        parse(line_chart_svg({"s": ([1, 2], [5, 5])}))
+
+
+class TestBarChart:
+    def test_valid_xml_with_bars(self):
+        svg = bar_chart_svg(["baseline", "+threshold"], [10.0, 5000.0], title="f12")
+        root = parse(svg)
+        ns = "{http://www.w3.org/2000/svg}"
+        rects = root.findall(f"{ns}rect")
+        assert len(rects) == 3  # background + 2 bars
+
+    def test_logscale_compression(self):
+        linear = bar_chart_svg(["a", "b"], [1.0, 1000.0])
+        logged = bar_chart_svg(["a", "b"], [1.0, 1000.0], logscale=True)
+
+        def widths(svg):
+            root = parse(svg)
+            ns = "{http://www.w3.org/2000/svg}"
+            return [float(r.get("width")) for r in root.findall(f"{ns}rect")][1:]
+
+        lin_w, log_w = widths(linear), widths(logged)
+        assert log_w[1] / log_w[0] < lin_w[1] / lin_w[0]
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            bar_chart_svg([], [])
+        with pytest.raises(ValueError):
+            bar_chart_svg(["a"], [-1.0])
+
+
+class TestSaveSvg:
+    def test_saves_with_suffix(self, tmp_path):
+        svg = bar_chart_svg(["a"], [1.0])
+        path = save_svg(tmp_path / "chart.png", svg)
+        assert path.suffix == ".svg"
+        assert path.read_text() == svg

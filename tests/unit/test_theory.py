@@ -1,0 +1,71 @@
+"""Unit tests for the Appendix A theory helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.theory import (
+    ScalingFit,
+    fit_cost_scaling,
+    fit_near_scaling,
+    near_fraction,
+    predicted_cost_exponent,
+    predicted_near_exponent,
+)
+
+
+class TestPredictedExponents:
+    def test_cost_exponents(self):
+        assert predicted_cost_exponent(1) == 0.0
+        assert predicted_cost_exponent(2) == 0.5
+        assert predicted_cost_exponent(27) == pytest.approx(26 / 27)
+
+    def test_near_exponents(self):
+        assert predicted_near_exponent(2) == -0.5
+        assert predicted_near_exponent(10) == -0.1
+
+    def test_reject_bad_dim(self):
+        with pytest.raises(ValueError):
+            predicted_cost_exponent(0)
+        with pytest.raises(ValueError):
+            predicted_near_exponent(0)
+
+
+class TestNearFraction:
+    def test_counts_band_membership(self):
+        densities = np.array([0.5, 1.0, 1.5, 2.0])
+        assert near_fraction(densities, threshold=1.0, resolution=0.5) == 0.75
+
+    def test_zero_resolution(self):
+        densities = np.array([0.5, 1.0, 1.5])
+        assert near_fraction(densities, 1.0, 0.0) == pytest.approx(1 / 3)
+
+    def test_rejects_negative_resolution(self):
+        with pytest.raises(ValueError):
+            near_fraction(np.array([1.0]), 1.0, -0.1)
+
+
+class TestScalingFits:
+    def test_cost_fit_recovers_power_law(self):
+        sizes = np.array([1e3, 1e4, 1e5])
+        costs = 3.0 * sizes**0.5
+        fit = fit_cost_scaling(sizes, costs, dim=2)
+        assert fit.fitted_exponent == pytest.approx(0.5)
+        assert fit.satisfied
+
+    def test_cost_fit_flags_violation(self):
+        sizes = np.array([1e3, 1e4, 1e5])
+        costs = sizes**0.95  # worse than the d=2 bound
+        fit = fit_cost_scaling(sizes, costs, dim=2)
+        assert not fit.satisfied
+
+    def test_near_fit(self):
+        sizes = np.array([1e3, 1e4, 1e5])
+        fractions = 0.5 * sizes**-0.5
+        fit = fit_near_scaling(sizes, fractions, dim=2)
+        assert fit.fitted_exponent == pytest.approx(-0.5)
+        assert fit.satisfied
+
+    def test_dataclass_frozen(self):
+        fit = ScalingFit(0.1, 0.5)
+        with pytest.raises(Exception):
+            fit.fitted_exponent = 0.2  # type: ignore[misc]

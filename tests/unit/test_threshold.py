@@ -1,0 +1,120 @@
+"""Unit tests for the Algorithm 3 threshold bootstrap."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.simple import NaiveKDE
+from repro.core.config import TKDCConfig
+from repro.core.stats import TraversalStats
+from repro.core.threshold import ThresholdBootstrapResult, bootstrap_threshold_bounds
+from repro.kernels.factory import kernel_for_data
+from repro.quantile.order_stats import quantile_of_sorted
+
+
+def _exact_threshold(data: np.ndarray, p: float) -> float:
+    naive = NaiveKDE().fit(data)
+    densities = naive.density(data) - naive.kernel.max_value / data.shape[0]
+    return quantile_of_sorted(np.sort(densities), p)
+
+
+def _run_bootstrap(data: np.ndarray, config: TKDCConfig) -> ThresholdBootstrapResult:
+    return bootstrap_threshold_bounds(
+        data,
+        make_kernel=lambda subset: kernel_for_data(subset, config.kernel,
+                                                   config.bandwidth_scale),
+        config=config,
+        stats=TraversalStats(),
+        rng=np.random.default_rng(config.seed),
+    )
+
+
+class TestBootstrapBounds:
+    def test_brackets_exact_threshold_gauss(self, medium_gauss):
+        config = TKDCConfig(p=0.01, bootstrap_s0=2000, seed=0)
+        result = _run_bootstrap(medium_gauss, config)
+        exact = _exact_threshold(medium_gauss, 0.01)
+        assert result.lower <= exact * 1.05
+        assert result.upper >= exact * 0.95
+
+    def test_bounds_ordered(self, medium_gauss):
+        result = _run_bootstrap(medium_gauss, TKDCConfig(bootstrap_s0=1000, seed=3))
+        assert 0.0 <= result.lower <= result.upper
+
+    def test_brackets_for_moderate_quantile(self, medium_gauss):
+        config = TKDCConfig(p=0.25, bootstrap_s0=2000, seed=1)
+        result = _run_bootstrap(medium_gauss, config)
+        exact = _exact_threshold(medium_gauss, 0.25)
+        assert result.lower <= exact * 1.05
+        assert result.upper >= exact * 0.95
+
+    def test_small_dataset_single_iteration(self, rng):
+        data = rng.normal(size=(150, 2))  # below r0=200: full data at once
+        config = TKDCConfig(seed=0)
+        result = _run_bootstrap(data, config)
+        assert result.iterations >= 1
+        assert result.upper >= result.lower
+
+    def test_growth_iterations_logarithmic(self, medium_gauss):
+        config = TKDCConfig(bootstrap_s0=500, seed=0)
+        result = _run_bootstrap(medium_gauss, config)
+        # r grows 200 -> 800 -> 2000 (= n): about 3 growth rounds plus
+        # any backoffs, far below the safety cap.
+        assert result.iterations <= 10
+
+    def test_deterministic_given_seed(self, medium_gauss):
+        config = TKDCConfig(bootstrap_s0=1000, seed=7)
+        first = _run_bootstrap(medium_gauss, config)
+        second = _run_bootstrap(medium_gauss, config)
+        assert first.lower == second.lower
+        assert first.upper == second.upper
+
+    def test_bimodal_data(self, bimodal_2d):
+        config = TKDCConfig(p=0.05, bootstrap_s0=1000, seed=0)
+        result = _run_bootstrap(bimodal_2d, config)
+        exact = _exact_threshold(bimodal_2d, 0.05)
+        assert result.lower <= exact * 1.05
+        assert result.upper >= exact * 0.95
+
+
+class TestFiniteSupportKernels:
+    def test_zero_quantile_density_converges(self, rng):
+        """Regression: with a finite-support kernel the p-quantile can be
+        exactly zero (isolated points with empty neighbourhoods), which
+        must not send the backoff loop into an unreachable-zero spiral."""
+        # A tight cluster plus far-flung isolated points whose
+        # Epanechnikov neighbourhoods are empty.
+        cluster = rng.normal(size=(900, 2)) * 0.1
+        isolated = rng.uniform(50, 200, size=(100, 2)) * rng.choice(
+            [-1, 1], size=(100, 2)
+        )
+        data = np.concatenate([cluster, isolated])
+        config = TKDCConfig(p=0.05, kernel="epanechnikov", seed=0, bootstrap_s0=500)
+        result = _run_bootstrap(data, config)
+        assert result.lower == 0.0
+        assert result.upper >= 0.0
+
+    def test_epanechnikov_moderate_quantile(self, medium_gauss):
+        config = TKDCConfig(p=0.3, kernel="epanechnikov", seed=0, bootstrap_s0=1000)
+        result = _run_bootstrap(medium_gauss, config)
+        assert 0.0 <= result.lower <= result.upper
+
+
+class TestFullTreeReuse:
+    def test_prebuilt_tree_used_for_final_round(self, medium_gauss):
+        from repro.index.kdtree import KDTree
+
+        config = TKDCConfig(bootstrap_s0=1000, seed=0)
+        kernel = kernel_for_data(medium_gauss)
+        tree = KDTree(kernel.scale(medium_gauss), leaf_size=config.leaf_size)
+        result = bootstrap_threshold_bounds(
+            medium_gauss,
+            make_kernel=lambda subset: kernel_for_data(subset),
+            config=config,
+            stats=TraversalStats(),
+            rng=np.random.default_rng(0),
+            full_tree=tree,
+            full_kernel=kernel,
+        )
+        exact = _exact_threshold(medium_gauss, 0.01)
+        assert result.lower <= exact * 1.05
+        assert result.upper >= exact * 0.95

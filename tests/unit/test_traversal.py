@@ -1,0 +1,81 @@
+"""Unit tests for range queries and radial kernel sums."""
+
+import numpy as np
+import pytest
+
+from repro.index.kdtree import KDTree
+from repro.index.traversal import points_within_radius, sum_kernel_within_radius
+from repro.kernels.gaussian import GaussianKernel
+
+
+@pytest.fixture
+def tree(small_gauss):
+    return KDTree(small_gauss, leaf_size=8)
+
+
+class TestPointsWithinRadius:
+    def test_matches_brute_force(self, tree, small_gauss, rng):
+        for __ in range(10):
+            q = rng.normal(size=2)
+            radius = float(rng.uniform(0.1, 2.0))
+            sq = np.sum((small_gauss - q) ** 2, axis=1)
+            expected = set(np.flatnonzero(sq <= radius * radius).tolist())
+            got = set(points_within_radius(tree, q, radius).tolist())
+            assert got == expected
+
+    def test_zero_radius(self, tree, small_gauss):
+        # Radius 0 centred exactly on a data point returns that point.
+        hits = points_within_radius(tree, small_gauss[0], 0.0)
+        assert 0 in hits.tolist()
+
+    def test_empty_result(self, tree):
+        hits = points_within_radius(tree, np.array([100.0, 100.0]), 1.0)
+        assert hits.shape == (0,)
+
+    def test_full_coverage(self, tree, small_gauss):
+        hits = points_within_radius(tree, np.zeros(2), 1000.0)
+        assert hits.shape[0] == small_gauss.shape[0]
+
+    def test_rejects_negative_radius(self, tree):
+        with pytest.raises(ValueError, match="non-negative"):
+            points_within_radius(tree, np.zeros(2), -1.0)
+
+
+class TestSumKernelWithinRadius:
+    def test_matches_brute_force(self, tree, small_gauss, unit_kernel_2d, rng):
+        for __ in range(10):
+            q = rng.normal(size=2)
+            radius = float(rng.uniform(0.5, 3.0))
+            sq = np.sum((small_gauss - q) ** 2, axis=1)
+            inside = sq <= radius * radius
+            expected = float(np.sum(unit_kernel_2d.value(sq[inside])))
+            total, evals = sum_kernel_within_radius(tree, unit_kernel_2d, q, radius)
+            assert total == pytest.approx(expected)
+            assert evals == int(np.count_nonzero(inside))
+
+    def test_large_radius_equals_full_sum(self, tree, small_gauss, unit_kernel_2d):
+        q = np.array([0.5, -0.5])
+        total, evals = sum_kernel_within_radius(tree, unit_kernel_2d, q, 1000.0)
+        assert total == pytest.approx(unit_kernel_2d.sum_at(small_gauss, q))
+        assert evals == small_gauss.shape[0]
+
+    def test_empty_region(self, tree, unit_kernel_2d):
+        total, evals = sum_kernel_within_radius(
+            tree, unit_kernel_2d, np.array([50.0, 50.0]), 1.0
+        )
+        assert total == 0.0
+        assert evals == 0
+
+    def test_rejects_negative_radius(self, tree, unit_kernel_2d):
+        with pytest.raises(ValueError):
+            sum_kernel_within_radius(tree, unit_kernel_2d, np.zeros(2), -0.5)
+
+
+class TestGaussianKernelFixtureConsistency:
+    def test_monotone_in_radius(self, tree, unit_kernel_2d):
+        q = np.zeros(2)
+        totals = [
+            sum_kernel_within_radius(tree, unit_kernel_2d, q, r)[0]
+            for r in (0.5, 1.0, 2.0, 4.0)
+        ]
+        assert totals == sorted(totals)

@@ -1,0 +1,71 @@
+"""Unit tests for input validation (failure injection)."""
+
+import numpy as np
+import pytest
+
+from repro import TKDCClassifier, TKDCConfig
+from repro.baselines import BinnedKDE, NaiveKDE, RadialKDE, TreeKDE
+from repro.validation import as_finite_matrix
+
+
+class TestAsFiniteMatrix:
+    def test_passes_clean_data(self, rng):
+        data = rng.normal(size=(10, 3))
+        out = as_finite_matrix(data)
+        np.testing.assert_array_equal(out, data)
+
+    def test_promotes_1d(self):
+        out = as_finite_matrix([1.0, 2.0])
+        assert out.shape == (1, 2)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            as_finite_matrix(np.array([[1.0, float("nan")]]))
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            as_finite_matrix(np.array([[1.0, float("inf")]]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            as_finite_matrix(np.empty((0, 2)))
+
+    def test_names_the_argument(self):
+        with pytest.raises(ValueError, match="my queries"):
+            as_finite_matrix(np.array([[float("nan")]]), name="my queries")
+
+    def test_counts_bad_values(self):
+        with pytest.raises(ValueError, match="2 non-finite"):
+            as_finite_matrix(np.array([[float("nan"), float("inf"), 0.0]]))
+
+
+class TestClassifierRejectsDirtyData:
+    def test_fit_rejects_nan(self, rng):
+        data = rng.normal(size=(100, 2))
+        data[3, 1] = float("nan")
+        with pytest.raises(ValueError, match="training data"):
+            TKDCClassifier().fit(data)
+
+    def test_classify_rejects_nan_queries(self, medium_gauss):
+        clf = TKDCClassifier(TKDCConfig(seed=0)).fit(medium_gauss)
+        with pytest.raises(ValueError, match="queries"):
+            clf.classify(np.array([[float("nan"), 0.0]]))
+
+    def test_classify_rejects_inf_queries(self, medium_gauss):
+        clf = TKDCClassifier(TKDCConfig(seed=0)).fit(medium_gauss)
+        with pytest.raises(ValueError, match="queries"):
+            clf.estimate_density(np.array([[float("inf"), 0.0]]))
+
+
+class TestBaselinesRejectDirtyData:
+    @pytest.mark.parametrize("make", [
+        lambda: NaiveKDE(),
+        lambda: TreeKDE(),
+        lambda: RadialKDE(radius_in_bandwidths=1.0),
+        lambda: BinnedKDE(),
+    ])
+    def test_fit_rejects_nan(self, make, rng):
+        data = rng.normal(size=(50, 2))
+        data[0, 0] = float("nan")
+        with pytest.raises(ValueError, match="training data"):
+            make().fit(data)
