@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench experiments demo clean
+.PHONY: install test test-fast bench bench-batch experiments demo clean
 
 install:
 	pip install -e ".[test]"
@@ -15,6 +15,9 @@ test-fast:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+bench-batch:
+	$(PYTHON) benchmarks/bench_batch_traversal.py
 
 experiments:
 	$(PYTHON) -m repro run all --save

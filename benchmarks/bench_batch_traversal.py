@@ -1,0 +1,135 @@
+"""Batch traversal engine: per-query vs batch vs batch+n_jobs.
+
+Times the same fitted :class:`~repro.core.classifier.TKDCClassifier`
+classifying one query block under each engine and records the result in
+``BENCH_batch_traversal.json`` at the repo root so the perf trajectory
+is tracked across commits. Labels must be identical across engines on
+every workload — the batch engine replicates the per-query traversal
+exactly, it only amortizes the interpreter overhead.
+
+Run standalone (``make bench-batch``) or under pytest.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.harness import Timer, human_rate, throughput
+from repro.core.classifier import TKDCClassifier
+from repro.core.config import TKDCConfig
+from repro.datasets.registry import load
+
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_batch_traversal.json"
+
+# (dataset, n, n_queries): hep is ~50x slower per query at d=27, so it
+# gets a smaller block; gauss d=2 n=50k is the acceptance workload.
+WORKLOADS = (
+    ("gauss", 50_000, 1000),
+    ("hep", 20_000, 100),
+)
+
+ENGINES = (
+    ("per-query", 1),
+    ("batch", 1),
+    ("batch", 2),
+)
+
+
+def _bench_workload(dataset: str, n: int, n_queries: int, seed: int = 0) -> list[dict]:
+    data = load(dataset, n=n, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    # Outlier-scoring mix: half in-distribution points, half uniform
+    # over the data bounding box. All-inlier query sets short-circuit
+    # through the grid cache and never reach the traversal engine.
+    inliers = data[rng.choice(n, size=n_queries // 2, replace=False)]
+    box = rng.uniform(
+        data.min(axis=0), data.max(axis=0),
+        size=(n_queries - n_queries // 2, data.shape[1]),
+    )
+    queries = rng.permutation(np.concatenate([inliers, box]))
+    config = TKDCConfig(
+        p=0.01, seed=seed, refine_threshold=False, bootstrap_s0=min(2000, n)
+    )
+    clf = TKDCClassifier(config).fit(data)
+    clf.tree.flatten()  # build the flat view outside the timed region
+
+    rows = []
+    reference_labels: np.ndarray | None = None
+    for engine, n_jobs in ENGINES:
+        clf.classify(queries[:8], engine=engine, n_jobs=n_jobs)  # warm up
+        with Timer() as timer:
+            labels = clf.predict(queries, engine=engine, n_jobs=n_jobs)
+        if reference_labels is None:
+            reference_labels = labels
+        rows.append({
+            "dataset": dataset,
+            "n": n,
+            "dim": data.shape[1],
+            "n_queries": n_queries,
+            "engine": engine,
+            "n_jobs": n_jobs,
+            "seconds": timer.elapsed,
+            "queries_per_s": throughput(n_queries, timer.elapsed),
+            "labels_match_per_query": bool(np.array_equal(labels, reference_labels)),
+        })
+
+    base = rows[0]["queries_per_s"]
+    for row in rows:
+        row["speedup_vs_per_query"] = row["queries_per_s"] / base
+    return rows
+
+
+def run_benchmark(workloads=WORKLOADS) -> list[dict]:
+    rows = []
+    for dataset, n, n_queries in workloads:
+        print(f"\n[{dataset} n={n}]")
+        for row in _bench_workload(dataset, n, n_queries):
+            rows.append(row)
+            print(
+                f"  {row['engine']:>9} n_jobs={row['n_jobs']}: "
+                f"{human_rate(row['queries_per_s'])} "
+                f"({row['speedup_vs_per_query']:.2f}x, "
+                f"labels_match={row['labels_match_per_query']})"
+            )
+    return rows
+
+
+def write_report(rows: list[dict]) -> Path:
+    report = {
+        "benchmark": "batch_traversal",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "rows": rows,
+    }
+    REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return REPORT_PATH
+
+
+def test_batch_engine_speedup(benchmark):
+    rows = run_benchmark()
+    path = write_report(rows)
+    print(f"\n[saved {len(rows)} rows to {path}]")
+
+    assert all(r["labels_match_per_query"] for r in rows)
+    gauss_batch = next(
+        r for r in rows
+        if r["dataset"] == "gauss" and r["engine"] == "batch" and r["n_jobs"] == 1
+    )
+    assert gauss_batch["speedup_vs_per_query"] >= 3.0
+
+    # Representative op for the pytest-benchmark table: the batch engine
+    # on the acceptance workload's data scale.
+    data = load("gauss", n=50_000, seed=0)
+    clf = TKDCClassifier(
+        TKDCConfig(p=0.01, seed=0, refine_threshold=False)
+    ).fit(data)
+    benchmark.pedantic(clf.predict, args=(data[:200],), rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    write_report(run_benchmark())
+    print(f"\nwrote {REPORT_PATH}")

@@ -203,7 +203,7 @@ class TrainedAlgorithm:
             items_classified=queries.shape[0],
             kernel_evaluations=self._evaluations() - evals_before,
             threshold=self.threshold,
-            labels=np.asarray([int(label) for label in labels], dtype=np.int64),
+            labels=np.asarray(labels).astype(np.int64),
         )
 
 

@@ -4,6 +4,8 @@ This package implements the paper's primary contribution:
 
 - :mod:`repro.core.bounds` — Algorithm 2, priority-queue density bounding
   over the k-d tree with threshold and tolerance pruning rules;
+- :mod:`repro.core.batch_bounds` — the vectorized multi-query batch
+  traversal engine over the flattened tree;
 - :mod:`repro.core.threshold` — Algorithm 3, the bootstrapped quantile
   threshold estimator;
 - :mod:`repro.core.classifier` — Algorithm 1, the end-to-end
@@ -15,6 +17,7 @@ This package implements the paper's primary contribution:
 """
 
 from repro.core.bands import BandClassifier
+from repro.core.batch_bounds import BatchBoundResult, bound_densities
 from repro.core.classifier import TKDCClassifier
 from repro.core.config import TKDCConfig
 from repro.core.dualtree import dual_tree_classify
@@ -25,6 +28,8 @@ from repro.core.stats import TraversalStats
 __all__ = [
     "TKDCClassifier",
     "TKDCConfig",
+    "BatchBoundResult",
+    "bound_densities",
     "Label",
     "ThresholdEstimate",
     "TraversalStats",

@@ -21,10 +21,14 @@ Example
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+
 import numpy as np
 
-from repro.core.bounds import BoundResult, bound_density
-from repro.core.config import TKDCConfig
+from repro.core.batch_bounds import bound_densities
+from repro.core.bounds import bound_density
+from repro.core.config import ENGINES, TKDCConfig
 from repro.core.grid import GridCache
 from repro.core.result import DensityBounds, Label, ThresholdEstimate
 from repro.core.stats import TraversalStats
@@ -38,6 +42,29 @@ from repro.validation import as_finite_matrix
 
 class NotFittedError(RuntimeError):
     """Raised when a classifier method requires a prior ``fit`` call."""
+
+
+#: Label lookup for vectorized int->Label mapping (index = int value).
+_LABELS = np.array([Label.LOW, Label.HIGH], dtype=object)
+
+#: Per-worker state for the multiprocess classify path, populated by the
+#: pool initializer so the classifier is shipped once per worker rather
+#: than once per chunk.
+_WORKER_STATE: dict = {}
+
+
+def _init_classify_worker(classifier: "TKDCClassifier", threshold: float) -> None:
+    _WORKER_STATE["classifier"] = classifier
+    _WORKER_STATE["threshold"] = threshold
+
+
+def _classify_chunk(scaled_chunk: np.ndarray) -> tuple[np.ndarray, TraversalStats]:
+    """Classify one chunk in a worker; stats come back for merging."""
+    stats = TraversalStats()
+    highs = _WORKER_STATE["classifier"]._classify_scaled_block(
+        scaled_chunk, _WORKER_STATE["threshold"], stats, engine="batch"
+    )
+    return highs, stats
 
 
 class TKDCClassifier:
@@ -171,24 +198,37 @@ class TKDCClassifier:
         n = scaled.shape[0]
         self_contribution = self._kernel.max_value / n
         scores = np.empty(n)
-        for i in range(n):
-            query = scaled[i]
-            if self._grid is not None:
-                # The grid shortcut must likewise clear the threshold
-                # *after* the self-contribution correction.
-                grid_score = self._grid.density_lower_bound(query) - self_contribution
-                if grid_score > t_upper * (1.0 + config.epsilon):
-                    self._stats.grid_hits += 1
-                    scores[i] = grid_score
-                    continue
-            result = bound_density(
-                self._tree, self._kernel, query, t_lower, t_upper,
-                config.epsilon, self._stats,
+        remaining = np.arange(n)
+        if self._grid is not None:
+            # The grid shortcut must likewise clear the threshold
+            # *after* the self-contribution correction.
+            grid_scores = self._grid.density_lower_bounds(scaled) - self_contribution
+            certain = grid_scores > t_upper * (1.0 + config.epsilon)
+            self._stats.grid_hits += int(np.count_nonzero(certain))
+            scores[certain] = grid_scores[certain]
+            remaining = np.flatnonzero(~certain)
+        if remaining.size == 0:
+            return scores
+        if config.engine == "batch":
+            result = bound_densities(
+                self._tree.flatten(), self._kernel, scaled[remaining],
+                t_lower, t_upper, config.epsilon, self._stats,
                 use_threshold_rule=config.use_threshold_rule,
                 use_tolerance_rule=config.use_tolerance_rule,
                 threshold_shift=self_contribution,
+                block_size=config.batch_block_size,
             )
-            scores[i] = result.midpoint - self_contribution
+            scores[remaining] = result.midpoint - self_contribution
+        else:
+            for i in remaining:
+                result = bound_density(
+                    self._tree, self._kernel, scaled[i], t_lower, t_upper,
+                    config.epsilon, self._stats,
+                    use_threshold_rule=config.use_threshold_rule,
+                    use_tolerance_rule=config.use_tolerance_rule,
+                    threshold_shift=self_contribution,
+                )
+                scores[i] = result.midpoint - self_contribution
         return scores
 
     # ------------------------------------------------------------------
@@ -225,36 +265,122 @@ class TKDCClassifier:
         """Work counters accumulated across training and queries."""
         return self._stats
 
-    def classify(self, queries: np.ndarray) -> np.ndarray:
+    def classify(
+        self,
+        queries: np.ndarray,
+        engine: str | None = None,
+        n_jobs: int | None = None,
+    ) -> np.ndarray:
         """Classify query points as HIGH/LOW density (paper Algorithm 1).
 
         Returns an array of :class:`~repro.core.result.Label`. Points
         whose exact density lies within ``±eps * t(p)`` of the threshold
         may receive either label (Problem 1's approximate semantics).
+
+        Parameters
+        ----------
+        engine:
+            ``"batch"`` (vectorized multi-query traversal, the default)
+            or ``"per-query"`` (the reference engine). ``None`` defers
+            to ``config.engine``. Both engines produce the same labels.
+        n_jobs:
+            Worker processes for the batch engine (``None`` defers to
+            ``config.n_jobs``; -1 uses every core). Ignored by the
+            per-query engine.
         """
         self._require_fitted()
         queries = self._as_query_matrix(queries)
+        highs = self._classify_mask(queries, engine, n_jobs)
+        return _LABELS[highs.astype(np.intp)]
+
+    def _classify_mask(
+        self,
+        queries: np.ndarray,
+        engine: str | None = None,
+        n_jobs: int | None = None,
+    ) -> np.ndarray:
+        """Boolean HIGH mask for validated queries (shared classify core)."""
+        engine = self._resolve_engine(engine)
+        n_jobs = self._resolve_n_jobs(n_jobs)
         scaled = self.kernel.scale(queries)
         threshold = self.threshold.value
-        labels = np.empty(queries.shape[0], dtype=object)
-        for i in range(queries.shape[0]):
-            labels[i] = self._classify_scaled(scaled[i], threshold)
-        return labels
+        if engine == "batch" and n_jobs > 1 and scaled.shape[0] > 1:
+            return self._classify_parallel(scaled, threshold, n_jobs)
+        return self._classify_scaled_block(scaled, threshold, self._stats, engine)
 
-    def _classify_scaled(self, query: np.ndarray, threshold: float) -> Label:
+    def _classify_scaled_block(
+        self,
+        scaled: np.ndarray,
+        threshold: float,
+        stats: TraversalStats,
+        engine: str,
+    ) -> np.ndarray:
+        """Grid shortcut + density-bounding traversal for a scaled block."""
         config = self.config
-        if self._grid is not None and self._grid.is_certain_inlier(
-            query, threshold, config.epsilon
-        ):
-            self._stats.grid_hits += 1
-            return Label.HIGH
-        result = bound_density(
-            self.tree, self.kernel, query, threshold, threshold, config.epsilon,
-            self._stats,
-            use_threshold_rule=config.use_threshold_rule,
-            use_tolerance_rule=config.use_tolerance_rule,
-        )
-        return Label.HIGH if result.midpoint > threshold else Label.LOW
+        highs = np.zeros(scaled.shape[0], dtype=bool)
+        remaining = np.arange(scaled.shape[0])
+        if self._grid is not None and scaled.shape[0] > 0:
+            grid_bounds = self._grid.density_lower_bounds(scaled)
+            certain = grid_bounds > threshold * (1.0 + config.epsilon)
+            stats.grid_hits += int(np.count_nonzero(certain))
+            highs[certain] = True
+            remaining = np.flatnonzero(~certain)
+        if remaining.size == 0:
+            return highs
+        if engine == "batch":
+            result = bound_densities(
+                self.tree.flatten(), self.kernel, scaled[remaining],
+                threshold, threshold, config.epsilon, stats,
+                use_threshold_rule=config.use_threshold_rule,
+                use_tolerance_rule=config.use_tolerance_rule,
+                block_size=config.batch_block_size,
+            )
+            highs[remaining] = result.midpoint > threshold
+        else:
+            for i in remaining:
+                result = bound_density(
+                    self.tree, self.kernel, scaled[i], threshold, threshold,
+                    config.epsilon, stats,
+                    use_threshold_rule=config.use_threshold_rule,
+                    use_tolerance_rule=config.use_tolerance_rule,
+                )
+                highs[i] = result.midpoint > threshold
+        return highs
+
+    def _classify_parallel(
+        self, scaled: np.ndarray, threshold: float, n_jobs: int
+    ) -> np.ndarray:
+        """Chunk the scaled queries across a fork-based process pool."""
+        n_jobs = min(n_jobs, scaled.shape[0])
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:
+            # No fork on this platform: stay in-process rather than pay
+            # a spawn-pickle of the whole index per worker.
+            return self._classify_scaled_block(
+                scaled, threshold, self._stats, engine="batch"
+            )
+        self.tree.flatten()  # build once pre-fork so workers share it
+        chunks = np.array_split(scaled, n_jobs)
+        with context.Pool(
+            n_jobs, initializer=_init_classify_worker, initargs=(self, threshold)
+        ) as pool:
+            results = pool.map(_classify_chunk, chunks)
+        for __, worker_stats in results:
+            self._stats.merge(worker_stats)
+        return np.concatenate([highs for highs, __ in results])
+
+    def _resolve_engine(self, engine: str | None) -> str:
+        engine = self.config.engine if engine is None else engine
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
+        return engine
+
+    def _resolve_n_jobs(self, n_jobs: int | None) -> int:
+        n_jobs = self.config.n_jobs if n_jobs is None else n_jobs
+        if n_jobs == 0 or n_jobs < -1:
+            raise ValueError(f"n_jobs must be >= 1 or -1, got {n_jobs}")
+        return os.cpu_count() or 1 if n_jobs == -1 else n_jobs
 
     def classify_batch(self, queries: np.ndarray) -> np.ndarray:
         """Classify a batch of queries with dual-tree block sharing.
@@ -275,11 +401,20 @@ class TKDCClassifier:
             self.threshold.value, self.config.epsilon, self._stats,
         )
 
-    def predict(self, queries: np.ndarray) -> np.ndarray:
+    def predict(
+        self,
+        queries: np.ndarray,
+        engine: str | None = None,
+        n_jobs: int | None = None,
+    ) -> np.ndarray:
         """Like :meth:`classify` but returning a plain int array (1 = HIGH)."""
-        return np.array([int(label) for label in self.classify(queries)], dtype=np.int64)
+        self._require_fitted()
+        queries = self._as_query_matrix(queries)
+        return self._classify_mask(queries, engine, n_jobs).astype(np.int64)
 
-    def decision_bounds(self, queries: np.ndarray) -> list[DensityBounds]:
+    def decision_bounds(
+        self, queries: np.ndarray, engine: str | None = None
+    ) -> list[DensityBounds]:
         """The density intervals classification would act on.
 
         Coarse away from the threshold (the pruning rules stop early),
@@ -289,6 +424,18 @@ class TKDCClassifier:
         queries = self._as_query_matrix(queries)
         scaled = self.kernel.scale(queries)
         threshold = self.threshold.value
+        if self._resolve_engine(engine) == "batch":
+            result = bound_densities(
+                self.tree.flatten(), self.kernel, scaled, threshold, threshold,
+                self.config.epsilon, self._stats,
+                use_threshold_rule=self.config.use_threshold_rule,
+                use_tolerance_rule=self.config.use_tolerance_rule,
+                block_size=self.config.batch_block_size,
+            )
+            return [
+                DensityBounds(lower, upper)
+                for lower, upper in zip(result.lower, result.upper)
+            ]
         results: list[DensityBounds] = []
         for i in range(queries.shape[0]):
             bounds = bound_density(
@@ -300,7 +447,9 @@ class TKDCClassifier:
             results.append(DensityBounds(bounds.lower, bounds.upper))
         return results
 
-    def estimate_density(self, queries: np.ndarray) -> np.ndarray:
+    def estimate_density(
+        self, queries: np.ndarray, engine: str | None = None
+    ) -> np.ndarray:
         """``eps * t``-precise density estimates (tolerance rule only).
 
         Unlike :meth:`classify`, this disables the threshold rule so the
@@ -311,6 +460,15 @@ class TKDCClassifier:
         queries = self._as_query_matrix(queries)
         scaled = self.kernel.scale(queries)
         threshold = self.threshold.value
+        if self._resolve_engine(engine) == "batch":
+            result = bound_densities(
+                self.tree.flatten(), self.kernel, scaled, threshold, threshold,
+                self.config.epsilon, self._stats,
+                use_threshold_rule=False,
+                use_tolerance_rule=True,
+                block_size=self.config.batch_block_size,
+            )
+            return result.midpoint
         densities = np.empty(queries.shape[0])
         for i in range(queries.shape[0]):
             result = bound_density(

@@ -13,6 +13,11 @@ from dataclasses import dataclass, replace
 
 from repro.kernels.factory import KERNELS
 
+#: Traversal engines: "batch" is the vectorized multi-query engine
+#: (repro.core.batch_bounds), "per-query" the reference priority-queue
+#: implementation (repro.core.bounds).
+ENGINES = ("batch", "per-query")
+
 
 @dataclass(frozen=True)
 class TKDCConfig:
@@ -63,6 +68,19 @@ class TKDCConfig:
         training point and re-derives the threshold from the exact
         p-quantile of those bounded densities; when False the bootstrap's
         probabilistic bounds are used directly (cheaper, slightly looser).
+    engine:
+        Traversal engine: ``"batch"`` (default) vectorizes Algorithm 2
+        across blocks of queries over the flattened tree;
+        ``"per-query"`` is the reference priority-queue implementation.
+        Both produce the same labels and prune outcomes.
+    n_jobs:
+        Worker processes for ``classify`` with the batch engine. 1
+        (default) stays in-process; -1 uses every available core. Query
+        blocks are chunked across a fork-based pool, so this only pays
+        off for large query sets on multi-core machines.
+    batch_block_size:
+        Queries traversed per vectorized block by the batch engine;
+        bounds peak frontier memory.
     seed:
         Seed for the bootstrap's subsampling RNG. Classification itself
         is deterministic (paper Section 2.3).
@@ -86,6 +104,9 @@ class TKDCConfig:
     h_growth: float = 4.0
     normalize_densities: bool = True
     refine_threshold: bool = True
+    engine: str = "batch"
+    n_jobs: int = 1
+    batch_block_size: int = 512
     seed: int | None = 0
 
     def __post_init__(self) -> None:
@@ -113,6 +134,14 @@ class TKDCConfig:
             raise ValueError(f"h_buffer must be >= 1, got {self.h_buffer}")
         if self.h_growth <= 1.0:
             raise ValueError(f"h_growth must exceed 1, got {self.h_growth}")
+        if self.engine not in ENGINES:
+            raise ValueError(f"unknown engine {self.engine!r}; choose from {ENGINES}")
+        if self.n_jobs == 0 or self.n_jobs < -1:
+            raise ValueError(f"n_jobs must be >= 1 or -1, got {self.n_jobs}")
+        if self.batch_block_size < 1:
+            raise ValueError(
+                f"batch_block_size must be >= 1, got {self.batch_block_size}"
+            )
 
     def with_updates(self, **changes: object) -> "TKDCConfig":
         """Return a copy of this config with the given fields replaced."""

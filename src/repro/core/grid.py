@@ -73,6 +73,26 @@ class GridCache:
         """A conservative lower bound on the query's kernel density."""
         return self.cell_count(scaled_query) / self._n * self._min_kernel_value
 
+    def density_lower_bounds(self, scaled_queries: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`density_lower_bound` for an ``(m, d)`` batch.
+
+        The cell lookup itself stays a dict probe per query (the counts
+        live in a hash map), but the floor/ratio arithmetic matches the
+        scalar path operation-for-operation so both produce identical
+        bounds.
+        """
+        scaled = np.atleast_2d(np.asarray(scaled_queries, dtype=np.float64))
+        if scaled.shape[0] == 0:
+            return np.zeros(0)
+        cells = np.floor(scaled / self._cell_width).astype(np.int64)
+        get = self._counts.get
+        counts = np.fromiter(
+            (get(cell, 0) for cell in map(tuple, cells.tolist())),
+            dtype=np.int64,
+            count=scaled.shape[0],
+        )
+        return counts / self._n * self._min_kernel_value
+
     def is_certain_inlier(
         self, scaled_query: np.ndarray, t_upper: float, epsilon: float
     ) -> bool:

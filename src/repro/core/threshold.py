@@ -21,6 +21,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.core.batch_bounds import bound_densities
 from repro.core.bounds import bound_density
 from repro.core.config import TKDCConfig
 from repro.core.stats import TraversalStats
@@ -104,17 +105,30 @@ def bootstrap_threshold_bounds(
         # Threshold bounds are in corrected-density space; the pruning
         # rules shift their edges by the self-contribution *after* the
         # epsilon margin (see repro.core.pruning.threshold_rule).
+        # Scoring the sample is the dominant fit cost, so it runs on
+        # the configured traversal engine (batched by default).
         self_contribution = kernel.max_value / r
-        densities = np.empty(s)
-        for i in range(s):
-            result = bound_density(
-                tree, kernel, scaled_queries[i], t_lower, t_upper,
+        if config.engine == "batch":
+            result = bound_densities(
+                tree.flatten(), kernel, scaled_queries, t_lower, t_upper,
                 config.epsilon, stats,
                 use_threshold_rule=config.use_threshold_rule,
                 use_tolerance_rule=config.use_tolerance_rule,
                 threshold_shift=self_contribution,
+                block_size=config.batch_block_size,
             )
-            densities[i] = max(result.midpoint - self_contribution, 0.0)
+            densities = np.maximum(result.midpoint - self_contribution, 0.0)
+        else:
+            densities = np.empty(s)
+            for i in range(s):
+                result = bound_density(
+                    tree, kernel, scaled_queries[i], t_lower, t_upper,
+                    config.epsilon, stats,
+                    use_threshold_rule=config.use_threshold_rule,
+                    use_tolerance_rule=config.use_tolerance_rule,
+                    threshold_shift=self_contribution,
+                )
+                densities[i] = max(result.midpoint - self_contribution, 0.0)
         densities.sort()
 
         rank_lower, rank_upper = normal_order_ci(s, config.p, config.delta)

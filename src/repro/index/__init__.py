@@ -9,6 +9,7 @@ total kernel density contribution at any query.
 
 from repro.index.balltree import BallNode, BallTree
 from repro.index.boxes import box_kernel_bounds, max_sq_dist, min_sq_dist
+from repro.index.flat import FlatTree, flatten_kdtree, pair_box_bounds
 from repro.index.knn import k_nearest, k_nearest_all
 from repro.index.kdtree import KDTree, Node
 from repro.index.splitting import SPLIT_RULES, median_split, trimmed_midpoint_split
@@ -17,6 +18,9 @@ from repro.index.traversal import points_within_radius, sum_kernel_within_radius
 __all__ = [
     "KDTree",
     "Node",
+    "FlatTree",
+    "flatten_kdtree",
+    "pair_box_bounds",
     "BallTree",
     "BallNode",
     "k_nearest",

@@ -10,12 +10,15 @@ density-bounding traversal needs (Equation 6).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from typing import TYPE_CHECKING, Iterator, Optional
 
 import numpy as np
 
 from repro.index.boxes import box_kernel_bounds
 from repro.index.splitting import SPLIT_RULES, cycle_axis, widest_axis
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.index.flat import FlatTree
 
 #: Default number of points below which a node becomes a leaf.
 DEFAULT_LEAF_SIZE = 32
@@ -103,6 +106,7 @@ class KDTree:
         self.split_rule = split_rule
         self.axis_rule = axis_rule
         self._split_value = SPLIT_RULES[split_rule]
+        self._flat: "FlatTree | None" = None
         self.root = self._build()
 
     @property
@@ -139,6 +143,19 @@ class KDTree:
         Equation 6 helper.
         """
         return box_kernel_bounds(node.lo, node.hi, node.count, query, kernel, inv_n)
+
+    def flatten(self) -> "FlatTree":
+        """The structure-of-arrays view consumed by the batch engine.
+
+        Built lazily on first use and cached — the tree is immutable
+        after construction, so the snapshot never goes stale. See
+        :mod:`repro.index.flat`.
+        """
+        if self._flat is None:
+            from repro.index.flat import flatten_kdtree
+
+            self._flat = flatten_kdtree(self)
+        return self._flat
 
     def iter_nodes(self) -> Iterator[Node]:
         """Yield every node in depth-first (pre-order) order."""
@@ -224,7 +241,12 @@ class KDTree:
         permutations in sync.
         """
         goes_left = self.points[start:end, axis] < value
-        order = np.argsort(~goes_left, kind="stable")  # left block first
+        # O(m) two-block permutation: both blocks keep their original
+        # relative order, exactly like the stable argsort this replaces
+        # but without the O(m log m) sort.
+        order = np.concatenate(
+            (np.flatnonzero(goes_left), np.flatnonzero(~goes_left))
+        )
         self.points[start:end] = self.points[start:end][order]
         self.indices[start:end] = self.indices[start:end][order]
         return start + int(np.count_nonzero(goes_left))

@@ -1,0 +1,189 @@
+"""Unit tests for the batch (multi-query) traversal engine.
+
+The contract: :func:`repro.core.batch_bounds.bound_densities` is the
+per-query engine run over a block — same labels, same prune outcomes,
+same work counters — with only vectorized arithmetic in between.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.batch_bounds import bound_densities
+from repro.core.bounds import bound_density
+from repro.core.pruning import PruneOutcome
+from repro.core.stats import TraversalStats
+from repro.index.kdtree import KDTree
+from repro.kernels.factory import kernel_for_data
+from tests.conftest import exact_density
+
+
+@pytest.fixture
+def workload(rng):
+    data = rng.normal(size=(1500, 2))
+    kernel = kernel_for_data(data)
+    scaled = kernel.scale(data)
+    tree = KDTree(scaled, leaf_size=16)
+    queries = kernel.scale(rng.normal(size=(120, 2)) * 2.5)
+    return tree, kernel, scaled, queries
+
+
+def reference_results(tree, kernel, queries, t, eps, **kwargs):
+    stats = TraversalStats()
+    results = [
+        bound_density(tree, kernel, q, t, t, eps, stats, **kwargs) for q in queries
+    ]
+    return results, stats
+
+
+class TestEngineParity:
+    def test_outcomes_and_stats_match_reference(self, workload):
+        tree, kernel, __, queries = workload
+        t, eps = 0.01, 0.01
+        ref, ref_stats = reference_results(tree, kernel, queries, t, eps)
+        stats = TraversalStats()
+        batch = bound_densities(tree.flatten(), kernel, queries, t, t, eps, stats)
+        assert batch.outcomes() == [r.outcome for r in ref]
+        assert stats.snapshot() == ref_stats.snapshot()
+
+    def test_labels_match_reference(self, workload):
+        tree, kernel, __, queries = workload
+        t, eps = 0.01, 0.01
+        ref, __ = reference_results(tree, kernel, queries, t, eps)
+        batch = bound_densities(
+            tree.flatten(), kernel, queries, t, t, eps, TraversalStats()
+        )
+        np.testing.assert_array_equal(
+            batch.midpoint > t, np.array([r.midpoint > t for r in ref])
+        )
+
+    def test_threshold_shift_parity(self, workload):
+        tree, kernel, __, queries = workload
+        t, eps, shift = 0.008, 0.01, 1e-4
+        ref, ref_stats = reference_results(
+            tree, kernel, queries, t, eps, threshold_shift=shift
+        )
+        stats = TraversalStats()
+        batch = bound_densities(
+            tree.flatten(), kernel, queries, t, t, eps, stats, threshold_shift=shift
+        )
+        assert batch.outcomes() == [r.outcome for r in ref]
+        assert stats.snapshot() == ref_stats.snapshot()
+
+    def test_tolerance_reference_parity(self, workload):
+        tree, kernel, __, queries = workload
+        t, eps = 0.008, 0.05
+        ref, ref_stats = reference_results(
+            tree, kernel, queries, t, eps, tolerance_reference=0.02
+        )
+        stats = TraversalStats()
+        batch = bound_densities(
+            tree.flatten(), kernel, queries, t, t, eps, stats,
+            tolerance_reference=0.02,
+        )
+        assert batch.outcomes() == [r.outcome for r in ref]
+        assert stats.snapshot() == ref_stats.snapshot()
+
+    def test_block_size_invariance(self, workload):
+        tree, kernel, __, queries = workload
+        flat = tree.flatten()
+        t, eps = 0.01, 0.01
+        stats_small, stats_big = TraversalStats(), TraversalStats()
+        small = bound_densities(
+            flat, kernel, queries, t, t, eps, stats_small, block_size=7
+        )
+        big = bound_densities(
+            flat, kernel, queries, t, t, eps, stats_big, block_size=10_000
+        )
+        np.testing.assert_array_equal(small.lower, big.lower)
+        np.testing.assert_array_equal(small.upper, big.upper)
+        np.testing.assert_array_equal(small.outcome_codes, big.outcome_codes)
+        assert stats_small.snapshot() == stats_big.snapshot()
+
+
+class TestGuarantee:
+    def test_bounds_bracket_exact_density(self, workload):
+        tree, kernel, scaled, queries = workload
+        batch = bound_densities(
+            tree.flatten(), kernel, queries, 0.01, 0.01, 0.01, TraversalStats()
+        )
+        slack = 1e-12
+        for i, query in enumerate(queries):
+            exact = exact_density(scaled, kernel, query)
+            assert batch.lower[i] <= exact * (1 + slack) + slack
+            assert batch.upper[i] >= exact * (1 - slack) - slack
+
+    def test_exhaustion_collapses_to_exact(self, rng):
+        data = rng.normal(size=(60, 2))
+        kernel = kernel_for_data(data)
+        scaled = kernel.scale(data)
+        tree = KDTree(scaled, leaf_size=4)
+        queries = scaled[:10]
+        batch = bound_densities(
+            tree.flatten(), kernel, queries, 1e-9, 1e-9, 1e-12,
+            TraversalStats(), use_threshold_rule=False,
+        )
+        assert all(outcome is None for outcome in batch.outcomes())
+        for i, query in enumerate(queries):
+            exact = exact_density(scaled, kernel, query)
+            assert batch.midpoint[i] == pytest.approx(exact, rel=1e-9)
+
+    def test_tolerance_only_intervals_are_tight(self, workload):
+        tree, kernel, __, queries = workload
+        t, eps = 0.01, 0.05
+        batch = bound_densities(
+            tree.flatten(), kernel, queries, t, t, eps,
+            TraversalStats(), use_threshold_rule=False,
+        )
+        tolerance_ok = batch.upper - batch.lower < eps * t
+        exhausted = batch.outcome_codes == 0
+        assert np.all(tolerance_ok | exhausted)
+
+
+class TestValidationAndEdges:
+    def test_rejects_inverted_thresholds(self, workload):
+        tree, kernel, __, queries = workload
+        with pytest.raises(ValueError, match="exceeds"):
+            bound_densities(
+                tree.flatten(), kernel, queries, 1.0, 0.5, 0.01, TraversalStats()
+            )
+
+    def test_rejects_bad_block_size(self, workload):
+        tree, kernel, __, queries = workload
+        with pytest.raises(ValueError, match="block_size"):
+            bound_densities(
+                tree.flatten(), kernel, queries, 0.01, 0.01, 0.01,
+                TraversalStats(), block_size=0,
+            )
+
+    def test_empty_queries(self, workload):
+        tree, kernel, __, __ = workload
+        batch = bound_densities(
+            tree.flatten(), kernel, np.empty((0, 2)), 0.01, 0.01, 0.01,
+            TraversalStats(),
+        )
+        assert batch.lower.shape == (0,)
+        assert batch.outcomes() == []
+
+    def test_single_query_single_point_tree(self):
+        data = np.array([[0.0, 0.0]])
+        kernel = kernel_for_data(np.concatenate([data, [[1.0, 1.0]]]))
+        tree = KDTree(kernel.scale(data))
+        stats = TraversalStats()
+        batch = bound_densities(
+            tree.flatten(), kernel, kernel.scale(data), 1e-12, 1e-12, 0.01, stats
+        )
+        assert stats.queries == 1
+        assert batch.outcomes()[0] is PruneOutcome.THRESHOLD_HIGH
+
+    def test_finite_support_kernel_parity(self, rng):
+        data = rng.normal(size=(800, 2))
+        kernel = kernel_for_data(data, name="epanechnikov")
+        scaled = kernel.scale(data)
+        tree = KDTree(scaled, leaf_size=8)
+        queries = kernel.scale(rng.normal(size=(60, 2)) * 3)
+        t, eps = 0.005, 0.01
+        ref, ref_stats = reference_results(tree, kernel, queries, t, eps)
+        stats = TraversalStats()
+        batch = bound_densities(tree.flatten(), kernel, queries, t, t, eps, stats)
+        assert batch.outcomes() == [r.outcome for r in ref]
+        assert stats.snapshot() == ref_stats.snapshot()

@@ -154,3 +154,51 @@ class TestStatsExposure:
         # The headline claim: most training points are classified with
         # far fewer kernel evaluations than n.
         assert fitted.stats.kernels_per_query < 0.25 * 2000
+
+
+class TestEngineSelection:
+    def test_engines_agree_on_labels(self, fitted, rng):
+        queries = rng.normal(size=(80, 2)) * 2
+        np.testing.assert_array_equal(
+            fitted.predict(queries, engine="batch"),
+            fitted.predict(queries, engine="per-query"),
+        )
+
+    def test_per_query_engine_config(self, medium_gauss, rng):
+        batch = TKDCClassifier(TKDCConfig(p=0.05, seed=0)).fit(medium_gauss)
+        per_query = TKDCClassifier(
+            TKDCConfig(p=0.05, seed=0, engine="per-query")
+        ).fit(medium_gauss)
+        assert batch.threshold.value == per_query.threshold.value
+        queries = rng.normal(size=(50, 2)) * 2
+        np.testing.assert_array_equal(
+            batch.predict(queries), per_query.predict(queries)
+        )
+
+    def test_unknown_engine_rejected(self, fitted):
+        with pytest.raises(ValueError, match="engine"):
+            fitted.classify(np.zeros((1, 2)), engine="quantum")
+
+    def test_bad_n_jobs_rejected(self, fitted):
+        with pytest.raises(ValueError, match="n_jobs"):
+            fitted.classify(np.zeros((1, 2)), n_jobs=0)
+
+    def test_multiprocess_classify_matches_serial(self, fitted, rng):
+        queries = rng.normal(size=(64, 2)) * 2
+        serial = fitted.predict(queries)
+        parallel = fitted.predict(queries, n_jobs=2)
+        np.testing.assert_array_equal(serial, parallel)
+
+    def test_multiprocess_merges_stats(self, medium_gauss, rng):
+        clf = TKDCClassifier(TKDCConfig(p=0.05, seed=0, use_grid=False)).fit(
+            medium_gauss
+        )
+        queries = rng.normal(size=(32, 2)) * 2
+        before = clf.stats.queries
+        clf.predict(queries, n_jobs=2)
+        assert clf.stats.queries == before + 32
+
+    def test_predict_is_vectorized_int64(self, fitted, rng):
+        labels = fitted.predict(rng.normal(size=(10, 2)))
+        assert labels.dtype == np.int64
+        assert set(np.unique(labels)) <= {0, 1}

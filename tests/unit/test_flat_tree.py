@@ -1,0 +1,94 @@
+"""Unit tests for the flat structure-of-arrays tree view."""
+
+import numpy as np
+import pytest
+
+from repro.index.boxes import box_kernel_bounds
+from repro.index.flat import NO_CHILD, FlatTree, flatten_kdtree, pair_box_bounds
+from repro.index.kdtree import KDTree
+from repro.kernels.gaussian import GaussianKernel
+
+
+@pytest.fixture
+def tree(small_gauss) -> KDTree:
+    return KDTree(small_gauss, leaf_size=8)
+
+
+@pytest.fixture
+def flat(tree) -> FlatTree:
+    return tree.flatten()
+
+
+class TestFlattening:
+    def test_one_entry_per_node(self, tree, flat):
+        assert flat.n_nodes == sum(1 for __ in tree.iter_nodes())
+
+    def test_root_is_node_zero(self, tree, flat):
+        np.testing.assert_array_equal(flat.lo[0], tree.root.lo)
+        np.testing.assert_array_equal(flat.hi[0], tree.root.hi)
+        assert flat.count[0] == tree.size
+
+    def test_arrays_mirror_nodes(self, tree, flat):
+        for node_id, node in enumerate(tree.iter_nodes()):
+            np.testing.assert_array_equal(flat.lo[node_id], node.lo)
+            np.testing.assert_array_equal(flat.hi[node_id], node.hi)
+            assert flat.count[node_id] == node.count
+            assert flat.start[node_id] == node.start
+            assert flat.end[node_id] == node.end
+            assert (flat.left[node_id] == NO_CHILD) == node.is_leaf
+
+    def test_children_consistent(self, flat):
+        for node_id in range(flat.n_nodes):
+            if flat.left[node_id] == NO_CHILD:
+                assert flat.right[node_id] == NO_CHILD
+                continue
+            left, right = flat.left[node_id], flat.right[node_id]
+            # Pre-order ids: children always come after their parent.
+            assert left > node_id and right > node_id
+            assert flat.count[left] + flat.count[right] == flat.count[node_id]
+            assert flat.start[left] == flat.start[node_id]
+            assert flat.end[left] == flat.start[right]
+            assert flat.end[right] == flat.end[node_id]
+
+    def test_points_shared_not_copied(self, tree, flat):
+        assert flat.points is tree.points
+
+    def test_flatten_is_cached(self, tree):
+        assert tree.flatten() is tree.flatten()
+
+    def test_leaf_points_match(self, tree, flat):
+        leaf_ids = np.flatnonzero(flat.is_leaf)
+        leaves = [n for n in tree.iter_nodes() if n.is_leaf]
+        assert len(leaf_ids) == len(leaves)
+        total = sum(flat.count[i] for i in leaf_ids)
+        assert total == tree.size
+
+    def test_single_point_tree(self):
+        flat = flatten_kdtree(KDTree(np.array([[1.0, 2.0]])))
+        assert flat.n_nodes == 1
+        assert flat.is_leaf.all()
+        assert flat.size == 1
+
+
+class TestPairBoxBounds:
+    def test_matches_scalar_bounds(self, tree, flat, rng):
+        kernel = GaussianKernel(np.ones(2))
+        inv_n = 1.0 / tree.size
+        queries = rng.normal(size=(64, 2)) * 2
+        node_ids = rng.integers(0, flat.n_nodes, size=64)
+        lower, upper = pair_box_bounds(flat, node_ids, queries, kernel, inv_n)
+        nodes = list(tree.iter_nodes())
+        for i in range(64):
+            node = nodes[node_ids[i]]
+            ref_lower, ref_upper = box_kernel_bounds(
+                node.lo, node.hi, node.count, queries[i], kernel, inv_n
+            )
+            assert lower[i] == pytest.approx(ref_lower, rel=1e-12, abs=1e-300)
+            assert upper[i] == pytest.approx(ref_upper, rel=1e-12, abs=1e-300)
+
+    def test_bounds_ordered(self, flat, rng):
+        kernel = GaussianKernel(np.ones(2))
+        queries = rng.normal(size=(32, 2))
+        node_ids = rng.integers(0, flat.n_nodes, size=32)
+        lower, upper = pair_box_bounds(flat, node_ids, queries, kernel, 1.0 / flat.size)
+        assert np.all(lower <= upper)

@@ -88,6 +88,45 @@ class TestInvariants:
         assert sorted(tree.indices.tolist()) == list(range(small_gauss.shape[0]))
 
 
+class TestPartition:
+    """The O(m) two-block partition must behave exactly like the stable
+    argsort it replaced: same boundary index, same permutation."""
+
+    @pytest.mark.parametrize("value_quantile", [0.1, 0.5, 0.9])
+    def test_boundary_matches_stable_argsort(self, rng, value_quantile):
+        points = rng.normal(size=(257, 3))
+        value = float(np.quantile(points[:, 1], value_quantile))
+        tree = KDTree(points, leaf_size=points.shape[0])  # build = no splits
+        reference_points = tree.points.copy()
+        reference_indices = tree.indices.copy()
+
+        mid = tree._partition(0, points.shape[0], axis=1, value=value)
+
+        goes_left = reference_points[:, 1] < value
+        order = np.argsort(~goes_left, kind="stable")
+        expected_boundary = int(np.count_nonzero(goes_left))
+        assert mid == expected_boundary
+        np.testing.assert_array_equal(tree.points, reference_points[order])
+        np.testing.assert_array_equal(tree.indices, reference_indices[order])
+        assert np.all(tree.points[:mid, 1] < value)
+        assert np.all(tree.points[mid:, 1] >= value)
+
+    def test_partition_with_duplicates(self, rng):
+        points = np.repeat(rng.normal(size=(10, 2)), 20, axis=0)
+        tree = KDTree(points, leaf_size=points.shape[0])
+        snapshot = tree.points.copy()
+        value = float(np.median(snapshot[:, 0]))
+        mid = tree._partition(0, 200, axis=0, value=value)
+        assert mid == int(np.count_nonzero(snapshot[:, 0] < value))
+        # Stability: each block preserves the original relative order.
+        np.testing.assert_array_equal(
+            tree.points[:mid], snapshot[snapshot[:, 0] < value]
+        )
+        np.testing.assert_array_equal(
+            tree.points[mid:], snapshot[snapshot[:, 0] >= value]
+        )
+
+
 class TestDegenerateData:
     def test_all_identical_points(self):
         data = np.ones((100, 3))
