@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-batch experiments demo clean
+.PHONY: install test test-fast bench bench-batch bench-coreset bench-coreset-smoke experiments demo clean
 
 install:
 	pip install -e ".[test]"
@@ -18,6 +18,14 @@ bench:
 
 bench-batch:
 	$(PYTHON) benchmarks/bench_batch_traversal.py
+
+bench-coreset:
+	$(PYTHON) benchmarks/bench_coreset.py
+
+# Tiny-size smoke of the coreset bench (CI; finishes in seconds and
+# does not overwrite BENCH_coreset.json).
+bench-coreset-smoke:
+	$(PYTHON) benchmarks/bench_coreset.py --smoke
 
 experiments:
 	$(PYTHON) -m repro run all --save

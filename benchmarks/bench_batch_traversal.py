@@ -7,19 +7,36 @@ is tracked across commits. Labels must be identical across engines on
 every workload — the batch engine replicates the per-query traversal
 exactly, it only amortizes the interpreter overhead.
 
+Two extra sections cover the engine's tuning knobs:
+
+- the parallel path is only attempted at or above the classifier's
+  spawn-amortization floor (``_PARALLEL_MIN_QUERIES``); small blocks
+  fall back to the serial batch engine, which the ``parallel_fallback``
+  row flag records. A large-block section times n_jobs=1 vs 2 above the
+  floor, where the pool actually pays off;
+- a block-size sweep times the batch engine at block sizes 128/512/2048
+  on a 2048-query block, backing the DEFAULT_BLOCK_SIZE choice in
+  :mod:`repro.core.batch_bounds`.
+
 Run standalone (``make bench-batch``) or under pytest.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import platform
 from pathlib import Path
 
 import numpy as np
 
 from repro.bench.harness import Timer, human_rate, throughput
-from repro.core.classifier import TKDCClassifier
+from repro.core.batch_bounds import DEFAULT_BLOCK_SIZE
+from repro.core.classifier import (
+    _CHUNKS_PER_WORKER,
+    _PARALLEL_MIN_QUERIES,
+    TKDCClassifier,
+)
 from repro.core.config import TKDCConfig
 from repro.datasets.registry import load
 
@@ -38,24 +55,52 @@ ENGINES = (
     ("batch", 2),
 )
 
+#: Query count for the dedicated parallel section: far enough above the
+#: spawn-amortization floor that pool startup is amortized.
+PARALLEL_QUERIES = 16_384
 
-def _bench_workload(dataset: str, n: int, n_queries: int, seed: int = 0) -> list[dict]:
-    data = load(dataset, n=n, seed=seed)
-    rng = np.random.default_rng(seed + 1)
+#: Batch-engine block sizes swept on a 2048-query block.
+BLOCK_SIZES = (128, 512, 2048)
+BLOCK_SWEEP_QUERIES = 2048
+
+
+def _falls_back(engine: str, n_jobs: int, n_queries: int) -> bool:
+    """Whether this invocation takes the classifier's serial fallback."""
+    return bool(
+        engine == "batch" and n_jobs > 1
+        and (
+            n_queries < _PARALLEL_MIN_QUERIES
+            or min(n_jobs, os.cpu_count() or 1) < 2
+        )
+    )
+
+
+def _query_block(data: np.ndarray, n_queries: int, rng: np.random.Generator) -> np.ndarray:
     # Outlier-scoring mix: half in-distribution points, half uniform
     # over the data bounding box. All-inlier query sets short-circuit
     # through the grid cache and never reach the traversal engine.
-    inliers = data[rng.choice(n, size=n_queries // 2, replace=False)]
+    inliers = data[rng.choice(data.shape[0], size=n_queries // 2, replace=False)]
     box = rng.uniform(
         data.min(axis=0), data.max(axis=0),
         size=(n_queries - n_queries // 2, data.shape[1]),
     )
-    queries = rng.permutation(np.concatenate([inliers, box]))
+    return rng.permutation(np.concatenate([inliers, box]))
+
+
+def _fit(dataset: str, n: int, seed: int = 0) -> tuple[TKDCClassifier, np.ndarray]:
+    data = load(dataset, n=n, seed=seed)
     config = TKDCConfig(
         p=0.01, seed=seed, refine_threshold=False, bootstrap_s0=min(2000, n)
     )
     clf = TKDCClassifier(config).fit(data)
     clf.tree.flatten()  # build the flat view outside the timed region
+    return clf, data
+
+
+def _bench_workload(dataset: str, n: int, n_queries: int, seed: int = 0) -> list[dict]:
+    clf, data = _fit(dataset, n, seed)
+    rng = np.random.default_rng(seed + 1)
+    queries = _query_block(data, n_queries, rng)
 
     rows = []
     reference_labels: np.ndarray | None = None
@@ -72,6 +117,7 @@ def _bench_workload(dataset: str, n: int, n_queries: int, seed: int = 0) -> list
             "n_queries": n_queries,
             "engine": engine,
             "n_jobs": n_jobs,
+            "parallel_fallback": _falls_back(engine, n_jobs, n_queries),
             "seconds": timer.elapsed,
             "queries_per_s": throughput(n_queries, timer.elapsed),
             "labels_match_per_query": bool(np.array_equal(labels, reference_labels)),
@@ -80,6 +126,61 @@ def _bench_workload(dataset: str, n: int, n_queries: int, seed: int = 0) -> list
     base = rows[0]["queries_per_s"]
     for row in rows:
         row["speedup_vs_per_query"] = row["queries_per_s"] / base
+    return rows
+
+
+def _bench_parallel(
+    dataset: str = "gauss", n: int = 50_000,
+    n_queries: int = PARALLEL_QUERIES, seed: int = 0,
+) -> list[dict]:
+    """n_jobs=1 vs 2 above the spawn-amortization floor."""
+    clf, data = _fit(dataset, n, seed)
+    queries = _query_block(data, n_queries, np.random.default_rng(seed + 2))
+    rows = []
+    reference_labels: np.ndarray | None = None
+    for n_jobs in (1, 2):
+        clf.classify(queries[:8], n_jobs=1)  # warm up
+        with Timer() as timer:
+            labels = clf.predict(queries, engine="batch", n_jobs=n_jobs)
+        if reference_labels is None:
+            reference_labels = labels
+        rows.append({
+            "section": "parallel",
+            "dataset": dataset, "n": n, "dim": data.shape[1],
+            "n_queries": n_queries, "engine": "batch", "n_jobs": n_jobs,
+            "parallel_fallback": _falls_back("batch", n_jobs, n_queries),
+            "seconds": timer.elapsed,
+            "queries_per_s": throughput(n_queries, timer.elapsed),
+            "labels_match_per_query": bool(np.array_equal(labels, reference_labels)),
+        })
+    base = rows[0]["queries_per_s"]
+    for row in rows:
+        row["speedup_vs_serial"] = row["queries_per_s"] / base
+    return rows
+
+
+def _bench_block_sizes(
+    dataset: str = "gauss", n: int = 50_000,
+    n_queries: int = BLOCK_SWEEP_QUERIES, seed: int = 0,
+) -> list[dict]:
+    """Batch-engine throughput as a function of the traversal block size."""
+    clf, data = _fit(dataset, n, seed)
+    queries = _query_block(data, n_queries, np.random.default_rng(seed + 3))
+    rows = []
+    for block_size in BLOCK_SIZES:
+        clf.config = clf.config.with_updates(batch_block_size=block_size)
+        clf.predict(queries[:8])  # warm up
+        with Timer() as timer:
+            clf.predict(queries, engine="batch", n_jobs=1)
+        rows.append({
+            "section": "block_size",
+            "dataset": dataset, "n": n, "dim": data.shape[1],
+            "n_queries": n_queries, "engine": "batch", "n_jobs": 1,
+            "block_size": block_size,
+            "seconds": timer.elapsed,
+            "queries_per_s": throughput(n_queries, timer.elapsed),
+        })
+    clf.config = clf.config.with_updates(batch_block_size=DEFAULT_BLOCK_SIZE)
     return rows
 
 
@@ -93,8 +194,25 @@ def run_benchmark(workloads=WORKLOADS) -> list[dict]:
                 f"  {row['engine']:>9} n_jobs={row['n_jobs']}: "
                 f"{human_rate(row['queries_per_s'])} "
                 f"({row['speedup_vs_per_query']:.2f}x, "
-                f"labels_match={row['labels_match_per_query']})"
+                f"labels_match={row['labels_match_per_query']}, "
+                f"fallback={row['parallel_fallback']})"
             )
+
+    print(f"\n[parallel section: gauss n=50k, {PARALLEL_QUERIES} queries]")
+    for row in _bench_parallel():
+        rows.append(row)
+        print(
+            f"  batch n_jobs={row['n_jobs']}: {human_rate(row['queries_per_s'])} "
+            f"({row['speedup_vs_serial']:.2f}x vs serial)"
+        )
+
+    print(f"\n[block-size sweep: gauss n=50k, {BLOCK_SWEEP_QUERIES} queries]")
+    for row in _bench_block_sizes():
+        rows.append(row)
+        print(
+            f"  block_size={row['block_size']:>5}: "
+            f"{human_rate(row['queries_per_s'])}"
+        )
     return rows
 
 
@@ -103,6 +221,12 @@ def write_report(rows: list[dict]) -> Path:
         "benchmark": "batch_traversal",
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "settings": {
+            "default_block_size": DEFAULT_BLOCK_SIZE,
+            "parallel_min_queries": _PARALLEL_MIN_QUERIES,
+            "chunks_per_worker": _CHUNKS_PER_WORKER,
+            "cpu_count": os.cpu_count(),
+        },
         "rows": rows,
     }
     REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
@@ -114,12 +238,22 @@ def test_batch_engine_speedup(benchmark):
     path = write_report(rows)
     print(f"\n[saved {len(rows)} rows to {path}]")
 
-    assert all(r["labels_match_per_query"] for r in rows)
+    assert all(r.get("labels_match_per_query", True) for r in rows)
     gauss_batch = next(
         r for r in rows
-        if r["dataset"] == "gauss" and r["engine"] == "batch" and r["n_jobs"] == 1
+        if r["dataset"] == "gauss" and r["engine"] == "batch"
+        and r["n_jobs"] == 1 and "speedup_vs_per_query" in r
     )
     assert gauss_batch["speedup_vs_per_query"] >= 3.0
+    # The small-block n_jobs=2 row must take the serial fallback (the
+    # pre-fallback regression: 2.15x with a pool vs 4.36x serial).
+    gauss_parallel_small = next(
+        r for r in rows
+        if r["dataset"] == "gauss" and r["n_jobs"] == 2
+        and "speedup_vs_per_query" in r
+    )
+    assert gauss_parallel_small["parallel_fallback"]
+    assert gauss_parallel_small["speedup_vs_per_query"] >= 3.0
 
     # Representative op for the pytest-benchmark table: the batch engine
     # on the acceptance workload's data scale.

@@ -1,0 +1,245 @@
+"""Coreset compression: classify against a sketch vs the full index.
+
+For each workload and compression level this fits one uncompressed
+classifier and one per coreset construction, times the same query block
+through ``classify`` (batch engine, serial), and records the result in
+``BENCH_coreset.json`` at the repo root. Alongside throughput it reports
+the quality ledger compression is accountable to:
+
+- ``label_agreement``: fraction of queries labeled identically to the
+  uncompressed classifier;
+- ``agreement_outside_band``: the same fraction restricted to queries
+  whose *exact* full-data density lies outside the allowed widened band
+  ``|f_X(q) - t| <= eps * t + 2 * eta`` — the only region where the
+  certificate permits a flip (eta of estimate error plus eta of
+  threshold shift plus the paper's eps-tolerance). Must be 1.0 whenever
+  the certificate ``eta`` actually bounds the sketch error;
+- ``fraction_in_band``: how much of the query block the widened band
+  swallows (small for a sharp certificate, 1.0 when ``eta`` is so coarse
+  the guarantee is vacuous);
+- ``eta_empirical``: measured ``max |f_X - f_S|`` over probes
+  (:func:`repro.coresets.validate.empirical_eta`), to show the
+  certificate's slack.
+
+Run standalone (``make bench-coreset``) or under pytest.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.harness import Timer, human_rate, throughput
+from repro.core.classifier import TKDCClassifier
+from repro.core.config import TKDCConfig
+from repro.coresets.validate import empirical_eta, exact_density
+from repro.datasets.registry import load
+
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_coreset.json"
+
+# (dataset, n, n_queries): gauss d=2 n=50k is the acceptance workload;
+# hep-like d=27 exercises the constructions where the grid cache is off.
+WORKLOADS = (
+    ("gauss", 50_000, 2000),
+    ("hep", 20_000, 200),
+)
+
+METHODS = ("uniform", "merge-reduce")
+
+#: Compression levels k/n swept per workload.
+FRACTIONS = (0.01, 0.05, 0.20)
+
+#: Tiny workload for the CI smoke run (``--smoke``): exercises both
+#: constructions end-to-end in well under a minute, without touching
+#: the checked-in report.
+SMOKE_WORKLOADS = (("gauss", 5_000, 200),)
+SMOKE_FRACTIONS = (0.05,)
+
+
+def _query_block(data: np.ndarray, n_queries: int, rng: np.random.Generator) -> np.ndarray:
+    """Half in-distribution points, half uniform box draws (outlier mix)."""
+    inliers = data[rng.choice(data.shape[0], size=n_queries // 2, replace=False)]
+    box = rng.uniform(
+        data.min(axis=0), data.max(axis=0),
+        size=(n_queries - n_queries // 2, data.shape[1]),
+    )
+    return rng.permutation(np.concatenate([inliers, box]))
+
+
+def _bench_workload(
+    dataset: str, n: int, n_queries: int, fractions=FRACTIONS, seed: int = 0
+) -> list[dict]:
+    data = load(dataset, n=n, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    queries = _query_block(data, n_queries, rng)
+    base_config = TKDCConfig(
+        p=0.01, seed=seed, refine_threshold=False, bootstrap_s0=min(2000, n)
+    )
+
+    base = TKDCClassifier(base_config).fit(data)
+    base.tree.flatten()
+    base.predict(queries[:8])  # warm up
+    with Timer() as timer:
+        base_labels = base.predict(queries)
+    base_rate = throughput(n_queries, timer.elapsed)
+    t_base = base.threshold.value
+    epsilon = base_config.epsilon
+
+    # Exact full-data densities of the query block, for band membership.
+    scaled_data = base.kernel.scale(data)
+    f_exact = exact_density(scaled_data, base.kernel, base.kernel.scale(queries))
+
+    rows = [{
+        "dataset": dataset, "n": n, "dim": data.shape[1],
+        "n_queries": n_queries, "method": "none", "fraction": 1.0,
+        "k": n, "eta": 0.0, "eta_empirical": 0.0, "eta_applied": 0.0,
+        "certified": True, "rounds": 0,
+        "threshold": t_base, "seconds": timer.elapsed,
+        "queries_per_s": base_rate, "speedup_vs_uncompressed": 1.0,
+        "label_agreement": 1.0, "fraction_in_band": 0.0,
+        "agreement_outside_band": 1.0,
+    }]
+    for fraction in fractions:
+        for method in METHODS:
+            config = base_config.with_updates(
+                coreset=method, coreset_fraction=fraction
+            )
+            with Timer() as fit_timer:
+                clf = TKDCClassifier(config).fit(data)
+            clf.tree.flatten()
+            clf.predict(queries[:8])  # warm up
+            with Timer() as timer:
+                labels = clf.predict(queries)
+            rate = throughput(n_queries, timer.elapsed)
+
+            coreset = clf.coreset_
+            eta = coreset.eta
+            eta_emp = empirical_eta(
+                scaled_data, coreset, clf.kernel,
+                rng=np.random.default_rng(seed + 2),
+            )
+            # A flip is only permitted where estimate error (eta),
+            # threshold shift (eta again) and the paper's tolerance
+            # (eps * t) can together carry f_X across the threshold.
+            band = epsilon * t_base + 2.0 * eta
+            outside = np.abs(f_exact - t_base) > band
+            agree = labels == base_labels
+            rows.append({
+                "dataset": dataset, "n": n, "dim": data.shape[1],
+                "n_queries": n_queries, "method": method, "fraction": fraction,
+                "k": coreset.k, "eta": eta, "eta_empirical": eta_emp,
+                "eta_applied": clf.eta_applied, "certified": clf.certified,
+                "rounds": coreset.rounds,
+                "threshold": clf.threshold.value,
+                "fit_seconds": fit_timer.elapsed,
+                "seconds": timer.elapsed, "queries_per_s": rate,
+                "speedup_vs_uncompressed": rate / base_rate,
+                "label_agreement": float(np.mean(agree)),
+                "fraction_in_band": float(np.mean(~outside)),
+                "agreement_outside_band": (
+                    float(np.mean(agree[outside])) if outside.any() else 1.0
+                ),
+            })
+    return rows
+
+
+def run_benchmark(workloads=WORKLOADS, fractions=FRACTIONS) -> list[dict]:
+    rows = []
+    for dataset, n, n_queries in workloads:
+        print(f"\n[{dataset} n={n}]")
+        for row in _bench_workload(dataset, n, n_queries, fractions=fractions):
+            rows.append(row)
+            print(
+                f"  {row['method']:>12} k/n={row['fraction']:.0%}: "
+                f"{human_rate(row['queries_per_s'])} "
+                f"({row['speedup_vs_uncompressed']:.2f}x, "
+                f"agree={row['label_agreement']:.3f}, "
+                f"outside-band agree={row['agreement_outside_band']:.3f}, "
+                f"eta={row['eta']:.3g} emp={row['eta_empirical']:.3g})"
+            )
+    return rows
+
+
+def write_report(rows: list[dict]) -> Path:
+    report = {
+        "benchmark": "coreset",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "settings": {
+            "p": 0.01,
+            "epsilon": 0.01,
+            "engine": "batch",
+            "band": "eps * t_base + 2 * eta",
+        },
+        "rows": rows,
+    }
+    REPORT_PATH.write_text(
+        json.dumps(report, indent=2, default=_jsonable) + "\n"
+    )
+    return REPORT_PATH
+
+
+def _jsonable(value):
+    if isinstance(value, float) and math.isinf(value):  # pragma: no cover
+        return "inf"
+    raise TypeError(f"not JSON serializable: {value!r}")
+
+
+def _sanitize(rows: list[dict]) -> list[dict]:
+    """Replace inf eta values with the string 'inf' for strict JSON."""
+    out = []
+    for row in rows:
+        row = dict(row)
+        for key in ("eta", "eta_empirical"):
+            if isinstance(row.get(key), float) and math.isinf(row[key]):
+                row[key] = "inf"
+        out.append(row)
+    return out
+
+
+def test_coreset_speedup(benchmark):
+    rows = run_benchmark()
+    path = write_report(_sanitize(rows))
+    print(f"\n[saved {len(rows)} rows to {path}]")
+
+    # Acceptance: >= 3x over the uncompressed batch engine at k/n = 5%
+    # on gauss d=2 n=50k, with full agreement outside the widened band.
+    gauss_5 = [
+        r for r in rows
+        if r["dataset"] == "gauss" and r["fraction"] == 0.05
+    ]
+    assert any(r["speedup_vs_uncompressed"] >= 3.0 for r in gauss_5)
+    finite = [
+        r for r in rows
+        if r["method"] != "none" and np.isfinite(r["eta"])
+    ]
+    assert all(r["agreement_outside_band"] == 1.0 for r in finite)
+
+    data = load("gauss", n=50_000, seed=0)
+    clf = TKDCClassifier(
+        TKDCConfig(p=0.01, seed=0, refine_threshold=False,
+                   coreset="uniform", coreset_fraction=0.05)
+    ).fit(data)
+    benchmark.pedantic(clf.predict, args=(data[:200],), rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--smoke" in sys.argv:
+        smoke_rows = run_benchmark(
+            workloads=SMOKE_WORKLOADS, fractions=SMOKE_FRACTIONS
+        )
+        finite_rows = [
+            r for r in smoke_rows
+            if r["method"] != "none" and np.isfinite(r["eta"])
+        ]
+        assert all(r["agreement_outside_band"] == 1.0 for r in finite_rows)
+        print(f"\nsmoke OK ({len(smoke_rows)} rows, report not written)")
+    else:
+        write_report(_sanitize(run_benchmark()))
+        print(f"\nwrote {REPORT_PATH}")

@@ -21,7 +21,9 @@ The public surface:
 - :mod:`repro.datasets` — simulators for the paper's seven datasets;
 - :mod:`repro.analysis` — F1 metrics and level-set extraction;
 - :mod:`repro.bench` — the harness that regenerates every paper table
-  and figure (see ``benchmarks/`` and ``python -m repro``).
+  and figure (see ``benchmarks/`` and ``python -m repro``);
+- :mod:`repro.coresets` — certified training-set compression
+  (``TKDCConfig(coreset=...)``).
 """
 
 from repro.core.bands import BandClassifier
@@ -30,6 +32,7 @@ from repro.core.incremental import IncrementalTKDC
 from repro.core.config import TKDCConfig
 from repro.core.result import DensityBounds, Label, ThresholdEstimate
 from repro.core.stats import TraversalStats
+from repro.coresets import Coreset, build_coreset
 
 __version__ = "1.0.0"
 
@@ -43,5 +46,7 @@ __all__ = [
     "ThresholdEstimate",
     "TraversalStats",
     "NotFittedError",
+    "Coreset",
+    "build_coreset",
     "__version__",
 ]

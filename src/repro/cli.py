@@ -44,6 +44,12 @@ def _add_fit_parser(subparsers: argparse._SubParsersAction) -> None:
     fit.add_argument("--bandwidth-scale", type=float, default=1.0)
     fit.add_argument("--seed", type=int, default=0)
     fit.add_argument("--header", action="store_true", help="CSV has a header row")
+    fit.add_argument("--coreset", choices=["uniform", "merge-reduce"], default=None,
+                     help="compress the training set with this coreset "
+                          "construction before indexing")
+    fit.add_argument("--coreset-fraction", type=float, default=0.05,
+                     help="target coreset size as a fraction of n "
+                          "(with --coreset; default 0.05)")
 
 
 def _add_classify_parser(subparsers: argparse._SubParsersAction) -> None:
@@ -122,6 +128,7 @@ def _fit(args: argparse.Namespace) -> int:
     config = TKDCConfig(
         p=args.p, epsilon=args.epsilon, kernel=args.kernel,
         bandwidth_scale=args.bandwidth_scale, seed=args.seed,
+        coreset=args.coreset, coreset_fraction=args.coreset_fraction,
     )
     clf = TKDCClassifier(config).fit(data)
     path = save_model(args.model, clf)
@@ -129,6 +136,11 @@ def _fit(args: argparse.Namespace) -> int:
     print(f"fitted on {data.shape[0]} points (d={data.shape[1]}); "
           f"threshold t({args.p}) = {clf.threshold.value:.6g}; "
           f"{low} training points below threshold")
+    if clf.coreset_ is not None:
+        mode = "certified" if clf.certified else "best-effort"
+        print(f"coreset: {clf.coreset_.method}, k={clf.coreset_.k} of "
+              f"n={clf.coreset_.n} ({clf.coreset_.compression:.1%}), "
+              f"eta={clf.eta:.4g} ({mode})")
     print(f"model saved to {path}")
     return 0
 

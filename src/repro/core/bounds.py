@@ -67,6 +67,7 @@ def bound_density(
     priority: str = "discrepancy",
     tolerance_reference: float | None = None,
     threshold_shift: float = 0.0,
+    eta: float = 0.0,
 ) -> BoundResult:
     """Bound the kernel density of one query point (paper Algorithm 2).
 
@@ -104,11 +105,20 @@ def bound_density(
         Together with ``tolerance_reference`` this expresses pruning in
         self-contribution-corrected space when scoring training points;
         see :func:`repro.core.pruning.threshold_rule`.
+    eta:
+        Coreset sup-norm slack: the density interval is widened to
+        ``(f_l - eta, f_u + eta)`` before both pruning rules, so prunes
+        stay valid for the full-data density when the tree indexes a
+        coreset with ``sup |f_X - f_S| <= eta`` (see
+        :mod:`repro.coresets`). The returned interval still bounds the
+        *coreset* density ``f_S``; callers widen it by ``eta`` when they
+        need an ``f_X`` claim.
 
     Returns
     -------
     A :class:`BoundResult` whose interval is guaranteed to contain the
-    exact density ``f(query)``.
+    exact density ``f(query)`` under the indexed (possibly weighted)
+    point set.
     """
     if t_lower > t_upper:
         raise ValueError(f"t_lower {t_lower} exceeds t_upper {t_upper}")
@@ -116,7 +126,10 @@ def bound_density(
         raise ValueError(f"unknown priority {priority!r}; choose from {PRIORITY_ORDERS}")
 
     query = np.asarray(query, dtype=np.float64)
-    inv_n = 1.0 / tree.size
+    # Weighted trees (coresets) normalize by total mass, not point count;
+    # for ordinary trees the two coincide exactly.
+    inv_n = 1.0 / getattr(tree, "total_weight", tree.size)
+    point_weights = getattr(tree, "point_weights", None)
     counter = itertools.count()
     stats.queries += 1
 
@@ -145,6 +158,7 @@ def bound_density(
             use_tolerance_rule=use_tolerance_rule,
             tolerance_reference=tolerance_reference,
             threshold_shift=threshold_shift,
+            eta=eta,
         )
         if outcome is not None:
             _record_outcome(stats, outcome)
@@ -156,7 +170,13 @@ def bound_density(
 
         if node.is_leaf:
             points = tree.leaf_points(node)
-            exact = kernel.sum_at(points, query) * inv_n
+            if point_weights is None:
+                exact = kernel.sum_at(points, query) * inv_n
+            else:
+                weights = point_weights[node.start : node.end]
+                diffs = points - query
+                sq = np.einsum("ij,ij->i", diffs, diffs)
+                exact = float(np.sum(weights * kernel.value(sq))) * inv_n
             stats.kernel_evaluations += node.count
             f_lower += exact
             f_upper += exact

@@ -29,6 +29,7 @@ import numpy as np
 from repro.core.batch_bounds import bound_densities
 from repro.core.bounds import bound_density
 from repro.core.config import ENGINES, TKDCConfig
+from repro.coresets.base import Coreset, build_coreset
 from repro.core.grid import GridCache
 from repro.core.result import DensityBounds, Label, ThresholdEstimate
 from repro.core.stats import TraversalStats
@@ -47,15 +48,23 @@ class NotFittedError(RuntimeError):
 #: Label lookup for vectorized int->Label mapping (index = int value).
 _LABELS = np.array([Label.LOW, Label.HIGH], dtype=object)
 
-#: Per-worker state for the multiprocess classify path, populated by the
-#: pool initializer so the classifier is shipped once per worker rather
-#: than once per chunk.
+#: Per-worker state for the multiprocess classify path. Populated in the
+#: parent *before* the fork so workers inherit the classifier (index
+#: arrays included) through copy-on-write pages instead of a per-worker
+#: pickle — shipping a 50k-point flat tree through ``initargs`` used to
+#: cost more than the traversal it parallelized.
 _WORKER_STATE: dict = {}
 
+#: Query-count floor below which ``classify`` ignores ``n_jobs`` and
+#: stays in-process: pool setup plus result pickling costs a few tens of
+#: milliseconds, which a small batch can never amortize.
+_PARALLEL_MIN_QUERIES = 4096
 
-def _init_classify_worker(classifier: "TKDCClassifier", threshold: float) -> None:
-    _WORKER_STATE["classifier"] = classifier
-    _WORKER_STATE["threshold"] = threshold
+#: Chunks handed out per worker by the parallel path. More than one
+#: chunk per worker lets the pool rebalance when pruning makes some
+#: query regions much cheaper than others; too many chunks re-introduces
+#: per-chunk dispatch overhead.
+_CHUNKS_PER_WORKER = 4
 
 
 def _classify_chunk(scaled_chunk: np.ndarray) -> tuple[np.ndarray, TraversalStats]:
@@ -87,6 +96,10 @@ class TKDCClassifier:
     training_labels_:
         HIGH/LOW labels for the training points, as used by the paper's
         outlier-detection workload.
+    coreset_:
+        The :class:`~repro.coresets.base.Coreset` the index was built
+        over, or ``None`` when classifying against the full training
+        set (``config.coreset is None``).
     stats:
         :class:`~repro.core.stats.TraversalStats` accumulated over all
         work done so far (training and queries).
@@ -101,6 +114,8 @@ class TKDCClassifier:
         self._stats = TraversalStats()
         self.training_scores_: np.ndarray | None = None
         self.training_labels_: np.ndarray | None = None
+        self.coreset_: Coreset | None = None
+        self._rule_eta = 0.0
 
     # ------------------------------------------------------------------
     # Training
@@ -117,9 +132,25 @@ class TKDCClassifier:
 
         self._kernel = self._make_kernel(data)
         scaled = self._kernel.scale(data)
-        self._tree = KDTree(
-            scaled, leaf_size=config.leaf_size, split_rule=config.split_rule
-        )
+        self.coreset_ = None
+        if config.coreset is not None:
+            k = config.coreset_size
+            if k is None:
+                k = max(1, round(config.coreset_fraction * n))
+            self.coreset_ = build_coreset(
+                scaled, self._kernel, config.coreset, min(k, n),
+                delta=config.coreset_delta, rng=rng,
+            )
+            self._tree = KDTree(
+                self.coreset_.points,
+                leaf_size=config.leaf_size,
+                split_rule=config.split_rule,
+                weights=self.coreset_.weights,
+            )
+        else:
+            self._tree = KDTree(
+                scaled, leaf_size=config.leaf_size, split_rule=config.split_rule
+            )
 
         bootstrap = bootstrap_threshold_bounds(
             data,
@@ -129,16 +160,27 @@ class TKDCClassifier:
             rng=rng,
             full_tree=self._tree,
             full_kernel=self._kernel,
+            eta=self.eta,
         )
         t_lower, t_upper = bootstrap.lower, bootstrap.upper
 
+        # The grid cache stays built over the FULL training set even
+        # under compression: it lower-bounds the full-data density f_X
+        # directly, so its HIGH shortcut remains a certified statement
+        # regardless of how coarse the sketch's certificate is.
         self._grid = None
         if config.use_grid and data.shape[1] <= config.grid_max_dim:
             self._grid = GridCache(scaled, self._kernel)
 
         if config.refine_threshold:
             scores = self._score_training_points(scaled, t_lower, t_upper)
-            refined = quantile_of_sorted(np.sort(scores), config.p)
+            # Corrected densities are non-negative by construction
+            # (f_X(x) >= K(0)/n: x's own contribution), so a negative
+            # quantile can only be sketch underestimation in the tails
+            # (best-effort compression); snap it to the achievable
+            # floor rather than shipping a threshold no density can be
+            # below.
+            refined = max(quantile_of_sorted(np.sort(scores), config.p), 0.0)
             # Section 3.6: the bootstrap's bounds are probabilistic — with
             # probability delta they miss the true threshold, detectable
             # because the refined quantile escapes the bracket. Back the
@@ -153,7 +195,7 @@ class TKDCClassifier:
                 else:
                     t_upper = refined * config.h_backoff
                 scores = self._score_training_points(scaled, t_lower, t_upper)
-                refined = quantile_of_sorted(np.sort(scores), config.p)
+                refined = max(quantile_of_sorted(np.sort(scores), config.p), 0.0)
             self._threshold = ThresholdEstimate(
                 value=refined,
                 lower=min(t_lower, refined),
@@ -168,6 +210,15 @@ class TKDCClassifier:
             )
             self.training_scores_ = None
             self.training_labels_ = None
+        # Widening the pruning rules by eta is only worthwhile while it
+        # preserves the certification condition eta < eps * t_l; a
+        # certificate coarser than that would zero out every prune (the
+        # tolerance width eps*t - 2*eta goes negative), so classification
+        # degrades to best-effort against the compressed estimate instead.
+        eta = self.eta
+        self._rule_eta = (
+            eta if 0.0 < eta < config.epsilon * self._threshold.lower else 0.0
+        )
         return self
 
     def _make_kernel(self, data: np.ndarray) -> Kernel:
@@ -209,6 +260,9 @@ class TKDCClassifier:
             remaining = np.flatnonzero(~certain)
         if remaining.size == 0:
             return scores
+        # Gate the eta widening on the *current* bracket (it may have
+        # been backed off since fit computed the classification gate).
+        rule_eta = self.eta if 0.0 < self.eta < config.epsilon * t_lower else 0.0
         if config.engine == "batch":
             result = bound_densities(
                 self._tree.flatten(), self._kernel, scaled[remaining],
@@ -216,6 +270,7 @@ class TKDCClassifier:
                 use_threshold_rule=config.use_threshold_rule,
                 use_tolerance_rule=config.use_tolerance_rule,
                 threshold_shift=self_contribution,
+                eta=rule_eta,
                 block_size=config.batch_block_size,
             )
             scores[remaining] = result.midpoint - self_contribution
@@ -227,6 +282,7 @@ class TKDCClassifier:
                     use_threshold_rule=config.use_threshold_rule,
                     use_tolerance_rule=config.use_tolerance_rule,
                     threshold_shift=self_contribution,
+                    eta=rule_eta,
                 )
                 scores[i] = result.midpoint - self_contribution
         return scores
@@ -264,6 +320,45 @@ class TKDCClassifier:
     def stats(self) -> TraversalStats:
         """Work counters accumulated across training and queries."""
         return self._stats
+
+    @property
+    def eta(self) -> float:
+        """Certified sup-norm density error of the compressed index.
+
+        0 when classifying against the full training set; ``math.inf``
+        when the coreset construction could not certify (non-Lipschitz
+        kernel under merge-reduce).
+        """
+        return self.coreset_.eta if self.coreset_ is not None else 0.0
+
+    @property
+    def eta_applied(self) -> float:
+        """The eta actually widening the pruning rules (0 = best-effort).
+
+        Equals :attr:`eta` exactly when the certificate is fine enough to
+        keep certification (``eta < epsilon * t_lower``); otherwise 0,
+        meaning labels describe the compressed estimate rather than the
+        full-data density.
+        """
+        self._require_fitted()
+        return self._rule_eta
+
+    @property
+    def certified(self) -> bool:
+        """Whether labels carry the full-data ``±eps * t`` guarantee.
+
+        Always True without compression. Under compression, True exactly
+        when the coreset certificate is applied to the pruning rules
+        (see :attr:`eta_applied`); note the uniform construction's
+        certificate is itself probabilistic (per query, level
+        ``1 - coreset_delta``).
+        """
+        self._require_fitted()
+        if self.coreset_ is None:
+            return True
+        # eta == 0 means the sketch reproduces the KDE exactly (k >= n,
+        # or merge-reduce over duplicate-only data): certified trivially.
+        return self.eta == 0.0 or self._rule_eta > 0.0
 
     def classify(
         self,
@@ -304,7 +399,13 @@ class TKDCClassifier:
         n_jobs = self._resolve_n_jobs(n_jobs)
         scaled = self.kernel.scale(queries)
         threshold = self.threshold.value
-        if engine == "batch" and n_jobs > 1 and scaled.shape[0] > 1:
+        # Below the floor, pool startup dominates any traversal saving;
+        # fall back to the serial batch path (see bench_batch_traversal).
+        if (
+            engine == "batch"
+            and n_jobs > 1
+            and scaled.shape[0] >= _PARALLEL_MIN_QUERIES
+        ):
             return self._classify_parallel(scaled, threshold, n_jobs)
         return self._classify_scaled_block(scaled, threshold, self._stats, engine)
 
@@ -333,6 +434,7 @@ class TKDCClassifier:
                 threshold, threshold, config.epsilon, stats,
                 use_threshold_rule=config.use_threshold_rule,
                 use_tolerance_rule=config.use_tolerance_rule,
+                eta=self._rule_eta,
                 block_size=config.batch_block_size,
             )
             highs[remaining] = result.midpoint > threshold
@@ -343,6 +445,7 @@ class TKDCClassifier:
                     config.epsilon, stats,
                     use_threshold_rule=config.use_threshold_rule,
                     use_tolerance_rule=config.use_tolerance_rule,
+                    eta=self._rule_eta,
                 )
                 highs[i] = result.midpoint > threshold
         return highs
@@ -361,11 +464,21 @@ class TKDCClassifier:
                 scaled, threshold, self._stats, engine="batch"
             )
         self.tree.flatten()  # build once pre-fork so workers share it
-        chunks = np.array_split(scaled, n_jobs)
-        with context.Pool(
-            n_jobs, initializer=_init_classify_worker, initargs=(self, threshold)
-        ) as pool:
-            results = pool.map(_classify_chunk, chunks)
+        # Several chunks per worker (not one) so the pool rebalances
+        # around pruning-induced cost skew across query regions, capped
+        # so each chunk still fills at least one vectorized block.
+        n_chunks = min(
+            n_jobs * _CHUNKS_PER_WORKER,
+            max(n_jobs, scaled.shape[0] // self.config.batch_block_size),
+        )
+        chunks = np.array_split(scaled, n_chunks)
+        _WORKER_STATE["classifier"] = self
+        _WORKER_STATE["threshold"] = threshold
+        try:
+            with context.Pool(n_jobs) as pool:
+                results = pool.map(_classify_chunk, chunks)
+        finally:
+            _WORKER_STATE.clear()
         for __, worker_stats in results:
             self._stats.merge(worker_stats)
         return np.concatenate([highs for highs, __ in results])
@@ -380,7 +493,11 @@ class TKDCClassifier:
         n_jobs = self.config.n_jobs if n_jobs is None else n_jobs
         if n_jobs == 0 or n_jobs < -1:
             raise ValueError(f"n_jobs must be >= 1 or -1, got {n_jobs}")
-        return os.cpu_count() or 1 if n_jobs == -1 else n_jobs
+        cores = os.cpu_count() or 1
+        # More workers than cores is strictly slower for this CPU-bound
+        # traversal (they time-slice one another plus pay fork/pickle
+        # overhead), so a larger request clamps to the machine.
+        return cores if n_jobs == -1 else min(n_jobs, cores)
 
     def classify_batch(self, queries: np.ndarray) -> np.ndarray:
         """Classify a batch of queries with dual-tree block sharing.
@@ -396,6 +513,11 @@ class TKDCClassifier:
 
         self._require_fitted()
         queries = self._as_query_matrix(queries)
+        if self.coreset_ is not None:
+            # The dual-tree engine counts points (no weighted-node mass
+            # or eta widening); under compression, route through the
+            # batch engine instead of silently changing semantics.
+            return self.classify(queries)
         return dual_tree_classify(
             self.tree, self.kernel, self.kernel.scale(queries),
             self.threshold.value, self.config.epsilon, self._stats,
@@ -418,22 +540,27 @@ class TKDCClassifier:
         """The density intervals classification would act on.
 
         Coarse away from the threshold (the pruning rules stop early),
-        ``eps * t``-tight near it.
+        ``eps * t``-tight near it. Under certified compression the
+        traversal's intervals are widened by the applied ``eta`` so they
+        remain valid for the *full-data* density; in best-effort mode
+        they describe the compressed estimate.
         """
         self._require_fitted()
         queries = self._as_query_matrix(queries)
         scaled = self.kernel.scale(queries)
         threshold = self.threshold.value
+        eta = self._rule_eta
         if self._resolve_engine(engine) == "batch":
             result = bound_densities(
                 self.tree.flatten(), self.kernel, scaled, threshold, threshold,
                 self.config.epsilon, self._stats,
                 use_threshold_rule=self.config.use_threshold_rule,
                 use_tolerance_rule=self.config.use_tolerance_rule,
+                eta=eta,
                 block_size=self.config.batch_block_size,
             )
             return [
-                DensityBounds(lower, upper)
+                DensityBounds(max(lower - eta, 0.0), upper + eta)
                 for lower, upper in zip(result.lower, result.upper)
             ]
         results: list[DensityBounds] = []
@@ -443,8 +570,11 @@ class TKDCClassifier:
                 self.config.epsilon, self._stats,
                 use_threshold_rule=self.config.use_threshold_rule,
                 use_tolerance_rule=self.config.use_tolerance_rule,
+                eta=eta,
             )
-            results.append(DensityBounds(bounds.lower, bounds.upper))
+            results.append(
+                DensityBounds(max(bounds.lower - eta, 0.0), bounds.upper + eta)
+            )
         return results
 
     def estimate_density(
@@ -460,12 +590,16 @@ class TKDCClassifier:
         queries = self._as_query_matrix(queries)
         scaled = self.kernel.scale(queries)
         threshold = self.threshold.value
+        # With the applied eta shrinking the tolerance width to
+        # eps*t - 2*eta, the compressed midpoint still lands within
+        # eps*t/2 of the full-data density: width/2 + eta <= eps*t/2.
         if self._resolve_engine(engine) == "batch":
             result = bound_densities(
                 self.tree.flatten(), self.kernel, scaled, threshold, threshold,
                 self.config.epsilon, self._stats,
                 use_threshold_rule=False,
                 use_tolerance_rule=True,
+                eta=self._rule_eta,
                 block_size=self.config.batch_block_size,
             )
             return result.midpoint
@@ -476,6 +610,7 @@ class TKDCClassifier:
                 self.config.epsilon, self._stats,
                 use_threshold_rule=False,
                 use_tolerance_rule=True,
+                eta=self._rule_eta,
             )
             densities[i] = result.midpoint
         return densities

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.coresets.base import CORESET_METHODS
 from repro.kernels.factory import KERNELS
 
 #: Traversal engines: "batch" is the vectorized multi-query engine
@@ -75,12 +76,33 @@ class TKDCConfig:
         Both produce the same labels and prune outcomes.
     n_jobs:
         Worker processes for ``classify`` with the batch engine. 1
-        (default) stays in-process; -1 uses every available core. Query
-        blocks are chunked across a fork-based pool, so this only pays
-        off for large query sets on multi-core machines.
+        (default) stays in-process; -1 uses every available core.
+        Requests are clamped to the machine's core count, and blocks
+        below a spawn-amortization floor (~4k queries) run serially
+        regardless — a pool only pays off when there is enough work to
+        amortize forking and result transport.
     batch_block_size:
         Queries traversed per vectorized block by the batch engine;
-        bounds peak frontier memory.
+        bounds peak frontier memory. The default follows the measured
+        optimum in ``benchmarks/bench_batch_traversal.py``'s block-size
+        sweep.
+    coreset:
+        When set, ``fit`` compresses the training set with the named
+        construction (``"uniform"`` or ``"merge-reduce"``, see
+        :mod:`repro.coresets`) and classifies against the sketch. The
+        sketch's error certificate ``eta`` widens the density bounds
+        before both pruning rules whenever it is small enough to keep
+        (``eta < epsilon * t_lower``); otherwise classification is
+        best-effort against the compressed estimate.
+    coreset_fraction:
+        Target coreset size as a fraction of ``n`` (default 0.05).
+        Ignored when ``coreset_size`` is set.
+    coreset_size:
+        Absolute target coreset size ``k``; overrides
+        ``coreset_fraction`` when set.
+    coreset_delta:
+        Failure probability for probabilistic coreset certificates
+        (the uniform construction's Hoeffding bound).
     seed:
         Seed for the bootstrap's subsampling RNG. Classification itself
         is deterministic (paper Section 2.3).
@@ -106,7 +128,11 @@ class TKDCConfig:
     refine_threshold: bool = True
     engine: str = "batch"
     n_jobs: int = 1
-    batch_block_size: int = 512
+    batch_block_size: int = 2048
+    coreset: str | None = None
+    coreset_fraction: float = 0.05
+    coreset_size: int | None = None
+    coreset_delta: float = 0.05
     seed: int | None = 0
 
     def __post_init__(self) -> None:
@@ -141,6 +167,23 @@ class TKDCConfig:
         if self.batch_block_size < 1:
             raise ValueError(
                 f"batch_block_size must be >= 1, got {self.batch_block_size}"
+            )
+        if self.coreset is not None and self.coreset not in CORESET_METHODS:
+            raise ValueError(
+                f"unknown coreset method {self.coreset!r}; "
+                f"choose from {CORESET_METHODS} or None"
+            )
+        if not 0.0 < self.coreset_fraction <= 1.0:
+            raise ValueError(
+                f"coreset_fraction must be in (0, 1], got {self.coreset_fraction}"
+            )
+        if self.coreset_size is not None and self.coreset_size < 1:
+            raise ValueError(
+                f"coreset_size must be >= 1, got {self.coreset_size}"
+            )
+        if not 0.0 < self.coreset_delta < 1.0:
+            raise ValueError(
+                f"coreset_delta must be in (0, 1), got {self.coreset_delta}"
             )
 
     def with_updates(self, **changes: object) -> "TKDCConfig":

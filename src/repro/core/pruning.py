@@ -31,6 +31,7 @@ def threshold_rule(
     t_upper: float,
     epsilon: float,
     shift: float = 0.0,
+    eta: float = 0.0,
 ) -> PruneOutcome | None:
     """Equation 9: classify immediately if the bounds clear the threshold.
 
@@ -42,10 +43,17 @@ def threshold_rule(
     shift into the bounds *before* the multiplication instead would
     inflate the margin to ``eps * (t + sc)`` — catastrophic in high
     dimensions where ``K(0)/n`` dwarfs ``t``.
+
+    ``eta`` widens the density interval to ``(f_l - eta, f_u + eta)``
+    before the comparison. When the traversal runs over a coreset ``S``
+    of the training set with ``sup |f_X - f_S| <= eta``, the widened
+    bounds are valid bounds on the *full-data* density ``f_X``, so a
+    prune here still certifies the label against ``f_X`` (the coreset
+    layer's certification argument; see :mod:`repro.coresets`).
     """
-    if f_lower > t_upper * (1.0 + epsilon) + shift:
+    if f_lower > t_upper * (1.0 + epsilon) + shift + eta:
         return PruneOutcome.THRESHOLD_HIGH
-    if f_upper < t_lower * (1.0 - epsilon) + shift:
+    if f_upper < t_lower * (1.0 - epsilon) + shift - eta:
         return PruneOutcome.THRESHOLD_LOW
     return None
 
@@ -74,6 +82,7 @@ def check_rules(
     use_tolerance_rule: bool = True,
     tolerance_reference: float | None = None,
     threshold_shift: float = 0.0,
+    eta: float = 0.0,
 ) -> PruneOutcome | None:
     """Evaluate both rules in the paper's order (threshold first).
 
@@ -82,14 +91,22 @@ def check_rules(
     post-margin offset to the threshold rule's edges — together they
     express the self-contribution-corrected pruning the training scoring
     pass needs (see :func:`threshold_rule`).
+
+    ``eta`` widens the density interval to ``(f_l - eta, f_u + eta)``
+    before *both* rules: the threshold rule's edges move out by ``eta``
+    and the tolerance rule's effective width target shrinks to
+    ``eps * reference - 2 eta`` (a non-positive target simply means the
+    tolerance rule never fires and near-threshold queries run the
+    coreset tree to exhaustion).
     """
     if use_threshold_rule:
         outcome = threshold_rule(
-            f_lower, f_upper, t_lower, t_upper, epsilon, shift=threshold_shift
+            f_lower, f_upper, t_lower, t_upper, epsilon,
+            shift=threshold_shift, eta=eta,
         )
         if outcome is not None:
             return outcome
     if use_tolerance_rule:
         reference = t_lower if tolerance_reference is None else tolerance_reference
-        return tolerance_rule(f_lower, f_upper, epsilon * reference)
+        return tolerance_rule(f_lower, f_upper, epsilon * reference - 2.0 * eta)
     return None

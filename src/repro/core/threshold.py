@@ -52,6 +52,7 @@ def bootstrap_threshold_bounds(
     rng: np.random.Generator,
     full_tree: KDTree | None = None,
     full_kernel: Kernel | None = None,
+    eta: float = 0.0,
 ) -> ThresholdBootstrapResult:
     """Estimate probabilistic bounds on ``t(p)`` (paper Algorithm 3).
 
@@ -71,8 +72,21 @@ def bootstrap_threshold_bounds(
     rng:
         Source of subsample randomness.
     full_tree, full_kernel:
-        Optional prebuilt index/kernel over the *full* dataset; reused
-        for the final iteration instead of rebuilding.
+        Optional prebuilt index/kernel reused for the final iteration
+        instead of rebuilding. With coreset compression this is the
+        (possibly weighted) tree over the *sketch*, whose densities
+        approximate the full-data KDE within ``eta``.
+    eta:
+        Sup-norm certificate ``|f_X - f_S| <= eta`` for the density the
+        final-round tree estimates (0 when ``full_tree`` indexes the
+        full data). A sup-norm error of ``eta`` shifts *every* quantile
+        of the density distribution by at most ``eta``, so in certified
+        mode (``eta < epsilon * t_lower``, see
+        :mod:`repro.coresets.base`) both the final round's pruning rules
+        and the returned bounds are widened by ``eta``, keeping the
+        bracket valid for the full-data ``t(p)``. A coarser or infinite
+        ``eta`` degrades to best-effort: no widening anywhere, and the
+        bounds describe the compressed estimate's quantile only.
     """
     data = np.atleast_2d(np.asarray(data, dtype=np.float64))
     n = data.shape[0]
@@ -83,7 +97,8 @@ def bootstrap_threshold_bounds(
     backoffs = 0
 
     for iteration in range(1, _MAX_ITERATIONS + 1):
-        if r == n and full_tree is not None and full_kernel is not None:
+        final_round = r == n and full_tree is not None and full_kernel is not None
+        if final_round:
             subsample = data
             kernel = full_kernel
             tree = full_tree
@@ -107,6 +122,19 @@ def bootstrap_threshold_bounds(
         # epsilon margin (see repro.core.pruning.threshold_rule).
         # Scoring the sample is the dominant fit cost, so it runs on
         # the configured traversal engine (batched by default).
+        #
+        # Only the final round can index a coreset; the mini-KDE rounds
+        # always subsample the raw data, so eta applies only there. The
+        # self-contribution stays K(0)/n even over a sketch: the bounds
+        # track the *full-data* corrected density f_X - K(0)/n, and the
+        # sketch-vs-full gap (including any self-term mismatch) is
+        # exactly what eta already accounts for.
+        round_eta = eta if final_round and math.isfinite(eta) else 0.0
+        rule_eta = (
+            round_eta
+            if 0.0 < round_eta < config.epsilon * t_lower
+            else 0.0
+        )
         self_contribution = kernel.max_value / r
         if config.engine == "batch":
             result = bound_densities(
@@ -115,6 +143,7 @@ def bootstrap_threshold_bounds(
                 use_threshold_rule=config.use_threshold_rule,
                 use_tolerance_rule=config.use_tolerance_rule,
                 threshold_shift=self_contribution,
+                eta=rule_eta,
                 block_size=config.batch_block_size,
             )
             densities = np.maximum(result.midpoint - self_contribution, 0.0)
@@ -127,6 +156,7 @@ def bootstrap_threshold_bounds(
                     use_threshold_rule=config.use_threshold_rule,
                     use_tolerance_rule=config.use_tolerance_rule,
                     threshold_shift=self_contribution,
+                    eta=rule_eta,
                 )
                 densities[i] = max(result.midpoint - self_contribution, 0.0)
         densities.sort()
@@ -150,7 +180,20 @@ def bootstrap_threshold_bounds(
             backoffs += 1
         else:
             if r == n:
-                return ThresholdBootstrapResult(d_lower, d_upper, iteration, backoffs)
+                # Quantile-shift property: |f_X - f_S| <= eta moves any
+                # quantile of the density sample by at most eta, so in
+                # certified mode the sketch-derived bracket widened by
+                # eta still brackets the full-data t(p). In best-effort
+                # mode (rule_eta == 0) the bracket is left describing
+                # the compressed estimate's quantile: widening it by a
+                # coarse eta would blow up the bracket midpoint that
+                # refine_threshold=False classifies against.
+                return ThresholdBootstrapResult(
+                    max(d_lower - rule_eta, 0.0),
+                    d_upper + rule_eta,
+                    iteration,
+                    backoffs,
+                )
             # Valid bounds: buffer them and carry to a larger subsample.
             t_upper = d_upper * config.h_buffer
             t_lower = d_lower / config.h_buffer

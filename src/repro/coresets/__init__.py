@@ -1,0 +1,17 @@
+"""Certified coreset compression of KDE training sets (see ``base``)."""
+
+from repro.coresets.base import CORESET_METHODS, Coreset, build_coreset
+from repro.coresets.merge_reduce import merge_reduce_coreset
+from repro.coresets.uniform import hoeffding_eta, uniform_coreset
+from repro.coresets.validate import empirical_eta, exact_density
+
+__all__ = [
+    "CORESET_METHODS",
+    "Coreset",
+    "build_coreset",
+    "empirical_eta",
+    "exact_density",
+    "hoeffding_eta",
+    "merge_reduce_coreset",
+    "uniform_coreset",
+]

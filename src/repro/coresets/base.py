@@ -1,0 +1,162 @@
+"""Certified coreset compression of a KDE training set.
+
+tKDC's per-query cost scales as ``O(n^((d-1)/d))`` in the training-set
+size, so after batching the traversal the remaining lever is shrinking
+``n`` itself. A *coreset* ``S`` (possibly weighted) of a training set
+``X`` replaces the KDE
+
+    f_X(x) = (1/n) sum_{y in X} K_H(x - y)
+
+by the compressed estimate
+
+    f_S(x) = (1/W) sum_{y in S} w_y K_H(x - y),   W = sum w_y,
+
+together with a sup-norm *certificate* ``eta >= sup_x |f_X(x) - f_S(x)|``
+(Phillips & Tai, "Near-Optimal Coresets of Kernel Density Estimates").
+Folding ``eta`` into the traversal's density interval — widening
+``(f_l, f_u)`` to ``(f_l - eta, f_u + eta)`` before both pruning rules —
+makes every HIGH/LOW prune over the *small* tree a valid statement about
+the *full-data* density, so the paper's ``±eps·t`` classification
+guarantee survives compression whenever ``eta < eps · t_l``. When the
+certificate is weaker than that (aggressive compression at tiny
+thresholds, or a non-Lipschitz kernel), classification degrades to
+*best-effort*: the same fast traversal over ``f_S``, with the paper
+semantics applied to the compressed estimate instead of ``f_X``.
+
+Two constructions are provided:
+
+- :func:`~repro.coresets.uniform.uniform_coreset` — uniform subsampling
+  with a Hoeffding/Serfling ``eta`` (probabilistic, per query point).
+- :func:`~repro.coresets.merge_reduce.merge_reduce_coreset` — grid-paired
+  merge-reduce halving with a deterministic, data-dependent ``eta``
+  derived from the kernel's Lipschitz constant and the actual pair
+  displacements.
+
+:func:`~repro.coresets.validate.empirical_eta` measures
+``max |f_X - f_S|`` on held-out probes to sanity-check either
+certificate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Coreset construction names accepted by ``TKDCConfig.coreset``.
+CORESET_METHODS = ("uniform", "merge-reduce")
+
+
+@dataclass(frozen=True)
+class Coreset:
+    """A compressed training set with a sup-norm error certificate.
+
+    Attributes
+    ----------
+    method:
+        The construction that produced this coreset.
+    points:
+        Coreset points of shape ``(k, d)``, in the same (bandwidth-scaled)
+        space as the training set they compress.
+    weights:
+        Per-point weights of shape ``(k,)``, or ``None`` for a
+        uniform-mass coreset (every point carries ``1/k``).
+    eta:
+        Certified bound on ``sup_x |f_X(x) - f_S(x)|`` in density units.
+        ``math.inf`` means no certificate (best-effort compression only).
+    n:
+        Size of the training set the coreset compresses.
+    deterministic:
+        True when ``eta`` holds with certainty (merge-reduce); False when
+        it holds per query point with probability ``1 - delta`` (uniform
+        sampling).
+    delta:
+        Failure probability attached to a probabilistic ``eta``
+        (0 for deterministic certificates).
+    rounds:
+        Number of halving rounds (merge-reduce construction only).
+    """
+
+    method: str
+    points: np.ndarray
+    weights: np.ndarray | None
+    eta: float
+    n: int
+    deterministic: bool
+    delta: float = 0.0
+    rounds: int = 0
+
+    def __post_init__(self) -> None:
+        if self.points.ndim != 2 or self.points.shape[0] < 1:
+            raise ValueError(f"coreset points must be (k, d) with k >= 1, "
+                             f"got shape {self.points.shape}")
+        if self.weights is not None and self.weights.shape[0] != self.points.shape[0]:
+            raise ValueError("coreset weights length must match point count")
+        if self.eta < 0:
+            raise ValueError(f"eta must be non-negative, got {self.eta}")
+
+    @property
+    def k(self) -> int:
+        """Number of coreset points."""
+        return self.points.shape[0]
+
+    @property
+    def compression(self) -> float:
+        """The size ratio ``k / n``."""
+        return self.k / self.n
+
+    @property
+    def certifiable(self) -> bool:
+        """Whether the certificate is finite (a real sup-norm bound)."""
+        return math.isfinite(self.eta)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Coreset(method={self.method!r}, k={self.k}, n={self.n}, "
+            f"eta={self.eta:.3g}, deterministic={self.deterministic})"
+        )
+
+
+def build_coreset(
+    scaled_points: np.ndarray,
+    kernel,
+    method: str,
+    k: int,
+    delta: float = 0.05,
+    rng: np.random.Generator | None = None,
+) -> Coreset:
+    """Build a coreset of ``scaled_points`` by the named construction.
+
+    Parameters
+    ----------
+    scaled_points:
+        Training points in bandwidth-scaled space, shape ``(n, d)`` —
+        the same coordinates the k-d tree indexes.
+    kernel:
+        The (already fitted) kernel the densities are measured under.
+        Supplies ``max_value`` for the Hoeffding certificate and
+        ``lipschitz_constant`` for the deterministic one.
+    method:
+        One of :data:`CORESET_METHODS`.
+    k:
+        Target coreset size. Constructions may return slightly fewer
+        points (merge-reduce halves until ``<= k``) but never more.
+    delta:
+        Failure probability for probabilistic certificates.
+    rng:
+        Randomness source for sampling constructions.
+    """
+    from repro.coresets.merge_reduce import merge_reduce_coreset
+    from repro.coresets.uniform import uniform_coreset
+
+    if method not in CORESET_METHODS:
+        raise ValueError(
+            f"unknown coreset method {method!r}; choose from {CORESET_METHODS}"
+        )
+    scaled_points = np.atleast_2d(np.asarray(scaled_points, dtype=np.float64))
+    if k < 1:
+        raise ValueError(f"coreset size must be >= 1, got {k}")
+    if method == "uniform":
+        return uniform_coreset(scaled_points, kernel, k, delta=delta, rng=rng)
+    return merge_reduce_coreset(scaled_points, kernel, k)

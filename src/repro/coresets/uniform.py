@@ -1,0 +1,75 @@
+"""Uniform-subsampling coreset with a Hoeffding/Serfling certificate.
+
+The baseline construction every sketch must beat: sample ``k`` of the
+``n`` training points without replacement and weight them uniformly.
+For any *fixed* query ``x`` the compressed estimate ``f_S(x)`` is the
+mean of ``k`` draws (without replacement) from the population
+``{K_H(x - y) : y in X}``, whose values live in ``[0, K_H(0)]``.
+Serfling's sharpening of Hoeffding's inequality for sampling without
+replacement gives
+
+    P( |f_S(x) - f_X(x)| > eta ) <= 2 exp( -2 k eta^2
+        / ((1 - (k-1)/n) * K_H(0)^2) )
+
+so ``eta(delta) = K_H(0) * sqrt((1 - (k-1)/n) * ln(2/delta) / (2k))``.
+
+This certificate is *pointwise*: it holds for each query with
+probability ``1 - delta``, not uniformly over all queries (a sup-norm
+statement would need a covering/union argument and a larger ``eta``).
+The classifier treats it as the practical analogue of a sup-norm bound
+and :func:`repro.coresets.validate.empirical_eta` measures how much
+slack it actually has — typically a lot, since Hoeffding ignores the
+variance reduction of the kernel's fast tail decay.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.coresets.base import Coreset
+
+
+def hoeffding_eta(kernel_max: float, k: int, n: int, delta: float) -> float:
+    """The Serfling-corrected Hoeffding radius for ``k``-of-``n`` sampling."""
+    if not 0.0 < delta < 1.0:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    if k >= n:
+        return 0.0
+    without_replacement = 1.0 - (k - 1) / n
+    return kernel_max * math.sqrt(
+        without_replacement * math.log(2.0 / delta) / (2.0 * k)
+    )
+
+
+def uniform_coreset(
+    scaled_points: np.ndarray,
+    kernel,
+    k: int,
+    delta: float = 0.05,
+    rng: np.random.Generator | None = None,
+) -> Coreset:
+    """Sample a uniform ``k``-point coreset of ``scaled_points``.
+
+    Returns a uniform-mass (unweighted) :class:`~repro.coresets.base.Coreset`
+    whose ``eta`` is the Hoeffding/Serfling radius above. ``k >= n``
+    degenerates to the identity coreset with ``eta = 0``.
+    """
+    n = scaled_points.shape[0]
+    if k >= n:
+        return Coreset(
+            method="uniform", points=scaled_points.copy(), weights=None,
+            eta=0.0, n=n, deterministic=True,
+        )
+    rng = np.random.default_rng() if rng is None else rng
+    chosen = rng.choice(n, size=k, replace=False)
+    return Coreset(
+        method="uniform",
+        points=scaled_points[chosen].copy(),
+        weights=None,
+        eta=hoeffding_eta(kernel.max_value, k, n, delta),
+        n=n,
+        deterministic=False,
+        delta=delta,
+    )

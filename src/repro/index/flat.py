@@ -41,6 +41,13 @@ class FlatTree:
     end: np.ndarray  #: (m,) slice ends into ``points``.
     left: np.ndarray  #: (m,) left-child node ids (``NO_CHILD`` = leaf).
     right: np.ndarray  #: (m,) right-child node ids (``NO_CHILD`` = leaf).
+    #: (m,) float mass under each node; equals ``count`` for unweighted
+    #: trees. Weighted coreset trees (see :mod:`repro.coresets`) store
+    #: the per-node weight sums here so the traversal bounds the
+    #: weighted KDE ``(1/W) sum w_i K``.
+    node_weight: np.ndarray
+    #: (n,) permuted per-point weights, or ``None`` for unweighted trees.
+    point_weights: np.ndarray | None
 
     @property
     def n_nodes(self) -> int:
@@ -51,6 +58,11 @@ class FlatTree:
     def size(self) -> int:
         """Number of indexed points."""
         return self.points.shape[0]
+
+    @property
+    def total_weight(self) -> float:
+        """Total point mass ``W`` (equals ``size`` for unweighted trees)."""
+        return float(self.node_weight[0])
 
     @property
     def dim(self) -> int:
@@ -100,9 +112,17 @@ def flatten_kdtree(tree) -> FlatTree:
             left[i] = ids[id(node.left)]
             right[i] = ids[id(node.right)]
 
+    point_weights = getattr(tree, "point_weights", None)
+    if point_weights is None:
+        node_weight = count.astype(np.float64)
+    else:
+        prefix = np.concatenate(([0.0], np.cumsum(point_weights)))
+        node_weight = prefix[end] - prefix[start]
+
     return FlatTree(
         points=tree.points, lo=lo, hi=hi, count=count,
         start=start, end=end, left=left, right=right,
+        node_weight=node_weight, point_weights=point_weights,
     )
 
 
@@ -126,7 +146,7 @@ def pair_box_bounds(
     above = queries - flat.hi[node_ids]
     gaps = np.maximum(np.maximum(below, above), 0.0)
     spans = np.maximum(np.abs(below), np.abs(above))
-    weight = flat.count[node_ids] * inv_n
+    weight = flat.node_weight[node_ids] * inv_n
     upper = weight * kernel.value(np.einsum("ij,ij->i", gaps, gaps))
     lower = weight * kernel.value(np.einsum("ij,ij->i", spans, spans))
     return lower, upper

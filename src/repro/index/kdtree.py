@@ -79,6 +79,13 @@ class KDTree:
     axis_rule:
         ``"cycle"`` (the paper's default: rotate through dimensions per
         level) or ``"widest"`` (split the widest box extent).
+    weights:
+        Optional strictly positive per-point weights of shape ``(n,)``.
+        When given, the densities bounded over this tree are the
+        *weighted* KDE ``f(x) = (1/W) sum_i w_i K(x - x_i)`` with
+        ``W = sum_i w_i`` — the form coreset compression produces
+        (:mod:`repro.coresets`). ``None`` (default) is the ordinary
+        unweighted tree with identical numerics to before.
     """
 
     def __init__(
@@ -87,6 +94,7 @@ class KDTree:
         leaf_size: int = DEFAULT_LEAF_SIZE,
         split_rule: str = "trimmed_midpoint",
         axis_rule: str = "cycle",
+        weights: np.ndarray | None = None,
     ) -> None:
         points = np.atleast_2d(np.asarray(points, dtype=np.float64))
         if points.shape[0] == 0:
@@ -100,14 +108,32 @@ class KDTree:
         if axis_rule not in ("cycle", "widest"):
             raise ValueError(f"unknown axis_rule {axis_rule!r}; choose 'cycle' or 'widest'")
 
+        if weights is not None:
+            weights = np.asarray(weights, dtype=np.float64).reshape(-1)
+            if weights.shape[0] != points.shape[0]:
+                raise ValueError(
+                    f"weights length {weights.shape[0]} does not match "
+                    f"point count {points.shape[0]}"
+                )
+            if not np.all(weights > 0):
+                raise ValueError("all point weights must be strictly positive")
+
         self.points = points.copy()
         self.indices = np.arange(points.shape[0])
+        self.point_weights = None if weights is None else weights.copy()
         self.leaf_size = leaf_size
         self.split_rule = split_rule
         self.axis_rule = axis_rule
         self._split_value = SPLIT_RULES[split_rule]
         self._flat: "FlatTree | None" = None
         self.root = self._build()
+        # Prefix sums over the permuted weights: any node's mass is an
+        # O(1) slice difference, so ``Node`` itself stays weight-free.
+        self._weight_prefix = (
+            None
+            if self.point_weights is None
+            else np.concatenate(([0.0], np.cumsum(self.point_weights)))
+        )
 
     @property
     def size(self) -> int:
@@ -118,6 +144,19 @@ class KDTree:
     def dim(self) -> int:
         """Dimensionality of the indexed points."""
         return self.points.shape[1]
+
+    @property
+    def total_weight(self) -> float:
+        """Total point mass ``W`` (equals ``size`` for unweighted trees)."""
+        if self._weight_prefix is None:
+            return float(self.size)
+        return float(self._weight_prefix[-1])
+
+    def node_weight(self, node: Node) -> float:
+        """Mass under ``node`` (equals ``node.count`` when unweighted)."""
+        if self._weight_prefix is None:
+            return float(node.count)
+        return float(self._weight_prefix[node.end] - self._weight_prefix[node.start])
 
     def leaf_points(self, node: Node) -> np.ndarray:
         """The contiguous point slice owned by ``node``."""
@@ -140,9 +179,11 @@ class KDTree:
 
         The index-family hook the density-bounding traversal dispatches
         through (the ball tree provides its own); boxes use the fused
-        Equation 6 helper.
+        Equation 6 helper. Weighted trees substitute the node's mass for
+        its count (``inv_n`` is then ``1 / total_weight``).
         """
-        return box_kernel_bounds(node.lo, node.hi, node.count, query, kernel, inv_n)
+        weight = node.count if self._weight_prefix is None else self.node_weight(node)
+        return box_kernel_bounds(node.lo, node.hi, weight, query, kernel, inv_n)
 
     def flatten(self) -> "FlatTree":
         """The structure-of-arrays view consumed by the batch engine.
@@ -249,6 +290,8 @@ class KDTree:
         )
         self.points[start:end] = self.points[start:end][order]
         self.indices[start:end] = self.indices[start:end][order]
+        if self.point_weights is not None:
+            self.point_weights[start:end] = self.point_weights[start:end][order]
         return start + int(np.count_nonzero(goes_left))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -71,6 +71,21 @@ class Kernel(ABC):
         """The kernel's value at zero distance, ``K_H(0)``."""
         return self._norm_constant
 
+    @property
+    def lipschitz_constant(self) -> float:
+        """Bound on ``|d K_H / d r|`` w.r.t. the *scaled* distance ``r``.
+
+        Moving a point by ``delta`` in bandwidth-scaled space changes its
+        kernel contribution by at most ``lipschitz_constant * delta`` —
+        the extent bound the deterministic coreset certificate
+        (:mod:`repro.coresets.merge_reduce`) is built on. The base
+        implementation returns ``inf`` (no certificate); kernels with a
+        differentiable profile override it. Discontinuous kernels
+        (spherical uniform) are genuinely non-Lipschitz and keep ``inf``,
+        which degrades coreset certification to best-effort.
+        """
+        return float("inf")
+
     @abstractmethod
     def _compute_norm_constant(self) -> float:
         """Return the normalizing constant for this kernel/bandwidth."""

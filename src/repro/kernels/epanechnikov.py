@@ -49,6 +49,11 @@ class EpanechnikovKernel(Kernel):
     def support_sq_radius(self) -> float:
         return 1.0
 
+    @property
+    def lipschitz_constant(self) -> float:
+        # |d/dr c·(1 - r²)| = 2·c·r, maximized at the support edge r = 1.
+        return 2.0 * self._norm_constant
+
     def inverse_profile(self, value: float) -> float:
         if not 0.0 < value <= 1.0:
             raise ValueError(f"value must be in (0, 1], got {value}")

@@ -42,6 +42,11 @@ class GaussianKernel(Kernel):
     def support_sq_radius(self) -> float:
         return math.inf
 
+    @property
+    def lipschitz_constant(self) -> float:
+        # |d/dr c·exp(-r²/2)| = c·r·exp(-r²/2), maximized at r = 1.
+        return self._norm_constant * math.exp(-0.5)
+
     def inverse_profile(self, value: float) -> float:
         if not 0.0 < value <= 1.0:
             raise ValueError(f"value must be in (0, 1], got {value}")

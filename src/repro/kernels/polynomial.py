@@ -50,6 +50,23 @@ class PolynomialKernel(Kernel):
     def support_sq_radius(self) -> float:
         return 1.0
 
+    @property
+    def lipschitz_constant(self) -> float:
+        # |d/dr c·(1 - r²)^k| = 2·k·c·r·(1 - r²)^(k-1), maximized on
+        # [0, 1] at r = 1/sqrt(2k - 1) for k >= 1. Degree 0 (spherical
+        # uniform) is discontinuous at the support edge: genuinely
+        # non-Lipschitz, so it keeps the base class's inf.
+        k = self.degree
+        if k == 0:
+            return math.inf
+        if k == 1:  # maximum sits at the support edge instead
+            return 2.0 * self._norm_constant
+        r_star_sq = 1.0 / (2.0 * k - 1.0)
+        return (
+            2.0 * k * self._norm_constant
+            * math.sqrt(r_star_sq) * (1.0 - r_star_sq) ** (k - 1)
+        )
+
     def inverse_profile(self, value: float) -> float:
         if not 0.0 < value <= 1.0:
             raise ValueError(f"value must be in (0, 1], got {value}")

@@ -1,0 +1,141 @@
+"""Property-based guarantees for coreset compression.
+
+Three invariants:
+
+1. **Certificate validity** — the merge-reduce construction's
+   deterministic ``eta`` upper-bounds the measured sup-norm error on any
+   probe set, for any data shape and compression level.
+2. **Certification pin** — when a fitted classifier reports
+   ``certified`` (its ``eta`` was applied to the widened pruning rules,
+   i.e. ``eta < eps * t_l``), no query whose full-data density is
+   outside the widened ``±(eps * t + 2 * eta)`` band may flip HIGH/LOW
+   relative to the uncompressed classifier.
+3. **Engine parity under widening** — the batch and per-query engines
+   keep producing the same prune outcomes, the same work counters, and
+   densities equal to within a few ULPs with a weighted (coreset) tree
+   and a nonzero ``eta``, exactly as they do without compression (the
+   two engines share the traversal but not the instruction stream —
+   vectorized vs scalar libm — so bit-equality is not the contract; see
+   ``test_batch_engine_properties``).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import TKDCClassifier, TKDCConfig
+from repro.core.batch_bounds import bound_densities
+from repro.core.bounds import bound_density
+from repro.core.stats import TraversalStats
+from repro.coresets import empirical_eta, exact_density, merge_reduce_coreset
+from repro.index.kdtree import KDTree
+from repro.kernels.factory import kernel_for_data
+
+
+@st.composite
+def point_clouds(draw):
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    dim = draw(st.integers(1, 3))
+    n = draw(st.integers(120, 500))
+    n_clusters = draw(st.integers(1, 3))
+    centers = rng.uniform(-5, 5, size=(n_clusters, dim))
+    spread = draw(st.sampled_from([0.05, 0.5, 1.0]))
+    data = centers[rng.integers(0, n_clusters, size=n)] + spread * rng.normal(
+        size=(n, dim)
+    )
+    fraction = draw(st.sampled_from([0.05, 0.2, 0.5]))
+    kernel_name = draw(st.sampled_from(["gaussian", "epanechnikov"]))
+    return data, fraction, kernel_name, seed
+
+
+@given(cloud=point_clouds())
+@settings(max_examples=25, deadline=None)
+def test_merge_reduce_eta_bounds_measured_error(cloud):
+    data, fraction, kernel_name, seed = cloud
+    kernel = kernel_for_data(data, name=kernel_name)
+    scaled = kernel.scale(data)
+    k = max(1, int(fraction * data.shape[0]))
+    coreset = merge_reduce_coreset(scaled, kernel, k)
+    assert coreset.k <= max(k, 1)
+    assert float(coreset.weights.sum()) == np.float64(data.shape[0])
+    measured = empirical_eta(
+        scaled, coreset, kernel, n_probes=128,
+        rng=np.random.default_rng(seed + 1),
+    )
+    assert measured <= coreset.eta + 1e-12
+
+
+@given(seed=st.integers(0, 2**31 - 1), fraction=st.sampled_from([0.25, 0.5]))
+@settings(max_examples=10, deadline=None)
+def test_certified_labels_never_flip_outside_widened_band(seed, fraction):
+    """The certification pin (the tentpole's correctness contract).
+
+    Tight near-duplicate clusters make the merge-reduce certificate
+    sharp enough to certify; the pin then demands that every query whose
+    exact full-data density clears the widened band gets the *same*
+    label from the compressed and uncompressed classifiers.
+    """
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(-4, 4, size=(4, 2))
+    data = centers[rng.integers(0, 4, size=600)] + 1e-5 * rng.normal(size=(600, 2))
+    config = TKDCConfig(p=0.2, epsilon=0.5, seed=0, use_grid=False)
+
+    base = TKDCClassifier(config).fit(data)
+    compressed = TKDCClassifier(
+        config.with_updates(coreset="merge-reduce", coreset_fraction=fraction)
+    ).fit(data)
+    if not compressed.certified:
+        return  # certificate too coarse on this draw; nothing pinned
+
+    queries = np.concatenate([
+        centers + 1e-4 * rng.normal(size=centers.shape),  # deep HIGH
+        rng.uniform(8, 12, size=(8, 2)),                  # deep LOW
+        rng.uniform(-6, 6, size=(30, 2)),                 # wherever
+    ])
+    kernel = base.kernel
+    f_exact = exact_density(kernel.scale(data), kernel, kernel.scale(queries))
+    t = base.threshold.value
+    band = config.epsilon * t + 2.0 * compressed.eta
+    outside = np.abs(f_exact - t) > band
+    base_labels = base.predict(queries)
+    compressed_labels = compressed.predict(queries)
+    assert np.array_equal(base_labels[outside], compressed_labels[outside])
+
+
+@given(cloud=point_clouds(), eta_frac=st.sampled_from([0.0, 1e-6, 1e-3]))
+@settings(max_examples=15, deadline=None)
+def test_engine_parity_with_weighted_tree_and_eta(cloud, eta_frac):
+    data, fraction, kernel_name, seed = cloud
+    kernel = kernel_for_data(data, name=kernel_name)
+    scaled = kernel.scale(data)
+    k = max(2, int(fraction * data.shape[0]))
+    coreset = merge_reduce_coreset(scaled, kernel, k)
+    tree = KDTree(coreset.points, leaf_size=8, weights=coreset.weights)
+    rng = np.random.default_rng(seed + 2)
+    queries = rng.uniform(scaled.min(axis=0) - 1, scaled.max(axis=0) + 1,
+                          size=(20, scaled.shape[1]))
+    threshold = 1e-2 * kernel.max_value
+    eta = eta_frac * kernel.max_value
+
+    ref_stats = TraversalStats()
+    ref = [
+        bound_density(
+            tree, kernel, q, threshold, threshold, 0.05, ref_stats, eta=eta
+        )
+        for q in queries
+    ]
+    batch_stats = TraversalStats()
+    batch = bound_densities(
+        tree.flatten(), kernel, queries, threshold, threshold, 0.05,
+        batch_stats, eta=eta,
+    )
+    assert batch.outcomes() == [single.outcome for single in ref]
+    # Same traversal, different instruction stream (BLAS dot vs einsum,
+    # math.exp vs np.exp): densities agree to a few ULPs, not bitwise.
+    scale = kernel.max_value
+    for i, single in enumerate(ref):
+        assert batch.lower[i] == pytest.approx(single.lower, rel=1e-12, abs=1e-12 * scale)
+        assert batch.upper[i] == pytest.approx(single.upper, rel=1e-12, abs=1e-12 * scale)
+    assert batch_stats.snapshot() == ref_stats.snapshot()

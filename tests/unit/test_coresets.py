@@ -1,0 +1,230 @@
+"""Unit tests for the coreset constructions and their certificates."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import bound_density
+from repro.core.classifier import TKDCClassifier
+from repro.core.config import TKDCConfig
+from repro.core.stats import TraversalStats
+from repro.coresets import (
+    CORESET_METHODS,
+    Coreset,
+    build_coreset,
+    empirical_eta,
+    exact_density,
+    hoeffding_eta,
+    merge_reduce_coreset,
+    uniform_coreset,
+)
+from repro.index.kdtree import KDTree
+from repro.kernels.factory import kernel_for_data
+
+
+@pytest.fixture
+def cloud(rng):
+    return rng.normal(size=(800, 2))
+
+
+@pytest.fixture
+def cloud_kernel(cloud):
+    return kernel_for_data(cloud)
+
+
+class TestHoeffdingEta:
+    def test_formula(self):
+        eta = hoeffding_eta(kernel_max=0.5, k=100, n=1000, delta=0.05)
+        expected = 0.5 * math.sqrt((1 - 99 / 1000) * math.log(40) / 200)
+        assert eta == pytest.approx(expected)
+
+    def test_shrinks_with_k(self):
+        etas = [hoeffding_eta(1.0, k, 10_000, 0.05) for k in (10, 100, 1000)]
+        assert etas[0] > etas[1] > etas[2]
+
+    def test_full_sample_is_exact(self):
+        assert hoeffding_eta(1.0, 1000, 1000, 0.05) == 0.0
+
+    def test_delta_validated(self):
+        with pytest.raises(ValueError, match="delta"):
+            hoeffding_eta(1.0, 10, 100, 0.0)
+
+
+class TestUniformCoreset:
+    def test_basic_shape(self, cloud, cloud_kernel, rng):
+        cs = uniform_coreset(cloud_kernel.scale(cloud), cloud_kernel, 80, rng=rng)
+        assert cs.method == "uniform"
+        assert cs.k == 80
+        assert cs.weights is None
+        assert not cs.deterministic
+        assert cs.delta == 0.05
+        assert cs.eta == hoeffding_eta(cloud_kernel.max_value, 80, 800, 0.05)
+
+    def test_identity_when_k_exceeds_n(self, cloud, cloud_kernel, rng):
+        cs = uniform_coreset(cloud_kernel.scale(cloud), cloud_kernel, 800, rng=rng)
+        assert cs.k == 800
+        assert cs.eta == 0.0
+        assert cs.deterministic
+
+    def test_points_drawn_from_data(self, cloud, cloud_kernel, rng):
+        scaled = cloud_kernel.scale(cloud)
+        cs = uniform_coreset(scaled, cloud_kernel, 50, rng=rng)
+        # every coreset point must be an actual (scaled) training point
+        dists = np.abs(cs.points[:, None, :] - scaled[None, :, :]).sum(axis=2)
+        assert np.all(dists.min(axis=1) == 0.0)
+
+
+class TestMergeReduceCoreset:
+    def test_halves_to_target(self, cloud, cloud_kernel):
+        cs = merge_reduce_coreset(cloud_kernel.scale(cloud), cloud_kernel, 100)
+        assert cs.method == "merge-reduce"
+        assert cs.k <= 100
+        assert cs.deterministic
+        assert cs.rounds >= 1
+
+    def test_weights_conserve_mass(self, cloud, cloud_kernel):
+        cs = merge_reduce_coreset(cloud_kernel.scale(cloud), cloud_kernel, 100)
+        assert cs.weights is not None
+        assert np.all(cs.weights >= 1.0)
+        assert float(cs.weights.sum()) == pytest.approx(800.0)
+
+    def test_certificate_dominates_measured_error(self, cloud, cloud_kernel, rng):
+        """The deterministic eta must upper-bound the actual sup error."""
+        scaled = cloud_kernel.scale(cloud)
+        cs = merge_reduce_coreset(scaled, cloud_kernel, 200)
+        measured = empirical_eta(scaled, cs, cloud_kernel, rng=rng)
+        assert 0.0 < measured <= cs.eta
+
+    def test_duplicate_points_are_free(self, cloud_kernel):
+        points = np.tile(np.array([[1.0, 2.0]]), (64, 1))
+        cs = merge_reduce_coreset(points, cloud_kernel, 1)
+        assert cs.k == 1
+        assert cs.eta == 0.0
+        assert float(cs.weights.sum()) == pytest.approx(64.0)
+
+    def test_non_lipschitz_kernel_uncertified(self, rng):
+        data = rng.normal(size=(256, 2))
+        kernel = kernel_for_data(data, name="uniform")
+        cs = merge_reduce_coreset(kernel.scale(data), kernel, 32)
+        assert math.isinf(cs.eta)
+        assert not cs.certifiable
+
+
+class TestBuildCoreset:
+    def test_dispatch(self, cloud, cloud_kernel, rng):
+        for method in CORESET_METHODS:
+            cs = build_coreset(
+                cloud_kernel.scale(cloud), cloud_kernel, method, 64, rng=rng
+            )
+            assert isinstance(cs, Coreset)
+            assert cs.method == method
+            assert cs.compression == pytest.approx(cs.k / 800)
+
+    def test_unknown_method_rejected(self, cloud, cloud_kernel):
+        with pytest.raises(ValueError, match="unknown coreset method"):
+            build_coreset(cloud, cloud_kernel, "grid", 64)
+
+    def test_bad_k_rejected(self, cloud, cloud_kernel):
+        with pytest.raises(ValueError, match="coreset size"):
+            build_coreset(cloud, cloud_kernel, "uniform", 0)
+
+
+class TestWeightedTree:
+    def test_weighted_density_matches_brute_force(self, rng):
+        """An exhaustive traversal of a weighted tree is the weighted KDE."""
+        data = rng.normal(size=(300, 2))
+        kernel = kernel_for_data(data)
+        scaled = kernel.scale(data)
+        cs = merge_reduce_coreset(scaled, kernel, 60)
+        tree = KDTree(cs.points, leaf_size=8, weights=cs.weights)
+        queries = scaled[:10]
+        expected = exact_density(cs.points, kernel, queries, weights=cs.weights)
+        for query, want in zip(queries, expected):
+            result = bound_density(
+                tree, kernel, query, 0.0, 0.0, 1e-9, TraversalStats(),
+                use_threshold_rule=False, use_tolerance_rule=False,
+            )
+            assert result.midpoint == pytest.approx(want, rel=1e-9)
+
+    def test_node_weight_prefix_sums(self, rng):
+        points = rng.normal(size=(100, 3))
+        weights = rng.uniform(0.5, 4.0, size=100)
+        tree = KDTree(points, leaf_size=8, weights=weights)
+        assert tree.total_weight == pytest.approx(float(weights.sum()))
+        flat = tree.flatten()
+        assert flat.total_weight == pytest.approx(float(weights.sum()))
+        assert flat.node_weight[0] == pytest.approx(float(weights.sum()))
+
+    def test_weight_validation(self, rng):
+        points = rng.normal(size=(10, 2))
+        with pytest.raises(ValueError):
+            KDTree(points, weights=np.ones(9))
+        with pytest.raises(ValueError):
+            KDTree(points, weights=np.zeros(10))
+
+
+class TestClassifierIntegration:
+    def test_fit_and_classify_with_each_method(self, rng):
+        data = rng.normal(size=(3000, 2))
+        queries = np.array([[0.0, 0.0], [8.0, 8.0]])
+        for method in CORESET_METHODS:
+            clf = TKDCClassifier(
+                TKDCConfig(p=0.05, coreset=method, coreset_fraction=0.1, seed=0)
+            ).fit(data)
+            assert clf.coreset_ is not None
+            assert clf.coreset_.k <= 300
+            assert clf.tree.size == clf.coreset_.k
+            labels = clf.classify(queries)
+            assert labels[0].name == "HIGH"
+            assert labels[1].name == "LOW"
+
+    def test_coreset_size_overrides_fraction(self, rng):
+        data = rng.normal(size=(1000, 2))
+        clf = TKDCClassifier(
+            TKDCConfig(coreset="uniform", coreset_fraction=0.5,
+                       coreset_size=70, seed=0)
+        ).fit(data)
+        assert clf.coreset_.k == 70
+
+    def test_eta_surface(self, rng):
+        data = rng.normal(size=(1000, 2))
+        clf = TKDCClassifier(
+            TKDCConfig(p=0.05, coreset="uniform", coreset_fraction=0.1, seed=0)
+        ).fit(data)
+        assert clf.eta > 0.0
+        assert clf.eta_applied in (0.0, clf.eta)
+        uncompressed = TKDCClassifier(TKDCConfig(p=0.05, seed=0)).fit(data)
+        assert uncompressed.eta == 0.0
+        assert uncompressed.certified
+
+    def test_classify_batch_falls_back_under_compression(self, rng):
+        data = rng.normal(size=(2000, 2))
+        clf = TKDCClassifier(
+            TKDCConfig(p=0.05, coreset="merge-reduce", coreset_fraction=0.1,
+                       seed=0)
+        ).fit(data)
+        queries = rng.normal(size=(50, 2)) * 2.0
+        assert np.array_equal(clf.classify_batch(queries), clf.classify(queries))
+
+    def test_estimate_density_tracks_full_kde(self, rng):
+        data = rng.normal(size=(3000, 2))
+        clf = TKDCClassifier(
+            TKDCConfig(p=0.05, coreset="uniform", coreset_fraction=0.2, seed=0)
+        ).fit(data)
+        queries = data[:20]
+        kernel = clf.kernel
+        full = exact_density(kernel.scale(data), kernel, kernel.scale(queries))
+        approx = clf.estimate_density(queries)
+        # best-effort compression: close to the full KDE, not exact
+        assert np.all(np.abs(approx - full) < 5 * clf.coreset_.eta)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="coreset method"):
+            TKDCConfig(coreset="nope")
+        with pytest.raises(ValueError, match="coreset_fraction"):
+            TKDCConfig(coreset_fraction=0.0)
+        with pytest.raises(ValueError, match="coreset_size"):
+            TKDCConfig(coreset_size=0)
+        with pytest.raises(ValueError, match="coreset_delta"):
+            TKDCConfig(coreset_delta=1.0)

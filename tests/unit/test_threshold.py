@@ -76,6 +76,45 @@ class TestBootstrapBounds:
         assert result.upper >= exact * 0.95
 
 
+class TestBootstrapEdgeCases:
+    """Quantiles near 0/1, tiny datasets, and degenerate (duplicate) data."""
+
+    def test_quantile_near_zero(self, medium_gauss):
+        config = TKDCConfig(p=0.001, bootstrap_s0=2000, seed=0)
+        result = _run_bootstrap(medium_gauss, config)
+        exact = _exact_threshold(medium_gauss, 0.001)
+        assert result.lower <= exact * 1.05
+        assert result.upper >= exact * 0.95
+
+    def test_quantile_near_one(self, medium_gauss):
+        config = TKDCConfig(p=0.999, bootstrap_s0=2000, seed=0)
+        result = _run_bootstrap(medium_gauss, config)
+        exact = _exact_threshold(medium_gauss, 0.999)
+        assert result.lower <= exact * 1.05
+        assert result.upper >= exact * 0.95
+
+    def test_tiny_dataset(self, rng):
+        # n < 10: r0 and s0 both clamp to n, the order-statistic CI
+        # clamps to the sample, and the single full-data round must
+        # still bracket the exact corrected threshold.
+        data = rng.normal(size=(6, 2))
+        config = TKDCConfig(p=0.3, seed=0)
+        result = _run_bootstrap(data, config)
+        exact = _exact_threshold(data, 0.3)
+        assert result.lower <= exact <= result.upper
+
+    def test_all_duplicate_points(self):
+        # Degenerate data: every density is identical, so any valid
+        # bracket must contain that single value (the bandwidth rule's
+        # zero-variance floor keeps the kernel finite).
+        data = np.full((40, 2), 3.25)
+        config = TKDCConfig(p=0.1, seed=0)
+        result = _run_bootstrap(data, config)
+        exact = _exact_threshold(data, 0.1)
+        assert np.isfinite(exact)
+        assert result.lower <= exact <= result.upper
+
+
 class TestFiniteSupportKernels:
     def test_zero_quantile_density_converges(self, rng):
         """Regression: with a finite-support kernel the p-quantile can be
