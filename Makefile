@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-batch bench-coreset bench-coreset-smoke experiments demo clean
+.PHONY: install test test-fast test-faults bench bench-batch bench-coreset bench-coreset-smoke bench-robustness experiments demo clean
 
 install:
 	pip install -e ".[test]"
@@ -12,6 +12,11 @@ test:
 
 test-fast:
 	$(PYTHON) -m pytest tests/unit -q
+
+# Deterministic fault-injection suite: injected corruption, killed and
+# stalled pool workers, budget degradation, input hardening.
+test-faults:
+	$(PYTHON) -m pytest tests/robustness -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
@@ -26,6 +31,9 @@ bench-coreset:
 # does not overwrite BENCH_coreset.json).
 bench-coreset-smoke:
 	$(PYTHON) benchmarks/bench_coreset.py --smoke
+
+bench-robustness:
+	$(PYTHON) benchmarks/bench_robustness.py
 
 experiments:
 	$(PYTHON) -m repro run all --save

@@ -38,6 +38,7 @@ from repro.core.classifier import (
     TKDCClassifier,
 )
 from repro.core.config import TKDCConfig
+from repro.io.atomic import atomic_write_text
 from repro.datasets.registry import load
 
 REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_batch_traversal.json"
@@ -229,7 +230,7 @@ def write_report(rows: list[dict]) -> Path:
         },
         "rows": rows,
     }
-    REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    atomic_write_text(REPORT_PATH, json.dumps(report, indent=2) + "\n")
     return REPORT_PATH
 
 

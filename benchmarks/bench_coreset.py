@@ -37,6 +37,7 @@ from repro.bench.harness import Timer, human_rate, throughput
 from repro.core.classifier import TKDCClassifier
 from repro.core.config import TKDCConfig
 from repro.coresets.validate import empirical_eta, exact_density
+from repro.io.atomic import atomic_write_text
 from repro.datasets.registry import load
 
 REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_coreset.json"
@@ -177,8 +178,8 @@ def write_report(rows: list[dict]) -> Path:
         },
         "rows": rows,
     }
-    REPORT_PATH.write_text(
-        json.dumps(report, indent=2, default=_jsonable) + "\n"
+    atomic_write_text(
+        REPORT_PATH, json.dumps(report, indent=2, default=_jsonable) + "\n"
     )
     return REPORT_PATH
 

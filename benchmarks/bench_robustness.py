@@ -1,0 +1,268 @@
+"""Robustness-layer overhead: supervised pool, guards, anytime budgets.
+
+The robustness layer must be close to free when nothing goes wrong:
+
+- **Supervised dispatch** (``repro.robustness.supervisor``) replaces the
+  bare ``Pool.map`` of the parallel classify path with per-chunk
+  futures, deadlines, and retry bookkeeping. The acceptance bar is <= 5%
+  throughput overhead versus an unsupervised pool on the gauss d=2
+  n=50k workload.
+- **Invariant guards** (``guard_policy="repair"``, the default) add
+  vectorized finiteness/ordering checks per node sweep; measured
+  against ``guard_policy="off"`` on the serial batch engine.
+- **Anytime budgets** trade accuracy for latency; the sweep records
+  throughput and the degraded fraction at each cap so the budget knob's
+  cost curve is visible.
+
+Writes ``BENCH_robustness.json`` at the repo root. Run standalone
+(``make bench-robustness``) or under pytest via ``make bench``.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import platform
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.harness import Timer, human_rate, throughput
+from repro.core.classifier import (
+    _CHUNKS_PER_WORKER,
+    _WORKER_STATE,
+    TKDCClassifier,
+)
+from repro.core.config import TKDCConfig
+from repro.core.stats import TraversalStats
+from repro.datasets.registry import load
+from repro.io.atomic import atomic_write_text
+
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_robustness.json"
+
+#: The acceptance workload: gauss d=2 n=50k, a pool-worthy query block.
+DATASET = "gauss"
+N_TRAIN = 50_000
+POOL_QUERIES = 16_384
+SERIAL_QUERIES = 2_048
+POOL_JOBS = 2
+#: Timing repeats per candidate; the median absorbs scheduler noise.
+REPEATS = 3
+
+#: Budget sweep: node-expansion caps (None = unbounded baseline).
+BUDGETS = (None, 64, 8)
+
+
+def _raw_pool_chunk(chunk: np.ndarray) -> tuple[np.ndarray, TraversalStats]:
+    """Old-style unsupervised worker: the pre-supervision baseline."""
+    stats = TraversalStats()
+    highs = _WORKER_STATE["classifier"]._classify_scaled_block(
+        chunk, _WORKER_STATE["threshold"], stats, engine="batch"
+    )
+    return highs, stats
+
+
+def _fit(seed: int = 0) -> tuple[TKDCClassifier, np.ndarray]:
+    data = load(DATASET, n=N_TRAIN, seed=seed)
+    config = TKDCConfig(
+        p=0.01, seed=seed, refine_threshold=False,
+        bootstrap_s0=min(2000, N_TRAIN), worker_backoff=0.0,
+    )
+    clf = TKDCClassifier(config).fit(data)
+    clf.tree.flatten()
+    return clf, data
+
+
+def _query_block(data: np.ndarray, n_queries: int, rng: np.random.Generator) -> np.ndarray:
+    inliers = data[rng.choice(data.shape[0], size=n_queries // 2, replace=False)]
+    box = rng.uniform(
+        data.min(axis=0), data.max(axis=0),
+        size=(n_queries - n_queries // 2, data.shape[1]),
+    )
+    return rng.permutation(np.concatenate([inliers, box]))
+
+
+def _classify_raw_pool(
+    clf: TKDCClassifier, scaled: np.ndarray, threshold: float, n_jobs: int
+) -> np.ndarray:
+    """The pre-supervision parallel path: bare fork + ``Pool.map``."""
+    context = multiprocessing.get_context("fork")
+    n_chunks = min(
+        n_jobs * _CHUNKS_PER_WORKER,
+        max(n_jobs, scaled.shape[0] // clf.config.batch_block_size),
+    )
+    chunks = np.array_split(scaled, n_chunks)
+    _WORKER_STATE["classifier"] = clf
+    _WORKER_STATE["threshold"] = threshold
+    try:
+        with context.Pool(n_jobs) as pool:
+            results = pool.map(_raw_pool_chunk, chunks)
+    finally:
+        _WORKER_STATE.clear()
+    return np.concatenate([highs for highs, __ in results])
+
+
+def _median_time(fn) -> tuple[float, object]:
+    """Median wall time of REPEATS runs; returns (seconds, last result)."""
+    times = []
+    result = None
+    for __ in range(REPEATS):
+        with Timer() as timer:
+            result = fn()
+        times.append(timer.elapsed)
+    return float(np.median(times)), result
+
+
+def bench_supervised_pool(seed: int = 0) -> list[dict]:
+    """Supervised vs unsupervised pool on the same fitted classifier."""
+    clf, data = _fit(seed)
+    queries = _query_block(data, POOL_QUERIES, np.random.default_rng(seed + 1))
+    scaled = clf.kernel.scale(queries)
+    threshold = clf.threshold.value
+
+    _classify_raw_pool(clf, scaled[:64], threshold, POOL_JOBS)  # warm up
+    raw_seconds, raw_highs = _median_time(
+        lambda: _classify_raw_pool(clf, scaled, threshold, POOL_JOBS)
+    )
+    supervised_seconds, supervised_highs = _median_time(
+        lambda: clf._classify_parallel(scaled, threshold, POOL_JOBS)
+    )
+    rows = [
+        {
+            "section": "supervised_pool", "variant": "raw_pool_map",
+            "dataset": DATASET, "n": N_TRAIN, "n_queries": POOL_QUERIES,
+            "n_jobs": POOL_JOBS, "seconds": raw_seconds,
+            "queries_per_s": throughput(POOL_QUERIES, raw_seconds),
+        },
+        {
+            "section": "supervised_pool", "variant": "supervised",
+            "dataset": DATASET, "n": N_TRAIN, "n_queries": POOL_QUERIES,
+            "n_jobs": POOL_JOBS, "seconds": supervised_seconds,
+            "queries_per_s": throughput(POOL_QUERIES, supervised_seconds),
+            "labels_match_raw": bool(np.array_equal(raw_highs, supervised_highs)),
+            "overhead_vs_raw": supervised_seconds / raw_seconds - 1.0,
+        },
+    ]
+    return rows
+
+
+def bench_guard_overhead(seed: int = 0) -> list[dict]:
+    """guard_policy="off" vs the default "repair" on the serial engine."""
+    clf, data = _fit(seed)
+    queries = _query_block(data, SERIAL_QUERIES, np.random.default_rng(seed + 2))
+    rows = []
+    baseline_seconds = None
+    for policy in ("off", "repair"):
+        clf.config = clf.config.with_updates(guard_policy=policy)
+        clf.predict(queries[:8])  # warm up
+        seconds, __ = _median_time(lambda: clf.predict(queries, engine="batch"))
+        row = {
+            "section": "guards", "guard_policy": policy,
+            "dataset": DATASET, "n": N_TRAIN, "n_queries": SERIAL_QUERIES,
+            "seconds": seconds,
+            "queries_per_s": throughput(SERIAL_QUERIES, seconds),
+        }
+        if baseline_seconds is None:
+            baseline_seconds = seconds
+        else:
+            row["overhead_vs_off"] = seconds / baseline_seconds - 1.0
+        rows.append(row)
+    clf.config = clf.config.with_updates(guard_policy="repair")
+    return rows
+
+
+def bench_budget(seed: int = 0) -> list[dict]:
+    """Anytime-budget sweep: throughput and degraded fraction per cap."""
+    clf, data = _fit(seed)
+    queries = _query_block(data, SERIAL_QUERIES, np.random.default_rng(seed + 3))
+    rows = []
+    for budget in BUDGETS:
+        clf.config = clf.config.with_updates(max_node_expansions=budget)
+        clf.classify_detailed(queries[:8])  # warm up
+        seconds, result = _median_time(lambda: clf.classify_detailed(queries))
+        rows.append({
+            "section": "budget",
+            "max_node_expansions": budget,
+            "dataset": DATASET, "n": N_TRAIN, "n_queries": SERIAL_QUERIES,
+            "seconds": seconds,
+            "queries_per_s": throughput(SERIAL_QUERIES, seconds),
+            "degraded_fraction": result.n_degraded / SERIAL_QUERIES,
+            "uncertain_fraction": int(np.count_nonzero(result.uncertain))
+            / SERIAL_QUERIES,
+        })
+    clf.config = clf.config.with_updates(max_node_expansions=None)
+    return rows
+
+
+def run_benchmark(seed: int = 0) -> list[dict]:
+    rows = []
+    print(f"\n[supervised pool: {DATASET} n={N_TRAIN}, {POOL_QUERIES} queries, "
+          f"n_jobs={POOL_JOBS}]")
+    for row in bench_supervised_pool(seed):
+        rows.append(row)
+        extra = ""
+        if "overhead_vs_raw" in row:
+            extra = (f" (overhead {row['overhead_vs_raw']:+.1%}, "
+                     f"labels_match={row['labels_match_raw']})")
+        print(f"  {row['variant']:>14}: {human_rate(row['queries_per_s'])}{extra}")
+
+    print(f"\n[guards: {SERIAL_QUERIES} queries, serial batch engine]")
+    for row in bench_guard_overhead(seed):
+        rows.append(row)
+        extra = (f" (overhead {row['overhead_vs_off']:+.1%})"
+                 if "overhead_vs_off" in row else "")
+        print(f"  guard_policy={row['guard_policy']:>6}: "
+              f"{human_rate(row['queries_per_s'])}{extra}")
+
+    print(f"\n[budget sweep: {SERIAL_QUERIES} queries]")
+    for row in bench_budget(seed):
+        rows.append(row)
+        print(f"  max_expansions={str(row['max_node_expansions']):>4}: "
+              f"{human_rate(row['queries_per_s'])}, "
+              f"{row['degraded_fraction']:.1%} degraded")
+    return rows
+
+
+def write_report(rows: list[dict]) -> Path:
+    report = {
+        "benchmark": "robustness",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "settings": {
+            "pool_queries": POOL_QUERIES,
+            "pool_jobs": POOL_JOBS,
+            "repeats": REPEATS,
+            "cpu_count": os.cpu_count(),
+        },
+        "rows": rows,
+    }
+    atomic_write_text(REPORT_PATH, json.dumps(report, indent=2) + "\n")
+    return REPORT_PATH
+
+
+def test_robustness_overhead(benchmark):
+    rows = run_benchmark()
+    path = write_report(rows)
+    print(f"\n[saved {len(rows)} rows to {path}]")
+
+    supervised = next(r for r in rows if r.get("variant") == "supervised")
+    assert supervised["labels_match_raw"]
+    # Acceptance bar: supervision adds at most 5% over the bare pool.
+    assert supervised["overhead_vs_raw"] <= 0.05
+
+    budget_rows = [r for r in rows if r["section"] == "budget"]
+    unbounded = next(r for r in budget_rows if r["max_node_expansions"] is None)
+    tightest = next(r for r in budget_rows if r["max_node_expansions"] == 8)
+    assert unbounded["degraded_fraction"] == 0.0
+    assert tightest["degraded_fraction"] > 0.0
+
+    clf, data = _fit()
+    queries = _query_block(data, 512, np.random.default_rng(7))
+    benchmark(lambda: clf.predict(queries, engine="batch"))
+
+
+if __name__ == "__main__":
+    rows = run_benchmark()
+    path = write_report(rows)
+    print(f"\nwrote {path}")

@@ -23,16 +23,26 @@ The public surface:
 - :mod:`repro.bench` — the harness that regenerates every paper table
   and figure (see ``benchmarks/`` and ``python -m repro``);
 - :mod:`repro.coresets` — certified training-set compression
-  (``TKDCConfig(coreset=...)``).
+  (``TKDCConfig(coreset=...)``);
+- :mod:`repro.robustness` — fault injection, invariant guards, and
+  supervised parallel dispatch (``TKDCConfig(guard_policy=...,
+  fault_plan=...)``, ``classify_detailed`` degraded-result reporting).
 """
 
 from repro.core.bands import BandClassifier
 from repro.core.classifier import NotFittedError, TKDCClassifier
 from repro.core.incremental import IncrementalTKDC
 from repro.core.config import TKDCConfig
-from repro.core.result import DensityBounds, Label, ThresholdEstimate
+from repro.core.result import (
+    ClassificationResult,
+    DensityBounds,
+    Label,
+    ThresholdEstimate,
+)
 from repro.core.stats import TraversalStats
+from repro.core.threshold import BootstrapExhausted
 from repro.coresets import Coreset, build_coreset
+from repro.robustness import FaultPlan, GuardWarning, InvariantViolation
 
 __version__ = "1.0.0"
 
@@ -42,10 +52,15 @@ __all__ = [
     "BandClassifier",
     "IncrementalTKDC",
     "Label",
+    "ClassificationResult",
     "DensityBounds",
     "ThresholdEstimate",
     "TraversalStats",
     "NotFittedError",
+    "BootstrapExhausted",
+    "FaultPlan",
+    "GuardWarning",
+    "InvariantViolation",
     "Coreset",
     "build_coreset",
     "__version__",

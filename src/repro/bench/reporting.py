@@ -70,13 +70,20 @@ def save_results(
     Returns the written path. Rows must be JSON-serializable after float
     coercion (numpy scalars are converted).
     """
+    # Imported here: repro.io's package init imports this module back
+    # (load_results needs DEFAULT_RESULTS_DIR), so a top-level import
+    # would be circular.
+    from repro.io.atomic import atomic_write_text
+
     directory = Path(directory) if directory is not None else DEFAULT_RESULTS_DIR
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"{name}.json"
     serializable = [
         {key: _to_builtin(value) for key, value in row.items()} for row in rows
     ]
-    path.write_text(json.dumps(serializable, indent=2))
+    # Temp-then-rename: an interrupted run never truncates the previous
+    # good results file.
+    atomic_write_text(path, json.dumps(serializable, indent=2))
     return path
 
 

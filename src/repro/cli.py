@@ -63,6 +63,14 @@ def _add_classify_parser(subparsers: argparse._SubParsersAction) -> None:
     classify.add_argument("--header", action="store_true", help="CSV has a header row")
     classify.add_argument("--densities", action="store_true",
                           help="also compute eps-precise density estimates")
+    classify.add_argument("--max-expansions", type=int, default=None,
+                          help="anytime budget: per-query cap on traversal node "
+                               "expansions; capped queries return best-effort "
+                               "labels flagged as degraded")
+    classify.add_argument("--on-invalid", choices=["raise", "flag"], default=None,
+                          help="non-finite query rows: reject the whole batch "
+                               "('raise', the model default) or label them "
+                               "UNCERTAIN ('flag')")
 
 
 def _add_diagnose_parser(subparsers: argparse._SubParsersAction) -> None:
@@ -150,23 +158,47 @@ def _classify(args: argparse.Namespace) -> int:
     from repro.io.models import load_model
 
     clf = load_model(args.model)
+    overrides: dict[str, object] = {}
+    if args.max_expansions is not None:
+        overrides["max_node_expansions"] = args.max_expansions
+    if args.on_invalid is not None:
+        overrides["query_policy"] = args.on_invalid
+    if overrides:
+        clf.config = clf.config.with_updates(**overrides)
     queries = import_csv(args.queries, has_header=args.header)
-    labels = clf.predict(queries)
-    lines = ["label,density"] if args.densities else ["label"]
+    result = clf.classify_detailed(queries)
+    labels = np.array([int(label) for label in result.resolved_labels()])
+    # The degraded column appears only when something actually degraded
+    # (budget stop, guard fallback, or flagged-invalid input row).
+    columns = ["label"]
     if args.densities:
+        columns.append("density")
         densities = clf.estimate_density(queries)
-        lines += [f"{label},{density:.8g}" for label, density in zip(labels, densities)]
-    else:
-        lines += [str(label) for label in labels]
+    if result.any_degraded:
+        columns.append("degraded")
+    lines = [",".join(columns)] if len(columns) > 1 else ["label"]
+    for i, label in enumerate(labels):
+        row = [str(label)]
+        if args.densities:
+            row.append(f"{densities[i]:.8g}")
+        if result.any_degraded:
+            row.append(str(int(result.degraded[i])))
+        lines.append(",".join(row))
     output = "\n".join(lines) + "\n"
+    summary = f"({int(np.sum(labels == 0))} LOW"
+    if result.any_degraded:
+        summary += (f", {result.n_degraded} degraded, "
+                    f"{int(np.count_nonzero(result.uncertain))} UNCERTAIN")
+    summary += ")"
     if args.output:
         from pathlib import Path
 
         Path(args.output).write_text(output)
-        print(f"wrote {queries.shape[0]} labels to {args.output} "
-              f"({int(np.sum(labels == 0))} LOW)")
+        print(f"wrote {queries.shape[0]} labels to {args.output} {summary}")
     else:
         print(output, end="")
+        if result.any_degraded:
+            print(f"# {summary}", file=sys.stderr)
     return 0
 
 

@@ -24,10 +24,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.bounds import BUDGET_STOPS_KEY, EXACT_FALLBACKS_KEY
 from repro.core.pruning import PruneOutcome
 from repro.core.stats import TraversalStats
 from repro.index.flat import FlatTree, pair_box_bounds
 from repro.kernels.base import Kernel
+from repro.robustness.faults import FaultInjector
+from repro.robustness.guards import (
+    escalate,
+    guard_interval_arrays,
+    guard_values_in_intervals,
+)
 
 #: Default number of queries traversed per block. Bounds peak frontier
 #: memory (a block's frontier arrays are ``block_size x max_frontier``)
@@ -43,12 +50,15 @@ OUTCOME_NONE = 0
 OUTCOME_THRESHOLD_HIGH = 1
 OUTCOME_THRESHOLD_LOW = 2
 OUTCOME_TOLERANCE = 3
+#: The anytime budget stopped this query (best-effort bounds, degraded).
+OUTCOME_BUDGET = 4
 
 _OUTCOME_BY_CODE: tuple[PruneOutcome | None, ...] = (
     None,
     PruneOutcome.THRESHOLD_HIGH,
     PruneOutcome.THRESHOLD_LOW,
     PruneOutcome.TOLERANCE,
+    None,  # budget stop is not a prune
 )
 
 _SEQ_INF = np.iinfo(np.int64).max
@@ -61,6 +71,15 @@ class BatchBoundResult:
     lower: np.ndarray  #: (q,) guaranteed lower bounds.
     upper: np.ndarray  #: (q,) guaranteed upper bounds.
     outcome_codes: np.ndarray  #: (q,) int8 ``OUTCOME_*`` codes.
+    #: (q,) True where the answer is best-effort (budget stop or exact
+    #: guard fallback); the bounds remain valid either way.
+    degraded: np.ndarray = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.degraded is None:
+            object.__setattr__(
+                self, "degraded", np.zeros(self.lower.shape, dtype=bool)
+            )
 
     @property
     def midpoint(self) -> np.ndarray:
@@ -86,6 +105,9 @@ def bound_densities(
     threshold_shift: float = 0.0,
     eta: float = 0.0,
     block_size: int = DEFAULT_BLOCK_SIZE,
+    max_expansions: int | None = None,
+    guard_policy: str = "off",
+    faults: FaultInjector | None = None,
 ) -> BatchBoundResult:
     """Bound the kernel density of every query (batched Algorithm 2).
 
@@ -98,6 +120,12 @@ def bound_densities(
     slack before both pruning rules, exactly as in
     :func:`repro.core.pruning.check_rules`; weighted (coreset) trees are
     handled transparently via ``flat.node_weight``/``flat.point_weights``.
+
+    ``max_expansions``, ``guard_policy`` and ``faults`` mirror
+    :func:`repro.core.bounds.bound_density`: a per-query anytime budget
+    (stopped queries come back with ``OUTCOME_BUDGET`` and
+    ``degraded=True``), vectorized invariant guards at the node, leaf
+    and accumulator sites, and deterministic fault injection for tests.
 
     Returns
     -------
@@ -114,6 +142,9 @@ def bound_densities(
     lower = np.empty(q)
     upper = np.empty(q)
     codes = np.zeros(q, dtype=np.int8)
+    degraded = np.zeros(q, dtype=bool)
+    if faults is not None and not faults.plan.targets_traversal:
+        faults = None
     for begin in range(0, q, block_size):
         stop = min(begin + block_size, q)
         _bound_block(
@@ -121,8 +152,11 @@ def bound_densities(
             use_threshold_rule, use_tolerance_rule, tolerance_reference,
             threshold_shift, eta,
             lower[begin:stop], upper[begin:stop], codes[begin:stop],
+            degraded[begin:stop], max_expansions, guard_policy, faults,
         )
-    return BatchBoundResult(lower=lower, upper=upper, outcome_codes=codes)
+    return BatchBoundResult(
+        lower=lower, upper=upper, outcome_codes=codes, degraded=degraded
+    )
 
 
 def _bound_block(
@@ -141,6 +175,10 @@ def _bound_block(
     out_lower: np.ndarray,
     out_upper: np.ndarray,
     out_codes: np.ndarray,
+    out_degraded: np.ndarray,
+    max_expansions: int | None,
+    guard_policy: str,
+    faults: FaultInjector | None,
 ) -> None:
     """Run the masked-frontier traversal for one block of queries."""
     n_queries = queries.shape[0]
@@ -148,6 +186,19 @@ def _bound_block(
         return
     inv_n = 1.0 / flat.total_weight
     stats.queries += n_queries
+    guarded = guard_policy != "off"
+    kernel_ceiling = kernel.max_value
+
+    def guard_pair(node_ids, pair_lower, pair_upper):
+        """Inject faults into and guard one (query, node) bound sweep."""
+        if faults is not None:
+            pair_lower, pair_upper = faults.corrupt_bounds_array(pair_lower, pair_upper)
+        if guarded:
+            pair_lower, pair_upper, __ = guard_interval_arrays(
+                pair_lower, pair_upper, guard_policy, stats, site="node",
+                ceiling=flat.node_weight[node_ids] * (inv_n * kernel_ceiling),
+            )
+        return pair_lower, pair_upper
 
     # Rule edges are loop constants (identical expressions to
     # repro.core.pruning.threshold_rule / tolerance_rule, including the
@@ -159,8 +210,10 @@ def _bound_block(
 
     root_ids = np.zeros(n_queries, dtype=np.int64)
     root_lower, root_upper = pair_box_bounds(flat, root_ids, queries, kernel, inv_n)
+    root_lower, root_upper = guard_pair(root_ids, root_lower, root_upper)
     f_lower = root_lower.copy()
     f_upper = root_upper.copy()
+    expansions_used = np.zeros(n_queries, dtype=np.int64)
 
     # Padded frontier arrays, one row per query; columns grow on demand.
     capacity = 16
@@ -190,6 +243,29 @@ def _bound_block(
             if not alive.size:
                 break
 
+        # --- accumulator guard: a non-finite running interval has lost
+        # its frontier bookkeeping; the sound recovery is one exact
+        # evaluation per affected query.
+        if guarded:
+            broken = ~(np.isfinite(f_lower[alive]) & np.isfinite(f_upper[alive]))
+            if broken.any():
+                rows = alive[broken]
+                escalate(
+                    guard_policy, "accumulator",
+                    f"{rows.size} non-finite running interval(s)", stats,
+                    count=rows.size,
+                )
+                exact = _exact_full_sums(flat, kernel, queries[rows], inv_n)
+                out_lower[rows] = exact
+                out_upper[rows] = exact
+                out_codes[rows] = OUTCOME_NONE
+                stats.extras[EXACT_FALLBACKS_KEY] = (
+                    stats.extras.get(EXACT_FALLBACKS_KEY, 0.0) + rows.size
+                )
+                alive = alive[~broken]
+                if not alive.size:
+                    break
+
         # --- pruning rules, threshold before tolerance (paper order).
         fl = f_lower[alive]
         fu = f_upper[alive]
@@ -217,6 +293,23 @@ def _bound_block(
             alive = alive[~pruned]
             if not alive.size:
                 break
+
+        # --- anytime budget: stop capped queries with their current
+        # (valid, possibly vacuous) interval and a degraded marker.
+        if max_expansions is not None:
+            over = expansions_used[alive] >= max_expansions
+            if over.any():
+                done = alive[over]
+                out_lower[done] = np.minimum(f_lower[done], f_upper[done])
+                out_upper[done] = np.maximum(f_lower[done], f_upper[done])
+                out_codes[done] = OUTCOME_BUDGET
+                out_degraded[done] = True
+                stats.extras[BUDGET_STOPS_KEY] = (
+                    stats.extras.get(BUDGET_STOPS_KEY, 0.0) + done.size
+                )
+                alive = alive[~over]
+                if not alive.size:
+                    break
 
         # --- pop the loosest frontier entry of every active query.
         # Heap-order equivalent: minimize (-(upper-lower), seq).
@@ -254,6 +347,15 @@ def _bound_block(
             leaf_nodes = node_sel[leaf]
             stats.kernel_evaluations += int(flat.count[leaf_nodes].sum())
             exact = _leaf_exact_sums(flat, kernel, leaf_nodes, queries[leaf_rows], inv_n)
+            if faults is not None:
+                exact = faults.corrupt_leaves_array(exact)
+            if guarded:
+                # Exact sums must land inside the box bounds each leaf
+                # was popped with (catches silent underflow).
+                exact = guard_values_in_intervals(
+                    exact, lower_sel[leaf], upper_sel[leaf], guard_policy, stats,
+                    site="leaf",
+                )
             f_lower[leaf_rows] += exact
             f_upper[leaf_rows] += exact
 
@@ -264,6 +366,7 @@ def _bound_block(
             int_rows = alive[internal]
             int_nodes = node_sel[internal]
             stats.node_expansions += int_rows.size
+            expansions_used[int_rows] += 1
             int_queries = queries[int_rows]
 
             # Ensure room for both children before pushing.
@@ -277,6 +380,9 @@ def _bound_block(
             for child_ids in (flat.left[int_nodes], flat.right[int_nodes]):
                 child_lower, child_upper = pair_box_bounds(
                     flat, child_ids, int_queries, kernel, inv_n
+                )
+                child_lower, child_upper = guard_pair(
+                    child_ids, child_lower, child_upper
                 )
                 f_lower[int_rows] += child_lower
                 f_upper[int_rows] += child_upper
@@ -313,6 +419,18 @@ def _leaf_exact_sums(
             values = values * flat.point_weights[flat.start[node_id] : flat.end[node_id]]
         sums[group] = np.sum(values, axis=1) * inv_n
     return sums
+
+
+def _exact_full_sums(
+    flat: FlatTree, kernel: Kernel, rows: np.ndarray, inv_n: float
+) -> np.ndarray:
+    """Brute-force exact densities for a few queries (guard fallback)."""
+    diffs = rows[:, None, :] - flat.points[None, :, :]
+    sq = np.einsum("kmd,kmd->km", diffs, diffs)
+    values = kernel.value(sq)
+    if flat.point_weights is not None:
+        values = values * flat.point_weights[None, :]
+    return np.sum(values, axis=1) * inv_n
 
 
 def _grow(array: np.ndarray, capacity: int) -> np.ndarray:

@@ -23,6 +23,16 @@ from repro.core.stats import TraversalStats
 from repro.index.boxes import box_kernel_bounds, min_sq_dist
 from repro.index.kdtree import KDTree, Node
 from repro.kernels.base import Kernel
+from repro.robustness.faults import FaultInjector
+from repro.robustness.guards import (
+    escalate,
+    guard_interval,
+    guard_value_in_interval,
+)
+
+#: ``stats.extras`` keys for degradation events.
+BUDGET_STOPS_KEY = "budget_stops"
+EXACT_FALLBACKS_KEY = "guard_exact_fallbacks"
 
 #: Frontier orderings. "discrepancy" is the paper's rule (Section 3.4):
 #: expand the node whose bounds are loosest. The others exist for the
@@ -32,11 +42,18 @@ PRIORITY_ORDERS = ("discrepancy", "nearest", "fifo", "lifo")
 
 @dataclass(frozen=True)
 class BoundResult:
-    """Outcome of one density-bounding traversal."""
+    """Outcome of one density-bounding traversal.
+
+    ``degraded`` marks best-effort results: the traversal stopped on an
+    anytime budget (or an exact guard fallback collapsed it) before any
+    pruning rule fired. The interval is still a valid bound on the
+    density — possibly a loose one.
+    """
 
     lower: float
     upper: float
     outcome: PruneOutcome | None  # None means the tree was exhausted
+    degraded: bool = False
 
     @property
     def midpoint(self) -> float:
@@ -68,6 +85,9 @@ def bound_density(
     tolerance_reference: float | None = None,
     threshold_shift: float = 0.0,
     eta: float = 0.0,
+    max_expansions: int | None = None,
+    guard_policy: str = "off",
+    faults: FaultInjector | None = None,
 ) -> BoundResult:
     """Bound the kernel density of one query point (paper Algorithm 2).
 
@@ -113,6 +133,23 @@ def bound_density(
         :mod:`repro.coresets`). The returned interval still bounds the
         *coreset* density ``f_S``; callers widen it by ``eta`` when they
         need an ``f_X`` claim.
+    max_expansions:
+        Anytime budget: after this many node expansions the traversal
+        stops with its current (valid, possibly vacuous) interval and
+        ``degraded=True`` instead of running to a prune or exhaustion.
+        ``None`` leaves it unbounded.
+    guard_policy:
+        Invariant-guard policy (see :mod:`repro.robustness.guards`):
+        node contributions and leaf sums are checked for finiteness,
+        ordering, and envelope containment, and the running accumulator
+        for finiteness, with ``"raise"``/``"repair"``/``"warn"``
+        handling. ``"off"`` (default here; the classifier passes its
+        configured policy) skips all checks. A non-finite accumulator
+        under a repairing policy falls back to one exact O(n) density
+        evaluation — degraded never means wrong.
+    faults:
+        Optional deterministic fault injector (tests only); corrupts
+        planned node bounds and leaf sums before the guards see them.
 
     Returns
     -------
@@ -132,6 +169,32 @@ def bound_density(
     point_weights = getattr(tree, "point_weights", None)
     counter = itertools.count()
     stats.queries += 1
+    guarded = guard_policy != "off"
+    if faults is not None and not faults.plan.targets_traversal:
+        faults = None
+    expansions_used = 0
+
+    def exact_fallback() -> BoundResult:
+        """Brute-force density after an unrepairable accumulator: exact."""
+        diffs = tree.points - query
+        sq = np.einsum("ij,ij->i", diffs, diffs)
+        values = kernel.value(sq)
+        if point_weights is not None:
+            values = values * point_weights
+        exact = float(np.sum(values)) * inv_n
+        stats.extras[EXACT_FALLBACKS_KEY] = (
+            stats.extras.get(EXACT_FALLBACKS_KEY, 0.0) + 1.0
+        )
+        return BoundResult(exact, exact, None)
+
+    def node_envelope(node: Node) -> float:
+        """A-priori ceiling on a node's density contribution."""
+        mass = (
+            tree.node_weight(node)
+            if hasattr(tree, "node_weight")
+            else float(node.count)
+        )
+        return mass * inv_n * kernel.max_value
 
     def rank(node: Node, lower: float, upper: float) -> float:
         if priority == "discrepancy":
@@ -144,6 +207,13 @@ def bound_density(
 
     node_bounds = tree.node_bounds  # index-family dispatch (k-d or ball)
     root_lower, root_upper = node_bounds(tree.root, query, kernel, inv_n)
+    if faults is not None:
+        root_lower, root_upper = faults.corrupt_bounds(root_lower, root_upper)
+    if guarded:
+        root_lower, root_upper = guard_interval(
+            root_lower, root_upper, guard_policy, stats, site="node",
+            ceiling=node_envelope(tree.root),
+        )
     f_lower, f_upper = root_lower, root_upper
     frontier: list[tuple[float, int, Node, float, float]] = []
     heapq.heappush(
@@ -152,6 +222,15 @@ def bound_density(
     )
 
     while frontier:
+        if guarded and not (np.isfinite(f_lower) and np.isfinite(f_upper)):
+            # The running accumulator cannot be repaired locally (its
+            # frontier bookkeeping is lost); the sound recovery is one
+            # exact evaluation.
+            escalate(
+                guard_policy, "accumulator",
+                f"running interval [{f_lower}, {f_upper}] is non-finite", stats,
+            )
+            return exact_fallback()
         outcome = check_rules(
             f_lower, f_upper, t_lower, t_upper, epsilon,
             use_threshold_rule=use_threshold_rule,
@@ -163,6 +242,15 @@ def bound_density(
         if outcome is not None:
             _record_outcome(stats, outcome)
             return BoundResult(f_lower, f_upper, outcome)
+        if max_expansions is not None and expansions_used >= max_expansions:
+            # Anytime budget exhausted: stop with the current valid
+            # interval and an explicit degraded marker.
+            stats.extras[BUDGET_STOPS_KEY] = (
+                stats.extras.get(BUDGET_STOPS_KEY, 0.0) + 1.0
+            )
+            return BoundResult(
+                min(f_lower, f_upper), max(f_lower, f_upper), None, degraded=True
+            )
 
         __, __, node, node_lower, node_upper = heapq.heappop(frontier)
         f_lower -= node_lower
@@ -178,12 +266,30 @@ def bound_density(
                 sq = np.einsum("ij,ij->i", diffs, diffs)
                 exact = float(np.sum(weights * kernel.value(sq))) * inv_n
             stats.kernel_evaluations += node.count
+            if faults is not None:
+                exact = faults.corrupt_leaf(exact)
+            if guarded:
+                # The exact sum must land inside the box bounds this
+                # leaf was popped with (catches silent underflow).
+                exact = guard_value_in_interval(
+                    exact, node_lower, node_upper, guard_policy, stats, site="leaf"
+                )
             f_lower += exact
             f_upper += exact
         else:
             stats.node_expansions += 1
+            expansions_used += 1
             for child in node.children():
                 child_lower, child_upper = node_bounds(child, query, kernel, inv_n)
+                if faults is not None:
+                    child_lower, child_upper = faults.corrupt_bounds(
+                        child_lower, child_upper
+                    )
+                if guarded:
+                    child_lower, child_upper = guard_interval(
+                        child_lower, child_upper, guard_policy, stats, site="node",
+                        ceiling=node_envelope(child),
+                    )
                 f_lower += child_lower
                 f_upper += child_upper
                 if child_upper - child_lower > 0.0:

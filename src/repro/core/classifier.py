@@ -21,8 +21,11 @@ Example
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import os
+import threading
+import warnings
 
 import numpy as np
 
@@ -31,14 +34,26 @@ from repro.core.bounds import bound_density
 from repro.core.config import ENGINES, TKDCConfig
 from repro.coresets.base import Coreset, build_coreset
 from repro.core.grid import GridCache
-from repro.core.result import DensityBounds, Label, ThresholdEstimate
+from repro.core.result import (
+    ClassificationResult,
+    DensityBounds,
+    Label,
+    ThresholdEstimate,
+)
 from repro.core.stats import TraversalStats
 from repro.core.threshold import bootstrap_threshold_bounds
 from repro.index.kdtree import KDTree
 from repro.kernels.base import Kernel
 from repro.kernels.factory import kernel_for_data
 from repro.quantile.order_stats import quantile_of_sorted
-from repro.validation import as_finite_matrix
+from repro.robustness.faults import (
+    WORKER_CRASH,
+    WORKER_STALL,
+    FaultInjector,
+    FaultPlan,
+)
+from repro.robustness.supervisor import SupervisionPolicy, supervised_map
+from repro.validation import as_finite_matrix, as_query_matrix
 
 
 class NotFittedError(RuntimeError):
@@ -46,7 +61,7 @@ class NotFittedError(RuntimeError):
 
 
 #: Label lookup for vectorized int->Label mapping (index = int value).
-_LABELS = np.array([Label.LOW, Label.HIGH], dtype=object)
+_LABELS = np.array([Label.LOW, Label.HIGH, Label.UNCERTAIN], dtype=object)
 
 #: Per-worker state for the multiprocess classify path. Populated in the
 #: parent *before* the fork so workers inherit the classifier (index
@@ -66,14 +81,46 @@ _PARALLEL_MIN_QUERIES = 4096
 #: per-chunk dispatch overhead.
 _CHUNKS_PER_WORKER = 4
 
+#: One-time flag for the no-multiprocessing serial-degradation warning.
+_NO_POOL_WARNED = False
 
-def _classify_chunk(scaled_chunk: np.ndarray) -> tuple[np.ndarray, TraversalStats]:
+
+def _enact_worker_fault(plan: FaultPlan, chunk_index: int, attempt: int) -> None:
+    """Make this worker die or hang if the fault plan says so.
+
+    ``os._exit`` models a hard crash (segfault, OOM kill) — no cleanup,
+    no exception crosses the pipe. An ``Event`` that is never set models
+    a stall (swap storm, adversarial query): the worker blocks forever
+    and only the supervisor's deadline can reclaim the chunk.
+    """
+    fault = plan.worker_fault(chunk_index, attempt)
+    if fault == WORKER_CRASH:
+        os._exit(17)
+    elif fault == WORKER_STALL:
+        threading.Event().wait()
+
+
+def _classify_chunk(
+    chunk_index: int, attempt: int, scaled_chunk: np.ndarray
+) -> tuple[np.ndarray, TraversalStats]:
     """Classify one chunk in a worker; stats come back for merging."""
+    plan = _WORKER_STATE.get("fault_plan")
+    if plan is not None:
+        _enact_worker_fault(plan, chunk_index, attempt)
     stats = TraversalStats()
     highs = _WORKER_STATE["classifier"]._classify_scaled_block(
         scaled_chunk, _WORKER_STATE["threshold"], stats, engine="batch"
     )
     return highs, stats
+
+
+def _init_worker(
+    classifier: "TKDCClassifier", threshold: float, fault_plan: FaultPlan | None
+) -> None:
+    """Spawn-context initializer: receive the state fork gets for free."""
+    _WORKER_STATE["classifier"] = classifier
+    _WORKER_STATE["threshold"] = threshold
+    _WORKER_STATE["fault_plan"] = fault_plan
 
 
 class TKDCClassifier:
@@ -272,6 +319,7 @@ class TKDCClassifier:
                 threshold_shift=self_contribution,
                 eta=rule_eta,
                 block_size=config.batch_block_size,
+                guard_policy=config.guard_policy,
             )
             scores[remaining] = result.midpoint - self_contribution
         else:
@@ -283,6 +331,7 @@ class TKDCClassifier:
                     use_tolerance_rule=config.use_tolerance_rule,
                     threshold_shift=self_contribution,
                     eta=rule_eta,
+                    guard_policy=config.guard_policy,
                 )
                 scores[i] = result.midpoint - self_contribution
         return scores
@@ -382,11 +431,108 @@ class TKDCClassifier:
             Worker processes for the batch engine (``None`` defers to
             ``config.n_jobs``; -1 uses every core). Ignored by the
             per-query engine.
+
+        Under ``config.query_policy == "flag"``, non-finite query rows
+        are never traversed and come back as ``Label.UNCERTAIN``.
         """
         self._require_fitted()
-        queries = self._as_query_matrix(queries)
-        highs = self._classify_mask(queries, engine, n_jobs)
-        return _LABELS[highs.astype(np.intp)]
+        queries, invalid = self._as_query_matrix(queries)
+        if not invalid.any():
+            highs = self._classify_mask(queries, engine, n_jobs)
+            return _LABELS[highs.astype(np.intp)]
+        labels = np.full(queries.shape[0], Label.UNCERTAIN, dtype=object)
+        valid = np.flatnonzero(~invalid)
+        highs = self._classify_mask(queries[valid], engine, n_jobs)
+        labels[valid] = _LABELS[highs.astype(np.intp)]
+        return labels
+
+    def classify_detailed(
+        self, queries: np.ndarray, engine: str | None = None
+    ) -> ClassificationResult:
+        """Classify with full degradation diagnostics (always in-process).
+
+        Returns a :class:`~repro.core.result.ClassificationResult`
+        carrying, per query, the density interval the label was decided
+        on and whether the answer is best-effort: the query hit the
+        ``config.max_node_expansions`` anytime budget, a guard collapsed
+        it to an exact fallback, or its input row was flagged invalid
+        under ``query_policy="flag"``. Degraded bounds are always valid
+        (possibly vacuous); :meth:`ClassificationResult.resolved_labels`
+        turns the genuinely undecidable ones into ``Label.UNCERTAIN``.
+
+        Runs serially regardless of ``config.n_jobs`` — the diagnostic
+        path favours complete per-query information over throughput; use
+        :meth:`classify` for large parallel batches.
+        """
+        self._require_fitted()
+        matrix, invalid = self._as_query_matrix(queries)
+        config = self.config
+        threshold = self.threshold.value
+        engine = self._resolve_engine(engine)
+        q = matrix.shape[0]
+        lower = np.zeros(q)
+        upper = np.full(q, math.inf)
+        labels = np.full(q, Label.LOW, dtype=object)
+        degraded = invalid.copy()
+
+        valid_rows = np.flatnonzero(~invalid)
+        if valid_rows.size:
+            scaled = self.kernel.scale(matrix[valid_rows])
+            remaining = np.arange(valid_rows.size)
+            if self._grid is not None:
+                # The grid shortcut certifies HIGH from a lower bound
+                # alone, so those rows keep an infinite upper bound.
+                grid_bounds = self._grid.density_lower_bounds(scaled)
+                certain = grid_bounds > threshold * (1.0 + config.epsilon)
+                self._stats.grid_hits += int(np.count_nonzero(certain))
+                rows = valid_rows[certain]
+                lower[rows] = grid_bounds[certain]
+                labels[rows] = Label.HIGH
+                remaining = np.flatnonzero(~certain)
+            if remaining.size:
+                eta = self._rule_eta
+                faults = self._traversal_injector()
+                rows = valid_rows[remaining]
+                if engine == "batch":
+                    result = bound_densities(
+                        self.tree.flatten(), self.kernel, scaled[remaining],
+                        threshold, threshold, config.epsilon, self._stats,
+                        use_threshold_rule=config.use_threshold_rule,
+                        use_tolerance_rule=config.use_tolerance_rule,
+                        eta=eta,
+                        block_size=config.batch_block_size,
+                        max_expansions=config.max_node_expansions,
+                        guard_policy=config.guard_policy,
+                        faults=faults,
+                    )
+                    lower[rows] = np.maximum(result.lower - eta, 0.0)
+                    upper[rows] = result.upper + eta
+                    labels[rows] = _LABELS[
+                        (result.midpoint > threshold).astype(np.intp)
+                    ]
+                    degraded[rows] = result.degraded
+                else:
+                    for local, row in zip(remaining, rows):
+                        result = bound_density(
+                            self.tree, self.kernel, scaled[local],
+                            threshold, threshold, config.epsilon, self._stats,
+                            use_threshold_rule=config.use_threshold_rule,
+                            use_tolerance_rule=config.use_tolerance_rule,
+                            eta=eta,
+                            max_expansions=config.max_node_expansions,
+                            guard_policy=config.guard_policy,
+                            faults=faults,
+                        )
+                        lower[row] = max(result.lower - eta, 0.0)
+                        upper[row] = result.upper + eta
+                        labels[row] = (
+                            Label.HIGH if result.midpoint > threshold else Label.LOW
+                        )
+                        degraded[row] = result.degraded
+        return ClassificationResult(
+            labels=labels, lower=lower, upper=upper,
+            degraded=degraded, invalid=invalid, threshold=threshold,
+        )
 
     def _classify_mask(
         self,
@@ -428,6 +574,7 @@ class TKDCClassifier:
             remaining = np.flatnonzero(~certain)
         if remaining.size == 0:
             return highs
+        faults = self._traversal_injector()
         if engine == "batch":
             result = bound_densities(
                 self.tree.flatten(), self.kernel, scaled[remaining],
@@ -436,6 +583,9 @@ class TKDCClassifier:
                 use_tolerance_rule=config.use_tolerance_rule,
                 eta=self._rule_eta,
                 block_size=config.batch_block_size,
+                max_expansions=config.max_node_expansions,
+                guard_policy=config.guard_policy,
+                faults=faults,
             )
             highs[remaining] = result.midpoint > threshold
         else:
@@ -446,20 +596,38 @@ class TKDCClassifier:
                     use_threshold_rule=config.use_threshold_rule,
                     use_tolerance_rule=config.use_tolerance_rule,
                     eta=self._rule_eta,
+                    max_expansions=config.max_node_expansions,
+                    guard_policy=config.guard_policy,
+                    faults=faults,
                 )
                 highs[i] = result.midpoint > threshold
         return highs
 
+    def _traversal_injector(self) -> FaultInjector | None:
+        """A fresh injector for one traversal pass, or None in production."""
+        plan = self.config.fault_plan
+        if plan is None or not plan.targets_traversal:
+            return None
+        return FaultInjector(plan)
+
     def _classify_parallel(
         self, scaled: np.ndarray, threshold: float, n_jobs: int
     ) -> np.ndarray:
-        """Chunk the scaled queries across a fork-based process pool."""
+        """Chunk the scaled queries across a supervised process pool.
+
+        Dispatch is per-chunk with deadlines, bounded retries, and an
+        in-process serial fallback (see
+        :mod:`repro.robustness.supervisor`): a crashed or stalled
+        worker delays its chunks but can never lose them or hang the
+        batch. Prefers a fork context (workers inherit the index through
+        copy-on-write), falls back to spawn with an explicit
+        initializer pickle, and degrades to the serial path — with a
+        one-time warning — when no start method works at all.
+        """
         n_jobs = min(n_jobs, scaled.shape[0])
-        try:
-            context = multiprocessing.get_context("fork")
-        except ValueError:
-            # No fork on this platform: stay in-process rather than pay
-            # a spawn-pickle of the whole index per worker.
+        config = self.config
+        context, needs_init = self._parallel_context()
+        if context is None:
             return self._classify_scaled_block(
                 scaled, threshold, self._stats, engine="batch"
             )
@@ -469,19 +637,73 @@ class TKDCClassifier:
         # so each chunk still fills at least one vectorized block.
         n_chunks = min(
             n_jobs * _CHUNKS_PER_WORKER,
-            max(n_jobs, scaled.shape[0] // self.config.batch_block_size),
+            max(n_jobs, scaled.shape[0] // config.batch_block_size),
         )
         chunks = np.array_split(scaled, n_chunks)
+        plan = config.fault_plan
+        if plan is not None and not plan.targets_workers:
+            plan = None
+        policy = SupervisionPolicy(
+            timeout=config.worker_timeout,
+            max_retries=config.worker_retries,
+            backoff=config.worker_backoff,
+        )
+
+        def serial_fallback(
+            index: int, chunk: np.ndarray
+        ) -> tuple[np.ndarray, TraversalStats]:
+            # Worker faults are a pool phenomenon; the in-process
+            # fallback runs the same traversal clean.
+            stats = TraversalStats()
+            highs = self._classify_scaled_block(
+                chunk, threshold, stats, engine="batch"
+            )
+            return highs, stats
+
         _WORKER_STATE["classifier"] = self
         _WORKER_STATE["threshold"] = threshold
+        _WORKER_STATE["fault_plan"] = plan
         try:
-            with context.Pool(n_jobs) as pool:
-                results = pool.map(_classify_chunk, chunks)
+            results, report = supervised_map(
+                _classify_chunk, chunks, n_jobs, policy, serial_fallback, context,
+                initializer=_init_worker if needs_init else None,
+                initargs=(self, threshold, plan) if needs_init else (),
+            )
         finally:
             _WORKER_STATE.clear()
+        for key, value in report.as_extras().items():
+            self._stats.extras[key] = self._stats.extras.get(key, 0.0) + value
         for __, worker_stats in results:
             self._stats.merge(worker_stats)
         return np.concatenate([highs for highs, __ in results])
+
+    def _parallel_context(self) -> tuple[object, bool]:
+        """Pick a multiprocessing start method: fork, spawn, or give up.
+
+        Returns ``(context, needs_initializer)``; a ``None`` context
+        means no start method is usable and the caller must run
+        serially (warned once per process).
+        """
+        global _NO_POOL_WARNED
+        try:
+            return multiprocessing.get_context("fork"), False
+        except ValueError:
+            pass
+        try:
+            # Spawn cannot inherit _WORKER_STATE; workers rebuild it
+            # from an initializer pickle of the classifier instead.
+            return multiprocessing.get_context("spawn"), True
+        except ValueError:
+            if not _NO_POOL_WARNED:
+                _NO_POOL_WARNED = True
+                warnings.warn(
+                    "no usable multiprocessing start method (fork and spawn both "
+                    "unavailable); classify is degrading to the serial in-process "
+                    "path despite n_jobs > 1",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+            return None, False
 
     def _resolve_engine(self, engine: str | None) -> str:
         engine = self.config.engine if engine is None else engine
@@ -512,16 +734,24 @@ class TKDCClassifier:
         from repro.core.dualtree import dual_tree_classify
 
         self._require_fitted()
-        queries = self._as_query_matrix(queries)
+        queries, invalid = self._as_query_matrix(queries)
         if self.coreset_ is not None:
             # The dual-tree engine counts points (no weighted-node mass
             # or eta widening); under compression, route through the
             # batch engine instead of silently changing semantics.
             return self.classify(queries)
-        return dual_tree_classify(
-            self.tree, self.kernel, self.kernel.scale(queries),
+        if not invalid.any():
+            return dual_tree_classify(
+                self.tree, self.kernel, self.kernel.scale(queries),
+                self.threshold.value, self.config.epsilon, self._stats,
+            )
+        labels = np.full(queries.shape[0], Label.UNCERTAIN, dtype=object)
+        valid = np.flatnonzero(~invalid)
+        labels[valid] = dual_tree_classify(
+            self.tree, self.kernel, self.kernel.scale(queries[valid]),
             self.threshold.value, self.config.epsilon, self._stats,
         )
+        return labels
 
     def predict(
         self,
@@ -529,10 +759,21 @@ class TKDCClassifier:
         engine: str | None = None,
         n_jobs: int | None = None,
     ) -> np.ndarray:
-        """Like :meth:`classify` but returning a plain int array (1 = HIGH)."""
+        """Like :meth:`classify` but returning a plain int array (1 = HIGH).
+
+        Flagged-invalid rows (``query_policy="flag"``) come back as
+        ``int(Label.UNCERTAIN)`` (2).
+        """
         self._require_fitted()
-        queries = self._as_query_matrix(queries)
-        return self._classify_mask(queries, engine, n_jobs).astype(np.int64)
+        queries, invalid = self._as_query_matrix(queries)
+        if not invalid.any():
+            return self._classify_mask(queries, engine, n_jobs).astype(np.int64)
+        predictions = np.full(queries.shape[0], int(Label.UNCERTAIN), dtype=np.int64)
+        valid = np.flatnonzero(~invalid)
+        predictions[valid] = self._classify_mask(
+            queries[valid], engine, n_jobs
+        ).astype(np.int64)
+        return predictions
 
     def decision_bounds(
         self, queries: np.ndarray, engine: str | None = None
@@ -544,9 +785,18 @@ class TKDCClassifier:
         traversal's intervals are widened by the applied ``eta`` so they
         remain valid for the *full-data* density; in best-effort mode
         they describe the compressed estimate.
+
+        Flagged-invalid rows (``query_policy="flag"``) come back with the
+        vacuous interval ``[0, inf)``.
         """
         self._require_fitted()
-        queries = self._as_query_matrix(queries)
+        queries, invalid = self._as_query_matrix(queries)
+        if invalid.any():
+            bounds = [DensityBounds(0.0, math.inf)] * queries.shape[0]
+            valid = np.flatnonzero(~invalid)
+            for row, item in zip(valid, self.decision_bounds(queries[valid], engine)):
+                bounds[row] = item
+            return bounds
         scaled = self.kernel.scale(queries)
         threshold = self.threshold.value
         eta = self._rule_eta
@@ -585,9 +835,16 @@ class TKDCClassifier:
         Unlike :meth:`classify`, this disables the threshold rule so the
         returned values are uniformly precise — the mode downstream
         statistical use cases (p-values, likelihood ratios) need.
+
+        Flagged-invalid rows (``query_policy="flag"``) come back as NaN.
         """
         self._require_fitted()
-        queries = self._as_query_matrix(queries)
+        queries, invalid = self._as_query_matrix(queries)
+        if invalid.any():
+            densities = np.full(queries.shape[0], np.nan)
+            valid = np.flatnonzero(~invalid)
+            densities[valid] = self.estimate_density(queries[valid], engine)
+            return densities
         scaled = self.kernel.scale(queries)
         threshold = self.threshold.value
         # With the applied eta shrinking the tolerance width to
@@ -615,18 +872,19 @@ class TKDCClassifier:
             densities[i] = result.midpoint
         return densities
 
-    def _as_query_matrix(self, queries: np.ndarray) -> np.ndarray:
-        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
-        if queries.size == 0:
-            # An empty batch is a valid no-op query.
-            return queries.reshape(0, self.kernel.dim)
-        queries = as_finite_matrix(queries, "queries")
-        if queries.shape[1] != self.kernel.dim:
-            raise ValueError(
-                f"query dimensionality {queries.shape[1]} does not match the "
-                f"training dimensionality {self.kernel.dim}"
-            )
-        return queries
+    def _as_query_matrix(self, queries: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Validate a query batch under the configured input policy.
+
+        Returns ``(matrix, invalid_rows)`` — the shared hardening
+        contract of :func:`repro.validation.as_query_matrix`, applied
+        identically by both traversal engines: non-finite rows raise
+        under ``query_policy="raise"`` and come back flagged (and
+        zero-filled, never traversed) under ``"flag"``; shape and dtype
+        errors always raise.
+        """
+        return as_query_matrix(
+            queries, self.kernel.dim, policy=self.config.query_policy
+        )
 
     def _require_fitted(self) -> None:
         if self._threshold is None:

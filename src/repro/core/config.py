@@ -13,6 +13,9 @@ from dataclasses import dataclass, replace
 
 from repro.coresets.base import CORESET_METHODS
 from repro.kernels.factory import KERNELS
+from repro.robustness.faults import FaultPlan
+from repro.robustness.guards import GUARD_POLICIES
+from repro.validation import QUERY_POLICIES
 
 #: Traversal engines: "batch" is the vectorized multi-query engine
 #: (repro.core.batch_bounds), "per-query" the reference priority-queue
@@ -106,6 +109,44 @@ class TKDCConfig:
     seed:
         Seed for the bootstrap's subsampling RNG. Classification itself
         is deterministic (paper Section 2.3).
+    guard_policy:
+        Runtime invariant-guard policy for both traversal engines and
+        the threshold bootstrap (see :mod:`repro.robustness.guards`):
+        ``"repair"`` (default) widens violated bounds to their valid
+        envelope and counts the event, ``"warn"`` additionally emits a
+        :class:`~repro.robustness.guards.GuardWarning`, ``"raise"``
+        fails fast with
+        :class:`~repro.robustness.guards.InvariantViolation`, ``"off"``
+        disables the checks.
+    max_node_expansions:
+        Anytime budget: per-query cap on traversal node expansions.
+        A query that exhausts it stops with its current (valid, possibly
+        vacuous) bounds, a best-effort label, and ``degraded=True`` in
+        :meth:`~repro.core.classifier.TKDCClassifier.classify_detailed`.
+        ``None`` (default) leaves traversal unbounded. Applies to query
+        classification, not to ``fit``.
+    query_policy:
+        What ``classify``/``predict``/``estimate_density`` do with
+        non-finite query rows: ``"raise"`` (default) rejects the batch
+        with ``ValueError``; ``"flag"`` classifies the finite rows and
+        marks the bad ones degraded/UNCERTAIN instead. Shape and dtype
+        errors always raise — they cannot be flagged row-wise.
+    bootstrap_accept_widened:
+        When the threshold bootstrap exhausts its iteration cap, accept
+        the last (finite) widened interval instead of raising
+        :class:`~repro.core.threshold.BootstrapExhausted`; fit then
+        completes with a looser-than-requested bracket.
+    worker_timeout / worker_retries / worker_backoff:
+        Supervision policy for multiprocess classify (see
+        :mod:`repro.robustness.supervisor`): per-chunk collection
+        deadline in seconds (``None`` disables), re-dispatches per chunk
+        before the in-process serial fallback, and the base backoff
+        slept before a retry round.
+    fault_plan:
+        Deterministic fault-injection schedule
+        (:class:`~repro.robustness.faults.FaultPlan`) for robustness
+        testing; ``None`` (the default, and the only sensible production
+        value) injects nothing.
     """
 
     p: float = 0.01
@@ -134,6 +175,14 @@ class TKDCConfig:
     coreset_size: int | None = None
     coreset_delta: float = 0.05
     seed: int | None = 0
+    guard_policy: str = "repair"
+    max_node_expansions: int | None = None
+    query_policy: str = "raise"
+    bootstrap_accept_widened: bool = False
+    worker_timeout: float | None = 120.0
+    worker_retries: int = 2
+    worker_backoff: float = 0.05
+    fault_plan: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.p < 1.0:
@@ -185,6 +234,31 @@ class TKDCConfig:
             raise ValueError(
                 f"coreset_delta must be in (0, 1), got {self.coreset_delta}"
             )
+        if self.guard_policy not in GUARD_POLICIES:
+            raise ValueError(
+                f"unknown guard_policy {self.guard_policy!r}; "
+                f"choose from {GUARD_POLICIES}"
+            )
+        if self.max_node_expansions is not None and self.max_node_expansions < 1:
+            raise ValueError(
+                f"max_node_expansions must be >= 1 or None, "
+                f"got {self.max_node_expansions}"
+            )
+        if self.query_policy not in QUERY_POLICIES:
+            raise ValueError(
+                f"unknown query_policy {self.query_policy!r}; "
+                f"choose from {QUERY_POLICIES}"
+            )
+        if self.worker_timeout is not None and self.worker_timeout <= 0:
+            raise ValueError(
+                f"worker_timeout must be positive or None, got {self.worker_timeout}"
+            )
+        if self.worker_retries < 0:
+            raise ValueError(f"worker_retries must be >= 0, got {self.worker_retries}")
+        if self.worker_backoff < 0:
+            raise ValueError(f"worker_backoff must be >= 0, got {self.worker_backoff}")
+        if self.fault_plan is not None and not isinstance(self.fault_plan, FaultPlan):
+            raise ValueError("fault_plan must be a FaultPlan or None")
 
     def with_updates(self, **changes: object) -> "TKDCConfig":
         """Return a copy of this config with the given fields replaced."""

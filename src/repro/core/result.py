@@ -5,12 +5,22 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import IntEnum
 
+import numpy as np
+
 
 class Label(IntEnum):
-    """Density classification outcome (paper Problem 1)."""
+    """Density classification outcome (paper Problem 1).
+
+    ``UNCERTAIN`` is never produced by an unconstrained traversal — it
+    marks queries that hit an anytime budget while their density bounds
+    still straddled the threshold, or queries rejected as invalid under
+    the ``"flag"`` input policy (see
+    :meth:`ClassificationResult.resolved_labels`).
+    """
 
     LOW = 0
     HIGH = 1
+    UNCERTAIN = 2
 
 
 @dataclass(frozen=True)
@@ -53,3 +63,53 @@ class ThresholdEstimate:
                 f"threshold estimate {self.value} outside its bounds "
                 f"[{self.lower}, {self.upper}]"
             )
+
+
+@dataclass(frozen=True)
+class ClassificationResult:
+    """Labels plus degradation diagnostics for one classify call.
+
+    :meth:`TKDCClassifier.classify` keeps returning a bare label array;
+    this richer result (from
+    :meth:`~repro.core.classifier.TKDCClassifier.classify_detailed`)
+    additionally carries the density interval each label was decided on
+    and *why* any query got a best-effort answer — an exhausted anytime
+    budget or an invalid (non-finite) input row under the ``"flag"``
+    policy. Degraded queries still carry valid (possibly vacuous)
+    bounds; their labels are midpoint best-effort.
+    """
+
+    labels: np.ndarray  #: (q,) best-effort HIGH/LOW :class:`Label` array.
+    lower: np.ndarray  #: (q,) guaranteed density lower bounds.
+    upper: np.ndarray  #: (q,) guaranteed density upper bounds.
+    degraded: np.ndarray  #: (q,) True where the answer is best-effort.
+    invalid: np.ndarray  #: (q,) True for input rows flagged as invalid.
+    threshold: float  #: the threshold ``t(p)`` the labels compare against.
+
+    @property
+    def n_degraded(self) -> int:
+        """Number of best-effort answers in the batch."""
+        return int(np.count_nonzero(self.degraded))
+
+    @property
+    def any_degraded(self) -> bool:
+        return bool(self.degraded.any())
+
+    @property
+    def uncertain(self) -> np.ndarray:
+        """Degraded queries whose bounds still straddle the threshold.
+
+        These are the answers with no directional evidence at all: the
+        traversal stopped (budget) or never ran (invalid input) while
+        ``[f_l, f_u]`` contained ``t``. Everything else — including
+        degraded queries whose partial bounds already cleared the
+        threshold — has at least best-effort support.
+        """
+        straddles = (self.lower <= self.threshold) & (self.upper >= self.threshold)
+        return self.degraded & (straddles | self.invalid)
+
+    def resolved_labels(self) -> np.ndarray:
+        """Labels with :attr:`uncertain` queries replaced by ``UNCERTAIN``."""
+        labels = self.labels.copy()
+        labels[self.uncertain] = Label.UNCERTAIN
+        return labels

@@ -16,6 +16,7 @@ confidence intervals of Section 3.5).
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
 from typing import Callable
 
@@ -28,10 +29,35 @@ from repro.core.stats import TraversalStats
 from repro.index.kdtree import KDTree
 from repro.kernels.base import Kernel
 from repro.quantile.order_stats import normal_order_ci
+from repro.robustness.guards import GuardWarning, guard_interval
 
 #: Hard cap on bootstrap iterations (growth rounds plus backoffs); the
 #: expected count is ~log_growth(n / r0) + a handful of backoffs.
 _MAX_ITERATIONS = 200
+
+
+class BootstrapExhausted(RuntimeError):
+    """Algorithm 3 hit its iteration cap without a converged bracket.
+
+    Carries the last working threshold interval so callers can inspect
+    (or, via ``TKDCConfig.bootstrap_accept_widened``, accept) the
+    widened-but-unconverged bounds instead of losing them with the
+    traceback.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        t_lower: float,
+        t_upper: float,
+        iterations: int,
+        backoffs: int,
+    ) -> None:
+        super().__init__(message)
+        self.t_lower = t_lower
+        self.t_upper = t_upper
+        self.iterations = iterations
+        self.backoffs = backoffs
 
 
 @dataclass(frozen=True)
@@ -145,6 +171,7 @@ def bootstrap_threshold_bounds(
                 threshold_shift=self_contribution,
                 eta=rule_eta,
                 block_size=config.batch_block_size,
+                guard_policy=config.guard_policy,
             )
             densities = np.maximum(result.midpoint - self_contribution, 0.0)
         else:
@@ -157,6 +184,7 @@ def bootstrap_threshold_bounds(
                     use_tolerance_rule=config.use_tolerance_rule,
                     threshold_shift=self_contribution,
                     eta=rule_eta,
+                    guard_policy=config.guard_policy,
                 )
                 densities[i] = max(result.midpoint - self_contribution, 0.0)
         densities.sort()
@@ -164,6 +192,14 @@ def bootstrap_threshold_bounds(
         rank_lower, rank_upper = normal_order_ci(s, config.p, config.delta)
         d_lower = float(densities[rank_lower - 1])
         d_upper = float(densities[rank_upper - 1])
+        if config.guard_policy != "off":
+            # Interval sanity: order statistics of a sorted finite array
+            # cannot invert or go non-finite unless an upstream guard
+            # repaired densities to a vacuous envelope; re-repairing here
+            # keeps the bracket a true (if loose) statement.
+            d_lower, d_upper = guard_interval(
+                d_lower, d_upper, config.guard_policy, stats, site="threshold"
+            )
 
         if d_upper > t_upper:
             # Upper bound was too tight: densities near the quantile were
@@ -199,7 +235,30 @@ def bootstrap_threshold_bounds(
             t_lower = d_lower / config.h_buffer
             r = min(int(r * config.h_growth), n)
 
-    raise RuntimeError(
+    if (
+        config.bootstrap_accept_widened
+        and math.isfinite(t_lower)
+        and math.isfinite(t_upper)
+        and 0.0 <= t_lower <= t_upper
+    ):
+        # Opt-in graceful degradation: the working bracket is a valid
+        # (just looser-than-requested) statement about t(p); accept it
+        # with a warning rather than failing the whole fit.
+        warnings.warn(
+            f"threshold bootstrap hit its {_MAX_ITERATIONS}-iteration cap; "
+            f"accepting the widened bracket [{t_lower}, {t_upper}] "
+            "(bootstrap_accept_widened=True)",
+            GuardWarning,
+            stacklevel=2,
+        )
+        return ThresholdBootstrapResult(t_lower, t_upper, _MAX_ITERATIONS, backoffs)
+    raise BootstrapExhausted(
         f"threshold bootstrap failed to converge within {_MAX_ITERATIONS} iterations "
-        f"(n={n}, p={config.p}); the density distribution may be degenerate"
+        f"(n={n}, p={config.p}); the density distribution may be degenerate. "
+        f"Last working bracket: [{t_lower}, {t_upper}]. Set "
+        "bootstrap_accept_widened=True to accept a finite widened bracket.",
+        t_lower,
+        t_upper,
+        _MAX_ITERATIONS,
+        backoffs,
     )

@@ -1,0 +1,47 @@
+"""Atomic file writes: temp-then-rename, so readers never see torn output.
+
+A benchmark or model save interrupted mid-write (SIGKILL, disk full,
+container eviction) must not leave a half-written JSON or pickle where
+the previous good file used to be. Every persistent artifact therefore
+goes through these helpers: the payload is written to a temporary file
+in the *same directory* (same filesystem, so the rename is atomic),
+flushed and fsynced, and only then moved over the destination with
+``os.replace`` — which on POSIX atomically swaps the directory entry.
+Readers observe either the old complete file or the new complete file,
+never a prefix.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+
+def atomic_write_bytes(path: Path | str, data: bytes) -> Path:
+    """Write ``data`` to ``path`` atomically; returns the final path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    descriptor, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(descriptor, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        # Never leave the temp file behind — the write failed, the old
+        # destination (if any) is still intact.
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_text(path: Path | str, text: str, encoding: str = "utf-8") -> Path:
+    """Write ``text`` to ``path`` atomically; returns the final path."""
+    return atomic_write_bytes(path, text.encode(encoding))

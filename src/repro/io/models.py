@@ -16,6 +16,7 @@ from pathlib import Path
 
 import repro
 from repro.core.classifier import TKDCClassifier
+from repro.io.atomic import atomic_write_bytes
 
 #: Format marker stored alongside the model.
 _MAGIC = "repro-tkdc-model"
@@ -34,8 +35,9 @@ def save_model(path: Path | str, classifier: TKDCClassifier) -> Path:
         "version": repro.__version__,
         "classifier": classifier,
     }
-    with open(path, "wb") as handle:
-        pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    # Temp-then-rename: a save interrupted mid-pickle never corrupts an
+    # existing model file at this path.
+    atomic_write_bytes(path, pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
     return path
 
 

@@ -1,0 +1,63 @@
+"""Robustness subsystem: fault injection, invariant guards, supervision.
+
+Three pillars keep the tKDC serving path survivable (see
+``docs/robustness.md`` for the failure-mode table):
+
+- :mod:`repro.robustness.faults` — a deterministic, seeded
+  :class:`FaultPlan` that reproduces corrupted bounds, kernel
+  underflow, and crashed/stalled pool workers at chosen ordinals, so
+  every guard below is exercised in CI without flaky sleeps;
+- :mod:`repro.robustness.guards` — runtime invariant checks
+  (``f_l <= f_u``, finiteness, envelope containment) with a
+  configurable ``raise`` / ``repair`` / ``warn`` policy, applied at
+  pruning time by both traversal engines and by the threshold
+  bootstrap;
+- :mod:`repro.robustness.supervisor` — per-chunk supervised dispatch
+  replacing the bare ``Pool.map`` in parallel classification: chunk
+  timeouts, dead-worker detection, bounded retry with backoff, and a
+  guaranteed in-process serial fallback.
+"""
+
+from repro.robustness.faults import (
+    BOUND_MODES,
+    WORKER_CRASH,
+    WORKER_STALL,
+    FaultInjector,
+    FaultPlan,
+)
+from repro.robustness.guards import (
+    GUARD_POLICIES,
+    REPAIRS_KEY,
+    GuardWarning,
+    InvariantViolation,
+    escalate,
+    guard_interval,
+    guard_interval_arrays,
+    guard_value_in_interval,
+    guard_values_in_intervals,
+)
+from repro.robustness.supervisor import (
+    SupervisionPolicy,
+    SupervisionReport,
+    supervised_map,
+)
+
+__all__ = [
+    "BOUND_MODES",
+    "WORKER_CRASH",
+    "WORKER_STALL",
+    "FaultInjector",
+    "FaultPlan",
+    "GUARD_POLICIES",
+    "REPAIRS_KEY",
+    "GuardWarning",
+    "InvariantViolation",
+    "escalate",
+    "guard_interval",
+    "guard_interval_arrays",
+    "guard_value_in_interval",
+    "guard_values_in_intervals",
+    "SupervisionPolicy",
+    "SupervisionReport",
+    "supervised_map",
+]

@@ -1,0 +1,218 @@
+"""Supervised process-pool dispatch for parallel classification.
+
+``Pool.map`` is the fastest way to fan a batch out — and the most
+brittle: a worker that dies mid-chunk leaves the map hanging forever, a
+stalled worker (swap storm, adversarial query) blocks the whole batch,
+and there is no notion of retry. This module replaces it with
+*supervised per-chunk dispatch*:
+
+- every chunk is submitted individually and collected with a deadline;
+- a timed-out chunk marks its pool as suspect (the worker may be stuck
+  in a slot), so the pool is torn down and survivors are re-dispatched
+  to a fresh one;
+- a dead worker is detected promptly (``BrokenProcessPool``) rather
+  than by deadline expiry;
+- failed chunks are retried a bounded number of times with exponential
+  backoff, and chunks that exhaust their retries are executed by an
+  in-process serial fallback — so the batch *always* completes, with
+  every chunk computed by the same traversal code one way or another.
+
+The dispatch carries ``(chunk_index, attempt)`` to the worker, which
+lets a :class:`~repro.robustness.faults.FaultPlan` fire deterministic
+worker faults without any shared state, and lets transient faults
+clear on retry.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+#: Placeholder for a chunk result that has not been produced yet.
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """How hard to try before falling back to in-process execution.
+
+    Attributes
+    ----------
+    timeout:
+        Per-chunk collection deadline in seconds (``None`` disables the
+        deadline — a stalled worker then blocks forever, the pre-PR
+        behaviour).
+    max_retries:
+        Re-dispatches allowed per chunk before the serial fallback runs
+        it in-process.
+    backoff:
+        Base seconds slept before a retry round; doubles per attempt.
+        0 disables sleeping (tests use this).
+    """
+
+    timeout: float | None = 120.0
+    max_retries: int = 2
+    backoff: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be positive or None, got {self.timeout}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff < 0:
+            raise ValueError(f"backoff must be >= 0, got {self.backoff}")
+
+
+@dataclass
+class SupervisionReport:
+    """What the supervisor had to do to complete a batch."""
+
+    timeouts: int = 0  #: chunk collections that hit the deadline
+    crashes: int = 0  #: chunk failures due to a dead worker process
+    errors: int = 0  #: chunk failures due to an exception in the worker
+    retries: int = 0  #: chunk re-dispatches to a pool
+    serial_fallbacks: int = 0  #: chunks completed by the in-process fallback
+    pools_created: int = 0  #: pools built (1 = no supervision event)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether anything other than a clean parallel pass happened."""
+        return bool(
+            self.timeouts or self.crashes or self.errors or self.serial_fallbacks
+        )
+
+    def as_extras(self) -> dict[str, float]:
+        """Counters in ``TraversalStats.extras`` form (floats, prefixed)."""
+        return {
+            "supervisor_timeouts": float(self.timeouts),
+            "supervisor_crashes": float(self.crashes),
+            "supervisor_errors": float(self.errors),
+            "supervisor_retries": float(self.retries),
+            "supervisor_serial_fallbacks": float(self.serial_fallbacks),
+            "supervisor_pools_created": float(self.pools_created),
+        }
+
+
+def _kill_executor(executor: ProcessPoolExecutor) -> None:
+    """Tear an executor down without waiting on stuck workers."""
+    processes = getattr(executor, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except (OSError, ValueError):  # pragma: no cover - already dead
+            pass
+    try:
+        executor.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - interpreter-teardown races
+        pass
+
+
+def supervised_map(
+    worker: Callable[[int, int, object], object],
+    chunks: Sequence[object],
+    n_jobs: int,
+    policy: SupervisionPolicy,
+    serial_fallback: Callable[[int, object], object],
+    mp_context,
+    initializer: Callable[..., None] | None = None,
+    initargs: tuple = (),
+) -> tuple[list[object], SupervisionReport]:
+    """Map ``worker`` over ``chunks`` under supervision; always completes.
+
+    ``worker`` is called as ``worker(chunk_index, attempt, chunk)`` in a
+    pool process; ``serial_fallback(chunk_index, chunk)`` runs in this
+    process for chunks that exhaust their retries (or when no pool can
+    be built at all). Results are returned in chunk order alongside a
+    :class:`SupervisionReport` of every supervision event.
+    """
+    results: list[object] = [_MISSING] * len(chunks)
+    attempts = [0] * len(chunks)
+    pending = list(range(len(chunks)))
+    report = SupervisionReport()
+    executor: ProcessPoolExecutor | None = None
+    executor_suspect = False
+
+    try:
+        while pending:
+            overdue = [i for i in pending if attempts[i] > policy.max_retries]
+            if overdue:
+                for index in overdue:
+                    results[index] = serial_fallback(index, chunks[index])
+                    report.serial_fallbacks += 1
+                pending = [i for i in pending if attempts[i] <= policy.max_retries]
+                if not pending:
+                    break
+
+            if executor is None:
+                try:
+                    executor = ProcessPoolExecutor(
+                        max_workers=max(1, n_jobs),
+                        mp_context=mp_context,
+                        initializer=initializer,
+                        initargs=initargs,
+                    )
+                    report.pools_created += 1
+                except (OSError, ValueError):
+                    # Pool construction itself failed (fd exhaustion,
+                    # unsupported platform): finish everything serially.
+                    for index in pending:
+                        results[index] = serial_fallback(index, chunks[index])
+                        report.serial_fallbacks += 1
+                    pending = []
+                    break
+
+            dispatch_round = [(i, attempts[i]) for i in pending]
+            for index, _attempt in dispatch_round:
+                if attempts[index] > 0:
+                    report.retries += 1
+            try:
+                futures = [
+                    (index, executor.submit(worker, index, attempt, chunks[index]))
+                    for index, attempt in dispatch_round
+                ]
+            except BrokenProcessPool:
+                # Pool broke between rounds; rebuild and retry the round
+                # without charging the chunks an attempt.
+                _kill_executor(executor)
+                executor = None
+                continue
+
+            failed: list[int] = []
+            for index, future in futures:
+                try:
+                    results[index] = future.result(timeout=policy.timeout)
+                except FutureTimeoutError:
+                    report.timeouts += 1
+                    failed.append(index)
+                    executor_suspect = True
+                    future.cancel()
+                except BrokenProcessPool:
+                    report.crashes += 1
+                    failed.append(index)
+                    executor_suspect = True
+                except Exception:
+                    report.errors += 1
+                    failed.append(index)
+
+            pending = failed
+            for index in failed:
+                attempts[index] += 1
+            if executor_suspect:
+                # A stuck worker may still occupy a slot (timeout) or
+                # the pool is broken (crash): never reuse it.
+                _kill_executor(executor)
+                executor = None
+                executor_suspect = False
+            if pending and policy.backoff > 0:
+                oldest = min(attempts[i] for i in pending)
+                time.sleep(policy.backoff * (2 ** max(oldest - 1, 0)))
+    finally:
+        if executor is not None:
+            _kill_executor(executor)
+
+    assert all(result is not _MISSING for result in results)
+    return results, report

@@ -10,6 +10,11 @@ from __future__ import annotations
 
 import numpy as np
 
+#: Policies for invalid *query* rows (training data always raises):
+#: "raise" rejects the whole batch, "flag" masks the offending rows and
+#: lets the caller answer them as degraded/UNCERTAIN.
+QUERY_POLICIES = ("raise", "flag")
+
 
 def as_finite_matrix(data: np.ndarray, name: str = "data") -> np.ndarray:
     """Coerce to a float64 ``(n, d)`` matrix, rejecting non-finite values.
@@ -30,3 +35,55 @@ def as_finite_matrix(data: np.ndarray, name: str = "data") -> np.ndarray:
             "clean or impute them before fitting/querying"
         )
     return matrix
+
+
+def as_query_matrix(
+    queries: np.ndarray,
+    dim: int,
+    policy: str = "raise",
+    name: str = "queries",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Validate a query batch under the shared input-hardening policy.
+
+    Returns ``(matrix, invalid_rows)`` where ``matrix`` is a float64
+    ``(q, dim)`` array safe to hand to either traversal engine and
+    ``invalid_rows`` is a boolean mask of rows that contained non-finite
+    values. Under ``policy="raise"`` (the default) any such row raises
+    ``ValueError`` instead, so the mask is all-False on return; under
+    ``policy="flag"`` the offending rows are zero-filled (they are never
+    actually traversed — callers must answer them from the mask) and
+    flagged. Wrong dtype and wrong shape always raise: they are
+    batch-level errors with no per-row interpretation.
+    """
+    if policy not in QUERY_POLICIES:
+        raise ValueError(f"unknown query policy {policy!r}; choose from {QUERY_POLICIES}")
+    try:
+        matrix = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    except (TypeError, ValueError) as error:
+        raise ValueError(
+            f"{name} must be numeric and coercible to float64: {error}"
+        ) from None
+    if matrix.ndim != 2:
+        raise ValueError(f"{name} must be a 2-d point matrix, got shape {matrix.shape}")
+    if matrix.size == 0:
+        # An empty batch is a valid no-op query.
+        return matrix.reshape(0, dim), np.zeros(0, dtype=bool)
+    if matrix.shape[1] != dim:
+        raise ValueError(
+            f"{name} dimensionality {matrix.shape[1]} does not match the "
+            f"training dimensionality {dim}"
+        )
+    invalid = ~np.all(np.isfinite(matrix), axis=1)
+    if not invalid.any():
+        return matrix, invalid
+    if policy == "raise":
+        bad = int(np.count_nonzero(~np.isfinite(matrix)))
+        raise ValueError(
+            f"{name} contains {bad} non-finite value(s) (NaN or inf) in "
+            f"{int(np.count_nonzero(invalid))} row(s); clean or impute them, "
+            "or classify with query_policy='flag' to have them marked "
+            "UNCERTAIN instead"
+        )
+    matrix = matrix.copy()
+    matrix[invalid] = 0.0
+    return matrix, invalid

@@ -1,0 +1,87 @@
+"""Property test: guard invariants hold on hostile datasets under fire.
+
+Random datasets skew toward the shapes that historically break interval
+bookkeeping — duplicate-heavy clumps (zero-width boxes) and extreme
+scales (underflow-prone distances) — while a seeded ``FaultPlan``
+corrupts a random fraction of node bounds and leaf sums. Under
+``guard_policy="repair"`` the classifier must still deliver finite,
+ordered, non-negative density intervals and plain HIGH/LOW labels for
+every query, on both engines, with and without coreset compression.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import FaultPlan, Label, TKDCClassifier, TKDCConfig
+
+
+@st.composite
+def hostile_workloads(draw):
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    dim = draw(st.integers(1, 3))
+    n = draw(st.integers(60, 200))
+    scale = draw(st.sampled_from([1e-6, 1.0, 1e6]))
+    duplicate_fraction = draw(st.sampled_from([0.0, 0.5, 0.9]))
+
+    data = rng.normal(size=(n, dim)) * scale
+    n_dup = int(duplicate_fraction * n)
+    if n_dup:
+        # Pile duplicates onto a few anchor points: zero-width leaves.
+        anchors = data[rng.integers(0, max(n - n_dup, 1), size=n_dup)]
+        data[n - n_dup:] = anchors
+    queries = np.concatenate(
+        [
+            data[rng.integers(0, n, size=8)],  # on-sample (dense/duplicated)
+            rng.uniform(-4 * scale, 4 * scale, size=(8, dim)),  # off-sample
+        ]
+    )
+
+    engine = draw(st.sampled_from(["per-query", "batch"]))
+    coreset = draw(st.sampled_from([None, "merge-reduce", "uniform"]))
+    mode = draw(st.sampled_from(["nan", "invert", "inf"]))
+    plan = FaultPlan(
+        bound_rate=draw(st.sampled_from([0.0, 0.02, 0.1])),
+        leaf_rate=draw(st.sampled_from([0.0, 0.05])),
+        corrupt_bound_mode=mode,
+        seed=seed,
+    )
+    budget = draw(st.sampled_from([None, 3]))
+    return data, queries, engine, coreset, plan, budget, seed
+
+
+@given(workload=hostile_workloads())
+@settings(max_examples=25, deadline=None)
+def test_repair_policy_yields_valid_results_under_random_faults(workload):
+    data, queries, engine, coreset, plan, budget, seed = workload
+    config = TKDCConfig(
+        p=0.1,
+        seed=seed,
+        engine=engine,
+        guard_policy="repair",
+        coreset=coreset,
+        coreset_fraction=0.5,
+        max_node_expansions=budget,
+        leaf_size=8,
+    )
+    clf = TKDCClassifier(config).fit(data)
+    clf.config = config.with_updates(fault_plan=plan)
+
+    result = clf.classify_detailed(queries, engine=engine)
+
+    # The interval invariant: ordered, finite lower edge, non-negative.
+    assert np.all(result.lower <= result.upper)
+    assert np.all(np.isfinite(result.lower))
+    assert np.all(result.lower >= 0.0)
+    # Labels stay binary; UNCERTAIN only ever comes from resolution.
+    assert set(result.labels) <= {Label.HIGH, Label.LOW}
+    resolved = result.resolved_labels()
+    assert set(resolved) <= {Label.HIGH, Label.LOW, Label.UNCERTAIN}
+    # Whatever was repaired, the batch is complete and self-consistent.
+    assert result.labels.shape == (queries.shape[0],)
+    assert not (result.uncertain & ~result.degraded).any()
+
+    # The same faulted classifier must also survive the plain paths.
+    labels = clf.classify(queries, engine=engine)
+    assert labels.shape == (queries.shape[0],)

@@ -1,0 +1,51 @@
+"""Shared fixtures for the fault-injection suite.
+
+Fitting is the slow part, so one clean classifier (and its reference
+labels) is shared module-wide; tests that need a faulted or budgeted
+variant swap the *config* on the fitted instance via ``with_updates``
+rather than refitting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import TKDCClassifier, TKDCConfig
+
+
+@pytest.fixture(scope="package")
+def train_data() -> np.ndarray:
+    rng = np.random.default_rng(7)
+    a = rng.normal(size=(600, 2)) * 0.5 + np.array([-2.0, 0.0])
+    b = rng.normal(size=(600, 2)) * 0.5 + np.array([2.0, 0.0])
+    return np.concatenate([a, b])
+
+
+@pytest.fixture(scope="package")
+def query_points() -> np.ndarray:
+    rng = np.random.default_rng(11)
+    # Mix of dense-region, sparse-region, and near-threshold queries so
+    # traversals exercise prunes, leaf evaluations, and deep expansion.
+    dense = rng.normal(size=(40, 2)) * 0.5 + np.array([-2.0, 0.0])
+    sparse = rng.uniform(-8.0, 8.0, size=(40, 2))
+    return np.concatenate([dense, sparse])
+
+
+@pytest.fixture(scope="package")
+def fitted(train_data: np.ndarray) -> TKDCClassifier:
+    """A clean fitted classifier; tests must not mutate its config in place."""
+    return TKDCClassifier(TKDCConfig(p=0.05, seed=3)).fit(train_data)
+
+
+@pytest.fixture(scope="package")
+def clean_labels(fitted: TKDCClassifier, query_points: np.ndarray) -> np.ndarray:
+    return fitted.classify(query_points)
+
+
+@pytest.fixture()
+def restore_config(fitted: TKDCClassifier):
+    """Let a test swap ``fitted.config`` and put the original back."""
+    original = fitted.config
+    yield fitted
+    fitted.config = original

@@ -1,0 +1,65 @@
+"""Atomic temp-then-rename writes: never a torn file, never a leftover."""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.io.atomic import atomic_write_bytes, atomic_write_text
+from repro.io.models import load_model, save_model
+
+
+def _entries(directory):
+    return sorted(p.name for p in directory.iterdir())
+
+
+class TestAtomicWrite:
+    def test_roundtrip_text_and_bytes(self, tmp_path):
+        text_path = atomic_write_text(tmp_path / "report.json", '{"ok": 1}')
+        assert text_path.read_text() == '{"ok": 1}'
+        bytes_path = atomic_write_bytes(tmp_path / "blob.bin", b"\x00\x01")
+        assert bytes_path.read_bytes() == b"\x00\x01"
+        # No temp residue next to either artifact.
+        assert _entries(tmp_path) == ["blob.bin", "report.json"]
+
+    def test_overwrite_replaces_complete_content(self, tmp_path):
+        target = tmp_path / "model.json"
+        atomic_write_text(target, "x" * 4096)
+        atomic_write_text(target, "short")
+        assert target.read_text() == "short"  # no stale suffix from the long file
+        assert _entries(tmp_path) == ["model.json"]
+
+    def test_creates_missing_parent_directories(self, tmp_path):
+        target = tmp_path / "deep" / "nested" / "out.txt"
+        atomic_write_text(target, "made it")
+        assert target.read_text() == "made it"
+
+    def test_failed_write_leaves_old_file_and_no_temp(self, tmp_path, monkeypatch):
+        target = tmp_path / "precious.json"
+        atomic_write_text(target, "old complete content")
+
+        def exploding_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="disk full"):
+            atomic_write_text(target, "new content that never lands")
+        # The interrupted write changed nothing observable.
+        assert target.read_text() == "old complete content"
+        assert _entries(tmp_path) == ["precious.json"]
+
+
+def test_model_save_is_atomic(tmp_path, fitted, query_points):
+    """``save_model`` rides the atomic path end to end."""
+    path = tmp_path / "clf.tkdc"
+    save_model(path, fitted)
+    assert _entries(tmp_path) == ["clf.tkdc"]
+    loaded = load_model(path)
+    assert np.array_equal(
+        loaded.classify(query_points), fitted.classify(query_points)
+    )
+    # The payload on disk is a complete pickle (a torn prefix would not
+    # unpickle at all).
+    with open(path, "rb") as handle:
+        pickle.load(handle)

@@ -1,0 +1,63 @@
+"""Regression: an exhausted threshold bootstrap degrades diagnosably.
+
+The failure is simulated by capping the iteration budget at 1 with more
+data than ``bootstrap_r0`` covers, so the bootstrap cannot reach the
+final full-data round before the cap.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+import repro.core.threshold as threshold_module
+from repro import BootstrapExhausted, GuardWarning, TKDCClassifier, TKDCConfig
+
+
+@pytest.fixture()
+def starved(monkeypatch):
+    monkeypatch.setattr(threshold_module, "_MAX_ITERATIONS", 1)
+
+
+def _data() -> np.ndarray:
+    rng = np.random.default_rng(5)
+    return rng.normal(size=(500, 2))  # > bootstrap_r0, so round 1 != final
+
+
+def test_exhausted_bootstrap_carries_the_last_bracket(starved):
+    config = TKDCConfig(p=0.05, seed=3)
+    assert config.bootstrap_r0 < 500
+    with pytest.raises(BootstrapExhausted) as info:
+        TKDCClassifier(config).fit(_data())
+    error = info.value
+    # The working bracket survives on the exception instead of dying
+    # with the traceback: finite, ordered, and non-negative.
+    assert math.isfinite(error.t_lower) and math.isfinite(error.t_upper)
+    assert 0.0 <= error.t_lower <= error.t_upper
+    assert error.iterations == 1
+    assert error.backoffs >= 0
+    assert "bootstrap_accept_widened" in str(error)
+    assert isinstance(error, RuntimeError)  # old excepts still catch it
+
+
+def test_accept_widened_completes_the_fit_with_a_warning(starved):
+    config = TKDCConfig(p=0.05, seed=3, bootstrap_accept_widened=True)
+    with pytest.warns(GuardWarning, match="iteration cap"):
+        clf = TKDCClassifier(config).fit(_data())
+    assert clf.is_fitted
+    estimate = clf.threshold
+    assert math.isfinite(estimate.value)
+    assert 0.0 <= estimate.lower <= estimate.value <= estimate.upper
+    # The degraded fit still classifies.
+    labels = clf.classify(np.array([[0.0, 0.0], [8.0, 8.0]]))
+    assert labels.shape == (2,)
+
+
+def test_converged_fit_never_warns_or_raises():
+    # Control arm with the real iteration budget: same data, clean fit.
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", GuardWarning)
+        clf = TKDCClassifier(TKDCConfig(p=0.05, seed=3)).fit(_data())
+    assert clf.is_fitted

@@ -1,0 +1,81 @@
+"""Anytime node-expansion budgets: degraded but always-valid answers."""
+
+import numpy as np
+import pytest
+
+from repro import ClassificationResult, Label
+from repro.core.bounds import BUDGET_STOPS_KEY
+
+ENGINES = ("per-query", "batch")
+
+
+def _budgeted(restore_config, budget):
+    clf = restore_config
+    clf.config = clf.config.with_updates(max_node_expansions=budget)
+    return clf
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestBudget:
+    def test_tiny_budget_degrades_with_valid_bounds(
+        self, restore_config, query_points, engine
+    ):
+        clf = _budgeted(restore_config, 1)
+        before = clf.stats.extras.get(BUDGET_STOPS_KEY, 0.0)
+        result = clf.classify_detailed(query_points, engine=engine)
+        assert isinstance(result, ClassificationResult)
+        assert result.degraded.any()
+        assert clf.stats.extras.get(BUDGET_STOPS_KEY, 0.0) > before
+        # Degraded or not, every interval must be a true statement:
+        # ordered, with a finite non-negative lower edge.
+        assert np.all(result.lower <= result.upper)
+        assert np.all(result.lower >= 0.0)
+        assert np.all(np.isfinite(result.lower))
+        # Labels are still plain HIGH/LOW; UNCERTAIN appears only after
+        # explicit resolution of the undecidable subset.
+        assert set(result.labels) <= {Label.HIGH, Label.LOW}
+
+    def test_uncertain_rows_resolve_to_uncertain_label(
+        self, restore_config, query_points, engine
+    ):
+        clf = _budgeted(restore_config, 1)
+        result = clf.classify_detailed(query_points, engine=engine)
+        resolved = result.resolved_labels()
+        assert np.array_equal(
+            resolved == Label.UNCERTAIN, result.uncertain
+        )
+        # A query whose budget-capped bounds straddle the threshold has
+        # no directional evidence; with budget 1 some query must.
+        assert result.uncertain.any()
+        # Uncertain is a subset of degraded.
+        assert not (result.uncertain & ~result.degraded).any()
+
+    def test_degraded_bounds_still_bracket_the_unbudgeted_interval(
+        self, restore_config, query_points, engine
+    ):
+        # Anytime validity: stopping early can only WIDEN the interval,
+        # so the budgeted bounds must contain the converged ones.
+        clf = _budgeted(restore_config, 4)
+        capped = clf.classify_detailed(query_points, engine=engine)
+        clf.config = clf.config.with_updates(max_node_expansions=None)
+        full = clf.classify_detailed(query_points, engine=engine)
+        tol = 1e-9
+        assert np.all(capped.lower <= full.lower + tol)
+        assert np.all(capped.upper >= full.upper - tol)
+
+    def test_unbudgeted_run_is_not_degraded_and_matches_classify(
+        self, restore_config, query_points, clean_labels, engine
+    ):
+        clf = _budgeted(restore_config, None)
+        result = clf.classify_detailed(query_points, engine=engine)
+        assert not result.degraded.any()
+        assert not result.invalid.any()
+        assert np.array_equal(result.labels, clean_labels)
+
+    def test_generous_budget_converges_undegraded(
+        self, restore_config, query_points, clean_labels, engine
+    ):
+        clf = _budgeted(restore_config, 10_000)
+        result = clf.classify_detailed(query_points, engine=engine)
+        assert not result.degraded.any()
+        assert np.array_equal(result.labels, clean_labels)

@@ -1,0 +1,127 @@
+"""FaultPlan / FaultInjector determinism: faults fire exactly as planned."""
+
+import numpy as np
+import pytest
+
+from repro.robustness.faults import (
+    WORKER_CRASH,
+    WORKER_STALL,
+    FaultInjector,
+    FaultPlan,
+)
+
+
+class TestFaultPlanValidation:
+    def test_rejects_unknown_bound_mode(self):
+        with pytest.raises(ValueError, match="corrupt_bound_mode"):
+            FaultPlan(corrupt_bound_mode="flip")
+
+    def test_rejects_negative_fail_attempts(self):
+        with pytest.raises(ValueError, match="fail_attempts"):
+            FaultPlan(fail_attempts=-1)
+
+    @pytest.mark.parametrize("field", ["bound_rate", "leaf_rate"])
+    def test_rejects_out_of_range_rates(self, field):
+        with pytest.raises(ValueError, match=field):
+            FaultPlan(**{field: 1.5})
+
+    def test_rejects_crash_stall_overlap(self):
+        with pytest.raises(ValueError, match=r"\[1\]"):
+            FaultPlan(crash_chunks=(0, 1), stall_chunks=(1, 2))
+
+    def test_targets_properties(self):
+        assert not FaultPlan().targets_traversal
+        assert not FaultPlan().targets_workers
+        assert FaultPlan(corrupt_bound_nodes=(3,)).targets_traversal
+        assert FaultPlan(underflow_leaves=(0,)).targets_traversal
+        assert FaultPlan(bound_rate=0.1).targets_traversal
+        assert FaultPlan(crash_chunks=(0,)).targets_workers
+        assert FaultPlan(stall_chunks=(2,)).targets_workers
+        assert not FaultPlan(crash_chunks=(0,)).targets_traversal
+
+
+class TestWorkerFault:
+    def test_pure_function_of_chunk_and_attempt(self):
+        plan = FaultPlan(crash_chunks=(0,), stall_chunks=(2,), fail_attempts=2)
+        assert plan.worker_fault(0, 0) == WORKER_CRASH
+        assert plan.worker_fault(0, 1) == WORKER_CRASH
+        assert plan.worker_fault(0, 2) is None  # retries past fail_attempts clear
+        assert plan.worker_fault(2, 0) == WORKER_STALL
+        assert plan.worker_fault(1, 0) is None
+
+    def test_zero_fail_attempts_never_fires(self):
+        plan = FaultPlan(crash_chunks=(0,), fail_attempts=0)
+        assert plan.worker_fault(0, 0) is None
+
+
+class TestInjectorOrdinals:
+    def test_scalar_bound_ordinals_fire_exactly_as_planned(self):
+        injector = FaultInjector(FaultPlan(corrupt_bound_nodes=(1, 3)))
+        outcomes = [injector.corrupt_bounds(0.25, 0.75) for _ in range(5)]
+        for ordinal, (lower, upper) in enumerate(outcomes):
+            if ordinal in (1, 3):
+                assert np.isnan(lower)  # default mode corrupts the lower edge
+            else:
+                assert (lower, upper) == (0.25, 0.75)
+        assert injector.fired == 2
+
+    def test_array_hook_consumes_one_ordinal_per_pair(self):
+        injector = FaultInjector(FaultPlan(corrupt_bound_nodes=(2, 4)))
+        lower = np.full(3, 0.1)
+        upper = np.full(3, 0.9)
+        out_l, out_u = injector.corrupt_bounds_array(lower, upper)  # ordinals 0-2
+        assert np.isnan(out_l[2]) and not np.isnan(out_l[:2]).any()
+        out_l2, __ = injector.corrupt_bounds_array(lower, upper)  # ordinals 3-5
+        assert np.isnan(out_l2[1])
+        assert injector.fired == 2
+        # Inputs are never corrupted in place.
+        assert not np.isnan(lower).any()
+
+    def test_scalar_and_array_hooks_agree_on_ordinals(self):
+        plan = FaultPlan(corrupt_bound_nodes=(0, 5))
+        scalar = FaultInjector(plan)
+        hits_scalar = [
+            np.isnan(scalar.corrupt_bounds(0.0, 1.0)[0]) for _ in range(6)
+        ]
+        vector = FaultInjector(plan)
+        out_l, __ = vector.corrupt_bounds_array(np.zeros(6), np.ones(6))
+        assert hits_scalar == list(np.isnan(out_l))
+
+    @pytest.mark.parametrize(
+        "mode,check",
+        [
+            ("nan", lambda lo, up: np.isnan(lo)),
+            ("inf", lambda lo, up: np.isposinf(up)),
+            ("invert", lambda lo, up: lo > up),
+        ],
+    )
+    def test_corruption_modes(self, mode, check):
+        injector = FaultInjector(
+            FaultPlan(corrupt_bound_nodes=(0,), corrupt_bound_mode=mode)
+        )
+        lower, upper = injector.corrupt_bounds(0.2, 0.8)
+        assert check(lower, upper)
+
+    def test_leaf_ordinals_and_value(self):
+        injector = FaultInjector(
+            FaultPlan(underflow_leaves=(1,), underflow_value=-1.0)
+        )
+        assert injector.corrupt_leaf(3.0) == 3.0
+        assert injector.corrupt_leaf(3.0) == -1.0
+        assert injector.corrupt_leaf(3.0) == 3.0
+        exact = np.array([5.0, 6.0])
+        injector2 = FaultInjector(FaultPlan(underflow_leaves=(1,)))
+        out = injector2.corrupt_leaves_array(exact)
+        assert out[0] == 5.0 and out[1] == 0.0
+        assert exact[1] == 6.0  # input untouched
+        assert injector2.fired == 1
+
+    def test_rate_draws_are_deterministic_given_seed(self):
+        plan = FaultPlan(bound_rate=0.5, seed=42)
+        a = FaultInjector(plan)
+        b = FaultInjector(plan)
+        for _ in range(50):
+            hit_a = np.isnan(a.corrupt_bounds(0.0, 1.0)[0])
+            hit_b = np.isnan(b.corrupt_bounds(0.0, 1.0)[0])
+            assert hit_a == hit_b
+        assert a.fired == b.fired > 0

@@ -1,0 +1,103 @@
+"""Shared query validation: identical behaviour from every entry point.
+
+The hardening contract lives in ``repro.validation.as_query_matrix`` and
+is applied before engine dispatch, so both engines (and every public
+method) must agree exactly on what happens to a bad row.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import Label
+from repro.validation import as_query_matrix
+
+ENGINES = ("per-query", "batch")
+
+
+@pytest.fixture()
+def tainted(query_points):
+    queries = query_points[:10].copy()
+    queries[3, 0] = np.nan
+    queries[7, 1] = np.inf
+    return queries
+
+
+class TestValidationFunction:
+    def test_raise_policy_names_the_flag_alternative(self, tainted):
+        with pytest.raises(ValueError, match="query_policy='flag'"):
+            as_query_matrix(tainted, dim=2, policy="raise")
+
+    def test_flag_policy_zero_fills_and_masks(self, tainted):
+        matrix, invalid = as_query_matrix(tainted, dim=2, policy="flag")
+        assert list(np.flatnonzero(invalid)) == [3, 7]
+        assert np.isfinite(matrix).all()  # flagged rows are never traversed
+        valid = ~invalid
+        assert np.array_equal(matrix[valid], tainted[valid])
+
+    def test_shape_and_dtype_always_raise(self):
+        for policy in ("raise", "flag"):
+            with pytest.raises(ValueError):
+                as_query_matrix(np.zeros((3, 5)), dim=2, policy=policy)
+            with pytest.raises(ValueError):
+                as_query_matrix(
+                    np.array([["a", "b"]], dtype=object), dim=2, policy=policy
+                )
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestClassifierEntryPoints:
+    def test_raise_policy_rejects_the_batch(self, restore_config, tainted, engine):
+        clf = restore_config
+        clf.config = clf.config.with_updates(query_policy="raise")
+        with pytest.raises(ValueError, match="non-finite"):
+            clf.classify(tainted, engine=engine)
+
+    def test_flag_policy_is_engine_consistent(
+        self, restore_config, tainted, clean_labels, engine
+    ):
+        clf = restore_config
+        clf.config = clf.config.with_updates(query_policy="flag")
+
+        labels = clf.classify(tainted, engine=engine)
+        assert labels[3] == Label.UNCERTAIN and labels[7] == Label.UNCERTAIN
+        valid = [i for i in range(10) if i not in (3, 7)]
+        assert np.array_equal(labels[valid], clean_labels[:10][valid])
+
+        predictions = clf.predict(tainted, engine=engine)
+        assert predictions[3] == 2 and predictions[7] == 2
+        assert np.array_equal(
+            predictions[valid],
+            np.array([int(label == Label.HIGH) for label in labels[valid]]),
+        )
+
+        densities = clf.estimate_density(tainted, engine=engine)
+        assert np.isnan(densities[[3, 7]]).all()
+        assert np.isfinite(densities[valid]).all()
+
+        bounds = clf.decision_bounds(tainted, engine=engine)
+        for row in (3, 7):
+            assert bounds[row].lower == 0.0
+            assert math.isinf(bounds[row].upper)
+        for row in valid:
+            assert math.isfinite(bounds[row].upper)
+
+        detailed = clf.classify_detailed(tainted, engine=engine)
+        assert detailed.invalid[3] and detailed.invalid[7]
+        assert detailed.degraded[3] and detailed.degraded[7]
+        assert detailed.resolved_labels()[3] == Label.UNCERTAIN
+        assert np.array_equal(detailed.labels[valid], labels[valid])
+
+    def test_both_engines_reject_wrong_dimension(self, fitted, engine):
+        with pytest.raises(ValueError):
+            fitted.classify(np.zeros((4, 9)), engine=engine)
+
+
+def test_classify_batch_flags_invalid_rows(restore_config, tainted, clean_labels):
+    clf = restore_config
+    clf.config = clf.config.with_updates(query_policy="flag")
+    labels = clf.classify_batch(tainted)
+    assert labels[3] == Label.UNCERTAIN and labels[7] == Label.UNCERTAIN
+    valid = [i for i in range(10) if i not in (3, 7)]
+    assert np.array_equal(labels[valid], clean_labels[:10][valid])

@@ -1,0 +1,117 @@
+"""End-to-end parallel classify under injected worker faults.
+
+These tests drive ``TKDCClassifier._classify_parallel`` directly (the
+public ``classify`` clamps ``n_jobs`` to the machine's core count and
+gates on a minimum batch size — irrelevant here, where the point is the
+supervision behaviour, not the speedup). The acceptance bar from the
+issue: a killed worker and a stalled worker must BOTH yield a complete,
+label-correct batch.
+"""
+
+import numpy as np
+import pytest
+
+from repro import FaultPlan, Label
+
+
+def _extras_delta(clf, before):
+    return {
+        key: value - before.get(key, 0.0)
+        for key, value in clf.stats.extras.items()
+    }
+
+
+@pytest.fixture()
+def scaled_queries(fitted, query_points):
+    return fitted.kernel.scale(query_points)
+
+
+@pytest.fixture()
+def clean_highs(clean_labels):
+    return np.array([label == Label.HIGH for label in clean_labels])
+
+
+def _run_parallel(fitted, scaled):
+    return fitted._classify_parallel(scaled, fitted.threshold.value, 2)
+
+
+class TestParallelFaults:
+    def test_unfaulted_parallel_matches_serial_labels(
+        self, restore_config, scaled_queries, clean_highs
+    ):
+        clf = restore_config
+        before = dict(clf.stats.extras)
+        highs = _run_parallel(clf, scaled_queries)
+        delta = _extras_delta(clf, before)
+        assert np.array_equal(highs, clean_highs)
+        assert delta.get("supervisor_pools_created") == 1.0
+        for event in ("crashes", "timeouts", "errors", "serial_fallbacks"):
+            assert delta.get(f"supervisor_{event}", 0.0) == 0.0
+
+    def test_killed_worker_yields_complete_correct_batch(
+        self, restore_config, scaled_queries, clean_highs
+    ):
+        clf = restore_config
+        clf.config = clf.config.with_updates(
+            fault_plan=FaultPlan(crash_chunks=(0,)),
+            worker_backoff=0.0,
+        )
+        before = dict(clf.stats.extras)
+        highs = _run_parallel(clf, scaled_queries)
+        delta = _extras_delta(clf, before)
+        assert highs.shape[0] == scaled_queries.shape[0]
+        assert np.array_equal(highs, clean_highs)
+        assert delta.get("supervisor_crashes", 0.0) >= 1.0
+        assert delta.get("supervisor_retries", 0.0) >= 1.0
+        assert delta.get("supervisor_pools_created", 0.0) >= 2.0
+
+    def test_stalled_worker_yields_complete_correct_batch(
+        self, restore_config, scaled_queries, clean_highs
+    ):
+        clf = restore_config
+        clf.config = clf.config.with_updates(
+            fault_plan=FaultPlan(stall_chunks=(0,)),
+            worker_timeout=3.0,
+            worker_backoff=0.0,
+        )
+        before = dict(clf.stats.extras)
+        highs = _run_parallel(clf, scaled_queries)
+        delta = _extras_delta(clf, before)
+        assert np.array_equal(highs, clean_highs)
+        assert delta.get("supervisor_timeouts", 0.0) >= 1.0
+        assert delta.get("supervisor_pools_created", 0.0) >= 2.0
+
+    def test_simultaneous_crash_and_stall_still_complete(
+        self, restore_config, scaled_queries, clean_highs
+    ):
+        clf = restore_config
+        clf.config = clf.config.with_updates(
+            fault_plan=FaultPlan(crash_chunks=(0,), stall_chunks=(1,)),
+            worker_timeout=3.0,
+            worker_backoff=0.0,
+        )
+        before = dict(clf.stats.extras)
+        highs = _run_parallel(clf, scaled_queries)
+        delta = _extras_delta(clf, before)
+        assert np.array_equal(highs, clean_highs)
+        # Both faulted chunks needed supervisor intervention (the crash
+        # may surface the stalled chunk as a broken pool before its
+        # deadline, so only the retry total is deterministic).
+        assert delta.get("supervisor_retries", 0.0) >= 2.0
+
+    def test_permanently_poisoned_chunk_completes_via_serial_fallback(
+        self, restore_config, scaled_queries, clean_highs
+    ):
+        clf = restore_config
+        clf.config = clf.config.with_updates(
+            fault_plan=FaultPlan(crash_chunks=(0,), fail_attempts=99),
+            worker_retries=1,
+            worker_backoff=0.0,
+        )
+        before = dict(clf.stats.extras)
+        highs = _run_parallel(clf, scaled_queries)
+        delta = _extras_delta(clf, before)
+        # The fallback runs the same traversal in-process and clean, so
+        # even a chunk whose every dispatch dies comes back correct.
+        assert np.array_equal(highs, clean_highs)
+        assert delta.get("supervisor_serial_fallbacks", 0.0) >= 1.0

@@ -1,0 +1,139 @@
+"""Supervised dispatch unit tests: crash, stall, error, retry, fallback.
+
+Workers live at module level so the pool can pickle them by reference;
+faults key on ``(chunk_index, attempt)`` exactly like the production
+plan, so every scenario is deterministic.
+"""
+
+import multiprocessing
+import os
+import threading
+
+import pytest
+
+from repro.robustness.supervisor import (
+    SupervisionPolicy,
+    SupervisionReport,
+    supervised_map,
+)
+
+FORK = multiprocessing.get_context("fork")
+
+#: Deadlines are generous vs the work (instant) but small vs suite time.
+FAST = SupervisionPolicy(timeout=10.0, max_retries=2, backoff=0.0)
+
+
+def _echo(index, attempt, chunk):
+    return (index, attempt, chunk)
+
+
+def _crash_first_attempt(index, attempt, chunk):
+    if index == 0 and attempt == 0:
+        os._exit(17)
+    return (index, attempt, chunk)
+
+
+def _always_crash(index, attempt, chunk):
+    os._exit(17)
+
+
+def _stall_first_attempt(index, attempt, chunk):
+    if index == 0 and attempt == 0:
+        threading.Event().wait()  # blocks until the deadline reclaims it
+    return (index, attempt, chunk)
+
+
+def _raise_first_attempt(index, attempt, chunk):
+    if index == 2 and attempt == 0:
+        raise ValueError("transient worker bug")
+    return (index, attempt, chunk)
+
+
+def _serial(index, chunk):
+    return ("serial", index, chunk)
+
+
+class TestPolicyValidation:
+    def test_rejects_non_positive_timeout(self):
+        with pytest.raises(ValueError, match="timeout"):
+            SupervisionPolicy(timeout=0.0)
+
+    def test_rejects_negative_retries_and_backoff(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            SupervisionPolicy(max_retries=-1)
+        with pytest.raises(ValueError, match="backoff"):
+            SupervisionPolicy(backoff=-0.1)
+
+    def test_none_timeout_allowed(self):
+        assert SupervisionPolicy(timeout=None).timeout is None
+
+
+class TestReport:
+    def test_degraded_flag(self):
+        assert not SupervisionReport(pools_created=1, retries=0).degraded
+        assert SupervisionReport(crashes=1).degraded
+        assert SupervisionReport(timeouts=1).degraded
+        assert SupervisionReport(serial_fallbacks=1).degraded
+
+    def test_as_extras_shape(self):
+        extras = SupervisionReport(crashes=2).as_extras()
+        assert extras["supervisor_crashes"] == 2.0
+        assert all(key.startswith("supervisor_") for key in extras)
+        assert all(isinstance(value, float) for value in extras.values())
+
+
+class TestSupervisedMap:
+    def test_clean_run_is_ordered_and_undegraded(self):
+        results, report = supervised_map(
+            _echo, ["a", "b", "c"], 2, FAST, _serial, FORK
+        )
+        assert [chunk for (__, __, chunk) in results] == ["a", "b", "c"]
+        assert [index for (index, __, __) in results] == [0, 1, 2]
+        assert report.pools_created == 1
+        assert not report.degraded
+
+    def test_crashed_worker_is_detected_and_chunk_retried(self):
+        results, report = supervised_map(
+            _crash_first_attempt, ["a", "b", "c"], 2, FAST, _serial, FORK
+        )
+        assert [chunk for (*__, chunk) in results] == ["a", "b", "c"]
+        # Chunk 0 completed on a retry, not the serial fallback.
+        assert results[0][1] >= 1
+        assert report.crashes >= 1
+        assert report.retries >= 1
+        assert report.pools_created >= 2  # broken pool was rebuilt
+        assert report.serial_fallbacks == 0
+        assert report.degraded
+
+    def test_stalled_worker_is_reclaimed_by_deadline(self):
+        policy = SupervisionPolicy(timeout=1.5, max_retries=2, backoff=0.0)
+        results, report = supervised_map(
+            _stall_first_attempt, ["a", "b"], 2, policy, _serial, FORK
+        )
+        assert [chunk for (*__, chunk) in results] == ["a", "b"]
+        assert results[0][1] >= 1
+        assert report.timeouts >= 1
+        assert report.pools_created >= 2  # suspect pool was torn down
+        assert report.serial_fallbacks == 0
+
+    def test_worker_exception_is_retried_not_fatal(self):
+        results, report = supervised_map(
+            _raise_first_attempt, ["a", "b", "c"], 2, FAST, _serial, FORK
+        )
+        assert [chunk for (*__, chunk) in results] == ["a", "b", "c"]
+        assert report.errors == 1
+        assert report.retries >= 1
+
+    def test_permanent_crash_falls_back_to_serial(self):
+        # One chunk, so retry accounting is exact: attempts 0 and 1 both
+        # crash, the attempt counter passes max_retries, and the serial
+        # fallback completes the batch in-process.
+        policy = SupervisionPolicy(timeout=10.0, max_retries=1, backoff=0.0)
+        results, report = supervised_map(
+            _always_crash, ["only"], 1, policy, _serial, FORK
+        )
+        assert results == [("serial", 0, "only")]
+        assert report.serial_fallbacks == 1
+        assert report.crashes == 2
+        assert report.retries == 1
+        assert report.degraded
