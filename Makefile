@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-faults bench bench-batch bench-coreset bench-coreset-smoke bench-robustness experiments demo clean
+.PHONY: install test test-fast test-faults test-serve serve-smoke bench bench-batch bench-coreset bench-coreset-smoke bench-robustness bench-serving bench-serving-smoke experiments demo clean
 
 install:
 	pip install -e ".[test]"
@@ -17,6 +17,16 @@ test-fast:
 # stalled pool workers, budget degradation, input hardening.
 test-faults:
 	$(PYTHON) -m pytest tests/robustness -q
+
+# Serving-daemon suite: admission control, deadlines, circuit breaker,
+# verified hot reload, and the overload+faults soak test.
+test-serve:
+	$(PYTHON) -m pytest tests/serve -q
+
+# End-to-end daemon smoke as a real subprocess: start, classify, drain
+# on SIGTERM. CI wraps this in a hard `timeout`.
+serve-smoke:
+	$(PYTHON) scripts/serve_smoke.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
@@ -34,6 +44,13 @@ bench-coreset-smoke:
 
 bench-robustness:
 	$(PYTHON) benchmarks/bench_robustness.py
+
+bench-serving:
+	$(PYTHON) benchmarks/bench_serving.py
+
+# Tiny-size smoke of the serving bench (CI; report not written).
+bench-serving-smoke:
+	$(PYTHON) benchmarks/bench_serving.py --smoke
 
 experiments:
 	$(PYTHON) -m repro run all --save

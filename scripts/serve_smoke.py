@@ -1,0 +1,102 @@
+"""End-to-end smoke of the serving daemon as a real OS process.
+
+Fits a tiny model, launches ``python -m repro serve`` as a subprocess,
+waits for readiness, exercises the health/classify/statz endpoints,
+then sends SIGTERM and requires a clean drain (exit code 0). Run via
+``make serve-smoke``; CI wraps it in a hard ``timeout`` so a daemon
+that fails to drain turns into a job failure, not a stuck runner.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+sys.path.insert(0, str(SRC))
+
+import numpy as np  # noqa: E402
+
+from repro.core.classifier import TKDCClassifier  # noqa: E402
+from repro.core.config import TKDCConfig  # noqa: E402
+from repro.io.models import save_model  # noqa: E402
+from repro.serve.client import ServeClient  # noqa: E402
+
+PORT = 7399
+
+
+def fail(message: str, process: subprocess.Popen | None = None) -> int:
+    print(f"FAIL: {message}", file=sys.stderr)
+    if process is not None and process.poll() is None:
+        process.kill()
+    return 1
+
+
+def main() -> int:
+    rng = np.random.default_rng(11)
+    data = np.concatenate([
+        rng.normal(size=(500, 2)) * 0.5 + np.array([-2.0, 0.0]),
+        rng.normal(size=(500, 2)) * 0.5 + np.array([2.0, 0.0]),
+    ])
+    clf = TKDCClassifier(TKDCConfig(p=0.05, seed=1)).fit(data)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        model_path = save_model(Path(tmp) / "smoke", clf)
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--model", str(model_path),
+                "--port", str(PORT),
+                "--default-deadline-ms", "2000",
+            ],
+            env={**os.environ, "PYTHONPATH": str(SRC)},
+            cwd=REPO,
+        )
+        client = ServeClient("127.0.0.1", PORT, timeout=30.0)
+        try:
+            if not client.wait_ready(30.0):
+                return fail("daemon never became ready", process)
+
+            status, payload = client.healthz()
+            if status != 200 or payload.get("status") != "ok":
+                return fail(f"healthz: {status} {payload}", process)
+
+            status, payload = client.classify(
+                [[-2.0, 0.0], [0.0, 9.0]], deadline_ms=2000
+            )
+            if status != 200:
+                return fail(f"classify: {status} {payload}", process)
+            if payload["labels"][0] != 1 or payload["labels"][1] != 0:
+                return fail(f"unexpected labels: {payload['labels']}", process)
+
+            status, payload = client.classify([[1.0]], deadline_ms=2000)
+            if status != 400:
+                return fail(f"bad request not rejected: {status}", process)
+
+            status, statz = client.statz()
+            if status != 200 or statz["submitted"] != 2:
+                return fail(f"statz: {status} {statz}", process)
+            if statz["completed"] != 1 or statz["rejected"] != 1:
+                return fail(f"statz counters off: {statz}", process)
+        except OSError as exc:
+            return fail(f"daemon connection failed: {exc}", process)
+
+        process.send_signal(signal.SIGTERM)
+        try:
+            code = process.wait(timeout=30.0)
+        except subprocess.TimeoutExpired:
+            return fail("daemon did not drain within 30s of SIGTERM", process)
+        if code != 0:
+            return fail(f"daemon exited {code} after SIGTERM")
+
+    print("serve smoke OK: ready -> classify -> statz -> SIGTERM drain")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -73,6 +73,40 @@ def _add_classify_parser(subparsers: argparse._SubParsersAction) -> None:
                                "UNCERTAIN ('flag')")
 
 
+def _add_serve_parser(subparsers: argparse._SubParsersAction) -> None:
+    serve = subparsers.add_parser(
+        "serve",
+        help="run a saved model as a resilient long-running HTTP daemon",
+        description="Serve a .tkdc model over HTTP with admission control, "
+                    "deadline-aware budgets, a circuit breaker, and verified "
+                    "hot reload (see docs/serving.md).",
+    )
+    serve.add_argument("--model", required=True, help="model saved by 'tkdc fit'")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7317,
+                       help="bind port (0 picks an ephemeral port)")
+    serve.add_argument("--max-concurrency", type=int, default=4,
+                       help="requests classifying simultaneously")
+    serve.add_argument("--queue-depth", type=int, default=16,
+                       help="waiting slots beyond --max-concurrency; "
+                            "arrivals past that are shed with a 429")
+    serve.add_argument("--default-deadline-ms", type=float, default=1000.0,
+                       help="deadline granted to requests that name none")
+    serve.add_argument("--max-rows", type=int, default=4096,
+                       help="per-request query-row ceiling (413 beyond)")
+    serve.add_argument("--watchdog-grace", type=float, default=2.0,
+                       help="seconds past the deadline before a wedged "
+                            "handler is abandoned with a 503")
+    serve.add_argument("--breaker-threshold", type=float, default=0.5,
+                       help="failure rate (errors + exact-O(n) fallbacks) "
+                            "that opens the circuit breaker")
+    serve.add_argument("--breaker-cooldown", type=float, default=5.0,
+                       help="seconds the breaker stays open before "
+                            "half-open recovery probes")
+    serve.add_argument("--drain-timeout", type=float, default=10.0,
+                       help="seconds SIGTERM waits for in-flight requests")
+
+
 def _add_diagnose_parser(subparsers: argparse._SubParsersAction) -> None:
     diagnose = subparsers.add_parser(
         "diagnose", help="per-query cost profile of a saved model on a CSV workload"
@@ -93,6 +127,7 @@ def main(argv: list[str] | None = None) -> int:
     _add_run_parser(subparsers)
     _add_fit_parser(subparsers)
     _add_classify_parser(subparsers)
+    _add_serve_parser(subparsers)
     _add_diagnose_parser(subparsers)
     args = parser.parse_args(argv)
 
@@ -108,9 +143,36 @@ def main(argv: list[str] | None = None) -> int:
         return _fit(args)
     if args.command == "classify":
         return _classify(args)
+    if args.command == "serve":
+        return _serve(args)
     if args.command == "diagnose":
         return _diagnose(args)
     return _run(args)
+
+
+def _serve(args: argparse.Namespace) -> int:
+    import logging
+
+    from repro.serve import ServeConfig
+    from repro.serve.daemon import serve
+
+    logging.basicConfig(
+        level=logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_concurrency=args.max_concurrency,
+        queue_depth=args.queue_depth,
+        default_deadline=args.default_deadline_ms / 1000.0,
+        max_rows=args.max_rows,
+        watchdog_grace=args.watchdog_grace,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        drain_timeout=args.drain_timeout,
+    )
+    return serve(args.model, config)
 
 
 def _diagnose(args: argparse.Namespace) -> int:

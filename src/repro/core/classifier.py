@@ -25,6 +25,7 @@ import math
 import multiprocessing
 import os
 import threading
+import time
 import warnings
 
 import numpy as np
@@ -720,6 +721,46 @@ class TKDCClassifier:
         # traversal (they time-slice one another plus pay fork/pickle
         # overhead), so a larger request clamps to the machine.
         return cores if n_jobs == -1 else min(n_jobs, cores)
+
+    def measure_expansion_rate(
+        self, queries: np.ndarray, repeats: int = 1
+    ) -> tuple[float, int]:
+        """Measure traversal node expansions per second on this host.
+
+        Runs the standard classify pipeline over ``queries`` (fresh
+        stats, in-process, current config) ``repeats`` times and returns
+        ``(expansions_per_second, expansions_observed)``. The serving
+        layer uses the rate to translate a request deadline into a
+        per-query ``max_node_expansions`` anytime budget (see
+        :mod:`repro.serve.calibrate`); anything that needs a
+        machine-specific cost model can reuse it.
+
+        The measurement deliberately includes grid-cache shortcuts and
+        pruning: the rate describes expansions per wall-clock second of
+        the *real* pipeline, which is exactly the quantity a deadline
+        must be converted through. A calibration workload whose queries
+        all short-circuit yields ``expansions_observed == 0``; callers
+        must treat the rate as unusable then (the serving layer falls
+        back to a conservative floor).
+        """
+        self._require_fitted()
+        if repeats < 1:
+            raise ValueError(f"repeats must be >= 1, got {repeats}")
+        matrix, invalid = self._as_query_matrix(queries)
+        valid = matrix[~invalid]
+        if valid.shape[0] == 0:
+            return 0.0, 0
+        scaled = self.kernel.scale(valid)
+        stats = TraversalStats()
+        start = time.perf_counter()
+        for __ in range(repeats):
+            self._classify_scaled_block(
+                scaled, self.threshold.value, stats, engine="batch"
+            )
+        elapsed = time.perf_counter() - start
+        if stats.node_expansions <= 0 or elapsed <= 0.0:
+            return 0.0, int(stats.node_expansions)
+        return stats.node_expansions / elapsed, int(stats.node_expansions)
 
     def classify_batch(self, queries: np.ndarray) -> np.ndarray:
         """Classify a batch of queries with dual-tree block sharing.

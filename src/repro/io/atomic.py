@@ -9,6 +9,13 @@ flushed and fsynced, and only then moved over the destination with
 ``os.replace`` — which on POSIX atomically swaps the directory entry.
 Readers observe either the old complete file or the new complete file,
 never a prefix.
+
+After the rename, the *parent directory* is fsynced too (best-effort):
+``os.replace`` makes the swap atomic in memory, but the new directory
+entry itself is not durable until the directory's metadata reaches
+disk — a power cut right after the rename could otherwise roll the
+directory back and lose the new file entirely. Platforms that refuse
+directory file descriptors simply skip this step.
 """
 
 from __future__ import annotations
@@ -16,6 +23,26 @@ from __future__ import annotations
 import os
 import tempfile
 from pathlib import Path
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Flush a directory's entry table to disk, tolerating refusal.
+
+    Opening or fsyncing a directory fd fails on some platforms and
+    filesystems (e.g. Windows, some network mounts); those ``OSError``s
+    are swallowed — the write itself already succeeded, durability of
+    the rename is merely best-effort there.
+    """
+    try:
+        descriptor = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(descriptor)
+    except OSError:
+        pass
+    finally:
+        os.close(descriptor)
 
 
 def atomic_write_bytes(path: Path | str, data: bytes) -> Path:
@@ -31,6 +58,7 @@ def atomic_write_bytes(path: Path | str, data: bytes) -> Path:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp_name, path)
+        _fsync_directory(path.parent)
     except BaseException:
         # Never leave the temp file behind — the write failed, the old
         # destination (if any) is still intact.

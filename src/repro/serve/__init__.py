@@ -1,0 +1,34 @@
+"""Resilient serving daemon for tKDC models.
+
+The long-running counterpart to the one-shot CLI: a stdlib-only HTTP
+server composing the PR 3 robustness primitives (anytime budgets,
+``classify_detailed`` degradation flags, guards, atomic writes) into a
+service with honest failure semantics — admission control with load
+shedding, deadline→budget propagation with a hard watchdog, a circuit
+breaker, and checksum+canary-verified hot reload with graceful drain.
+
+Start one with ``repro serve --model m.tkdc --port 7317``; see
+``docs/serving.md`` for the protocol.
+"""
+
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.calibrate import BudgetCalibration, calibrate, probe_queries
+from repro.serve.client import ServeClient
+from repro.serve.config import ServeConfig
+from repro.serve.daemon import TKDCServer, serve
+from repro.serve.reload import ModelManager, ReloadResult
+from repro.serve.stats import ServerStats
+
+__all__ = [
+    "BudgetCalibration",
+    "CircuitBreaker",
+    "ModelManager",
+    "ReloadResult",
+    "ServeClient",
+    "ServeConfig",
+    "ServerStats",
+    "TKDCServer",
+    "calibrate",
+    "probe_queries",
+    "serve",
+]

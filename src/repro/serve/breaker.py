@@ -1,0 +1,144 @@
+"""Closed / open / half-open circuit breaker for the serving daemon.
+
+The breaker watches a sliding window of per-request outcomes, where a
+*failure* is either a handler error or an exact-``O(n)`` guard fallback
+(the traversal's own "something is structurally wrong" signal — see
+``docs/robustness.md``). When the failure rate over at least
+``min_requests`` observations reaches ``threshold``, the breaker
+*opens*: requests are served fast degraded answers (a tiny anytime
+budget) instead of hammering a misbehaving pipeline. After ``cooldown``
+seconds it becomes *half-open* and admits up to ``probes`` full-service
+probe requests; ``probes`` consecutive probe successes close it (window
+cleared), any probe failure re-opens it and restarts the cooldown.
+
+The clock is injectable so tests drive transitions deterministically
+without sleeping. All methods are thread-safe.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable
+
+#: Breaker states.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+#: Service modes handed out by :meth:`CircuitBreaker.admit`.
+MODE_FULL = "full"  #: normal service, outcome feeds the window
+MODE_PROBE = "probe"  #: half-open trial request at full service
+MODE_DEGRADED = "degraded"  #: breaker open: fast degraded service
+
+
+class CircuitBreaker:
+    """Latching failure-rate breaker with half-open recovery probes."""
+
+    def __init__(
+        self,
+        window: int = 64,
+        min_requests: int = 16,
+        threshold: float = 0.5,
+        cooldown: float = 5.0,
+        probes: int = 3,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: Callable[[str, str], None] | None = None,
+    ) -> None:
+        if min_requests > window:
+            raise ValueError(
+                f"min_requests ({min_requests}) cannot exceed window ({window})"
+            )
+        self._lock = threading.Lock()
+        self._window = window
+        self._min_requests = min_requests
+        self._threshold = threshold
+        self._cooldown = cooldown
+        self._probes = probes
+        self._clock = clock
+        self._on_transition = on_transition
+        self._state = CLOSED
+        self._outcomes: deque[bool] = deque(maxlen=window)  # True = failure
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        self._probe_successes = 0
+
+    @property
+    def state(self) -> str:
+        """Current state, advancing open→half-open on cooldown expiry."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def failure_rate(self) -> float:
+        with self._lock:
+            if not self._outcomes:
+                return 0.0
+            return sum(self._outcomes) / len(self._outcomes)
+
+    def admit(self) -> str:
+        """Pick the service mode for one request (thread-safe).
+
+        Returns :data:`MODE_FULL`, :data:`MODE_PROBE`, or
+        :data:`MODE_DEGRADED`. Every admitted request must later call
+        :meth:`record` with the same mode exactly once — probes hold a
+        slot that only :meth:`record` releases.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return MODE_FULL
+            if self._state == HALF_OPEN and self._probes_in_flight < self._probes:
+                self._probes_in_flight += 1
+                return MODE_PROBE
+            return MODE_DEGRADED
+
+    def record(self, failure: bool, mode: str = MODE_FULL) -> None:
+        """Feed one request's outcome back (must match its admit mode)."""
+        with self._lock:
+            if mode == MODE_PROBE:
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+                if failure:
+                    self._trip(OPEN)
+                    return
+                self._probe_successes += 1
+                if self._probe_successes >= self._probes:
+                    self._transition(CLOSED)
+                    self._outcomes.clear()
+                return
+            if mode == MODE_DEGRADED:
+                # Open-state degraded service never touches the window:
+                # a tiny-budget answer says nothing about pipeline health.
+                return
+            self._outcomes.append(bool(failure))
+            if (
+                self._state == CLOSED
+                and len(self._outcomes) >= self._min_requests
+                and sum(self._outcomes) / len(self._outcomes) >= self._threshold
+            ):
+                self._trip(OPEN)
+
+    # -- internals (lock held) -------------------------------------------
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == OPEN
+            and self._clock() - self._opened_at >= self._cooldown
+        ):
+            self._transition(HALF_OPEN)
+
+    def _trip(self, state: str) -> None:
+        self._opened_at = self._clock()
+        self._transition(state)
+
+    def _transition(self, new: str) -> None:
+        if new == self._state:
+            return
+        old = self._state
+        self._state = new
+        if new in (OPEN, CLOSED):
+            self._probes_in_flight = 0
+            self._probe_successes = 0
+        if self._on_transition is not None:
+            self._on_transition(old, new)

@@ -1,0 +1,116 @@
+"""Deadline→budget calibration and probe-workload generation.
+
+The daemon promises an answer within each request's deadline. The only
+in-process lever with that power is the anytime budget
+``max_node_expansions`` (PR 3), which is denominated in node expansions
+— a machine-independent unit. This module converts between the two: at
+startup (and after every hot reload) it measures the model's expansions
+per second on a generated probe workload via
+:meth:`~repro.core.classifier.TKDCClassifier.measure_expansion_rate`,
+and at request time it maps the remaining deadline to a budget through
+that rate with a safety factor and a floor.
+
+The probe workload is generated *from the model itself* (the server has
+no training data): training points pulled back to data space through the
+kernel bandwidth, jittered, plus far-field points beyond the data's
+bounding box so the workload exercises deep traversals, prunes, and the
+grid shortcut alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.classifier import TKDCClassifier
+
+#: Conservative expansions/sec assumed when calibration observed no
+#: expansions at all (degenerate probe workload); deliberately low so
+#: budgets err toward finishing early rather than blowing deadlines.
+FALLBACK_RATE = 1e4
+
+
+def probe_queries(
+    classifier: TKDCClassifier, n: int, seed: int = 0
+) -> np.ndarray:
+    """Generate ``n`` probe queries in data space from a fitted model.
+
+    Half the probes are jittered training points (dense-region work:
+    grid hits and HIGH prunes), half are uniform draws over a box 1.5×
+    the data extent (sparse-region work: LOW prunes and deep expansion
+    near the boundary). Deterministic given ``seed``.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    rng = np.random.default_rng(seed)
+    bandwidth = classifier.kernel.bandwidth
+    # Tree points live in bandwidth-scaled space; pull them back.
+    points = classifier.tree.points * bandwidth
+    lo, hi = points.min(axis=0), points.max(axis=0)
+    span = np.maximum(hi - lo, bandwidth)
+    n_dense = max(1, n // 2)
+    n_sparse = max(1, n - n_dense)
+    picks = rng.integers(0, points.shape[0], size=n_dense)
+    dense = points[picks] + rng.normal(size=(n_dense, points.shape[1])) * (
+        0.25 * bandwidth
+    )
+    sparse = rng.uniform(
+        lo - 0.75 * span, hi + 0.75 * span, size=(n_sparse, points.shape[1])
+    )
+    return np.concatenate([dense, sparse])[:n]
+
+
+@dataclass(frozen=True)
+class BudgetCalibration:
+    """A measured deadline→budget conversion for one loaded model.
+
+    Attributes
+    ----------
+    expansions_per_second:
+        Measured rate (or :data:`FALLBACK_RATE` if measurement was
+        degenerate).
+    measured:
+        Whether the rate came from a real measurement.
+    sample_queries / expansions_observed:
+        Provenance of the measurement, surfaced in ``/statz``.
+    """
+
+    expansions_per_second: float
+    measured: bool
+    sample_queries: int
+    expansions_observed: int
+
+    def budget_for(
+        self, remaining_seconds: float, safety: float, min_budget: int
+    ) -> int:
+        """Expansion budget affordable in ``remaining_seconds``.
+
+        ``safety`` discounts the calibrated rate (concurrent requests
+        share the machine; caches behave differently under load);
+        ``min_budget`` guarantees even a nearly expired deadline buys a
+        meaningful partial traversal rather than a root-only answer.
+        """
+        affordable = self.expansions_per_second * max(remaining_seconds, 0.0) * safety
+        return max(min_budget, int(affordable))
+
+
+def calibrate(
+    classifier: TKDCClassifier, n_queries: int = 256, seed: int = 0
+) -> BudgetCalibration:
+    """Measure a fitted model's expansions/sec on a generated workload."""
+    queries = probe_queries(classifier, n_queries, seed=seed)
+    rate, observed = classifier.measure_expansion_rate(queries)
+    if rate <= 0.0:
+        return BudgetCalibration(
+            expansions_per_second=FALLBACK_RATE,
+            measured=False,
+            sample_queries=n_queries,
+            expansions_observed=observed,
+        )
+    return BudgetCalibration(
+        expansions_per_second=rate,
+        measured=True,
+        sample_queries=n_queries,
+        expansions_observed=observed,
+    )

@@ -1,0 +1,89 @@
+"""Minimal stdlib HTTP client for the tKDC daemon.
+
+For tests, benchmarks, and quick scripting — not a general SDK. Every
+call opens a fresh connection (thread-safe by construction) and returns
+``(status_code, decoded_json)`` without raising on HTTP error statuses:
+the daemon's structured 4xx/5xx bodies *are* the interesting payload
+for robustness tests. Network-level failures (refused connection,
+socket timeout) do raise.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.client import HTTPConnection
+
+
+class ServeClient:
+    """Talk to one daemon instance at ``host:port``."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> tuple[int, dict]:
+        """One HTTP exchange; returns ``(status, json_payload)``."""
+        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            try:
+                decoded = json.loads(raw.decode("utf-8")) if raw else {}
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                decoded = {"raw": raw.decode("utf-8", errors="replace")}
+            return response.status, decoded
+        finally:
+            connection.close()
+
+    # -- endpoint wrappers ------------------------------------------------
+
+    def healthz(self) -> tuple[int, dict]:
+        return self.request("GET", "/healthz")
+
+    def readyz(self) -> tuple[int, dict]:
+        return self.request("GET", "/readyz")
+
+    def statz(self) -> tuple[int, dict]:
+        return self.request("GET", "/statz")
+
+    def classify(
+        self,
+        points,
+        deadline_ms: float | None = None,
+    ) -> tuple[int, dict]:
+        """POST a batch of query points (list of rows or numpy array)."""
+        rows = points.tolist() if hasattr(points, "tolist") else points
+        body: dict = {"points": rows}
+        if deadline_ms is not None:
+            body["deadline_ms"] = deadline_ms
+        return self.request("POST", "/classify", body)
+
+    def reload(self, path: str | None = None) -> tuple[int, dict]:
+        body = {} if path is None else {"path": str(path)}
+        return self.request("POST", "/admin/reload", body)
+
+    def drain(self) -> tuple[int, dict]:
+        return self.request("POST", "/admin/drain", {})
+
+    def wait_ready(self, timeout: float = 10.0, interval: float = 0.05) -> bool:
+        """Poll ``/readyz`` until it answers 200 or ``timeout`` elapses."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            try:
+                status, __ = self.readyz()
+            except OSError:
+                status = 0
+            if status == 200:
+                return True
+            time.sleep(interval)
+        return False

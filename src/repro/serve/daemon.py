@@ -1,0 +1,559 @@
+"""The resilient tKDC serving daemon (stdlib-only HTTP).
+
+Four robustness layers wrap every classification request:
+
+1. **Admission control** — at most ``max_concurrency`` requests
+   classify at once; up to ``queue_depth`` more wait. Anything beyond
+   that is shed *immediately* with a structured 429 carrying
+   ``retry_after``, so overload degrades throughput instead of latency.
+   Per-request byte and row limits reject oversized work before it
+   costs anything.
+2. **Deadline propagation** — each request carries ``deadline_ms``
+   (bounded by ``max_deadline``). The remaining deadline at execution
+   start is translated into a per-query ``max_node_expansions`` anytime
+   budget through the startup-calibrated expansions/sec rate, so the
+   traversal *finishes early with honest partial answers*
+   (``degraded``/``UNCERTAIN`` flags from ``classify_detailed``) rather
+   than blowing the deadline. A hard watchdog converts a wedged handler
+   into a 503 at ``deadline + watchdog_grace``.
+3. **Circuit breaking** — per-request errors and exact-O(n) guard
+   fallbacks feed a closed/open/half-open breaker
+   (:mod:`repro.serve.breaker`). Open state serves fast degraded
+   answers (tiny budget); half-open probes test recovery.
+4. **Verified hot reload + graceful drain** — ``SIGHUP`` or
+   ``POST /admin/reload`` runs the checksum + canary reload protocol
+   (:mod:`repro.serve.reload`); failures roll back. ``SIGTERM`` (or
+   ``POST /admin/drain``) stops admitting, waits for in-flight work,
+   then shuts the listener down.
+
+``/healthz``, ``/readyz``, and ``/statz`` expose liveness, readiness,
+and the full counter set. Endpoint reference: ``docs/serving.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import signal
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+import numpy as np
+
+from repro.serve.breaker import MODE_DEGRADED, CircuitBreaker
+from repro.serve.config import ServeConfig
+from repro.serve.reload import ModelManager
+from repro.serve.stats import ServerStats
+
+log = logging.getLogger("repro.serve")
+
+
+class AdmissionController:
+    """Bounded-queue admission: a capacity gate plus execution slots.
+
+    ``try_admit`` is the load-shedding decision (capacity =
+    concurrency + queue depth); ``acquire_slot`` is the queue wait for
+    one of the ``max_concurrency`` execution slots, bounded by the
+    request's own remaining deadline.
+    """
+
+    def __init__(self, max_concurrency: int, queue_depth: int) -> None:
+        self.capacity = max_concurrency + queue_depth
+        self._lock = threading.Lock()
+        self._admitted = 0
+        self._slots = threading.Semaphore(max_concurrency)
+
+    def try_admit(self) -> bool:
+        with self._lock:
+            if self._admitted >= self.capacity:
+                return False
+            self._admitted += 1
+            return True
+
+    def acquire_slot(self, timeout: float) -> bool:
+        return self._slots.acquire(timeout=max(timeout, 0.0))
+
+    def release(self, slot_held: bool) -> None:
+        if slot_held:
+            self._slots.release()
+        with self._lock:
+            self._admitted -= 1
+
+    def admitted(self) -> int:
+        with self._lock:
+            return self._admitted
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests to the server object; all policy lives there."""
+
+    server: "TKDCServer"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        log.debug("%s %s", self.address_string(), format % args)
+
+    def _send_json(self, status: int, payload: dict, headers: dict | None = None) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for key, value in (headers or {}).items():
+            self.send_header(key, str(value))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/healthz":
+            self._send_json(200, self.server.healthz())
+        elif self.path == "/readyz":
+            ready, payload = self.server.readyz()
+            self._send_json(200 if ready else 503, payload)
+        elif self.path == "/statz":
+            self._send_json(200, self.server.statz())
+        else:
+            self._send_json(404, {"error": "not_found", "path": self.path})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        received_at = time.monotonic()
+        length = int(self.headers.get("Content-Length") or 0)
+        if self.path == "/classify":
+            if length > self.server.serve_config.max_request_bytes:
+                # Refuse without reading the oversized body; the unread
+                # bytes make the connection unusable, so close it.
+                self.close_connection = True
+                self._send_json(*self.server.reject_oversized(length), {})
+                return
+            raw = self.rfile.read(length) if length else b""
+            status, payload, headers = self.server.handle_classify(raw, received_at)
+            self._send_json(status, payload, headers)
+        elif self.path == "/admin/reload":
+            raw = self.rfile.read(length) if length else b""
+            status, payload = self.server.handle_reload(raw)
+            self._send_json(status, payload)
+        elif self.path == "/admin/drain":
+            self.server.initiate_drain()
+            self._send_json(202, {
+                "status": "draining",
+                "drain_timeout": self.server.serve_config.drain_timeout,
+            })
+        else:
+            self._send_json(404, {"error": "not_found", "path": self.path})
+
+
+class TKDCServer(ThreadingHTTPServer):
+    """Threaded HTTP server wrapping a :class:`ModelManager`.
+
+    One OS thread per connection (stdlib ``ThreadingHTTPServer``);
+    classification concurrency is governed by the admission controller,
+    not the thread count. All handler logic lives in methods here so
+    tests can drive the policy layer without sockets too.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        manager: ModelManager,
+        serve_config: ServeConfig | None = None,
+        stats: ServerStats | None = None,
+    ) -> None:
+        config = serve_config if serve_config is not None else manager.config
+        self.serve_config = config
+        self.manager = manager
+        self.stats = stats if stats is not None else manager.stats
+        self.admission = AdmissionController(
+            config.max_concurrency, config.queue_depth
+        )
+        self.breaker = CircuitBreaker(
+            window=config.breaker_window,
+            min_requests=config.breaker_min_requests,
+            threshold=config.breaker_threshold,
+            cooldown=config.breaker_cooldown,
+            probes=config.breaker_probes,
+            on_transition=self._on_breaker_transition,
+        )
+        self.draining = threading.Event()
+        self._started_at = time.monotonic()
+        super().__init__((config.host, config.port), _Handler)
+
+    @property
+    def port(self) -> int:
+        """The actually bound port (resolves port 0 to the ephemeral one)."""
+        return self.server_address[1]
+
+    # ------------------------------------------------------------------
+    # Observability endpoints
+    # ------------------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return {
+            "status": "ok",
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+        }
+
+    def readyz(self) -> tuple[bool, dict]:
+        if self.draining.is_set():
+            return False, {"status": "draining"}
+        return True, {
+            "status": "ready",
+            "model_path": str(self.manager.model_path),
+        }
+
+    def statz(self) -> dict:
+        snapshot = self.stats.snapshot()
+        snapshot.update({
+            "breaker": self.breaker.state,
+            "breaker_failure_rate": round(self.breaker.failure_rate(), 4),
+            "draining": self.draining.is_set(),
+            "admitted": self.admission.admitted(),
+            "queue_capacity": self.admission.capacity,
+            "model_path": str(self.manager.model_path),
+            "threshold": float(self.manager.classifier.threshold.value),
+            "expansions_per_second": self.manager.calibration.expansions_per_second,
+            "calibration_measured": self.manager.calibration.measured,
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "traversal": self.manager.traversal_snapshot(),
+        })
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Classification pipeline
+    # ------------------------------------------------------------------
+
+    def reject_oversized(self, length: int) -> tuple[int, dict]:
+        """Terminal accounting for a body refused before it was read."""
+        self.stats.bump("submitted")
+        self.stats.bump("rejected")
+        return 413, {
+            "error": "request_too_large",
+            "max_request_bytes": self.serve_config.max_request_bytes,
+            "received_bytes": length,
+        }
+
+    def _retry_after(self) -> float:
+        backlog = self.admission.admitted() / max(self.admission.capacity, 1)
+        return round(self.serve_config.retry_after * (1.0 + backlog), 3)
+
+    def handle_classify(
+        self, raw: bytes, received_at: float
+    ) -> tuple[int, dict, dict]:
+        """The full admission → deadline → breaker → watchdog pipeline.
+
+        Returns ``(status, json_payload, extra_headers)``. Every path
+        increments ``submitted`` and exactly one terminal counter — the
+        accounting invariant the soak test asserts.
+        """
+        config = self.serve_config
+        stats = self.stats
+        stats.bump("submitted")
+        if self.draining.is_set():
+            stats.bump("drained")
+            retry = self._retry_after()
+            return 503, {"error": "draining", "retry_after": retry}, {
+                "Retry-After": retry,
+            }
+        if len(raw) > config.max_request_bytes:
+            stats.bump("rejected")
+            return 413, {
+                "error": "request_too_large",
+                "max_request_bytes": config.max_request_bytes,
+                "received_bytes": len(raw),
+            }, {}
+
+        try:
+            points, deadline_s = self._parse_request(raw)
+        except _BadRequest as exc:
+            stats.bump("rejected")
+            return exc.status, exc.payload, {}
+        deadline = received_at + deadline_s
+
+        if not self.admission.try_admit():
+            stats.bump("shed")
+            retry = self._retry_after()
+            return 429, {
+                "error": "overloaded",
+                "retry_after": retry,
+                "queue_capacity": self.admission.capacity,
+            }, {"Retry-After": retry}
+        stats.bump("accepted")
+
+        slot_held = False
+        try:
+            wait = deadline - time.monotonic()
+            if wait <= 0.0 or not self.admission.acquire_slot(wait):
+                stats.bump("shed")
+                retry = self._retry_after()
+                return 429, {
+                    "error": "overloaded",
+                    "detail": "no execution slot within the request deadline",
+                    "retry_after": retry,
+                }, {"Retry-After": retry}
+            slot_held = True
+
+            remaining = deadline - time.monotonic()
+            if remaining <= 0.0:
+                stats.bump("timed_out")
+                return 503, {
+                    "error": "deadline_exceeded",
+                    "detail": "deadline expired while queued",
+                }, {}
+
+            mode = self.breaker.admit()
+            budget = (
+                config.open_budget
+                if mode == MODE_DEGRADED
+                else self.manager.budget_for(remaining)
+            )
+            return self._run_with_watchdog(
+                points, budget, mode, remaining, deadline_s, received_at
+            )
+        finally:
+            self.admission.release(slot_held)
+
+    def _run_with_watchdog(
+        self,
+        points: np.ndarray,
+        budget: int,
+        mode: str,
+        remaining: float,
+        deadline_s: float,
+        received_at: float,
+    ) -> tuple[int, dict, dict]:
+        config = self.serve_config
+        stats = self.stats
+        box: dict[str, object] = {}
+        done = threading.Event()
+
+        def work() -> None:
+            try:
+                box["value"] = self.manager.classify(points, budget)
+            except BaseException as exc:  # noqa: BLE001 - reported as 500
+                box["error"] = exc
+            finally:
+                done.set()
+
+        worker = threading.Thread(target=work, name="tkdc-classify", daemon=True)
+        started = time.monotonic()
+        worker.start()
+        finished = done.wait(remaining + config.watchdog_grace)
+        elapsed = time.monotonic() - started
+        if not finished:
+            # The worker is wedged (stall, livelock): abandon it — it is
+            # a daemon thread holding no admission state once we return.
+            stats.bump("timed_out")
+            self.breaker.record(True, mode)
+            log.warning(
+                "watchdog abandoned a classify after %.3fs "
+                "(deadline %.3fs + grace %.3fs)",
+                elapsed, deadline_s, config.watchdog_grace,
+            )
+            return 503, {
+                "error": "watchdog_timeout",
+                "deadline_ms": round(deadline_s * 1000.0, 3),
+                "grace_ms": round(config.watchdog_grace * 1000.0, 3),
+            }, {}
+
+        error = box.get("error")
+        if error is not None:
+            if isinstance(error, ValueError):
+                # Shape/dimension garbage: the client's fault, says
+                # nothing about pipeline health.
+                stats.bump("rejected")
+                self.breaker.record(False, mode)
+                return 400, {
+                    "error": "bad_request",
+                    "detail": str(error),
+                }, {}
+            stats.bump("errors")
+            self.breaker.record(True, mode)
+            log.error("classify failed: %s: %s", type(error).__name__, error)
+            return 500, {
+                "error": "internal",
+                "detail": f"{type(error).__name__}: {error}",
+            }, {}
+
+        result, fallbacks = box["value"]  # type: ignore[misc]
+        self.breaker.record(fallbacks > 0, mode)
+        uncertain = result.uncertain
+        stats.bump("completed")
+        if result.any_degraded:
+            stats.bump("degraded")
+        if bool(uncertain.any()):
+            stats.bump("uncertain")
+        if mode == MODE_DEGRADED:
+            stats.bump("breaker_served_degraded")
+        stats.observe_latency(time.monotonic() - received_at)
+        return 200, {
+            "labels": [int(label) for label in result.resolved_labels()],
+            "degraded": [bool(flag) for flag in result.degraded],
+            "uncertain": [bool(flag) for flag in uncertain],
+            "degraded_any": bool(result.any_degraded),
+            "threshold": float(result.threshold),
+            "budget": budget,
+            "exact_fallbacks": fallbacks,
+            "mode": mode,
+            "breaker": self.breaker.state,
+            "elapsed_ms": round(elapsed * 1000.0, 3),
+        }, {}
+
+    def _parse_request(self, raw: bytes) -> tuple[np.ndarray, float]:
+        config = self.serve_config
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _BadRequest(400, {
+                "error": "bad_request", "detail": f"invalid JSON: {exc}",
+            }) from exc
+        if not isinstance(body, dict) or "points" not in body:
+            raise _BadRequest(400, {
+                "error": "bad_request",
+                "detail": "body must be a JSON object with a 'points' array",
+            })
+        try:
+            points = np.asarray(body["points"], dtype=np.float64)
+        except (TypeError, ValueError) as exc:
+            raise _BadRequest(400, {
+                "error": "bad_request",
+                "detail": f"'points' is not a numeric matrix: {exc}",
+            }) from exc
+        if points.ndim != 2 or points.shape[0] == 0:
+            raise _BadRequest(400, {
+                "error": "bad_request",
+                "detail": "'points' must be a non-empty list of equal-length rows",
+            })
+        if points.shape[0] > config.max_rows:
+            raise _BadRequest(413, {
+                "error": "too_many_rows",
+                "max_rows": config.max_rows,
+                "received_rows": int(points.shape[0]),
+            })
+        deadline_ms = body.get("deadline_ms")
+        if deadline_ms is None:
+            deadline_s = config.default_deadline
+        else:
+            if not isinstance(deadline_ms, (int, float)) or not deadline_ms > 0:
+                raise _BadRequest(400, {
+                    "error": "bad_request",
+                    "detail": "'deadline_ms' must be a positive number",
+                })
+            deadline_s = min(float(deadline_ms) / 1000.0, config.max_deadline)
+        return points, deadline_s
+
+    # ------------------------------------------------------------------
+    # Reload and drain
+    # ------------------------------------------------------------------
+
+    def handle_reload(self, raw: bytes) -> tuple[int, dict]:
+        path: str | None = None
+        if raw:
+            try:
+                body = json.loads(raw.decode("utf-8"))
+                path = body.get("path") if isinstance(body, dict) else None
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                return 400, {"error": "bad_request", "detail": f"invalid JSON: {exc}"}
+        result = self.manager.reload(path)
+        return (200 if result.ok else 500), result.as_dict()
+
+    def reload_model(self, path: str | Path | None = None):
+        """Programmatic/SIGHUP entry to the verified reload protocol."""
+        return self.manager.reload(path)
+
+    def initiate_drain(self) -> None:
+        """Stop admitting, wait for in-flight work, then shut down."""
+        if self.draining.is_set():
+            return
+        self.draining.set()
+        log.info("drain initiated: refusing new work, waiting for in-flight")
+        threading.Thread(
+            target=self._drain_and_shutdown, name="tkdc-drain", daemon=True
+        ).start()
+
+    def _drain_and_shutdown(self) -> None:
+        deadline = time.monotonic() + self.serve_config.drain_timeout
+        while time.monotonic() < deadline and self.admission.admitted() > 0:
+            time.sleep(0.02)
+        leftover = self.admission.admitted()
+        if leftover:
+            log.warning(
+                "drain timeout: shutting down with %d requests in flight", leftover
+            )
+        else:
+            log.info("drained cleanly; shutting down")
+        self.shutdown()
+
+    def _on_breaker_transition(self, old: str, new: str) -> None:
+        self.stats.record_breaker_transition(old, new)
+        log.warning("circuit breaker %s -> %s", old, new)
+
+
+class _BadRequest(Exception):
+    """Internal: a request refused during parsing (status + payload)."""
+
+    def __init__(self, status: int, payload: dict) -> None:
+        super().__init__(payload.get("detail", "bad request"))
+        self.status = status
+        self.payload = payload
+
+
+def install_signal_handlers(server: TKDCServer) -> bool:
+    """SIGTERM/SIGINT → graceful drain; SIGHUP → verified hot reload.
+
+    Handlers only set work in motion on daemon threads — never block in
+    signal context. Returns False when not running in the main thread
+    (signal registration is impossible there); the caller then relies on
+    the admin endpoints instead.
+    """
+
+    def _drain(signum: int, frame: object) -> None:
+        threading.Thread(target=server.initiate_drain, daemon=True).start()
+
+    def _reload(signum: int, frame: object) -> None:
+        threading.Thread(target=server.reload_model, daemon=True).start()
+
+    try:
+        signal.signal(signal.SIGTERM, _drain)
+        signal.signal(signal.SIGINT, _drain)
+        if hasattr(signal, "SIGHUP"):
+            signal.signal(signal.SIGHUP, _reload)
+    except ValueError:
+        log.warning(
+            "not in the main thread: signal handlers unavailable, "
+            "use /admin/reload and /admin/drain"
+        )
+        return False
+    return True
+
+
+def serve(
+    model_path: str | Path,
+    config: ServeConfig | None = None,
+    install_signals: bool = True,
+) -> int:
+    """Load a model, start the daemon, and block until drained.
+
+    The CLI entry point (``repro serve``). Returns 0 after a graceful
+    shutdown.
+    """
+    config = config if config is not None else ServeConfig()
+    manager = ModelManager(model_path, config)
+    server = TKDCServer(manager)
+    if install_signals:
+        install_signal_handlers(server)
+    print(
+        f"tkdc serving {manager.model_path} on "
+        f"http://{config.host}:{server.port} "
+        f"(threshold={manager.classifier.threshold.value:.6g}, "
+        f"{manager.calibration.expansions_per_second:.3g} expansions/s); "
+        "SIGTERM drains, SIGHUP reloads",
+        flush=True,
+    )
+    try:
+        server.serve_forever(poll_interval=0.1)
+    finally:
+        server.server_close()
+    print("tkdc server stopped", flush=True)
+    return 0

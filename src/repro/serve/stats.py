@@ -1,0 +1,122 @@
+"""Thread-safe counters making every daemon behaviour observable.
+
+The soak test's accounting invariant is enforced here by construction:
+every request that increments ``submitted`` terminates by incrementing
+exactly one of the terminal outcome counters (``completed``, ``shed``,
+``rejected``, ``timed_out``, ``errors``, ``drained``), so at quiescence
+
+    submitted == completed + shed + rejected + timed_out + errors + drained
+
+holds or the server has lost a request. ``/statz`` serves
+:meth:`ServerStats.snapshot` verbatim.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+#: Terminal outcome counter names — every submitted request ends in
+#: exactly one of these.
+TERMINAL_OUTCOMES = (
+    "completed", "shed", "rejected", "timed_out", "errors", "drained",
+)
+
+
+class ServerStats:
+    """Mutable counters for one server lifetime (lock-guarded)."""
+
+    def __init__(self, latency_window: int = 2048) -> None:
+        self._lock = threading.Lock()
+        #: classify requests that entered the handler at all
+        self.submitted = 0
+        #: requests admitted past load-shedding into the queue/slots
+        self.accepted = 0
+        #: 200 responses (labels returned, possibly degraded)
+        self.completed = 0
+        #: 429 responses: load-shed at admission or queue-wait expiry
+        self.shed = 0
+        #: 4xx responses: malformed body, size/row limits, bad shape
+        self.rejected = 0
+        #: 503 responses: watchdog fired or deadline expired pre-start
+        self.timed_out = 0
+        #: 500 responses: handler raised a non-client error
+        self.errors = 0
+        #: 503 responses refused because the server is draining
+        self.drained = 0
+        #: 200 responses carrying at least one degraded label
+        self.degraded = 0
+        #: 200 responses carrying at least one UNCERTAIN label
+        self.uncertain = 0
+        #: 200 responses served in fast-degraded mode (breaker open)
+        self.breaker_served_degraded = 0
+        #: exact-O(n) guard fallbacks observed across all requests
+        self.exact_fallbacks = 0
+        #: successful hot reloads (model actually swapped)
+        self.reloads_ok = 0
+        #: refused hot reloads (checksum/canary failure; old model kept)
+        self.reloads_failed = 0
+        #: breaker state transitions, keyed "old->new"
+        self.breaker_transitions: dict[str, int] = {}
+        self._latencies: deque[float] = deque(maxlen=latency_window)
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Increment a named counter (terminal outcomes included)."""
+        with self._lock:
+            setattr(self, name, getattr(self, name) + amount)
+
+    def observe_latency(self, seconds: float) -> None:
+        """Record one completed request's service latency."""
+        with self._lock:
+            self._latencies.append(seconds)
+
+    def record_breaker_transition(self, old: str, new: str) -> None:
+        with self._lock:
+            key = f"{old}->{new}"
+            self.breaker_transitions[key] = self.breaker_transitions.get(key, 0) + 1
+
+    def in_flight(self) -> int:
+        """Submitted requests that have not yet reached a terminal outcome."""
+        with self._lock:
+            return self.submitted - sum(
+                getattr(self, name) for name in TERMINAL_OUTCOMES
+            )
+
+    def _percentile(self, values: list[float], q: float) -> float:
+        if not values:
+            return 0.0
+        ordered = sorted(values)
+        index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[index]
+
+    def snapshot(self) -> dict:
+        """A JSON-ready copy of every counter plus derived latencies."""
+        with self._lock:
+            latencies = list(self._latencies)
+            counters = {
+                "submitted": self.submitted,
+                "accepted": self.accepted,
+                "completed": self.completed,
+                "shed": self.shed,
+                "rejected": self.rejected,
+                "timed_out": self.timed_out,
+                "errors": self.errors,
+                "drained": self.drained,
+                "degraded": self.degraded,
+                "uncertain": self.uncertain,
+                "breaker_served_degraded": self.breaker_served_degraded,
+                "exact_fallbacks": self.exact_fallbacks,
+                "reloads_ok": self.reloads_ok,
+                "reloads_failed": self.reloads_failed,
+                "breaker_transitions": dict(self.breaker_transitions),
+            }
+        counters["in_flight"] = counters["submitted"] - sum(
+            counters[name] for name in TERMINAL_OUTCOMES
+        )
+        counters["latency_p50_ms"] = round(
+            self._percentile(latencies, 0.50) * 1000.0, 3
+        )
+        counters["latency_p99_ms"] = round(
+            self._percentile(latencies, 0.99) * 1000.0, 3
+        )
+        return counters

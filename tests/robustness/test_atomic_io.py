@@ -2,6 +2,7 @@
 
 import os
 import pickle
+import stat
 
 import numpy as np
 import pytest
@@ -48,6 +49,61 @@ class TestAtomicWrite:
         # The interrupted write changed nothing observable.
         assert target.read_text() == "old complete content"
         assert _entries(tmp_path) == ["precious.json"]
+
+
+class TestDirectoryDurability:
+    """The rename itself must be made durable: fsync the parent dir."""
+
+    def test_parent_directory_fsynced_after_replace(self, tmp_path, monkeypatch):
+        events: list[str] = []
+        real_replace = os.replace
+        real_fsync = os.fsync
+
+        def recording_replace(src, dst):
+            events.append("replace")
+            return real_replace(src, dst)
+
+        def recording_fsync(fd):
+            is_dir = stat.S_ISDIR(os.fstat(fd).st_mode)
+            events.append("fsync_dir" if is_dir else "fsync_file")
+            return real_fsync(fd)
+
+        monkeypatch.setattr(os, "replace", recording_replace)
+        monkeypatch.setattr(os, "fsync", recording_fsync)
+        atomic_write_bytes(tmp_path / "out.bin", b"payload")
+        assert "fsync_dir" in events, "parent directory was never fsynced"
+        # Ordering: file contents reach disk, then the rename, and only
+        # then the directory entry is flushed — any other order can lose
+        # either the data or the rename on power cut.
+        assert (
+            events.index("fsync_file")
+            < events.index("replace")
+            < events.index("fsync_dir")
+        )
+
+    def test_directory_fsync_refusal_is_tolerated(self, tmp_path, monkeypatch):
+        real_fsync = os.fsync
+
+        def picky_fsync(fd):
+            if stat.S_ISDIR(os.fstat(fd).st_mode):
+                raise OSError("directory fsync not supported here")
+            return real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", picky_fsync)
+        target = atomic_write_bytes(tmp_path / "out.bin", b"still lands")
+        assert target.read_bytes() == b"still lands"
+
+    def test_directory_open_refusal_is_tolerated(self, tmp_path, monkeypatch):
+        real_open = os.open
+
+        def picky_open(path, flags, *args, **kwargs):
+            if os.path.isdir(path):
+                raise OSError("cannot open directories on this platform")
+            return real_open(path, flags, *args, **kwargs)
+
+        monkeypatch.setattr(os, "open", picky_open)
+        target = atomic_write_text(tmp_path / "out.txt", "still lands")
+        assert target.read_text() == "still lands"
 
 
 def test_model_save_is_atomic(tmp_path, fitted, query_points):

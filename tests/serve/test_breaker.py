@@ -1,0 +1,156 @@
+"""Circuit breaker state machine, driven by a fake clock (no sleeps)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    MODE_DEGRADED,
+    MODE_FULL,
+    MODE_PROBE,
+    OPEN,
+    CircuitBreaker,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+def make(clock: FakeClock, transitions: list | None = None, **overrides) -> CircuitBreaker:
+    settings = dict(
+        window=8, min_requests=4, threshold=0.5, cooldown=10.0, probes=2,
+        clock=clock,
+    )
+    settings.update(overrides)
+    if transitions is not None:
+        settings["on_transition"] = lambda old, new: transitions.append((old, new))
+    return CircuitBreaker(**settings)
+
+
+def trip(breaker: CircuitBreaker, failures: int = 4) -> None:
+    for __ in range(failures):
+        assert breaker.admit() in (MODE_FULL, MODE_DEGRADED)
+        breaker.record(True, MODE_FULL)
+
+
+class TestClosed:
+    def test_stays_closed_under_successes(self, clock):
+        breaker = make(clock)
+        for __ in range(50):
+            assert breaker.admit() == MODE_FULL
+            breaker.record(False, MODE_FULL)
+        assert breaker.state == CLOSED
+
+    def test_below_min_requests_never_opens(self, clock):
+        breaker = make(clock, min_requests=4)
+        for __ in range(3):
+            breaker.record(True, MODE_FULL)
+        assert breaker.state == CLOSED
+
+    def test_opens_at_threshold(self, clock):
+        transitions: list = []
+        breaker = make(clock, transitions)
+        trip(breaker)
+        assert breaker.state == OPEN
+        assert transitions == [(CLOSED, OPEN)]
+
+    def test_mixed_outcomes_below_threshold_stay_closed(self, clock):
+        breaker = make(clock, window=8, min_requests=4, threshold=0.5)
+        for i in range(8):
+            breaker.record(i % 4 == 0, MODE_FULL)  # 25% failures
+        assert breaker.state == CLOSED
+
+    def test_window_slides_old_failures_out(self, clock):
+        breaker = make(clock, window=4, min_requests=4, threshold=0.75)
+        breaker.record(True, MODE_FULL)  # one failure, below threshold
+        for __ in range(8):
+            breaker.record(False, MODE_FULL)
+        # The lone failure slid out of the window without ever tripping.
+        assert breaker.failure_rate() == 0.0
+        assert breaker.state == CLOSED
+
+
+class TestOpen:
+    def test_open_serves_degraded(self, clock):
+        breaker = make(clock)
+        trip(breaker)
+        assert breaker.admit() == MODE_DEGRADED
+
+    def test_degraded_outcomes_do_not_feed_window(self, clock):
+        breaker = make(clock)
+        trip(breaker)
+        rate = breaker.failure_rate()
+        for __ in range(20):
+            breaker.record(True, MODE_DEGRADED)
+        assert breaker.failure_rate() == rate
+
+    def test_half_open_after_cooldown(self, clock):
+        breaker = make(clock, cooldown=10.0)
+        trip(breaker)
+        clock.advance(9.9)
+        assert breaker.state == OPEN
+        clock.advance(0.2)
+        assert breaker.state == HALF_OPEN
+
+
+class TestHalfOpen:
+    def test_limited_probes_then_degraded(self, clock):
+        breaker = make(clock, probes=2)
+        trip(breaker)
+        clock.advance(10.1)
+        assert breaker.admit() == MODE_PROBE
+        assert breaker.admit() == MODE_PROBE
+        assert breaker.admit() == MODE_DEGRADED  # probe slots exhausted
+
+    def test_probe_successes_close_and_clear_window(self, clock):
+        transitions: list = []
+        breaker = make(clock, transitions, probes=2)
+        trip(breaker)
+        clock.advance(10.1)
+        for __ in range(2):
+            assert breaker.admit() == MODE_PROBE
+            breaker.record(False, MODE_PROBE)
+        assert breaker.state == CLOSED
+        assert breaker.failure_rate() == 0.0  # window cleared on close
+        assert transitions == [(CLOSED, OPEN), (OPEN, HALF_OPEN), (HALF_OPEN, CLOSED)]
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self, clock):
+        breaker = make(clock, cooldown=10.0)
+        trip(breaker)
+        clock.advance(10.1)
+        assert breaker.admit() == MODE_PROBE
+        breaker.record(True, MODE_PROBE)
+        assert breaker.state == OPEN
+        clock.advance(9.0)  # cooldown restarted: not yet half-open
+        assert breaker.state == OPEN
+        clock.advance(1.2)
+        assert breaker.state == HALF_OPEN
+
+    def test_released_probe_slot_reusable_after_failure_cycle(self, clock):
+        breaker = make(clock, probes=1)
+        trip(breaker)
+        clock.advance(10.1)
+        assert breaker.admit() == MODE_PROBE
+        breaker.record(True, MODE_PROBE)  # reopen
+        clock.advance(10.1)
+        assert breaker.admit() == MODE_PROBE  # slot counter was reset
+
+
+def test_min_requests_validation():
+    with pytest.raises(ValueError, match="cannot exceed"):
+        CircuitBreaker(window=4, min_requests=5)

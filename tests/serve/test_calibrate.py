@@ -1,0 +1,88 @@
+"""Expansions-rate calibration and the deadline→budget mapping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import NotFittedError, TKDCClassifier
+from repro.serve.calibrate import (
+    FALLBACK_RATE,
+    BudgetCalibration,
+    calibrate,
+    probe_queries,
+)
+
+
+class TestProbeQueries:
+    def test_shape_and_determinism(self, fitted):
+        a = probe_queries(fitted, 64, seed=5)
+        b = probe_queries(fitted, 64, seed=5)
+        assert a.shape == (64, 2)
+        np.testing.assert_array_equal(a, b)
+        assert np.all(np.isfinite(a))
+
+    def test_different_seed_differs(self, fitted):
+        a = probe_queries(fitted, 32, seed=1)
+        b = probe_queries(fitted, 32, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_covers_dense_and_sparse_regions(self, fitted, train_data):
+        probes = probe_queries(fitted, 128, seed=0)
+        lo, hi = train_data.min(axis=0), train_data.max(axis=0)
+        inside = np.all((probes >= lo) & (probes <= hi), axis=1)
+        # Both kinds must be present for the rate to reflect real mix.
+        assert 0 < int(inside.sum()) < probes.shape[0]
+
+    def test_minimum_size(self, fitted):
+        assert probe_queries(fitted, 1, seed=0).shape[0] == 1
+        with pytest.raises(ValueError, match=">= 1"):
+            probe_queries(fitted, 0)
+
+
+class TestMeasureExpansionRate:
+    def test_positive_rate_on_real_workload(self, fitted):
+        queries = probe_queries(fitted, 64, seed=3)
+        rate, observed = fitted.measure_expansion_rate(queries)
+        assert rate > 0.0
+        assert observed > 0
+
+    def test_requires_fit(self):
+        with pytest.raises(NotFittedError):
+            TKDCClassifier().measure_expansion_rate(np.zeros((1, 2)))
+
+    def test_repeats_validated(self, fitted):
+        with pytest.raises(ValueError, match="repeats"):
+            fitted.measure_expansion_rate(np.zeros((1, 2)), repeats=0)
+
+
+class TestBudgetMapping:
+    def test_calibrate_measures(self, fitted):
+        calibration = calibrate(fitted, 64, seed=0)
+        assert calibration.measured
+        assert calibration.expansions_per_second > 0.0
+        assert calibration.expansions_observed > 0
+
+    def test_budget_scales_with_deadline(self, fitted):
+        calibration = calibrate(fitted, 64, seed=0)
+        short = calibration.budget_for(0.01, safety=0.5, min_budget=8)
+        long = calibration.budget_for(10.0, safety=0.5, min_budget=8)
+        assert long > short
+
+    def test_budget_floor(self):
+        calibration = BudgetCalibration(1000.0, True, 8, 100)
+        assert calibration.budget_for(0.0, safety=0.5, min_budget=64) == 64
+        assert calibration.budget_for(-1.0, safety=0.5, min_budget=64) == 64
+
+    def test_safety_discounts(self):
+        calibration = BudgetCalibration(10_000.0, True, 8, 100)
+        assert calibration.budget_for(1.0, safety=0.5, min_budget=1) == 5_000
+        assert calibration.budget_for(1.0, safety=1.0, min_budget=1) == 10_000
+
+    def test_degenerate_measurement_falls_back(self, fitted, monkeypatch):
+        monkeypatch.setattr(
+            type(fitted), "measure_expansion_rate", lambda self, q: (0.0, 0)
+        )
+        calibration = calibrate(fitted, 16, seed=0)
+        assert not calibration.measured
+        assert calibration.expansions_per_second == FALLBACK_RATE

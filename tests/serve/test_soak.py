@@ -1,0 +1,217 @@
+"""Soak test: concurrent overload + injected faults, zero hangs.
+
+The ISSUE's acceptance bar: under sustained overload with injected
+stalls and crashes, every request terminates within its deadline plus
+the watchdog grace with a structured response, nothing hangs, nothing
+escapes as an unhandled exception, and the ``/statz`` counters account
+for 100% of submitted requests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.serve.breaker import CLOSED
+from repro.serve.stats import TERMINAL_OUTCOMES
+
+#: First coordinate that marks a request for the injected stall.
+STALL_MARKER = 777.0
+
+
+def wait_settled(server, client, timeout: float = 15.0) -> dict:
+    """Poll /statz until no requests are in flight; returns the snapshot."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        statz = client.statz()[1]
+        if statz["in_flight"] == 0 and statz["admitted"] == 0:
+            return statz
+        time.sleep(0.05)
+    pytest.fail("requests still in flight after the soak burst")
+
+
+class TestSoak:
+    def test_burst_with_faults_terminates_everything(
+        self, server_factory, model_path, tmp_path
+    ):
+        server, client = server_factory(
+            max_concurrency=2,
+            queue_depth=2,
+            watchdog_grace=0.4,
+            max_rows=64,
+            max_request_bytes=8192,
+            breaker_cooldown=0.2,
+        )
+        stall_release = threading.Event()
+
+        def hook(points) -> None:
+            if points.shape[0] and points[0, 0] == STALL_MARKER:
+                stall_release.wait(2.0)
+
+        server.manager.classify_hook = hook
+
+        # Build the mixed workload: mostly normal, plus oversized bodies,
+        # NaN rows, absurd deadlines, and two stall-marked requests that
+        # must be reaped by the watchdog.
+        def normal(i: int):
+            return [[-2.0 + 0.01 * i, 0.0]], 5_000
+
+        def nan_row(i: int):
+            return [[float("nan"), 0.0], [2.0, 0.0]], 5_000
+
+        def oversized(i: int):
+            return [[float(j), float(j)] for j in range(600)], 5_000
+
+        def tiny_deadline(i: int):
+            return [[0.0, 0.0]], 1
+
+        def stall(i: int):
+            return [[STALL_MARKER, 0.0]], 600
+
+        kinds = [normal] * 6 + [nan_row, oversized, tiny_deadline] + [stall] * 2
+        jobs = [kinds[i % len(kinds)] for i in range(60)]
+        n_stalls = sum(1 for job in jobs if job is stall)
+        assert n_stalls >= 2
+
+        outcomes: list[tuple[int, dict]] = []
+        failures: list[BaseException] = []
+        lock = threading.Lock()
+
+        def run(slice_of_jobs) -> None:
+            for job_index, job in enumerate(slice_of_jobs):
+                try:
+                    points, deadline_ms = job(job_index)
+                    status, payload = client.classify(points, deadline_ms=deadline_ms)
+                    with lock:
+                        outcomes.append((status, payload))
+                except BaseException as exc:  # noqa: BLE001 - the test IS the net
+                    with lock:
+                        failures.append(exc)
+
+        threads = [
+            threading.Thread(target=run, args=(jobs[i::6],), daemon=True)
+            for i in range(6)
+        ]
+        t0 = time.monotonic()
+        for thread in threads:
+            thread.start()
+        # Concurrently with the burst: one corrupt reload (must roll
+        # back) and one good reload (must swap), racing live traffic.
+        corrupt = tmp_path / "corrupt.tkdc"
+        blob = bytearray(model_path.read_bytes())
+        blob[len(blob) // 3] ^= 0xAA
+        corrupt.write_bytes(bytes(blob))
+        reload_corrupt = client.reload(str(corrupt))
+        reload_good = client.reload(str(model_path))
+        for thread in threads:
+            thread.join(timeout=60.0)
+            assert not thread.is_alive(), "a client thread hung"
+        elapsed = time.monotonic() - t0
+        stall_release.set()
+        server.manager.classify_hook = None
+
+        # -- no unhandled exceptions, every request answered --------------
+        assert not failures, failures
+        assert len(outcomes) == len(jobs)
+
+        # -- every response is structured -----------------------------
+        for status, payload in outcomes:
+            assert status in (200, 400, 413, 429, 500, 503), (status, payload)
+            assert isinstance(payload, dict) and payload, (status, payload)
+            if status != 200:
+                assert "error" in payload, (status, payload)
+
+        # -- reloads under fire behaved -------------------------------
+        assert reload_corrupt[0] == 500
+        assert reload_corrupt[1]["stage"] == "load"
+        assert reload_good[0] == 200
+        assert reload_good[1]["stage"] == "swapped"
+
+        # -- the watchdog reaped the stalls ----------------------------
+        # Stall-marked requests that got an execution slot must end as
+        # watchdog 503s; the rest were legitimately shed or expired while
+        # queued (both structured). At least the first couple always find
+        # free slots — normal requests are millisecond-scale.
+        watchdog_503s = [
+            payload for status, payload in outcomes
+            if status == 503 and payload.get("error") == "watchdog_timeout"
+        ]
+        assert len(watchdog_503s) >= 2
+
+        # -- accounting: terminals cover 100% of submissions -----------
+        statz = wait_settled(server, client)
+        terminal = sum(statz[name] for name in TERMINAL_OUTCOMES)
+        assert terminal == statz["submitted"]
+        # Our classify calls + the settling statz polls are all GETs/POSTs
+        # we control: every classify submission came from this test.
+        assert statz["submitted"] >= len(jobs)
+        assert statz["completed"] >= 1
+        assert statz["timed_out"] >= len(watchdog_503s)
+        assert statz["rejected"] >= 1  # oversized bodies
+        assert statz["reloads_ok"] == 1
+        assert statz["reloads_failed"] == 1
+        # Sanity: the burst actually overlapped (not serialized by accident).
+        assert elapsed < 60.0
+
+
+class TestBreakerRecovery:
+    def test_breaker_opens_serves_degraded_then_recovers(self, server_factory):
+        # Cooldown long enough that the open-state checks below cannot
+        # accidentally slip into half-open between two HTTP roundtrips.
+        server, client = server_factory(
+            breaker_window=8,
+            breaker_min_requests=4,
+            breaker_threshold=0.5,
+            breaker_cooldown=1.5,
+            breaker_probes=2,
+        )
+
+        def boom(points) -> None:
+            raise RuntimeError("injected classify failure")
+
+        # 1. Inject hard failures until the breaker opens.
+        server.manager.classify_hook = boom
+        for __ in range(4):
+            status, payload = client.classify([[0.0, 0.0]], deadline_ms=5_000)
+            assert status == 500
+        assert client.statz()[1]["breaker"] == "open"
+
+        # 2. Clear the fault: open state still serves, but degraded
+        #    (tiny budget, honest flags) — latency stays bounded.
+        server.manager.classify_hook = None
+        status, payload = client.classify([[0.0, 0.0]], deadline_ms=5_000)
+        assert status == 200
+        assert payload["mode"] == "degraded"
+        assert payload["budget"] == server.serve_config.open_budget
+        assert client.statz()[1]["breaker_served_degraded"] >= 1
+
+        # 3. After the cooldown, probes run at full budget and close it.
+        time.sleep(1.6)
+        seen_modes = set()
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            status, payload = client.classify([[0.0, 0.0]], deadline_ms=5_000)
+            assert status == 200
+            seen_modes.add(payload["mode"])
+            if client.statz()[1]["breaker"] == CLOSED:
+                break
+            time.sleep(0.05)
+        else:
+            pytest.fail("breaker never closed after recovery")
+        assert "probe" in seen_modes
+
+        # 4. Closed again: full-budget service, transitions on record.
+        status, payload = client.classify([[0.0, 0.0]], deadline_ms=5_000)
+        assert status == 200
+        assert payload["mode"] == "full"
+        statz = client.statz()[1]
+        transitions = statz["breaker_transitions"]
+        assert transitions.get("closed->open") == 1
+        assert transitions.get("open->half_open") == 1
+        assert transitions.get("half_open->closed") == 1
+        # Errors were counted, and the accounting still balances.
+        assert statz["errors"] == 4
+        terminal = sum(statz[name] for name in TERMINAL_OUTCOMES)
+        assert terminal == statz["submitted"]

@@ -1,11 +1,20 @@
 """Unit tests for model persistence and the fit/classify CLI."""
 
+import pickle
+
 import numpy as np
 import pytest
 
+import repro
+import repro.io.models as models_module
 from repro import TKDCClassifier, TKDCConfig
 from repro.cli import main
-from repro.io.models import load_model, save_model
+from repro.io.models import (
+    ModelIntegrityError,
+    load_model,
+    resolve_model_path,
+    save_model,
+)
 
 
 @pytest.fixture(scope="module")
@@ -38,23 +47,123 @@ class TestSaveLoad:
             save_model(tmp_path / "model", TKDCClassifier())
 
     def test_rejects_foreign_file(self, tmp_path):
-        import pickle
-
         bogus = tmp_path / "bogus.tkdc"
         bogus.write_bytes(pickle.dumps({"not": "a model"}))
-        with pytest.raises(ValueError, match="not a repro"):
-            load_model(bogus)
+        with pytest.warns(UserWarning, match="integrity footer"):
+            with pytest.raises(ValueError, match="not a repro"):
+                load_model(bogus)
 
     def test_rejects_version_mismatch(self, fitted, tmp_path):
-        import pickle
-
         __, clf = fitted
         stale = tmp_path / "stale.tkdc"
         stale.write_bytes(pickle.dumps({
             "magic": "repro-tkdc-model", "version": "0.0.1", "classifier": clf
         }))
-        with pytest.raises(ValueError, match="re-fit"):
-            load_model(stale)
+        with pytest.warns(UserWarning, match="integrity footer"):
+            with pytest.raises(ValueError, match="re-fit"):
+                load_model(stale)
+
+
+class TestIntegrityFooter:
+    @pytest.fixture()
+    def saved(self, fitted, tmp_path):
+        __, clf = fitted
+        return save_model(tmp_path / "model", clf)
+
+    def test_footer_present_on_disk(self, saved):
+        data = saved.read_bytes()
+        assert b"tkdc-sha256:" in data[-44:]
+
+    def test_flipped_payload_byte_rejected_by_checksum(self, saved):
+        blob = bytearray(saved.read_bytes())
+        blob[len(blob) // 2] ^= 0x40
+        saved.write_bytes(bytes(blob))
+        with pytest.raises(ModelIntegrityError, match="sha256"):
+            load_model(saved)
+
+    def test_flipped_digest_byte_rejected(self, saved):
+        blob = bytearray(saved.read_bytes())
+        blob[-1] ^= 0x01
+        saved.write_bytes(bytes(blob))
+        with pytest.raises(ModelIntegrityError, match="sha256"):
+            load_model(saved)
+
+    def test_corrupt_file_never_reaches_the_unpickler(self, saved, monkeypatch):
+        blob = bytearray(saved.read_bytes())
+        blob[100] ^= 0xFF
+        saved.write_bytes(bytes(blob))
+        unpickles: list[int] = []
+        real_loads = pickle.loads
+
+        def spying_loads(data, **kwargs):
+            unpickles.append(len(data))
+            return real_loads(data, **kwargs)
+
+        monkeypatch.setattr(models_module.pickle, "loads", spying_loads)
+        with pytest.raises(ModelIntegrityError):
+            load_model(saved)
+        assert unpickles == []
+
+    def test_truncated_legacy_stream_is_typed_error(self, saved):
+        # Truncation removes the footer, so the file degrades to the
+        # legacy path — and the incomplete pickle must still surface as
+        # the typed integrity error, not a raw UnpicklingError.
+        saved.write_bytes(saved.read_bytes()[:200])
+        with pytest.warns(UserWarning, match="integrity footer"):
+            with pytest.raises(ModelIntegrityError, match="not a complete"):
+                load_model(saved)
+
+    def test_legacy_footerless_file_loads_with_warning(self, fitted, tmp_path):
+        __, clf = fitted
+        legacy = tmp_path / "legacy.tkdc"
+        legacy.write_bytes(pickle.dumps({
+            "magic": "repro-tkdc-model",
+            "version": repro.__version__,
+            "classifier": clf,
+        }))
+        with pytest.warns(UserWarning, match="integrity footer"):
+            loaded = load_model(legacy)
+        assert loaded.is_fitted
+
+    def test_saved_files_load_warning_free(self, saved, recwarn):
+        load_model(saved)
+        assert not [w for w in recwarn if "integrity" in str(w.message)]
+
+
+class TestPathResolution:
+    def test_exact_path_wins_over_tkdc_sibling(self, tmp_path):
+        exact = tmp_path / "a.model"
+        sibling = tmp_path / "a.tkdc"
+        exact.write_bytes(b"exact")
+        sibling.write_bytes(b"sibling")
+        assert resolve_model_path(exact) == exact
+
+    def test_falls_back_to_tkdc_suffix(self, tmp_path):
+        sibling = tmp_path / "a.tkdc"
+        sibling.write_bytes(b"sibling")
+        assert resolve_model_path(tmp_path / "a") == sibling
+        assert resolve_model_path(tmp_path / "a.model") == sibling
+
+    def test_missing_error_names_both_candidates(self, tmp_path):
+        with pytest.raises(FileNotFoundError) as excinfo:
+            resolve_model_path(tmp_path / "ghost.model")
+        message = str(excinfo.value)
+        assert str(tmp_path / "ghost.model") in message
+        assert f"also tried {tmp_path / 'ghost.tkdc'}" in message
+
+    def test_missing_tkdc_path_has_single_candidate(self, tmp_path):
+        with pytest.raises(FileNotFoundError) as excinfo:
+            resolve_model_path(tmp_path / "ghost.tkdc")
+        message = str(excinfo.value)
+        assert str(tmp_path / "ghost.tkdc") in message
+        assert "also tried" not in message
+
+    def test_load_model_uses_resolution(self, fitted, tmp_path):
+        __, clf = fitted
+        save_model(tmp_path / "m", clf)  # lands at m.tkdc
+        assert load_model(tmp_path / "m").is_fitted
+        with pytest.raises(FileNotFoundError, match="also tried"):
+            load_model(tmp_path / "elsewhere.bin")
 
 
 class TestCliFitClassify:
