@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-faults test-serve serve-smoke bench bench-batch bench-coreset bench-coreset-smoke bench-robustness bench-serving bench-serving-smoke experiments demo clean
+.PHONY: install test test-fast test-faults test-serve serve-smoke bench bench-batch bench-coreset bench-coreset-smoke bench-gate bench-robustness bench-serving bench-serving-smoke experiments demo clean
 
 install:
 	pip install -e ".[test]"
@@ -41,6 +41,12 @@ bench-coreset:
 # does not overwrite BENCH_coreset.json).
 bench-coreset-smoke:
 	$(PYTHON) benchmarks/bench_coreset.py --smoke
+
+# Regression gate: rerun the smoke benchmarks and compare key metrics
+# (labels, kernels/query, batch speedup, coreset agreement) against the
+# committed BENCH_*.json baselines. Exits non-zero on regression.
+bench-gate:
+	$(PYTHON) scripts/bench_gate.py
 
 bench-robustness:
 	$(PYTHON) benchmarks/bench_robustness.py

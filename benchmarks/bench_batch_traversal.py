@@ -16,7 +16,11 @@ Two extra sections cover the engine's tuning knobs:
   floor, where the pool actually pays off;
 - a block-size sweep times the batch engine at block sizes 128/512/2048
   on a 2048-query block, backing the DEFAULT_BLOCK_SIZE choice in
-  :mod:`repro.core.batch_bounds`.
+  :mod:`repro.core.batch_bounds`;
+- a ``section: "smoke"`` block produced by
+  :func:`repro.bench.gate.traversal_smoke_rows` — the committed
+  baseline the bench regression gate (``make bench-gate``) compares
+  fresh runs against.
 
 Run standalone (``make bench-batch``) or under pytest.
 """
@@ -25,12 +29,13 @@ from __future__ import annotations
 
 import json
 import os
-import platform
 from pathlib import Path
 
 import numpy as np
 
+from repro.bench.gate import traversal_smoke_rows
 from repro.bench.harness import Timer, human_rate, throughput
+from repro.bench.reporting import report_metadata
 from repro.core.batch_bounds import DEFAULT_BLOCK_SIZE
 from repro.core.classifier import (
     _CHUNKS_PER_WORKER,
@@ -107,8 +112,10 @@ def _bench_workload(dataset: str, n: int, n_queries: int, seed: int = 0) -> list
     reference_labels: np.ndarray | None = None
     for engine, n_jobs in ENGINES:
         clf.classify(queries[:8], engine=engine, n_jobs=n_jobs)  # warm up
+        kernels_before = clf.stats.kernel_evaluations
         with Timer() as timer:
             labels = clf.predict(queries, engine=engine, n_jobs=n_jobs)
+        kernels = clf.stats.kernel_evaluations - kernels_before
         if reference_labels is None:
             reference_labels = labels
         rows.append({
@@ -121,6 +128,10 @@ def _bench_workload(dataset: str, n: int, n_queries: int, seed: int = 0) -> list
             "parallel_fallback": _falls_back(engine, n_jobs, n_queries),
             "seconds": timer.elapsed,
             "queries_per_s": throughput(n_queries, timer.elapsed),
+            # Machine-independent cost proxy (the paper's figure-12
+            # currency); pooled runs include worker counts via the
+            # TraversalStats to_dict/from_dict round-trip.
+            "kernels_per_query": kernels / n_queries,
             "labels_match_per_query": bool(np.array_equal(labels, reference_labels)),
         })
 
@@ -214,14 +225,25 @@ def run_benchmark(workloads=WORKLOADS) -> list[dict]:
             f"  block_size={row['block_size']:>5}: "
             f"{human_rate(row['queries_per_s'])}"
         )
+
+    # The bench-gate's smoke workload, produced by the exact code the
+    # gate re-runs (repro.bench.gate) so baseline and measurement can
+    # never drift apart structurally.
+    print("\n[gate smoke workload]")
+    for row in traversal_smoke_rows():
+        rows.append(row)
+        print(
+            f"  {row['engine']:>9}: {human_rate(row['queries_per_s'])} "
+            f"({row['speedup_vs_per_query']:.2f}x, "
+            f"{row['kernels_per_query']:.1f} kernels/query)"
+        )
     return rows
 
 
 def write_report(rows: list[dict]) -> Path:
     report = {
         "benchmark": "batch_traversal",
-        "python": platform.python_version(),
-        "machine": platform.machine(),
+        **report_metadata(),
         "settings": {
             "default_block_size": DEFAULT_BLOCK_SIZE,
             "parallel_min_queries": _PARALLEL_MIN_QUERIES,

@@ -28,12 +28,12 @@ from __future__ import annotations
 
 import json
 import math
-import platform
 from pathlib import Path
 
 import numpy as np
 
 from repro.bench.harness import Timer, human_rate, throughput
+from repro.bench.reporting import report_metadata
 from repro.core.classifier import TKDCClassifier
 from repro.core.config import TKDCConfig
 from repro.coresets.validate import empirical_eta, exact_density
@@ -168,8 +168,7 @@ def run_benchmark(workloads=WORKLOADS, fractions=FRACTIONS) -> list[dict]:
 def write_report(rows: list[dict]) -> Path:
     report = {
         "benchmark": "coreset",
-        "python": platform.python_version(),
-        "machine": platform.machine(),
+        **report_metadata(),
         "settings": {
             "p": 0.01,
             "epsilon": 0.01,

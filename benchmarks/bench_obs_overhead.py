@@ -1,0 +1,129 @@
+"""Observability overhead: metrics off vs on vs full per-query tracing.
+
+The acceptance bar for the obs subsystem is that instrumentation is
+near-free when disabled and cheap when enabled:
+
+- **metrics off** (``REGISTRY.disable()``): every record path begins
+  with an ``enabled`` check, so the only residual cost is that branch —
+  the reference timing;
+- **metrics on** (the default): counters and histograms are reported
+  per classify call / per traversal block, never per node, so the cost
+  stays amortized across the block;
+- **tracing on**: the opt-in ``TraceRecorder`` captures the full bound
+  trajectory per query — the expensive mode, priced here so the docs
+  can say what ``repro explain`` costs.
+
+Labels must be bit-identical across all three modes — observability
+may never change an answer. Timing is reported (median of repeats) but
+only the label identity is asserted: wall-clock ratios at this workload
+size are scheduler noise, and the cross-commit perf trajectory is
+already guarded by ``make bench-gate``.
+
+Run standalone (``python benchmarks/bench_obs_overhead.py``); writes no
+report file.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.gate import SMOKE_N, query_block
+from repro.bench.harness import Timer, throughput
+from repro.core.classifier import TKDCClassifier
+from repro.core.config import TKDCConfig
+from repro.obs.registry import REGISTRY
+from repro.obs.trace import TraceRecorder
+from repro.datasets.registry import load
+
+N_QUERIES = 1024
+REPEATS = 5
+
+
+def _median_time(fn) -> tuple[float, object]:
+    times = []
+    result = None
+    for __ in range(REPEATS):
+        with Timer() as timer:
+            result = fn()
+        times.append(timer.elapsed)
+    return float(np.median(times)), result
+
+
+def run_benchmark(seed: int = 0) -> list[dict]:
+    data = load("gauss", n=SMOKE_N, seed=seed)
+    config = TKDCConfig(
+        p=0.01, seed=seed, refine_threshold=False,
+        bootstrap_s0=min(2000, SMOKE_N),
+    )
+    clf = TKDCClassifier(config).fit(data)
+    clf.tree.flatten()
+    queries = query_block(data, N_QUERIES, np.random.default_rng(seed + 1))
+    clf.predict(queries[:8])  # warm up
+
+    was_enabled = REGISTRY.enabled
+    rows = []
+    try:
+        REGISTRY.disable()
+        off_seconds, off_labels = _median_time(
+            lambda: clf.predict(queries, engine="batch", n_jobs=1)
+        )
+        rows.append({
+            "mode": "metrics_off", "seconds": off_seconds,
+            "queries_per_s": throughput(N_QUERIES, off_seconds),
+            "overhead_vs_off": 0.0, "labels_match_off": True,
+        })
+
+        REGISTRY.enable()
+        on_seconds, on_labels = _median_time(
+            lambda: clf.predict(queries, engine="batch", n_jobs=1)
+        )
+        rows.append({
+            "mode": "metrics_on", "seconds": on_seconds,
+            "queries_per_s": throughput(N_QUERIES, on_seconds),
+            "overhead_vs_off": on_seconds / off_seconds - 1.0,
+            "labels_match_off": bool(np.array_equal(on_labels, off_labels)),
+        })
+
+        def traced() -> np.ndarray:
+            return clf.classify(
+                queries, engine="batch",
+                trace=TraceRecorder(engine="batch"),
+            )
+
+        trace_seconds, trace_labels = _median_time(traced)
+        rows.append({
+            "mode": "tracing_on", "seconds": trace_seconds,
+            "queries_per_s": throughput(N_QUERIES, trace_seconds),
+            "overhead_vs_off": trace_seconds / off_seconds - 1.0,
+            "labels_match_off": bool(
+                np.array_equal(np.asarray(trace_labels, dtype=int),
+                               np.asarray(off_labels, dtype=int))
+            ),
+        })
+    finally:
+        if was_enabled:
+            REGISTRY.enable()
+        else:
+            REGISTRY.disable()
+    return rows
+
+
+def main() -> int:
+    rows = run_benchmark()
+    print(f"[obs overhead: gauss n={SMOKE_N}, {N_QUERIES} queries, "
+          f"batch engine, median of {REPEATS}]")
+    for row in rows:
+        print(
+            f"  {row['mode']:>11}: {row['queries_per_s']:,.0f} q/s "
+            f"({row['overhead_vs_off']:+.1%} vs metrics_off, "
+            f"labels_match={row['labels_match_off']})"
+        )
+    if not all(row["labels_match_off"] for row in rows):
+        print("FAIL: observability changed labels")
+        return 1
+    print("labels bit-identical across metrics_off / metrics_on / tracing_on")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

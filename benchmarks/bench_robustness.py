@@ -23,12 +23,12 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
-import platform
 from pathlib import Path
 
 import numpy as np
 
 from repro.bench.harness import Timer, human_rate, throughput
+from repro.bench.reporting import report_metadata
 from repro.core.classifier import (
     _CHUNKS_PER_WORKER,
     _WORKER_STATE,
@@ -227,8 +227,7 @@ def run_benchmark(seed: int = 0) -> list[dict]:
 def write_report(rows: list[dict]) -> Path:
     report = {
         "benchmark": "robustness",
-        "python": platform.python_version(),
-        "machine": platform.machine(),
+        **report_metadata(),
         "settings": {
             "pool_queries": POOL_QUERIES,
             "pool_jobs": POOL_JOBS,

@@ -22,7 +22,6 @@ serves, sheds, and drains inside the job timeout).
 from __future__ import annotations
 
 import json
-import platform
 import sys
 import threading
 import time
@@ -30,6 +29,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.bench.reporting import report_metadata
 from repro.core.classifier import TKDCClassifier
 from repro.core.config import TKDCConfig
 from repro.io.atomic import atomic_write_text
@@ -175,7 +175,7 @@ def run_benchmark(smoke: bool) -> dict:
     )
     return {
         "benchmark": "serving",
-        "python": platform.python_version(),
+        **report_metadata(),
         "n_train": N_TRAIN_SMOKE if smoke else N_TRAIN,
         "serve_config": {
             "max_concurrency": config.max_concurrency,

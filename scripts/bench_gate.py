@@ -1,0 +1,19 @@
+"""Thin launcher for the bench regression gate.
+
+Re-runs the smoke-size benchmarks and compares key metrics against the
+committed ``BENCH_*.json`` baselines; exits non-zero on regression.
+All logic lives in :mod:`repro.bench.gate` so tests can drive it with a
+doctored baseline directory. Run via ``make bench-gate``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.gate import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

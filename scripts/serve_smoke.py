@@ -83,6 +83,21 @@ def main() -> int:
                 return fail(f"statz: {status} {statz}", process)
             if statz["completed"] != 1 or statz["rejected"] != 1:
                 return fail(f"statz counters off: {statz}", process)
+
+            status, text = client.metrics()
+            if status != 200:
+                return fail(f"metrics: {status}", process)
+            # /metrics and /statz read the same registry cells, so the
+            # exposition must agree with the JSON counters exactly.
+            for needle in (
+                'tkdc_serve_events_total{event="submitted"} 2',
+                'tkdc_serve_events_total{event="completed"} 1',
+                'tkdc_serve_events_total{event="rejected"} 1',
+                "tkdc_serve_request_latency_seconds_bucket",
+                "# TYPE tkdc_serve_request_latency_seconds histogram",
+            ):
+                if needle not in text:
+                    return fail(f"metrics missing {needle!r}:\n{text}", process)
         except OSError as exc:
             return fail(f"daemon connection failed: {exc}", process)
 
@@ -94,7 +109,10 @@ def main() -> int:
         if code != 0:
             return fail(f"daemon exited {code} after SIGTERM")
 
-    print("serve smoke OK: ready -> classify -> statz -> SIGTERM drain")
+    print(
+        "serve smoke OK: ready -> classify -> statz -> metrics -> "
+        "SIGTERM drain"
+    )
     return 0
 
 

@@ -44,7 +44,7 @@ from repro.core.threshold import BootstrapExhausted
 from repro.coresets import Coreset, build_coreset
 from repro.robustness import FaultPlan, GuardWarning, InvariantViolation
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "TKDCClassifier",

@@ -1,0 +1,383 @@
+"""Bench regression gate: rerun smoke workloads, compare to baselines.
+
+The committed ``BENCH_*.json`` reports at the repo root record the perf
+trajectory across commits. This module re-runs *smoke-sized* versions of
+the key workloads and compares the machine-independent and
+machine-tolerant metrics against those baselines:
+
+- **labels_match** (hard): the batch engine must reproduce the per-query
+  engine's labels bit-for-bit — any mismatch fails the gate outright;
+- **kernels_per_query** (tight, default ±2%): the paper's
+  machine-independent cost proxy. Traversal is deterministic given the
+  seed, so a drift here means the pruning logic changed, not the
+  machine;
+- **batch speedup** (loose, default ≥ 45% of baseline): wall-clock
+  ratios are noisy on shared CI runners, so only a gross regression —
+  e.g. the batch engine silently falling back to per-query — trips it;
+- **coreset outside-band agreement** (default ≥ baseline min − 0.02):
+  the certificate's accountability metric from ``BENCH_coreset.json``.
+
+The same :func:`traversal_smoke_rows` produces both the baseline's
+smoke section (via ``benchmarks/bench_batch_traversal.py``) and the
+gate's fresh measurement, so the two sides can never diverge by
+construction. Run via ``make bench-gate`` or ``scripts/bench_gate.py``;
+exits non-zero on any failed check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.harness import Timer, throughput
+from repro.core.classifier import TKDCClassifier
+from repro.core.config import TKDCConfig
+from repro.coresets.validate import exact_density
+from repro.datasets.registry import load
+from repro.obs.buildinfo import build_info
+
+#: Repo root — where the committed ``BENCH_*.json`` baselines live.
+REPO_ROOT = Path(__file__).resolve().parents[3]
+
+#: The traversal smoke workload: big enough that the batch engine's
+#: amortization shows, small enough to finish in seconds on one core.
+SMOKE_DATASET = "gauss"
+SMOKE_N = 8_000
+SMOKE_QUERIES = 256
+
+#: The coreset smoke workload (mirrors bench_coreset's ``--smoke``).
+CORESET_SMOKE = ("gauss", 5_000, 200, "uniform", 0.05)
+
+
+@dataclass(frozen=True)
+class GateTolerances:
+    """How far a fresh smoke run may drift from the committed baseline."""
+
+    #: Measured batch speedup must be at least this fraction of the
+    #: baseline's (wall-clock is noisy; this catches only gross loss).
+    min_speedup_fraction: float = 0.45
+    #: Relative tolerance on kernels/query (deterministic given seed).
+    kernels_rel_tol: float = 0.02
+    #: Outside-band agreement may sit this far below the baseline's
+    #: minimum over certified coreset rows.
+    agreement_slack: float = 0.02
+
+
+@dataclass
+class GateCheck:
+    """One comparison against the baseline, with its verdict."""
+
+    name: str
+    ok: bool
+    measured: float
+    reference: float
+    detail: str
+
+    def render(self) -> str:
+        status = "PASS" if self.ok else "FAIL"
+        return (
+            f"{status}  {self.name}: measured {self.measured:.4g} "
+            f"vs reference {self.reference:.4g} ({self.detail})"
+        )
+
+
+def query_block(
+    data: np.ndarray, n_queries: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Half in-distribution points, half uniform box draws (outlier mix).
+
+    Identical to the block construction in the standalone benchmarks so
+    smoke reruns see the same query distribution the baselines did.
+    """
+    inliers = data[rng.choice(data.shape[0], size=n_queries // 2, replace=False)]
+    box = rng.uniform(
+        data.min(axis=0), data.max(axis=0),
+        size=(n_queries - n_queries // 2, data.shape[1]),
+    )
+    return rng.permutation(np.concatenate([inliers, box]))
+
+
+def traversal_smoke_rows(
+    dataset: str = SMOKE_DATASET,
+    n: int = SMOKE_N,
+    n_queries: int = SMOKE_QUERIES,
+    seed: int = 0,
+) -> list[dict]:
+    """Time both engines on the smoke workload; one row per engine.
+
+    Shared between ``benchmarks/bench_batch_traversal.py`` (which
+    commits these rows into the baseline under ``section: "smoke"``)
+    and :func:`run_gate` (which re-measures them), so both sides of the
+    comparison come from the same code path.
+    """
+    data = load(dataset, n=n, seed=seed)
+    config = TKDCConfig(
+        p=0.01, seed=seed, refine_threshold=False, bootstrap_s0=min(2000, n)
+    )
+    clf = TKDCClassifier(config).fit(data)
+    clf.tree.flatten()
+    queries = query_block(data, n_queries, np.random.default_rng(seed + 1))
+
+    rows: list[dict] = []
+    reference_labels: np.ndarray | None = None
+    for engine in ("per-query", "batch"):
+        clf.predict(queries[:8], engine=engine, n_jobs=1)  # warm up
+        kernels_before = clf.stats.kernel_evaluations
+        with Timer() as timer:
+            labels = clf.predict(queries, engine=engine, n_jobs=1)
+        kernels = clf.stats.kernel_evaluations - kernels_before
+        if reference_labels is None:
+            reference_labels = labels
+        rows.append({
+            "section": "smoke",
+            "dataset": dataset,
+            "n": n,
+            "dim": data.shape[1],
+            "n_queries": n_queries,
+            "engine": engine,
+            "n_jobs": 1,
+            "seconds": timer.elapsed,
+            "queries_per_s": throughput(n_queries, timer.elapsed),
+            "kernels_per_query": kernels / n_queries,
+            "labels_match_per_query": bool(
+                np.array_equal(labels, reference_labels)
+            ),
+        })
+    base = rows[0]["queries_per_s"]
+    for row in rows:
+        row["speedup_vs_per_query"] = row["queries_per_s"] / base
+    return rows
+
+
+def coreset_smoke_row(seed: int = 0) -> dict:
+    """One coreset-vs-uncompressed agreement measurement (smoke size)."""
+    dataset, n, n_queries, method, fraction = CORESET_SMOKE
+    data = load(dataset, n=n, seed=seed)
+    queries = query_block(data, n_queries, np.random.default_rng(seed + 1))
+    base_config = TKDCConfig(
+        p=0.01, seed=seed, refine_threshold=False, bootstrap_s0=min(2000, n)
+    )
+
+    base = TKDCClassifier(base_config).fit(data)
+    base_labels = base.predict(queries)
+    t_base = base.threshold.value
+    scaled = base.kernel.scale(data)
+    f_exact = exact_density(scaled, base.kernel, base.kernel.scale(queries))
+
+    clf = TKDCClassifier(
+        base_config.with_updates(coreset=method, coreset_fraction=fraction)
+    ).fit(data)
+    labels = clf.predict(queries)
+
+    # The widened band where the certificate permits a label flip (see
+    # benchmarks/bench_coreset.py for the derivation).
+    eta = clf.coreset_.eta
+    band = base_config.epsilon * t_base + 2.0 * eta
+    outside = np.abs(f_exact - t_base) > band
+    agree = labels == base_labels
+    return {
+        "dataset": dataset,
+        "n": n,
+        "n_queries": n_queries,
+        "method": method,
+        "fraction": fraction,
+        "certified": bool(clf.certified),
+        "label_agreement": float(np.mean(agree)),
+        "agreement_outside_band": (
+            float(np.mean(agree[outside])) if outside.any() else 1.0
+        ),
+    }
+
+
+def load_report(baseline_dir: Path, name: str) -> dict | None:
+    path = Path(baseline_dir) / f"BENCH_{name}.json"
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def _check_traversal(
+    baseline: dict | None, tolerances: GateTolerances, seed: int
+) -> list[GateCheck]:
+    checks: list[GateCheck] = []
+    measured = traversal_smoke_rows(seed=seed)
+
+    for row in measured:
+        checks.append(GateCheck(
+            name=f"labels_match[{row['engine']}]",
+            ok=bool(row["labels_match_per_query"]),
+            measured=float(row["labels_match_per_query"]),
+            reference=1.0,
+            detail="batch engine must replicate per-query labels exactly",
+        ))
+
+    if baseline is None:
+        checks.append(GateCheck(
+            name="baseline[batch_traversal]", ok=False,
+            measured=0.0, reference=1.0,
+            detail="BENCH_batch_traversal.json missing from baseline dir",
+        ))
+        return checks
+    base_rows = {
+        r["engine"]: r
+        for r in baseline.get("rows", ())
+        if r.get("section") == "smoke"
+    }
+    if not base_rows:
+        checks.append(GateCheck(
+            name="baseline[batch_traversal.smoke]", ok=False,
+            measured=0.0, reference=1.0,
+            detail="baseline has no smoke section; regenerate it with "
+                   "`make bench-batch`",
+        ))
+        return checks
+
+    for row in measured:
+        base = base_rows.get(row["engine"])
+        if base is None or "kernels_per_query" not in base:
+            checks.append(GateCheck(
+                name=f"baseline[{row['engine']}]", ok=False,
+                measured=0.0, reference=1.0,
+                detail="baseline smoke row missing for this engine",
+            ))
+            continue
+        expected = float(base["kernels_per_query"])
+        got = float(row["kernels_per_query"])
+        drift = abs(got - expected) / expected if expected else 0.0
+        checks.append(GateCheck(
+            name=f"kernels_per_query[{row['engine']}]",
+            ok=drift <= tolerances.kernels_rel_tol,
+            measured=got,
+            reference=expected,
+            detail=f"drift {drift:.2%} (tolerance "
+                   f"{tolerances.kernels_rel_tol:.0%}; deterministic "
+                   "cost proxy — drift means pruning behaviour changed)",
+        ))
+
+    got_speedup = next(
+        r["speedup_vs_per_query"] for r in measured if r["engine"] == "batch"
+    )
+    base_speedup = float(base_rows["batch"]["speedup_vs_per_query"])
+    floor = base_speedup * tolerances.min_speedup_fraction
+    checks.append(GateCheck(
+        name="batch_speedup",
+        ok=got_speedup >= floor,
+        measured=got_speedup,
+        reference=floor,
+        detail=f"baseline {base_speedup:.2f}x × "
+               f"{tolerances.min_speedup_fraction:.0%} floor",
+    ))
+    return checks
+
+
+def _check_coreset(
+    baseline: dict | None, tolerances: GateTolerances, seed: int
+) -> list[GateCheck]:
+    row = coreset_smoke_row(seed=seed)
+    if baseline is None:
+        return [GateCheck(
+            name="baseline[coreset]", ok=False,
+            measured=0.0, reference=1.0,
+            detail="BENCH_coreset.json missing from baseline dir",
+        )]
+    reference_rows = [
+        float(r["agreement_outside_band"])
+        for r in baseline.get("rows", ())
+        if r.get("method") not in (None, "none") and r.get("certified")
+    ]
+    reference = min(reference_rows) if reference_rows else 1.0
+    floor = reference - tolerances.agreement_slack
+    return [GateCheck(
+        name="coreset_agreement_outside_band",
+        ok=row["agreement_outside_band"] >= floor,
+        measured=row["agreement_outside_band"],
+        reference=floor,
+        detail=f"baseline min {reference:.3f} − "
+               f"{tolerances.agreement_slack} slack "
+               f"(smoke: {row['method']} k/n={row['fraction']:.0%}, "
+               f"certified={row['certified']})",
+    )]
+
+
+def run_gate(
+    baseline_dir: Path | str = REPO_ROOT,
+    tolerances: GateTolerances | None = None,
+    seed: int = 0,
+    skip_coreset: bool = False,
+) -> list[GateCheck]:
+    """Run every gate check; returns the full list of verdicts."""
+    baseline_dir = Path(baseline_dir)
+    tolerances = tolerances if tolerances is not None else GateTolerances()
+    checks = _check_traversal(
+        load_report(baseline_dir, "batch_traversal"), tolerances, seed
+    )
+    if not skip_coreset:
+        checks.extend(_check_coreset(
+            load_report(baseline_dir, "coreset"), tolerances, seed
+        ))
+    return checks
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench-gate",
+        description="Rerun smoke benchmarks and fail on regression vs "
+                    "the committed BENCH_*.json baselines.",
+    )
+    parser.add_argument(
+        "--baseline-dir", default=str(REPO_ROOT),
+        help="directory holding BENCH_*.json (default: repo root)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--skip-coreset", action="store_true",
+        help="skip the coreset agreement check (traversal only)",
+    )
+    parser.add_argument(
+        "--min-speedup-fraction", type=float,
+        default=GateTolerances.min_speedup_fraction,
+        help="measured batch speedup must reach this fraction of baseline",
+    )
+    parser.add_argument(
+        "--kernels-rel-tol", type=float,
+        default=GateTolerances.kernels_rel_tol,
+        help="relative tolerance on kernels/query vs baseline",
+    )
+    parser.add_argument(
+        "--agreement-slack", type=float,
+        default=GateTolerances.agreement_slack,
+        help="allowed drop below the baseline's outside-band agreement",
+    )
+    args = parser.parse_args(argv)
+
+    info = build_info()
+    print(f"bench-gate: repro {info['version']} ({info['git']}), "
+          f"python {info['python']}, baselines from {args.baseline_dir}")
+    checks = run_gate(
+        baseline_dir=args.baseline_dir,
+        tolerances=GateTolerances(
+            min_speedup_fraction=args.min_speedup_fraction,
+            kernels_rel_tol=args.kernels_rel_tol,
+            agreement_slack=args.agreement_slack,
+        ),
+        seed=args.seed,
+        skip_coreset=args.skip_coreset,
+    )
+    for check in checks:
+        print(check.render())
+    failed = [check for check in checks if not check.ok]
+    if failed:
+        print(f"bench-gate: {len(failed)}/{len(checks)} checks FAILED",
+              file=sys.stderr)
+        return 1
+    print(f"bench-gate: all {len(checks)} checks passed")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via scripts/
+    sys.exit(main())

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import platform
 from pathlib import Path
 from typing import Iterable, Mapping
 
@@ -60,6 +61,24 @@ def format_value(value: object) -> str:
             return f"{value:.3g}"
         return f"{value:.4g}"
     return str(value)
+
+
+def report_metadata() -> dict:
+    """Provenance header stamped into every ``BENCH_*.json`` report.
+
+    Carries the interpreter, the machine, and the library's build
+    identity (version + git describe) so each point on the committed
+    perf trajectory is attributable to the exact tree that produced it.
+    """
+    # Imported here, not at module top: buildinfo pulls in the repro
+    # package root, and reporting must stay importable very early.
+    from repro.obs.buildinfo import build_info
+
+    return {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "build": build_info(),
+    }
 
 
 def save_results(

@@ -6,6 +6,8 @@ Usage examples::
     python -m repro run fig7 --n 4000
     python -m repro run fig9 --seed 1 --save
     python -m repro demo
+    python -m repro explain queries.csv --model model.tkdc
+    python -m repro metrics-dump --model model.tkdc --queries queries.csv
 """
 
 from __future__ import annotations
@@ -107,6 +109,45 @@ def _add_serve_parser(subparsers: argparse._SubParsersAction) -> None:
                        help="seconds SIGTERM waits for in-flight requests")
 
 
+def _add_explain_parser(subparsers: argparse._SubParsersAction) -> None:
+    explain = subparsers.add_parser(
+        "explain",
+        help="per-query pruning audit: why each query got its label",
+        description="Classify a CSV of query points with tracing enabled "
+                    "and render, per query, the (f_l, f_u) bound trajectory "
+                    "against the threshold band and the rule that terminated "
+                    "the traversal (see docs/observability.md).",
+    )
+    explain.add_argument("queries", help="CSV file of query points")
+    explain.add_argument("--model", required=True, help="model saved by 'tkdc fit'")
+    explain.add_argument("--engine", choices=["batch", "per-query"], default=None,
+                         help="traversal engine (default: the model's choice)")
+    explain.add_argument("--limit", type=int, default=10,
+                         help="queries rendered in full (0 = all)")
+    explain.add_argument("--max-steps", type=int, default=12,
+                         help="trajectory steps shown per query before elision")
+    explain.add_argument("--header", action="store_true", help="CSV has a header row")
+    explain.add_argument("--jsonl", default=None,
+                         help="also write every trace as JSONL to this path "
+                              "(size-bounded sink)")
+
+
+def _add_metrics_dump_parser(subparsers: argparse._SubParsersAction) -> None:
+    dump = subparsers.add_parser(
+        "metrics-dump",
+        help="print the process-global metrics registry as Prometheus text",
+        description="Without arguments, prints the registered metric families "
+                    "(zeros in a fresh process). With --model and --queries, "
+                    "classifies that workload first so the dump carries real "
+                    "traversal counters and histograms.",
+    )
+    dump.add_argument("--model", default=None, help="model saved by 'tkdc fit'")
+    dump.add_argument("--queries", default=None,
+                      help="CSV of query points to classify before dumping")
+    dump.add_argument("--engine", choices=["batch", "per-query"], default=None)
+    dump.add_argument("--header", action="store_true", help="CSV has a header row")
+
+
 def _add_diagnose_parser(subparsers: argparse._SubParsersAction) -> None:
     diagnose = subparsers.add_parser(
         "diagnose", help="per-query cost profile of a saved model on a CSV workload"
@@ -129,6 +170,8 @@ def main(argv: list[str] | None = None) -> int:
     _add_classify_parser(subparsers)
     _add_serve_parser(subparsers)
     _add_diagnose_parser(subparsers)
+    _add_explain_parser(subparsers)
+    _add_metrics_dump_parser(subparsers)
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -147,6 +190,10 @@ def main(argv: list[str] | None = None) -> int:
         return _serve(args)
     if args.command == "diagnose":
         return _diagnose(args)
+    if args.command == "explain":
+        return _explain(args)
+    if args.command == "metrics-dump":
+        return _metrics_dump(args)
     return _run(args)
 
 
@@ -173,6 +220,56 @@ def _serve(args: argparse.Namespace) -> int:
         drain_timeout=args.drain_timeout,
     )
     return serve(args.model, config)
+
+
+def _explain(args: argparse.Namespace) -> int:
+    from repro.io.datasets import import_csv
+    from repro.io.models import load_model
+
+    clf = load_model(args.model)
+    queries = import_csv(args.queries, has_header=args.header)
+    limit = args.limit if args.limit > 0 else queries.shape[0]
+    if args.jsonl is None:
+        print(clf.explain(queries, engine=args.engine,
+                          limit=limit, max_steps=args.max_steps))
+        return 0
+
+    # With --jsonl, classify once and feed both the sink and the
+    # rendering from the same recorder.
+    from repro.obs.explain import explain_traces
+    from repro.obs.trace import TraceSink
+
+    __, recorder = clf.trace_classify(queries, engine=args.engine)
+    with TraceSink(args.jsonl) as sink:
+        sink.write_all(recorder.traces())
+    threshold = clf.threshold.value
+    band = (
+        threshold * (1.0 - clf.config.epsilon),
+        threshold * (1.0 + clf.config.epsilon),
+    )
+    print(explain_traces(recorder.traces(), thresholds=band,
+                         limit=limit, max_steps=args.max_steps))
+    print(f"wrote {len(recorder)} traces to {args.jsonl}", file=sys.stderr)
+    return 0
+
+
+def _metrics_dump(args: argparse.Namespace) -> int:
+    import repro.obs.metrics  # noqa: F401  (registers the shared families)
+    from repro.obs.registry import REGISTRY, render_prometheus
+
+    if (args.model is None) != (args.queries is None):
+        print("metrics-dump: --model and --queries go together",
+              file=sys.stderr)
+        return 2
+    if args.model is not None:
+        from repro.io.datasets import import_csv
+        from repro.io.models import load_model
+
+        clf = load_model(args.model)
+        clf.classify(import_csv(args.queries, has_header=args.header),
+                     engine=args.engine)
+    sys.stdout.write(render_prometheus(REGISTRY))
+    return 0
 
 
 def _diagnose(args: argparse.Namespace) -> int:

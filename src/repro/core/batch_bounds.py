@@ -29,6 +29,8 @@ from repro.core.pruning import PruneOutcome
 from repro.core.stats import TraversalStats
 from repro.index.flat import FlatTree, pair_box_bounds
 from repro.kernels.base import Kernel
+from repro.obs.metrics import record_traversal_block
+from repro.obs.registry import REGISTRY
 from repro.robustness.faults import FaultInjector
 from repro.robustness.guards import (
     escalate,
@@ -62,6 +64,12 @@ _OUTCOME_BY_CODE: tuple[PruneOutcome | None, ...] = (
 )
 
 _SEQ_INF = np.iinfo(np.int64).max
+
+#: Engine label this module reports under (see ``repro.obs.metrics``).
+ENGINE_LABEL = "batch"
+
+#: Trace-rule string for each outcome code (index = code).
+_RULE_BY_CODE = ("exhausted", "threshold_high", "threshold_low", "tolerance", "budget")
 
 
 @dataclass(frozen=True)
@@ -108,6 +116,7 @@ def bound_densities(
     max_expansions: int | None = None,
     guard_policy: str = "off",
     faults: FaultInjector | None = None,
+    trace=None,
 ) -> BatchBoundResult:
     """Bound the kernel density of every query (batched Algorithm 2).
 
@@ -126,6 +135,10 @@ def bound_densities(
     (stopped queries come back with ``OUTCOME_BUDGET`` and
     ``degraded=True``), vectorized invariant guards at the node, leaf
     and accumulator sites, and deterministic fault injection for tests.
+
+    ``trace`` is an optional :class:`~repro.obs.trace.TraceRecorder`
+    (or view) indexed by position in ``queries``; recording is purely
+    additive and changes no arithmetic.
 
     Returns
     -------
@@ -147,12 +160,14 @@ def bound_densities(
         faults = None
     for begin in range(0, q, block_size):
         stop = min(begin + block_size, q)
+        block_trace = None if trace is None else trace.view(range(begin, stop))
         _bound_block(
             flat, kernel, queries[begin:stop], t_lower, t_upper, epsilon, stats,
             use_threshold_rule, use_tolerance_rule, tolerance_reference,
             threshold_shift, eta,
             lower[begin:stop], upper[begin:stop], codes[begin:stop],
             degraded[begin:stop], max_expansions, guard_policy, faults,
+            block_trace,
         )
     return BatchBoundResult(
         lower=lower, upper=upper, outcome_codes=codes, degraded=degraded
@@ -179,6 +194,7 @@ def _bound_block(
     max_expansions: int | None,
     guard_policy: str,
     faults: FaultInjector | None,
+    trace=None,
 ) -> None:
     """Run the masked-frontier traversal for one block of queries."""
     n_queries = queries.shape[0]
@@ -188,6 +204,22 @@ def _bound_block(
     stats.queries += n_queries
     guarded = guard_policy != "off"
     kernel_ceiling = kernel.max_value
+    kernels_start = stats.kernel_evaluations
+    # Retirement tallies for the registry; out_codes alone cannot
+    # distinguish exhausted from exact-fallback (both OUTCOME_NONE).
+    exhausted_n = 0
+    exact_n = 0
+
+    def trace_stops(rows: np.ndarray, rule: str) -> None:
+        """Record terminal rule + final bounds for retired queries."""
+        if trace is None:
+            return
+        for row in rows:
+            trace.stop(
+                int(row), rule,
+                f_lower=float(out_lower[row]), f_upper=float(out_upper[row]),
+                expansions=int(expansions_used[row]),
+            )
 
     def guard_pair(node_ids, pair_lower, pair_upper):
         """Inject faults into and guard one (query, node) bound sweep."""
@@ -214,6 +246,9 @@ def _bound_block(
     f_lower = root_lower.copy()
     f_upper = root_upper.copy()
     expansions_used = np.zeros(n_queries, dtype=np.int64)
+    if trace is not None:
+        for row in range(n_queries):
+            trace.step(row, float(f_lower[row]), float(f_upper[row]))
 
     # Padded frontier arrays, one row per query; columns grow on demand.
     capacity = 16
@@ -236,9 +271,11 @@ def _bound_block(
         if empty.any():
             done = alive[empty]
             stats.exhausted += done.size
+            exhausted_n += done.size
             out_lower[done] = np.minimum(f_lower[done], f_upper[done])
             out_upper[done] = np.maximum(f_lower[done], f_upper[done])
             out_codes[done] = OUTCOME_NONE
+            trace_stops(done, "exhausted")
             alive = alive[~empty]
             if not alive.size:
                 break
@@ -262,6 +299,8 @@ def _bound_block(
                 stats.extras[EXACT_FALLBACKS_KEY] = (
                     stats.extras.get(EXACT_FALLBACKS_KEY, 0.0) + rows.size
                 )
+                exact_n += rows.size
+                trace_stops(rows, "exact")
                 alive = alive[~broken]
                 if not alive.size:
                     break
@@ -290,6 +329,14 @@ def _bound_block(
             stats.tolerance_prunes += int(
                 np.count_nonzero(code == OUTCOME_TOLERANCE)
             )
+            if trace is not None:
+                for row, rule_code in zip(done, code[pruned]):
+                    trace.stop(
+                        int(row), _RULE_BY_CODE[rule_code],
+                        f_lower=float(out_lower[row]),
+                        f_upper=float(out_upper[row]),
+                        expansions=int(expansions_used[row]),
+                    )
             alive = alive[~pruned]
             if not alive.size:
                 break
@@ -307,6 +354,7 @@ def _bound_block(
                 stats.extras[BUDGET_STOPS_KEY] = (
                     stats.extras.get(BUDGET_STOPS_KEY, 0.0) + done.size
                 )
+                trace_stops(done, "budget")
                 alive = alive[~over]
                 if not alive.size:
                     break
@@ -396,6 +444,29 @@ def _bound_block(
                     fr_seq[push_rows, slot] = next_seq[push_rows]
                     next_seq[push_rows] += 1
                     fr_len[push_rows] = slot + 1
+
+        if trace is not None:
+            for row in alive:
+                trace.step(int(row), float(f_lower[row]), float(f_upper[row]))
+
+    if REGISTRY.enabled:
+        record_traversal_block(
+            ENGINE_LABEL,
+            {
+                "threshold_high": int(
+                    np.count_nonzero(out_codes == OUTCOME_THRESHOLD_HIGH)
+                ),
+                "threshold_low": int(
+                    np.count_nonzero(out_codes == OUTCOME_THRESHOLD_LOW)
+                ),
+                "tolerance": int(np.count_nonzero(out_codes == OUTCOME_TOLERANCE)),
+                "budget": int(np.count_nonzero(out_codes == OUTCOME_BUDGET)),
+                "exhausted": int(exhausted_n),
+                "exact": int(exact_n),
+            },
+            expansions_used,
+            stats.kernel_evaluations - kernels_start,
+        )
 
 
 def _leaf_exact_sums(

@@ -23,6 +23,7 @@ from repro.core.stats import TraversalStats
 from repro.index.boxes import box_kernel_bounds, min_sq_dist
 from repro.index.kdtree import KDTree, Node
 from repro.kernels.base import Kernel
+from repro.obs.metrics import record_traversal
 from repro.robustness.faults import FaultInjector
 from repro.robustness.guards import (
     escalate,
@@ -33,6 +34,9 @@ from repro.robustness.guards import (
 #: ``stats.extras`` keys for degradation events.
 BUDGET_STOPS_KEY = "budget_stops"
 EXACT_FALLBACKS_KEY = "guard_exact_fallbacks"
+
+#: Engine label this module reports under (see ``repro.obs.metrics``).
+ENGINE_LABEL = "per-query"
 
 #: Frontier orderings. "discrepancy" is the paper's rule (Section 3.4):
 #: expand the node whose bounds are loosest. The others exist for the
@@ -88,6 +92,8 @@ def bound_density(
     max_expansions: int | None = None,
     guard_policy: str = "off",
     faults: FaultInjector | None = None,
+    trace=None,
+    trace_index: int = 0,
 ) -> BoundResult:
     """Bound the kernel density of one query point (paper Algorithm 2).
 
@@ -150,6 +156,11 @@ def bound_density(
     faults:
         Optional deterministic fault injector (tests only); corrupts
         planned node bounds and leaf sums before the guards see them.
+    trace, trace_index:
+        Optional :class:`~repro.obs.trace.TraceRecorder` (or view) that
+        receives this query's bound trajectory and terminating rule
+        under index ``trace_index``. Recording is purely additive — no
+        arithmetic changes, so labels are identical with or without it.
 
     Returns
     -------
@@ -173,6 +184,7 @@ def bound_density(
     if faults is not None and not faults.plan.targets_traversal:
         faults = None
     expansions_used = 0
+    kernels_start = stats.kernel_evaluations
 
     def exact_fallback() -> BoundResult:
         """Brute-force density after an unrepairable accumulator: exact."""
@@ -185,6 +197,15 @@ def bound_density(
         stats.extras[EXACT_FALLBACKS_KEY] = (
             stats.extras.get(EXACT_FALLBACKS_KEY, 0.0) + 1.0
         )
+        record_traversal(
+            ENGINE_LABEL, "exact", expansions_used,
+            stats.kernel_evaluations - kernels_start,
+        )
+        if trace is not None:
+            trace.stop(
+                trace_index, "exact",
+                f_lower=exact, f_upper=exact, expansions=expansions_used,
+            )
         return BoundResult(exact, exact, None)
 
     def node_envelope(node: Node) -> float:
@@ -215,6 +236,8 @@ def bound_density(
             ceiling=node_envelope(tree.root),
         )
     f_lower, f_upper = root_lower, root_upper
+    if trace is not None:
+        trace.step(trace_index, f_lower, f_upper)
     frontier: list[tuple[float, int, Node, float, float]] = []
     heapq.heappush(
         frontier, (rank(tree.root, root_lower, root_upper), next(counter), tree.root,
@@ -241,6 +264,15 @@ def bound_density(
         )
         if outcome is not None:
             _record_outcome(stats, outcome)
+            record_traversal(
+                ENGINE_LABEL, outcome.value, expansions_used,
+                stats.kernel_evaluations - kernels_start,
+            )
+            if trace is not None:
+                trace.stop(
+                    trace_index, outcome.value,
+                    f_lower=f_lower, f_upper=f_upper, expansions=expansions_used,
+                )
             return BoundResult(f_lower, f_upper, outcome)
         if max_expansions is not None and expansions_used >= max_expansions:
             # Anytime budget exhausted: stop with the current valid
@@ -248,6 +280,16 @@ def bound_density(
             stats.extras[BUDGET_STOPS_KEY] = (
                 stats.extras.get(BUDGET_STOPS_KEY, 0.0) + 1.0
             )
+            record_traversal(
+                ENGINE_LABEL, "budget", expansions_used,
+                stats.kernel_evaluations - kernels_start,
+            )
+            if trace is not None:
+                trace.stop(
+                    trace_index, "budget",
+                    f_lower=min(f_lower, f_upper), f_upper=max(f_lower, f_upper),
+                    expansions=expansions_used,
+                )
             return BoundResult(
                 min(f_lower, f_upper), max(f_lower, f_upper), None, degraded=True
             )
@@ -298,11 +340,22 @@ def bound_density(
                         (rank(child, child_lower, child_upper), next(counter), child,
                          child_lower, child_upper),
                     )
+        if trace is not None:
+            trace.step(trace_index, f_lower, f_upper)
 
     # Tree exhausted: the interval has collapsed to the exact density
     # (up to floating-point accumulation).
     stats.exhausted += 1
     f_lower, f_upper = min(f_lower, f_upper), max(f_lower, f_upper)
+    record_traversal(
+        ENGINE_LABEL, "exhausted", expansions_used,
+        stats.kernel_evaluations - kernels_start,
+    )
+    if trace is not None:
+        trace.stop(
+            trace_index, "exhausted",
+            f_lower=f_lower, f_upper=f_upper, expansions=expansions_used,
+        )
     return BoundResult(f_lower, f_upper, None)
 
 

@@ -46,6 +46,9 @@ from repro.core.threshold import bootstrap_threshold_bounds
 from repro.index.kdtree import KDTree
 from repro.kernels.base import Kernel
 from repro.kernels.factory import kernel_for_data
+from repro.obs.explain import explain_traces
+from repro.obs.metrics import CLASSIFY_SECONDS, GRID_HITS_TOTAL
+from repro.obs.trace import TraceRecorder
 from repro.quantile.order_stats import quantile_of_sorted
 from repro.robustness.faults import (
     WORKER_CRASH,
@@ -103,8 +106,14 @@ def _enact_worker_fault(plan: FaultPlan, chunk_index: int, attempt: int) -> None
 
 def _classify_chunk(
     chunk_index: int, attempt: int, scaled_chunk: np.ndarray
-) -> tuple[np.ndarray, TraversalStats]:
-    """Classify one chunk in a worker; stats come back for merging."""
+) -> tuple[np.ndarray, dict]:
+    """Classify one chunk in a worker; stats come back for merging.
+
+    Stats cross the process boundary as the lossless
+    :meth:`TraversalStats.to_dict` form (core counters plus the full
+    ``extras`` dict), so worker-side bookkeeping like exact-fallback and
+    budget-stop counts survives aggregation verbatim.
+    """
     plan = _WORKER_STATE.get("fault_plan")
     if plan is not None:
         _enact_worker_fault(plan, chunk_index, attempt)
@@ -112,7 +121,7 @@ def _classify_chunk(
     highs = _WORKER_STATE["classifier"]._classify_scaled_block(
         scaled_chunk, _WORKER_STATE["threshold"], stats, engine="batch"
     )
-    return highs, stats
+    return highs, stats.to_dict()
 
 
 def _init_worker(
@@ -415,6 +424,7 @@ class TKDCClassifier:
         queries: np.ndarray,
         engine: str | None = None,
         n_jobs: int | None = None,
+        trace=None,
     ) -> np.ndarray:
         """Classify query points as HIGH/LOW density (paper Algorithm 1).
 
@@ -432,6 +442,14 @@ class TKDCClassifier:
             Worker processes for the batch engine (``None`` defers to
             ``config.n_jobs``; -1 uses every core). Ignored by the
             per-query engine.
+        trace:
+            Optional :class:`~repro.obs.trace.TraceRecorder` receiving
+            each query's bound trajectory, terminating rule, and final
+            label, indexed by row in ``queries``. Tracing is purely
+            additive (labels are bit-identical with it on) and forces
+            the in-process path — worker-side recorders cannot cross a
+            process boundary, so ``n_jobs`` is ignored while tracing.
+            Flagged-invalid rows are never traversed and get no trace.
 
         Under ``config.query_policy == "flag"``, non-finite query rows
         are never traversed and come back as ``Label.UNCERTAIN``.
@@ -439,13 +457,61 @@ class TKDCClassifier:
         self._require_fitted()
         queries, invalid = self._as_query_matrix(queries)
         if not invalid.any():
-            highs = self._classify_mask(queries, engine, n_jobs)
-            return _LABELS[highs.astype(np.intp)]
-        labels = np.full(queries.shape[0], Label.UNCERTAIN, dtype=object)
-        valid = np.flatnonzero(~invalid)
-        highs = self._classify_mask(queries[valid], engine, n_jobs)
-        labels[valid] = _LABELS[highs.astype(np.intp)]
+            highs = self._classify_mask(queries, engine, n_jobs, trace=trace)
+            labels = _LABELS[highs.astype(np.intp)]
+        else:
+            labels = np.full(queries.shape[0], Label.UNCERTAIN, dtype=object)
+            valid = np.flatnonzero(~invalid)
+            block_trace = None if trace is None else trace.view(valid)
+            highs = self._classify_mask(
+                queries[valid], engine, n_jobs, trace=block_trace
+            )
+            labels[valid] = _LABELS[highs.astype(np.intp)]
+        if trace is not None:
+            for query_trace in trace.traces() if hasattr(trace, "traces") else ():
+                query_trace.label = int(labels[query_trace.query_index])
         return labels
+
+    def trace_classify(
+        self, queries: np.ndarray, engine: str | None = None
+    ) -> tuple[np.ndarray, TraceRecorder]:
+        """Classify with per-query tracing on; returns (labels, recorder).
+
+        Convenience wrapper: builds a fresh
+        :class:`~repro.obs.trace.TraceRecorder`, classifies in-process
+        with it attached, and hands both back. The labels are
+        bit-identical to a :meth:`classify` call without tracing.
+        """
+        recorder = TraceRecorder(engine=self._resolve_engine(engine))
+        labels = self.classify(queries, engine=engine, trace=recorder)
+        return labels, recorder
+
+    def explain(
+        self,
+        queries: np.ndarray,
+        engine: str | None = None,
+        limit: int = 10,
+        max_steps: int = 12,
+    ) -> str:
+        """Classify ``queries`` and render why each got its label.
+
+        Re-runs the classification with tracing enabled and returns the
+        human-readable account produced by
+        :func:`repro.obs.explain.explain_traces`: a rule tally plus, for
+        the first ``limit`` queries, the bound trajectory against the
+        threshold band and the rule that terminated the traversal.
+        Backs the ``repro explain`` CLI command.
+        """
+        self._require_fitted()
+        __, recorder = self.trace_classify(queries, engine=engine)
+        threshold = self.threshold.value
+        band = (
+            threshold * (1.0 - self.config.epsilon),
+            threshold * (1.0 + self.config.epsilon),
+        )
+        return explain_traces(
+            recorder.traces(), thresholds=band, limit=limit, max_steps=max_steps
+        )
 
     def classify_detailed(
         self, queries: np.ndarray, engine: str | None = None
@@ -540,21 +606,28 @@ class TKDCClassifier:
         queries: np.ndarray,
         engine: str | None = None,
         n_jobs: int | None = None,
+        trace=None,
     ) -> np.ndarray:
         """Boolean HIGH mask for validated queries (shared classify core)."""
         engine = self._resolve_engine(engine)
         n_jobs = self._resolve_n_jobs(n_jobs)
         scaled = self.kernel.scale(queries)
         threshold = self.threshold.value
-        # Below the floor, pool startup dominates any traversal saving;
-        # fall back to the serial batch path (see bench_batch_traversal).
-        if (
-            engine == "batch"
-            and n_jobs > 1
-            and scaled.shape[0] >= _PARALLEL_MIN_QUERIES
-        ):
-            return self._classify_parallel(scaled, threshold, n_jobs)
-        return self._classify_scaled_block(scaled, threshold, self._stats, engine)
+        with CLASSIFY_SECONDS.labels(engine).time():
+            # Below the floor, pool startup dominates any traversal
+            # saving; fall back to the serial batch path (see
+            # bench_batch_traversal). Tracing also stays in-process: a
+            # recorder cannot follow chunks across a process boundary.
+            if (
+                engine == "batch"
+                and n_jobs > 1
+                and scaled.shape[0] >= _PARALLEL_MIN_QUERIES
+                and trace is None
+            ):
+                return self._classify_parallel(scaled, threshold, n_jobs)
+            return self._classify_scaled_block(
+                scaled, threshold, self._stats, engine, trace=trace
+            )
 
     def _classify_scaled_block(
         self,
@@ -562,6 +635,7 @@ class TKDCClassifier:
         threshold: float,
         stats: TraversalStats,
         engine: str,
+        trace=None,
     ) -> np.ndarray:
         """Grid shortcut + density-bounding traversal for a scaled block."""
         config = self.config
@@ -570,9 +644,19 @@ class TKDCClassifier:
         if self._grid is not None and scaled.shape[0] > 0:
             grid_bounds = self._grid.density_lower_bounds(scaled)
             certain = grid_bounds > threshold * (1.0 + config.epsilon)
-            stats.grid_hits += int(np.count_nonzero(certain))
+            grid_hits = int(np.count_nonzero(certain))
+            stats.grid_hits += grid_hits
+            if grid_hits:
+                GRID_HITS_TOTAL.inc(grid_hits)
             highs[certain] = True
             remaining = np.flatnonzero(~certain)
+            if trace is not None:
+                for row in np.flatnonzero(certain):
+                    trace.stop(
+                        int(row), "grid",
+                        f_lower=float(grid_bounds[row]), f_upper=math.inf,
+                        expansions=0,
+                    )
         if remaining.size == 0:
             return highs
         faults = self._traversal_injector()
@@ -587,6 +671,7 @@ class TKDCClassifier:
                 max_expansions=config.max_node_expansions,
                 guard_policy=config.guard_policy,
                 faults=faults,
+                trace=None if trace is None else trace.view(remaining),
             )
             highs[remaining] = result.midpoint > threshold
         else:
@@ -600,6 +685,8 @@ class TKDCClassifier:
                     max_expansions=config.max_node_expansions,
                     guard_policy=config.guard_policy,
                     faults=faults,
+                    trace=trace,
+                    trace_index=int(i),
                 )
                 highs[i] = result.midpoint > threshold
         return highs
@@ -652,14 +739,14 @@ class TKDCClassifier:
 
         def serial_fallback(
             index: int, chunk: np.ndarray
-        ) -> tuple[np.ndarray, TraversalStats]:
+        ) -> tuple[np.ndarray, dict]:
             # Worker faults are a pool phenomenon; the in-process
             # fallback runs the same traversal clean.
             stats = TraversalStats()
             highs = self._classify_scaled_block(
                 chunk, threshold, stats, engine="batch"
             )
-            return highs, stats
+            return highs, stats.to_dict()
 
         _WORKER_STATE["classifier"] = self
         _WORKER_STATE["threshold"] = threshold
@@ -675,7 +762,7 @@ class TKDCClassifier:
         for key, value in report.as_extras().items():
             self._stats.extras[key] = self._stats.extras.get(key, 0.0) + value
         for __, worker_stats in results:
-            self._stats.merge(worker_stats)
+            self._stats.merge(TraversalStats.from_dict(worker_stats))
         return np.concatenate([highs for highs, __ in results])
 
     def _parallel_context(self) -> tuple[object, bool]:

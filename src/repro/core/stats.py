@@ -72,7 +72,13 @@ class TraversalStats:
         self.extras.clear()
 
     def snapshot(self) -> dict[str, float]:
-        """A plain-dict copy of all counters (for reports/JSON)."""
+        """A plain-dict copy of all counters (for reports/JSON).
+
+        Flattens ``extras`` in and adds the derived ``kernels_per_query``
+        — convenient for reports, but lossy. For a faithful round-trip
+        (e.g. shipping worker stats across a process boundary) use
+        :meth:`to_dict`/:meth:`from_dict` instead.
+        """
         return {
             "kernel_evaluations": self.kernel_evaluations,
             "node_expansions": self.node_expansions,
@@ -85,3 +91,43 @@ class TraversalStats:
             "kernels_per_query": self.kernels_per_query,
             **self.extras,
         }
+
+    _CORE_FIELDS = (
+        "kernel_evaluations",
+        "node_expansions",
+        "queries",
+        "grid_hits",
+        "threshold_prunes_high",
+        "threshold_prunes_low",
+        "tolerance_prunes",
+        "exhausted",
+    )
+
+    def to_dict(self) -> dict:
+        """Exact, lossless dict form: core counters plus a nested
+        ``"extras"`` dict (every key preserved verbatim). Inverse of
+        :meth:`from_dict`; used to move worker stats across process
+        boundaries without dropping ``extras`` entries.
+        """
+        payload: dict = {name: getattr(self, name) for name in self._CORE_FIELDS}
+        payload["extras"] = dict(self.extras)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TraversalStats":
+        """Rebuild a stats object written by :meth:`to_dict`.
+
+        Unknown top-level keys (e.g. from a newer worker) are folded
+        into ``extras`` rather than dropped.
+        """
+        stats = cls()
+        extras = dict(payload.get("extras", {}))
+        for key, value in payload.items():
+            if key == "extras":
+                continue
+            if key in cls._CORE_FIELDS:
+                setattr(stats, key, int(value))
+            else:
+                extras[key] = extras.get(key, 0.0) + float(value)
+        stats.extras = extras
+        return stats

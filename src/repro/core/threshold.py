@@ -28,6 +28,11 @@ from repro.core.config import TKDCConfig
 from repro.core.stats import TraversalStats
 from repro.index.kdtree import KDTree
 from repro.kernels.base import Kernel
+from repro.obs.metrics import (
+    BOOTSTRAP_BACKOFFS_TOTAL,
+    BOOTSTRAP_FAILURES_TOTAL,
+    BOOTSTRAP_ITERATIONS_TOTAL,
+)
 from repro.quantile.order_stats import normal_order_ci
 from repro.robustness.guards import GuardWarning, guard_interval
 
@@ -224,6 +229,8 @@ def bootstrap_threshold_bounds(
                 # the compressed estimate's quantile: widening it by a
                 # coarse eta would blow up the bracket midpoint that
                 # refine_threshold=False classifies against.
+                BOOTSTRAP_ITERATIONS_TOTAL.inc(iteration)
+                BOOTSTRAP_BACKOFFS_TOTAL.inc(backoffs)
                 return ThresholdBootstrapResult(
                     max(d_lower - rule_eta, 0.0),
                     d_upper + rule_eta,
@@ -251,7 +258,12 @@ def bootstrap_threshold_bounds(
             GuardWarning,
             stacklevel=2,
         )
+        BOOTSTRAP_ITERATIONS_TOTAL.inc(_MAX_ITERATIONS)
+        BOOTSTRAP_BACKOFFS_TOTAL.inc(backoffs)
         return ThresholdBootstrapResult(t_lower, t_upper, _MAX_ITERATIONS, backoffs)
+    BOOTSTRAP_ITERATIONS_TOTAL.inc(_MAX_ITERATIONS)
+    BOOTSTRAP_BACKOFFS_TOTAL.inc(backoffs)
+    BOOTSTRAP_FAILURES_TOTAL.inc()
     raise BootstrapExhausted(
         f"threshold bootstrap failed to converge within {_MAX_ITERATIONS} iterations "
         f"(n={n}, p={config.p}); the density distribution may be degenerate. "

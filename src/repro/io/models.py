@@ -32,6 +32,7 @@ from pathlib import Path
 import repro
 from repro.core.classifier import TKDCClassifier
 from repro.io.atomic import atomic_write_bytes
+from repro.obs.buildinfo import build_info
 
 #: Format marker stored alongside the model.
 _MAGIC = "repro-tkdc-model"
@@ -64,6 +65,9 @@ def save_model(path: Path | str, classifier: TKDCClassifier) -> Path:
     payload = {
         "magic": _MAGIC,
         "version": repro.__version__,
+        # Full build identity (version + git describe + python) so a
+        # served model is attributable to the exact tree that fit it.
+        "build": build_info(),
         "classifier": classifier,
     }
     blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)

@@ -1,0 +1,48 @@
+"""Observability: metrics registry, per-query traces, build identity.
+
+Stdlib-only. See ``docs/observability.md`` for the full tour:
+
+- :mod:`repro.obs.registry` — process-wide ``Counter``/``Gauge``/
+  ``Histogram`` registry with Prometheus text rendering.
+- :mod:`repro.obs.trace` — opt-in per-query pruning traces and the
+  bounded JSONL sink behind ``repro explain``.
+- :mod:`repro.obs.explain` — human-readable trace rendering.
+- :mod:`repro.obs.buildinfo` — version + git-describe stamping.
+"""
+
+from repro.obs.buildinfo import build_info, git_describe
+from repro.obs.registry import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    log_buckets,
+    render_prometheus,
+)
+from repro.obs.trace import (
+    TERMINAL_RULES,
+    QueryTrace,
+    TraceRecorder,
+    TraceSink,
+    TraceView,
+    read_traces,
+)
+
+__all__ = [
+    "REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "log_buckets",
+    "render_prometheus",
+    "build_info",
+    "git_describe",
+    "TERMINAL_RULES",
+    "QueryTrace",
+    "TraceRecorder",
+    "TraceSink",
+    "TraceView",
+    "read_traces",
+]

@@ -1,0 +1,55 @@
+"""Build identity: package version plus git-describe, for stamping.
+
+Every durable artifact this repo emits — saved models, ``/statz`` and
+``/metrics`` responses, ``BENCH_*.json`` reports — carries the output
+of :func:`build_info` so a perf number or a served prediction can be
+traced back to the exact tree that produced it.
+
+Git metadata is best-effort: outside a checkout (an installed wheel, a
+stripped container) ``git_describe`` degrades to ``"unknown"`` rather
+than failing the caller.
+"""
+
+from __future__ import annotations
+
+import functools
+import platform
+import subprocess
+from pathlib import Path
+
+import repro
+
+__all__ = ["build_info", "git_describe"]
+
+
+@functools.lru_cache(maxsize=1)
+def git_describe() -> str:
+    """``git describe --always --dirty --tags`` for this checkout.
+
+    Returns ``"unknown"`` when git is unavailable, times out, or the
+    package does not live inside a repository.
+    """
+    root = Path(__file__).resolve().parent
+    try:
+        proc = subprocess.run(
+            ["git", "describe", "--always", "--dirty", "--tags"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    described = proc.stdout.strip()
+    if proc.returncode != 0 or not described:
+        return "unknown"
+    return described
+
+
+def build_info() -> dict[str, str]:
+    """Version + git describe + python, as a JSON-safe flat dict."""
+    return {
+        "version": repro.__version__,
+        "git": git_describe(),
+        "python": platform.python_version(),
+    }

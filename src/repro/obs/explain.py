@@ -1,0 +1,109 @@
+"""Human-readable rendering of per-query pruning traces.
+
+Backs the ``repro explain`` CLI command: given traces (JSONL from a
+:class:`~repro.obs.trace.TraceSink` or in-memory ``QueryTrace``
+objects), produce a terminal-friendly account of why each query got its
+label — the bound trajectory against the threshold band, how many nodes
+were expanded, and which rule ended the traversal.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.obs.trace import QueryTrace
+
+__all__ = ["explain_trace", "explain_traces", "rule_summary"]
+
+_LABEL_NAMES = {0: "LOW", 1: "HIGH", 2: "UNCERTAIN", None: "(unlabeled)"}
+
+_RULE_BLURBS = {
+    "threshold_high": "lower bound cleared the upper threshold: density is provably above the cutoff",
+    "threshold_low": "upper bound fell below the lower threshold: density is provably below the cutoff",
+    "tolerance": "bound width shrank within the epsilon tolerance: midpoint estimate accepted",
+    "exhausted": "frontier emptied: the density was computed exactly",
+    "budget": "expansion budget hit before any rule fired: degraded (midpoint) answer",
+    "exact": "numeric guard abandoned bounding and fell back to an exact sum",
+    "grid": "answered from the grid cache before any tree traversal",
+}
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.6g}"
+
+
+def explain_trace(
+    trace: QueryTrace,
+    thresholds: tuple[float, float] | None = None,
+    max_steps: int = 12,
+) -> str:
+    """Render one trace as indented terminal text."""
+    lines = [
+        f"query #{trace.query_index}"
+        + (f" [{trace.engine}]" if trace.engine else "")
+        + f" -> {_LABEL_NAMES.get(trace.label, str(trace.label))}"
+    ]
+    if thresholds is not None:
+        lines.append(
+            f"  threshold band: [{_fmt(thresholds[0])}, {_fmt(thresholds[1])}]"
+        )
+    lines.append(
+        f"  final bounds:   [{_fmt(trace.f_lower)}, {_fmt(trace.f_upper)}]"
+        f"  after {trace.expansions} node expansion(s)"
+    )
+    rule = trace.rule or "(none recorded)"
+    blurb = _RULE_BLURBS.get(trace.rule, "")
+    lines.append(f"  stopped by:     {rule}" + (f" — {blurb}" if blurb else ""))
+    if trace.guard_repairs:
+        lines.append(f"  guard repairs:  {trace.guard_repairs}")
+    if trace.bounds:
+        lines.append("  bound trajectory (f_l, f_u):")
+        steps = trace.bounds
+        if len(steps) <= max_steps:
+            indexed = list(enumerate(steps))
+        else:
+            head = max_steps // 2
+            tail = max_steps - head
+            indexed = list(enumerate(steps[:head]))
+            indexed.append((-1, None))  # elision marker
+            indexed.extend(
+                (len(steps) - tail + i, s) for i, s in enumerate(steps[-tail:])
+            )
+        for index, entry in indexed:
+            if entry is None:
+                lines.append(f"    ... {len(steps) - max_steps} step(s) elided ...")
+                continue
+            lo, hi = entry
+            lines.append(
+                f"    step {index:>4}: [{_fmt(lo)}, {_fmt(hi)}]  width={_fmt(hi - lo)}"
+            )
+    return "\n".join(lines)
+
+
+def rule_summary(traces: Sequence[QueryTrace]) -> str:
+    """One-line-per-rule tally across a set of traces."""
+    counts: dict[str, int] = {}
+    for trace in traces:
+        counts[trace.rule or "(none)"] = counts.get(trace.rule or "(none)", 0) + 1
+    total = len(traces)
+    lines = [f"{total} trace(s):"]
+    for rule, count in sorted(counts.items(), key=lambda kv: -kv[1]):
+        share = 100.0 * count / total if total else 0.0
+        lines.append(f"  {rule:<15} {count:>7}  ({share:.1f}%)")
+    return "\n".join(lines)
+
+
+def explain_traces(
+    traces: Sequence[QueryTrace],
+    thresholds: tuple[float, float] | None = None,
+    limit: int = 10,
+    max_steps: int = 12,
+) -> str:
+    """Summary plus detailed rendering of the first ``limit`` traces."""
+    parts = [rule_summary(traces), ""]
+    for trace in traces[:limit]:
+        parts.append(explain_trace(trace, thresholds=thresholds, max_steps=max_steps))
+        parts.append("")
+    if len(traces) > limit:
+        parts.append(f"... {len(traces) - limit} more trace(s); use --limit to see them.")
+    return "\n".join(parts).rstrip() + "\n"

@@ -1,0 +1,128 @@
+"""Shared instrument handles for the tKDC pipeline.
+
+Every layer that reports into the process-wide registry declares its
+instruments here, so metric names, labels, and buckets live in one
+place (and ``docs/observability.md`` documents exactly this file).
+
+Granularity is deliberate: the traversal engines report **per call**
+(per-query engine) or **per block** (batch engine), never per node —
+that keeps the enabled-path cost to a handful of instrument writes per
+thousand queries and the disabled-path cost to one boolean test (see
+``benchmarks/bench_obs_overhead.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.obs.registry import LATENCY_BUCKETS, REGISTRY, WORK_BUCKETS
+
+__all__ = [
+    "QUERIES_TOTAL",
+    "KERNEL_EVALUATIONS_TOTAL",
+    "NODE_EXPANSIONS",
+    "GRID_HITS_TOTAL",
+    "GUARD_REPAIRS_TOTAL",
+    "GUARD_ESCALATIONS_TOTAL",
+    "BOOTSTRAP_ITERATIONS_TOTAL",
+    "BOOTSTRAP_BACKOFFS_TOTAL",
+    "BOOTSTRAP_FAILURES_TOTAL",
+    "CLASSIFY_SECONDS",
+    "record_traversal",
+    "record_traversal_block",
+]
+
+#: Traversals finished, labeled by engine and terminating rule
+#: (threshold_high / threshold_low / tolerance / exhausted / budget /
+#: exact). This is the registry's view of Figure 12/16's "which rule
+#: fired" breakdown.
+QUERIES_TOTAL = REGISTRY.counter(
+    "tkdc_queries_total",
+    "Density-bounding traversals finished, by engine and terminating rule",
+    labels=("engine", "rule"),
+)
+
+#: Kernel evaluations against training points (the paper's
+#: machine-independent cost proxy), by engine.
+KERNEL_EVALUATIONS_TOTAL = REGISTRY.counter(
+    "tkdc_kernel_evaluations_total",
+    "Kernel evaluations against training points, by engine",
+    labels=("engine",),
+)
+
+#: Distribution of node expansions per query, by engine.
+NODE_EXPANSIONS = REGISTRY.histogram(
+    "tkdc_node_expansions",
+    "Node expansions per density-bounding traversal",
+    labels=("engine",),
+    buckets=WORK_BUCKETS,
+)
+
+#: Queries answered by the grid cache before any traversal.
+GRID_HITS_TOTAL = REGISTRY.counter(
+    "tkdc_grid_hits_total",
+    "Queries short-circuited by the grid cache",
+)
+
+#: Numeric-guard repairs applied, by guard site.
+GUARD_REPAIRS_TOTAL = REGISTRY.counter(
+    "tkdc_guard_repairs_total",
+    "Invariant-guard repairs applied, by site (node/leaf/accumulator/threshold)",
+    labels=("site",),
+)
+
+#: Guard escalations (warn/raise/exact-fallback events), by site.
+GUARD_ESCALATIONS_TOTAL = REGISTRY.counter(
+    "tkdc_guard_escalations_total",
+    "Invariant-guard escalations beyond silent repair, by site",
+    labels=("site",),
+)
+
+#: Threshold-bootstrap progress counters.
+BOOTSTRAP_ITERATIONS_TOTAL = REGISTRY.counter(
+    "tkdc_bootstrap_iterations_total",
+    "Threshold-bootstrap refinement iterations executed",
+)
+BOOTSTRAP_BACKOFFS_TOTAL = REGISTRY.counter(
+    "tkdc_bootstrap_backoffs_total",
+    "Threshold-bootstrap sample-size backoffs",
+)
+BOOTSTRAP_FAILURES_TOTAL = REGISTRY.counter(
+    "tkdc_bootstrap_failures_total",
+    "Threshold bootstraps that exhausted their budget",
+)
+
+#: Wall-clock duration of TKDCClassifier.classify calls, by engine.
+CLASSIFY_SECONDS = REGISTRY.histogram(
+    "tkdc_classify_seconds",
+    "Wall-clock seconds per TKDCClassifier.classify call",
+    labels=("engine",),
+    buckets=LATENCY_BUCKETS,
+)
+
+
+def record_traversal(engine: str, rule: str, expansions: int, kernels: int) -> None:
+    """Report one finished traversal (per-query engine's return path)."""
+    if not REGISTRY.enabled:
+        return
+    QUERIES_TOTAL.labels(engine, rule).inc()
+    NODE_EXPANSIONS.labels(engine).observe(expansions)
+    if kernels:
+        KERNEL_EVALUATIONS_TOTAL.labels(engine).inc(kernels)
+
+
+def record_traversal_block(
+    engine: str,
+    rule_counts: Mapping[str, int],
+    expansions: Iterable[float],
+    kernels: int,
+) -> None:
+    """Report one finished block of traversals (batch engine)."""
+    if not REGISTRY.enabled:
+        return
+    for rule, count in rule_counts.items():
+        if count:
+            QUERIES_TOTAL.labels(engine, rule).inc(count)
+    NODE_EXPANSIONS.labels(engine).observe_many(expansions)
+    if kernels:
+        KERNEL_EVALUATIONS_TOTAL.labels(engine).inc(kernels)

@@ -1,0 +1,288 @@
+"""Per-query pruning traces: why did tKDC classify this point that way?
+
+The traversal engines maintain a density interval ``[f_l, f_u]`` per
+query and stop as soon as a pruning rule fires (threshold high/low,
+tolerance, budget) or the frontier empties (Algorithm 2 in the paper).
+A :class:`TraceRecorder` captures that decision process per query — the
+bound trajectory, node expansions, terminating rule, guard repairs, and
+final label — without changing a single arithmetic operation, so labels
+with tracing on are bit-identical to labels with tracing off (enforced
+by ``tests/property/test_trace_properties.py``).
+
+Recording is opt-in: the engines accept ``trace=None`` by default and
+pay only a ``None`` check. The batch engine works on block-local query
+indices; :meth:`TraceRecorder.view` remaps them to the caller's global
+indices so a trace always names the query the user asked about.
+
+Traces serialize to JSONL through :class:`TraceSink`, which enforces a
+byte budget so an accidental trace of a million-query workload cannot
+fill a disk. ``repro explain`` renders the JSONL human-readably (see
+``repro.obs.explain``).
+
+Terminating rules use the same strings as ``PruneOutcome`` plus the
+non-prune terminations: ``threshold_high``, ``threshold_low``,
+``tolerance``, ``exhausted``, ``budget``, ``exact`` (guard fallback to
+an exact sum), and ``grid`` (answered by the grid cache before any
+traversal).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Iterator, Sequence
+
+__all__ = [
+    "QueryTrace",
+    "TraceRecorder",
+    "TraceSink",
+    "TraceView",
+    "TERMINAL_RULES",
+    "read_traces",
+]
+
+#: Every way a query's traversal can end.
+TERMINAL_RULES = (
+    "threshold_high",
+    "threshold_low",
+    "tolerance",
+    "exhausted",
+    "budget",
+    "exact",
+    "grid",
+)
+
+
+@dataclass
+class QueryTrace:
+    """The recorded decision process for one query."""
+
+    query_index: int
+    engine: str = ""
+    #: ``[f_l, f_u]`` after each recorded step (first entry is the root
+    #: bound, i.e. the interval before any expansion).
+    bounds: list[tuple[float, float]] = field(default_factory=list)
+    expansions: int = 0
+    rule: str = ""
+    #: Density interval at termination.
+    f_lower: float = 0.0
+    f_upper: float = 0.0
+    #: Guard repairs applied to this query's arithmetic, if any.
+    guard_repairs: int = 0
+    #: Final label value (``Label`` int) once the classifier assigns it.
+    label: int | None = None
+
+    def step(self, f_lower: float, f_upper: float) -> None:
+        self.bounds.append((float(f_lower), float(f_upper)))
+        self.f_lower = float(f_lower)
+        self.f_upper = float(f_upper)
+
+    def stop(
+        self,
+        rule: str,
+        f_lower: float | None = None,
+        f_upper: float | None = None,
+        expansions: int | None = None,
+    ) -> None:
+        if rule not in TERMINAL_RULES:
+            raise ValueError(f"unknown terminal rule {rule!r}; expected one of {TERMINAL_RULES}")
+        self.rule = rule
+        if f_lower is not None:
+            self.f_lower = float(f_lower)
+        if f_upper is not None:
+            self.f_upper = float(f_upper)
+        if expansions is not None:
+            self.expansions = int(expansions)
+
+    def to_dict(self) -> dict:
+        return {
+            "query_index": self.query_index,
+            "engine": self.engine,
+            "bounds": [[lo, hi] for lo, hi in self.bounds],
+            "expansions": self.expansions,
+            "rule": self.rule,
+            "f_lower": self.f_lower,
+            "f_upper": self.f_upper,
+            "guard_repairs": self.guard_repairs,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "QueryTrace":
+        trace = cls(
+            query_index=int(payload["query_index"]),
+            engine=str(payload.get("engine", "")),
+            expansions=int(payload.get("expansions", 0)),
+            rule=str(payload.get("rule", "")),
+            f_lower=float(payload.get("f_lower", 0.0)),
+            f_upper=float(payload.get("f_upper", 0.0)),
+            guard_repairs=int(payload.get("guard_repairs", 0)),
+        )
+        trace.bounds = [(float(lo), float(hi)) for lo, hi in payload.get("bounds", [])]
+        label = payload.get("label")
+        trace.label = None if label is None else int(label)
+        return trace
+
+
+class TraceRecorder:
+    """Collects :class:`QueryTrace` objects for one classify call.
+
+    ``max_steps`` bounds the stored trajectory per query: beyond it the
+    trace keeps updating its terminal ``f_lower``/``f_upper`` but stops
+    appending steps, so deep traversals cannot make a recorder grow
+    without bound. The terminating rule and expansion count are always
+    exact.
+    """
+
+    def __init__(self, engine: str = "", max_steps: int = 10_000) -> None:
+        self.engine = engine
+        self.max_steps = max_steps
+        self._traces: dict[int, QueryTrace] = {}
+
+    def open(self, query_index: int) -> QueryTrace:
+        """The trace for ``query_index``, created on first use."""
+        index = int(query_index)
+        trace = self._traces.get(index)
+        if trace is None:
+            trace = QueryTrace(query_index=index, engine=self.engine)
+            self._traces[index] = trace
+        return trace
+
+    def step(self, query_index: int, f_lower: float, f_upper: float) -> None:
+        trace = self.open(query_index)
+        if len(trace.bounds) < self.max_steps:
+            trace.step(f_lower, f_upper)
+        else:
+            trace.f_lower = float(f_lower)
+            trace.f_upper = float(f_upper)
+
+    def stop(self, query_index: int, rule: str, **kwargs) -> None:
+        self.open(query_index).stop(rule, **kwargs)
+
+    def repair(self, query_index: int, count: int = 1) -> None:
+        self.open(query_index).guard_repairs += int(count)
+
+    def label(self, query_index: int, label: int) -> None:
+        self.open(query_index).label = int(label)
+
+    def view(self, index_map: Sequence[int]) -> "TraceView":
+        """A recorder facade mapping local indices through ``index_map``.
+
+        The batch engine numbers queries 0..n-1 within each block; the
+        classifier hands it ``view(global_indices_of_this_block)`` so
+        recorded traces use the caller's numbering.
+        """
+        return TraceView(self, index_map)
+
+    def traces(self) -> list[QueryTrace]:
+        return [self._traces[k] for k in sorted(self._traces)]
+
+    def get(self, query_index: int) -> QueryTrace | None:
+        return self._traces.get(int(query_index))
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    def __iter__(self) -> Iterator[QueryTrace]:
+        return iter(self.traces())
+
+
+class TraceView:
+    """Index-remapping facade over a :class:`TraceRecorder`.
+
+    Implements the same recording surface the engines use (``step`` /
+    ``stop`` / ``repair``), translating local indices to global ones.
+    """
+
+    def __init__(self, recorder: TraceRecorder, index_map: Sequence[int]) -> None:
+        self._recorder = recorder
+        self._index_map = [int(i) for i in index_map]
+
+    @property
+    def max_steps(self) -> int:
+        return self._recorder.max_steps
+
+    def step(self, query_index: int, f_lower: float, f_upper: float) -> None:
+        self._recorder.step(self._index_map[query_index], f_lower, f_upper)
+
+    def stop(self, query_index: int, rule: str, **kwargs) -> None:
+        self._recorder.stop(self._index_map[query_index], rule, **kwargs)
+
+    def repair(self, query_index: int, count: int = 1) -> None:
+        self._recorder.repair(self._index_map[query_index], count)
+
+    def view(self, index_map: Sequence[int]) -> "TraceView":
+        return TraceView(self._recorder, [self._index_map[i] for i in index_map])
+
+
+class TraceSink:
+    """Bounded-size JSONL writer for traces.
+
+    Writes one JSON object per line. Once ``max_bytes`` have been
+    written the sink silently drops further traces and flags
+    ``truncated`` (also surfaced via a ``# truncated`` marker line), so
+    tracing a huge workload degrades to a prefix instead of an
+    unbounded file.
+    """
+
+    MARKER = '{"truncated": true}'
+
+    def __init__(self, path: str | Path, max_bytes: int = 32 * 1024 * 1024) -> None:
+        self.path = Path(path)
+        self.max_bytes = int(max_bytes)
+        self.written_bytes = 0
+        self.written_traces = 0
+        self.truncated = False
+        self._handle: IO[str] | None = None
+
+    def __enter__(self) -> "TraceSink":
+        self._handle = self.path.open("w", encoding="utf-8")
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def write(self, trace: QueryTrace) -> bool:
+        """Write one trace; ``False`` if dropped for the byte budget."""
+        if self._handle is None:
+            self._handle = self.path.open("w", encoding="utf-8")
+        if self.truncated:
+            return False
+        line = json.dumps(trace.to_dict(), separators=(",", ":")) + "\n"
+        encoded = len(line.encode("utf-8"))
+        if self.written_bytes + encoded > self.max_bytes:
+            self.truncated = True
+            self._handle.write(self.MARKER + "\n")
+            return False
+        self._handle.write(line)
+        self.written_bytes += encoded
+        self.written_traces += 1
+        return True
+
+    def write_all(self, traces: Sequence[QueryTrace] | TraceRecorder) -> int:
+        count = 0
+        for trace in traces:
+            if self.write(trace):
+                count += 1
+        return count
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def read_traces(path: str | Path) -> list[QueryTrace]:
+    """Load traces back from a :class:`TraceSink` JSONL file."""
+    traces: list[QueryTrace] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            payload = json.loads(line)
+            if payload.get("truncated") is True and "query_index" not in payload:
+                continue
+            traces.append(QueryTrace.from_dict(payload))
+    return traces

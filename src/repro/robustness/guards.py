@@ -32,6 +32,9 @@ import warnings
 
 import numpy as np
 
+from repro.obs.metrics import GUARD_ESCALATIONS_TOTAL, GUARD_REPAIRS_TOTAL
+from repro.obs.registry import REGISTRY
+
 #: Recognised guard policies, in increasing order of loudness.
 GUARD_POLICIES = ("off", "repair", "warn", "raise")
 
@@ -56,9 +59,16 @@ class GuardWarning(RuntimeWarning):
     """Emitted for each repaired violation under the ``"warn"`` policy."""
 
 
-def _record(stats, count: int = 1) -> None:
+def _record(stats, count: int = 1, site: str = "traversal") -> None:
     if stats is not None:
         stats.extras[REPAIRS_KEY] = stats.extras.get(REPAIRS_KEY, 0.0) + count
+    if REGISTRY.enabled:
+        GUARD_REPAIRS_TOTAL.labels(site).inc(count)
+
+
+def _record_escalation(site: str, count: int = 1) -> None:
+    if REGISTRY.enabled:
+        GUARD_ESCALATIONS_TOTAL.labels(site).inc(count)
 
 
 def escalate(policy: str, site: str, detail: str, stats=None, count: int = 1) -> None:
@@ -69,11 +79,13 @@ def escalate(policy: str, site: str, detail: str, stats=None, count: int = 1) ->
     accumulator falls back to an exact evaluation instead).
     """
     if policy == "raise":
+        _record_escalation(site, count)
         raise InvariantViolation(site, detail)
     if policy == "warn":
+        _record_escalation(site, count)
         warnings.warn(f"repaired invariant violation at {site}: {detail}", GuardWarning,
                       stacklevel=3)
-    _record(stats, count)
+    _record(stats, count, site)
 
 
 def guard_interval(
@@ -140,17 +152,19 @@ def guard_interval_arrays(
         return lower, upper, bad
     count = int(np.count_nonzero(bad))
     if policy == "raise":
+        _record_escalation(site, count)
         idx = int(np.flatnonzero(bad)[0])
         raise InvariantViolation(
             site, f"{count} invalid interval(s); first is "
                   f"[{lower[idx]}, {upper[idx]}] at offset {idx}"
         )
     if policy == "warn":
+        _record_escalation(site, count)
         warnings.warn(
             f"repaired {count} invariant violation(s) at {site}", GuardWarning,
             stacklevel=3,
         )
-    _record(stats, count)
+    _record(stats, count, site)
     lower = lower.copy()
     upper = upper.copy()
     lower[bad] = floor
@@ -203,17 +217,19 @@ def guard_values_in_intervals(
         return values
     count = int(np.count_nonzero(bad))
     if policy == "raise":
+        _record_escalation(site, count)
         idx = int(np.flatnonzero(bad)[0])
         raise InvariantViolation(
             site, f"{count} exact value(s) escape their envelopes; first is "
                   f"{values[idx]} outside [{lower[idx]}, {upper[idx]}]"
         )
     if policy == "warn":
+        _record_escalation(site, count)
         warnings.warn(
             f"repaired {count} invariant violation(s) at {site}", GuardWarning,
             stacklevel=3,
         )
-    _record(stats, count)
+    _record(stats, count, site)
     values = values.copy()
     midpoint = 0.5 * (lower + upper)
     values[~finite] = midpoint[~finite]

@@ -45,6 +45,20 @@ class ServeClient:
         finally:
             connection.close()
 
+    def request_text(self, method: str, path: str) -> tuple[int, str]:
+        """One HTTP exchange returning the raw body undecoded as JSON.
+
+        For text endpoints like ``/metrics`` where the Prometheus
+        exposition format must be preserved verbatim.
+        """
+        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            connection.request(method, path)
+            response = connection.getresponse()
+            return response.status, response.read().decode("utf-8")
+        finally:
+            connection.close()
+
     # -- endpoint wrappers ------------------------------------------------
 
     def healthz(self) -> tuple[int, dict]:
@@ -55,6 +69,10 @@ class ServeClient:
 
     def statz(self) -> tuple[int, dict]:
         return self.request("GET", "/statz")
+
+    def metrics(self) -> tuple[int, str]:
+        """Scrape ``/metrics``; returns the Prometheus text body."""
+        return self.request_text("GET", "/metrics")
 
     def classify(
         self,

@@ -27,7 +27,10 @@ Four robustness layers wrap every classification request:
    then shuts the listener down.
 
 ``/healthz``, ``/readyz``, and ``/statz`` expose liveness, readiness,
-and the full counter set. Endpoint reference: ``docs/serving.md``.
+and the full counter set; ``/metrics`` serves the same counters (plus
+latency and node-expansion histograms) in Prometheus text format from
+the shared metrics registry (see ``docs/observability.md``). Endpoint
+reference: ``docs/serving.md``.
 """
 
 from __future__ import annotations
@@ -42,6 +45,8 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.obs.buildinfo import build_info
+from repro.obs.registry import REGISTRY, render_prometheus
 from repro.serve.breaker import MODE_DEGRADED, CircuitBreaker
 from repro.serve.config import ServeConfig
 from repro.serve.reload import ModelManager
@@ -105,6 +110,14 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_text(self, status: int, body: str, content_type: str) -> None:
+        encoded = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(encoded)))
+        self.end_headers()
+        self.wfile.write(encoded)
+
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         if self.path == "/healthz":
             self._send_json(200, self.server.healthz())
@@ -113,6 +126,11 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(200 if ready else 503, payload)
         elif self.path == "/statz":
             self._send_json(200, self.server.statz())
+        elif self.path == "/metrics":
+            self._send_text(
+                200, self.server.metrics_text(),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
         else:
             self._send_json(404, {"error": "not_found", "path": self.path})
 
@@ -203,9 +221,26 @@ class TKDCServer(ThreadingHTTPServer):
             "model_path": str(self.manager.model_path),
         }
 
+    def metrics_text(self) -> str:
+        """Prometheus text exposition: serve counters + process metrics.
+
+        Merges the server's own registry (request accounting, latency
+        histogram) with the process-wide one (traversal, guard, and
+        bootstrap instruments recorded by the classifier running inside
+        this daemon). Both feed off the same cells ``/statz`` reads, so
+        the two endpoints cannot disagree.
+        """
+        registries = (
+            (self.stats.registry,)
+            if self.stats.registry is REGISTRY
+            else (self.stats.registry, REGISTRY)
+        )
+        return render_prometheus(*registries)
+
     def statz(self) -> dict:
         snapshot = self.stats.snapshot()
         snapshot.update({
+            "build": build_info(),
             "breaker": self.breaker.state,
             "breaker_failure_rate": round(self.breaker.failure_rate(), 4),
             "draining": self.draining.is_set(),

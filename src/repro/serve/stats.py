@@ -9,12 +9,29 @@ exactly one of the terminal outcome counters (``completed``, ``shed``,
 
 holds or the server has lost a request. ``/statz`` serves
 :meth:`ServerStats.snapshot` verbatim.
+
+Since the observability subsystem landed, the counters live in a
+:class:`~repro.obs.registry.MetricsRegistry` instead of a second
+hand-rolled counter implementation: one labeled counter family
+(``tkdc_serve_events_total{event=...}``), one for breaker transitions,
+and a request-latency histogram. The same registry feeds the daemon's
+Prometheus ``/metrics`` endpoint, so ``/statz`` and ``/metrics`` can
+never disagree — they read the same cells. Each ``ServerStats`` owns a
+private, always-enabled registry by default (request accounting is part
+of the serving contract, not optional telemetry, so the process-wide
+``REGISTRY.disable()`` switch does not silence it); tests may inject
+their own.
+
+The ``/statz`` JSON shape and the attribute surface
+(``stats.submitted`` etc.) are unchanged.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import deque
+
+from repro.obs.registry import LATENCY_BUCKETS, MetricsRegistry
 
 #: Terminal outcome counter names — every submitted request ends in
 #: exactly one of these.
@@ -24,63 +41,116 @@ TERMINAL_OUTCOMES = (
 
 
 class ServerStats:
-    """Mutable counters for one server lifetime (lock-guarded)."""
+    """Registry-backed counters for one server lifetime.
 
-    def __init__(self, latency_window: int = 2048) -> None:
+    Counter semantics (the ``event`` label values):
+
+    - ``submitted`` — classify requests that entered the handler at all
+    - ``accepted`` — requests admitted past load-shedding
+    - ``completed`` — 200 responses (labels returned, possibly degraded)
+    - ``shed`` — 429 responses: load-shed at admission or queue expiry
+    - ``rejected`` — 4xx responses: malformed body, size/row limits
+    - ``timed_out`` — 503 responses: watchdog fired or deadline expired
+    - ``errors`` — 500 responses: handler raised a non-client error
+    - ``drained`` — 503 responses refused because the server is draining
+    - ``degraded`` — 200 responses carrying at least one degraded label
+    - ``uncertain`` — 200 responses carrying an UNCERTAIN label
+    - ``breaker_served_degraded`` — 200s served with the breaker open
+    - ``exact_fallbacks`` — exact-O(n) guard fallbacks across requests
+    - ``reloads_ok`` / ``reloads_failed`` — hot reload outcomes
+    """
+
+    COUNTER_NAMES = (
+        "submitted",
+        "accepted",
+        "completed",
+        "shed",
+        "rejected",
+        "timed_out",
+        "errors",
+        "drained",
+        "degraded",
+        "uncertain",
+        "breaker_served_degraded",
+        "exact_fallbacks",
+        "reloads_ok",
+        "reloads_failed",
+    )
+
+    def __init__(
+        self,
+        latency_window: int = 2048,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._events = self.registry.counter(
+            "tkdc_serve_events_total",
+            "Serve request accounting events, by event name",
+            labels=("event",),
+        )
+        self._breaker = self.registry.counter(
+            "tkdc_serve_breaker_transitions_total",
+            "Circuit-breaker state transitions, keyed old->new",
+            labels=("transition",),
+        )
+        self._latency = self.registry.histogram(
+            "tkdc_serve_request_latency_seconds",
+            "End-to-end latency of completed classify requests",
+            buckets=LATENCY_BUCKETS,
+        )
+        # Materialize every counter child up front so snapshots (and
+        # the Prometheus exposition) always carry explicit zeros.
+        for name in self.COUNTER_NAMES:
+            self._events.labels(name)
         self._lock = threading.Lock()
-        #: classify requests that entered the handler at all
-        self.submitted = 0
-        #: requests admitted past load-shedding into the queue/slots
-        self.accepted = 0
-        #: 200 responses (labels returned, possibly degraded)
-        self.completed = 0
-        #: 429 responses: load-shed at admission or queue-wait expiry
-        self.shed = 0
-        #: 4xx responses: malformed body, size/row limits, bad shape
-        self.rejected = 0
-        #: 503 responses: watchdog fired or deadline expired pre-start
-        self.timed_out = 0
-        #: 500 responses: handler raised a non-client error
-        self.errors = 0
-        #: 503 responses refused because the server is draining
-        self.drained = 0
-        #: 200 responses carrying at least one degraded label
-        self.degraded = 0
-        #: 200 responses carrying at least one UNCERTAIN label
-        self.uncertain = 0
-        #: 200 responses served in fast-degraded mode (breaker open)
-        self.breaker_served_degraded = 0
-        #: exact-O(n) guard fallbacks observed across all requests
-        self.exact_fallbacks = 0
-        #: successful hot reloads (model actually swapped)
-        self.reloads_ok = 0
-        #: refused hot reloads (checksum/canary failure; old model kept)
-        self.reloads_failed = 0
-        #: breaker state transitions, keyed "old->new"
-        self.breaker_transitions: dict[str, int] = {}
         self._latencies: deque[float] = deque(maxlen=latency_window)
+
+    def __getattr__(self, name: str) -> int:
+        # Keep the historical attribute surface (stats.submitted, ...)
+        # working on top of the registry cells. Only reached when normal
+        # attribute lookup fails, so real attributes are unaffected.
+        if name in type(self).COUNTER_NAMES:
+            return int(self._events.labels(name).value)
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
+    @property
+    def breaker_transitions(self) -> dict[str, int]:
+        """Breaker state transitions observed, keyed ``"old->new"``."""
+        return {
+            labels[0]: int(child.value)
+            for labels, child in self._breaker.children()
+            if child is not self._breaker
+        }
 
     def bump(self, name: str, amount: int = 1) -> None:
         """Increment a named counter (terminal outcomes included)."""
-        with self._lock:
-            setattr(self, name, getattr(self, name) + amount)
+        if name not in type(self).COUNTER_NAMES:
+            raise ValueError(f"unknown server counter {name!r}")
+        self._events.labels(name).inc(amount)
 
     def observe_latency(self, seconds: float) -> None:
         """Record one completed request's service latency."""
+        self._latency.observe(seconds)
         with self._lock:
             self._latencies.append(seconds)
 
     def record_breaker_transition(self, old: str, new: str) -> None:
-        with self._lock:
-            key = f"{old}->{new}"
-            self.breaker_transitions[key] = self.breaker_transitions.get(key, 0) + 1
+        self._breaker.labels(f"{old}->{new}").inc()
 
     def in_flight(self) -> int:
         """Submitted requests that have not yet reached a terminal outcome."""
-        with self._lock:
-            return self.submitted - sum(
-                getattr(self, name) for name in TERMINAL_OUTCOMES
-            )
+        counts = self._counter_values()
+        return counts["submitted"] - sum(
+            counts[name] for name in TERMINAL_OUTCOMES
+        )
+
+    def _counter_values(self) -> dict[str, int]:
+        return {
+            name: int(self._events.labels(name).value)
+            for name in self.COUNTER_NAMES
+        }
 
     def _percentile(self, values: list[float], q: float) -> float:
         if not values:
@@ -93,23 +163,8 @@ class ServerStats:
         """A JSON-ready copy of every counter plus derived latencies."""
         with self._lock:
             latencies = list(self._latencies)
-            counters = {
-                "submitted": self.submitted,
-                "accepted": self.accepted,
-                "completed": self.completed,
-                "shed": self.shed,
-                "rejected": self.rejected,
-                "timed_out": self.timed_out,
-                "errors": self.errors,
-                "drained": self.drained,
-                "degraded": self.degraded,
-                "uncertain": self.uncertain,
-                "breaker_served_degraded": self.breaker_served_degraded,
-                "exact_fallbacks": self.exact_fallbacks,
-                "reloads_ok": self.reloads_ok,
-                "reloads_failed": self.reloads_failed,
-                "breaker_transitions": dict(self.breaker_transitions),
-            }
+        counters: dict = dict(self._counter_values())
+        counters["breaker_transitions"] = self.breaker_transitions
         counters["in_flight"] = counters["submitted"] - sum(
             counters[name] for name in TERMINAL_OUTCOMES
         )

@@ -1,0 +1,72 @@
+"""Unit tests for the human-readable trace rendering."""
+
+from __future__ import annotations
+
+from repro.obs.explain import explain_trace, explain_traces, rule_summary
+from repro.obs.trace import QueryTrace
+
+
+def _trace(index: int, rule: str = "threshold_low", steps: int = 3) -> QueryTrace:
+    trace = QueryTrace(query_index=index, engine="batch")
+    for i in range(steps):
+        trace.step(0.1 * i, 1.0 - 0.1 * i)
+    trace.stop(rule, expansions=steps)
+    trace.label = 0 if rule == "threshold_low" else 1
+    return trace
+
+
+class TestExplainTrace:
+    def test_renders_rule_label_and_band(self):
+        text = explain_trace(_trace(5), thresholds=(0.4, 0.6))
+        assert "query #5 [batch] -> LOW" in text
+        assert "threshold band: [0.4, 0.6]" in text
+        assert "stopped by:     threshold_low" in text
+        assert "after 3 node expansion(s)" in text
+        assert "step    0" in text
+
+    def test_long_trajectories_are_elided(self):
+        text = explain_trace(_trace(0, steps=40), max_steps=6)
+        assert "step(s) elided" in text
+        # Head and tail survive; the middle does not.
+        assert "step    0" in text
+        assert "step   39" in text
+        assert "step   20" not in text
+
+    def test_guard_repairs_shown_only_when_present(self):
+        trace = _trace(0)
+        assert "guard repairs" not in explain_trace(trace)
+        trace.guard_repairs = 2
+        assert "guard repairs:  2" in explain_trace(trace)
+
+    def test_unknown_label_and_missing_rule(self):
+        trace = QueryTrace(query_index=1)
+        text = explain_trace(trace)
+        assert "(unlabeled)" in text
+        assert "(none recorded)" in text
+
+
+class TestRuleSummary:
+    def test_tallies_by_rule(self):
+        traces = [_trace(i) for i in range(3)] + [_trace(9, "threshold_high")]
+        text = rule_summary(traces)
+        assert "4 trace(s):" in text
+        assert "threshold_low" in text
+        assert "threshold_high" in text
+        assert "(75.0%)" in text
+
+    def test_empty_set(self):
+        assert rule_summary([]) == "0 trace(s):"
+
+
+class TestExplainTraces:
+    def test_limit_and_footer(self):
+        traces = [_trace(i) for i in range(5)]
+        text = explain_traces(traces, limit=2)
+        assert "query #0" in text
+        assert "query #1" in text
+        assert "query #2" not in text
+        assert "3 more trace(s)" in text
+
+    def test_no_footer_when_all_shown(self):
+        text = explain_traces([_trace(0)], limit=10)
+        assert "more trace(s)" not in text

@@ -1,0 +1,130 @@
+"""Unit tests for per-query traces, views, and the bounded JSONL sink."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    TERMINAL_RULES,
+    QueryTrace,
+    TraceRecorder,
+    TraceSink,
+    read_traces,
+)
+
+
+class TestQueryTrace:
+    def test_step_appends_and_updates_bounds(self):
+        trace = QueryTrace(query_index=3)
+        trace.step(0.1, 0.9)
+        trace.step(0.2, 0.8)
+        assert trace.bounds == [(0.1, 0.9), (0.2, 0.8)]
+        assert (trace.f_lower, trace.f_upper) == (0.2, 0.8)
+
+    def test_stop_validates_rule(self):
+        trace = QueryTrace(query_index=0)
+        with pytest.raises(ValueError):
+            trace.stop("made_up_rule")
+        for rule in TERMINAL_RULES:
+            QueryTrace(query_index=0).stop(rule)
+
+    def test_dict_round_trip(self):
+        trace = QueryTrace(query_index=7, engine="batch")
+        trace.step(0.0, 1.0)
+        trace.stop("tolerance", f_lower=0.4, f_upper=0.5, expansions=3)
+        trace.guard_repairs = 2
+        trace.label = 1
+        clone = QueryTrace.from_dict(trace.to_dict())
+        assert clone.to_dict() == trace.to_dict()
+
+
+class TestTraceRecorder:
+    def test_open_is_idempotent(self):
+        recorder = TraceRecorder(engine="batch")
+        assert recorder.open(4) is recorder.open(4)
+        assert recorder.open(4).engine == "batch"
+
+    def test_traces_sorted_by_index(self):
+        recorder = TraceRecorder()
+        for i in (5, 1, 3):
+            recorder.step(i, 0.0, 1.0)
+        assert [t.query_index for t in recorder.traces()] == [1, 3, 5]
+        assert len(recorder) == 3
+        assert recorder.get(1) is not None
+        assert recorder.get(99) is None
+
+    def test_max_steps_caps_trajectory_not_bounds(self):
+        recorder = TraceRecorder(max_steps=2)
+        for i in range(5):
+            recorder.step(0, float(i), 10.0 - i)
+        trace = recorder.get(0)
+        assert len(trace.bounds) == 2
+        # Terminal bounds still track the latest step past the cap.
+        assert (trace.f_lower, trace.f_upper) == (4.0, 6.0)
+
+    def test_label_assignment(self):
+        recorder = TraceRecorder()
+        recorder.stop(2, "grid")
+        recorder.label(2, 1)
+        assert recorder.get(2).label == 1
+
+
+class TestTraceView:
+    def test_view_remaps_indices(self):
+        recorder = TraceRecorder()
+        view = recorder.view([10, 20, 30])
+        view.step(1, 0.1, 0.9)
+        view.stop(1, "budget")
+        view.repair(2)
+        assert recorder.get(20).rule == "budget"
+        assert recorder.get(30).guard_repairs == 1
+        assert recorder.get(1) is None
+
+    def test_views_compose(self):
+        recorder = TraceRecorder()
+        outer = recorder.view([100, 200, 300])
+        inner = outer.view([2, 0])
+        inner.step(0, 0.0, 1.0)  # local 0 -> outer 2 -> global 300
+        assert recorder.get(300) is not None
+
+    def test_view_max_steps_follows_recorder(self):
+        recorder = TraceRecorder(max_steps=7)
+        assert recorder.view([0]).max_steps == 7
+
+
+class TestTraceSink:
+    def _trace(self, index: int) -> QueryTrace:
+        trace = QueryTrace(query_index=index, engine="batch")
+        trace.step(0.0, 1.0)
+        trace.stop("threshold_low", f_lower=0.1, f_upper=0.2, expansions=4)
+        trace.label = 0
+        return trace
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        originals = [self._trace(i) for i in range(5)]
+        with TraceSink(path) as sink:
+            assert sink.write_all(originals) == 5
+        loaded = read_traces(path)
+        assert [t.to_dict() for t in loaded] == [t.to_dict() for t in originals]
+
+    def test_byte_budget_truncates_with_marker(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        one_line = json.dumps(self._trace(0).to_dict(), separators=(",", ":"))
+        budget = (len(one_line) + 1) * 2  # room for two lines, not three
+        with TraceSink(path, max_bytes=budget) as sink:
+            written = sink.write_all([self._trace(i) for i in range(5)])
+        assert written == 2
+        assert sink.truncated
+        lines = path.read_text().strip().splitlines()
+        assert lines[-1] == TraceSink.MARKER
+        # The marker line is skipped on load.
+        assert len(read_traces(path)) == 2
+
+    def test_write_all_accepts_recorder(self, tmp_path):
+        recorder = TraceRecorder(engine="batch")
+        recorder.stop(0, "grid")
+        with TraceSink(tmp_path / "t.jsonl") as sink:
+            assert sink.write_all(recorder) == 1

@@ -113,14 +113,47 @@ def test_classifier_engines_agree_end_to_end(workload, p):
     assert clf_batch.threshold.value == pytest.approx(
         clf_ref.threshold.value, rel=1e-9
     )
+    # At a *shared* threshold the engines must agree exactly.
     np.testing.assert_array_equal(
-        clf_batch.predict(queries), clf_ref.predict(queries)
+        clf_batch.predict(queries, engine="batch"),
+        clf_batch.predict(queries, engine="per-query"),
     )
+    # Across the two independently fitted models the thresholds differ
+    # by ULPs, so a query inside the epsilon tolerance band — where
+    # Problem 1's contract allows either label — may legitimately flip.
+    # Any disagreement must be attributable to that band and nothing else.
+    preds_batch = np.asarray(clf_batch.predict(queries))
+    preds_ref = np.asarray(clf_ref.predict(queries))
+    mismatched = np.flatnonzero(preds_batch != preds_ref)
+    # Scalar and vectorized accumulation round differently, so any
+    # score can carry absolute error at the summation-roundoff scale —
+    # decisive when the refined quantile is 0 (compact-support kernels
+    # leave isolated points with exactly zero leave-out density).
+    kernel = kernel_for_data(data, name=kernel_name)
+    atol = 1e-12 * kernel.max_value
+    if mismatched.size:
+        scaled = kernel.scale(data)
+        scaled_q = kernel.scale(queries[mismatched])
+        diffs = scaled[None, :, :] - scaled_q[:, None, :]
+        sq = np.einsum("qnd,qnd->qn", diffs, diffs)
+        exact = np.sum(kernel.value(sq), axis=1) / scaled.shape[0]
+        t = clf_batch.threshold.value
+        eps = clf_batch.config.epsilon
+        assert np.all(exact >= t * (1.0 - eps) * (1.0 - 1e-9) - atol), mismatched
+        assert np.all(exact <= t * (1.0 + eps) * (1.0 + 1e-9) + atol), mismatched
     # Training labels come from comparing scores against the refined
     # quantile, and the quantile sits *on* the score distribution — a
-    # ULP of threshold drift may flip the one point at the boundary.
-    flips = np.count_nonzero(
+    # ULP of threshold drift may flip points at the boundary. Every
+    # flipped point's score must sit within that drift of the quantile.
+    flipped = np.flatnonzero(
         np.asarray(clf_batch.training_labels_)
         != np.asarray(clf_ref.training_labels_)
     )
-    assert flips <= 2
+    if flipped.size:
+        t_lo = min(clf_batch.threshold.value, clf_ref.threshold.value)
+        t_hi = max(clf_batch.threshold.value, clf_ref.threshold.value)
+        slack = 1e-9 * t_hi + atol
+        for scores in (clf_batch.training_scores_, clf_ref.training_scores_):
+            boundary = np.asarray(scores)[flipped]
+            assert np.all(boundary >= t_lo - slack), flipped
+            assert np.all(boundary <= t_hi + slack), flipped

@@ -1,0 +1,139 @@
+"""Properties of per-query pruning traces, on both engines.
+
+The trace is a *witness* of the traversal, not a participant: recording
+must change no labels, and every recorded trajectory must satisfy the
+invariants the traversal itself guarantees — ``f_l`` nondecreasing and
+``f_u`` nonincreasing as nodes are expanded (the bounds only tighten),
+and a terminating rule consistent with the label the classifier
+returned. The explain path (``repro explain``) must reproduce the
+terminating rule verbatim for every sampled query, on both engines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Label, TKDCClassifier, TKDCConfig
+from repro.obs.explain import explain_trace
+from repro.obs.trace import TERMINAL_RULES
+
+ENGINES = ("per-query", "batch")
+
+#: Bound-trajectory monotonicity tolerance: steps are recorded from the
+#: engines' own float arithmetic, so equality is exact up to roundoff.
+ATOL = 1e-12
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    rng = np.random.default_rng(17)
+    data = np.concatenate([
+        rng.normal(size=(1200, 2)) * 0.6 + np.array([-2.0, 0.0]),
+        rng.normal(size=(1200, 2)) * 0.6 + np.array([2.0, 0.0]),
+    ])
+    clf = TKDCClassifier(TKDCConfig(p=0.05, seed=17)).fit(data)
+    return clf, data
+
+
+@pytest.fixture(scope="module")
+def queries(fitted):
+    clf, data = fitted
+    rng = np.random.default_rng(18)
+    # Mix of in-distribution, boundary-ish, and far outlier points so
+    # threshold_high, threshold_low, and the cache paths all fire;
+    # >= 100 queries per engine (the explain acceptance bar).
+    return np.concatenate([
+        data[rng.choice(data.shape[0], size=60, replace=False)],
+        rng.uniform(-5.0, 5.0, size=(60, 2)),
+        rng.uniform(6.0, 9.0, size=(10, 2)),
+    ])
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestTraceProperties:
+    def test_tracing_changes_no_labels(self, fitted, queries, engine):
+        clf, __ = fitted
+        plain = clf.classify(queries, engine=engine)
+        traced, recorder = clf.trace_classify(queries, engine=engine)
+        np.testing.assert_array_equal(
+            np.asarray(plain, dtype=int), np.asarray(traced, dtype=int)
+        )
+        assert len(recorder) == queries.shape[0]
+
+    def test_bound_trajectories_are_monotone(self, fitted, queries, engine):
+        clf, __ = fitted
+        __, recorder = clf.trace_classify(queries, engine=engine)
+        checked = 0
+        for trace in recorder.traces():
+            lowers = [lo for lo, __ in trace.bounds]
+            uppers = [hi for __, hi in trace.bounds]
+            for a, b in zip(lowers, lowers[1:]):
+                assert b >= a - ATOL, (
+                    f"f_l regressed on query {trace.query_index}: {a} -> {b}"
+                )
+            for a, b in zip(uppers, uppers[1:]):
+                assert b <= a + ATOL, (
+                    f"f_u grew on query {trace.query_index}: {a} -> {b}"
+                )
+            checked += 1
+        assert checked == queries.shape[0]
+
+    def test_terminal_rule_consistent_with_label(self, fitted, queries, engine):
+        clf, __ = fitted
+        labels, recorder = clf.trace_classify(queries, engine=engine)
+        labels = np.asarray(labels, dtype=int)
+        for trace in recorder.traces():
+            assert trace.rule in TERMINAL_RULES
+            label = labels[trace.query_index]
+            assert trace.label == int(label)
+            # The provable rules pin the label outright.
+            if trace.rule == "threshold_high":
+                assert label == int(Label.HIGH)
+            elif trace.rule == "threshold_low":
+                assert label == int(Label.LOW)
+
+    def test_explain_reproduces_rule_for_all_queries(
+        self, fitted, queries, engine
+    ):
+        clf, __ = fitted
+        assert queries.shape[0] >= 100
+        __, recorder = clf.trace_classify(queries, engine=engine)
+        for trace in recorder.traces():
+            text = explain_trace(trace)
+            assert f"stopped by:     {trace.rule}" in text
+            assert f"query #{trace.query_index}" in text
+
+    def test_traced_bounds_agree_with_final_interval(
+        self, fitted, queries, engine
+    ):
+        clf, __ = fitted
+        __, recorder = clf.trace_classify(queries, engine=engine)
+        for trace in recorder.traces():
+            if trace.bounds and trace.rule not in ("exact", "grid"):
+                lo, hi = trace.bounds[-1]
+                assert trace.f_lower == pytest.approx(lo, abs=ATOL)
+                assert trace.f_upper == pytest.approx(hi, abs=ATOL)
+
+
+@given(seed=st.integers(0, 2**16))
+@settings(max_examples=10, deadline=None)
+def test_engines_trace_identical_rules(seed):
+    """Both engines terminate every query by the same rule."""
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=(400, 2))
+    clf = TKDCClassifier(
+        TKDCConfig(p=0.1, seed=seed % 100, refine_threshold=False,
+                   bootstrap_s0=200)
+    ).fit(data)
+    queries = rng.uniform(-4, 4, size=(30, 2))
+    __, per_query = clf.trace_classify(queries, engine="per-query")
+    __, batch = clf.trace_classify(queries, engine="batch")
+    assert [t.rule for t in per_query.traces()] == [
+        t.rule for t in batch.traces()
+    ]
+    assert [t.label for t in per_query.traces()] == [
+        t.label for t in batch.traces()
+    ]

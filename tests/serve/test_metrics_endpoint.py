@@ -1,0 +1,85 @@
+"""The ``/metrics`` endpoint: valid Prometheus text that agrees with /statz.
+
+Both endpoints read the same ``MetricsRegistry`` cells, so the counter
+values they report must match exactly — not approximately — for any
+request history.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.serve.stats import ServerStats
+
+
+def parse_prometheus(text: str) -> dict[str, float]:
+    """Sample lines only: ``name{labels} value`` -> {full_name: value}."""
+    samples: dict[str, float] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name, __, value = line.rpartition(" ")
+        samples[name] = float(value)
+    return samples
+
+
+class TestMetricsEndpoint:
+    def test_scrape_is_valid_prometheus_text(self, server_factory):
+        __, client = server_factory()
+        status, body = client.metrics()
+        assert status == 200
+        # Every family carries HELP and TYPE headers, in that order.
+        families = re.findall(r"^# TYPE (\S+) (\S+)$", body, re.MULTILINE)
+        assert ("tkdc_serve_events_total", "counter") in families
+        assert ("tkdc_serve_request_latency_seconds", "histogram") in families
+        for name, __ in families:
+            assert f"# HELP {name} " in body
+        # Histogram invariants: +Inf bucket present and equal to _count.
+        samples = parse_prometheus(body)
+        inf = samples['tkdc_serve_request_latency_seconds_bucket{le="+Inf"}']
+        assert inf == samples["tkdc_serve_request_latency_seconds_count"]
+
+    def test_counters_match_statz(self, server_factory):
+        __, client = server_factory()
+        # Drive a mixed request history: two successes, one client error.
+        assert client.classify([[0.0, 0.0]], deadline_ms=10_000)[0] == 200
+        assert client.classify([[2.0, 0.0]], deadline_ms=10_000)[0] == 200
+        assert client.request("POST", "/classify", {"queries": "junk"})[0] == 400
+
+        status, statz = client.statz()
+        assert status == 200
+        status, body = client.metrics()
+        assert status == 200
+        samples = parse_prometheus(body)
+
+        for name in ServerStats.COUNTER_NAMES:
+            assert (
+                samples[f'tkdc_serve_events_total{{event="{name}"}}']
+                == statz[name]
+            ), name
+        assert statz["completed"] == 2
+        # Each completed request contributed one latency observation.
+        assert (
+            samples["tkdc_serve_request_latency_seconds_count"]
+            == statz["completed"]
+        )
+
+    def test_statz_reports_build_identity(self, server_factory):
+        from repro.obs.buildinfo import build_info
+
+        __, client = server_factory()
+        status, statz = client.statz()
+        assert status == 200
+        assert statz["build"] == build_info()
+
+    def test_process_registry_families_are_merged(self, server_factory):
+        """Traversal counters recorded by the embedded classifier appear
+        alongside the serve families in a single scrape."""
+        __, client = server_factory()
+        assert client.classify([[0.0, 0.0]], deadline_ms=10_000)[0] == 200
+        status, body = client.metrics()
+        assert status == 200
+        assert "tkdc_serve_events_total" in body
+        # The global registry contributes classifier-side families; the
+        # scrape must not raise on duplicate names when merging.
+        assert body.count("# TYPE tkdc_serve_events_total counter") == 1

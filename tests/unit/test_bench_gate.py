@@ -1,0 +1,163 @@
+"""The bench regression gate: passes on a faithful baseline, fails on a
+doctored one.
+
+The smoke measurements themselves are monkeypatched to canned rows —
+these tests exercise the *comparison* logic (tolerances, hard label
+check, missing-baseline handling, exit codes), not the benchmark
+workloads, so they run in milliseconds.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import gate
+
+
+def canned_smoke_rows(labels_match: bool = True) -> list[dict]:
+    rows = []
+    for engine, qps, kernels in (("per-query", 8000.0, 12.5), ("batch", 36000.0, 12.5)):
+        rows.append({
+            "section": "smoke",
+            "dataset": "gauss", "n": gate.SMOKE_N, "dim": 2,
+            "n_queries": gate.SMOKE_QUERIES, "engine": engine, "n_jobs": 1,
+            "seconds": gate.SMOKE_QUERIES / qps,
+            "queries_per_s": qps,
+            "kernels_per_query": kernels,
+            "labels_match_per_query": labels_match,
+            "speedup_vs_per_query": qps / 8000.0,
+        })
+    return rows
+
+
+def canned_coreset_row(agreement: float = 1.0) -> dict:
+    return {
+        "dataset": "gauss", "n": 5000, "n_queries": 200,
+        "method": "uniform", "fraction": 0.05, "certified": True,
+        "label_agreement": agreement, "agreement_outside_band": agreement,
+    }
+
+
+def write_baseline(directory, smoke_rows, coreset_agreement: float = 1.0) -> None:
+    (directory / "BENCH_batch_traversal.json").write_text(json.dumps({
+        "benchmark": "batch_traversal", "rows": smoke_rows,
+    }))
+    (directory / "BENCH_coreset.json").write_text(json.dumps({
+        "benchmark": "coreset",
+        "rows": [{
+            "method": "uniform", "certified": True,
+            "agreement_outside_band": coreset_agreement,
+        }],
+    }))
+
+
+@pytest.fixture
+def canned_measurements(monkeypatch):
+    """Pin the gate's fresh measurements to deterministic canned rows."""
+    monkeypatch.setattr(gate, "traversal_smoke_rows",
+                        lambda seed=0: canned_smoke_rows())
+    monkeypatch.setattr(gate, "coreset_smoke_row",
+                        lambda seed=0: canned_coreset_row())
+
+
+class TestGatePasses:
+    def test_identical_baseline_passes(self, tmp_path, canned_measurements):
+        write_baseline(tmp_path, canned_smoke_rows())
+        checks = gate.run_gate(baseline_dir=tmp_path)
+        assert checks and all(check.ok for check in checks)
+
+    def test_small_drift_within_tolerance(self, tmp_path, canned_measurements):
+        rows = canned_smoke_rows()
+        for row in rows:
+            row["kernels_per_query"] *= 1.01  # 1% < the 2% tolerance
+        write_baseline(tmp_path, rows)
+        assert all(check.ok for check in gate.run_gate(baseline_dir=tmp_path))
+
+    def test_main_exit_zero(self, tmp_path, canned_measurements, capsys):
+        write_baseline(tmp_path, canned_smoke_rows())
+        assert gate.main(["--baseline-dir", str(tmp_path)]) == 0
+        assert "all" in capsys.readouterr().out
+
+
+class TestGateFails:
+    def test_doctored_kernels_baseline_fails(self, tmp_path, canned_measurements):
+        rows = canned_smoke_rows()
+        for row in rows:
+            row["kernels_per_query"] *= 0.80  # measured is now 25% worse
+        write_baseline(tmp_path, rows)
+        checks = gate.run_gate(baseline_dir=tmp_path)
+        failed = [c.name for c in checks if not c.ok]
+        assert "kernels_per_query[per-query]" in failed
+        assert "kernels_per_query[batch]" in failed
+
+    def test_doctored_speedup_baseline_fails(self, tmp_path, canned_measurements):
+        rows = canned_smoke_rows()
+        batch = next(r for r in rows if r["engine"] == "batch")
+        batch["speedup_vs_per_query"] *= 4.0  # fresh run looks 4x slower
+        write_baseline(tmp_path, rows)
+        checks = gate.run_gate(baseline_dir=tmp_path)
+        assert any(not c.ok and c.name == "batch_speedup" for c in checks)
+
+    def test_label_mismatch_is_a_hard_failure(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(gate, "traversal_smoke_rows",
+                            lambda seed=0: canned_smoke_rows(labels_match=False))
+        monkeypatch.setattr(gate, "coreset_smoke_row",
+                            lambda seed=0: canned_coreset_row())
+        write_baseline(tmp_path, canned_smoke_rows())
+        checks = gate.run_gate(baseline_dir=tmp_path)
+        assert any(not c.ok and c.name.startswith("labels_match") for c in checks)
+
+    def test_agreement_regression_fails(self, tmp_path, canned_measurements):
+        monkeypatch_agreement = 0.90  # baseline says 1.0; slack is 0.02
+        write_baseline(tmp_path, canned_smoke_rows())
+        gate_checks = gate.run_gate(baseline_dir=tmp_path)
+        assert all(c.ok for c in gate_checks)  # sanity: canned row agrees
+
+        import repro.bench.gate as g
+        original = g.coreset_smoke_row
+        try:
+            g.coreset_smoke_row = lambda seed=0: canned_coreset_row(
+                agreement=monkeypatch_agreement
+            )
+            checks = gate.run_gate(baseline_dir=tmp_path)
+        finally:
+            g.coreset_smoke_row = original
+        assert any(
+            not c.ok and c.name == "coreset_agreement_outside_band"
+            for c in checks
+        )
+
+    def test_missing_baseline_fails(self, tmp_path, canned_measurements):
+        checks = gate.run_gate(baseline_dir=tmp_path)
+        assert any(not c.ok for c in checks)
+
+    def test_baseline_without_smoke_section_fails(
+        self, tmp_path, canned_measurements
+    ):
+        (tmp_path / "BENCH_batch_traversal.json").write_text(json.dumps({
+            "benchmark": "batch_traversal",
+            "rows": [{"dataset": "gauss", "engine": "batch"}],  # no smoke
+        }))
+        checks = gate.run_gate(baseline_dir=tmp_path, skip_coreset=True)
+        assert any("smoke" in c.detail for c in checks if not c.ok)
+
+    def test_main_exit_nonzero(self, tmp_path, canned_measurements, capsys):
+        rows = canned_smoke_rows()
+        for row in rows:
+            row["kernels_per_query"] *= 0.5
+        write_baseline(tmp_path, rows)
+        assert gate.main(["--baseline-dir", str(tmp_path)]) == 1
+        assert "FAILED" in capsys.readouterr().err
+
+
+class TestTolerancesFlag:
+    def test_custom_tolerance_loosens_gate(self, tmp_path, canned_measurements):
+        rows = canned_smoke_rows()
+        for row in rows:
+            row["kernels_per_query"] *= 1.10  # 10% off: fails at 2%
+        write_baseline(tmp_path, rows)
+        assert gate.main([
+            "--baseline-dir", str(tmp_path), "--kernels-rel-tol", "0.25",
+        ]) == 0

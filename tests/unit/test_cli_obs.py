@@ -1,0 +1,107 @@
+"""CLI tests for the observability commands: explain and metrics-dump."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def workload(tmp_path_factory):
+    """A fitted model on disk plus train/query CSVs, shared module-wide."""
+    root = tmp_path_factory.mktemp("cli_obs")
+    rng = np.random.default_rng(3)
+    train_csv = root / "train.csv"
+    np.savetxt(train_csv, rng.normal(size=(600, 2)), delimiter=",")
+    queries_csv = root / "queries.csv"
+    queries = np.concatenate([
+        rng.normal(size=(15, 2)),
+        rng.uniform(4.0, 6.0, size=(5, 2)),  # clear outliers
+    ])
+    np.savetxt(queries_csv, queries, delimiter=",")
+    model = root / "model.tkdc"
+    assert main(["fit", str(train_csv), "--model", str(model),
+                 "--p", "0.05", "--seed", "3"]) == 0
+    return model, queries_csv, queries.shape[0]
+
+
+class TestExplain:
+    def test_renders_rules_and_band(self, workload, capsys):
+        model, queries_csv, __ = workload
+        assert main(["explain", str(queries_csv), "--model", str(model),
+                     "--limit", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "threshold band:" in out
+        assert "stopped by:" in out
+        assert "query #0" in out
+        assert "query #19" in out  # --limit 0 renders every query
+
+    def test_limit_elides_tail(self, workload, capsys):
+        model, queries_csv, n_queries = workload
+        assert main(["explain", str(queries_csv), "--model", str(model),
+                     "--limit", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "query #0" in out
+        assert "query #2" not in out
+        assert f"{n_queries - 2} more trace(s)" in out
+
+    @pytest.mark.parametrize("engine", ["batch", "per-query"])
+    def test_engine_flag(self, workload, capsys, engine):
+        model, queries_csv, __ = workload
+        assert main(["explain", str(queries_csv), "--model", str(model),
+                     "--engine", engine, "--limit", "1"]) == 0
+        assert f"[{engine}]" in capsys.readouterr().out
+
+    def test_jsonl_writes_one_trace_per_query(self, workload, tmp_path, capsys):
+        model, queries_csv, n_queries = workload
+        out_path = tmp_path / "traces.jsonl"
+        assert main(["explain", str(queries_csv), "--model", str(model),
+                     "--jsonl", str(out_path)]) == 0
+        captured = capsys.readouterr()
+        assert f"wrote {n_queries} traces to {out_path}" in captured.err
+        lines = out_path.read_text().strip().splitlines()
+        assert len(lines) == n_queries
+        records = [json.loads(line) for line in lines]
+        assert sorted(r["query_index"] for r in records) == list(range(n_queries))
+        assert all(r["rule"] for r in records)
+
+    def test_missing_model_flag_exits_2(self, workload):
+        __, queries_csv, __ = workload
+        with pytest.raises(SystemExit) as excinfo:
+            main(["explain", str(queries_csv)])
+        assert excinfo.value.code == 2
+
+
+class TestMetricsDump:
+    def test_bare_dump_prints_registered_families(self, capsys):
+        assert main(["metrics-dump"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE tkdc_queries_total counter" in out
+
+    def test_dump_after_workload_carries_counts(self, workload, capsys):
+        from repro.obs.registry import REGISTRY
+
+        model, queries_csv, n_queries = workload
+        REGISTRY.reset()
+        assert main(["metrics-dump", "--model", str(model),
+                     "--queries", str(queries_csv)]) == 0
+        out = capsys.readouterr().out
+        totals = [
+            float(line.rpartition(" ")[2])
+            for line in out.splitlines()
+            if line.startswith("tkdc_queries_total{")
+        ]
+        assert sum(totals) == n_queries
+
+    def test_model_without_queries_is_usage_error(self, workload, capsys):
+        model, __, __ = workload
+        assert main(["metrics-dump", "--model", str(model)]) == 2
+        assert "go together" in capsys.readouterr().err
+
+    def test_queries_without_model_is_usage_error(self, workload):
+        __, queries_csv, __ = workload
+        assert main(["metrics-dump", "--queries", str(queries_csv)]) == 2

@@ -52,6 +52,49 @@ class TestTraversalStats:
         )
         assert stats.prunes == 9
 
+    def test_to_dict_from_dict_is_lossless(self):
+        stats = TraversalStats(
+            kernel_evaluations=101,
+            node_expansions=17,
+            queries=8,
+            grid_hits=2,
+            threshold_prunes_high=3,
+            threshold_prunes_low=1,
+            tolerance_prunes=2,
+            exhausted=0,
+            extras={"pool_workers": 4.0, "chunk_reissues": 1.0},
+        )
+        clone = TraversalStats.from_dict(stats.to_dict())
+        assert clone == stats
+        # The payload itself is plain JSON-able data with nested extras.
+        payload = stats.to_dict()
+        assert payload["extras"] == {"pool_workers": 4.0, "chunk_reissues": 1.0}
+        assert "kernels_per_query" not in payload  # derived, not stored
+
+    def test_from_dict_folds_unknown_keys_into_extras(self):
+        rebuilt = TraversalStats.from_dict({
+            "kernel_evaluations": 5,
+            "queries": 1,
+            "future_counter": 9.0,
+            "extras": {"existing": 2.0, "future_counter": 1.0},
+        })
+        assert rebuilt.kernel_evaluations == 5
+        assert rebuilt.queries == 1
+        # Unknown top-level keys accumulate onto matching extras entries.
+        assert rebuilt.extras == {"existing": 2.0, "future_counter": 10.0}
+
+    def test_round_trip_then_merge_matches_direct_merge(self):
+        """The pooled-classify contract: shipping worker stats through
+        to_dict/from_dict then merging must equal merging directly."""
+        worker = TraversalStats(
+            kernel_evaluations=40, queries=4, extras={"shipped": 1.0}
+        )
+        direct = TraversalStats(kernel_evaluations=10, queries=1)
+        direct.merge(worker)
+        via_wire = TraversalStats(kernel_evaluations=10, queries=1)
+        via_wire.merge(TraversalStats.from_dict(worker.to_dict()))
+        assert via_wire == direct
+
 
 class TestLabel:
     def test_values(self):
