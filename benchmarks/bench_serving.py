@@ -14,6 +14,12 @@ synthetic gauss model and drives it through three phases:
   traversal needs — measures how often the anytime budget produces
   honestly-flagged degraded answers instead of deadline blowups.
 
+It then sweeps the multi-process fleet (``workers`` = 1/2/4; the
+workers=1 point is the unchanged single-process daemon) and records
+the throughput-scaling ratio together with ``cpu_count`` — scaling is
+physically bounded by the cores available, so the gate interprets the
+ratio relative to the recorded core count, not an absolute target.
+
 Writes ``BENCH_serving.json`` at the repo root. ``--smoke`` runs a
 tiny workload and skips the report (CI guard: the daemon starts,
 serves, sheds, and drains inside the job timeout).
@@ -22,6 +28,7 @@ serves, sheds, and drains inside the job timeout).
 from __future__ import annotations
 
 import json
+import os
 import sys
 import threading
 import time
@@ -34,7 +41,14 @@ from repro.core.classifier import TKDCClassifier
 from repro.core.config import TKDCConfig
 from repro.io.atomic import atomic_write_text
 from repro.io.models import save_model
-from repro.serve import ModelManager, ServeClient, ServeConfig, TKDCServer
+from repro.serve import (
+    FleetServer,
+    ModelManager,
+    ServeClient,
+    ServeConfig,
+    TKDCServer,
+    WorkerFleet,
+)
 
 REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
 
@@ -62,6 +76,64 @@ def start_server(model_path: Path, config: ServeConfig):
     client = ServeClient("127.0.0.1", server.port, timeout=60.0)
     assert client.wait_ready(15.0), "daemon never became ready"
     return server, thread, client
+
+
+def start_fleet(model_path: Path, config: ServeConfig):
+    fleet = WorkerFleet(model_path, config)
+    server = FleetServer(fleet)
+    thread = threading.Thread(
+        target=server.serve_forever, kwargs={"poll_interval": 0.05}, daemon=True
+    )
+    thread.start()
+    client = ServeClient("127.0.0.1", server.port, timeout=60.0)
+    assert client.wait_ready(90.0), "fleet never became ready"
+    return fleet, server, thread, client
+
+
+def workers_sweep(model_path: Path, smoke: bool, rng: np.random.Generator) -> dict:
+    """Measure answered/s at workers = 1, 2, 4 over identical load shape.
+
+    Offered load scales with the worker count (2 clients per worker) so
+    each point is driven at the same per-worker pressure; the workers=1
+    point goes through the unchanged single-process TKDCServer path.
+    """
+    counts = (1, 2) if smoke else (1, 2, 4)
+    requests_per_thread = 5 if smoke else 25
+    points = []
+    for workers in counts:
+        config = ServeConfig(
+            port=0,
+            workers=workers,
+            max_concurrency=2,
+            queue_depth=4,
+            default_deadline=2.0,
+            calibration_queries=64 if smoke else 256,
+        )
+        if workers == 1:
+            server, thread, client = start_server(model_path, config)
+            fleet = None
+        else:
+            fleet, server, thread, client = start_fleet(model_path, config)
+        try:
+            sample = drive(
+                client, 2 * workers, requests_per_thread, 2_000.0, rng
+            )
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10.0)
+            if fleet is not None:
+                fleet.stop()
+        points.append({"workers": workers, **sample})
+
+    base = points[0]["answered_per_s"]
+    top = points[-1]["answered_per_s"]
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "points": points,
+        "max_workers": points[-1]["workers"],
+        "scaling_ratio": round(top / base, 3) if base else 0.0,
+    }
 
 
 def percentile(values: list[float], q: float) -> float:
@@ -168,6 +240,7 @@ def run_benchmark(smoke: bool) -> dict:
             server.shutdown()
             server.server_close()
             thread.join(timeout=10.0)
+        fleet_scaling = workers_sweep(model_path, smoke, rng)
 
     terminal = (
         statz["completed"] + statz["shed"] + statz["rejected"]
@@ -183,6 +256,7 @@ def run_benchmark(smoke: bool) -> dict:
         },
         "expansions_per_second": statz["expansions_per_second"],
         "phases": phases,
+        "fleet_scaling": fleet_scaling,
         "accounting": {
             "submitted": statz["submitted"],
             "terminal": terminal,
@@ -201,6 +275,9 @@ def main() -> int:
     overload = report["phases"]["overload"]
     if overload["shed"] == 0:
         print("FAIL: overload phase shed nothing", file=sys.stderr)
+        return 1
+    if any(p["ok"] == 0 for p in report["fleet_scaling"]["points"]):
+        print("FAIL: a fleet sweep point answered nothing", file=sys.stderr)
         return 1
     if smoke:
         print("\nsmoke OK (report not written)")

@@ -15,7 +15,15 @@ machine-tolerant metrics against those baselines:
   ratios are noisy on shared CI runners, so only a gross regression —
   e.g. the batch engine silently falling back to per-query — trips it;
 - **coreset outside-band agreement** (default ≥ baseline min − 0.02):
-  the certificate's accountability metric from ``BENCH_coreset.json``.
+  the certificate's accountability metric from ``BENCH_coreset.json``;
+- **serving fleet** (baseline validation): the committed
+  ``BENCH_serving.json`` must have a balanced accounting invariant
+  (hard) and a multi-process throughput-scaling ratio above a floor
+  keyed to the core count the baseline was recorded on — 2.5x on ≥4
+  cores, relaxed on smaller machines where the scaling is physically
+  unreachable. The serving bench itself is too heavy to re-run inside
+  the gate, so this validates the committed report rather than
+  measuring fresh.
 
 The same :func:`traversal_smoke_rows` produces both the baseline's
 smoke section (via ``benchmarks/bench_batch_traversal.py``) and the
@@ -66,6 +74,21 @@ class GateTolerances:
     #: Outside-band agreement may sit this far below the baseline's
     #: minimum over certified coreset rows.
     agreement_slack: float = 0.02
+    #: Fleet answered/s at max workers must reach this multiple of the
+    #: workers=1 throughput — when the baseline machine had ≥4 cores.
+    #: On 2–3 cores the floor relaxes to 1.3x; on 1 core only a
+    #: no-collapse floor of 0.8x applies (a fleet that *loses* 20%+
+    #: throughput to its own routing overhead is a regression anywhere).
+    fleet_scaling_floor: float = 2.5
+
+
+def scaling_floor_for_cores(cpu_count: int, full_floor: float) -> float:
+    """The scaling the recorded machine could physically deliver."""
+    if cpu_count >= 4:
+        return full_floor
+    if cpu_count >= 2:
+        return min(full_floor, 1.3)
+    return min(full_floor, 0.8)
 
 
 @dataclass
@@ -304,6 +327,53 @@ def _check_coreset(
     )]
 
 
+def _check_serving(
+    baseline: dict | None, tolerances: GateTolerances
+) -> list[GateCheck]:
+    """Validate the committed serving baseline (no fresh measurement)."""
+    if baseline is None:
+        return [GateCheck(
+            name="baseline[serving]", ok=False,
+            measured=0.0, reference=1.0,
+            detail="BENCH_serving.json missing from baseline dir",
+        )]
+    checks: list[GateCheck] = []
+
+    accounting = baseline.get("accounting", {})
+    checks.append(GateCheck(
+        name="serving_accounting_balanced",
+        ok=bool(accounting.get("balanced")),
+        measured=float(accounting.get("terminal", 0)),
+        reference=float(accounting.get("submitted", 0)),
+        detail="every submitted request must land in exactly one "
+               "terminal counter",
+    ))
+
+    scaling = baseline.get("fleet_scaling")
+    if not scaling:
+        checks.append(GateCheck(
+            name="baseline[serving.fleet_scaling]", ok=False,
+            measured=0.0, reference=1.0,
+            detail="baseline has no fleet_scaling section; regenerate it "
+                   "with `make bench-serving`",
+        ))
+        return checks
+    cpu_count = int(scaling.get("cpu_count", 1))
+    ratio = float(scaling.get("scaling_ratio", 0.0))
+    floor = scaling_floor_for_cores(cpu_count, tolerances.fleet_scaling_floor)
+    checks.append(GateCheck(
+        name="fleet_throughput_scaling",
+        ok=ratio >= floor,
+        measured=ratio,
+        reference=floor,
+        detail=f"workers={scaling.get('max_workers')} vs workers=1 "
+               f"answered/s on a {cpu_count}-core recording machine "
+               f"(full floor {tolerances.fleet_scaling_floor}x at ≥4 "
+               "cores)",
+    ))
+    return checks
+
+
 def run_gate(
     baseline_dir: Path | str = REPO_ROOT,
     tolerances: GateTolerances | None = None,
@@ -320,6 +390,9 @@ def run_gate(
         checks.extend(_check_coreset(
             load_report(baseline_dir, "coreset"), tolerances, seed
         ))
+    checks.extend(_check_serving(
+        load_report(baseline_dir, "serving"), tolerances
+    ))
     return checks
 
 
@@ -353,6 +426,12 @@ def main(argv: list[str] | None = None) -> int:
         default=GateTolerances.agreement_slack,
         help="allowed drop below the baseline's outside-band agreement",
     )
+    parser.add_argument(
+        "--fleet-scaling-floor", type=float,
+        default=GateTolerances.fleet_scaling_floor,
+        help="required fleet throughput scaling (max workers vs 1) when "
+             "the baseline machine had >=4 cores; auto-relaxed below",
+    )
     args = parser.parse_args(argv)
 
     info = build_info()
@@ -364,6 +443,7 @@ def main(argv: list[str] | None = None) -> int:
             min_speedup_fraction=args.min_speedup_fraction,
             kernels_rel_tol=args.kernels_rel_tol,
             agreement_slack=args.agreement_slack,
+            fleet_scaling_floor=args.fleet_scaling_floor,
         ),
         seed=args.seed,
         skip_coreset=args.skip_coreset,

@@ -107,6 +107,27 @@ def _add_serve_parser(subparsers: argparse._SubParsersAction) -> None:
                             "half-open recovery probes")
     serve.add_argument("--drain-timeout", type=float, default=10.0,
                        help="seconds SIGTERM waits for in-flight requests")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="serving processes: 1 (default) is the in-process "
+                            "daemon; N>1 pre-forks N workers behind a router "
+                            "sharing the model over shared memory "
+                            "(Linux; see docs/serving.md)")
+
+
+def _add_serve_worker_parser(subparsers: argparse._SubParsersAction) -> None:
+    worker = subparsers.add_parser(
+        "serve-worker",
+        help=argparse.SUPPRESS,
+        description="INTERNAL: one fleet worker process, spawned by "
+                    "'tkdc serve --workers N'. Attaches the shared-memory "
+                    "model plane named by --manifest and serves on an "
+                    "ephemeral port announced on stdout.",
+    )
+    worker.add_argument("--manifest", required=True,
+                        help="shared-memory model-plane manifest (JSON)")
+    worker.add_argument("--config-json", default="",
+                        help="ServeConfig field overrides as a JSON object")
+    worker.add_argument("--worker-index", type=int, default=0)
 
 
 def _add_explain_parser(subparsers: argparse._SubParsersAction) -> None:
@@ -169,6 +190,7 @@ def main(argv: list[str] | None = None) -> int:
     _add_fit_parser(subparsers)
     _add_classify_parser(subparsers)
     _add_serve_parser(subparsers)
+    _add_serve_worker_parser(subparsers)
     _add_diagnose_parser(subparsers)
     _add_explain_parser(subparsers)
     _add_metrics_dump_parser(subparsers)
@@ -188,6 +210,8 @@ def main(argv: list[str] | None = None) -> int:
         return _classify(args)
     if args.command == "serve":
         return _serve(args)
+    if args.command == "serve-worker":
+        return _serve_worker(args)
     if args.command == "diagnose":
         return _diagnose(args)
     if args.command == "explain":
@@ -218,8 +242,21 @@ def _serve(args: argparse.Namespace) -> int:
         breaker_threshold=args.breaker_threshold,
         breaker_cooldown=args.breaker_cooldown,
         drain_timeout=args.drain_timeout,
+        workers=args.workers,
     )
     return serve(args.model, config)
+
+
+def _serve_worker(args: argparse.Namespace) -> int:
+    import logging
+
+    from repro.serve.worker import main as worker_main
+
+    logging.basicConfig(
+        level=logging.INFO,
+        format="%(asctime)s worker %(name)s %(levelname)s %(message)s",
+    )
+    return worker_main(args)
 
 
 def _explain(args: argparse.Namespace) -> int:

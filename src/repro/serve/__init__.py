@@ -17,18 +17,25 @@ from repro.serve.client import ServeClient
 from repro.serve.config import ServeConfig
 from repro.serve.daemon import TKDCServer, serve
 from repro.serve.reload import ModelManager, ReloadResult
+from repro.serve.router import FleetServer, WorkerFleet, serve_fleet
 from repro.serve.stats import ServerStats
+from repro.serve.worker import ShmModelManager, run_worker
 
 __all__ = [
     "BudgetCalibration",
     "CircuitBreaker",
+    "FleetServer",
     "ModelManager",
     "ReloadResult",
     "ServeClient",
     "ServeConfig",
     "ServerStats",
+    "ShmModelManager",
     "TKDCServer",
+    "WorkerFleet",
     "calibrate",
     "probe_queries",
+    "run_worker",
     "serve",
+    "serve_fleet",
 ]

@@ -11,6 +11,7 @@ socket timeout) do raise.
 from __future__ import annotations
 
 import json
+import socket
 import time
 from http.client import HTTPConnection
 
@@ -23,11 +24,18 @@ class ServeClient:
         self.port = port
         self.timeout = timeout
 
+    def _connect(self) -> HTTPConnection:
+        """Fresh connection with Nagle disabled (small-payload latency)."""
+        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        connection.connect()
+        connection.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return connection
+
     def request(
         self, method: str, path: str, body: dict | None = None
     ) -> tuple[int, dict]:
         """One HTTP exchange; returns ``(status, json_payload)``."""
-        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        connection = self._connect()
         try:
             payload = None
             headers = {}
@@ -51,7 +59,7 @@ class ServeClient:
         For text endpoints like ``/metrics`` where the Prometheus
         exposition format must be preserved verbatim.
         """
-        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        connection = self._connect()
         try:
             connection.request(method, path)
             response = connection.getresponse()

@@ -70,6 +70,19 @@ class ServeConfig:
         and the hot-reload canary classification.
     probe_seed:
         Seed for generating both probe workloads from the model.
+    workers:
+        Serving processes. 1 (the default) is the single-process daemon
+        exactly as before; >1 starts the pre-forked fleet behind the
+        router (:mod:`repro.serve.router`) with the model shared over
+        shared memory. Linux-oriented — see ``docs/serving.md``.
+    heartbeat_interval:
+        Seconds between router health probes of each worker.
+    heartbeat_misses:
+        Consecutive failed probes before a worker is declared dead and
+        respawned (a crashed process is respawned immediately).
+    worker_startup_timeout:
+        Seconds the router waits for a spawned worker to announce
+        readiness before giving up on it.
     """
 
     host: str = "127.0.0.1"
@@ -94,6 +107,10 @@ class ServeConfig:
     calibration_queries: int = 256
     canary_queries: int = 32
     probe_seed: int = 0
+    workers: int = 1
+    heartbeat_interval: float = 0.5
+    heartbeat_misses: int = 3
+    worker_startup_timeout: float = 60.0
 
     def __post_init__(self) -> None:
         if self.port < 0 or self.port > 65535:
@@ -165,6 +182,21 @@ class ServeConfig:
         if self.canary_queries < 1:
             raise ValueError(
                 f"canary_queries must be >= 1, got {self.canary_queries}"
+            )
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.heartbeat_interval <= 0:
+            raise ValueError(
+                f"heartbeat_interval must be positive, got {self.heartbeat_interval}"
+            )
+        if self.heartbeat_misses < 1:
+            raise ValueError(
+                f"heartbeat_misses must be >= 1, got {self.heartbeat_misses}"
+            )
+        if self.worker_startup_timeout <= 0:
+            raise ValueError(
+                f"worker_startup_timeout must be positive, "
+                f"got {self.worker_startup_timeout}"
             )
 
     def with_updates(self, **changes: object) -> "ServeConfig":

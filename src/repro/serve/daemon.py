@@ -96,6 +96,11 @@ class _Handler(BaseHTTPRequestHandler):
 
     server: "TKDCServer"
     protocol_version = "HTTP/1.1"
+    # Small request/response pairs on keep-alive connections are exactly
+    # the Nagle/delayed-ACK interaction case; answer latency should be
+    # classify time, not TCP timer time. Matters doubly for the fleet
+    # router's extra loopback hop (repro.serve.router).
+    disable_nagle_algorithm = True
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         log.debug("%s %s", self.address_string(), format % args)
@@ -571,9 +576,15 @@ def serve(
     """Load a model, start the daemon, and block until drained.
 
     The CLI entry point (``repro serve``). Returns 0 after a graceful
-    shutdown.
+    shutdown. With ``config.workers > 1`` this becomes the pre-forked
+    fleet router (:mod:`repro.serve.router`) instead of the in-process
+    daemon; the endpoint surface is identical either way.
     """
     config = config if config is not None else ServeConfig()
+    if config.workers > 1:
+        from repro.serve.router import serve_fleet
+
+        return serve_fleet(model_path, config, install_signals=install_signals)
     manager = ModelManager(model_path, config)
     server = TKDCServer(manager)
     if install_signals:

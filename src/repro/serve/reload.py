@@ -58,6 +58,25 @@ class CanaryError(RuntimeError):
     """A candidate model deserialized but failed its canary checks."""
 
 
+def prepare_classifier(classifier: TKDCClassifier) -> TKDCClassifier:
+    """Pin serving-safe config and pre-build shared read-only state.
+
+    Used by the single-process manager and the fleet router alike, so a
+    model serves under identical semantics in both modes.
+    """
+    if not classifier.is_fitted:
+        raise ValueError("model file contains an unfitted classifier")
+    # flag: bad rows become UNCERTAIN instead of batch-level errors;
+    # n_jobs=1: request concurrency comes from handler threads (or the
+    # worker fleet), not a per-request process pool.
+    classifier.config = classifier.config.with_updates(
+        query_policy="flag", n_jobs=1
+    )
+    # Build the flat tree once before threads share the object.
+    classifier.tree.flatten()
+    return classifier
+
+
 @dataclass(frozen=True)
 class ReloadResult:
     """Outcome of one reload attempt (JSON-ready via ``as_dict``)."""
@@ -97,6 +116,7 @@ class ModelManager:
         config: ServeConfig,
         stats: ServerStats | None = None,
         classifier: TKDCClassifier | None = None,
+        calibration: BudgetCalibration | None = None,
     ) -> None:
         self.config = config
         self.stats = stats if stats is not None else ServerStats()
@@ -111,7 +131,10 @@ class ModelManager:
         else:
             self.model_path = Path(model_path)
         self._classifier = self._prepare(classifier)
-        self.calibration = calibrate(
+        # Fleet workers inject the router-measured calibration (shipped
+        # via the shm manifest) so the fleet boots with one measurement
+        # and every worker maps deadlines to budgets identically.
+        self.calibration = calibration if calibration is not None else calibrate(
             self._classifier, config.calibration_queries, seed=config.probe_seed
         )
         log.info(
@@ -217,17 +240,7 @@ class ModelManager:
 
     def _prepare(self, classifier: TKDCClassifier) -> TKDCClassifier:
         """Pin serving-safe config and pre-build shared read-only state."""
-        if not classifier.is_fitted:
-            raise ValueError("model file contains an unfitted classifier")
-        # flag: bad rows become UNCERTAIN instead of batch-level errors;
-        # n_jobs=1: request concurrency comes from handler threads, not
-        # a per-request process pool.
-        classifier.config = classifier.config.with_updates(
-            query_policy="flag", n_jobs=1
-        )
-        # Build the flat tree once before threads share the object.
-        classifier.tree.flatten()
-        return classifier
+        return prepare_classifier(classifier)
 
     def _canary(self, candidate: TKDCClassifier) -> None:
         """Held-out probe classification a candidate must survive."""

@@ -1,0 +1,163 @@
+"""One serving-fleet worker process (``repro serve-worker``).
+
+A worker is the *existing* single-process daemon — same admission
+control, deadline→budget mapping, watchdog, breaker, drain — with two
+substitutions made by :class:`ShmModelManager`:
+
+- the model comes from the shared-memory plane (:mod:`repro.serve.plane`)
+  instead of a pickle file, so N workers cost one copy of the index; and
+- the deadline→budget calibration is read from the manifest instead of
+  re-measured, so fleet boot is O(1) calibrations and every worker maps
+  deadlines identically.
+
+Hot reload keeps its canary/rollback shape: ``/admin/reload`` with a
+manifest path attaches the *candidate* generation, runs the same canary
+probe workload through it, and only then swaps — a failed attach or
+canary leaves the worker serving the previous generation untouched.
+
+Startup protocol: the worker binds an ephemeral port and announces it on
+stdout as ``REPRO_WORKER_READY port=<port> pid=<pid>`` — the router
+parses that line and only then routes traffic. SIGTERM drains
+gracefully, exactly like the single-process daemon.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+from pathlib import Path
+
+from repro.core.stats import TraversalStats
+from repro.index.shm import ShmManifestError, TreeAttachment
+from repro.serve.config import ServeConfig
+from repro.serve.daemon import TKDCServer, install_signal_handlers
+from repro.serve.plane import attach_classifier, calibration_from_manifest
+from repro.serve.reload import ModelManager, ReloadResult
+from repro.serve.stats import ServerStats
+
+log = logging.getLogger("repro.serve")
+
+#: Stdout readiness announcement prefix the router parses.
+READY_PREFIX = "REPRO_WORKER_READY"
+
+
+class ShmModelManager(ModelManager):
+    """A :class:`ModelManager` whose models live on the shm plane.
+
+    ``reload`` attaches a manifest (the candidate generation during a
+    fleet rollout, or the live manifest on SIGHUP/respawn) instead of
+    loading a pickle; the verify→canary→swap protocol and its rollback
+    guarantee are otherwise identical to the file-based manager.
+    """
+
+    def __init__(
+        self,
+        manifest_path: Path | str,
+        config: ServeConfig,
+        stats: ServerStats | None = None,
+    ) -> None:
+        classifier, attachment, manifest = attach_classifier(manifest_path)
+        #: The live-manifest location; ``reload(None)`` re-reads it, so a
+        #: SIGHUP after the router's atomic manifest swap picks up the
+        #: new generation.
+        self.manifest_path = Path(manifest_path)
+        self.manifest = manifest
+        self._attachment: TreeAttachment = attachment
+        super().__init__(
+            manifest.extras.get("source_model") or manifest_path,
+            config,
+            stats=stats,
+            classifier=classifier,
+            calibration=calibration_from_manifest(manifest),
+        )
+
+    def reload(self, path: Path | str | None = None) -> ReloadResult:
+        """Attach→canary→swap against a manifest; rollback on failure."""
+        requested = Path(path) if path is not None else self.manifest_path
+        try:
+            candidate, attachment, manifest = attach_classifier(requested)
+        except Exception as exc:
+            return self._refused(requested, "attach", exc)
+        try:
+            candidate = self._prepare(candidate)
+            self._canary(candidate)
+            calibration = calibration_from_manifest(manifest)
+        except Exception as exc:
+            attachment.close()
+            return self._refused(requested, "canary", exc)
+        with self._lock:
+            previous = self._attachment
+            self._classifier = candidate
+            self.calibration = calibration
+            self._attachment = attachment
+            self.manifest = manifest
+            self.model_path = Path(
+                manifest.extras.get("source_model") or requested
+            )
+            self._traversal_totals = TraversalStats()
+        # In-flight requests may still hold views into the previous
+        # generation's mappings; close() tolerates that (the pages are
+        # released when the last view dies), so this never races them.
+        previous.close()
+        self.stats.bump("reloads_ok")
+        log.info(
+            "worker re-attached generation %s (threshold=%.6g)",
+            manifest.generation, candidate.threshold.value,
+        )
+        return ReloadResult(
+            ok=True,
+            stage="swapped",
+            model_path=str(self.model_path),
+            threshold=float(candidate.threshold.value),
+            expansions_per_second=calibration.expansions_per_second,
+        )
+
+    def close(self) -> None:
+        """Release the live mapping (shutdown path; never unlinks)."""
+        self._attachment.close()
+
+
+def run_worker(
+    manifest_path: Path | str,
+    config: ServeConfig,
+    worker_index: int = 0,
+    announce: bool = True,
+) -> int:
+    """Worker process entry: attach, serve, drain. Returns exit code."""
+    manager = ShmModelManager(manifest_path, config)
+    server = TKDCServer(manager)
+    install_signal_handlers(server)
+    if announce:
+        print(
+            f"{READY_PREFIX} port={server.port} pid={os.getpid()} "
+            f"index={worker_index} generation={manager.manifest.generation}",
+            flush=True,
+        )
+    try:
+        server.serve_forever(poll_interval=0.1)
+    finally:
+        server.server_close()
+        manager.close()
+    return 0
+
+
+def main(args) -> int:
+    """``repro serve-worker`` entry (spawned by the router, not users)."""
+    try:
+        overrides = json.loads(args.config_json) if args.config_json else {}
+        if not isinstance(overrides, dict):
+            raise ValueError("--config-json must be a JSON object")
+        config = ServeConfig(**overrides).with_updates(port=0, workers=1)
+    except (ValueError, TypeError) as exc:
+        print(f"serve-worker: bad --config-json: {exc}", flush=True)
+        return 2
+    try:
+        return run_worker(args.manifest, config, worker_index=args.worker_index)
+    except (ShmManifestError, OSError) as exc:
+        print(
+            f"serve-worker: cannot attach {args.manifest}: "
+            f"{type(exc).__name__}: {exc}",
+            flush=True,
+        )
+        return 1

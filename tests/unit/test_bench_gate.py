@@ -40,7 +40,36 @@ def canned_coreset_row(agreement: float = 1.0) -> dict:
     }
 
 
-def write_baseline(directory, smoke_rows, coreset_agreement: float = 1.0) -> None:
+def canned_serving_report(
+    cpu_count: int = 8,
+    scaling_ratio: float = 3.1,
+    balanced: bool = True,
+    include_scaling: bool = True,
+) -> dict:
+    report: dict = {
+        "benchmark": "serving",
+        "accounting": {
+            "submitted": 400,
+            "terminal": 400 if balanced else 399,
+            "balanced": balanced,
+        },
+    }
+    if include_scaling:
+        report["fleet_scaling"] = {
+            "cpu_count": cpu_count,
+            "max_workers": 4,
+            "scaling_ratio": scaling_ratio,
+            "points": [],
+        }
+    return report
+
+
+def write_baseline(
+    directory,
+    smoke_rows,
+    coreset_agreement: float = 1.0,
+    serving: dict | None = None,
+) -> None:
     (directory / "BENCH_batch_traversal.json").write_text(json.dumps({
         "benchmark": "batch_traversal", "rows": smoke_rows,
     }))
@@ -51,6 +80,9 @@ def write_baseline(directory, smoke_rows, coreset_agreement: float = 1.0) -> Non
             "agreement_outside_band": coreset_agreement,
         }],
     }))
+    (directory / "BENCH_serving.json").write_text(json.dumps(
+        serving if serving is not None else canned_serving_report()
+    ))
 
 
 @pytest.fixture
@@ -150,6 +182,93 @@ class TestGateFails:
         write_baseline(tmp_path, rows)
         assert gate.main(["--baseline-dir", str(tmp_path)]) == 1
         assert "FAILED" in capsys.readouterr().err
+
+
+class TestServingChecks:
+    """The committed BENCH_serving.json validation (no fresh measurement)."""
+
+    def _serving_checks(self, tmp_path, serving: dict) -> dict:
+        write_baseline(tmp_path, canned_smoke_rows(), serving=serving)
+        checks = gate.run_gate(baseline_dir=tmp_path)
+        return {c.name: c for c in checks}
+
+    def test_healthy_report_passes(self, tmp_path, canned_measurements):
+        checks = self._serving_checks(tmp_path, canned_serving_report())
+        assert checks["serving_accounting_balanced"].ok
+        assert checks["fleet_throughput_scaling"].ok
+
+    def test_flat_scaling_on_big_machine_fails(
+        self, tmp_path, canned_measurements
+    ):
+        checks = self._serving_checks(
+            tmp_path, canned_serving_report(cpu_count=8, scaling_ratio=1.0)
+        )
+        check = checks["fleet_throughput_scaling"]
+        assert not check.ok
+        assert check.reference == pytest.approx(2.5)
+
+    def test_single_core_only_needs_no_collapse(
+        self, tmp_path, canned_measurements
+    ):
+        checks = self._serving_checks(
+            tmp_path, canned_serving_report(cpu_count=1, scaling_ratio=0.9)
+        )
+        check = checks["fleet_throughput_scaling"]
+        assert check.ok
+        assert check.reference == pytest.approx(0.8)
+
+    def test_single_core_collapse_still_fails(
+        self, tmp_path, canned_measurements
+    ):
+        checks = self._serving_checks(
+            tmp_path, canned_serving_report(cpu_count=1, scaling_ratio=0.5)
+        )
+        assert not checks["fleet_throughput_scaling"].ok
+
+    def test_two_core_floor_is_intermediate(
+        self, tmp_path, canned_measurements
+    ):
+        passing = self._serving_checks(
+            tmp_path, canned_serving_report(cpu_count=2, scaling_ratio=1.4)
+        )
+        assert passing["fleet_throughput_scaling"].ok
+        failing = self._serving_checks(
+            tmp_path, canned_serving_report(cpu_count=2, scaling_ratio=1.2)
+        )
+        assert not failing["fleet_throughput_scaling"].ok
+
+    def test_unbalanced_accounting_fails(self, tmp_path, canned_measurements):
+        checks = self._serving_checks(
+            tmp_path, canned_serving_report(balanced=False)
+        )
+        assert not checks["serving_accounting_balanced"].ok
+
+    def test_missing_scaling_section_fails(
+        self, tmp_path, canned_measurements
+    ):
+        checks = self._serving_checks(
+            tmp_path, canned_serving_report(include_scaling=False)
+        )
+        failed = checks["baseline[serving.fleet_scaling]"]
+        assert not failed.ok and "bench-serving" in failed.detail
+
+    def test_missing_serving_baseline_fails(
+        self, tmp_path, canned_measurements
+    ):
+        write_baseline(tmp_path, canned_smoke_rows())
+        (tmp_path / "BENCH_serving.json").unlink()
+        checks = {c.name: c for c in gate.run_gate(baseline_dir=tmp_path)}
+        assert not checks["baseline[serving]"].ok
+
+    def test_fleet_scaling_floor_flag(self, tmp_path, canned_measurements):
+        write_baseline(
+            tmp_path, canned_smoke_rows(),
+            serving=canned_serving_report(cpu_count=8, scaling_ratio=1.5),
+        )
+        assert gate.main(["--baseline-dir", str(tmp_path)]) == 1
+        assert gate.main([
+            "--baseline-dir", str(tmp_path), "--fleet-scaling-floor", "1.2",
+        ]) == 0
 
 
 class TestTolerancesFlag:
