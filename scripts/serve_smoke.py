@@ -109,6 +109,10 @@ def single_process_phase(model_path: Path) -> int:
             return fail(f"statz: {status} {statz}", process)
         if statz["completed"] != 1 or statz["rejected"] != 1:
             return fail(f"statz counters off: {statz}", process)
+        # The smoke model is 1-dimensional with a concretely configured
+        # engine, so serving calibration must have pinned batch.
+        if statz.get("engine") != "batch":
+            return fail(f"statz engine off: {statz}", process)
 
         status, text = client.metrics()
         if status != 200:
@@ -121,6 +125,7 @@ def single_process_phase(model_path: Path) -> int:
             'tkdc_serve_events_total{event="rejected"} 1',
             "tkdc_serve_request_latency_seconds_bucket",
             "# TYPE tkdc_serve_request_latency_seconds histogram",
+            'tkdc_engine_selected_total{engine="batch",reason="configured"}',
         ):
             if needle not in text:
                 return fail(f"metrics missing {needle!r}:\n{text}", process)

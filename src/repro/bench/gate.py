@@ -24,6 +24,14 @@ machine-tolerant metrics against those baselines:
   unreachable. The serving bench itself is too heavy to re-run inside
   the gate, so this validates the committed report rather than
   measuring fresh.
+- **hbe engine** (baseline validation): the committed ``BENCH_hbe.json``
+  must show outside-band label agreement of exactly 1.0 at *every*
+  dimensionality (hard — the fall-back-on-straddle design makes parity
+  structural, so anything less is a bug, not noise) and a speedup over
+  the batch engine of at least ``hbe_speedup_floor`` (default 5x)
+  wherever hashing claims the win (d ≥ 32). Like the serving check this
+  validates the committed report; the hbe bench itself is n=50k and too
+  heavy for the gate.
 
 The same :func:`traversal_smoke_rows` produces both the baseline's
 smoke section (via ``benchmarks/bench_batch_traversal.py``) and the
@@ -80,6 +88,12 @@ class GateTolerances:
     #: no-collapse floor of 0.8x applies (a fleet that *loses* 20%+
     #: throughput to its own routing overhead is a regression anywhere).
     fleet_scaling_floor: float = 2.5
+    #: Committed hbe bench rows at d >= hbe_speedup_dim must beat the
+    #: batch engine by at least this factor.
+    hbe_speedup_floor: float = 5.0
+    #: Dimensionality from which the speedup floor applies (below it the
+    #: hbe engine only promises parity, not wins).
+    hbe_speedup_dim: int = 32
 
 
 def scaling_floor_for_cores(cpu_count: int, full_floor: float) -> float:
@@ -374,6 +388,59 @@ def _check_serving(
     return checks
 
 
+def _check_hbe(
+    baseline: dict | None, tolerances: GateTolerances
+) -> list[GateCheck]:
+    """Validate the committed hbe baseline (no fresh measurement)."""
+    if baseline is None:
+        return [GateCheck(
+            name="baseline[hbe]", ok=False,
+            measured=0.0, reference=1.0,
+            detail="BENCH_hbe.json missing from baseline dir",
+        )]
+    rows = [r for r in baseline.get("rows", ()) if "dim" in r]
+    if not rows:
+        return [GateCheck(
+            name="baseline[hbe.rows]", ok=False,
+            measured=0.0, reference=1.0,
+            detail="baseline has no rows; regenerate it with "
+                   "`make bench-hbe`",
+        )]
+    checks: list[GateCheck] = []
+    worst_agreement = min(
+        float(r.get("agreement_outside_band", 0.0)) for r in rows
+    )
+    checks.append(GateCheck(
+        name="hbe_agreement_outside_band",
+        ok=worst_agreement >= 1.0,
+        measured=worst_agreement,
+        reference=1.0,
+        detail="outside-band parity with the batch engine is structural "
+               "(straddle queries fall back to the tree) — must be "
+               "exactly 1.0 at every dimensionality",
+    ))
+    high_dim = [r for r in rows if int(r["dim"]) >= tolerances.hbe_speedup_dim]
+    if not high_dim:
+        checks.append(GateCheck(
+            name=f"baseline[hbe.d>={tolerances.hbe_speedup_dim}]", ok=False,
+            measured=0.0, reference=1.0,
+            detail="baseline has no high-dimensional rows; regenerate it "
+                   "with `make bench-hbe`",
+        ))
+        return checks
+    worst_speedup = min(float(r.get("speedup_vs_batch", 0.0)) for r in high_dim)
+    checks.append(GateCheck(
+        name="hbe_speedup_vs_batch",
+        ok=worst_speedup >= tolerances.hbe_speedup_floor,
+        measured=worst_speedup,
+        reference=tolerances.hbe_speedup_floor,
+        detail=f"minimum over committed rows at d >= "
+               f"{tolerances.hbe_speedup_dim} "
+               f"(dims {sorted(int(r['dim']) for r in high_dim)})",
+    ))
+    return checks
+
+
 def run_gate(
     baseline_dir: Path | str = REPO_ROOT,
     tolerances: GateTolerances | None = None,
@@ -392,6 +459,9 @@ def run_gate(
         ))
     checks.extend(_check_serving(
         load_report(baseline_dir, "serving"), tolerances
+    ))
+    checks.extend(_check_hbe(
+        load_report(baseline_dir, "hbe"), tolerances
     ))
     return checks
 
@@ -432,6 +502,12 @@ def main(argv: list[str] | None = None) -> int:
         help="required fleet throughput scaling (max workers vs 1) when "
              "the baseline machine had >=4 cores; auto-relaxed below",
     )
+    parser.add_argument(
+        "--hbe-speedup-floor", type=float,
+        default=GateTolerances.hbe_speedup_floor,
+        help="required hbe-vs-batch speedup in the committed "
+             "BENCH_hbe.json at d >= 32",
+    )
     args = parser.parse_args(argv)
 
     info = build_info()
@@ -444,6 +520,7 @@ def main(argv: list[str] | None = None) -> int:
             kernels_rel_tol=args.kernels_rel_tol,
             agreement_slack=args.agreement_slack,
             fleet_scaling_floor=args.fleet_scaling_floor,
+            hbe_speedup_floor=args.hbe_speedup_floor,
         ),
         seed=args.seed,
         skip_coreset=args.skip_coreset,

@@ -141,7 +141,9 @@ def _add_explain_parser(subparsers: argparse._SubParsersAction) -> None:
     )
     explain.add_argument("queries", help="CSV file of query points")
     explain.add_argument("--model", required=True, help="model saved by 'tkdc fit'")
-    explain.add_argument("--engine", choices=["batch", "per-query"], default=None,
+    explain.add_argument("--engine",
+                         choices=["batch", "per-query", "hbe", "auto"],
+                         default=None,
                          help="traversal engine (default: the model's choice)")
     explain.add_argument("--limit", type=int, default=10,
                          help="queries rendered in full (0 = all)")
@@ -165,7 +167,9 @@ def _add_metrics_dump_parser(subparsers: argparse._SubParsersAction) -> None:
     dump.add_argument("--model", default=None, help="model saved by 'tkdc fit'")
     dump.add_argument("--queries", default=None,
                       help="CSV of query points to classify before dumping")
-    dump.add_argument("--engine", choices=["batch", "per-query"], default=None)
+    dump.add_argument("--engine",
+                      choices=["batch", "per-query", "hbe", "auto"],
+                      default=None)
     dump.add_argument("--header", action="store_true", help="CSV has a header row")
 
 

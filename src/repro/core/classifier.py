@@ -34,6 +34,8 @@ from repro.core.batch_bounds import bound_densities
 from repro.core.bounds import bound_density
 from repro.core.config import ENGINES, TKDCConfig
 from repro.coresets.base import Coreset, build_coreset
+from repro.estimators.hbe import HbeIndex
+from repro.estimators.select import select_engine
 from repro.core.grid import GridCache
 from repro.core.result import (
     ClassificationResult,
@@ -47,7 +49,13 @@ from repro.index.kdtree import KDTree
 from repro.kernels.base import Kernel
 from repro.kernels.factory import kernel_for_data
 from repro.obs.explain import explain_traces
-from repro.obs.metrics import CLASSIFY_SECONDS, GRID_HITS_TOTAL
+from repro.obs.metrics import (
+    CLASSIFY_SECONDS,
+    GRID_HITS_TOTAL,
+    record_engine_selected,
+    record_hbe_block,
+    record_traversal_block,
+)
 from repro.obs.trace import TraceRecorder
 from repro.quantile.order_stats import quantile_of_sorted
 from repro.robustness.faults import (
@@ -173,6 +181,9 @@ class TKDCClassifier:
         self.training_labels_: np.ndarray | None = None
         self.coreset_: Coreset | None = None
         self._rule_eta = 0.0
+        self._hbe: HbeIndex | None = None
+        self.engine_selected_: str | None = None
+        self.engine_reason_: str | None = None
 
     # ------------------------------------------------------------------
     # Training
@@ -276,6 +287,26 @@ class TKDCClassifier:
         self._rule_eta = (
             eta if 0.0 < eta < config.epsilon * self._threshold.lower else 0.0
         )
+        # Resolve engine="auto" once per fit (dimension rule; the serving
+        # calibrator may re-resolve with a measured expansion rate) and
+        # drop any hbe index built for a previous training set.
+        self._hbe = None
+        self.engine_selected_, self.engine_reason_ = select_engine(
+            data.shape[1], config.kernel, config
+        )
+        if config.engine == "auto" and self.engine_selected_ == "hbe":
+            # The dimension rule says hash, but hashing is only useful if
+            # its LOW decisions are certifiable: a workload whose
+            # threshold sits below what one hash-invisible point can
+            # contribute (degenerate bandwidth — e.g. Scott's rule far
+            # above ~10 dimensions turns the KDE into a nearest-neighbour
+            # spike field) would route every would-be LOW to the tree
+            # fallback, making the hbe engine pure overhead.
+            if not self.hbe_low_certifiable():
+                self.engine_selected_ = "batch"
+                self.engine_reason_ = "degenerate_bandwidth"
+                self._hbe = None
+        record_engine_selected(self.engine_selected_, self.engine_reason_)
         return self
 
     def _make_kernel(self, data: np.ndarray) -> Kernel:
@@ -556,6 +587,40 @@ class TKDCClassifier:
                 lower[rows] = grid_bounds[certain]
                 labels[rows] = Label.HIGH
                 remaining = np.flatnonzero(~certain)
+            budget = config.max_node_expansions
+            if remaining.size and engine == "hbe":
+                decision = self._hbe_decide(
+                    scaled[remaining], threshold, self._stats, budget,
+                )
+                eta = self._rule_eta
+                decided = decision.decided
+                rows = valid_rows[remaining[decided]]
+                lower[rows] = np.maximum(decision.ci_lo[decided] - eta, 0.0)
+                upper[rows] = decision.ci_hi[decided] + eta
+                labels[rows] = _LABELS[decision.high[decided].astype(np.intp)]
+                exhausted = decision.exhausted
+                rows = valid_rows[remaining[exhausted]]
+                # Sample budget spent with no decision: the estimate
+                # carries no certified interval, so report the vacuous
+                # one — exactly the tree engines' anytime contract
+                # (degraded + straddling bounds -> UNCERTAIN under
+                # resolved_labels()).
+                lower[rows] = 0.0
+                upper[rows] = math.inf
+                labels[rows] = _LABELS[
+                    (decision.mean[exhausted] > threshold).astype(np.intp)
+                ]
+                degraded[rows] = True
+                fallback = decision.fallback_rows
+                if budget is not None and fallback.size:
+                    budget = max(
+                        int(budget)
+                        - int(decision.samples[fallback[0]])
+                        * config.hbe_sample_cost,
+                        1,
+                    )
+                remaining = remaining[fallback]
+                engine = "batch"
             if remaining.size:
                 eta = self._rule_eta
                 faults = self._traversal_injector()
@@ -568,7 +633,7 @@ class TKDCClassifier:
                         use_tolerance_rule=config.use_tolerance_rule,
                         eta=eta,
                         block_size=config.batch_block_size,
-                        max_expansions=config.max_node_expansions,
+                        max_expansions=budget,
                         guard_policy=config.guard_policy,
                         faults=faults,
                     )
@@ -659,6 +724,30 @@ class TKDCClassifier:
                     )
         if remaining.size == 0:
             return highs
+        budget = config.max_node_expansions
+        if engine == "hbe":
+            decision = self._hbe_decide(
+                scaled[remaining], threshold, stats, budget, trace=trace,
+                trace_rows=remaining,
+            )
+            decided = decision.decided
+            highs[remaining[decided]] = decision.high[decided]
+            # Budget-exhausted rows get the best-effort midpoint label,
+            # matching the tree engines' anytime semantics (the degraded
+            # flag surfaces through classify_detailed, not here).
+            exhausted = decision.exhausted
+            highs[remaining[exhausted]] = decision.mean[exhausted] > threshold
+            fallback = decision.fallback_rows
+            if fallback.size == 0:
+                return highs
+            if budget is not None:
+                budget = max(
+                    int(budget)
+                    - int(decision.samples[fallback[0]]) * config.hbe_sample_cost,
+                    1,
+                )
+            remaining = remaining[fallback]
+            engine = "batch"
         faults = self._traversal_injector()
         if engine == "batch":
             result = bound_densities(
@@ -668,7 +757,7 @@ class TKDCClassifier:
                 use_tolerance_rule=config.use_tolerance_rule,
                 eta=self._rule_eta,
                 block_size=config.batch_block_size,
-                max_expansions=config.max_node_expansions,
+                max_expansions=budget,
                 guard_policy=config.guard_policy,
                 faults=faults,
                 trace=None if trace is None else trace.view(remaining),
@@ -795,9 +884,141 @@ class TKDCClassifier:
 
     def _resolve_engine(self, engine: str | None) -> str:
         engine = self.config.engine if engine is None else engine
+        if engine == "auto":
+            engine, __ = self.auto_selection()
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
         return engine
+
+    def hbe_low_certifiable(self) -> bool:
+        """Whether the hbe engine's LOW decisions can certify here.
+
+        True when no single hash-invisible training point could exceed
+        the lower threshold band on its own (see
+        :meth:`~repro.estimators.hbe.HbeIndex.low_visibility_bound`).
+        When False the sampler would route every would-be LOW to the
+        tree fallback, so selecting hbe is pure overhead; fit-time auto
+        selection and the serving calibrator both consult this. Builds
+        the hbe index on first call (cached).
+        """
+        self._require_fitted()
+        band_lo = self._threshold.value * (1.0 - self.config.epsilon)
+        return self._ensure_hbe().low_visibility_bound() <= band_lo - self._rule_eta
+
+    def auto_selection(self) -> tuple[str, str]:
+        """The concrete ``(engine, reason)`` ``engine="auto"`` resolves to.
+
+        Uses the selection stored at fit time; recomputes from the
+        fitted dimensionality when absent (models pickled before the
+        attribute existed). For a concretely configured engine the
+        reason is ``"configured"``.
+        """
+        selected = getattr(self, "engine_selected_", None)
+        reason = getattr(self, "engine_reason_", None)
+        if selected is None or reason is None or selected == "auto":
+            selected, reason = select_engine(
+                self.kernel.dim, self.config.kernel, self.config
+            )
+        return selected, reason
+
+    def _ensure_hbe(self) -> HbeIndex:
+        """The lazily built hbe index over the (possibly coreset) tree points.
+
+        Built from ``config.seed`` and the tree's point order — both
+        deterministic — so every process that holds the same fitted
+        model (fleet workers included) reconstructs an identical index
+        and answers identically.
+        """
+        hbe = getattr(self, "_hbe", None)
+        if hbe is None:
+            config = self.config
+            tree = self.tree
+            hbe = HbeIndex(
+                tree.points,
+                tree.point_weights,
+                self.kernel,
+                tables=config.hbe_tables,
+                width=config.hbe_bucket_width,
+                depth=config.hbe_hash_depth,
+                seed=config.seed,
+                delta=config.hbe_delta if config.hbe_delta is not None else config.delta,
+                min_samples=config.hbe_min_samples,
+                batch_tables=config.hbe_batch_tables,
+                sample_cost=config.hbe_sample_cost,
+                margin=config.hbe_margin,
+            )
+            self._hbe = hbe
+        return hbe
+
+    def _hbe_decide(
+        self,
+        block: np.ndarray,
+        threshold: float,
+        stats: TraversalStats,
+        budget: int | None,
+        trace=None,
+        trace_rows: np.ndarray | None = None,
+    ):
+        """Run the hbe sampling stage over one scaled block.
+
+        Charges every table consulted into ``stats.node_expansions`` (at
+        ``hbe_sample_cost`` units each) so expansion-rate calibration and
+        deadline budgets stay coherent across engines, reports the
+        block's outcomes to the metrics registry, and records traces for
+        the queries the sampler settled. Fallback rows are *not* traced
+        or counted here — the tree engine they re-run through does both.
+        """
+        config = self.config
+        eta = self._rule_eta
+        decision = self._ensure_hbe().decide_block(
+            block, threshold, config.epsilon, eta=eta, budget=budget,
+        )
+        decided = decision.decided
+        exhausted = decision.exhausted
+        fallback = decision.fallback_rows
+        settled = decided | exhausted
+        stats.node_expansions += decision.samples_total * config.hbe_sample_cost
+        stats.kernel_evaluations += decision.samples_total
+        stats.queries += int(np.count_nonzero(settled))
+        extras = stats.extras
+        high_count = int(np.count_nonzero(decided & decision.high))
+        low_count = int(np.count_nonzero(decided & ~decision.high))
+        exhausted_count = int(np.count_nonzero(exhausted))
+        for key, value in (
+            ("hbe_samples", float(decision.samples_total)),
+            ("hbe_decided_high", float(high_count)),
+            ("hbe_decided_low", float(low_count)),
+            ("hbe_fallbacks", float(fallback.size)),
+            ("hbe_exhausted", float(exhausted_count)),
+        ):
+            if value:
+                extras[key] = extras.get(key, 0.0) + value
+        record_hbe_block(
+            decision.samples[decided],
+            decision.samples[fallback],
+            decision.samples[exhausted],
+        )
+        record_traversal_block(
+            "hbe",
+            {"hbe_high": high_count, "hbe_low": low_count,
+             "budget": exhausted_count},
+            decision.samples[settled] * config.hbe_sample_cost,
+            decision.samples_total,
+        )
+        if trace is not None and trace_rows is not None:
+            cost = config.hbe_sample_cost
+            for local in np.flatnonzero(settled):
+                if decided[local]:
+                    rule = "hbe_high" if decision.high[local] else "hbe_low"
+                else:
+                    rule = "budget"
+                trace.stop(
+                    int(trace_rows[local]), rule,
+                    f_lower=float(max(decision.ci_lo[local] - eta, 0.0)),
+                    f_upper=float(decision.ci_hi[local] + eta),
+                    expansions=int(decision.samples[local]) * cost,
+                )
+        return decision
 
     def _resolve_n_jobs(self, n_jobs: int | None) -> int:
         n_jobs = self.config.n_jobs if n_jobs is None else n_jobs
@@ -810,9 +1031,9 @@ class TKDCClassifier:
         return cores if n_jobs == -1 else min(n_jobs, cores)
 
     def measure_expansion_rate(
-        self, queries: np.ndarray, repeats: int = 1
+        self, queries: np.ndarray, repeats: int = 1, engine: str = "batch"
     ) -> tuple[float, int]:
-        """Measure traversal node expansions per second on this host.
+        """Measure work units per second on this host for one engine.
 
         Runs the standard classify pipeline over ``queries`` (fresh
         stats, in-process, current config) ``repeats`` times and returns
@@ -825,7 +1046,10 @@ class TKDCClassifier:
         The measurement deliberately includes grid-cache shortcuts and
         pruning: the rate describes expansions per wall-clock second of
         the *real* pipeline, which is exactly the quantity a deadline
-        must be converted through. A calibration workload whose queries
+        must be converted through. The hbe engine charges its LSH
+        samples into the same counter (at ``hbe_sample_cost`` units
+        each), so passing ``engine="hbe"`` yields that pipeline's rate
+        in the identical currency. A calibration workload whose queries
         all short-circuit yields ``expansions_observed == 0``; callers
         must treat the rate as unusable then (the serving layer falls
         back to a conservative floor).
@@ -833,6 +1057,7 @@ class TKDCClassifier:
         self._require_fitted()
         if repeats < 1:
             raise ValueError(f"repeats must be >= 1, got {repeats}")
+        engine = self._resolve_engine(engine)
         matrix, invalid = self._as_query_matrix(queries)
         valid = matrix[~invalid]
         if valid.shape[0] == 0:
@@ -842,7 +1067,7 @@ class TKDCClassifier:
         start = time.perf_counter()
         for __ in range(repeats):
             self._classify_scaled_block(
-                scaled, self.threshold.value, stats, engine="batch"
+                scaled, self.threshold.value, stats, engine=engine
             )
         elapsed = time.perf_counter() - start
         if stats.node_expansions <= 0 or elapsed <= 0.0:
@@ -928,7 +1153,9 @@ class TKDCClassifier:
         scaled = self.kernel.scale(queries)
         threshold = self.threshold.value
         eta = self._rule_eta
-        if self._resolve_engine(engine) == "batch":
+        # The hbe sampler answers band membership, not eps-precise
+        # intervals; bounds requests route through the batch tree.
+        if self._resolve_engine(engine) in ("batch", "hbe"):
             result = bound_densities(
                 self.tree.flatten(), self.kernel, scaled, threshold, threshold,
                 self.config.epsilon, self._stats,
@@ -978,7 +1205,9 @@ class TKDCClassifier:
         # With the applied eta shrinking the tolerance width to
         # eps*t - 2*eta, the compressed midpoint still lands within
         # eps*t/2 of the full-data density: width/2 + eta <= eps*t/2.
-        if self._resolve_engine(engine) == "batch":
+        # hbe routes through the batch tree: sampling cannot deliver
+        # the tolerance rule's uniform precision.
+        if self._resolve_engine(engine) in ("batch", "hbe"):
             result = bound_densities(
                 self.tree.flatten(), self.kernel, scaled, threshold, threshold,
                 self.config.epsilon, self._stats,

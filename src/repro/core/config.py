@@ -17,10 +17,16 @@ from repro.robustness.faults import FaultPlan
 from repro.robustness.guards import GUARD_POLICIES
 from repro.validation import QUERY_POLICIES
 
-#: Traversal engines: "batch" is the vectorized multi-query engine
+#: Concrete engines: "batch" is the vectorized multi-query tree engine
 #: (repro.core.batch_bounds), "per-query" the reference priority-queue
-#: implementation (repro.core.bounds).
-ENGINES = ("batch", "per-query")
+#: implementation (repro.core.bounds), "hbe" the hashing-based estimator
+#: for high dimensions (repro.estimators.hbe) with tree fallback.
+ENGINES = ("batch", "per-query", "hbe")
+
+#: What ``config.engine`` accepts: any concrete engine, or "auto" to let
+#: :func:`repro.estimators.select.select_engine` pick from the fitted
+#: dimensionality (and, when serving, the measured expansion rate).
+ENGINE_CHOICES = ENGINES + ("auto",)
 
 
 @dataclass(frozen=True)
@@ -73,10 +79,52 @@ class TKDCConfig:
         p-quantile of those bounded densities; when False the bootstrap's
         probabilistic bounds are used directly (cheaper, slightly looser).
     engine:
-        Traversal engine: ``"batch"`` (default) vectorizes Algorithm 2
+        Query engine: ``"batch"`` (default) vectorizes Algorithm 2
         across blocks of queries over the flattened tree;
-        ``"per-query"`` is the reference priority-queue implementation.
-        Both produce the same labels and prune outcomes.
+        ``"per-query"`` is the reference priority-queue implementation
+        (same labels and prune outcomes as batch); ``"hbe"`` is the
+        hashing-based estimator (:mod:`repro.estimators.hbe`) — LSH
+        importance sampling that answers a query as soon as its
+        confidence interval clears the threshold band and falls back
+        to the batch tree engine otherwise; ``"auto"`` picks hbe vs.
+        batch from the fitted dimensionality (``hbe_auto_dim``) and,
+        in the serving stack, the measured expansion rate.
+    hbe_tables:
+        Number of E2LSH tables (= max density samples per query) the
+        hbe engine builds.
+    hbe_hash_depth:
+        Concatenated hashes per table (E2LSH ``k``); ``None`` (default)
+        auto-tunes the smallest depth whose expected query-bucket
+        occupancy falls below ~8 points, which keeps estimator variance
+        flat across dimensionalities.
+    hbe_bucket_width:
+        LSH bucket width ``w`` in bandwidth-scaled space.
+    hbe_delta:
+        Per-query failure probability of the hbe confidence interval;
+        CI-decided labels are correct at level ``1 - hbe_delta`` (the
+        tree fallback path stays deterministic). ``None`` (default)
+        reuses ``delta``.
+    hbe_min_samples:
+        Tables consulted before the first decision attempt (floor on
+        the normal-CI sample count).
+    hbe_batch_tables:
+        Tables sampled between decision checks; larger chunks amortize
+        lookup overhead, smaller ones exit earlier.
+    hbe_sample_cost:
+        ``max_node_expansions`` budget units charged per table
+        consulted, so anytime deadlines price hbe sampling and tree
+        expansion in one currency.
+    hbe_margin:
+        Decision robustness factor: besides the CI clearing the band,
+        the point estimate must clear it by this multiple. Guards the
+        heavy-tailed sampler against variance underestimation; queries
+        within the margin fall back to the tree.
+    hbe_auto_dim:
+        ``engine="auto"`` picks hbe at or above this dimensionality.
+    hbe_auto_expansion_fraction:
+        Below ``hbe_auto_dim``, auto still switches to hbe when a
+        measured traversal expands at least this fraction of the index
+        per query (pruning is not working).
     n_jobs:
         Worker processes for ``classify`` with the batch engine. 1
         (default) stays in-process; -1 uses every available core.
@@ -168,6 +216,16 @@ class TKDCConfig:
     normalize_densities: bool = True
     refine_threshold: bool = True
     engine: str = "batch"
+    hbe_tables: int = 64
+    hbe_hash_depth: int | None = None
+    hbe_bucket_width: float = 3.0
+    hbe_delta: float | None = None
+    hbe_min_samples: int = 16
+    hbe_batch_tables: int = 8
+    hbe_sample_cost: int = 1
+    hbe_margin: float = 4.0
+    hbe_auto_dim: int = 16
+    hbe_auto_expansion_fraction: float = 0.25
     n_jobs: int = 1
     batch_block_size: int = 2048
     coreset: str | None = None
@@ -209,8 +267,49 @@ class TKDCConfig:
             raise ValueError(f"h_buffer must be >= 1, got {self.h_buffer}")
         if self.h_growth <= 1.0:
             raise ValueError(f"h_growth must exceed 1, got {self.h_growth}")
-        if self.engine not in ENGINES:
-            raise ValueError(f"unknown engine {self.engine!r}; choose from {ENGINES}")
+        if self.engine not in ENGINE_CHOICES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; choose from {ENGINE_CHOICES}"
+            )
+        if self.hbe_tables < 1:
+            raise ValueError(f"hbe_tables must be >= 1, got {self.hbe_tables}")
+        if self.hbe_hash_depth is not None and self.hbe_hash_depth < 1:
+            raise ValueError(
+                f"hbe_hash_depth must be >= 1 or None, got {self.hbe_hash_depth}"
+            )
+        if self.hbe_bucket_width <= 0:
+            raise ValueError(
+                f"hbe_bucket_width must be positive, got {self.hbe_bucket_width}"
+            )
+        if self.hbe_delta is not None and not 0.0 < self.hbe_delta < 1.0:
+            raise ValueError(
+                f"hbe_delta must be in (0, 1) or None, got {self.hbe_delta}"
+            )
+        if self.hbe_min_samples < 1:
+            raise ValueError(
+                f"hbe_min_samples must be >= 1, got {self.hbe_min_samples}"
+            )
+        if self.hbe_batch_tables < 1:
+            raise ValueError(
+                f"hbe_batch_tables must be >= 1, got {self.hbe_batch_tables}"
+            )
+        if self.hbe_sample_cost < 1:
+            raise ValueError(
+                f"hbe_sample_cost must be >= 1, got {self.hbe_sample_cost}"
+            )
+        if self.hbe_margin < 1.0:
+            raise ValueError(
+                f"hbe_margin must be >= 1, got {self.hbe_margin}"
+            )
+        if self.hbe_auto_dim < 1:
+            raise ValueError(
+                f"hbe_auto_dim must be >= 1, got {self.hbe_auto_dim}"
+            )
+        if not 0.0 < self.hbe_auto_expansion_fraction <= 1.0:
+            raise ValueError(
+                "hbe_auto_expansion_fraction must be in (0, 1], "
+                f"got {self.hbe_auto_expansion_fraction}"
+            )
         if self.n_jobs == 0 or self.n_jobs < -1:
             raise ValueError(f"n_jobs must be >= 1 or -1, got {self.n_jobs}")
         if self.batch_block_size < 1:

@@ -1,0 +1,29 @@
+"""Hashing-based density estimators (Charikar–Siminelakis HBE).
+
+The tree engines' pruning cost grows as O(n^((d-1)/d)), so d >~ 10
+workloads degrade toward exact KDE. This package adds the third engine:
+Euclidean-LSH tables bucket the (optionally coreset-compressed,
+weighted) training set, and importance-sampled collision draws give
+unbiased density estimates with a running confidence interval. The
+classifier answers HIGH/LOW as soon as the interval clears the
+(eta-widened) threshold band and falls back to the batch tree engine
+for everything else, so labels stay certified on the outside-band set.
+
+- :mod:`repro.estimators.lsh` — E2LSH tables, collision probabilities,
+  deterministic per-bucket representatives.
+- :mod:`repro.estimators.hbe` — the estimator: per-table samples,
+  running CI, band decisions, budget accounting.
+- :mod:`repro.estimators.select` — the ``engine="auto"`` policy.
+"""
+
+from repro.estimators.hbe import HbeBlockDecision, HbeIndex
+from repro.estimators.lsh import LshTables, collision_probability
+from repro.estimators.select import select_engine
+
+__all__ = [
+    "HbeBlockDecision",
+    "HbeIndex",
+    "LshTables",
+    "collision_probability",
+    "select_engine",
+]

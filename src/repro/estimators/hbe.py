@@ -1,0 +1,348 @@
+"""Hashing-Based Estimator (Charikar–Siminelakis) threshold classification.
+
+Each E2LSH table yields one unbiased density sample per query: if the
+query's bucket in table ``t`` holds total mass ``W_B`` and its build-time
+representative is training point ``x`` at scaled distance ``c``, then
+
+    Z_t = (W_B / W) * K(c) / p_k(c)
+
+where ``p_k`` is the table's collision probability at distance ``c``
+(:func:`repro.estimators.lsh.collision_probability`) and ``W`` the total
+training mass. ``E[Z_t] = (1/W) * sum_i w_i K(c_i)`` — exactly the
+density the tree engines bound, so the two engines price queries in the
+same currency. Samples are independent across tables, so a running
+normal confidence interval over the tables consulted so far brackets the
+density at level ``1 - delta``.
+
+The classifier uses the interval for *band decisions only*: a query is
+answered HIGH as soon as ``ci_lo - eta > t(1+eps)`` and LOW as soon as
+``ci_hi + eta < t(1-eps)``. A query whose interval still straddles the
+band after every table — which includes every query whose true density
+is actually near the band, since those need more precision than the
+interval can reach — is handed back undecided, and the caller routes it
+through the batch tree engine, whose arithmetic is bit-identical to a
+pure-tree run. Certification on the outside-band set is therefore
+inherited from the fallback for hard queries and holds at level
+``1 - delta`` for the CI-decided easy ones (the same probabilistic
+flavour as the uniform coreset certificate).
+
+Budget accounting: each table consulted charges
+``config.hbe_sample_cost`` units of the ``max_node_expansions`` anytime
+currency, so deadline-derived budgets and the serve calibrator's
+expansions-per-second rate stay meaningful for this engine. A query that
+exhausts the budget undecided is flagged ``exhausted`` and must surface
+as degraded/UNCERTAIN upstream — never a silent best-effort label.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.estimators.lsh import (
+    LshTables,
+    collision_probability,
+    normal_upper_quantile,
+)
+from repro.kernels.base import Kernel
+
+__all__ = ["HbeBlockDecision", "HbeIndex"]
+
+
+@dataclass
+class HbeBlockDecision:
+    """Per-query outcome of one :meth:`HbeIndex.decide_block` pass.
+
+    ``mean``/``ci_lo``/``ci_hi`` estimate the *indexed* density (the
+    sketch density under compression) without any eta adjustment —
+    callers widen for reporting exactly like the tree path does.
+    ``decided`` rows carry a certified-at-level-``1-delta`` label in
+    ``high``; undecided rows must either fall back to a tree traversal
+    (``exhausted`` False) or surface as degraded (``exhausted`` True:
+    the anytime budget cannot pay for another sample, let alone a
+    traversal).
+    """
+
+    decided: np.ndarray  #: (q,) bool — CI cleared the band
+    high: np.ndarray  #: (q,) bool — label for decided rows
+    mean: np.ndarray  #: (q,) running density estimate
+    ci_lo: np.ndarray  #: (q,) lower confidence limit (>= 0)
+    ci_hi: np.ndarray  #: (q,) upper confidence limit
+    samples: np.ndarray  #: (q,) int — tables consulted per query
+    exhausted: np.ndarray  #: (q,) bool — undecided with no budget left
+
+    @property
+    def samples_total(self) -> int:
+        """Total table consultations across the block (for budgets/stats)."""
+        return int(self.samples.sum())
+
+    @property
+    def fallback_rows(self) -> np.ndarray:
+        """Row indices that must be re-run through the tree engine."""
+        return np.flatnonzero(~self.decided & ~self.exhausted)
+
+
+class HbeIndex:
+    """LSH tables plus the sampling/decision loop for one fitted model.
+
+    Parameters mirror the ``hbe_*`` knobs on
+    :class:`~repro.core.config.TKDCConfig`; the classifier builds one
+    lazily from its (possibly coreset-compressed) tree points on the
+    first hbe classification. Construction is deterministic in ``seed``,
+    which is what lets every fleet worker rebuild an identical index
+    from the published skeleton instead of shipping the tables.
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        weights: np.ndarray | None,
+        kernel: Kernel,
+        tables: int = 64,
+        width: float = 3.0,
+        depth: int | None = None,
+        seed: int | None = 0,
+        delta: float = 0.01,
+        min_samples: int = 16,
+        batch_tables: int = 8,
+        sample_cost: int = 1,
+        margin: float = 4.0,
+    ) -> None:
+        if not 0.0 < delta < 1.0:
+            raise ValueError(f"delta must be in (0, 1), got {delta}")
+        if min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1, got {min_samples}")
+        if batch_tables < 1:
+            raise ValueError(f"batch_tables must be >= 1, got {batch_tables}")
+        if sample_cost < 1:
+            raise ValueError(f"sample_cost must be >= 1, got {sample_cost}")
+        if margin < 1.0:
+            raise ValueError(f"margin must be >= 1, got {margin}")
+        self.kernel = kernel
+        self.tables = LshTables(
+            points, weights, tables=tables, width=width, depth=depth, seed=seed
+        )
+        self.delta = float(delta)
+        self.min_samples = int(min(min_samples, tables))
+        self.batch_tables = int(batch_tables)
+        self.sample_cost = int(sample_cost)
+        self.margin = float(margin)
+        # Two-sided z at level 1 - delta; computed once at build.
+        self.z_value = normal_upper_quantile(0.5 * delta)
+
+    @property
+    def n_tables(self) -> int:
+        return self.tables.n_tables
+
+    def visibility_distance(self, tables_consulted: int | None = None) -> float:
+        """Largest scaled distance seen reliably in ``tables_consulted`` tables.
+
+        A training point at distance ``c`` from a query is missed by
+        every one of ``m`` independent tables with probability
+        ``(1 - p_k(c))^m``; the horizon is the distance where that miss
+        probability reaches the index's ``delta`` — past it, the point
+        plausibly never surfaces in any sample, at exactly the
+        confidence level the CI decisions claim. ``None`` uses the full
+        table count (the widest horizon the index can ever reach).
+        Found by bisection on the monotone collision probability.
+        """
+        m = (
+            self.n_tables
+            if tables_consulted is None
+            else max(int(tables_consulted), 1)
+        )
+        # (1 - p)^m <= delta  <=>  p >= 1 - delta^(1/m)
+        target = 1.0 - self.delta ** (1.0 / m)
+        if target >= 1.0:
+            return 0.0
+        lo, hi = 0.0, self.tables.width
+        while collision_probability(
+            np.array([hi]), self.tables.width, self.tables.depth
+        )[0] > target:
+            hi *= 2.0
+            if hi > 1e6:
+                return hi
+        for __ in range(80):
+            mid = 0.5 * (lo + hi)
+            p = collision_probability(
+                np.array([mid]), self.tables.width, self.tables.depth
+            )[0]
+            if p > target:
+                lo = mid
+            else:
+                hi = mid
+        return 0.5 * (lo + hi)
+
+    def low_visibility_bound(self, tables_consulted: int | None = None) -> float:
+        """Density one point *invisible at this sample count* could carry.
+
+        The heaviest training point, sitting just past
+        :meth:`visibility_distance`, adds ``w_max * K(c_vis) / W`` to the
+        true density while plausibly never appearing in any of the
+        tables consulted so far — the sampler's mean and CI are blind to
+        it. A LOW decision at ``tables_consulted`` samples is only
+        certifiable when this bound is below the lower threshold band;
+        the horizon widens (and the bound falls) as more tables are
+        consulted, so hard LOWs unlock later in the sampling loop or —
+        in degenerate-bandwidth workloads whose density one nearest
+        neighbour dominates, e.g. Scott's rule far above ~10 dimensions
+        — never, routing them to the tree fallback instead of risking a
+        confident mislabel. Cached per sample count — the bound only
+        depends on build-time state.
+        """
+        m = (
+            self.n_tables
+            if tables_consulted is None
+            else max(int(tables_consulted), 1)
+        )
+        cache = getattr(self, "_low_visibility_bounds", None)
+        if cache is None:
+            cache = self._low_visibility_bounds = {}
+        cached = cache.get(m)
+        if cached is None:
+            c_vis = self.visibility_distance(m)
+            kernel_at = float(
+                np.asarray(self.kernel.value(np.array([c_vis * c_vis])))[0]
+            )
+            w_max = float(self.tables.weights.max())
+            cached = cache[m] = w_max * kernel_at / self.tables.total_mass
+        return cached
+
+    def sample_table(
+        self, table_index: int, queries: np.ndarray
+    ) -> np.ndarray:
+        """One unbiased density sample per query from one table."""
+        samples = np.zeros(queries.shape[0])
+        found, rep, mass = self.tables.lookup(table_index, queries)
+        if found.any():
+            diffs = queries[found] - self.tables.points[rep]
+            sq = np.einsum("ij,ij->i", diffs, diffs)
+            dists = np.sqrt(sq)
+            kernel_values = np.asarray(self.kernel.value(sq), dtype=np.float64)
+            p = collision_probability(
+                dists, self.tables.width, self.tables.depth
+            )
+            samples[found] = (
+                (mass / self.tables.total_mass) * kernel_values / p
+            )
+        return samples
+
+    def estimate(self, queries: np.ndarray, tables: int | None = None) -> np.ndarray:
+        """Plain mean-over-tables density estimates (testing/diagnostics)."""
+        queries = np.ascontiguousarray(queries, dtype=np.float64)
+        use = self.n_tables if tables is None else min(tables, self.n_tables)
+        total = np.zeros(queries.shape[0])
+        for t in range(use):
+            total += self.sample_table(t, queries)
+        return total / max(use, 1)
+
+    def decide_block(
+        self,
+        queries: np.ndarray,
+        threshold: float,
+        epsilon: float,
+        eta: float = 0.0,
+        budget: int | None = None,
+    ) -> HbeBlockDecision:
+        """Run the anytime sampling loop over a scaled query block.
+
+        ``queries`` must already be in bandwidth-scaled space (the same
+        space the tables were built over). ``budget`` is the per-query
+        ``max_node_expansions`` allowance; each table consulted charges
+        ``sample_cost`` units of it, and sampling stops early when the
+        remaining allowance cannot pay for another table.
+        """
+        queries = np.ascontiguousarray(queries, dtype=np.float64)
+        q = queries.shape[0]
+        decided = np.zeros(q, dtype=bool)
+        high = np.zeros(q, dtype=bool)
+        sum_z = np.zeros(q)
+        sum_z2 = np.zeros(q)
+        count = np.zeros(q, dtype=np.int64)
+        if q == 0:
+            return HbeBlockDecision(
+                decided=decided, high=high, mean=sum_z, ci_lo=sum_z,
+                ci_hi=sum_z.copy(), samples=count,
+                exhausted=np.zeros(q, dtype=bool),
+            )
+
+        band_lo = threshold * (1.0 - epsilon)
+        band_hi = threshold * (1.0 + epsilon)
+        total_tables = self.n_tables
+        if budget is None:
+            affordable = total_tables
+        else:
+            affordable = min(total_tables, max(int(budget) // self.sample_cost, 0))
+
+        active = np.arange(q)
+        consulted = 0
+        while consulted < affordable and active.size:
+            chunk_end = min(consulted + self.batch_tables, affordable)
+            block = queries[active]
+            for table_index in range(consulted, chunk_end):
+                z = self.sample_table(table_index, block)
+                sum_z[active] += z
+                sum_z2[active] += z * z
+            count[active] += chunk_end - consulted
+            consulted = chunk_end
+
+            m = count[active].astype(np.float64)
+            mean = sum_z[active] / m
+            variance = np.maximum(sum_z2[active] / m - mean * mean, 0.0)
+            half = self.z_value * np.sqrt(variance / m)
+            lo = np.maximum(mean - half, 0.0)
+            hi = mean + half
+            ripe = count[active] >= self.min_samples
+            # Importance-sampled Z values are heavy-tailed: before the
+            # rare large samples show up, the empirical variance (and
+            # hence the CI) is biased low. Requiring the point estimate
+            # to clear the band by ``margin`` on top of the CI test
+            # restricts decisions to order-of-magnitude-clear queries —
+            # everything genuinely near the band falls back to the tree,
+            # which is also what makes outside-band label parity with
+            # the tree engines structural rather than lucky.
+            decide_high = ripe & (lo - eta > band_hi) & (mean > self.margin * band_hi)
+            # A query that never collided has a degenerate [0, 0]
+            # interval long before its density is actually measured;
+            # an all-zero LOW is only trustworthy once every table has
+            # had its chance to produce a collision.
+            decide_low = ripe & (hi + eta < band_lo) & (mean * self.margin < band_lo)
+            decide_low &= (mean > 0.0) | (count[active] >= total_tables)
+            # A LOW is only sound when no single point still plausibly
+            # unseen *after this many tables* could clear the band by
+            # itself (see low_visibility_bound). The horizon widens with
+            # each chunk, so hard LOWs unlock as sampling progresses;
+            # workloads spiky enough that they never do route every
+            # would-be LOW to the tree fallback instead of risking a
+            # confident mislabel.
+            decide_low &= self.low_visibility_bound(consulted) <= band_lo - eta
+            newly = decide_high | decide_low
+            if newly.any():
+                rows = active[newly]
+                decided[rows] = True
+                high[rows] = decide_high[newly]
+                active = active[~newly]
+
+        safe = np.maximum(count, 1).astype(np.float64)
+        mean_all = sum_z / safe
+        var_all = np.maximum(sum_z2 / safe - mean_all * mean_all, 0.0)
+        half_all = self.z_value * np.sqrt(var_all / safe)
+        ci_lo = np.maximum(mean_all - half_all, 0.0)
+        ci_hi = mean_all + half_all
+        ci_hi[count == 0] = math.inf
+
+        exhausted = np.zeros(q, dtype=bool)
+        if budget is not None:
+            remaining = int(budget) - count * self.sample_cost
+            # Undecided with nothing left for even one traversal
+            # expansion: no honest fallback exists, surface as degraded.
+            exhausted = ~decided & (remaining < 1)
+        return HbeBlockDecision(
+            decided=decided, high=high, mean=mean_all,
+            ci_lo=ci_lo, ci_hi=ci_hi, samples=count, exhausted=exhausted,
+        )
+
+    def memory_bytes(self) -> int:
+        return self.tables.memory_bytes()

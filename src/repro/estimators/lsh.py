@@ -1,0 +1,314 @@
+"""Euclidean LSH tables (E2LSH) for hashing-based density estimation.
+
+One table hashes every training point with ``k`` concatenated
+projections ``h_i(x) = floor((a_i . x + b_i) / w)`` (``a_i`` standard
+normal, ``b_i`` uniform in ``[0, w)``), so two points at Euclidean
+distance ``c`` land in the same bucket with probability ``p_1(c)^k``
+where ``p_1`` has the closed form of Datar et al.:
+
+    p_1(c) = 1 - 2 Phi(-w/c) - (2c / (sqrt(2 pi) w)) (1 - exp(-w^2 / (2 c^2)))
+
+The estimator (:mod:`repro.estimators.hbe`) divides the kernel value by
+exactly this probability, so the same formula must price the samples it
+weights — both live here.
+
+Everything random is drawn at **build time** from one seeded generator:
+the projections, the offsets, the key-mixing multipliers, and one
+weighted *representative* per (table, bucket). Query-time lookups are
+pure array reads, so two processes that build from the same points and
+seed answer identically — the property the serving fleet's label-parity
+guarantee rests on.
+
+Bucket lookup is vectorized: the ``k`` hash codes of a point are mixed
+into a single int64 key (random odd multipliers; a key collision between
+distinct code tuples has probability ~2^-64 and merely merges two
+buckets, which keeps the estimator unbiased), training keys are sorted
+once at build, and a query block resolves via one ``searchsorted`` per
+table.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "LshTables",
+    "collision_probability",
+    "erf",
+    "normal_upper_quantile",
+    "tune_hash_depth",
+]
+
+#: Hash-code mixing modulus guard: codes are clipped into int64 range
+#: before mixing (floor of a huge projection cannot overflow silently).
+_CODE_CLIP = np.int64(1) << 40
+
+
+def erf(x: np.ndarray) -> np.ndarray:
+    """Vectorized error function (Abramowitz & Stegun 7.1.26).
+
+    Max absolute error ~1.5e-7 — far below the epsilon=0.01 tolerances
+    the collision probabilities feed into, and dependency-free (numpy
+    has no erf and scipy is not a dependency of this repo).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    sign = np.sign(x)
+    ax = np.abs(x)
+    t = 1.0 / (1.0 + 0.3275911 * ax)
+    poly = t * (
+        0.254829592
+        + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429)))
+    )
+    return sign * (1.0 - poly * np.exp(-ax * ax))
+
+
+def normal_upper_quantile(delta: float) -> float:
+    """``z`` with ``P(N(0,1) > z) = delta`` via bisection on erf.
+
+    Used once per classify block to size the confidence interval; the
+    bisection (~60 iterations on a bracketed monotone function) is
+    exact to float precision and avoids a rational-approximation table.
+    """
+    if not 0.0 < delta < 1.0:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    target = 1.0 - 2.0 * delta  # P(|N| <= z) = erf(z / sqrt(2))
+    if target <= 0.0:
+        return 0.0
+    lo, hi = 0.0, 40.0
+    for __ in range(200):
+        mid = 0.5 * (lo + hi)
+        if math.erf(mid / math.sqrt(2.0)) < target:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < 1e-12:
+            break
+    return 0.5 * (lo + hi)
+
+
+def collision_probability(
+    dists: np.ndarray, width: float, depth: int
+) -> np.ndarray:
+    """``p_1(c)^k`` for Euclidean distances ``c`` (vectorized).
+
+    ``p_1(0) = 1`` by continuity; the formula is monotone decreasing in
+    ``c``. The result is floored at a tiny positive value so a division
+    by it can never produce inf (a sample that far out contributes a
+    kernel value that underflows to zero anyway).
+    """
+    c = np.asarray(dists, dtype=np.float64)
+    p1 = np.ones_like(c)
+    positive = c > 0.0
+    if np.any(positive):
+        cp = c[positive]
+        ratio = width / cp
+        # Phi(-w/c) = 0.5 * erfc(w / (c sqrt(2)))
+        phi = 0.5 * (1.0 - erf(ratio / math.sqrt(2.0)))
+        tail = (2.0 * cp / (math.sqrt(2.0 * math.pi) * width)) * (
+            1.0 - np.exp(-0.5 * ratio * ratio)
+        )
+        p1[positive] = np.clip(1.0 - 2.0 * phi - tail, 0.0, 1.0)
+    return np.maximum(p1**depth, 1e-300)
+
+
+def _keys_for_codes(codes: np.ndarray, multipliers: np.ndarray) -> np.ndarray:
+    """Mix ``(m, k)`` int64 hash codes into one int64 key per row."""
+    clipped = np.clip(codes, -_CODE_CLIP, _CODE_CLIP)
+    # Wrapping multiply-add over int64 — deterministic on every platform.
+    with np.errstate(over="ignore"):
+        return (clipped * multipliers[np.newaxis, :]).sum(
+            axis=1, dtype=np.int64
+        )
+
+
+def tune_hash_depth(
+    points: np.ndarray,
+    weights: np.ndarray,
+    width: float,
+    rng: np.random.Generator,
+    target_occupancy: float = 8.0,
+    max_depth: int = 16,
+) -> int:
+    """Smallest ``k`` whose buckets are small enough to sample from.
+
+    Builds one trial table per candidate depth and measures the
+    *query-experienced* bucket mass ``n * sum_b W_b^2 / W^2`` (the
+    expected mass of the bucket a weight-proportional random point lands
+    in, in units of the mean point weight). The estimator's variance for
+    a query dominated by one nearby point scales with exactly this
+    occupancy — the importance sampler must pick the near point out of
+    its bucket — so tuning it to a small constant keeps the number of
+    tables needed for a decision flat across dimensionalities.
+    """
+    n, dim = points.shape
+    total = float(weights.sum())
+    for depth in range(1, max_depth + 1):
+        projections = rng.normal(size=(depth, dim))
+        offsets = rng.uniform(0.0, width, size=depth)
+        multipliers = _hash_multipliers(rng, depth)
+        codes = np.floor(
+            (points @ projections.T + offsets) / width
+        ).astype(np.int64)
+        keys = _keys_for_codes(codes, multipliers)
+        order = np.argsort(keys, kind="stable")
+        __, starts = np.unique(keys[order], return_index=True)
+        bucket_masses = np.add.reduceat(weights[order], starts)
+        occupancy = n * float((bucket_masses**2).sum()) / (total * total)
+        if occupancy <= target_occupancy:
+            return depth
+    return max_depth
+
+
+def _hash_multipliers(rng: np.random.Generator, depth: int) -> np.ndarray:
+    """Random odd int64 multipliers for key mixing."""
+    raw = rng.integers(1, 1 << 62, size=depth, dtype=np.int64)
+    return raw * 2 + 1
+
+
+@dataclass
+class _Table:
+    """One hash table: sorted bucket keys plus per-bucket sample state."""
+
+    projections: np.ndarray  #: (k, d) standard-normal rows
+    offsets: np.ndarray  #: (k,) uniform offsets in [0, w)
+    multipliers: np.ndarray  #: (k,) odd int64 key mixers
+    bucket_keys: np.ndarray  #: sorted unique int64 keys
+    bucket_mass: np.ndarray  #: total weight per bucket (aligned)
+    representative: np.ndarray  #: training index sampled per bucket
+
+
+class LshTables:
+    """``tables`` independent E2LSH tables over one weighted point set.
+
+    Parameters
+    ----------
+    points:
+        Training points in **bandwidth-scaled space** (the same space
+        the kernel's ``value`` expects squared distances in).
+    weights:
+        Per-point mass, or ``None`` for uniform mass 1.
+    width:
+        Hash bucket width ``w`` in scaled space.
+    depth:
+        Concatenation depth ``k``; ``None`` auto-tunes via
+        :func:`tune_hash_depth`.
+    seed:
+        Sole source of randomness. Identical ``(points, weights,
+        width, depth, tables, seed)`` give identical tables everywhere.
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        weights: np.ndarray | None,
+        tables: int,
+        width: float,
+        depth: int | None = None,
+        seed: int | None = 0,
+        target_occupancy: float = 8.0,
+    ) -> None:
+        points = np.ascontiguousarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[0] < 1:
+            raise ValueError("points must be a non-empty 2-D array")
+        if tables < 1:
+            raise ValueError(f"tables must be >= 1, got {tables}")
+        if width <= 0.0:
+            raise ValueError(f"width must be positive, got {width}")
+        n = points.shape[0]
+        if weights is None:
+            weights = np.ones(n, dtype=np.float64)
+        else:
+            weights = np.asarray(weights, dtype=np.float64)
+            if weights.shape != (n,):
+                raise ValueError("weights must align with points")
+            if np.any(weights < 0.0) or not np.all(np.isfinite(weights)):
+                raise ValueError("weights must be finite and non-negative")
+        rng = np.random.default_rng(seed)
+        self.points = points
+        self.weights = weights
+        self.total_mass = float(weights.sum())
+        if self.total_mass <= 0.0:
+            raise ValueError("total point mass must be positive")
+        self.width = float(width)
+        if depth is None:
+            depth = tune_hash_depth(
+                points, weights, self.width, rng,
+                target_occupancy=target_occupancy,
+            )
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        self.depth = int(depth)
+        self.n_tables = int(tables)
+        self._tables = [self._build_table(rng) for __ in range(tables)]
+
+    def _build_table(self, rng: np.random.Generator) -> _Table:
+        n, dim = self.points.shape
+        projections = rng.normal(size=(self.depth, dim))
+        offsets = rng.uniform(0.0, self.width, size=self.depth)
+        multipliers = _hash_multipliers(rng, self.depth)
+        codes = np.floor(
+            (self.points @ projections.T + offsets) / self.width
+        ).astype(np.int64)
+        keys = _keys_for_codes(codes, multipliers)
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        bucket_keys, starts = np.unique(sorted_keys, return_index=True)
+        sorted_weights = self.weights[order]
+        bucket_mass = np.add.reduceat(sorted_weights, starts)
+        ends = np.append(starts[1:], n)
+        # One weighted representative per bucket, drawn now so query
+        # time is deterministic: picking member j with probability
+        # w_j / W_b is exactly the importance-sampling draw the
+        # estimator's unbiasedness proof assumes, independently redrawn
+        # per table. Vectorized over buckets: one global prefix sum,
+        # one searchsorted.
+        uniforms = rng.random(bucket_keys.shape[0])
+        cumulative = np.cumsum(sorted_weights)
+        prefix_start = cumulative[starts] - sorted_weights[starts]
+        targets = prefix_start + uniforms * bucket_mass
+        picks = np.searchsorted(cumulative, targets, side="right")
+        representative = order[np.minimum(picks, ends - 1)]
+        return _Table(
+            projections=projections,
+            offsets=offsets,
+            multipliers=multipliers,
+            bucket_keys=bucket_keys,
+            bucket_mass=bucket_mass,
+            representative=representative,
+        )
+
+    def lookup(
+        self, table_index: int, queries: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Resolve a query block against one table.
+
+        Returns ``(found, representative, bucket_mass)``: a boolean mask
+        of queries whose bucket is non-empty, the training index of each
+        found query's bucket representative, and that bucket's total
+        mass (both compressed to the found rows).
+        """
+        table = self._tables[table_index]
+        codes = np.floor(
+            (queries @ table.projections.T + table.offsets) / self.width
+        ).astype(np.int64)
+        keys = _keys_for_codes(codes, table.multipliers)
+        pos = np.searchsorted(table.bucket_keys, keys)
+        pos_clipped = np.minimum(pos, table.bucket_keys.shape[0] - 1)
+        found = table.bucket_keys[pos_clipped] == keys
+        hit = pos_clipped[found]
+        return found, table.representative[hit], table.bucket_mass[hit]
+
+    def memory_bytes(self) -> int:
+        """Approximate size of the table arrays (capacity planning)."""
+        per_table = sum(
+            t.bucket_keys.nbytes
+            + t.bucket_mass.nbytes
+            + t.representative.nbytes
+            + t.projections.nbytes
+            + t.offsets.nbytes
+            for t in self._tables
+        )
+        return per_table

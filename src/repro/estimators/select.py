@@ -1,0 +1,88 @@
+"""The ``engine="auto"`` selection policy.
+
+One function, pure, fully testable: given the workload facts — the
+dimensionality the model was fitted on, the kernel family, and (when the
+serving calibrator has measured one) the observed tree cost per query —
+pick a concrete engine and say why. The reason string feeds the
+``tkdc_engine_selected_total{engine,reason}`` metric, ``/statz``, and
+the fleet manifest, so keep the vocabulary stable:
+
+``configured``
+    The config named a concrete engine; auto never overrides it.
+``kernel_unsupported``
+    The HBE variance story is built on Euclidean-LSH collision
+    probabilities tracking a smooth radial kernel; compact-support
+    kernels fall back to the tree engines.
+``high_dim``
+    ``d >= hbe_auto_dim``: tree pruning cost grows as O(n^((d-1)/d)),
+    hashing wins outright.
+``expansion_rate``
+    Low-dimensional but the measured tree traversal is expanding a
+    large fraction of the index per query (``expansions_per_query >=
+    hbe_auto_expansion_fraction * n``) — pruning is not working on this
+    workload, so sample instead.
+``low_dim``
+    Tree pruning is effective; keep the batch engine.
+``degenerate_bandwidth``
+    Applied by the classifier *after* this function: the dimension rule
+    said hbe, but the fitted threshold sits below the density one
+    hash-invisible point can contribute on its own
+    (:meth:`repro.estimators.hbe.HbeIndex.low_visibility_bound`), so
+    LOW decisions would never certify and sampling would be pure
+    overhead on top of the tree fallback. Demoted to ``batch``.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import TKDCConfig
+
+__all__ = ["select_engine"]
+
+#: Kernel families the hbe engine will volunteer for under auto
+#: selection. (Explicit ``engine="hbe"`` is honoured for any kernel —
+#: the estimator is unbiased regardless — but its variance, and hence
+#: its decision rate, is only engineered for smooth radial kernels.)
+HBE_AUTO_KERNELS = ("gaussian",)
+
+
+def select_engine(
+    dim: int,
+    kernel: str,
+    config: TKDCConfig,
+    expansions_per_query: float | None = None,
+    n: int | None = None,
+) -> tuple[str, str]:
+    """Resolve ``config.engine`` to a concrete engine with a reason.
+
+    Parameters
+    ----------
+    dim:
+        Training dimensionality.
+    kernel:
+        Kernel family name from the config.
+    config:
+        The classifier config; only consulted for ``engine`` and the
+        ``hbe_auto_*`` thresholds.
+    expansions_per_query:
+        Mean traversal node expansions per query measured on a probe
+        workload (the serving calibrator produces this); ``None`` when
+        no measurement exists — fit-time selection then uses the
+        dimension rule alone.
+    n:
+        Indexed point count the measurement ran against (required to
+        interpret ``expansions_per_query`` as a fraction of the index).
+    """
+    if config.engine != "auto":
+        return config.engine, "configured"
+    if kernel not in HBE_AUTO_KERNELS:
+        return "batch", "kernel_unsupported"
+    if dim >= config.hbe_auto_dim:
+        return "hbe", "high_dim"
+    if (
+        expansions_per_query is not None
+        and n is not None
+        and n > 0
+        and expansions_per_query >= config.hbe_auto_expansion_fraction * n
+    ):
+        return "hbe", "expansion_rate"
+    return "batch", "low_dim"

@@ -25,6 +25,8 @@ _RULE_BLURBS = {
     "budget": "expansion budget hit before any rule fired: degraded (midpoint) answer",
     "exact": "numeric guard abandoned bounding and fell back to an exact sum",
     "grid": "answered from the grid cache before any tree traversal",
+    "hbe_high": "LSH-sampling confidence interval cleared the upper threshold: density is above the cutoff at the configured confidence",
+    "hbe_low": "LSH-sampling confidence interval fell below the lower threshold: density is below the cutoff at the configured confidence",
 }
 
 

@@ -28,6 +28,11 @@ __all__ = [
     "BOOTSTRAP_BACKOFFS_TOTAL",
     "BOOTSTRAP_FAILURES_TOTAL",
     "CLASSIFY_SECONDS",
+    "ENGINE_SELECTED_TOTAL",
+    "HBE_SAMPLES",
+    "HBE_UNDECIDED_TOTAL",
+    "record_engine_selected",
+    "record_hbe_block",
     "record_traversal",
     "record_traversal_block",
 ]
@@ -91,6 +96,64 @@ BOOTSTRAP_FAILURES_TOTAL = REGISTRY.counter(
     "tkdc_bootstrap_failures_total",
     "Threshold bootstraps that exhausted their budget",
 )
+
+#: Engine-selection outcomes: one increment per fit/serving resolution
+#: of ``engine="auto"`` (and per explicit configuration, so the family
+#: always reflects what is actually serving). Reasons come from
+#: :func:`repro.estimators.select.select_engine`.
+ENGINE_SELECTED_TOTAL = REGISTRY.counter(
+    "tkdc_engine_selected_total",
+    "Engine-selection outcomes, by chosen engine and selection reason",
+    labels=("engine", "reason"),
+)
+
+#: Distribution of LSH density samples (tables consulted) per hbe
+#: query, by outcome: "decided" (CI cleared the band), "fallback"
+#: (straddle, re-run through the tree), "exhausted" (anytime budget
+#: spent, surfaced as degraded).
+HBE_SAMPLES = REGISTRY.histogram(
+    "tkdc_hbe_samples",
+    "LSH density samples drawn per hbe query, by outcome",
+    labels=("outcome",),
+    buckets=WORK_BUCKETS,
+)
+
+#: hbe queries the sampler could not decide, by cause: "straddle"
+#: queries go to the tree fallback (still certified), "budget" queries
+#: had no anytime allowance left and surface as degraded/UNCERTAIN.
+HBE_UNDECIDED_TOTAL = REGISTRY.counter(
+    "tkdc_hbe_undecided_total",
+    "hbe queries not decided by sampling, by cause",
+    labels=("cause",),
+)
+
+
+def record_engine_selected(engine: str, reason: str) -> None:
+    """Report one engine-selection outcome (fit or serving calibration)."""
+    if REGISTRY.enabled:
+        ENGINE_SELECTED_TOTAL.labels(engine, reason).inc()
+
+
+def record_hbe_block(
+    decided_samples: Iterable[float],
+    fallback_samples: Iterable[float],
+    exhausted_samples: Iterable[float],
+) -> None:
+    """Report one hbe classification block's per-query sampling outcomes."""
+    if not REGISTRY.enabled:
+        return
+    decided = list(decided_samples)
+    fallback = list(fallback_samples)
+    exhausted = list(exhausted_samples)
+    if decided:
+        HBE_SAMPLES.labels("decided").observe_many(decided)
+    if fallback:
+        HBE_SAMPLES.labels("fallback").observe_many(fallback)
+        HBE_UNDECIDED_TOTAL.labels("straddle").inc(len(fallback))
+    if exhausted:
+        HBE_SAMPLES.labels("exhausted").observe_many(exhausted)
+        HBE_UNDECIDED_TOTAL.labels("budget").inc(len(exhausted))
+
 
 #: Wall-clock duration of TKDCClassifier.classify calls, by engine.
 CLASSIFY_SECONDS = REGISTRY.histogram(

@@ -42,7 +42,10 @@ __all__ = [
     "read_traces",
 ]
 
-#: Every way a query's traversal can end.
+#: Every way a query's traversal can end. ``hbe_high``/``hbe_low`` are
+#: the hashing-based engine's sampling decisions (confidence interval
+#: cleared the threshold band before any tree traversal); hbe queries
+#: that fall back to the tree terminate with the tree rules.
 TERMINAL_RULES = (
     "threshold_high",
     "threshold_low",
@@ -51,6 +54,8 @@ TERMINAL_RULES = (
     "budget",
     "exact",
     "grid",
+    "hbe_high",
+    "hbe_low",
 )
 
 

@@ -19,11 +19,13 @@ grid shortcut alike.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.classifier import TKDCClassifier
+from repro.estimators.select import select_engine
+from repro.obs.metrics import record_engine_selected
 
 #: Conservative expansions/sec assumed when calibration observed no
 #: expansions at all (degenerate probe workload); deliberately low so
@@ -69,17 +71,32 @@ class BudgetCalibration:
     ----------
     expansions_per_second:
         Measured rate (or :data:`FALLBACK_RATE` if measurement was
-        degenerate).
+        degenerate) for the engine requests will actually run through.
     measured:
         Whether the rate came from a real measurement.
     sample_queries / expansions_observed:
         Provenance of the measurement, surfaced in ``/statz``.
+    engine:
+        The concrete engine the rate describes — the hbe engine charges
+        LSH samples into the same expansion counter, but at a very
+        different wall-clock rate per unit, so deadline→budget
+        conversion must use the serving engine's own rate.
+    engine_reason:
+        Why that engine was selected (vocabulary of
+        :mod:`repro.estimators.select`).
+    per_engine:
+        ``(engine, expansions_per_second)`` for every engine measured
+        during calibration, shipped through the fleet manifest so
+        workers inherit the router's measurements instead of re-probing.
     """
 
     expansions_per_second: float
     measured: bool
     sample_queries: int
     expansions_observed: int
+    engine: str = "batch"
+    engine_reason: str = "configured"
+    per_engine: tuple[tuple[str, float], ...] = field(default=())
 
     def budget_for(
         self, remaining_seconds: float, safety: float, min_budget: int
@@ -96,21 +113,87 @@ class BudgetCalibration:
 
 
 def calibrate(
-    classifier: TKDCClassifier, n_queries: int = 256, seed: int = 0
+    classifier: TKDCClassifier,
+    n_queries: int = 256,
+    seed: int = 0,
+    engine: str = "batch",
+    engine_reason: str = "configured",
 ) -> BudgetCalibration:
     """Measure a fitted model's expansions/sec on a generated workload."""
     queries = probe_queries(classifier, n_queries, seed=seed)
-    rate, observed = classifier.measure_expansion_rate(queries)
-    if rate <= 0.0:
-        return BudgetCalibration(
-            expansions_per_second=FALLBACK_RATE,
-            measured=False,
-            sample_queries=n_queries,
-            expansions_observed=observed,
-        )
+    rate, observed = classifier.measure_expansion_rate(queries, engine=engine)
+    measured = rate > 0.0
+    if not measured:
+        rate = FALLBACK_RATE
     return BudgetCalibration(
         expansions_per_second=rate,
-        measured=True,
+        measured=measured,
         sample_queries=n_queries,
         expansions_observed=observed,
+        engine=engine,
+        engine_reason=engine_reason,
+        per_engine=((engine, rate),),
+    )
+
+
+def calibrate_for_serving(
+    classifier: TKDCClassifier, n_queries: int = 256, seed: int = 0
+) -> BudgetCalibration:
+    """Engine-aware calibration: resolve ``auto``, then rate that engine.
+
+    Fit-time auto selection only knows the dimensionality; the serving
+    layer additionally *measures*. The tree engine is probed first, and
+    when the model's config left the engine on ``auto`` the measured
+    expansions-per-query feeds the selection policy's expansion-rate
+    rule — a low-dimensional workload whose traversals expand a large
+    fraction of the index per query is re-routed to hbe (if its LOW
+    decisions certify, see
+    :meth:`~repro.core.classifier.TKDCClassifier.hbe_low_certifiable`).
+    The final choice is pinned onto the classifier so every request —
+    and every fleet worker rebuilding from the published skeleton —
+    resolves ``auto`` to the identical concrete engine, and the returned
+    calibration converts deadlines through *that* engine's measured
+    rate.
+    """
+    queries = probe_queries(classifier, n_queries, seed=seed)
+    batch_rate, batch_observed = classifier.measure_expansion_rate(queries)
+    engine, reason = classifier.auto_selection()
+    if (
+        classifier.config.engine == "auto"
+        and engine == "batch"
+        and reason == "low_dim"
+        and batch_observed > 0
+    ):
+        upgraded, upgrade_reason = select_engine(
+            classifier.kernel.dim,
+            classifier.config.kernel,
+            classifier.config,
+            expansions_per_query=batch_observed / max(len(queries), 1),
+            n=classifier.tree.points.shape[0],
+        )
+        if upgraded == "hbe" and classifier.hbe_low_certifiable():
+            engine, reason = upgraded, upgrade_reason
+    per_engine: list[tuple[str, float]] = [
+        ("batch", batch_rate if batch_rate > 0.0 else FALLBACK_RATE)
+    ]
+    rate, observed, measured = batch_rate, batch_observed, batch_rate > 0.0
+    if engine != "batch":
+        rate, observed = classifier.measure_expansion_rate(queries, engine=engine)
+        measured = rate > 0.0
+        if not measured:
+            rate = FALLBACK_RATE
+        per_engine.append((engine, rate))
+    elif not measured:
+        rate = FALLBACK_RATE
+    classifier.engine_selected_ = engine
+    classifier.engine_reason_ = reason
+    record_engine_selected(engine, reason)
+    return BudgetCalibration(
+        expansions_per_second=rate,
+        measured=measured,
+        sample_queries=n_queries,
+        expansions_observed=observed,
+        engine=engine,
+        engine_reason=reason,
+        per_engine=tuple(per_engine),
     )

@@ -255,6 +255,8 @@ class TKDCServer(ThreadingHTTPServer):
             "threshold": float(self.manager.classifier.threshold.value),
             "expansions_per_second": self.manager.calibration.expansions_per_second,
             "calibration_measured": self.manager.calibration.measured,
+            "engine": self.manager.calibration.engine,
+            "engine_reason": self.manager.calibration.engine_reason,
             "uptime_s": round(time.monotonic() - self._started_at, 3),
             "traversal": self.manager.traversal_snapshot(),
         })
@@ -593,7 +595,8 @@ def serve(
         f"tkdc serving {manager.model_path} on "
         f"http://{config.host}:{server.port} "
         f"(threshold={manager.classifier.threshold.value:.6g}, "
-        f"{manager.calibration.expansions_per_second:.3g} expansions/s); "
+        f"{manager.calibration.expansions_per_second:.3g} expansions/s, "
+        f"engine={manager.calibration.engine}); "
         "SIGTERM drains, SIGHUP reloads",
         flush=True,
     )

@@ -70,6 +70,11 @@ def model_skeleton(classifier: TKDCClassifier) -> TKDCClassifier:
     skeleton._stats = TraversalStats()
     skeleton.training_scores_ = None
     skeleton.training_labels_ = None
+    # The hbe index is per-point state (hash tables over every tree
+    # point); workers rebuild it deterministically from config.seed and
+    # the shm tree's point order, so dropping it costs one lazy rebuild
+    # and guarantees identical tables fleet-wide.
+    skeleton._hbe = None
     if skeleton.coreset_ is not None:
         coreset = skeleton.coreset_
         placeholder = np.zeros((1, coreset.points.shape[1]), dtype=np.float64)
@@ -107,6 +112,9 @@ def publish_classifier(
             "measured": calibration.measured,
             "sample_queries": calibration.sample_queries,
             "expansions_observed": calibration.expansions_observed,
+            "engine": calibration.engine,
+            "engine_reason": calibration.engine_reason,
+            "per_engine": [list(item) for item in calibration.per_engine],
         },
     }
     return publish_flat_tree(
@@ -129,11 +137,20 @@ def calibration_from_manifest(manifest: TreeManifest) -> BudgetCalibration:
     if not isinstance(raw, dict):
         raise ShmManifestError("manifest carries no calibration block")
     try:
+        per_engine = tuple(
+            (str(name), float(rate))
+            for name, rate in raw.get("per_engine", [])
+        )
         return BudgetCalibration(
             expansions_per_second=float(raw["expansions_per_second"]),
             measured=bool(raw["measured"]),
             sample_queries=int(raw["sample_queries"]),
             expansions_observed=int(raw["expansions_observed"]),
+            # Manifests written before the hbe engine carry no engine
+            # fields; those fleets were batch-only by construction.
+            engine=str(raw.get("engine", "batch")),
+            engine_reason=str(raw.get("engine_reason", "configured")),
+            per_engine=per_engine,
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise ShmManifestError(

@@ -39,7 +39,11 @@ from repro.core.classifier import TKDCClassifier
 from repro.core.result import ClassificationResult, Label
 from repro.core.stats import TraversalStats
 from repro.io.models import load_model, resolve_model_path
-from repro.serve.calibrate import BudgetCalibration, calibrate, probe_queries
+from repro.serve.calibrate import (
+    BudgetCalibration,
+    calibrate_for_serving,
+    probe_queries,
+)
 from repro.serve.config import ServeConfig
 from repro.serve.stats import ServerStats
 
@@ -87,6 +91,8 @@ class ReloadResult:
     error: str | None = None
     threshold: float | None = None
     expansions_per_second: float | None = None
+    engine: str | None = None
+    engine_reason: str | None = None
 
     def as_dict(self) -> dict:
         return {
@@ -96,6 +102,8 @@ class ReloadResult:
             "error": self.error,
             "threshold": self.threshold,
             "expansions_per_second": self.expansions_per_second,
+            "engine": self.engine,
+            "engine_reason": self.engine_reason,
         }
 
 
@@ -134,14 +142,23 @@ class ModelManager:
         # Fleet workers inject the router-measured calibration (shipped
         # via the shm manifest) so the fleet boots with one measurement
         # and every worker maps deadlines to budgets identically.
-        self.calibration = calibration if calibration is not None else calibrate(
-            self._classifier, config.calibration_queries, seed=config.probe_seed
-        )
+        if calibration is not None:
+            self.calibration = calibration
+            # A worker that inherits the router's calibration must also
+            # resolve engine="auto" exactly the way the router did —
+            # label parity across the fleet depends on it.
+            self._classifier.engine_selected_ = calibration.engine
+            self._classifier.engine_reason_ = calibration.engine_reason
+        else:
+            self.calibration = calibrate_for_serving(
+                self._classifier, config.calibration_queries, seed=config.probe_seed
+            )
         log.info(
-            "model %s loaded: threshold=%.6g, %.3g expansions/s (%s)",
+            "model %s loaded: threshold=%.6g, %.3g expansions/s (%s), engine=%s (%s)",
             self.model_path, self._classifier.threshold.value,
             self.calibration.expansions_per_second,
             "measured" if self.calibration.measured else "fallback",
+            self.calibration.engine, self.calibration.engine_reason,
         )
 
     # ------------------------------------------------------------------
@@ -201,7 +218,7 @@ class ModelManager:
             self._canary(candidate)
         except Exception as exc:
             return self._refused(candidate_path, "canary", exc)
-        calibration = calibrate(
+        calibration = calibrate_for_serving(
             candidate, self.config.calibration_queries, seed=self.config.probe_seed
         )
         with self._lock:
@@ -210,9 +227,9 @@ class ModelManager:
             self.model_path = Path(candidate_path)
         self.stats.bump("reloads_ok")
         log.info(
-            "hot reload swapped in %s (threshold=%.6g, %.3g expansions/s)",
+            "hot reload swapped in %s (threshold=%.6g, %.3g expansions/s, engine=%s)",
             candidate_path, candidate.threshold.value,
-            calibration.expansions_per_second,
+            calibration.expansions_per_second, calibration.engine,
         )
         return ReloadResult(
             ok=True,
@@ -220,6 +237,8 @@ class ModelManager:
             model_path=str(candidate_path),
             threshold=candidate.threshold.value,
             expansions_per_second=calibration.expansions_per_second,
+            engine=calibration.engine,
+            engine_reason=calibration.engine_reason,
         )
 
     def _refused(

@@ -51,7 +51,7 @@ from repro.io.models import load_model, resolve_model_path
 from repro.obs.buildinfo import build_info
 from repro.obs.registry import render_prometheus
 from repro.serve.breaker import MODE_DEGRADED, CircuitBreaker
-from repro.serve.calibrate import calibrate
+from repro.serve.calibrate import calibrate_for_serving
 from repro.serve.config import ServeConfig
 from repro.serve.daemon import _Handler, install_signal_handlers
 from repro.serve.plane import (
@@ -199,7 +199,7 @@ class WorkerFleet:
         # Load + verify + calibrate ONCE; workers inherit via manifest.
         self.model_path = resolve_model_path(model_path)
         classifier = prepare_classifier(load_model(self.model_path))
-        self.calibration = calibrate(
+        self.calibration = calibrate_for_serving(
             classifier, config.calibration_queries, seed=config.probe_seed
         )
         self.model_sha256 = file_sha256(self.model_path)
@@ -676,6 +676,8 @@ class WorkerFleet:
             "threshold": self.threshold,
             "expansions_per_second": self.calibration.expansions_per_second,
             "calibration_measured": self.calibration.measured,
+            "engine": self.calibration.engine,
+            "engine_reason": self.calibration.engine_reason,
             "uptime_s": round(time.monotonic() - self._started_at, 3),
             "fleet": {
                 "workers": self.config.workers,
@@ -754,7 +756,7 @@ class WorkerFleet:
             classifier = prepare_classifier(load_model(candidate_path))
         except Exception as exc:
             return self._refused(requested, "load", exc)
-        calibration = calibrate(
+        calibration = calibrate_for_serving(
             classifier, self.config.calibration_queries,
             seed=self.config.probe_seed,
         )
@@ -824,6 +826,8 @@ class WorkerFleet:
             model_path=str(candidate_path),
             threshold=self.threshold,
             expansions_per_second=calibration.expansions_per_second,
+            engine=calibration.engine,
+            engine_reason=calibration.engine_reason,
         )
 
     def _rollback(self, swapped: list[WorkerHandle]) -> None:
@@ -1002,7 +1006,8 @@ def serve_fleet(
         f"tkdc fleet serving {fleet.model_path} on "
         f"http://{config.host}:{server.port} with {config.workers} workers "
         f"(generation {fleet.generation}, threshold={fleet.threshold:.6g}, "
-        f"{fleet.calibration.expansions_per_second:.3g} expansions/s); "
+        f"{fleet.calibration.expansions_per_second:.3g} expansions/s, "
+        f"engine={fleet.calibration.engine}); "
         "SIGTERM drains, SIGHUP reloads",
         flush=True,
     )

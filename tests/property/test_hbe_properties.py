@@ -1,0 +1,155 @@
+"""Property-based parity between the hbe engine and the batch tree engine.
+
+The hbe engine's contract is *conditional* parity: any query whose exact
+density lies outside the widened threshold band must get the identical
+label through either engine, because the sampler only answers queries
+its confidence interval (plus margin, plus the visibility guard) has
+certified clear of the band — everything else re-runs through the batch
+engine's bit-exact arithmetic. These properties pin that contract across
+random workloads, with and without coreset compression, and in the
+degenerate regime where every decision channel is closed and the engine
+must collapse to a pure pass-through.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import TKDCClassifier, TKDCConfig
+from repro.coresets.validate import exact_density
+
+
+def _hbe_config(seed: int, **overrides) -> TKDCConfig:
+    base = dict(
+        p=0.05, seed=seed, refine_threshold=False, bootstrap_s0=200,
+        engine="hbe", bandwidth_scale=2.0,
+    )
+    base.update(overrides)
+    return TKDCConfig(**base)
+
+
+def _workload(seed: int, n: int, dim: int) -> tuple[np.ndarray, np.ndarray]:
+    """Two-cluster training data plus an inlier/outlier query mix."""
+    rng = np.random.default_rng(seed)
+    half = n // 2
+    data = np.concatenate([
+        rng.normal(size=(half, dim)),
+        rng.normal(size=(n - half, dim)) + 4.0 / np.sqrt(dim),
+    ])
+    inliers = data[rng.choice(n, size=30, replace=False)]
+    box = rng.uniform(
+        data.min(axis=0), data.max(axis=0), size=(30, dim)
+    )
+    return data, np.concatenate([inliers, box])
+
+
+def _outside_band(clf: TKDCClassifier, data: np.ndarray,
+                  queries: np.ndarray) -> np.ndarray:
+    """Queries whose exact density clears the widened decision band.
+
+    The band is ``|f - t| <= eps * t + 2 * eta`` — the region where the
+    tree engines themselves may legitimately answer either way, so
+    parity is only owed outside it.
+    """
+    f = exact_density(
+        clf.kernel.scale(data), clf.kernel, clf.kernel.scale(queries)
+    )
+    t = clf.threshold.value
+    return np.abs(f - t) > clf.config.epsilon * t + 2.0 * clf.eta_applied
+
+
+@given(seed=st.integers(0, 2**31 - 1), dim=st.sampled_from([12, 16, 24]))
+@settings(max_examples=8, deadline=None)
+def test_outside_band_label_parity(seed, dim):
+    data, queries = _workload(seed, 600, dim)
+    clf = TKDCClassifier(_hbe_config(seed)).fit(data)
+    hbe_labels = clf.classify(queries)
+    batch_labels = clf.classify(queries, engine="batch")
+    outside = _outside_band(clf, data, queries)
+    np.testing.assert_array_equal(
+        hbe_labels[outside], batch_labels[outside]
+    )
+
+
+@given(seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=4, deadline=None)
+def test_outside_band_parity_with_weighted_coreset(seed):
+    """Parity must survive compression: the hbe tables are built over the
+    coreset's weighted points, the same sketch the tree prices."""
+    data, queries = _workload(seed, 800, 16)
+    clf = TKDCClassifier(_hbe_config(
+        seed, coreset="merge-reduce", coreset_fraction=0.25,
+    )).fit(data)
+    assert clf.coreset_ is not None
+    index = clf._ensure_hbe()
+    assert index.tables.points.shape[0] == clf.tree.points.shape[0]
+    hbe_labels = clf.classify(queries)
+    batch_labels = clf.classify(queries, engine="batch")
+    outside = _outside_band(clf, data, queries)
+    np.testing.assert_array_equal(
+        hbe_labels[outside], batch_labels[outside]
+    )
+
+
+@given(seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=4, deadline=None)
+def test_uniform_coreset_parity(seed):
+    data, queries = _workload(seed, 800, 16)
+    clf = TKDCClassifier(_hbe_config(
+        seed, coreset="uniform", coreset_fraction=0.25,
+    )).fit(data)
+    hbe_labels = clf.classify(queries)
+    batch_labels = clf.classify(queries, engine="batch")
+    outside = _outside_band(clf, data, queries)
+    np.testing.assert_array_equal(
+        hbe_labels[outside], batch_labels[outside]
+    )
+
+
+@given(seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=6, deadline=None)
+def test_forced_full_fallback_is_bit_exact(seed):
+    """Close every decision channel and the engine must be a pure
+    pass-through: raw Scott's bandwidth at d=16 trips the visibility
+    guard (no LOWs, including the zero-mean clause), and an absurd
+    margin blocks HIGHs, so *all* labels — in band or out — must equal
+    the batch engine's bit for bit."""
+    data, queries = _workload(seed, 500, 16)
+    clf = TKDCClassifier(_hbe_config(
+        seed, bandwidth_scale=1.0, hbe_margin=1e9,
+    )).fit(data)
+    assert not clf.hbe_low_certifiable()
+    clf._stats.extras.clear()
+    hbe_labels = clf.classify(queries)
+    extras = clf.stats.extras
+    assert extras.get("hbe_decided_high", 0.0) == 0.0
+    assert extras.get("hbe_decided_low", 0.0) == 0.0
+    assert extras.get("hbe_fallbacks", 0.0) == float(queries.shape[0])
+    batch_labels = clf.classify(queries, engine="batch")
+    np.testing.assert_array_equal(hbe_labels, batch_labels)
+
+
+@given(seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=6, deadline=None)
+def test_in_band_queries_route_to_fallback(seed):
+    """A query whose true density straddles the band needs more
+    precision than the CI can certify; the sampler must hand it back
+    undecided rather than guess."""
+    data, queries = _workload(seed, 600, 16)
+    clf = TKDCClassifier(_hbe_config(seed)).fit(data)
+    index = clf._ensure_hbe()
+    scaled = clf.kernel.scale(queries)
+    t = clf.threshold.value
+    decision = index.decide_block(
+        scaled, t, clf.config.epsilon, eta=clf.eta_applied
+    )
+    f = exact_density(clf.kernel.scale(data), clf.kernel, scaled)
+    in_band = np.abs(f - t) <= clf.config.epsilon * t + 2.0 * clf.eta_applied
+    # Every in-band query is undecided, and (unbudgeted) lands in the
+    # fallback set rather than being reported exhausted.
+    assert not np.any(decision.decided & in_band)
+    fallback = np.zeros(queries.shape[0], dtype=bool)
+    fallback[decision.fallback_rows] = True
+    assert np.all(fallback[in_band])

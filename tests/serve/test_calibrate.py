@@ -6,10 +6,12 @@ import numpy as np
 import pytest
 
 from repro.core.classifier import NotFittedError, TKDCClassifier
+from repro.core.config import TKDCConfig
 from repro.serve.calibrate import (
     FALLBACK_RATE,
     BudgetCalibration,
     calibrate,
+    calibrate_for_serving,
     probe_queries,
 )
 
@@ -81,8 +83,77 @@ class TestBudgetMapping:
 
     def test_degenerate_measurement_falls_back(self, fitted, monkeypatch):
         monkeypatch.setattr(
-            type(fitted), "measure_expansion_rate", lambda self, q: (0.0, 0)
+            type(fitted), "measure_expansion_rate",
+            lambda self, q, engine="batch": (0.0, 0),
         )
         calibration = calibrate(fitted, 16, seed=0)
         assert not calibration.measured
         assert calibration.expansions_per_second == FALLBACK_RATE
+
+
+class TestCalibrateForServing:
+    """Engine-aware calibration: auto resolution, pinning, per-engine rates."""
+
+    def test_configured_engine_is_pinned_and_rated(self, fitted):
+        calibration = calibrate_for_serving(fitted, 64, seed=0)
+        assert calibration.engine == "batch"
+        assert calibration.engine_reason == "configured"
+        assert calibration.measured
+        assert dict(calibration.per_engine)["batch"] == (
+            calibration.expansions_per_second
+        )
+        assert fitted.engine_selected_ == "batch"
+        assert fitted.engine_reason_ == "configured"
+
+    def test_auto_low_dim_stays_on_batch(self, train_data):
+        clf = TKDCClassifier(
+            TKDCConfig(p=0.05, seed=9, engine="auto")
+        ).fit(train_data)
+        calibration = calibrate_for_serving(clf, 64, seed=0)
+        assert calibration.engine == "batch"
+        assert calibration.engine_reason == "low_dim"
+        assert clf.engine_selected_ == "batch"
+
+    def test_expansion_rate_upgrade_to_hbe(self, train_data):
+        """A workload whose traversals expand a large index fraction per
+        query re-routes to hbe — here forced via a tiny fraction knob."""
+        clf = TKDCClassifier(TKDCConfig(
+            p=0.05, seed=9, engine="auto",
+            hbe_auto_expansion_fraction=1e-9,
+        )).fit(train_data)
+        assert clf.auto_selection() == ("batch", "low_dim")  # fit-time view
+        calibration = calibrate_for_serving(clf, 64, seed=0)
+        assert calibration.engine == "hbe"
+        assert calibration.engine_reason == "expansion_rate"
+        # Both engines were rated; deadlines convert through the serving
+        # engine's own rate.
+        rates = dict(calibration.per_engine)
+        assert set(rates) == {"batch", "hbe"}
+        assert calibration.expansions_per_second == rates["hbe"]
+        # The selection is pinned so every later auto resolution — and
+        # every fleet worker inheriting this calibration — agrees.
+        assert clf.auto_selection() == ("hbe", "expansion_rate")
+        assert clf._resolve_engine(None) == "hbe"
+
+    def test_upgrade_blocked_when_low_uncertifiable(
+        self, train_data, monkeypatch
+    ):
+        clf = TKDCClassifier(TKDCConfig(
+            p=0.05, seed=9, engine="auto",
+            hbe_auto_expansion_fraction=1e-9,
+        )).fit(train_data)
+        monkeypatch.setattr(
+            TKDCClassifier, "hbe_low_certifiable", lambda self: False
+        )
+        calibration = calibrate_for_serving(clf, 64, seed=0)
+        assert calibration.engine == "batch"
+        assert calibration.engine_reason == "low_dim"
+
+    def test_explicit_hbe_engine_is_rated_as_hbe(self, train_data):
+        clf = TKDCClassifier(
+            TKDCConfig(p=0.05, seed=9, engine="hbe")
+        ).fit(train_data)
+        calibration = calibrate_for_serving(clf, 64, seed=0)
+        assert calibration.engine == "hbe"
+        assert calibration.engine_reason == "configured"
+        assert "hbe" in dict(calibration.per_engine)

@@ -64,6 +64,20 @@ class TestMetricsEndpoint:
             == statz["completed"]
         )
 
+    def test_engine_selection_is_scrapeable(self, server_factory):
+        """Serving calibration records its engine choice; /statz and
+        /metrics must both surface it."""
+        __, client = server_factory()
+        status, statz = client.statz()
+        assert status == 200
+        # The test model is 2-D with a concretely configured engine.
+        assert statz["engine"] == "batch"
+        assert statz["engine_reason"] == "configured"
+        status, body = client.metrics()
+        assert status == 200
+        needle = 'tkdc_engine_selected_total{engine="batch",reason="configured"}'
+        assert needle in body
+
     def test_statz_reports_build_identity(self, server_factory):
         from repro.obs.buildinfo import build_info
 

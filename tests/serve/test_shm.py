@@ -270,6 +270,37 @@ class TestModelPlane:
         manifest = TreeManifest.load(manifest_file)
         shipped = calibration_from_manifest(manifest)
         assert shipped == calibration
+        # Engine selection rides along so workers resolve identically.
+        assert shipped.engine == calibration.engine
+        assert shipped.engine_reason == calibration.engine_reason
+        assert shipped.per_engine == calibration.per_engine
+
+    def test_pre_hbe_manifest_defaults_to_batch(self, plane):
+        """Manifests written before the hbe engine carry no engine
+        fields; those fleets were batch-only by construction."""
+        *__, manifest_file = plane
+        manifest = TreeManifest.load(manifest_file)
+        doctored = dict(manifest.extras)
+        legacy = dict(doctored["calibration"])
+        for key in ("engine", "engine_reason", "per_engine"):
+            legacy.pop(key, None)
+        doctored["calibration"] = legacy
+        shipped = calibration_from_manifest(
+            dataclasses.replace(manifest, extras=doctored)
+        )
+        assert shipped.engine == "batch"
+        assert shipped.engine_reason == "configured"
+        assert shipped.per_engine == ()
+
+    def test_skeleton_strips_hbe_index(self, plane):
+        """The hbe tables are per-point state rebuilt deterministically
+        from the seed; the published skeleton must not carry them."""
+        classifier, *__, manifest_file = plane
+        attached, attachment, __ = attach_classifier(manifest_file)
+        try:
+            assert attached._hbe is None
+        finally:
+            attachment.close()
 
     def test_tampered_skeleton_refused(self, plane, tmp_path):
         *__, manifest_file = plane

@@ -40,6 +40,25 @@ def canned_coreset_row(agreement: float = 1.0) -> dict:
     }
 
 
+def canned_hbe_report(
+    dims=(8, 32, 64),
+    agreement: float = 1.0,
+    speedup: float = 6.0,
+    low_dim_speedup: float = 1.2,
+) -> dict:
+    """A committed BENCH_hbe.json shape: parity everywhere, wins at high d."""
+    return {
+        "benchmark": "hbe",
+        "rows": [{
+            "dataset": "gauss", "n": 50_000, "dim": dim,
+            "n_queries": 500,
+            "speedup_vs_batch": speedup if dim >= 32 else low_dim_speedup,
+            "label_agreement": agreement,
+            "agreement_outside_band": agreement,
+        } for dim in dims],
+    }
+
+
 def canned_serving_report(
     cpu_count: int = 8,
     scaling_ratio: float = 3.1,
@@ -69,6 +88,7 @@ def write_baseline(
     smoke_rows,
     coreset_agreement: float = 1.0,
     serving: dict | None = None,
+    hbe: dict | None = None,
 ) -> None:
     (directory / "BENCH_batch_traversal.json").write_text(json.dumps({
         "benchmark": "batch_traversal", "rows": smoke_rows,
@@ -82,6 +102,9 @@ def write_baseline(
     }))
     (directory / "BENCH_serving.json").write_text(json.dumps(
         serving if serving is not None else canned_serving_report()
+    ))
+    (directory / "BENCH_hbe.json").write_text(json.dumps(
+        hbe if hbe is not None else canned_hbe_report()
     ))
 
 
@@ -268,6 +291,68 @@ class TestServingChecks:
         assert gate.main(["--baseline-dir", str(tmp_path)]) == 1
         assert gate.main([
             "--baseline-dir", str(tmp_path), "--fleet-scaling-floor", "1.2",
+        ]) == 0
+
+
+class TestHbeChecks:
+    """The committed BENCH_hbe.json validation (no fresh measurement)."""
+
+    def _hbe_checks(self, tmp_path, hbe: dict) -> dict:
+        write_baseline(tmp_path, canned_smoke_rows(), hbe=hbe)
+        return {c.name: c for c in gate.run_gate(baseline_dir=tmp_path)}
+
+    def test_healthy_report_passes(self, tmp_path, canned_measurements):
+        checks = self._hbe_checks(tmp_path, canned_hbe_report())
+        assert checks["hbe_agreement_outside_band"].ok
+        assert checks["hbe_speedup_vs_batch"].ok
+
+    def test_low_dim_rows_exempt_from_speedup_floor(
+        self, tmp_path, canned_measurements
+    ):
+        # d=8 at 1.2x is the documented crossover regime; only d >= 32
+        # rows owe the 5x.
+        checks = self._hbe_checks(
+            tmp_path, canned_hbe_report(low_dim_speedup=0.9)
+        )
+        assert checks["hbe_speedup_vs_batch"].ok
+
+    def test_doctored_agreement_is_a_hard_failure(
+        self, tmp_path, canned_measurements
+    ):
+        checks = self._hbe_checks(tmp_path, canned_hbe_report(agreement=0.995))
+        assert not checks["hbe_agreement_outside_band"].ok
+
+    def test_doctored_speedup_fails(self, tmp_path, canned_measurements):
+        checks = self._hbe_checks(tmp_path, canned_hbe_report(speedup=3.0))
+        check = checks["hbe_speedup_vs_batch"]
+        assert not check.ok
+        assert check.reference == pytest.approx(5.0)
+
+    def test_missing_hbe_baseline_fails(self, tmp_path, canned_measurements):
+        write_baseline(tmp_path, canned_smoke_rows())
+        (tmp_path / "BENCH_hbe.json").unlink()
+        checks = {c.name: c for c in gate.run_gate(baseline_dir=tmp_path)}
+        assert not checks["baseline[hbe]"].ok
+
+    def test_empty_rows_fail(self, tmp_path, canned_measurements):
+        checks = self._hbe_checks(
+            tmp_path, {"benchmark": "hbe", "rows": []}
+        )
+        failed = checks["baseline[hbe.rows]"]
+        assert not failed.ok and "bench-hbe" in failed.detail
+
+    def test_no_high_dim_rows_fail(self, tmp_path, canned_measurements):
+        checks = self._hbe_checks(tmp_path, canned_hbe_report(dims=(8, 16)))
+        assert not checks["baseline[hbe.d>=32]"].ok
+
+    def test_speedup_floor_flag(self, tmp_path, canned_measurements):
+        write_baseline(
+            tmp_path, canned_smoke_rows(),
+            hbe=canned_hbe_report(speedup=4.0),
+        )
+        assert gate.main(["--baseline-dir", str(tmp_path)]) == 1
+        assert gate.main([
+            "--baseline-dir", str(tmp_path), "--hbe-speedup-floor", "3.5",
         ]) == 0
 
 

@@ -1,0 +1,420 @@
+"""The hashing-based estimator: LSH primitives, decision loop, auto selection.
+
+One high-dimensional classifier is fitted once per module (d=16 with a
+non-degenerate bandwidth, the engine's home regime); the primitive-level
+tests below it are pure numpy and run in microseconds.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import Label, TKDCClassifier, TKDCConfig
+from repro.datasets.registry import load
+from repro.estimators.hbe import HbeIndex
+from repro.estimators.lsh import (
+    LshTables,
+    collision_probability,
+    erf,
+    normal_upper_quantile,
+    tune_hash_depth,
+)
+from repro.estimators.select import select_engine
+from repro.kernels.gaussian import GaussianKernel
+
+
+@pytest.fixture(scope="module")
+def hd_data() -> np.ndarray:
+    return load("gauss", n=2000, d=16, seed=0)
+
+
+@pytest.fixture(scope="module")
+def hd_clf(hd_data: np.ndarray) -> TKDCClassifier:
+    config = TKDCConfig(
+        p=0.05, seed=0, refine_threshold=False, bootstrap_s0=300,
+        engine="hbe", bandwidth_scale=2.0,
+    )
+    return TKDCClassifier(config).fit(hd_data)
+
+
+class TestErf:
+    def test_matches_math_erf(self):
+        xs = np.linspace(-4.0, 4.0, 401)
+        exact = np.array([math.erf(x) for x in xs])
+        assert np.max(np.abs(erf(xs) - exact)) < 5e-7
+
+    def test_odd_symmetry_and_zero(self):
+        xs = np.array([0.5, 1.0, 2.5])
+        np.testing.assert_allclose(erf(-xs), -erf(xs))
+        assert erf(np.array([0.0]))[0] == 0.0
+
+
+class TestNormalUpperQuantile:
+    def test_known_quantiles(self):
+        assert normal_upper_quantile(0.025) == pytest.approx(1.959964, abs=1e-5)
+        assert normal_upper_quantile(0.005) == pytest.approx(2.575829, abs=1e-5)
+
+    def test_median_is_zero(self):
+        assert normal_upper_quantile(0.5) == 0.0
+
+    def test_validates_delta(self):
+        for bad in (0.0, 1.0, -0.1, 2.0):
+            with pytest.raises(ValueError, match="delta"):
+                normal_upper_quantile(bad)
+
+
+class TestCollisionProbability:
+    def test_zero_distance_is_certain(self):
+        assert collision_probability(np.array([0.0]), 3.0, 4)[0] == 1.0
+
+    def test_monotone_decreasing(self):
+        dists = np.linspace(0.0, 20.0, 200)
+        p = collision_probability(dists, 3.0, 4)
+        assert np.all(np.diff(p) <= 1e-15)
+
+    def test_depth_is_a_power(self):
+        dists = np.array([0.5, 1.0, 3.0])
+        p1 = collision_probability(dists, 3.0, 1)
+        p4 = collision_probability(dists, 3.0, 4)
+        np.testing.assert_allclose(p4, p1**4, rtol=1e-12)
+
+    def test_floored_positive_far_out(self):
+        p = collision_probability(np.array([1e9]), 3.0, 16)
+        assert np.all(p > 0.0)
+
+
+class TestLshTables:
+    def test_build_is_deterministic_in_seed(self):
+        rng = np.random.default_rng(3)
+        points = rng.normal(size=(300, 8))
+        queries = rng.normal(size=(50, 8))
+        a = LshTables(points, None, tables=8, width=3.0, seed=7)
+        b = LshTables(points, None, tables=8, width=3.0, seed=7)
+        assert a.depth == b.depth
+        for t in range(8):
+            fa, ra, ma = a.lookup(t, queries)
+            fb, rb, mb = b.lookup(t, queries)
+            np.testing.assert_array_equal(fa, fb)
+            np.testing.assert_array_equal(ra, rb)
+            np.testing.assert_array_equal(ma, mb)
+
+    def test_bucket_mass_conserved(self):
+        rng = np.random.default_rng(4)
+        points = rng.normal(size=(200, 4))
+        weights = rng.uniform(0.5, 2.0, size=200)
+        tables = LshTables(points, weights, tables=4, width=2.0, seed=0)
+        for table in tables._tables:
+            assert table.bucket_mass.sum() == pytest.approx(weights.sum())
+            # Every representative is a real training index.
+            assert np.all((0 <= table.representative)
+                          & (table.representative < 200))
+
+    def test_training_point_finds_its_own_bucket(self):
+        rng = np.random.default_rng(5)
+        points = rng.normal(size=(100, 4))
+        tables = LshTables(points, None, tables=4, width=3.0, seed=1)
+        found, __, mass = tables.lookup(0, points)
+        assert found.all()
+        assert np.all(mass >= 1.0)
+
+    def test_validation(self):
+        good = np.zeros((5, 2))
+        with pytest.raises(ValueError, match="non-empty"):
+            LshTables(np.zeros((0, 2)), None, tables=4, width=1.0)
+        with pytest.raises(ValueError, match="tables"):
+            LshTables(good, None, tables=0, width=1.0)
+        with pytest.raises(ValueError, match="width"):
+            LshTables(good, None, tables=4, width=0.0)
+        with pytest.raises(ValueError, match="align"):
+            LshTables(good, np.ones(3), tables=4, width=1.0)
+        with pytest.raises(ValueError, match="finite"):
+            LshTables(good, np.full(5, -1.0), tables=4, width=1.0)
+
+    def test_tune_hash_depth_in_range(self):
+        rng = np.random.default_rng(6)
+        points = rng.normal(size=(500, 16))
+        depth = tune_hash_depth(
+            points, np.ones(500), 3.0, np.random.default_rng(0)
+        )
+        assert 1 <= depth <= 16
+
+
+class TestHbeEstimate:
+    def test_importance_correction_is_unbiased(self):
+        """Single-point dataset: E[Z] = K(c) exactly, check the mean."""
+        kernel = GaussianKernel(np.ones(2))
+        index = HbeIndex(
+            np.zeros((1, 2)), None, kernel, tables=512, width=3.0,
+            depth=2, seed=0,
+        )
+        query = np.array([[1.0, 0.5]])
+        sq = float((query * query).sum())
+        expected = float(np.asarray(kernel.value(np.array([sq])))[0])
+        estimate = index.estimate(query)[0]
+        # 512 tables; the only variance is the collide-or-miss Bernoulli.
+        assert estimate == pytest.approx(expected, rel=0.15)
+
+    def test_validation(self):
+        kernel = GaussianKernel(np.ones(2))
+        points = np.zeros((4, 2))
+        with pytest.raises(ValueError, match="delta"):
+            HbeIndex(points, None, kernel, delta=0.0)
+        with pytest.raises(ValueError, match="min_samples"):
+            HbeIndex(points, None, kernel, min_samples=0)
+        with pytest.raises(ValueError, match="batch_tables"):
+            HbeIndex(points, None, kernel, batch_tables=0)
+        with pytest.raises(ValueError, match="sample_cost"):
+            HbeIndex(points, None, kernel, sample_cost=0)
+        with pytest.raises(ValueError, match="margin"):
+            HbeIndex(points, None, kernel, margin=0.5)
+
+
+class TestDecideBlock:
+    def test_empty_block(self, hd_clf):
+        index = hd_clf._ensure_hbe()
+        decision = index.decide_block(
+            np.zeros((0, 16)), hd_clf.threshold.value, 0.01
+        )
+        assert decision.decided.shape == (0,)
+        assert decision.samples_total == 0
+        assert decision.fallback_rows.size == 0
+
+    def test_outcomes_partition_the_block(self, hd_clf, hd_data):
+        index = hd_clf._ensure_hbe()
+        scaled = hd_clf.kernel.scale(hd_data[:100])
+        decision = index.decide_block(
+            scaled, hd_clf.threshold.value, hd_clf.config.epsilon,
+            eta=hd_clf.eta_applied,
+        )
+        assert not np.any(decision.decided & decision.exhausted)
+        fallback = np.zeros(100, dtype=bool)
+        fallback[decision.fallback_rows] = True
+        assert not np.any(fallback & decision.decided)
+        assert np.all(
+            decision.decided | decision.exhausted | fallback
+        )
+        # Unbudgeted: nothing can be exhausted, and something decides in
+        # the engine's home regime.
+        assert not decision.exhausted.any()
+        assert decision.decided.any()
+        assert np.all(decision.ci_lo <= decision.ci_hi)
+        assert np.all(decision.samples <= index.n_tables)
+
+    def test_zero_budget_exhausts_everything(self, hd_clf, hd_data):
+        index = hd_clf._ensure_hbe()
+        scaled = hd_clf.kernel.scale(hd_data[:10])
+        decision = index.decide_block(
+            scaled, hd_clf.threshold.value, hd_clf.config.epsilon, budget=0
+        )
+        assert decision.samples_total == 0
+        assert decision.exhausted.all()
+        assert decision.fallback_rows.size == 0
+
+    def test_rebuild_is_deterministic(self, hd_clf, hd_data):
+        scaled = hd_clf.kernel.scale(hd_data[:64])
+        threshold = hd_clf.threshold.value
+        first = hd_clf._ensure_hbe().decide_block(scaled, threshold, 0.01)
+        hd_clf._hbe = None  # what the fleet skeleton does
+        second = hd_clf._ensure_hbe().decide_block(scaled, threshold, 0.01)
+        np.testing.assert_array_equal(first.decided, second.decided)
+        np.testing.assert_array_equal(first.high, second.high)
+        np.testing.assert_array_equal(first.samples, second.samples)
+        np.testing.assert_allclose(first.mean, second.mean)
+
+    def test_decided_labels_match_exact_density(self, hd_clf, hd_data):
+        """CI-decided labels agree with the densities they certify."""
+        from repro.coresets.validate import exact_density
+
+        rng = np.random.default_rng(2)
+        box = rng.uniform(
+            hd_data.min(axis=0), hd_data.max(axis=0), size=(50, 16)
+        )
+        queries = np.concatenate([hd_data[:50], box])
+        scaled = hd_clf.kernel.scale(queries)
+        threshold = hd_clf.threshold.value
+        index = hd_clf._ensure_hbe()
+        decision = index.decide_block(
+            scaled, threshold, hd_clf.config.epsilon, eta=hd_clf.eta_applied
+        )
+        f = exact_density(
+            hd_clf.kernel.scale(hd_data), hd_clf.kernel, scaled
+        )
+        rows = np.flatnonzero(decision.decided)
+        assert rows.size > 0
+        for row in rows:
+            if decision.high[row]:
+                assert f[row] > threshold * (1.0 - hd_clf.config.epsilon)
+            else:
+                assert f[row] < threshold * (1.0 + hd_clf.config.epsilon)
+
+
+class TestVisibilityGuard:
+    def test_visibility_distance_matches_miss_probability(self, hd_clf):
+        index = hd_clf._ensure_hbe()
+        for m in (8, index.n_tables):
+            c_vis = index.visibility_distance(m)
+            assert c_vis > 0.0
+            p = collision_probability(
+                np.array([c_vis]), index.tables.width, index.tables.depth
+            )[0]
+            # Miss probability (1 - p)^m = delta at the horizon.
+            assert (1.0 - p) ** m == pytest.approx(index.delta, rel=1e-6)
+
+    def test_horizon_widens_with_tables_consulted(self, hd_clf):
+        index = hd_clf._ensure_hbe()
+        distances = [index.visibility_distance(m) for m in (8, 16, 32, 64)]
+        assert distances == sorted(distances)
+        bounds = [index.low_visibility_bound(m) for m in (8, 16, 32, 64)]
+        assert bounds == sorted(bounds, reverse=True)
+
+    def test_bound_positive_and_cached(self, hd_clf):
+        index = hd_clf._ensure_hbe()
+        bound = index.low_visibility_bound()
+        assert bound > 0.0
+        assert bound == index.low_visibility_bound(index.n_tables)
+        assert index.low_visibility_bound() is index.low_visibility_bound()
+
+    def test_home_regime_certifies_low(self, hd_clf):
+        assert hd_clf.hbe_low_certifiable()
+
+    def test_degenerate_bandwidth_blocks_low(self, hd_data):
+        """Scott's rule at d=16 is a spike field: the guard must refuse."""
+        clf = TKDCClassifier(TKDCConfig(
+            p=0.05, seed=0, refine_threshold=False, bootstrap_s0=300,
+            engine="hbe",  # bandwidth_scale=1.0: raw Scott
+        )).fit(hd_data)
+        assert not clf.hbe_low_certifiable()
+        index = clf._ensure_hbe()
+        scaled = clf.kernel.scale(hd_data[:50])
+        decision = index.decide_block(
+            scaled, clf.threshold.value, clf.config.epsilon,
+            eta=clf.eta_applied,
+        )
+        # LOW decisions are suppressed wholesale; HIGHs may still fire.
+        assert not np.any(decision.decided & ~decision.high)
+
+
+class TestAutoSelection:
+    def test_low_dim_keeps_batch(self):
+        rng = np.random.default_rng(0)
+        clf = TKDCClassifier(TKDCConfig(p=0.05, seed=0, engine="auto")).fit(
+            rng.normal(size=(400, 2))
+        )
+        assert clf.auto_selection() == ("batch", "low_dim")
+        assert clf._resolve_engine(None) == "batch"
+
+    def test_high_dim_picks_hbe(self, hd_data):
+        clf = TKDCClassifier(TKDCConfig(
+            p=0.05, seed=0, refine_threshold=False, bootstrap_s0=300,
+            engine="auto", bandwidth_scale=2.0,
+        )).fit(hd_data)
+        assert clf.auto_selection() == ("hbe", "high_dim")
+        assert clf._resolve_engine(None) == "hbe"
+
+    def test_degenerate_bandwidth_demotes_to_batch(self, hd_data):
+        clf = TKDCClassifier(TKDCConfig(
+            p=0.05, seed=0, refine_threshold=False, bootstrap_s0=300,
+            engine="auto",  # raw Scott at d=16: guard refuses LOWs
+        )).fit(hd_data)
+        assert clf.auto_selection() == ("batch", "degenerate_bandwidth")
+        assert clf._resolve_engine(None) == "batch"
+
+    def test_configured_engine_is_never_overridden(self, hd_clf):
+        assert hd_clf.auto_selection() == ("hbe", "configured")
+
+    def test_selection_function_rules(self):
+        auto = TKDCConfig(engine="auto")
+        assert select_engine(2, "gaussian", TKDCConfig(engine="batch")) == (
+            "batch", "configured",
+        )
+        assert select_engine(2, "epanechnikov", auto) == (
+            "batch", "kernel_unsupported",
+        )
+        assert select_engine(auto.hbe_auto_dim, "gaussian", auto) == (
+            "hbe", "high_dim",
+        )
+        assert select_engine(2, "gaussian", auto) == ("batch", "low_dim")
+        # The serving calibrator's measured-expansion upgrade rule.
+        assert select_engine(
+            2, "gaussian", auto,
+            expansions_per_query=0.5 * 1000, n=1000,
+        ) == ("hbe", "expansion_rate")
+        assert select_engine(
+            2, "gaussian", auto,
+            expansions_per_query=0.01 * 1000, n=1000,
+        ) == ("batch", "low_dim")
+
+
+class TestBudgetExhaustion:
+    """An hbe query that runs out of anytime budget must surface as
+    degraded/UNCERTAIN through classify_detailed — the same contract the
+    tree engines honour, never a silent best-effort label."""
+
+    def test_exhausted_queries_degrade_to_uncertain(self, hd_data):
+        config = TKDCConfig(
+            p=0.05, seed=0, refine_threshold=False, bootstrap_s0=300,
+            engine="hbe", bandwidth_scale=2.0,
+            # Affords 4 samples: below min_samples, so no query ripens,
+            # and below the cost of any fallback traversal.
+            max_node_expansions=4,
+        )
+        clf = TKDCClassifier(config).fit(hd_data)
+        result = clf.classify_detailed(hd_data[:20])
+        assert result.degraded.all()
+        assert np.all(result.lower == 0.0)
+        assert np.all(np.isinf(result.upper))
+        resolved = result.resolved_labels()
+        assert np.all(resolved == Label.UNCERTAIN)
+        assert clf.stats.extras.get("hbe_exhausted", 0.0) >= 20.0
+
+    def test_unbudgeted_run_is_never_degraded(self, hd_clf, hd_data):
+        result = hd_clf.classify_detailed(hd_data[:20])
+        assert not result.degraded.any()
+        assert not np.any(result.resolved_labels() == Label.UNCERTAIN)
+
+
+class TestMetricsReporting:
+    def test_hbe_families_populated(self, hd_clf, hd_data):
+        from repro.obs.registry import REGISTRY, render_prometheus
+
+        REGISTRY.reset()
+        hd_clf.classify(hd_data[:40])
+        from repro.obs.metrics import record_engine_selected
+
+        record_engine_selected(*hd_clf.auto_selection())
+        text = render_prometheus(REGISTRY)
+        assert (
+            'tkdc_engine_selected_total{engine="hbe",reason="configured"}'
+            in text
+        )
+        assert "# TYPE tkdc_hbe_samples histogram" in text
+        assert 'tkdc_hbe_samples_count{outcome="decided"}' in text
+        # Straddle queries were counted as undecided-by-cause.
+        assert "tkdc_hbe_undecided_total" in text
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("knob,value", [
+        ("hbe_tables", 0),
+        ("hbe_hash_depth", 0),
+        ("hbe_bucket_width", 0.0),
+        ("hbe_delta", 1.5),
+        ("hbe_min_samples", 0),
+        ("hbe_batch_tables", 0),
+        ("hbe_sample_cost", 0),
+        ("hbe_margin", 0.5),
+        ("hbe_auto_dim", 0),
+        ("hbe_auto_expansion_fraction", 0.0),
+    ])
+    def test_bad_hbe_knob_raises(self, knob, value):
+        with pytest.raises(ValueError, match=knob.replace("_", "[_ ]")):
+            TKDCConfig(**{knob: value})
+
+    def test_engine_choices(self):
+        with pytest.raises(ValueError, match="engine"):
+            TKDCConfig(engine="bogus")
+        for engine in ("batch", "per-query", "hbe", "auto"):
+            assert TKDCConfig(engine=engine).engine == engine
