@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-faults test-serve serve-smoke bench bench-batch bench-coreset bench-coreset-smoke bench-gate bench-hbe bench-hbe-smoke bench-robustness bench-serving bench-serving-smoke experiments demo clean
+.PHONY: install test test-fast test-faults test-serve test-streaming serve-smoke bench bench-batch bench-coreset bench-coreset-smoke bench-gate bench-hbe bench-hbe-smoke bench-robustness bench-serving bench-serving-smoke experiments demo clean
 
 install:
 	pip install -e ".[test]"
@@ -22,6 +22,11 @@ test-faults:
 # verified hot reload, and the overload+faults soak test.
 test-serve:
 	$(PYTHON) -m pytest tests/serve -q
+
+# Streaming-ingest suite: coreset sketch, drift monitor, crash-isolated
+# refits, verified hot swap, and the drift+faults soak test.
+test-streaming:
+	$(PYTHON) -m pytest tests/streaming -q
 
 # End-to-end daemon smoke as a real subprocess: start, classify, drain
 # on SIGTERM. CI wraps this in a hard `timeout`.

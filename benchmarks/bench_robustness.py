@@ -13,9 +13,15 @@ The robustness layer must be close to free when nothing goes wrong:
 - **Anytime budgets** trade accuracy for latency; the sweep records
   throughput and the degraded fraction at each cap so the budget knob's
   cost curve is visible.
+- **Streaming refit loop** (``repro.streaming``): one scripted drift
+  episode measuring the refit latency, the detection→swap staleness
+  window against the pipeline's declared bound, and the mid-drift label
+  lag (how many post-drift points the exact-buffer path needs before a
+  new-mode probe flips HIGH, i.e. before the refit even lands).
 
 Writes ``BENCH_robustness.json`` at the repo root. Run standalone
-(``make bench-robustness``) or under pytest via ``make bench``.
+(``make bench-robustness``) or under pytest via ``make bench``. The
+bench gate (``repro.bench.gate``) validates the committed streaming row.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
+import time
 from pathlib import Path
 
 import numpy as np
@@ -35,9 +42,11 @@ from repro.core.classifier import (
     TKDCClassifier,
 )
 from repro.core.config import TKDCConfig
+from repro.core.result import Label
 from repro.core.stats import TraversalStats
 from repro.datasets.registry import load
 from repro.io.atomic import atomic_write_text
+from repro.streaming import StreamingPipeline, StreamSettings
 
 REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_robustness.json"
 
@@ -52,6 +61,13 @@ REPEATS = 3
 
 #: Budget sweep: node-expansion caps (None = unbounded baseline).
 BUDGETS = (None, 64, 8)
+
+#: Streaming drift episode: initial fit size, the injected mode shift,
+#: the ingest batch size, and a hard cap on post-drift stream length.
+STREAM_INITIAL = 10_000
+STREAM_SHIFT = (6.0, 6.0)
+STREAM_BATCH = 64
+STREAM_MAX_POST = 4_096
 
 
 def _raw_pool_chunk(chunk: np.ndarray) -> tuple[np.ndarray, TraversalStats]:
@@ -195,6 +211,71 @@ def bench_budget(seed: int = 0) -> list[dict]:
     return rows
 
 
+def bench_streaming(seed: int = 0) -> list[dict]:
+    """One scripted drift episode through the streaming pipeline.
+
+    Metrics: refit latency (the supervised subprocess fit), the
+    detection→swap staleness window vs the pipeline's declared bound,
+    and the mid-drift label lag — post-drift points ingested before the
+    exact-buffer path alone flips a new-mode probe to HIGH.
+    """
+    data = load(DATASET, n=STREAM_INITIAL, seed=seed)
+    config = TKDCConfig(
+        p=0.01, seed=seed, refine_threshold=False,
+        bootstrap_s0=min(2000, STREAM_INITIAL), worker_backoff=0.0,
+    )
+    settings = StreamSettings(
+        monitor_window=256, hysteresis=2, check_interval=0.05,
+        min_refit_interval=0.0, refit_deadline=300.0, refit_retries=1,
+    )
+    pipeline = StreamingPipeline.from_data(data, config, settings=settings)
+    shift = np.asarray(STREAM_SHIFT, dtype=np.float64)
+    probe = shift[None, :]
+    assert pipeline.classify(probe)[0] is Label.LOW, (
+        "probe must start out-of-distribution"
+    )
+
+    rng = np.random.default_rng(seed + 4)
+    label_lag = None
+    first_drift_at = None
+    detect_to_swap = None
+    ingested = 0
+    while ingested < STREAM_MAX_POST and pipeline.swaps == 0:
+        batch = rng.normal(size=(STREAM_BATCH, data.shape[1])) * 0.5 + shift
+        pipeline.ingest(batch)
+        ingested += STREAM_BATCH
+        if label_lag is None and pipeline.classify(probe)[0] is Label.HIGH:
+            label_lag = ingested
+        decision = pipeline.check_drift_once()
+        if decision.drifted and first_drift_at is None:
+            first_drift_at = time.perf_counter()
+        if pipeline.swaps and first_drift_at is not None:
+            detect_to_swap = time.perf_counter() - first_drift_at
+
+    refit = pipeline._last_refit
+    accounting = pipeline.verify_accounting()
+    converged = bool(
+        pipeline.swaps >= 1
+        and label_lag is not None
+        and pipeline.classify(probe)[0] is Label.HIGH
+    )
+    return [{
+        "section": "streaming",
+        "dataset": DATASET,
+        "n_initial": STREAM_INITIAL,
+        "post_drift_points": ingested,
+        "monitor_window": settings.monitor_window,
+        "hysteresis": settings.hysteresis,
+        "label_lag_points": label_lag,
+        "refit_seconds": None if refit is None else refit.seconds,
+        "detect_to_swap_seconds": detect_to_swap,
+        "staleness_bound_seconds": settings.staleness_bound,
+        "swaps": pipeline.swaps,
+        "converged": converged,
+        "accounting_ok": bool(accounting["ok"]),
+    }]
+
+
 def run_benchmark(seed: int = 0) -> list[dict]:
     rows = []
     print(f"\n[supervised pool: {DATASET} n={N_TRAIN}, {POOL_QUERIES} queries, "
@@ -221,6 +302,15 @@ def run_benchmark(seed: int = 0) -> list[dict]:
         print(f"  max_expansions={str(row['max_node_expansions']):>4}: "
               f"{human_rate(row['queries_per_s'])}, "
               f"{row['degraded_fraction']:.1%} degraded")
+
+    print(f"\n[streaming drift episode: {DATASET} n={STREAM_INITIAL}]")
+    for row in bench_streaming(seed):
+        rows.append(row)
+        print(f"  label lag {row['label_lag_points']} points, "
+              f"refit {row['refit_seconds']:.2f}s, "
+              f"detect->swap {row['detect_to_swap_seconds']:.2f}s "
+              f"(bound {row['staleness_bound_seconds']:.0f}s), "
+              f"converged={row['converged']}")
     return rows
 
 
@@ -255,6 +345,12 @@ def test_robustness_overhead(benchmark):
     tightest = next(r for r in budget_rows if r["max_node_expansions"] == 8)
     assert unbounded["degraded_fraction"] == 0.0
     assert tightest["degraded_fraction"] > 0.0
+
+    streaming = next(r for r in rows if r["section"] == "streaming")
+    assert streaming["converged"] and streaming["accounting_ok"]
+    assert streaming["detect_to_swap_seconds"] <= (
+        streaming["staleness_bound_seconds"]
+    )
 
     clf, data = _fit()
     queries = _query_block(data, 512, np.random.default_rng(7))

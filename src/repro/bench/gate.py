@@ -24,6 +24,14 @@ machine-tolerant metrics against those baselines:
   unreachable. The serving bench itself is too heavy to re-run inside
   the gate, so this validates the committed report rather than
   measuring fresh.
+- **streaming refit loop** (baseline validation): the committed
+  ``BENCH_robustness.json`` streaming row must record a converged drift
+  episode with exact accounting (hard), a detection→swap window inside
+  the pipeline's own declared staleness bound (hard), and a mid-drift
+  label lag of at most ``streaming_label_lag_ceiling`` points (the
+  exact-buffer path must flip new-mode answers long before the refit
+  lands). Validates the committed report; the drift episode itself runs
+  under ``make bench-robustness``.
 - **hbe engine** (baseline validation): the committed ``BENCH_hbe.json``
   must show outside-band label agreement of exactly 1.0 at *every*
   dimensionality (hard — the fall-back-on-straddle design makes parity
@@ -88,6 +96,10 @@ class GateTolerances:
     #: no-collapse floor of 0.8x applies (a fleet that *loses* 20%+
     #: throughput to its own routing overhead is a regression anywhere).
     fleet_scaling_floor: float = 2.5
+    #: Committed streaming drift episode may need at most this many
+    #: post-drift points before the exact-buffer path flips a new-mode
+    #: probe HIGH (mid-drift label lag).
+    streaming_label_lag_ceiling: int = 2048
     #: Committed hbe bench rows at d >= hbe_speedup_dim must beat the
     #: batch engine by at least this factor.
     hbe_speedup_floor: float = 5.0
@@ -388,6 +400,60 @@ def _check_serving(
     return checks
 
 
+def _check_robustness(
+    baseline: dict | None, tolerances: GateTolerances
+) -> list[GateCheck]:
+    """Validate the committed robustness/streaming baseline."""
+    if baseline is None:
+        return [GateCheck(
+            name="baseline[robustness]", ok=False,
+            measured=0.0, reference=1.0,
+            detail="BENCH_robustness.json missing from baseline dir",
+        )]
+    streaming = next(
+        (r for r in baseline.get("rows", ())
+         if r.get("section") == "streaming"),
+        None,
+    )
+    if streaming is None:
+        return [GateCheck(
+            name="baseline[robustness.streaming]", ok=False,
+            measured=0.0, reference=1.0,
+            detail="baseline has no streaming row; regenerate it with "
+                   "`make bench-robustness`",
+        )]
+    checks = [GateCheck(
+        name="streaming_drift_converged",
+        ok=bool(streaming.get("converged"))
+        and bool(streaming.get("accounting_ok")),
+        measured=float(bool(streaming.get("converged"))),
+        reference=1.0,
+        detail="the scripted drift episode must swap in a refit model "
+               "with the conservation accounting intact",
+    )]
+    window = streaming.get("detect_to_swap_seconds")
+    bound = streaming.get("staleness_bound_seconds")
+    checks.append(GateCheck(
+        name="streaming_staleness_within_bound",
+        ok=window is not None and bound is not None and window <= bound,
+        measured=float(window if window is not None else -1.0),
+        reference=float(bound if bound is not None else 0.0),
+        detail="detection->swap must finish inside the pipeline's own "
+               "declared staleness bound",
+    ))
+    lag = streaming.get("label_lag_points")
+    checks.append(GateCheck(
+        name="streaming_label_lag",
+        ok=lag is not None and lag <= tolerances.streaming_label_lag_ceiling,
+        measured=float(lag if lag is not None else -1.0),
+        reference=float(tolerances.streaming_label_lag_ceiling),
+        detail="post-drift points before the exact-buffer path flips a "
+               "new-mode probe HIGH (answers must move well before the "
+               "refit lands)",
+    ))
+    return checks
+
+
 def _check_hbe(
     baseline: dict | None, tolerances: GateTolerances
 ) -> list[GateCheck]:
@@ -460,6 +526,9 @@ def run_gate(
     checks.extend(_check_serving(
         load_report(baseline_dir, "serving"), tolerances
     ))
+    checks.extend(_check_robustness(
+        load_report(baseline_dir, "robustness"), tolerances
+    ))
     checks.extend(_check_hbe(
         load_report(baseline_dir, "hbe"), tolerances
     ))
@@ -503,6 +572,12 @@ def main(argv: list[str] | None = None) -> int:
              "the baseline machine had >=4 cores; auto-relaxed below",
     )
     parser.add_argument(
+        "--streaming-label-lag-ceiling", type=int,
+        default=GateTolerances.streaming_label_lag_ceiling,
+        help="max mid-drift label lag (points) in the committed "
+             "BENCH_robustness.json streaming row",
+    )
+    parser.add_argument(
         "--hbe-speedup-floor", type=float,
         default=GateTolerances.hbe_speedup_floor,
         help="required hbe-vs-batch speedup in the committed "
@@ -520,6 +595,7 @@ def main(argv: list[str] | None = None) -> int:
             kernels_rel_tol=args.kernels_rel_tol,
             agreement_slack=args.agreement_slack,
             fleet_scaling_floor=args.fleet_scaling_floor,
+            streaming_label_lag_ceiling=args.streaming_label_lag_ceiling,
             hbe_speedup_floor=args.hbe_speedup_floor,
         ),
         seed=args.seed,

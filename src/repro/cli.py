@@ -112,6 +112,26 @@ def _add_serve_parser(subparsers: argparse._SubParsersAction) -> None:
                             "daemon; N>1 pre-forks N workers behind a router "
                             "sharing the model over shared memory "
                             "(Linux; see docs/serving.md)")
+    serve.add_argument("--streaming", action="store_true",
+                       help="enable POST /ingest with drift-triggered "
+                            "background refit and verified hot swap "
+                            "(workers=1 only; see docs/streaming.md)")
+    serve.add_argument("--drift-delta", type=float, default=0.01,
+                       help="per-check false-trigger level of the drift CI")
+    serve.add_argument("--drift-window", type=int, default=256,
+                       help="fresh points per drift check")
+    serve.add_argument("--drift-hysteresis", type=int, default=2,
+                       help="consecutive violating checks before a refit")
+    serve.add_argument("--drift-check-interval", type=float, default=1.0,
+                       help="seconds between background drift checks")
+    serve.add_argument("--min-refit-interval", type=float, default=30.0,
+                       help="seconds between drift-triggered refits")
+    serve.add_argument("--refit-deadline", type=float, default=120.0,
+                       help="per-attempt deadline of the supervised refit")
+    serve.add_argument("--refit-sample-cap", type=int, default=20000,
+                       help="max training rows materialized per refit")
+    serve.add_argument("--sketch-capacity", type=int, default=4096,
+                       help="weighted points kept by the stream sketch")
 
 
 def _add_serve_worker_parser(subparsers: argparse._SubParsersAction) -> None:
@@ -248,7 +268,24 @@ def _serve(args: argparse.Namespace) -> int:
         drain_timeout=args.drain_timeout,
         workers=args.workers,
     )
-    return serve(args.model, config)
+    stream_settings = None
+    if args.streaming:
+        from repro.streaming import StreamSettings
+
+        stream_settings = StreamSettings(
+            drift_delta=args.drift_delta,
+            monitor_window=args.drift_window,
+            hysteresis=args.drift_hysteresis,
+            check_interval=args.drift_check_interval,
+            min_refit_interval=args.min_refit_interval,
+            refit_deadline=args.refit_deadline,
+            refit_sample_cap=args.refit_sample_cap,
+            sketch_capacity=args.sketch_capacity,
+        )
+    return serve(
+        args.model, config,
+        streaming=args.streaming, stream_settings=stream_settings,
+    )
 
 
 def _serve_worker(args: argparse.Namespace) -> int:

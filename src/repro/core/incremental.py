@@ -12,11 +12,22 @@ continuously. This wrapper keeps tKDC usable in that setting:
   guarantee relative to the current model's threshold is preserved;
 - once the buffer outgrows ``refit_fraction`` of the indexed set, the
   model is retrained from scratch (new bandwidth, index, and threshold,
-  per the paper's training procedure).
+  per the paper's training procedure) — unless ``auto_refit=False``,
+  in which case refits are owned by an external controller (the
+  streaming pipeline's drift-triggered background refit,
+  :mod:`repro.streaming.pipeline`) which installs new models through
+  :meth:`adopt`.
 
 The one approximation is *threshold staleness*: between refits the
 quantile threshold is the one estimated at the last fit. Density
 estimates themselves always include every inserted point.
+
+Classification honours the full robustness contract of
+:class:`~repro.core.classifier.TKDCClassifier`: queries are validated
+under ``config.query_policy``, traversals run under
+``config.guard_policy`` and ``config.max_node_expansions``, injected
+fault plans fire, and budget-degraded straddling queries surface as
+``Label.UNCERTAIN`` instead of a silently best-effort HIGH/LOW.
 """
 
 from __future__ import annotations
@@ -26,8 +37,11 @@ import numpy as np
 from repro.core.bounds import bound_density
 from repro.core.classifier import TKDCClassifier
 from repro.core.config import TKDCConfig
-from repro.core.result import Label
+from repro.core.result import ClassificationResult, Label
 from repro.core.stats import TraversalStats
+
+#: Initial preallocated buffer rows (grown geometrically afterwards).
+_MIN_BUFFER_CAPACITY = 256
 
 
 class IncrementalTKDC:
@@ -41,6 +55,10 @@ class IncrementalTKDC:
     refit_fraction:
         Retrain once the buffer exceeds this fraction of the indexed
         point count (default 0.25).
+    auto_refit:
+        When False, :meth:`insert` never retrains; refits are driven
+        externally (see :meth:`adopt`). The exact-buffer answer path is
+        unaffected.
 
     Example
     -------
@@ -55,17 +73,28 @@ class IncrementalTKDC:
     """
 
     def __init__(
-        self, config: TKDCConfig | None = None, refit_fraction: float = 0.25
+        self,
+        config: TKDCConfig | None = None,
+        refit_fraction: float = 0.25,
+        auto_refit: bool = True,
     ) -> None:
         if refit_fraction <= 0:
             raise ValueError(f"refit_fraction must be positive, got {refit_fraction}")
         self.config = config or TKDCConfig()
         self.refit_fraction = refit_fraction
+        self.auto_refit = auto_refit
         self._classifier: TKDCClassifier | None = None
         self._indexed: np.ndarray | None = None
-        self._buffer: list[np.ndarray] = []
+        self._n_indexed = 0
+        # Preallocated insert buffer: rows [0, _buffer_count) are live.
+        # Grown geometrically so k inserts cost O(total rows) amortized
+        # instead of the O(k * total) of per-classify concatenation.
+        self._buffer_array: np.ndarray | None = None
         self._buffer_count = 0
         self.refits = 0
+        #: Bumped by :meth:`adopt`; lets external controllers tell which
+        #: model generation produced an answer.
+        self.generation = 0
 
     @property
     def classifier(self) -> TKDCClassifier:
@@ -76,8 +105,14 @@ class IncrementalTKDC:
 
     @property
     def n_indexed(self) -> int:
-        """Points inside the current spatial index."""
-        return 0 if self._indexed is None else self._indexed.shape[0]
+        """Points the current spatial index represents.
+
+        After :meth:`adopt` this is the population count the adopted
+        model was trained to represent (its index may hold a weighted
+        coreset of fewer rows); the shifted-threshold algebra only needs
+        the represented count.
+        """
+        return self._n_indexed
 
     @property
     def n_buffered(self) -> int:
@@ -93,55 +128,146 @@ class IncrementalTKDC:
     def stats(self) -> TraversalStats:
         return self.classifier.stats
 
+    @property
+    def buffer_view(self) -> np.ndarray:
+        """Zero-copy view of the live buffered rows."""
+        if self._buffer_array is None or self._buffer_count == 0:
+            return np.empty((0, self.classifier.kernel.dim))
+        return self._buffer_array[: self._buffer_count]
+
     def fit(self, data: np.ndarray) -> "IncrementalTKDC":
         """(Re)train from scratch on ``data``; clears the buffer."""
         data = np.atleast_2d(np.asarray(data, dtype=np.float64))
         self._classifier = TKDCClassifier(self.config).fit(data)
         self._indexed = data
-        self._buffer = []
+        self._n_indexed = data.shape[0]
+        self._buffer_array = None
         self._buffer_count = 0
+        return self
+
+    def adopt(
+        self,
+        classifier: TKDCClassifier,
+        n_indexed: int,
+        keep_last: int = 0,
+    ) -> "IncrementalTKDC":
+        """Swap in an externally trained model (verified hot swap target).
+
+        The streaming pipeline refits in a crash-isolated subprocess and
+        ships the product through the sha256-verified reload path; the
+        surviving classifier lands here. ``n_indexed`` is the number of
+        stream points the new model represents (its threshold's
+        population), and ``keep_last`` retains that many of the *most
+        recent* buffered rows — the points that arrived while the refit
+        was running and are therefore not in the new model.
+
+        Raw training data is not retained, so automatic refits are
+        unavailable after adoption (the external controller owns them).
+        """
+        if not classifier.is_fitted:
+            raise ValueError("adopt() requires a fitted classifier")
+        if n_indexed < 1:
+            raise ValueError(f"n_indexed must be >= 1, got {n_indexed}")
+        if not 0 <= keep_last <= self._buffer_count:
+            raise ValueError(
+                f"keep_last must be in [0, {self._buffer_count}], got {keep_last}"
+            )
+        if self._buffer_array is not None and keep_last:
+            start = self._buffer_count - keep_last
+            if start:
+                # Slide the retained tail to the front of the same
+                # preallocated array (no reallocation on swap).
+                self._buffer_array[:keep_last] = self._buffer_array[
+                    start : self._buffer_count
+                ].copy()
+        self._classifier = classifier
+        self._indexed = None
+        self._n_indexed = int(n_indexed)
+        self._buffer_count = keep_last
+        self.generation += 1
         return self
 
     def insert(self, points: np.ndarray) -> None:
         """Add new observations; refits automatically when due."""
-        if self._classifier is None or self._indexed is None:
+        if self._classifier is None:
             raise RuntimeError("IncrementalTKDC is not fitted; call fit() first")
         points = np.atleast_2d(np.asarray(points, dtype=np.float64))
-        if points.shape[1] != self._indexed.shape[1]:
+        dim = self._classifier.kernel.dim
+        if points.ndim != 2 or points.shape[1] != dim:
             raise ValueError(
-                f"insert dimensionality {points.shape[1]} does not match "
-                f"the model dimensionality {self._indexed.shape[1]}"
+                f"insert dimensionality {points.shape[-1]} does not match "
+                f"the model dimensionality {dim}"
             )
-        self._buffer.append(points)
-        self._buffer_count += points.shape[0]
-        if self._buffer_count > self.refit_fraction * self.n_indexed:
-            merged = np.concatenate([self._indexed, *self._buffer])
+        self._append_to_buffer(points)
+        if (
+            self.auto_refit
+            and self._indexed is not None
+            and self._buffer_count > self.refit_fraction * self.n_indexed
+        ):
+            merged = np.concatenate([self._indexed, self.buffer_view])
             self.refits += 1
             self.fit(merged)
 
-    def classify(self, queries: np.ndarray) -> np.ndarray:
-        """HIGH/LOW labels against the combined (indexed + buffered) density.
+    def _append_to_buffer(self, points: np.ndarray) -> None:
+        rows, dim = points.shape
+        needed = self._buffer_count + rows
+        if self._buffer_array is None:
+            capacity = max(2 * rows, _MIN_BUFFER_CAPACITY)
+            self._buffer_array = np.empty((capacity, dim))
+        elif needed > self._buffer_array.shape[0]:
+            capacity = max(2 * needed, 2 * self._buffer_array.shape[0])
+            grown = np.empty((capacity, dim))
+            grown[: self._buffer_count] = self._buffer_array[: self._buffer_count]
+            self._buffer_array = grown
+        self._buffer_array[self._buffer_count : needed] = points
+        self._buffer_count = needed
+
+    def classify_detailed(self, queries: np.ndarray) -> ClassificationResult:
+        """Combined-density classification with degradation diagnostics.
 
         For each query the buffered contribution is summed exactly and
         the indexed part is bounded with a correspondingly shifted
         threshold, so the decision is equivalent to classifying the full
-        current dataset's density against the model threshold.
+        current dataset's density against the model threshold. The
+        returned bounds are on the *combined* density and compare
+        against :attr:`ClassificationResult.threshold` exactly like
+        :meth:`TKDCClassifier.classify_detailed` — the serving daemon
+        routes streaming requests through this path with the same
+        payload shape as batch ones.
         """
         clf = self.classifier
-        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        matrix, invalid = clf._as_query_matrix(queries)
+        config = clf.config
         kernel = clf.kernel
-        scaled = kernel.scale(queries)
         threshold = clf.threshold.value
-        epsilon = clf.config.epsilon
+        epsilon = config.epsilon
+        eta = clf._rule_eta
         n_indexed = self.n_indexed
         n_total = self.n_total
-        buffer = (
-            kernel.scale(np.concatenate(self._buffer)) if self._buffer else None
-        )
 
-        labels = np.empty(queries.shape[0], dtype=object)
-        for i in range(queries.shape[0]):
-            query = scaled[i]
+        n_queries = matrix.shape[0]
+        # np.full would coerce the IntEnum to a plain int on the way in;
+        # slice-assignment into an object array keeps the Label objects.
+        labels = np.empty(n_queries, dtype=object)
+        labels[:] = Label.LOW
+        lower = np.zeros(n_queries)
+        upper = np.full(n_queries, np.inf)
+        # Invalid rows keep the vacuous [0, inf) bounds and count as
+        # degraded, so resolved_labels() surfaces them as UNCERTAIN.
+        degraded = invalid.copy()
+        valid_rows = np.flatnonzero(~invalid)
+        if valid_rows.size == 0:
+            return ClassificationResult(
+                labels=labels, lower=lower, upper=upper,
+                degraded=degraded, invalid=invalid, threshold=threshold,
+            )
+        scaled = kernel.scale(matrix[valid_rows])
+        buffer = (
+            kernel.scale(self.buffer_view) if self._buffer_count else None
+        )
+        faults = clf._traversal_injector()
+        for local, row in enumerate(valid_rows):
+            query = scaled[local]
             buffer_sum = 0.0
             if buffer is not None:
                 buffer_sum = kernel.sum_at(buffer, query)
@@ -150,17 +276,54 @@ class IncrementalTKDC:
             #   <=>  f_idx > (t * n_total - buffer_sum) / n_indexed.
             shifted = (threshold * n_total - buffer_sum) / n_indexed
             if shifted <= 0.0:
-                # The buffer alone already pushes the density over t.
-                labels[i] = Label.HIGH
+                # The buffer alone already pushes the density over t;
+                # the indexed part can only add to it.
+                labels[row] = Label.HIGH
+                lower[row] = buffer_sum / n_total
                 clf.stats.queries += 1
                 continue
             result = bound_density(
                 clf.tree, kernel, query, shifted, shifted, epsilon, clf.stats,
+                use_threshold_rule=config.use_threshold_rule,
+                use_tolerance_rule=config.use_tolerance_rule,
                 tolerance_reference=threshold,
+                eta=eta,
+                max_expansions=config.max_node_expansions,
+                guard_policy=config.guard_policy,
+                faults=faults,
             )
-            labels[i] = Label.HIGH if result.midpoint > shifted else Label.LOW
-        return labels
+            lo = max(result.lower - eta, 0.0)
+            up = result.upper + eta
+            # Map the indexed-part bounds back to combined-density space
+            # (the same affine shift, so straddle-vs-threshold tests are
+            # equivalent to the shifted-threshold decision).
+            lower[row] = (n_indexed * lo + buffer_sum) / n_total
+            upper[row] = (n_indexed * up + buffer_sum) / n_total
+            degraded[row] = result.degraded
+            labels[row] = (
+                Label.HIGH if result.midpoint > shifted else Label.LOW
+            )
+        return ClassificationResult(
+            labels=labels, lower=lower, upper=upper,
+            degraded=degraded, invalid=invalid, threshold=threshold,
+        )
+
+    def classify(self, queries: np.ndarray) -> np.ndarray:
+        """Labels against the combined (indexed + buffered) density.
+
+        Same contract as :meth:`TKDCClassifier.classify`: returns an
+        object array of :class:`~repro.core.result.Label`. Rows flagged
+        invalid under ``query_policy="flag"`` and budget-degraded
+        traversals still straddling their (shifted) threshold come back
+        ``Label.UNCERTAIN``.
+        """
+        return self.classify_detailed(queries).resolved_labels()
 
     def predict(self, queries: np.ndarray) -> np.ndarray:
-        """Int labels (1 = HIGH) for :meth:`classify`."""
-        return np.array([int(label) for label in self.classify(queries)], dtype=np.int64)
+        """Int64 labels for :meth:`classify` (1 = HIGH, UNCERTAIN = 2).
+
+        Same contract as :meth:`TKDCClassifier.predict`.
+        """
+        return np.array(
+            [int(label) for label in self.classify(queries)], dtype=np.int64
+        )

@@ -31,10 +31,19 @@ __all__ = [
     "ENGINE_SELECTED_TOTAL",
     "HBE_SAMPLES",
     "HBE_UNDECIDED_TOTAL",
+    "STREAM_INGESTED_TOTAL",
+    "DRIFT_CHECKS_TOTAL",
+    "REFIT_TOTAL",
+    "REFIT_SECONDS",
+    "STALENESS_SECONDS",
     "record_engine_selected",
     "record_hbe_block",
     "record_traversal",
     "record_traversal_block",
+    "record_ingest",
+    "record_drift_check",
+    "record_refit",
+    "record_staleness",
 ]
 
 #: Traversals finished, labeled by engine and terminating rule
@@ -172,6 +181,72 @@ def record_traversal(engine: str, rule: str, expansions: int, kernels: int) -> N
     NODE_EXPANSIONS.labels(engine).observe(expansions)
     if kernels:
         KERNEL_EVALUATIONS_TOTAL.labels(engine).inc(kernels)
+
+
+# -- streaming pipeline instruments -----------------------------------
+
+#: Points folded into the streaming pipeline (exact buffer + sketch).
+STREAM_INGESTED_TOTAL = REGISTRY.counter(
+    "tkdc_stream_ingested_points_total",
+    "Points ingested into the streaming pipeline",
+)
+
+#: Drift checks run against the served threshold, by outcome:
+#: "stable", "drifted" (CI violated, hysteresis pending), "fired"
+#: (refit triggered), "skipped" (window still filling / interval gate).
+DRIFT_CHECKS_TOTAL = REGISTRY.counter(
+    "tkdc_drift_checks_total",
+    "Drift checks of the served threshold against the fresh-window CI, by outcome",
+    labels=("outcome",),
+)
+
+#: Background refit lifecycle events: "triggered", "succeeded",
+#: "failed" (no artifact produced), "swapped" (verified swap landed),
+#: "rolled_back" (artifact refused by the verified reload path).
+REFIT_TOTAL = REGISTRY.counter(
+    "tkdc_refit_total",
+    "Drift-triggered background refit outcomes",
+    labels=("outcome",),
+)
+
+#: Wall-clock duration of supervised background refits.
+REFIT_SECONDS = REGISTRY.histogram(
+    "tkdc_refit_seconds",
+    "Wall-clock seconds per supervised background refit",
+    buckets=LATENCY_BUCKETS,
+)
+
+#: Seconds since the oldest unresolved drift detection (0 = current).
+STALENESS_SECONDS = REGISTRY.gauge(
+    "tkdc_staleness_seconds",
+    "Seconds the served threshold has been in confirmed unresolved drift",
+)
+
+
+def record_ingest(points: int) -> None:
+    """Report one ingest batch folded into the pipeline."""
+    if REGISTRY.enabled and points:
+        STREAM_INGESTED_TOTAL.inc(points)
+
+
+def record_drift_check(outcome: str) -> None:
+    """Report one drift check's outcome."""
+    if REGISTRY.enabled:
+        DRIFT_CHECKS_TOTAL.labels(outcome).inc()
+
+
+def record_refit(outcome: str, seconds: float | None = None) -> None:
+    """Report one refit lifecycle event (and its duration, if finished)."""
+    if REGISTRY.enabled:
+        REFIT_TOTAL.labels(outcome).inc()
+        if seconds is not None:
+            REFIT_SECONDS.observe(seconds)
+
+
+def record_staleness(seconds: float) -> None:
+    """Report the current staleness gauge reading."""
+    if REGISTRY.enabled:
+        STALENESS_SECONDS.set(seconds)
 
 
 def record_traversal_block(

@@ -30,6 +30,10 @@ BOUND_MODES = ("nan", "invert", "inf")
 WORKER_CRASH = "crash"
 WORKER_STALL = "stall"
 
+#: Refit fault kinds returned by :meth:`DriftPlan.refit_fault`.
+REFIT_CRASH = "crash"  #: refit subprocess dies mid-fit (os._exit)
+REFIT_RAISE = "raise"  #: fit raises (poisoned snapshot / bad hyperparams)
+
 
 @dataclass(frozen=True)
 class FaultPlan:
@@ -120,6 +124,106 @@ class FaultPlan:
         if chunk_index in self.stall_chunks:
             return WORKER_STALL
         return None
+
+
+@dataclass(frozen=True)
+class DriftPlan:
+    """A deterministic mid-stream distribution shift plus refit faults.
+
+    The streaming soak test's script: where the data distribution moves,
+    and which background refit attempts fail, crash, or produce a
+    corrupted artifact. Frozen and picklable so the refit subprocess
+    consults the *same* plan the pipeline holds, keyed purely on
+    ``(generation, attempt)``.
+
+    Attributes
+    ----------
+    shift_after:
+        Stream position (points ingested since the initial fit) after
+        which arriving points are shifted: position ``shift_after`` is
+        the first drifted point.
+    mean_shift:
+        Per-dimension offset added to drifted points (empty = no shift).
+    scale:
+        Multiplier applied to drifted points *before* the offset.
+    refit_crash / refit_raise:
+        Refit generations (1-based, in trigger order) whose fit attempt
+        crashes the refit subprocess (``os._exit``) or raises. Fires
+        while ``attempt < fail_attempts``, so a retry can clear a
+        transient fault; use a large ``fail_attempts`` for a permanently
+        poisoned refit.
+    corrupt_artifacts:
+        Refit generations whose *saved* model artifact gets a byte
+        flipped after writing — the sha256-verified reload path must
+        refuse it and roll back.
+    fail_attempts:
+        Refit faults fire while ``attempt < fail_attempts`` (same
+        transient-fault contract as :class:`FaultPlan`).
+    """
+
+    shift_after: int = 0
+    mean_shift: tuple[float, ...] = ()
+    scale: float = 1.0
+    refit_crash: tuple[int, ...] = ()
+    refit_raise: tuple[int, ...] = ()
+    corrupt_artifacts: tuple[int, ...] = ()
+    fail_attempts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.shift_after < 0:
+            raise ValueError(f"shift_after must be >= 0, got {self.shift_after}")
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+        if self.fail_attempts < 0:
+            raise ValueError(f"fail_attempts must be >= 0, got {self.fail_attempts}")
+        overlap = set(self.refit_crash) & set(self.refit_raise)
+        if overlap:
+            raise ValueError(
+                f"refit generations {sorted(overlap)} are in both crash and raise lists"
+            )
+
+    @property
+    def targets_refits(self) -> bool:
+        """Whether any refit-level fault can ever fire."""
+        return bool(self.refit_crash or self.refit_raise or self.corrupt_artifacts)
+
+    def refit_fault(self, generation: int, attempt: int) -> str | None:
+        """The fault (if any) a refit attempt must enact.
+
+        Pure function of the plan so the pipeline and the refit
+        subprocess agree without shared state: returns
+        :data:`REFIT_CRASH`, :data:`REFIT_RAISE`, or ``None``.
+        """
+        if attempt >= self.fail_attempts:
+            return None
+        if generation in self.refit_crash:
+            return REFIT_CRASH
+        if generation in self.refit_raise:
+            return REFIT_RAISE
+        return None
+
+    def corrupts_artifact(self, generation: int) -> bool:
+        """Whether this generation's saved artifact gets a byte flipped."""
+        return generation in self.corrupt_artifacts
+
+    def apply_shift(self, points: np.ndarray, stream_position: int) -> np.ndarray:
+        """Shift the rows of ``points`` that land past ``shift_after``.
+
+        ``stream_position`` is the stream index of ``points[0]``; rows
+        whose index reaches ``shift_after`` get ``scale * x +
+        mean_shift``. Returns a new array (input is never mutated).
+        """
+        points = np.asarray(points, dtype=np.float64)
+        out = points.copy()
+        first = max(self.shift_after - stream_position, 0)
+        if first >= out.shape[0]:
+            return out
+        drifted = out[first:]
+        if self.scale != 1.0:
+            drifted *= self.scale
+        if self.mean_shift:
+            drifted += np.asarray(self.mean_shift, dtype=np.float64)
+        return out
 
 
 class FaultInjector:

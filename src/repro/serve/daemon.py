@@ -152,6 +152,14 @@ class _Handler(BaseHTTPRequestHandler):
             raw = self.rfile.read(length) if length else b""
             status, payload, headers = self.server.handle_classify(raw, received_at)
             self._send_json(status, payload, headers)
+        elif self.path == "/ingest":
+            if length > self.server.serve_config.max_request_bytes:
+                self.close_connection = True
+                self._send_json(*self.server.reject_oversized_ingest(length))
+                return
+            raw = self.rfile.read(length) if length else b""
+            status, payload = self.server.handle_ingest(raw)
+            self._send_json(status, payload)
         elif self.path == "/admin/reload":
             raw = self.rfile.read(length) if length else b""
             status, payload = self.server.handle_reload(raw)
@@ -201,7 +209,21 @@ class TKDCServer(ThreadingHTTPServer):
         )
         self.draining = threading.Event()
         self._started_at = time.monotonic()
+        #: Optional streaming pipeline behind /ingest (attach_pipeline).
+        self.pipeline = None
         super().__init__((config.host, config.port), _Handler)
+
+    def attach_pipeline(self, pipeline, start: bool = True) -> None:
+        """Enable /ingest: fold points into ``pipeline`` and (optionally)
+        start its background drift-check loop.
+
+        The pipeline's reloader should be this server's manager so
+        drift-triggered refits swap the *served* model through the
+        verified reload path.
+        """
+        self.pipeline = pipeline
+        if start:
+            pipeline.start()
 
     @property
     def port(self) -> int:
@@ -260,6 +282,8 @@ class TKDCServer(ThreadingHTTPServer):
             "uptime_s": round(time.monotonic() - self._started_at, 3),
             "traversal": self.manager.traversal_snapshot(),
         })
+        if self.pipeline is not None:
+            snapshot["streaming"] = self.pipeline.status()
         return snapshot
 
     # ------------------------------------------------------------------
@@ -274,6 +298,63 @@ class TKDCServer(ThreadingHTTPServer):
             "error": "request_too_large",
             "max_request_bytes": self.serve_config.max_request_bytes,
             "received_bytes": length,
+        }
+
+    def reject_oversized_ingest(self, length: int) -> tuple[int, dict]:
+        """Terminal accounting for an ingest body refused unread."""
+        self.stats.bump("ingest_submitted")
+        self.stats.bump("ingest_rejected")
+        return 413, {
+            "error": "request_too_large",
+            "max_request_bytes": self.serve_config.max_request_bytes,
+            "received_bytes": length,
+        }
+
+    def handle_ingest(self, raw: bytes) -> tuple[int, dict]:
+        """Fold a batch of points into the attached streaming pipeline.
+
+        Accounting: every request increments ``ingest_submitted`` and
+        exactly one of ``ingest_completed`` / ``ingest_rejected``;
+        accepted rows also bump ``ingested_points``. Draining servers
+        refuse ingest like everything else.
+        """
+        stats = self.stats
+        stats.bump("ingest_submitted")
+        if self.pipeline is None:
+            stats.bump("ingest_rejected")
+            return 409, {
+                "error": "no_streaming_pipeline",
+                "detail": "this server was started without --streaming",
+            }
+        if self.draining.is_set():
+            stats.bump("ingest_rejected")
+            return 503, {"error": "draining"}
+        if len(raw) > self.serve_config.max_request_bytes:
+            stats.bump("ingest_rejected")
+            return 413, {
+                "error": "request_too_large",
+                "max_request_bytes": self.serve_config.max_request_bytes,
+                "received_bytes": len(raw),
+            }
+        try:
+            points, _deadline = self._parse_request(raw)
+        except _BadRequest as exc:
+            stats.bump("ingest_rejected")
+            return exc.status, exc.payload
+        try:
+            accepted = self.pipeline.ingest(points)
+        except ValueError as exc:  # dimensionality mismatch
+            stats.bump("ingest_rejected")
+            return 400, {"error": "bad_request", "detail": str(exc)}
+        stats.bump("ingest_completed")
+        stats.bump("ingested_points", accepted)
+        status = self.pipeline.status()
+        return 200, {
+            "ingested": accepted,
+            "n_total": status["n_total"],
+            "generation": status["generation"],
+            "staleness_seconds": status["staleness_seconds"],
+            "window_fill": status["window_fill"],
         }
 
     def _retry_after(self) -> float:
@@ -372,7 +453,18 @@ class TKDCServer(ThreadingHTTPServer):
 
         def work() -> None:
             try:
-                box["value"] = self.manager.classify(points, budget)
+                # With a streaming pipeline attached, serve the
+                # combined density (ingested points answered exactly
+                # via the snapshot's buffer). Snapshotting inside the
+                # watchdogged worker keeps a wedged pipeline lock from
+                # hanging the handler thread.
+                stream = (
+                    self.pipeline.serving_view()
+                    if self.pipeline is not None else None
+                )
+                box["value"] = self.manager.classify(
+                    points, budget, stream=stream
+                )
             except BaseException as exc:  # noqa: BLE001 - reported as 500
                 box["error"] = exc
             finally:
@@ -509,6 +601,10 @@ class TKDCServer(ThreadingHTTPServer):
         if self.draining.is_set():
             return
         self.draining.set()
+        if self.pipeline is not None:
+            # Stop triggering new refits; a mid-flight one is deadline-
+            # bounded and harmless (its swap target outlives the drain).
+            self.pipeline.stop(join=False)
         log.info("drain initiated: refusing new work, waiting for in-flight")
         threading.Thread(
             target=self._drain_and_shutdown, name="tkdc-drain", daemon=True
@@ -574,6 +670,8 @@ def serve(
     model_path: str | Path,
     config: ServeConfig | None = None,
     install_signals: bool = True,
+    streaming: bool = False,
+    stream_settings=None,
 ) -> int:
     """Load a model, start the daemon, and block until drained.
 
@@ -581,14 +679,36 @@ def serve(
     shutdown. With ``config.workers > 1`` this becomes the pre-forked
     fleet router (:mod:`repro.serve.router`) instead of the in-process
     daemon; the endpoint surface is identical either way.
+
+    ``streaming=True`` attaches a drift-aware ingest pipeline behind
+    ``POST /ingest`` (single-process mode only: the fleet's pre-forked
+    workers cannot share an in-process exact buffer); drift-triggered
+    refits then swap the served model through the manager's verified
+    reload path. ``stream_settings`` is a
+    :class:`~repro.streaming.pipeline.StreamSettings`.
     """
     config = config if config is not None else ServeConfig()
     if config.workers > 1:
         from repro.serve.router import serve_fleet
 
+        if streaming:
+            log.warning(
+                "--streaming requires workers=1 (the fleet cannot share an "
+                "in-process ingest buffer); ignoring"
+            )
         return serve_fleet(model_path, config, install_signals=install_signals)
     manager = ModelManager(model_path, config)
     server = TKDCServer(manager)
+    pipeline = None
+    if streaming:
+        from repro.streaming import StreamingPipeline, StreamSettings
+
+        pipeline = StreamingPipeline.from_classifier(
+            manager.classifier,
+            settings=stream_settings or StreamSettings(),
+            reloader=manager,
+        )
+        server.attach_pipeline(pipeline)
     if install_signals:
         install_signal_handlers(server)
     print(
@@ -596,13 +716,16 @@ def serve(
         f"http://{config.host}:{server.port} "
         f"(threshold={manager.classifier.threshold.value:.6g}, "
         f"{manager.calibration.expansions_per_second:.3g} expansions/s, "
-        f"engine={manager.calibration.engine}); "
+        f"engine={manager.calibration.engine}"
+        f"{', streaming ingest on' if pipeline is not None else ''}); "
         "SIGTERM drains, SIGHUP reloads",
         flush=True,
     )
     try:
         server.serve_forever(poll_interval=0.1)
     finally:
+        if pipeline is not None:
+            pipeline.stop(join=False)
         server.server_close()
     print("tkdc server stopped", flush=True)
     return 0

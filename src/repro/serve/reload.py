@@ -62,6 +62,41 @@ class CanaryError(RuntimeError):
     """A candidate model deserialized but failed its canary checks."""
 
 
+def run_canary(candidate: TKDCClassifier, n_queries: int, seed: int) -> None:
+    """Held-out probe classification a candidate must survive.
+
+    Shared by :class:`ModelManager` and the streaming pipeline's
+    standalone swap path, so a refit product faces the same canary
+    whether or not a daemon is attached. Raises :class:`CanaryError`
+    (or whatever the classify itself raises) on any failure.
+    """
+    probes = probe_queries(candidate, n_queries, seed=seed)
+    clone = copy.copy(candidate)
+    clone._stats = TraversalStats()
+    result = clone.classify_detailed(probes)
+    n = probes.shape[0]
+    shapes = (
+        result.labels.shape == (n,)
+        and result.lower.shape == (n,)
+        and result.upper.shape == (n,)
+    )
+    if not shapes:
+        raise CanaryError(f"canary returned wrong shapes for {n} probes")
+    if not all(int(label) in _VALID_LABELS for label in result.labels):
+        raise CanaryError("canary produced labels outside LOW/HIGH/UNCERTAIN")
+    lower = np.asarray(result.lower, dtype=float)
+    upper = np.asarray(result.upper, dtype=float)
+    if not (np.all(np.isfinite(lower)) and np.all(lower >= 0.0)):
+        raise CanaryError("canary produced non-finite or negative lower bounds")
+    if not np.all(lower <= upper):
+        raise CanaryError("canary produced inverted density bounds")
+    threshold = float(result.threshold)
+    if not (np.isfinite(threshold) and threshold >= 0.0):
+        raise CanaryError(f"canary threshold is invalid: {threshold}")
+    if bool(np.all(result.invalid)):
+        raise CanaryError("canary flagged every probe row invalid")
+
+
 def prepare_classifier(classifier: TKDCClassifier) -> TKDCClassifier:
     """Pin serving-safe config and pre-build shared read-only state.
 
@@ -175,20 +210,33 @@ class ModelManager:
         )
 
     def classify(
-        self, points: np.ndarray, budget: int | None
+        self, points: np.ndarray, budget: int | None, stream=None
     ) -> tuple[ClassificationResult, int]:
         """Budgeted detailed classification; returns (result, fallbacks).
 
         ``fallbacks`` counts exact-O(n) guard fallbacks this request
         triggered — the breaker's structural-failure signal.
+
+        ``stream`` (an :class:`~repro.core.incremental.IncrementalTKDC`
+        snapshot from ``StreamingPipeline.serving_view()``) routes the
+        request through the combined-density streaming path: the same
+        per-request budget clone serves, but every ingested point's
+        exact buffer contribution is folded into the decision
+        (``docs/streaming.md``). The snapshot carries its own classifier
+        reference so counts and threshold stay coherent mid-swap.
         """
         if self.classify_hook is not None:
             self.classify_hook(points)
-        live = self._classifier
+        live = stream.classifier if stream is not None else self._classifier
         clone = copy.copy(live)
         clone.config = live.config.with_updates(max_node_expansions=budget)
         clone._stats = TraversalStats()
-        result = clone.classify_detailed(points)
+        if stream is not None:
+            shim = copy.copy(stream)
+            shim._classifier = clone
+            result = shim.classify_detailed(points)
+        else:
+            result = clone.classify_detailed(points)
         fallbacks = int(clone._stats.extras.get(_FALLBACKS_KEY, 0.0))
         with self._lock:
             self._traversal_totals.merge(clone._stats)
@@ -263,30 +311,6 @@ class ModelManager:
 
     def _canary(self, candidate: TKDCClassifier) -> None:
         """Held-out probe classification a candidate must survive."""
-        probes = probe_queries(
+        run_canary(
             candidate, self.config.canary_queries, seed=self.config.probe_seed
         )
-        clone = copy.copy(candidate)
-        clone._stats = TraversalStats()
-        result = clone.classify_detailed(probes)
-        n = probes.shape[0]
-        shapes = (
-            result.labels.shape == (n,)
-            and result.lower.shape == (n,)
-            and result.upper.shape == (n,)
-        )
-        if not shapes:
-            raise CanaryError(f"canary returned wrong shapes for {n} probes")
-        if not all(int(label) in _VALID_LABELS for label in result.labels):
-            raise CanaryError("canary produced labels outside LOW/HIGH/UNCERTAIN")
-        lower = np.asarray(result.lower, dtype=float)
-        upper = np.asarray(result.upper, dtype=float)
-        if not (np.all(np.isfinite(lower)) and np.all(lower >= 0.0)):
-            raise CanaryError("canary produced non-finite or negative lower bounds")
-        if not np.all(lower <= upper):
-            raise CanaryError("canary produced inverted density bounds")
-        threshold = float(result.threshold)
-        if not (np.isfinite(threshold) and threshold >= 0.0):
-            raise CanaryError(f"canary threshold is invalid: {threshold}")
-        if bool(np.all(result.invalid)):
-            raise CanaryError("canary flagged every probe row invalid")

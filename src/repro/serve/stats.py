@@ -58,6 +58,15 @@ class ServerStats:
     - ``breaker_served_degraded`` — 200s served with the breaker open
     - ``exact_fallbacks`` — exact-O(n) guard fallbacks across requests
     - ``reloads_ok`` / ``reloads_failed`` — hot reload outcomes
+
+    Streaming-ingest counters (their own little invariant:
+    ``ingest_submitted == ingest_completed + ingest_rejected``):
+
+    - ``ingest_submitted`` — /ingest requests that entered the handler
+    - ``ingest_completed`` — 200 responses (points folded in)
+    - ``ingest_rejected`` — 4xx/409 responses (malformed, limits, or no
+      streaming pipeline attached)
+    - ``ingested_points`` — total points accepted via /ingest
     """
 
     COUNTER_NAMES = (
@@ -75,6 +84,10 @@ class ServerStats:
         "exact_fallbacks",
         "reloads_ok",
         "reloads_failed",
+        "ingest_submitted",
+        "ingest_completed",
+        "ingest_rejected",
+        "ingested_points",
     )
 
     def __init__(

@@ -1,0 +1,21 @@
+"""Streaming ingest → drift-triggered refit → verified hot swap.
+
+See ``docs/streaming.md`` for the pipeline diagram, the staleness-bound
+derivation, and the failure matrix.
+"""
+
+from repro.streaming.monitor import DriftDecision, DriftMonitor
+from repro.streaming.pipeline import LocalReloader, StreamingPipeline, StreamSettings
+from repro.streaming.refit import RefitOutcome, run_refit
+from repro.streaming.sketch import StreamSketch
+
+__all__ = [
+    "DriftDecision",
+    "DriftMonitor",
+    "LocalReloader",
+    "RefitOutcome",
+    "StreamSettings",
+    "StreamSketch",
+    "StreamingPipeline",
+    "run_refit",
+]

@@ -1,0 +1,619 @@
+"""The streaming ingest → drift-refit → verified hot-swap pipeline.
+
+Wires the streaming pieces into one production loop around a serving
+:class:`~repro.core.incremental.IncrementalTKDC`:
+
+- :meth:`StreamingPipeline.ingest` folds arriving points into the
+  model's exact answer buffer (every inserted point affects the very
+  next classification), the bounded mergeable
+  :class:`~repro.streaming.sketch.StreamSketch` (refit training data for
+  the whole stream), and a fresh-points window (drift evidence);
+- a background thread periodically runs the
+  :class:`~repro.streaming.monitor.DriftMonitor`'s order-statistic test
+  of the served threshold; when drift is confirmed (hysteresis + min
+  interval) it launches a crash-isolated refit
+  (:func:`repro.streaming.refit.run_refit`) on a sketch snapshot;
+- a produced artifact ships through the sha256-verified reload path — a
+  :class:`~repro.serve.reload.ModelManager`, a fleet router, or the
+  built-in :class:`LocalReloader` (same ``load → canary → swap``
+  protocol) — and only a surviving candidate is adopted by the serving
+  model, retaining exactly the points that arrived while the refit ran.
+
+**Staleness accounting.** ``staleness_seconds()`` is the age of the
+oldest unresolved drift detection; the pipeline's declared worst case
+(:meth:`StreamSettings.staleness_bound`) is derived in
+``docs/streaming.md`` from the check cadence, the hysteresis depth, and
+the supervised refit deadline. **Accounting invariant**
+(:meth:`verify_accounting`): every ingested point is represented —
+``model.n_total == initial_n + ingested_total`` across any number of
+swaps, every triggered refit terminates as succeeded or failed, and
+every produced artifact is either swapped or rolled back.
+
+A failed, poisoned, crashed, or corrupted refit never touches the
+serving model: failure isolation is the subprocess boundary plus the
+verified swap; "rollback" is the absence of the swap.
+"""
+
+from __future__ import annotations
+
+import copy
+import logging
+import tempfile
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.classifier import TKDCClassifier
+from repro.core.incremental import IncrementalTKDC
+from repro.io.models import load_model, resolve_model_path
+from repro.obs.metrics import (
+    record_drift_check,
+    record_ingest,
+    record_refit,
+    record_staleness,
+)
+from repro.robustness.faults import DriftPlan
+from repro.robustness.supervisor import SupervisionPolicy
+from repro.serve.reload import ReloadResult, prepare_classifier, run_canary
+from repro.streaming.monitor import DriftDecision, DriftMonitor
+from repro.streaming.refit import RefitOutcome, run_refit
+from repro.streaming.sketch import StreamSketch
+
+log = logging.getLogger("repro.streaming")
+
+
+@dataclass(frozen=True)
+class StreamSettings:
+    """Knobs of the ingest → refit → swap loop (all validated).
+
+    Attributes
+    ----------
+    drift_delta:
+        Per-check false-trigger level of the order-statistic CI test.
+    monitor_window:
+        Fresh points per drift check (the CI's subsample size).
+    hysteresis:
+        Consecutive violating checks required to trigger a refit.
+    check_interval:
+        Seconds between background drift checks.
+    min_refit_interval:
+        Seconds after any refit before the next may trigger (also the
+        retry backoff after a failed refit).
+    refit_deadline / refit_retries / refit_backoff:
+        The supervised refit's per-attempt deadline, bounded retries,
+        and backoff (see :class:`~repro.robustness.supervisor.SupervisionPolicy`).
+    refit_sample_cap:
+        Maximum training rows materialized from the sketch per refit.
+    sketch_capacity:
+        Weighted points retained by the merge-reduce sketch.
+    canary_queries / probe_seed:
+        The standalone swap verifier's canary workload (ignored when an
+        external reloader is attached — it brings its own).
+    swap_grace:
+        Seconds budgeted for artifact verification + canary + adopt in
+        the declared staleness bound.
+    """
+
+    drift_delta: float = 0.01
+    monitor_window: int = 256
+    hysteresis: int = 2
+    check_interval: float = 0.25
+    min_refit_interval: float = 1.0
+    refit_deadline: float = 120.0
+    refit_retries: int = 1
+    refit_backoff: float = 0.05
+    refit_sample_cap: int = 20000
+    sketch_capacity: int = 4096
+    canary_queries: int = 32
+    probe_seed: int = 7
+    swap_grace: float = 5.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.drift_delta < 1.0:
+            raise ValueError(f"drift_delta must be in (0, 1), got {self.drift_delta}")
+        if self.monitor_window < 8:
+            raise ValueError(f"monitor_window must be >= 8, got {self.monitor_window}")
+        if self.hysteresis < 1:
+            raise ValueError(f"hysteresis must be >= 1, got {self.hysteresis}")
+        for name in (
+            "check_interval", "refit_deadline", "swap_grace",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive, got {getattr(self, name)}")
+        for name in ("min_refit_interval", "refit_backoff"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0, got {getattr(self, name)}")
+        if self.refit_retries < 0:
+            raise ValueError(f"refit_retries must be >= 0, got {self.refit_retries}")
+        if self.refit_sample_cap < 2:
+            raise ValueError(
+                f"refit_sample_cap must be >= 2, got {self.refit_sample_cap}"
+            )
+        if self.sketch_capacity < 2:
+            raise ValueError(
+                f"sketch_capacity must be >= 2, got {self.sketch_capacity}"
+            )
+        if self.canary_queries < 1:
+            raise ValueError(f"canary_queries must be >= 1, got {self.canary_queries}")
+
+    @property
+    def staleness_bound(self) -> float:
+        """Declared worst-case seconds from drift onset to swap.
+
+        Detection: the violating window must survive ``hysteresis``
+        checks, plus one check interval of scheduling slack. Refit:
+        every attempt is deadline-bounded, plus the retry backoffs.
+        Swap: ``swap_grace``. Derivation in ``docs/streaming.md``.
+        """
+        detection = (self.hysteresis + 1) * self.check_interval
+        backoffs = sum(
+            self.refit_backoff * (2 ** max(attempt - 1, 0))
+            for attempt in range(1, self.refit_retries + 1)
+        )
+        refit = (self.refit_retries + 1) * self.refit_deadline + backoffs
+        return detection + refit + self.swap_grace
+
+
+class LocalReloader:
+    """Verified swap for pipelines with no daemon attached.
+
+    The same three-stage protocol as
+    :class:`~repro.serve.reload.ModelManager.reload` — sha256-verified
+    load, canary classification, swap-by-assignment — minus the serving
+    calibration. Anything with ``reload(path) -> ReloadResult`` and a
+    ``classifier`` attribute duck-types as the pipeline's swap target.
+    """
+
+    def __init__(self, canary_queries: int = 32, probe_seed: int = 7) -> None:
+        self.canary_queries = canary_queries
+        self.probe_seed = probe_seed
+        self.classifier: TKDCClassifier | None = None
+
+    def reload(self, path: Path | str) -> ReloadResult:
+        try:
+            candidate_path = resolve_model_path(path)
+            candidate = load_model(candidate_path)
+        except Exception as exc:
+            return ReloadResult(
+                ok=False, stage="load", model_path=str(path),
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        candidate = prepare_classifier(candidate)
+        try:
+            run_canary(candidate, self.canary_queries, seed=self.probe_seed)
+        except Exception as exc:
+            return ReloadResult(
+                ok=False, stage="canary", model_path=str(candidate_path),
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        self.classifier = candidate
+        return ReloadResult(
+            ok=True, stage="swapped", model_path=str(candidate_path),
+            threshold=candidate.threshold.value,
+        )
+
+
+class StreamingPipeline:
+    """Owns the serving model, the sketch, the monitor, and the loop.
+
+    Parameters
+    ----------
+    model:
+        A fitted :class:`~repro.core.incremental.IncrementalTKDC`. Its
+        automatic synchronous refits are disabled — the pipeline owns
+        refits from here on.
+    settings:
+        :class:`StreamSettings` (defaults are production-shaped; tests
+        shrink them).
+    reloader:
+        The verified swap target: anything with ``reload(path) ->
+        ReloadResult``. Defaults to a :class:`LocalReloader`; attach a
+        :class:`~repro.serve.reload.ModelManager` (or fleet router) to
+        make the daemon serve each new generation too.
+    artifact_dir:
+        Where refit artifacts are written (a temp dir by default).
+    plan:
+        Optional :class:`~repro.robustness.faults.DriftPlan` consulted
+        by refit subprocesses (fault injection for tests/benchmarks).
+    clock:
+        Injectable monotonic clock.
+    """
+
+    def __init__(
+        self,
+        model: IncrementalTKDC,
+        settings: StreamSettings | None = None,
+        reloader=None,
+        artifact_dir: Path | str | None = None,
+        plan: DriftPlan | None = None,
+        seed_data: np.ndarray | None = None,
+        clock=time.monotonic,
+    ) -> None:
+        model.classifier  # raises if unfitted
+        model.auto_refit = False
+        self.model = model
+        self.settings = settings or StreamSettings()
+        self.reloader = (
+            reloader
+            if reloader is not None
+            else LocalReloader(self.settings.canary_queries, self.settings.probe_seed)
+        )
+        self._artifact_dir = Path(artifact_dir) if artifact_dir is not None else None
+        self.plan = plan
+        self._clock = clock
+        self._rng = np.random.default_rng(self.settings.probe_seed)
+        self._lock = threading.RLock()
+        self.sketch = StreamSketch(self.settings.sketch_capacity)
+        if seed_data is not None:
+            self.sketch.append(seed_data)
+        self.monitor = DriftMonitor(
+            p=model.config.p,
+            delta=self.settings.drift_delta,
+            window=self.settings.monitor_window,
+            hysteresis=self.settings.hysteresis,
+            min_refit_interval=self.settings.min_refit_interval,
+            clock=clock,
+        )
+        self._window: deque[np.ndarray] = deque(maxlen=self.settings.monitor_window)
+        self.initial_n = model.n_total
+        self._sketch_base = self.sketch.n_seen
+        self.ingested_total = 0
+        self.refits_triggered = 0
+        self.refits_succeeded = 0
+        self.refits_failed = 0
+        self.swaps = 0
+        self.rollbacks = 0
+        self.monitor_errors = 0
+        self._refit_generation = 0
+        self._refit_in_flight = False
+        self._drift_since: float | None = None
+        self._last_decision: DriftDecision | None = None
+        self._last_refit: RefitOutcome | None = None
+        self._last_swap: ReloadResult | None = None
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    @classmethod
+    def from_data(
+        cls,
+        data: np.ndarray,
+        config=None,
+        settings: StreamSettings | None = None,
+        **kwargs,
+    ) -> "StreamingPipeline":
+        """Fit the initial model on ``data`` and seed the sketch with it."""
+        data = np.atleast_2d(np.asarray(data, dtype=np.float64))
+        model = IncrementalTKDC(config, auto_refit=False).fit(data)
+        return cls(model, settings=settings, seed_data=data, **kwargs)
+
+    @classmethod
+    def from_classifier(
+        cls,
+        classifier: TKDCClassifier,
+        settings: StreamSettings | None = None,
+        **kwargs,
+    ) -> "StreamingPipeline":
+        """Wrap an already-loaded model (daemon boot path: raw data is
+        unavailable, so the sketch starts empty and refits train on the
+        ingested stream only)."""
+        population = (
+            classifier.coreset_.n
+            if classifier.coreset_ is not None
+            else classifier.tree.size
+        )
+        model = IncrementalTKDC(classifier.config, auto_refit=False)
+        model.adopt(classifier, n_indexed=int(population))
+        return cls(model, settings=settings, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Ingest + serve
+    # ------------------------------------------------------------------
+
+    def ingest(self, points: np.ndarray) -> int:
+        """Fold new points into buffer, sketch, and drift window."""
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if points.shape[0] == 0:
+            return 0
+        with self._lock:
+            self.model.insert(points)  # validates dimensionality
+            self.sketch.append(points)
+            self._window.extend(points)
+            self.ingested_total += points.shape[0]
+        record_ingest(points.shape[0])
+        return int(points.shape[0])
+
+    def classify(self, queries: np.ndarray) -> np.ndarray:
+        """Serve labels including every ingested point (exact buffer)."""
+        with self._lock:
+            return self.model.classify(queries)
+
+    def predict(self, queries: np.ndarray) -> np.ndarray:
+        with self._lock:
+            return self.model.predict(queries)
+
+    def serving_view(self) -> IncrementalTKDC:
+        """A consistent snapshot of the served model for lock-free serving.
+
+        Shallow-copies the incremental model and copies only the live
+        buffer rows, so the daemon can run a budgeted classify *outside*
+        the pipeline lock without racing a concurrent ingest append or
+        an :meth:`IncrementalTKDC.adopt` sliding the buffer in place.
+        The classifier reference, counts, and buffer are captured
+        atomically, so the shifted-threshold algebra stays coherent
+        across a mid-request swap.
+        """
+        with self._lock:
+            view = copy.copy(self.model)
+            rows = self.model.buffer_view
+            view._buffer_array = rows.copy() if rows.shape[0] else None
+            view._buffer_count = int(rows.shape[0])
+        return view
+
+    # ------------------------------------------------------------------
+    # Drift check + refit + swap
+    # ------------------------------------------------------------------
+
+    def check_drift_once(self) -> DriftDecision:
+        """One synchronous monitor pass; refits and swaps if it fires.
+
+        The background loop calls this on its cadence; tests call it
+        directly for deterministic control flow.
+        """
+        with self._lock:
+            if len(self._window) < self.settings.monitor_window:
+                decision = DriftDecision(
+                    checked=False, drifted=False, fired=False,
+                    reason="window_filling", window=len(self._window),
+                )
+                self._last_decision = decision
+                record_drift_check("skipped")
+                self._publish_staleness_locked()
+                return decision
+            window = np.array(self._window)
+            classifier = self.model.classifier
+        # Density estimation runs outside the pipeline lock: it only
+        # reads the classifier snapshot (a swap replaces the reference,
+        # never mutates the old object's index).
+        densities = classifier.estimate_density(window)
+        threshold = classifier.threshold.value
+        tolerance = classifier.config.epsilon * threshold
+        decision = self.monitor.observe(densities, threshold, tolerance=tolerance)
+        with self._lock:
+            self._last_decision = decision
+            if decision.drifted and self._drift_since is None:
+                self._drift_since = self._clock()
+            elif decision.checked and not decision.drifted:
+                self._drift_since = None
+            record_drift_check(
+                "fired" if decision.fired
+                else "drifted" if decision.drifted
+                else "stable"
+            )
+            self._publish_staleness_locked()
+        if decision.fired:
+            self.refit_and_swap()
+        return decision
+
+    def refit_and_swap(self) -> RefitOutcome | None:
+        """Run one supervised refit and, if it survives, the verified swap.
+
+        Blocking (the caller is the background thread); classification
+        and ingest stay live throughout — the pipeline lock is held only
+        around the snapshot and the final adopt.
+        """
+        with self._lock:
+            if self._refit_in_flight:
+                return None
+            self._refit_in_flight = True
+            self._refit_generation += 1
+            generation = self._refit_generation
+            self.refits_triggered += 1
+            # Snapshot counters and sketch atomically vs ingest: every
+            # point at or before this moment is in the snapshot, every
+            # later point stays in the exact buffer across the swap.
+            n_snapshot = self.model.n_total
+            buffered_at_snapshot = self.model.n_buffered
+            snapshot = self.sketch.training_sample(
+                self.settings.refit_sample_cap, self._rng
+            )
+        record_refit("triggered")
+        log.info(
+            "refit generation %d triggered: %d sketch rows for %d stream points",
+            generation, snapshot.shape[0], n_snapshot,
+        )
+        try:
+            policy = SupervisionPolicy(
+                timeout=self.settings.refit_deadline,
+                max_retries=self.settings.refit_retries,
+                backoff=self.settings.refit_backoff,
+            )
+            out_path = self.artifact_dir / f"model-gen-{generation:04d}.tkdc"
+            outcome = run_refit(
+                snapshot, self.model.config, out_path, generation,
+                policy=policy, plan=self.plan,
+            )
+            with self._lock:
+                self._last_refit = outcome
+            if not outcome.ok:
+                with self._lock:
+                    self.refits_failed += 1
+                record_refit("failed", outcome.seconds)
+                self.monitor.note_refit()  # min interval = retry backoff
+                log.error(
+                    "refit generation %d FAILED (%s); serving model untouched",
+                    generation, outcome.error,
+                )
+                return outcome
+            with self._lock:
+                self.refits_succeeded += 1
+            record_refit("succeeded", outcome.seconds)
+            swap = self.reloader.reload(outcome.model_path)
+            with self._lock:
+                self._last_swap = swap
+            if not swap.ok:
+                with self._lock:
+                    self.rollbacks += 1
+                record_refit("rolled_back")
+                self.monitor.note_refit()
+                log.error(
+                    "refit generation %d artifact REFUSED at %s stage (%s); "
+                    "previous model keeps serving",
+                    generation, swap.stage, swap.error,
+                )
+                return outcome
+            candidate = getattr(self.reloader, "classifier", None)
+            if candidate is None:  # reloader without a live handle
+                candidate = prepare_classifier(load_model(outcome.model_path))
+            with self._lock:
+                keep = self.model.n_buffered - buffered_at_snapshot
+                self.model.adopt(candidate, n_indexed=n_snapshot, keep_last=keep)
+                self.swaps += 1
+                self._drift_since = None
+                self._publish_staleness_locked()
+            record_refit("swapped")
+            self.monitor.note_refit()
+            log.info(
+                "refit generation %d swapped in (threshold=%.6g, kept %d "
+                "in-flight points buffered)",
+                generation, outcome.threshold, keep,
+            )
+            return outcome
+        finally:
+            with self._lock:
+                self._refit_in_flight = False
+
+    # ------------------------------------------------------------------
+    # Background loop
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the background drift-check thread (idempotent)."""
+        with self._lock:
+            if self._thread is not None:
+                return
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._monitor_loop, name="tkdc-drift-monitor", daemon=True
+            )
+            self._thread.start()
+
+    def stop(self, join: bool = True) -> None:
+        """Signal the loop to stop; optionally wait for it."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None and join:
+            # A refit may be mid-flight; its attempts are deadline-bounded.
+            thread.join(timeout=self.settings.staleness_bound + 5.0)
+        with self._lock:
+            self._thread = None
+
+    def _monitor_loop(self) -> None:
+        while not self._stop.wait(self.settings.check_interval):
+            try:
+                self.check_drift_once()
+            except Exception:  # noqa: BLE001 - the loop must never die
+                with self._lock:
+                    self.monitor_errors += 1
+                log.exception("drift check failed; serving unaffected")
+
+    # ------------------------------------------------------------------
+    # Accounting + status
+    # ------------------------------------------------------------------
+
+    @property
+    def artifact_dir(self) -> Path:
+        with self._lock:
+            if self._artifact_dir is None:
+                self._artifact_dir = Path(
+                    tempfile.mkdtemp(prefix="tkdc-refit-")
+                )
+            self._artifact_dir.mkdir(parents=True, exist_ok=True)
+            return self._artifact_dir
+
+    def staleness_seconds(self) -> float:
+        """Age of the oldest unresolved drift detection (0 = current)."""
+        with self._lock:
+            if self._drift_since is None:
+                return 0.0
+            return max(self._clock() - self._drift_since, 0.0)
+
+    def _publish_staleness_locked(self) -> None:
+        record_staleness(
+            0.0 if self._drift_since is None
+            else max(self._clock() - self._drift_since, 0.0)
+        )
+
+    def verify_accounting(self) -> dict:
+        """Check the pipeline's conservation invariants (JSON-ready).
+
+        - every ingested point is represented by the serving model:
+          ``model.n_total == initial_n + ingested_total``;
+        - the sketch saw exactly the ingested stream;
+        - every triggered refit terminated (succeeded/failed) unless one
+          is in flight right now;
+        - every produced artifact was swapped or rolled back.
+        """
+        with self._lock:
+            expected_total = self.initial_n + self.ingested_total
+            model_total = self.model.n_total
+            sketch_ingested = self.sketch.n_seen - self._sketch_base
+            in_flight = self._refit_in_flight
+            open_refits = self.refits_triggered - (
+                self.refits_succeeded + self.refits_failed
+            )
+            pending_swaps = self.refits_succeeded - (self.swaps + self.rollbacks)
+            refits_balanced = open_refits == 0 or (in_flight and open_refits == 1)
+            swaps_balanced = pending_swaps == 0 or (in_flight and pending_swaps == 1)
+            ok = (
+                model_total == expected_total
+                and sketch_ingested == self.ingested_total
+                and refits_balanced
+                and swaps_balanced
+            )
+            return {
+                "ok": bool(ok),
+                "expected_total": int(expected_total),
+                "model_total": int(model_total),
+                "ingested_total": int(self.ingested_total),
+                "sketch_ingested": int(sketch_ingested),
+                "refits_triggered": int(self.refits_triggered),
+                "refits_succeeded": int(self.refits_succeeded),
+                "refits_failed": int(self.refits_failed),
+                "swaps": int(self.swaps),
+                "rollbacks": int(self.rollbacks),
+                "refit_in_flight": bool(in_flight),
+            }
+
+    def status(self) -> dict:
+        """JSON-ready pipeline state for /statz and the CLI."""
+        with self._lock:
+            last_decision = (
+                None if self._last_decision is None else self._last_decision.as_dict()
+            )
+            last_refit = (
+                None if self._last_refit is None else self._last_refit.as_dict()
+            )
+            last_swap = None if self._last_swap is None else self._last_swap.as_dict()
+            return {
+                "generation": int(self.model.generation),
+                "n_total": int(self.model.n_total),
+                "n_buffered": int(self.model.n_buffered),
+                "threshold": float(self.model.classifier.threshold.value),
+                "ingested_total": int(self.ingested_total),
+                "window_fill": len(self._window),
+                "staleness_seconds": (
+                    0.0 if self._drift_since is None
+                    else max(self._clock() - self._drift_since, 0.0)
+                ),
+                "staleness_bound_seconds": self.settings.staleness_bound,
+                "monitor_errors": int(self.monitor_errors),
+                "sketch": self.sketch.snapshot(),
+                "accounting": self.verify_accounting(),
+                "last_decision": last_decision,
+                "last_refit": last_refit,
+                "last_swap": last_swap,
+            }

@@ -1,0 +1,207 @@
+"""Crash-isolated background refit: fit, save, verify — never in-process.
+
+A refit on drifted data is the riskiest operation in the streaming
+pipeline: the snapshot may be poisoned (adversarial rows that blow up
+bandwidth estimation), the fit may crash the interpreter, or the saved
+artifact may be corrupted on the way to disk. None of that may ever
+touch the serving model, so every refit attempt runs in a *subprocess*
+under the supervised dispatch machinery
+(:func:`repro.robustness.supervisor.supervised_map`, one chunk): a
+per-attempt deadline, bounded retries (a transient crash clears on
+retry), and a final in-process fallback that deliberately **refuses**
+to run when the fault plan says the work itself is poisoned — an
+``os._exit`` enacted in-process would take the serving process with it,
+which is precisely what crash isolation exists to prevent.
+
+The product is a model artifact written through
+:func:`repro.io.models.save_model` (atomic write + sha256 footer), so
+the downstream hot swap verifies integrity before unpickling. A
+:class:`~repro.robustness.faults.DriftPlan` can deterministically crash
+or poison chosen ``(generation, attempt)`` pairs and flip a byte in a
+chosen generation's artifact, making every failure branch testable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.classifier import TKDCClassifier
+from repro.core.config import TKDCConfig
+from repro.io.models import save_model
+from repro.robustness.faults import REFIT_CRASH, REFIT_RAISE, DriftPlan
+from repro.robustness.supervisor import SupervisionPolicy, supervised_map
+
+#: Exit code of a deliberately crashed refit subprocess (tests grep it).
+_CRASH_EXIT_CODE = 23
+
+
+@dataclass(frozen=True)
+class RefitOutcome:
+    """Result of one supervised refit attempt chain (JSON-ready)."""
+
+    ok: bool
+    generation: int
+    model_path: str | None = None
+    threshold: float | None = None
+    error: str | None = None
+    seconds: float = 0.0
+    crashes: int = 0
+    errors: int = 0
+    timeouts: int = 0
+    retries: int = 0
+    serial_refusals: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "generation": self.generation,
+            "model_path": self.model_path,
+            "threshold": self.threshold,
+            "error": self.error,
+            "seconds": self.seconds,
+            "crashes": self.crashes,
+            "errors": self.errors,
+            "timeouts": self.timeouts,
+            "retries": self.retries,
+            "serial_refusals": self.serial_refusals,
+        }
+
+
+def _flip_byte(path: Path) -> None:
+    """Corrupt a saved artifact in place (models a bad disk/transfer)."""
+    size = path.stat().st_size
+    offset = max(size // 3, 0)
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        byte = handle.read(1)
+        handle.seek(offset)
+        handle.write(bytes([byte[0] ^ 0xFF]))
+
+
+def _fit_and_save(payload: dict) -> dict:
+    """The actual refit work; runs in the subprocess (or fallback)."""
+    classifier = TKDCClassifier(payload["config"]).fit(payload["data"])
+    path = save_model(payload["path"], classifier)
+    plan: DriftPlan | None = payload.get("plan")
+    generation: int = payload["generation"]
+    if plan is not None and plan.corrupts_artifact(generation):
+        _flip_byte(path)
+    return {
+        "ok": True,
+        "path": str(path),
+        "threshold": float(classifier.threshold.value),
+        "error": None,
+    }
+
+
+def _refit_worker(chunk_index: int, attempt: int, payload: dict) -> dict:
+    """Subprocess entry: enact planned faults, then fit and save."""
+    plan: DriftPlan | None = payload.get("plan")
+    generation: int = payload["generation"]
+    if plan is not None:
+        fault = plan.refit_fault(generation, attempt)
+        if fault == REFIT_CRASH:
+            os._exit(_CRASH_EXIT_CODE)
+        if fault == REFIT_RAISE:
+            raise RuntimeError(
+                f"injected refit poison (generation {generation}, "
+                f"attempt {attempt})"
+            )
+    return _fit_and_save(payload)
+
+
+def _refit_context():
+    """Fork keeps the snapshot copy-on-write; spawn is the fallback."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        return multiprocessing.get_context("spawn")
+
+
+def run_refit(
+    data: np.ndarray,
+    config: TKDCConfig,
+    out_path: Path | str,
+    generation: int,
+    policy: SupervisionPolicy | None = None,
+    plan: DriftPlan | None = None,
+) -> RefitOutcome:
+    """Fit a fresh model on ``data`` in a supervised subprocess.
+
+    Returns a :class:`RefitOutcome`; ``ok=False`` means every attempt
+    failed (crash, poison, deadline) and **nothing was produced** — the
+    caller's serving model must remain untouched. ``ok=True`` means a
+    sha256-footed artifact exists at ``model_path`` (it may still be
+    refused downstream by the verified swap, e.g. when the plan
+    corrupted it after saving — that is the swap layer's test).
+    """
+    data = np.ascontiguousarray(np.atleast_2d(np.asarray(data, dtype=np.float64)))
+    if data.shape[0] < 2:
+        return RefitOutcome(
+            ok=False, generation=generation,
+            error=f"refit snapshot too small: {data.shape[0]} rows",
+        )
+    policy = policy or SupervisionPolicy()
+    payload = {
+        "data": data,
+        "config": config,
+        "path": str(out_path),
+        "generation": generation,
+        "plan": plan,
+    }
+
+    def serial_fallback(chunk_index: int, chunk: dict) -> dict:
+        # Attempts are exhausted by the time the fallback runs. If the
+        # plan says this refit's faults are still live (a permanently
+        # poisoned refit), refuse rather than enact a crash in the
+        # serving process; otherwise run the work in-process but trap
+        # any exception — a failed refit must report, not propagate.
+        if plan is not None and plan.refit_fault(
+            generation, policy.max_retries + 1
+        ) is not None:
+            return {
+                "ok": False, "path": None, "threshold": None,
+                "error": "refit permanently faulted; refused in-process "
+                         "execution to protect the serving process",
+            }
+        try:
+            return _fit_and_save(chunk)
+        except Exception as exc:  # noqa: BLE001 - isolation boundary
+            return {
+                "ok": False, "path": None, "threshold": None,
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+
+    started = time.perf_counter()
+    results, report = supervised_map(
+        _refit_worker,
+        [payload],
+        n_jobs=1,
+        policy=policy,
+        serial_fallback=serial_fallback,
+        mp_context=_refit_context(),
+    )
+    elapsed = time.perf_counter() - started
+    outcome = results[0]
+    refused = int(
+        report.serial_fallbacks and not outcome.get("ok", False)
+    )
+    return RefitOutcome(
+        ok=bool(outcome.get("ok", False)),
+        generation=generation,
+        model_path=outcome.get("path"),
+        threshold=outcome.get("threshold"),
+        error=outcome.get("error"),
+        seconds=elapsed,
+        crashes=report.crashes,
+        errors=report.errors,
+        timeouts=report.timeouts,
+        retries=report.retries,
+        serial_refusals=refused,
+    )

@@ -1,0 +1,200 @@
+"""Bounded mergeable sketch of the full point stream.
+
+The serving model's exact-buffer path answers for *recent* inserts, but
+a drift-triggered refit needs training data representing the *whole*
+stream — unboundedly many points. :class:`StreamSketch` keeps that
+history in bounded memory by reusing the merge-reduce halving round
+(:func:`repro.coresets.merge_reduce._pair_round`): whenever the weighted
+point set outgrows ``capacity`` it is halved by grid pairing, keeping
+the heavier member of each pair with the combined weight.
+
+Two properties make it the right substrate for streaming refits:
+
+- **Mergeable**: appending a batch and halving commutes with halving
+  first (Phillips & Tai's merge-reduce framework), so ingest cost is
+  amortized O(1) per point and two sketches can be combined by
+  concatenation + halving (:meth:`merge`).
+- **Certified**: each pair merge displaces mass ``min(w_a, w_b)`` by
+  ``||a - b||`` in *raw* space. The sketch accumulates that raw
+  displacement sum; for any kernel with per-dimension bandwidths ``h``
+  the scaled-space displacement is at most ``||a - b|| / min_j h_j``,
+  so
+
+      sup_x |f_stream(x) - f_sketch(x)|
+        <= L * raw_displacement / (n * min_j h_j)
+
+  (:meth:`eta_for`). The bound is conservative by the anisotropy ratio
+  ``min h / h_j`` per dimension — the price of sketching *before* a
+  bandwidth exists: the kernel is refit from the sketch afterwards.
+
+Unlike :func:`~repro.coresets.merge_reduce.merge_reduce_coreset` (which
+compresses a known dataset in scaled space, under a known kernel), the
+sketch lives in raw data space because every refit re-estimates the
+bandwidth from the current sketch.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.coresets.merge_reduce import _pair_round
+
+
+class StreamSketch:
+    """Weighted merge-reduce summary of everything ever ingested.
+
+    Thread-safe: ingest happens on request threads while the background
+    refit thread snapshots training data.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum retained weighted points. Halving triggers when the set
+        exceeds this, so memory is O(capacity * dim) regardless of
+        stream length.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 2:
+            raise ValueError(f"capacity must be >= 2, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._points: np.ndarray | None = None
+        self._weights: np.ndarray | None = None
+        #: Accumulated sum of min(w_a, w_b) * ||a - b|| over every pair
+        #: merge, in raw (unscaled) space.
+        self.raw_displacement = 0.0
+        self.n_seen = 0
+        self.rounds = 0
+
+    @property
+    def size(self) -> int:
+        """Weighted points currently retained."""
+        with self._lock:
+            return 0 if self._points is None else self._points.shape[0]
+
+    def append(self, points: np.ndarray) -> None:
+        """Fold a batch of raw points into the sketch."""
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if points.shape[0] == 0:
+            return
+        with self._lock:
+            if self._points is None:
+                self._points = points.copy()
+                self._weights = np.ones(points.shape[0])
+            else:
+                if points.shape[1] != self._points.shape[1]:
+                    raise ValueError(
+                        f"append dimensionality {points.shape[1]} does not "
+                        f"match sketch dimensionality {self._points.shape[1]}"
+                    )
+                self._points = np.concatenate([self._points, points])
+                self._weights = np.concatenate(
+                    [self._weights, np.ones(points.shape[0])]
+                )
+            self.n_seen += points.shape[0]
+            self._reduce_locked()
+
+    def merge(self, other: "StreamSketch") -> None:
+        """Absorb another sketch (mergeability: concatenate + halve)."""
+        with other._lock:
+            points = None if other._points is None else other._points.copy()
+            weights = None if other._weights is None else other._weights.copy()
+            displacement = other.raw_displacement
+            seen = other.n_seen
+        if points is None:
+            return
+        with self._lock:
+            if self._points is None:
+                self._points = points
+                self._weights = weights
+            else:
+                self._points = np.concatenate([self._points, points])
+                self._weights = np.concatenate([self._weights, weights])
+            self.raw_displacement += displacement
+            self.n_seen += seen
+            self._reduce_locked()
+
+    def _reduce_locked(self) -> None:
+        """Halve by grid pairing until back under capacity."""
+        while self._points is not None and self._points.shape[0] > self.capacity:
+            first, second, survivor = _pair_round(self._points)
+            if first.size == 0:
+                break  # single point left; cannot compress further
+            dists = np.linalg.norm(
+                self._points[first] - self._points[second], axis=1
+            )
+            pair_min = np.minimum(self._weights[first], self._weights[second])
+            self.raw_displacement += float(np.sum(pair_min * dists))
+            # Keep the heavier member (ties keep `first`): the error
+            # multiplier above is then the *smaller* weight.
+            keep_second = self._weights[second] > self._weights[first]
+            kept = np.where(keep_second, second, first)
+            self._points = np.concatenate(
+                [self._points[kept], self._points[survivor]]
+            )
+            self._weights = np.concatenate(
+                [self._weights[first] + self._weights[second],
+                 self._weights[survivor]]
+            )
+            self.rounds += 1
+
+    def eta_for(self, kernel) -> float:
+        """Certified sup-norm KDE error of the sketch under ``kernel``.
+
+        ``L * raw_displacement / (n_seen * min_j h_j)`` — valid for any
+        kernel Lipschitz in scaled distance; ``inf`` otherwise.
+        """
+        with self._lock:
+            if self.n_seen == 0 or self.raw_displacement == 0.0:
+                return 0.0
+            lipschitz = kernel.lipschitz_constant
+            if not np.isfinite(lipschitz):
+                return float("inf")
+            min_bandwidth = float(np.min(kernel.bandwidth))
+            return float(
+                lipschitz * self.raw_displacement / (self.n_seen * min_bandwidth)
+            )
+
+    def training_sample(
+        self, cap: int, rng: np.random.Generator | None = None
+    ) -> np.ndarray:
+        """Materialize refit training data from the sketch.
+
+        Merge-reduce weights are integer-valued (sums of unit weights),
+        so when the stream still fits under ``cap`` the weighted
+        empirical measure is reconstructed *exactly* by repetition.
+        Beyond that, a weighted bootstrap resample of size ``cap`` draws
+        from the sketch's empirical distribution — a uniform subsample
+        of the (already certified) sketch, so the usual coreset
+        composition argument applies to the refit's quality.
+        """
+        if cap < 1:
+            raise ValueError(f"cap must be >= 1, got {cap}")
+        with self._lock:
+            if self._points is None:
+                raise RuntimeError("cannot sample an empty sketch")
+            points = self._points
+            weights = self._weights
+            total = float(weights.sum())
+            if total <= cap:
+                counts = np.rint(weights).astype(np.int64)
+                return np.repeat(points, counts, axis=0).copy()
+            rng = np.random.default_rng() if rng is None else rng
+            picks = rng.choice(
+                points.shape[0], size=cap, replace=True, p=weights / total
+            )
+            return points[picks].copy()
+
+    def snapshot(self) -> dict:
+        """JSON-ready summary for /statz and pipeline status."""
+        with self._lock:
+            return {
+                "n_seen": self.n_seen,
+                "size": 0 if self._points is None else int(self._points.shape[0]),
+                "capacity": self.capacity,
+                "rounds": self.rounds,
+                "raw_displacement": self.raw_displacement,
+            }

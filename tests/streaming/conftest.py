@@ -1,0 +1,65 @@
+"""Shared fixtures for the streaming-pipeline suite.
+
+Everything is shrunk for speed: small training sets, tiny bootstrap,
+small drift windows, sub-second check intervals. The soak test layers
+its own timings on top.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import TKDCConfig
+from repro.streaming import StreamingPipeline, StreamSettings
+
+#: Fast-fit config shared by every streaming test.
+FAST_CONFIG = dict(p=0.1, epsilon=0.05, seed=0, refine_threshold=False,
+                   bootstrap_s0=500)
+
+#: Fast pipeline settings: tiny window, sub-second cadence.
+FAST_SETTINGS = dict(
+    drift_delta=0.05,
+    monitor_window=64,
+    hysteresis=2,
+    check_interval=0.05,
+    min_refit_interval=0.0,
+    refit_deadline=60.0,
+    refit_retries=1,
+    refit_backoff=0.01,
+    refit_sample_cap=4000,
+    sketch_capacity=512,
+    canary_queries=8,
+)
+
+
+@pytest.fixture
+def stream_config() -> TKDCConfig:
+    return TKDCConfig(**FAST_CONFIG)
+
+
+@pytest.fixture
+def base_data() -> np.ndarray:
+    rng = np.random.default_rng(7)
+    return rng.normal(size=(800, 2)) * 0.5
+
+
+@pytest.fixture
+def pipeline_factory(stream_config, base_data, tmp_path):
+    """Build fast pipelines; every one is stopped at teardown."""
+    built: list[StreamingPipeline] = []
+
+    def factory(settings_overrides=None, **kwargs) -> StreamingPipeline:
+        settings = dict(FAST_SETTINGS)
+        settings.update(settings_overrides or {})
+        kwargs.setdefault("artifact_dir", tmp_path / "artifacts")
+        pipeline = StreamingPipeline.from_data(
+            base_data, stream_config,
+            settings=StreamSettings(**settings), **kwargs,
+        )
+        built.append(pipeline)
+        return pipeline
+
+    yield factory
+    for pipeline in built:
+        pipeline.stop(join=True)

@@ -1,0 +1,147 @@
+"""Crash isolation: a failed refit never touches the serving model.
+
+The satellite property: whatever fault a refit enacts — subprocess
+crash, raised poison, corrupted artifact — and at whatever point it
+fires, the serving classifier is bit-identical before and after the
+attempt (compared as pickle bytes) and the failure is fully accounted.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.io.models import load_model
+from repro.robustness.faults import DriftPlan
+from repro.robustness.supervisor import SupervisionPolicy
+from repro.streaming.refit import run_refit
+
+POLICY = SupervisionPolicy(timeout=60.0, max_retries=1, backoff=0.01)
+
+
+@pytest.fixture
+def snapshot():
+    return np.random.default_rng(5).normal(size=(400, 2))
+
+
+class TestRunRefit:
+    def test_success_produces_loadable_artifact(
+        self, snapshot, stream_config, tmp_path
+    ):
+        outcome = run_refit(
+            snapshot, stream_config, tmp_path / "m.tkdc", generation=1,
+            policy=POLICY,
+        )
+        assert outcome.ok
+        assert outcome.crashes == 0 and outcome.retries == 0
+        loaded = load_model(outcome.model_path)
+        assert loaded.threshold.value == pytest.approx(outcome.threshold)
+
+    def test_tiny_snapshot_refused(self, stream_config, tmp_path):
+        outcome = run_refit(
+            np.zeros((1, 2)), stream_config, tmp_path / "m.tkdc", generation=1,
+            policy=POLICY,
+        )
+        assert not outcome.ok
+        assert "too small" in outcome.error
+
+    def test_transient_crash_clears_on_retry(
+        self, snapshot, stream_config, tmp_path
+    ):
+        plan = DriftPlan(refit_crash=(1,), fail_attempts=1)
+        outcome = run_refit(
+            snapshot, stream_config, tmp_path / "m.tkdc", generation=1,
+            policy=POLICY, plan=plan,
+        )
+        assert outcome.ok
+        assert outcome.crashes >= 1 and outcome.retries >= 1
+        assert load_model(outcome.model_path) is not None
+
+    def test_transient_raise_clears_on_retry(
+        self, snapshot, stream_config, tmp_path
+    ):
+        plan = DriftPlan(refit_raise=(1,), fail_attempts=1)
+        outcome = run_refit(
+            snapshot, stream_config, tmp_path / "m.tkdc", generation=1,
+            policy=POLICY, plan=plan,
+        )
+        assert outcome.ok
+        assert outcome.errors >= 1
+
+    @pytest.mark.parametrize("fault", ["refit_crash", "refit_raise"])
+    def test_permanent_fault_refused_in_process(
+        self, fault, snapshot, stream_config, tmp_path
+    ):
+        """The serial fallback must refuse permanently-faulted work: an
+        os._exit enacted in-process would kill the serving process."""
+        plan = DriftPlan(**{fault: (1,)}, fail_attempts=10**6)
+        outcome = run_refit(
+            snapshot, stream_config, tmp_path / "m.tkdc", generation=1,
+            policy=POLICY, plan=plan,
+        )
+        assert not outcome.ok
+        assert outcome.serial_refusals == 1
+        assert "refused" in outcome.error
+        assert not (tmp_path / "m.tkdc").exists()
+
+    def test_unplanned_generation_unaffected(
+        self, snapshot, stream_config, tmp_path
+    ):
+        plan = DriftPlan(refit_crash=(3,), fail_attempts=10**6)
+        outcome = run_refit(
+            snapshot, stream_config, tmp_path / "m.tkdc", generation=1,
+            policy=POLICY, plan=plan,
+        )
+        assert outcome.ok
+
+
+def served_bytes(pipeline) -> bytes:
+    return pickle.dumps(pipeline.model.classifier)
+
+
+class TestServingModelIsolation:
+    """The property, end to end through the pipeline."""
+
+    @pytest.mark.parametrize("fault_kwargs", [
+        dict(refit_crash=(1,), fail_attempts=10**6),
+        dict(refit_raise=(1,), fail_attempts=10**6),
+        dict(corrupt_artifacts=(1,)),
+    ], ids=["crash", "raise", "corrupt-artifact"])
+    def test_failed_refit_leaves_model_bit_identical(
+        self, fault_kwargs, pipeline_factory
+    ):
+        pipeline = pipeline_factory(plan=DriftPlan(**fault_kwargs))
+        rng = np.random.default_rng(11)
+        pipeline.ingest(rng.normal(size=(64, 2)) * 0.5)
+        before = served_bytes(pipeline)
+        generation_before = pipeline.model.generation
+
+        outcome = pipeline.refit_and_swap()
+
+        assert served_bytes(pipeline) == before
+        assert pipeline.model.generation == generation_before
+        assert pipeline.swaps == 0
+        accounting = pipeline.verify_accounting()
+        assert accounting["ok"], accounting
+        if "corrupt_artifacts" in fault_kwargs:
+            # The refit produced an artifact; the verified reload path
+            # refused it at the integrity check and rolled back.
+            assert outcome.ok
+            assert pipeline.rollbacks == 1
+            assert pipeline._last_swap is not None
+            assert not pipeline._last_swap.ok
+            assert pipeline._last_swap.stage == "load"
+        else:
+            assert not outcome.ok
+            assert pipeline.refits_failed == 1
+
+    def test_successful_refit_swaps(self, pipeline_factory):
+        pipeline = pipeline_factory()
+        before = served_bytes(pipeline)
+        outcome = pipeline.refit_and_swap()
+        assert outcome.ok
+        assert pipeline.swaps == 1
+        assert served_bytes(pipeline) != before
+        assert pipeline.model.generation == 1
+        accounting = pipeline.verify_accounting()
+        assert accounting["ok"], accounting

@@ -1,0 +1,149 @@
+"""Unit tests for the bounded mergeable stream sketch."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.gaussian import GaussianKernel
+from repro.streaming import StreamSketch
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(3)
+
+
+class TestBounds:
+    def test_rejects_tiny_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            StreamSketch(capacity=1)
+
+    def test_size_bounded_regardless_of_stream_length(self, rng):
+        sketch = StreamSketch(capacity=128)
+        for __ in range(40):
+            sketch.append(rng.normal(size=(137, 3)))
+        assert sketch.n_seen == 40 * 137
+        assert sketch.size <= 128
+        assert sketch.rounds > 0
+
+    def test_weight_mass_conserved(self, rng):
+        """Halving merges weights, never drops them."""
+        sketch = StreamSketch(capacity=64)
+        sketch.append(rng.normal(size=(1000, 2)))
+        sample = sketch.training_sample(cap=10**9)
+        assert sample.shape == (1000, 2)  # total weight == n_seen
+
+    def test_dimension_mismatch_rejected(self, rng):
+        sketch = StreamSketch(capacity=64)
+        sketch.append(rng.normal(size=(10, 2)))
+        with pytest.raises(ValueError, match="dimensionality"):
+            sketch.append(rng.normal(size=(10, 3)))
+
+
+class TestTrainingSample:
+    def test_exact_reconstruction_under_capacity(self, rng):
+        """No reduction ever ran: the sample IS the stream, exactly."""
+        points = rng.normal(size=(300, 2))
+        sketch = StreamSketch(capacity=1024)
+        sketch.append(points[:100])
+        sketch.append(points[100:])
+        assert sketch.raw_displacement == 0.0
+        sample = sketch.training_sample(cap=1024)
+        np.testing.assert_array_equal(
+            np.sort(sample, axis=0), np.sort(points, axis=0)
+        )
+
+    def test_bootstrap_beyond_cap(self, rng):
+        sketch = StreamSketch(capacity=64)
+        sketch.append(rng.normal(size=(500, 2)))
+        sample = sketch.training_sample(cap=200, rng=rng)
+        assert sample.shape == (200, 2)
+
+    def test_empty_sketch_raises(self):
+        with pytest.raises(RuntimeError, match="empty"):
+            StreamSketch().training_sample(cap=10)
+
+    def test_bad_cap_rejected(self, rng):
+        sketch = StreamSketch()
+        sketch.append(rng.normal(size=(10, 2)))
+        with pytest.raises(ValueError, match="cap"):
+            sketch.training_sample(cap=0)
+
+    def test_sample_is_a_copy(self, rng):
+        sketch = StreamSketch(capacity=1024)
+        sketch.append(rng.normal(size=(20, 2)))
+        sample = sketch.training_sample(cap=1024)
+        sample[:] = 0.0
+        resample = sketch.training_sample(cap=1024)
+        assert not np.allclose(resample, 0.0)
+
+
+class TestMerge:
+    def test_merge_combines_streams(self, rng):
+        data = rng.normal(size=(600, 2))
+        left = StreamSketch(capacity=128)
+        right = StreamSketch(capacity=128)
+        left.append(data[:300])
+        right.append(data[300:])
+        left.merge(right)
+        assert left.n_seen == 600
+        assert left.size <= 128
+        assert left.training_sample(cap=100, rng=rng).shape == (100, 2)
+
+    def test_merge_empty_is_noop(self, rng):
+        sketch = StreamSketch()
+        sketch.append(rng.normal(size=(10, 2)))
+        before = sketch.snapshot()
+        sketch.merge(StreamSketch())
+        assert sketch.snapshot() == before
+
+    def test_merge_accumulates_displacement(self, rng):
+        left = StreamSketch(capacity=32)
+        right = StreamSketch(capacity=32)
+        left.append(rng.normal(size=(200, 2)))
+        right.append(rng.normal(size=(200, 2)))
+        combined_floor = left.raw_displacement + right.raw_displacement
+        assert combined_floor > 0.0
+        left.merge(right)
+        assert left.raw_displacement >= combined_floor
+
+
+class TestCertificate:
+    def test_eta_zero_before_any_reduction(self, rng):
+        sketch = StreamSketch(capacity=1024)
+        sketch.append(rng.normal(size=(100, 2)))
+        kernel = GaussianKernel(np.array([1.0, 1.0]))
+        assert sketch.eta_for(kernel) == 0.0
+
+    def test_eta_positive_after_reduction(self, rng):
+        sketch = StreamSketch(capacity=32)
+        sketch.append(rng.normal(size=(500, 2)))
+        kernel = GaussianKernel(np.array([1.0, 1.0]))
+        eta = sketch.eta_for(kernel)
+        assert np.isfinite(eta) and eta > 0.0
+
+    def test_eta_scales_inversely_with_bandwidth(self, rng):
+        """Smaller min bandwidth -> larger scaled displacement bound."""
+        sketch = StreamSketch(capacity=32)
+        sketch.append(rng.normal(size=(500, 2)))
+        wide = GaussianKernel(np.array([2.0, 2.0]))
+        narrow = GaussianKernel(np.array([0.5, 2.0]))
+        assert sketch.eta_for(narrow) > sketch.eta_for(wide)
+
+    def test_eta_bounds_actual_kde_error(self, rng):
+        """The certificate dominates the measured sup error on a probe set."""
+        points = rng.normal(size=(600, 2))
+        sketch = StreamSketch(capacity=64)
+        sketch.append(points)
+        kernel = GaussianKernel(np.array([1.0, 1.0]))
+        probes = rng.normal(size=(50, 2))
+
+        def kde(train, query):
+            diffs = kernel.scale(train) - kernel.scale(query)
+            sq = np.einsum("ij,ij->i", diffs, diffs)
+            return float(np.sum(kernel.value(sq))) / points.shape[0]
+
+        sample = sketch.training_sample(cap=10**9)
+        worst = max(
+            abs(kde(points, probe) - kde(sample, probe)) for probe in probes
+        )
+        assert worst <= sketch.eta_for(kernel) + 1e-12

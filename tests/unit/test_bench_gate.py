@@ -83,12 +83,37 @@ def canned_serving_report(
     return report
 
 
+def canned_robustness_report(
+    converged: bool = True,
+    accounting_ok: bool = True,
+    detect_to_swap: float | None = 0.4,
+    bound: float = 605.0,
+    label_lag: int | None = 64,
+    include_streaming: bool = True,
+) -> dict:
+    report: dict = {"benchmark": "robustness", "rows": []}
+    if include_streaming:
+        report["rows"].append({
+            "section": "streaming",
+            "dataset": "gauss", "n_initial": 10_000,
+            "label_lag_points": label_lag,
+            "refit_seconds": 0.35,
+            "detect_to_swap_seconds": detect_to_swap,
+            "staleness_bound_seconds": bound,
+            "swaps": 1,
+            "converged": converged,
+            "accounting_ok": accounting_ok,
+        })
+    return report
+
+
 def write_baseline(
     directory,
     smoke_rows,
     coreset_agreement: float = 1.0,
     serving: dict | None = None,
     hbe: dict | None = None,
+    robustness: dict | None = None,
 ) -> None:
     (directory / "BENCH_batch_traversal.json").write_text(json.dumps({
         "benchmark": "batch_traversal", "rows": smoke_rows,
@@ -105,6 +130,9 @@ def write_baseline(
     ))
     (directory / "BENCH_hbe.json").write_text(json.dumps(
         hbe if hbe is not None else canned_hbe_report()
+    ))
+    (directory / "BENCH_robustness.json").write_text(json.dumps(
+        robustness if robustness is not None else canned_robustness_report()
     ))
 
 
@@ -353,6 +381,77 @@ class TestHbeChecks:
         assert gate.main(["--baseline-dir", str(tmp_path)]) == 1
         assert gate.main([
             "--baseline-dir", str(tmp_path), "--hbe-speedup-floor", "3.5",
+        ]) == 0
+
+
+class TestRobustnessChecks:
+    """The committed BENCH_robustness.json streaming validation."""
+
+    def _robustness_checks(self, tmp_path, robustness: dict) -> dict:
+        write_baseline(tmp_path, canned_smoke_rows(), robustness=robustness)
+        return {c.name: c for c in gate.run_gate(baseline_dir=tmp_path)}
+
+    def test_healthy_report_passes(self, tmp_path, canned_measurements):
+        checks = self._robustness_checks(tmp_path, canned_robustness_report())
+        assert checks["streaming_drift_converged"].ok
+        assert checks["streaming_staleness_within_bound"].ok
+        assert checks["streaming_label_lag"].ok
+
+    def test_unconverged_episode_fails(self, tmp_path, canned_measurements):
+        checks = self._robustness_checks(
+            tmp_path, canned_robustness_report(converged=False)
+        )
+        assert not checks["streaming_drift_converged"].ok
+
+    def test_broken_accounting_fails(self, tmp_path, canned_measurements):
+        checks = self._robustness_checks(
+            tmp_path, canned_robustness_report(accounting_ok=False)
+        )
+        assert not checks["streaming_drift_converged"].ok
+
+    def test_staleness_over_bound_fails(self, tmp_path, canned_measurements):
+        checks = self._robustness_checks(
+            tmp_path,
+            canned_robustness_report(detect_to_swap=700.0, bound=605.0),
+        )
+        assert not checks["streaming_staleness_within_bound"].ok
+
+    def test_missing_staleness_fails(self, tmp_path, canned_measurements):
+        checks = self._robustness_checks(
+            tmp_path, canned_robustness_report(detect_to_swap=None)
+        )
+        assert not checks["streaming_staleness_within_bound"].ok
+
+    def test_excessive_label_lag_fails(self, tmp_path, canned_measurements):
+        checks = self._robustness_checks(
+            tmp_path, canned_robustness_report(label_lag=5000)
+        )
+        assert not checks["streaming_label_lag"].ok
+
+    def test_missing_streaming_row_fails(self, tmp_path, canned_measurements):
+        checks = self._robustness_checks(
+            tmp_path, canned_robustness_report(include_streaming=False)
+        )
+        failed = checks["baseline[robustness.streaming]"]
+        assert not failed.ok and "bench-robustness" in failed.detail
+
+    def test_missing_robustness_baseline_fails(
+        self, tmp_path, canned_measurements
+    ):
+        write_baseline(tmp_path, canned_smoke_rows())
+        (tmp_path / "BENCH_robustness.json").unlink()
+        checks = {c.name: c for c in gate.run_gate(baseline_dir=tmp_path)}
+        assert not checks["baseline[robustness]"].ok
+
+    def test_label_lag_ceiling_flag(self, tmp_path, canned_measurements):
+        write_baseline(
+            tmp_path, canned_smoke_rows(),
+            robustness=canned_robustness_report(label_lag=3000),
+        )
+        assert gate.main(["--baseline-dir", str(tmp_path)]) == 1
+        assert gate.main([
+            "--baseline-dir", str(tmp_path),
+            "--streaming-label-lag-ceiling", "4000",
         ]) == 0
 
 
