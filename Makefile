@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-faults test-serve test-streaming serve-smoke bench bench-batch bench-coreset bench-coreset-smoke bench-gate bench-hbe bench-hbe-smoke bench-robustness bench-serving bench-serving-smoke experiments demo clean
+.PHONY: install test test-fast test-faults test-recovery test-serve test-streaming serve-smoke bench bench-batch bench-coreset bench-coreset-smoke bench-gate bench-hbe bench-hbe-smoke bench-robustness bench-serving bench-serving-smoke experiments demo clean
 
 install:
 	pip install -e ".[test]"
@@ -27,6 +27,11 @@ test-serve:
 # refits, verified hot swap, and the drift+faults soak test.
 test-streaming:
 	$(PYTHON) -m pytest tests/streaming -q
+
+# Durability suite: WAL checksums and torn-tail handling, crash
+# recovery, the kill -9 ingest soak, and fleet /ingest owner takeover.
+test-recovery:
+	$(PYTHON) -m pytest tests/streaming/test_wal.py tests/streaming/test_recovery.py "tests/streaming/test_soak.py::test_kill9_soak_zero_acknowledged_loss" tests/serve/test_fleet_ingest.py -q
 
 # End-to-end daemon smoke as a real subprocess: start, classify, drain
 # on SIGTERM. CI wraps this in a hard `timeout`.

@@ -18,6 +18,11 @@ The robustness layer must be close to free when nothing goes wrong:
   window against the pipeline's declared bound, and the mid-drift label
   lag (how many post-drift points the exact-buffer path needs before a
   new-mode probe flips HIGH, i.e. before the refit even lands).
+- **Durability** (``repro.streaming.wal``): WAL append latency per
+  fsync policy (the price of the ``always`` durability point versus
+  ``interval``/``off``), and crash-recovery time — a WAL populated with
+  acknowledged batches is abandoned mid-flight and recovered, measuring
+  replay seconds and asserting zero acknowledged-point loss.
 
 Writes ``BENCH_robustness.json`` at the repo root. Run standalone
 (``make bench-robustness``) or under pytest via ``make bench``. The
@@ -68,6 +73,14 @@ STREAM_INITIAL = 10_000
 STREAM_SHIFT = (6.0, 6.0)
 STREAM_BATCH = 64
 STREAM_MAX_POST = 4_096
+
+#: Durability workload: WAL append batch size and count per fsync
+#: policy, the recovery-bench initial fit, and how many acknowledged
+#: batches each recovery run replays.
+WAL_BATCH_ROWS = 64
+WAL_APPENDS = 200
+RECOVERY_INITIAL = 5_000
+RECOVERY_SIZES = (64, 256)
 
 
 def _raw_pool_chunk(chunk: np.ndarray) -> tuple[np.ndarray, TraversalStats]:
@@ -276,6 +289,98 @@ def bench_streaming(seed: int = 0) -> list[dict]:
     }]
 
 
+def bench_durability(seed: int = 0) -> list[dict]:
+    """WAL append cost per fsync policy, plus crash-recovery time.
+
+    Append rows: p50/p99 latency of ``append_ingest`` for each fsync
+    policy on a batch-of-64 workload. Recovery rows: a pipeline ingests
+    acknowledged batches over a WAL, the process "dies" (the WAL is
+    abandoned without a shutdown snapshot), and a successor recovers —
+    measuring replay seconds and checking every acknowledged point
+    survived (``acknowledged_loss`` must be exactly 0).
+    """
+    import tempfile
+
+    from repro.streaming.wal import WriteAheadLog
+
+    rows = []
+    rng = np.random.default_rng(seed + 9)
+    batch = rng.normal(size=(WAL_BATCH_ROWS, 2))
+    for policy in ("always", "interval", "off"):
+        with tempfile.TemporaryDirectory(prefix="tkdc-wal-bench-") as tmp:
+            wal = WriteAheadLog(Path(tmp) / "wal", fsync_policy=policy)
+            latencies = []
+            started = time.perf_counter()
+            for i in range(WAL_APPENDS):
+                t0 = time.perf_counter()
+                wal.append_ingest(batch, {"source": "bench", "seq": i + 1})
+                latencies.append(time.perf_counter() - t0)
+            elapsed = time.perf_counter() - started
+            stats = wal.stats()
+            wal.close()
+        latencies = np.asarray(latencies)
+        rows.append({
+            "section": "durability",
+            "variant": "wal_append",
+            "fsync_policy": policy,
+            "rows_per_append": WAL_BATCH_ROWS,
+            "appends": WAL_APPENDS,
+            "fsyncs": stats["fsyncs"],
+            "append_p50_ms": float(np.percentile(latencies, 50) * 1e3),
+            "append_p99_ms": float(np.percentile(latencies, 99) * 1e3),
+            "appends_per_s": float(WAL_APPENDS / elapsed),
+        })
+
+    data = load(DATASET, n=RECOVERY_INITIAL, seed=seed)
+    config = TKDCConfig(
+        p=0.01, seed=seed, refine_threshold=False,
+        bootstrap_s0=min(2000, RECOVERY_INITIAL), worker_backoff=0.0,
+    )
+    for batches in RECOVERY_SIZES:
+        with tempfile.TemporaryDirectory(prefix="tkdc-recover-bench-") as tmp:
+            wal_dir = Path(tmp) / "wal"
+            pipeline = StreamingPipeline.from_data(
+                data, config,
+                settings=StreamSettings(fsync_policy="always"),
+                wal_dir=wal_dir,
+            )
+            acknowledged = 0
+            for i in range(batches):
+                out = pipeline.ingest_batch(
+                    rng.normal(size=(WAL_BATCH_ROWS, 2)) * 0.5,
+                    source="bench", source_seq=i + 1,
+                )
+                acknowledged += int(out["accepted"])
+            wal_bytes = pipeline.wal.size_bytes()
+            fallback = pipeline.model.classifier
+            pipeline.wal.abandon()  # simulated SIGKILL: no shutdown snapshot
+
+            t0 = time.perf_counter()
+            recovered = StreamingPipeline.recover(
+                wal_dir,
+                settings=StreamSettings(fsync_policy="always"),
+                fallback_classifier=fallback,
+            )
+            recovery_seconds = time.perf_counter() - t0
+            loss = acknowledged - recovered.ingested_total
+            conserved = bool(
+                recovered.model.n_total
+                == recovered.initial_n + recovered.ingested_total
+            )
+            recovered.stop(join=True)
+        rows.append({
+            "section": "durability",
+            "variant": "recovery",
+            "acknowledged_batches": batches,
+            "acknowledged_points": acknowledged,
+            "wal_bytes": int(wal_bytes),
+            "recovery_seconds": float(recovery_seconds),
+            "acknowledged_loss": int(loss),
+            "conservation_ok": conserved,
+        })
+    return rows
+
+
 def run_benchmark(seed: int = 0) -> list[dict]:
     rows = []
     print(f"\n[supervised pool: {DATASET} n={N_TRAIN}, {POOL_QUERIES} queries, "
@@ -311,6 +416,22 @@ def run_benchmark(seed: int = 0) -> list[dict]:
               f"detect->swap {row['detect_to_swap_seconds']:.2f}s "
               f"(bound {row['staleness_bound_seconds']:.0f}s), "
               f"converged={row['converged']}")
+
+    print(f"\n[durability: {WAL_APPENDS} appends of {WAL_BATCH_ROWS} rows, "
+          f"recovery over {RECOVERY_SIZES} acked batches]")
+    for row in bench_durability(seed):
+        rows.append(row)
+        if row["variant"] == "wal_append":
+            print(f"  fsync={row['fsync_policy']:>8}: "
+                  f"p50 {row['append_p50_ms']:.3f}ms "
+                  f"p99 {row['append_p99_ms']:.3f}ms, "
+                  f"{human_rate(row['appends_per_s'])} appends/s "
+                  f"({row['fsyncs']} fsyncs)")
+        else:
+            print(f"  recover {row['acknowledged_batches']:>4} batches "
+                  f"({row['wal_bytes'] / 1024:.0f} KiB): "
+                  f"{row['recovery_seconds']:.3f}s, "
+                  f"loss={row['acknowledged_loss']}")
     return rows
 
 
@@ -351,6 +472,17 @@ def test_robustness_overhead(benchmark):
     assert streaming["detect_to_swap_seconds"] <= (
         streaming["staleness_bound_seconds"]
     )
+
+    recoveries = [
+        r for r in rows
+        if r["section"] == "durability" and r["variant"] == "recovery"
+    ]
+    assert recoveries, "durability section produced no recovery rows"
+    for row in recoveries:
+        # The durability contract: every acknowledged point survives.
+        assert row["acknowledged_loss"] == 0, row
+        assert row["conservation_ok"], row
+        assert row["recovery_seconds"] < 30.0, row
 
     clf, data = _fit()
     queries = _query_block(data, 512, np.random.default_rng(7))

@@ -100,6 +100,10 @@ class GateTolerances:
     #: post-drift points before the exact-buffer path flips a new-mode
     #: probe HIGH (mid-drift label lag).
     streaming_label_lag_ceiling: int = 2048
+    #: Committed WAL crash-recovery rows must replay within this many
+    #: seconds (the bench workloads are small; anything slower means
+    #: replay went quadratic or re-fits per record).
+    recovery_seconds_ceiling: float = 5.0
     #: Committed hbe bench rows at d >= hbe_speedup_dim must beat the
     #: batch engine by at least this factor.
     hbe_speedup_floor: float = 5.0
@@ -451,6 +455,42 @@ def _check_robustness(
                "new-mode probe HIGH (answers must move well before the "
                "refit lands)",
     ))
+    recoveries = [
+        r for r in baseline.get("rows", ())
+        if r.get("section") == "durability" and r.get("variant") == "recovery"
+    ]
+    if not recoveries:
+        checks.append(GateCheck(
+            name="baseline[robustness.durability]", ok=False,
+            measured=0.0, reference=1.0,
+            detail="baseline has no durability recovery rows; regenerate "
+                   "it with `make bench-robustness`",
+        ))
+        return checks
+    worst_loss = max(int(r.get("acknowledged_loss", -1)) for r in recoveries)
+    checks.append(GateCheck(
+        name="durability_zero_acknowledged_loss",
+        ok=worst_loss == 0 and all(
+            bool(r.get("conservation_ok")) for r in recoveries
+        ),
+        measured=float(worst_loss),
+        reference=0.0,
+        detail="every point acknowledged before the simulated crash must "
+               "be in the recovered total, with conservation intact — "
+               "exactly zero loss, not approximately",
+    ))
+    worst_recovery = max(
+        float(r.get("recovery_seconds", float("inf"))) for r in recoveries
+    )
+    checks.append(GateCheck(
+        name="durability_recovery_time",
+        ok=worst_recovery <= tolerances.recovery_seconds_ceiling,
+        measured=worst_recovery,
+        reference=tolerances.recovery_seconds_ceiling,
+        detail="WAL replay on the bench workloads must stay comfortably "
+               "sub-second-scale; a blowout means replay re-fits or "
+               "re-scans per record",
+    ))
     return checks
 
 
@@ -578,6 +618,12 @@ def main(argv: list[str] | None = None) -> int:
              "BENCH_robustness.json streaming row",
     )
     parser.add_argument(
+        "--recovery-seconds-ceiling", type=float,
+        default=GateTolerances.recovery_seconds_ceiling,
+        help="max WAL crash-recovery replay seconds in the committed "
+             "BENCH_robustness.json durability rows",
+    )
+    parser.add_argument(
         "--hbe-speedup-floor", type=float,
         default=GateTolerances.hbe_speedup_floor,
         help="required hbe-vs-batch speedup in the committed "
@@ -596,6 +642,7 @@ def main(argv: list[str] | None = None) -> int:
             agreement_slack=args.agreement_slack,
             fleet_scaling_floor=args.fleet_scaling_floor,
             streaming_label_lag_ceiling=args.streaming_label_lag_ceiling,
+            recovery_seconds_ceiling=args.recovery_seconds_ceiling,
             hbe_speedup_floor=args.hbe_speedup_floor,
         ),
         seed=args.seed,

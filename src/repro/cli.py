@@ -115,7 +115,23 @@ def _add_serve_parser(subparsers: argparse._SubParsersAction) -> None:
     serve.add_argument("--streaming", action="store_true",
                        help="enable POST /ingest with drift-triggered "
                             "background refit and verified hot swap "
-                            "(workers=1 only; see docs/streaming.md)")
+                            "(see docs/streaming.md)")
+    serve.add_argument("--wal-dir", default=None,
+                       help="directory for the ingest write-ahead log; "
+                            "makes /ingest durable and enables crash "
+                            "recovery (requires --streaming)")
+    serve.add_argument("--fsync-policy", default="always",
+                       choices=("always", "interval", "off"),
+                       help="WAL durability point: 'always' fsyncs before "
+                            "each ack, 'interval' batches fsyncs, 'off' "
+                            "trusts the page cache")
+    serve.add_argument("--fsync-interval", type=float, default=0.05,
+                       help="seconds between fsyncs under "
+                            "--fsync-policy=interval")
+    serve.add_argument("--adaptive-window", action="store_true",
+                       help="derive the drift-check window from the "
+                            "observed ingest cadence (EWMA) instead of "
+                            "the fixed --drift-window")
     serve.add_argument("--drift-delta", type=float, default=0.01,
                        help="per-check false-trigger level of the drift CI")
     serve.add_argument("--drift-window", type=int, default=256,
@@ -281,10 +297,14 @@ def _serve(args: argparse.Namespace) -> int:
             refit_deadline=args.refit_deadline,
             refit_sample_cap=args.refit_sample_cap,
             sketch_capacity=args.sketch_capacity,
+            fsync_policy=args.fsync_policy,
+            fsync_interval=args.fsync_interval,
+            adaptive_window=args.adaptive_window,
         )
     return serve(
         args.model, config,
         streaming=args.streaming, stream_settings=stream_settings,
+        wal_dir=args.wal_dir,
     )
 
 

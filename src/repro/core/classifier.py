@@ -433,6 +433,52 @@ class TKDCClassifier:
         self._require_fitted()
         return self._rule_eta
 
+    def widen_threshold_bracket(self, eta: float) -> float:
+        """Fold a stream-sketch displacement certificate into the bracket.
+
+        A drift-triggered refit trains on a :class:`StreamSketch`
+        materialization, not the raw stream — so the fitted threshold's
+        uncertainty must additionally absorb the sketch's certified
+        sup-norm KDE error ``eta`` (the quantile of the true stream
+        density lies within ``±eta`` of the sketch density's quantile in
+        density space). This widens ``threshold.lower/upper`` by ``eta``
+        (clamping lower at 0) and re-gates the coreset pruning eta
+        against the new, smaller lower bound.
+
+        Returns the eta actually applied (0 when ``eta`` is 0 or not
+        finite — a non-Lipschitz kernel yields an uninformative ``inf``
+        certificate, recorded but not applied). The applied value is
+        stored as ``stream_eta_applied_`` and rides the saved artifact,
+        so the swapped model's manifest can surface it.
+        """
+        self._require_fitted()
+        if eta < 0.0:
+            raise ValueError(f"eta must be >= 0, got {eta}")
+        self.stream_eta_ = float(eta)
+        if eta == 0.0 or not np.isfinite(eta):
+            self.stream_eta_applied_ = 0.0
+            return 0.0
+        old = self._threshold
+        self._threshold = ThresholdEstimate(
+            value=old.value,
+            lower=max(old.lower - eta, 0.0),
+            upper=old.upper + eta,
+            p=old.p,
+        )
+        coreset_eta = self.eta
+        self._rule_eta = (
+            coreset_eta
+            if 0.0 < coreset_eta < self.config.epsilon * self._threshold.lower
+            else 0.0
+        )
+        self.stream_eta_applied_ = float(eta)
+        return float(eta)
+
+    @property
+    def stream_eta_applied(self) -> float:
+        """Stream-sketch eta folded into the bracket (0 when none was)."""
+        return float(getattr(self, "stream_eta_applied_", 0.0))
+
     @property
     def certified(self) -> bool:
         """Whether labels carry the full-data ``±eps * t`` guarantee.

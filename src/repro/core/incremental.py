@@ -150,6 +150,7 @@ class IncrementalTKDC:
         classifier: TKDCClassifier,
         n_indexed: int,
         keep_last: int = 0,
+        generation: int | None = None,
     ) -> "IncrementalTKDC":
         """Swap in an externally trained model (verified hot swap target).
 
@@ -161,6 +162,11 @@ class IncrementalTKDC:
         recent* buffered rows — the points that arrived while the refit
         was running and are therefore not in the new model.
 
+        ``generation`` installs an absolute generation number instead of
+        incrementing — WAL recovery uses it so a restarted daemon resumes
+        the pre-crash accounting generation rather than silently starting
+        over from 1.
+
         Raw training data is not retained, so automatic refits are
         unavailable after adoption (the external controller owns them).
         """
@@ -168,6 +174,8 @@ class IncrementalTKDC:
             raise ValueError("adopt() requires a fitted classifier")
         if n_indexed < 1:
             raise ValueError(f"n_indexed must be >= 1, got {n_indexed}")
+        if generation is not None and generation < 0:
+            raise ValueError(f"generation must be >= 0, got {generation}")
         if not 0 <= keep_last <= self._buffer_count:
             raise ValueError(
                 f"keep_last must be in [0, {self._buffer_count}], got {keep_last}"
@@ -184,7 +192,10 @@ class IncrementalTKDC:
         self._indexed = None
         self._n_indexed = int(n_indexed)
         self._buffer_count = keep_last
-        self.generation += 1
+        if generation is None:
+            self.generation += 1
+        else:
+            self.generation = int(generation)
         return self
 
     def insert(self, points: np.ndarray) -> None:

@@ -25,7 +25,7 @@ import tempfile
 from pathlib import Path
 
 
-def _fsync_directory(directory: Path) -> None:
+def fsync_directory(directory: Path) -> None:
     """Flush a directory's entry table to disk, tolerating refusal.
 
     Opening or fsyncing a directory fd fails on some platforms and
@@ -58,7 +58,7 @@ def atomic_write_bytes(path: Path | str, data: bytes) -> Path:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp_name, path)
-        _fsync_directory(path.parent)
+        fsync_directory(path.parent)
     except BaseException:
         # Never leave the temp file behind — the write failed, the old
         # destination (if any) is still intact.

@@ -36,6 +36,12 @@ __all__ = [
     "REFIT_TOTAL",
     "REFIT_SECONDS",
     "STALENESS_SECONDS",
+    "WAL_APPENDS_TOTAL",
+    "WAL_FSYNCS_TOTAL",
+    "WAL_APPEND_SECONDS",
+    "WAL_REPLAYED_RECORDS_TOTAL",
+    "WAL_TORN_RECORDS_TOTAL",
+    "STREAM_RECOVERIES_TOTAL",
     "record_engine_selected",
     "record_hbe_block",
     "record_traversal",
@@ -44,6 +50,9 @@ __all__ = [
     "record_drift_check",
     "record_refit",
     "record_staleness",
+    "record_wal_append",
+    "record_wal_replay",
+    "record_stream_recovery",
 ]
 
 #: Traversals finished, labeled by engine and terminating rule
@@ -247,6 +256,79 @@ def record_staleness(seconds: float) -> None:
     """Report the current staleness gauge reading."""
     if REGISTRY.enabled:
         STALENESS_SECONDS.set(seconds)
+
+
+# -- durable ingest (write-ahead log) instruments ----------------------
+
+#: WAL records appended, by record type (ingest / refit_trigger /
+#: swap_commit / snapshot).
+WAL_APPENDS_TOTAL = REGISTRY.counter(
+    "tkdc_wal_appends_total",
+    "Write-ahead-log records appended, by record type",
+    labels=("type",),
+)
+
+#: fsyncs issued by the WAL (policy-dependent: "always" fsyncs every
+#: append, "interval" at most once per interval, "off" never).
+WAL_FSYNCS_TOTAL = REGISTRY.counter(
+    "tkdc_wal_fsyncs_total",
+    "fsync calls issued by the write-ahead log",
+)
+
+#: Wall-clock duration of one WAL append (including its fsync, when the
+#: policy issues one) — the durable-ingest acknowledgement cost.
+WAL_APPEND_SECONDS = REGISTRY.histogram(
+    "tkdc_wal_append_seconds",
+    "Wall-clock seconds per write-ahead-log append (fsync included)",
+    labels=("type",),
+    buckets=LATENCY_BUCKETS,
+)
+
+#: Records replayed from the WAL during crash recovery.
+WAL_REPLAYED_RECORDS_TOTAL = REGISTRY.counter(
+    "tkdc_wal_replayed_records_total",
+    "WAL records replayed during crash recovery, by record type",
+    labels=("type",),
+)
+
+#: Torn final records truncated while opening a WAL (each one is an
+#: interrupted append that was never acknowledged).
+WAL_TORN_RECORDS_TOTAL = REGISTRY.counter(
+    "tkdc_wal_torn_records_total",
+    "Torn final WAL records truncated during recovery",
+)
+
+#: Streaming pipelines rebuilt from a WAL after a crash/restart.
+STREAM_RECOVERIES_TOTAL = REGISTRY.counter(
+    "tkdc_stream_recoveries_total",
+    "Streaming pipeline crash recoveries completed from the WAL",
+)
+
+
+def record_wal_append(type_name: str, seconds: float, fsyncs: int) -> None:
+    """Report one WAL append (and the fsyncs it issued)."""
+    if REGISTRY.enabled:
+        WAL_APPENDS_TOTAL.labels(type_name).inc()
+        WAL_APPEND_SECONDS.labels(type_name).observe(seconds)
+        if fsyncs:
+            WAL_FSYNCS_TOTAL.inc(fsyncs)
+
+
+def record_wal_replay(type_counts: Mapping[str, int], torn_records: int) -> None:
+    """Report one WAL replay pass's record mix and torn-tail count."""
+    if not REGISTRY.enabled:
+        return
+    for type_name, count in type_counts.items():
+        if count:
+            WAL_REPLAYED_RECORDS_TOTAL.labels(type_name).inc(count)
+    if torn_records:
+        WAL_TORN_RECORDS_TOTAL.inc(torn_records)
+
+
+def record_stream_recovery() -> None:
+    """Report one completed streaming crash recovery."""
+    if REGISTRY.enabled:
+        STREAM_RECOVERIES_TOTAL.inc()
 
 
 def record_traversal_block(

@@ -94,6 +94,23 @@ class ServeClient:
             body["deadline_ms"] = deadline_ms
         return self.request("POST", "/classify", body)
 
+    def ingest(
+        self,
+        points,
+        source: str | None = None,
+        seq: int | None = None,
+    ) -> tuple[int, dict]:
+        """POST a batch to ``/ingest`` (streaming servers only).
+
+        ``(source, seq)`` is the optional idempotency key; pass the same
+        pair to retry a batch without risking a double-ingest.
+        """
+        rows = points.tolist() if hasattr(points, "tolist") else points
+        body: dict = {"points": rows}
+        if source is not None and seq is not None:
+            body["batch"] = {"source": source, "seq": int(seq)}
+        return self.request("POST", "/ingest", body)
+
     def reload(self, path: str | None = None) -> tuple[int, dict]:
         body = {} if path is None else {"path": str(path)}
         return self.request("POST", "/admin/reload", body)

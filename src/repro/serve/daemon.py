@@ -164,6 +164,10 @@ class _Handler(BaseHTTPRequestHandler):
             raw = self.rfile.read(length) if length else b""
             status, payload = self.server.handle_reload(raw)
             self._send_json(status, payload)
+        elif self.path == "/admin/adopt-ingest":
+            raw = self.rfile.read(length) if length else b""
+            status, payload = self.server.handle_adopt_ingest(raw)
+            self._send_json(status, payload)
         elif self.path == "/admin/drain":
             self.server.initiate_drain()
             self._send_json(202, {
@@ -337,24 +341,113 @@ class TKDCServer(ThreadingHTTPServer):
                 "received_bytes": len(raw),
             }
         try:
-            points, _deadline = self._parse_request(raw)
+            points, _deadline, body = self._parse_request(raw)
         except _BadRequest as exc:
             stats.bump("ingest_rejected")
             return exc.status, exc.payload
+        source: str | None = None
+        source_seq: int | None = None
+        batch = body.get("batch")
+        if batch is not None:
+            # Idempotency key stamped by the fleet router: a retried
+            # forward after an owner failure reuses the same (source,
+            # seq), so the WAL-replayed watermark makes it a no-op.
+            if (
+                not isinstance(batch, dict)
+                or not isinstance(batch.get("source"), str)
+                or not isinstance(batch.get("seq"), int)
+            ):
+                stats.bump("ingest_rejected")
+                return 400, {
+                    "error": "bad_request",
+                    "detail": "'batch' must be {'source': str, 'seq': int}",
+                }
+            source, source_seq = batch["source"], batch["seq"]
         try:
-            accepted = self.pipeline.ingest(points)
+            outcome = self.pipeline.ingest_batch(
+                points, source=source, source_seq=source_seq
+            )
         except ValueError as exc:  # dimensionality mismatch
             stats.bump("ingest_rejected")
             return 400, {"error": "bad_request", "detail": str(exc)}
+        accepted = int(outcome["accepted"])
         stats.bump("ingest_completed")
-        stats.bump("ingested_points", accepted)
+        if accepted:
+            stats.bump("ingested_points", accepted)
         status = self.pipeline.status()
         return 200, {
             "ingested": accepted,
+            "duplicate": bool(outcome["duplicate"]),
+            "durable": self.pipeline.wal is not None,
             "n_total": status["n_total"],
             "generation": status["generation"],
             "staleness_seconds": status["staleness_seconds"],
             "window_fill": status["window_fill"],
+        }
+
+    def handle_adopt_ingest(self, raw: bytes) -> tuple[int, dict]:
+        """Become the ingest owner for a WAL directory (fleet protocol).
+
+        The router elects one worker as ingest owner by POSTing
+        ``{"wal_dir": ..., "settings": {...}, "start": false}`` here; the
+        worker recovers the WAL (replaying whatever the previous owner
+        acknowledged before dying) and serves ``/ingest`` from then on.
+        The WAL's flock makes double ownership impossible: a 409 means
+        the previous owner still holds the log. Idempotent for the same
+        ``wal_dir``.
+        """
+        try:
+            body = json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return 400, {"error": "bad_request", "detail": f"invalid JSON: {exc}"}
+        if not isinstance(body, dict) or "wal_dir" not in body:
+            return 400, {
+                "error": "bad_request",
+                "detail": "body must be a JSON object with 'wal_dir'",
+            }
+        wal_dir = Path(body["wal_dir"])
+        if self.pipeline is not None:
+            current = getattr(self.pipeline, "wal", None)
+            if current is not None and Path(current.directory) == wal_dir:
+                return 200, {
+                    "status": "already_owner",
+                    "n_total": int(self.pipeline.model.n_total),
+                    "generation": int(self.pipeline.model.generation),
+                }
+            return 409, {
+                "error": "pipeline_already_attached",
+                "detail": "this server already runs a different pipeline",
+            }
+        from repro.streaming import StreamingPipeline, StreamSettings
+        from repro.streaming.wal import WalLockedError
+
+        try:
+            settings = StreamSettings(**(body.get("settings") or {}))
+        except (TypeError, ValueError) as exc:
+            return 400, {"error": "bad_request", "detail": f"bad settings: {exc}"}
+        try:
+            pipeline = StreamingPipeline.recover(
+                wal_dir,
+                settings=settings,
+                fallback_classifier=self.manager.classifier,
+                reloader=self.manager,
+            )
+        except WalLockedError as exc:
+            return 409, {"error": "wal_locked", "detail": str(exc)}
+        except Exception as exc:  # noqa: BLE001 - reported to the router
+            log.error("adopt-ingest recovery failed: %s: %s",
+                      type(exc).__name__, exc)
+            return 500, {
+                "error": "recovery_failed",
+                "detail": f"{type(exc).__name__}: {exc}",
+            }
+        self.attach_pipeline(pipeline, start=bool(body.get("start", False)))
+        return 200, {
+            "status": "adopted",
+            "recovery": pipeline.recovery,
+            "n_total": int(pipeline.model.n_total),
+            "generation": int(pipeline.model.generation),
+            "ingested_total": int(pipeline.ingested_total),
         }
 
     def _retry_after(self) -> float:
@@ -388,7 +481,7 @@ class TKDCServer(ThreadingHTTPServer):
             }, {}
 
         try:
-            points, deadline_s = self._parse_request(raw)
+            points, deadline_s, _body = self._parse_request(raw)
         except _BadRequest as exc:
             stats.bump("rejected")
             return exc.status, exc.payload, {}
@@ -534,7 +627,7 @@ class TKDCServer(ThreadingHTTPServer):
             "elapsed_ms": round(elapsed * 1000.0, 3),
         }, {}
 
-    def _parse_request(self, raw: bytes) -> tuple[np.ndarray, float]:
+    def _parse_request(self, raw: bytes) -> tuple[np.ndarray, float, dict]:
         config = self.serve_config
         try:
             body = json.loads(raw.decode("utf-8"))
@@ -575,7 +668,7 @@ class TKDCServer(ThreadingHTTPServer):
                     "detail": "'deadline_ms' must be a positive number",
                 })
             deadline_s = min(float(deadline_ms) / 1000.0, config.max_deadline)
-        return points, deadline_s
+        return points, deadline_s, body
 
     # ------------------------------------------------------------------
     # Reload and drain
@@ -672,6 +765,7 @@ def serve(
     install_signals: bool = True,
     streaming: bool = False,
     stream_settings=None,
+    wal_dir: str | Path | None = None,
 ) -> int:
     """Load a model, start the daemon, and block until drained.
 
@@ -681,43 +775,62 @@ def serve(
     daemon; the endpoint surface is identical either way.
 
     ``streaming=True`` attaches a drift-aware ingest pipeline behind
-    ``POST /ingest`` (single-process mode only: the fleet's pre-forked
-    workers cannot share an in-process exact buffer); drift-triggered
-    refits then swap the served model through the manager's verified
-    reload path. ``stream_settings`` is a
-    :class:`~repro.streaming.pipeline.StreamSettings`.
+    ``POST /ingest``; drift-triggered refits then swap the served model
+    through the manager's verified reload path. ``stream_settings`` is a
+    :class:`~repro.streaming.pipeline.StreamSettings`. ``wal_dir``
+    makes ingest *durable*: batches are write-ahead-logged before they
+    are acknowledged, and a restart over the same directory recovers
+    every acknowledged point (accounting generation included) before
+    serving. In fleet mode the router forwards ``/ingest`` to an
+    elected ingest-owner worker over the same WAL (see
+    :mod:`repro.serve.router`).
     """
     config = config if config is not None else ServeConfig()
     if config.workers > 1:
         from repro.serve.router import serve_fleet
 
-        if streaming:
-            log.warning(
-                "--streaming requires workers=1 (the fleet cannot share an "
-                "in-process ingest buffer); ignoring"
-            )
-        return serve_fleet(model_path, config, install_signals=install_signals)
+        return serve_fleet(
+            model_path, config, install_signals=install_signals,
+            streaming=streaming, stream_settings=stream_settings,
+            wal_dir=wal_dir,
+        )
     manager = ModelManager(model_path, config)
     server = TKDCServer(manager)
     pipeline = None
     if streaming:
         from repro.streaming import StreamingPipeline, StreamSettings
 
-        pipeline = StreamingPipeline.from_classifier(
-            manager.classifier,
-            settings=stream_settings or StreamSettings(),
-            reloader=manager,
-        )
+        settings = stream_settings or StreamSettings()
+        if wal_dir is not None:
+            pipeline = StreamingPipeline.recover(
+                wal_dir,
+                settings=settings,
+                fallback_classifier=manager.classifier,
+                reloader=manager,
+            )
+        else:
+            pipeline = StreamingPipeline.from_classifier(
+                manager.classifier,
+                settings=settings,
+                reloader=manager,
+            )
         server.attach_pipeline(pipeline)
+    elif wal_dir is not None:
+        log.warning("--wal-dir is only meaningful with --streaming; ignoring")
     if install_signals:
         install_signal_handlers(server)
+    durability = ""
+    if pipeline is not None:
+        durability = ", streaming ingest on"
+        if pipeline.wal is not None:
+            durability += f" (wal={pipeline.wal.directory})"
     print(
         f"tkdc serving {manager.model_path} on "
         f"http://{config.host}:{server.port} "
         f"(threshold={manager.classifier.threshold.value:.6g}, "
         f"{manager.calibration.expansions_per_second:.3g} expansions/s, "
         f"engine={manager.calibration.engine}"
-        f"{', streaming ingest on' if pipeline is not None else ''}); "
+        f"{durability}); "
         "SIGTERM drains, SIGHUP reloads",
         flush=True,
     )

@@ -64,6 +64,11 @@ from repro.serve.stats import ServerStats
 from repro.serve.worker import READY_PREFIX
 from repro.index.shm import new_generation_id
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # import cycle at runtime: pipeline imports serve.reload
+    from repro.streaming.pipeline import StreamSettings
+
 log = logging.getLogger("repro.serve")
 
 
@@ -171,13 +176,23 @@ class WorkerFleet:
     router side.
     """
 
-    def __init__(self, model_path: Path | str, config: ServeConfig) -> None:
+    def __init__(
+        self,
+        model_path: Path | str,
+        config: ServeConfig,
+        streaming: bool = False,
+        stream_settings: StreamSettings | None = None,
+        wal_dir: Path | str | None = None,
+    ) -> None:
         if config.workers < 2:
             raise ValueError(
                 "WorkerFleet needs workers >= 2; use TKDCServer for "
                 "single-process serving"
             )
         self.config = config
+        self.streaming = bool(streaming)
+        self.stream_settings = stream_settings
+        self.wal_dir: Path | None = Path(wal_dir) if wal_dir is not None else None
         self.stats = ServerStats()
         self.breaker = CircuitBreaker(
             window=config.breaker_window,
@@ -195,6 +210,20 @@ class WorkerFleet:
         self._server: ThreadingHTTPServer | None = None
         self.runtime_dir = Path(tempfile.mkdtemp(prefix="tkdc-fleet-"))
         self.live_manifest = self.runtime_dir / MANIFEST_BASENAME
+
+        # Fleet ingest: one worker owns the WAL; the router stamps every
+        # forwarded batch with an idempotency key so a same-seq retry
+        # after an owner failure can never double-apply.
+        if self.streaming and self.wal_dir is None:
+            self.wal_dir = self.runtime_dir / "wal"
+            log.info(
+                "fleet streaming without --wal-dir: using ephemeral WAL "
+                "at %s (gone after shutdown)", self.wal_dir,
+            )
+        self._ingest_lock = threading.Lock()
+        self._ingest_owner: WorkerHandle | None = None
+        self._ingest_epoch = f"router-{os.getpid():x}-{os.urandom(6).hex()}"
+        self._ingest_seq = 0
 
         # Load + verify + calibrate ONCE; workers inherit via manifest.
         self.model_path = resolve_model_path(model_path)
@@ -228,6 +257,15 @@ class WorkerFleet:
             "fleet up: %d workers on generation %s (model %s)",
             len(self._handles), self.generation, self.model_path,
         )
+        if self.streaming:
+            # Eager election so the first /ingest does not pay the WAL
+            # recovery latency; failures here are retried lazily.
+            owner = self._ensure_ingest_owner()
+            if owner is None:
+                log.warning(
+                    "no ingest owner elected at boot; will retry on the "
+                    "first /ingest request"
+                )
 
     # ------------------------------------------------------------------
     # Worker lifecycle
@@ -345,6 +383,12 @@ class WorkerFleet:
         with self._handles_lock:
             position = self._handles.index(old)
             self._handles[position] = replacement
+        with self._ingest_lock:
+            if self._ingest_owner is old:
+                # The dead owner's flock died with it; the next /ingest
+                # (or the eager retry below) elects a successor that
+                # replays the WAL before answering.
+                self._ingest_owner = None
 
     # ------------------------------------------------------------------
     # Health supervision
@@ -476,6 +520,207 @@ class WorkerFleet:
             capacity = sum(h.capacity for h in self._handles) or 1
             backlog = sum(h.in_flight() for h in self._handles)
         return round(self.config.retry_after * (1.0 + backlog / capacity), 3)
+
+    # ------------------------------------------------------------------
+    # Ingest ownership + fan-in
+    # ------------------------------------------------------------------
+
+    def _settings_payload(self) -> dict:
+        from repro.streaming.pipeline import StreamSettings
+
+        settings = self.stream_settings
+        if settings is None:
+            settings = StreamSettings()
+        return asdict(settings)
+
+    def _ensure_ingest_owner(self) -> WorkerHandle | None:
+        """The current ingest owner, electing one if none is live.
+
+        Ownership is enforced by the WAL's flock, not by router state:
+        the router merely remembers who last adopted successfully. A
+        ``wal_locked`` 409 from a candidate means the previous owner
+        process still holds the log — in that case the router keeps
+        routing to it rather than splitting the brain.
+        """
+        if not self.streaming or self.wal_dir is None:
+            return None
+        with self._ingest_lock:
+            owner = self._ingest_owner
+            if (
+                owner is not None
+                and owner.healthy
+                and owner.process.poll() is None
+            ):
+                return owner
+            return self._elect_ingest_owner_locked()
+
+    def _elect_ingest_owner_locked(self) -> WorkerHandle | None:
+        body = {
+            "wal_dir": str(self.wal_dir),
+            "settings": self._settings_payload(),
+            "start": False,
+        }
+        with self._handles_lock:
+            handles = list(self._handles)
+        # Prefer healthy workers but fall through to unprobed ones: a
+        # freshly respawned worker may not have passed a heartbeat yet.
+        candidates = sorted(handles, key=lambda h: not h.healthy)
+        previous = self._ingest_owner
+        for handle in candidates:
+            if handle.process.poll() is not None:
+                continue
+            try:
+                # Adoption replays the WAL before answering; give it
+                # real time rather than the 5s admin default.
+                status, payload = self._admin_request(
+                    handle, "POST", "/admin/adopt-ingest",
+                    body=body, timeout=60.0,
+                )
+            except ForwardError as exc:
+                log.warning(
+                    "adopt-ingest to worker %d failed in transport: %s",
+                    handle.index, exc,
+                )
+                continue
+            if status == 200:
+                self._ingest_owner = handle
+                if handle is not previous:
+                    recovery = payload.get("recovery") or {}
+                    log.info(
+                        "worker %d is the ingest owner for %s "
+                        "(status=%s, replayed %s records / %s points)",
+                        handle.index, self.wal_dir, payload.get("status"),
+                        recovery.get("records_replayed", 0),
+                        recovery.get("points_replayed", 0),
+                    )
+                return handle
+            if status == 409 and payload.get("error") == "wal_locked":
+                # Someone still holds the flock. If it is our recorded
+                # owner and its process is alive, keep using it.
+                if (
+                    previous is not None
+                    and previous.process.poll() is None
+                ):
+                    self._ingest_owner = previous
+                    return previous
+                continue
+            log.warning(
+                "worker %d refused adopt-ingest: %s %s",
+                handle.index, status, payload.get("error") or payload,
+            )
+        return None
+
+    def handle_ingest(self, raw: bytes) -> tuple[int, dict]:
+        """Forward one ingest batch to the elected owner.
+
+        Mirrors the single-process accounting invariant at the router:
+        ``ingest_submitted == ingest_completed + ingest_rejected``. The
+        router stamps each batch with a ``(source, seq)`` idempotency
+        key before forwarding, so the one same-seq retry after an owner
+        failure is a no-op if the first attempt reached the WAL.
+        """
+        stats = self.stats
+        stats.bump("ingest_submitted")
+        if not self.streaming:
+            stats.bump("ingest_rejected")
+            return 409, {
+                "error": "no_streaming_pipeline",
+                "detail": "this fleet was started without --streaming",
+            }
+        if self.draining.is_set():
+            stats.bump("ingest_rejected")
+            return 503, {"error": "draining"}
+        if len(raw) > self.config.max_request_bytes:
+            stats.bump("ingest_rejected")
+            return 413, {
+                "error": "request_too_large",
+                "max_request_bytes": self.config.max_request_bytes,
+                "received_bytes": len(raw),
+            }
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            stats.bump("ingest_rejected")
+            return 400, {
+                "error": "bad_request", "detail": f"invalid JSON: {exc}",
+            }
+        if not isinstance(body, dict):
+            stats.bump("ingest_rejected")
+            return 400, {
+                "error": "bad_request", "detail": "body must be a JSON object",
+            }
+        owner = self._ensure_ingest_owner()
+        if owner is None:
+            stats.bump("ingest_rejected")
+            retry = self._retry_after()
+            return 503, {
+                "error": "no_ingest_owner",
+                "detail": "no worker could adopt the ingest WAL",
+                "retry_after": retry,
+            }
+        with self._ingest_lock:
+            self._ingest_seq += 1
+            body["batch"] = {
+                "source": self._ingest_epoch, "seq": self._ingest_seq,
+            }
+        status, payload, served_by = self._forward_ingest(owner, body)
+        if served_by is None:
+            stats.bump("ingest_rejected")
+            return status, payload
+        if status == 200:
+            stats.bump("ingest_completed")
+            accepted = payload.get("ingested")
+            if isinstance(accepted, int) and accepted > 0:
+                stats.bump("ingested_points", accepted)
+        else:
+            stats.bump("ingest_rejected")
+        payload.setdefault("worker", served_by.index)
+        return status, payload
+
+    def _forward_ingest(
+        self, owner: WorkerHandle, body: dict
+    ) -> tuple[int, dict, WorkerHandle | None]:
+        """Forward with ONE same-seq retry after owner re-election.
+
+        The retry reuses the idempotency key stamped by the caller: if
+        the first attempt was durably appended before the owner died,
+        the successor's WAL replay restored the watermark and the retry
+        answers ``duplicate: true`` instead of double-counting.
+        """
+        try:
+            status, payload = self._admin_request(
+                owner, "POST", "/ingest", body=body, timeout=30.0,
+            )
+            return status, payload, owner
+        except ForwardError as exc:
+            # Route around the owner; if it was killed, its flock died
+            # with it and the election below installs a successor that
+            # replays the WAL first. If it merely hiccuped, the election
+            # finds it again (already_owner / wal_locked) and the retry
+            # runs on a fresh connection.
+            first_error = exc
+            self._note_transport_failure(owner)
+        successor = self._ensure_ingest_owner()
+        if successor is None:
+            return 503, {
+                "error": "no_ingest_owner",
+                "detail": f"owner failed ({first_error}); no successor",
+            }, None
+        try:
+            status, payload = self._admin_request(
+                successor, "POST", "/ingest", body=body, timeout=30.0,
+            )
+        except ForwardError as exc:
+            self._note_transport_failure(successor)
+            return 503, {
+                "error": "no_ingest_owner",
+                "detail": f"owner failed ({first_error}); retry: {exc}",
+            }, None
+        log.info(
+            "ingest takeover: worker %d -> %d (%s)",
+            owner.index, successor.index, first_error,
+        )
+        return status, payload, successor
 
     def handle_classify(
         self, raw: bytes, received_at: float
@@ -684,6 +929,14 @@ class WorkerFleet:
                 "workers_healthy": sum(1 for h in handles if h.healthy),
                 "generation": self.generation,
                 "worker_totals": aggregate,
+                "streaming": self.streaming,
+                "wal_dir": str(self.wal_dir) if self.wal_dir else None,
+                "ingest_owner": (
+                    self._ingest_owner.index
+                    if self._ingest_owner is not None else None
+                ),
+                "ingest_epoch": self._ingest_epoch if self.streaming else None,
+                "ingest_seq": self._ingest_seq,
             },
             "workers": workers,
         })
@@ -964,6 +1217,26 @@ class FleetServer(ThreadingHTTPServer):
     ) -> tuple[int, dict, dict]:
         return self.fleet.handle_classify(raw, received_at)
 
+    def reject_oversized_ingest(self, length: int) -> tuple[int, dict]:
+        self.stats.bump("ingest_submitted")
+        self.stats.bump("ingest_rejected")
+        return 413, {
+            "error": "request_too_large",
+            "max_request_bytes": self.serve_config.max_request_bytes,
+            "received_bytes": length,
+        }
+
+    def handle_ingest(self, raw: bytes) -> tuple[int, dict]:
+        return self.fleet.handle_ingest(raw)
+
+    def handle_adopt_ingest(self, raw: bytes) -> tuple[int, dict]:
+        # Ownership is a worker-side protocol; the router is never a
+        # valid adoption target.
+        return 409, {
+            "error": "router_not_adoptable",
+            "detail": "POST /admin/adopt-ingest to a worker, not the router",
+        }
+
     def handle_reload(self, raw: bytes) -> tuple[int, dict]:
         path: str | None = None
         if raw:
@@ -988,13 +1261,22 @@ def serve_fleet(
     model_path: str | Path,
     config: ServeConfig,
     install_signals: bool = True,
+    streaming: bool = False,
+    stream_settings: StreamSettings | None = None,
+    wal_dir: Path | str | None = None,
 ) -> int:
     """Start the router + worker fleet and block until drained.
 
     The ``repro serve --workers N`` entry point. Returns 0 after a
-    graceful shutdown.
+    graceful shutdown. With ``streaming=True`` the router elects one
+    worker as the ingest owner over ``wal_dir`` and forwards ``/ingest``
+    there; owner death triggers re-election with WAL replay, so every
+    acknowledged batch survives a kill.
     """
-    fleet = WorkerFleet(model_path, config)
+    fleet = WorkerFleet(
+        model_path, config,
+        streaming=streaming, stream_settings=stream_settings, wal_dir=wal_dir,
+    )
     try:
         server = FleetServer(fleet)
     except BaseException:

@@ -1,13 +1,20 @@
 """Streaming ingest → drift-triggered refit → verified hot swap.
 
 See ``docs/streaming.md`` for the pipeline diagram, the staleness-bound
-derivation, and the failure matrix.
+derivation, the failure matrix, and the durability (write-ahead log)
+section.
 """
 
 from repro.streaming.monitor import DriftDecision, DriftMonitor
 from repro.streaming.pipeline import LocalReloader, StreamingPipeline, StreamSettings
 from repro.streaming.refit import RefitOutcome, run_refit
 from repro.streaming.sketch import StreamSketch
+from repro.streaming.wal import (
+    WalCorruptionError,
+    WalError,
+    WalLockedError,
+    WriteAheadLog,
+)
 
 __all__ = [
     "DriftDecision",
@@ -17,5 +24,9 @@ __all__ = [
     "StreamSettings",
     "StreamSketch",
     "StreamingPipeline",
+    "WalCorruptionError",
+    "WalError",
+    "WalLockedError",
+    "WriteAheadLog",
     "run_refit",
 ]

@@ -133,24 +133,29 @@ class DriftMonitor:
         densities: np.ndarray,
         served_threshold: float,
         tolerance: float = 0.0,
+        window: int | None = None,
     ) -> DriftDecision:
         """Run one drift check over a fresh window of density estimates.
 
         ``tolerance`` (absolute) widens the acceptance band to absorb
         density-estimation error; pass ``eps * t`` when densities come
-        from the tolerance-rule estimator.
+        from the tolerance-rule estimator. ``window`` overrides the
+        configured window size for this check only (the adaptive-window
+        pipeline derives it from the observed check cadence); it is
+        clamped below at 8, the CI's minimum sample size.
         """
+        size = self.window if window is None else max(8, int(window))
         densities = np.asarray(densities, dtype=np.float64)
         densities = densities[np.isfinite(densities)]
-        if densities.shape[0] < self.window:
+        if densities.shape[0] < size:
             return DriftDecision(
                 checked=False, drifted=False, fired=False,
                 reason="window_filling", window=int(densities.shape[0]),
             )
-        window = np.sort(densities[-self.window:])
-        lo_rank, hi_rank = binomial_order_ci(self.window, self.p, self.delta)
-        ci_lower = float(window[lo_rank - 1]) - tolerance
-        ci_upper = float(window[hi_rank - 1]) + tolerance
+        window_values = np.sort(densities[-size:])
+        lo_rank, hi_rank = binomial_order_ci(size, self.p, self.delta)
+        ci_lower = float(window_values[lo_rank - 1]) - tolerance
+        ci_upper = float(window_values[hi_rank - 1]) + tolerance
         self.checks += 1
         if served_threshold < ci_lower:
             drifted, reason = True, "drift_low"
@@ -177,7 +182,7 @@ class DriftMonitor:
         return DriftDecision(
             checked=True, drifted=drifted, fired=fired, reason=reason,
             threshold=served_threshold, ci_lower=ci_lower, ci_upper=ci_upper,
-            window=self.window, consecutive=self._consecutive,
+            window=size, consecutive=self._consecutive,
         )
 
     def note_refit(self) -> None:

@@ -55,6 +55,8 @@ from repro.obs.metrics import (
     record_ingest,
     record_refit,
     record_staleness,
+    record_stream_recovery,
+    record_wal_replay,
 )
 from repro.robustness.faults import DriftPlan
 from repro.robustness.supervisor import SupervisionPolicy
@@ -62,6 +64,15 @@ from repro.serve.reload import ReloadResult, prepare_classifier, run_canary
 from repro.streaming.monitor import DriftDecision, DriftMonitor
 from repro.streaming.refit import RefitOutcome, run_refit
 from repro.streaming.sketch import StreamSketch
+from repro.streaming.wal import (
+    FSYNC_POLICIES,
+    RECORD_INGEST,
+    RECORD_REFIT_TRIGGER,
+    RECORD_SNAPSHOT,
+    RECORD_SWAP_COMMIT,
+    WalError,
+    WriteAheadLog,
+)
 
 log = logging.getLogger("repro.streaming")
 
@@ -96,6 +107,25 @@ class StreamSettings:
     swap_grace:
         Seconds budgeted for artifact verification + canary + adopt in
         the declared staleness bound.
+    fsync_policy / fsync_interval:
+        When WAL appends are forced to stable storage (``always`` /
+        ``interval`` / ``off``; see :mod:`repro.streaming.wal`). Only
+        consulted when a WAL is attached.
+    wal_segment_bytes:
+        WAL segment rotation size.
+    wal_compact_bytes:
+        Write a snapshot + truncate once the WAL exceeds this size even
+        without a swap (keeps a swap-free ingest-only log bounded, e.g.
+        the fleet's ingest owner which never runs the drift loop).
+    adaptive_window:
+        Size each drift check's window from the observed check cadence
+        (EWMA of points per check gap, clamped to
+        ``[monitor_window_min, monitor_window]``) instead of the fixed
+        ``monitor_window`` — detection latency stays flat as
+        ``check_interval`` shrinks.
+    monitor_window_min:
+        Floor of the adaptive window (>= 8, the CI's minimum sample).
+        Defaults to ``min(64, monitor_window)``.
     """
 
     drift_delta: float = 0.01
@@ -111,6 +141,12 @@ class StreamSettings:
     canary_queries: int = 32
     probe_seed: int = 7
     swap_grace: float = 5.0
+    fsync_policy: str = "always"
+    fsync_interval: float = 0.05
+    wal_segment_bytes: int = 4 << 20
+    wal_compact_bytes: int = 64 << 20
+    adaptive_window: bool = False
+    monitor_window_min: int | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.drift_delta < 1.0:
@@ -139,6 +175,33 @@ class StreamSettings:
             )
         if self.canary_queries < 1:
             raise ValueError(f"canary_queries must be >= 1, got {self.canary_queries}")
+        if self.fsync_policy not in FSYNC_POLICIES:
+            raise ValueError(
+                f"fsync_policy must be one of {FSYNC_POLICIES}, "
+                f"got {self.fsync_policy!r}"
+            )
+        if self.fsync_interval < 0:
+            raise ValueError(
+                f"fsync_interval must be >= 0, got {self.fsync_interval}"
+            )
+        if self.wal_segment_bytes < 1024:
+            raise ValueError(
+                f"wal_segment_bytes must be >= 1024, got {self.wal_segment_bytes}"
+            )
+        if self.wal_compact_bytes < self.wal_segment_bytes:
+            raise ValueError(
+                "wal_compact_bytes must be >= wal_segment_bytes, got "
+                f"{self.wal_compact_bytes} < {self.wal_segment_bytes}"
+            )
+        if self.monitor_window_min is None:
+            object.__setattr__(
+                self, "monitor_window_min", min(64, self.monitor_window)
+            )
+        if not 8 <= self.monitor_window_min <= self.monitor_window:
+            raise ValueError(
+                "monitor_window_min must be in [8, monitor_window], got "
+                f"{self.monitor_window_min} (monitor_window={self.monitor_window})"
+            )
 
     @property
     def staleness_bound(self) -> float:
@@ -215,10 +278,19 @@ class StreamingPipeline:
         :class:`~repro.serve.reload.ModelManager` (or fleet router) to
         make the daemon serve each new generation too.
     artifact_dir:
-        Where refit artifacts are written (a temp dir by default).
+        Where refit artifacts are written (a temp dir by default; under
+        ``wal_dir/artifacts`` when a WAL is attached, so swap-committed
+        artifacts survive a restart and recovery can reload them).
     plan:
         Optional :class:`~repro.robustness.faults.DriftPlan` consulted
         by refit subprocesses (fault injection for tests/benchmarks).
+    wal / wal_dir:
+        Attach a :class:`~repro.streaming.wal.WriteAheadLog` (or build
+        one in ``wal_dir`` from the settings' fsync knobs). With a WAL
+        attached every accepted ingest batch is appended — and, under
+        ``fsync_policy="always"``, fsynced — *before* it is applied in
+        memory, so the acknowledgement implies crash durability. Use
+        :meth:`recover` to rebuild the pipeline from an existing WAL.
     clock:
         Injectable monotonic clock.
     """
@@ -231,6 +303,8 @@ class StreamingPipeline:
         artifact_dir: Path | str | None = None,
         plan: DriftPlan | None = None,
         seed_data: np.ndarray | None = None,
+        wal: WriteAheadLog | None = None,
+        wal_dir: Path | str | None = None,
         clock=time.monotonic,
     ) -> None:
         model.classifier  # raises if unfitted
@@ -242,6 +316,16 @@ class StreamingPipeline:
             if reloader is not None
             else LocalReloader(self.settings.canary_queries, self.settings.probe_seed)
         )
+        if wal is None and wal_dir is not None:
+            wal = WriteAheadLog(
+                wal_dir,
+                fsync_policy=self.settings.fsync_policy,
+                fsync_interval=self.settings.fsync_interval,
+                segment_bytes=self.settings.wal_segment_bytes,
+            )
+        self.wal = wal
+        if artifact_dir is None and wal is not None:
+            artifact_dir = wal.directory / "artifacts"
         self._artifact_dir = Path(artifact_dir) if artifact_dir is not None else None
         self.plan = plan
         self._clock = clock
@@ -262,6 +346,7 @@ class StreamingPipeline:
         self.initial_n = model.n_total
         self._sketch_base = self.sketch.n_seen
         self.ingested_total = 0
+        self.duplicates_skipped = 0
         self.refits_triggered = 0
         self.refits_succeeded = 0
         self.refits_failed = 0
@@ -274,8 +359,26 @@ class StreamingPipeline:
         self._last_decision: DriftDecision | None = None
         self._last_refit: RefitOutcome | None = None
         self._last_swap: ReloadResult | None = None
+        #: Per-source high-water marks for idempotent ingest (the fleet
+        #: router stamps each forwarded batch with (epoch, seq)).
+        self._ingest_watermarks: dict[str, int] = {}
+        #: Artifact path of the currently adopted classifier, when it
+        #: came from a swapped refit (None for the initial model — the
+        #: recovery path falls back to a caller-provided classifier).
+        self._classifier_path: str | None = None
+        #: Populated by :meth:`recover`; surfaced in status()/"/statz".
+        self.recovery: dict | None = None
+        #: Adaptive-window cadence estimate (EWMA of points per check gap).
+        self._last_check_at: float | None = None
+        self._ingested_at_last_check = 0
+        self._points_per_gap_ewma: float | None = None
+        self._check_gap_ewma: float | None = None
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
+        if self.wal is not None and self.wal.empty:
+            # A fresh WAL gets a base snapshot immediately: recovery
+            # always finds a checkpoint to replay from.
+            self._write_wal_snapshot()
 
     @classmethod
     def from_data(
@@ -309,22 +412,350 @@ class StreamingPipeline:
         model.adopt(classifier, n_indexed=int(population))
         return cls(model, settings=settings, **kwargs)
 
+    @classmethod
+    def recover(
+        cls,
+        wal_dir: Path | str,
+        settings: StreamSettings | None = None,
+        fallback_classifier: TKDCClassifier | None = None,
+        reloader=None,
+        artifact_dir: Path | str | None = None,
+        plan: DriftPlan | None = None,
+        clock=time.monotonic,
+    ) -> "StreamingPipeline":
+        """Rebuild a pipeline from its WAL after a crash or restart.
+
+        Opens the WAL (validating checksums; a torn final record is
+        truncated and counted, mid-log corruption raises
+        :class:`~repro.streaming.wal.WalCorruptionError`), restores the
+        newest snapshot's full state — exact buffer, sketch,
+        conservation counters, idempotency watermarks, accounting
+        generation — then replays every later record: acknowledged
+        ingest batches are re-applied (duplicates skipped by watermark),
+        committed swaps re-adopt their recorded artifact, and a refit
+        trigger with no matching commit is accounted as failed (the
+        refit died with the process; the monitor will re-detect).
+
+        ``fallback_classifier`` serves two cases: a snapshot taken
+        before any swap records no artifact path (the initial model
+        lives outside the WAL — pass the daemon's ``--model``), and a
+        recorded artifact that no longer loads. Recovery statistics land
+        in :attr:`recovery` (and ``/statz``'s ``streaming.recovery``).
+
+        A fresh snapshot is written at the end, so the next recovery
+        starts from the recovered state rather than re-replaying.
+        """
+        settings = settings or StreamSettings()
+        started = time.perf_counter()
+        wal = WriteAheadLog(
+            wal_dir,
+            fsync_policy=settings.fsync_policy,
+            fsync_interval=settings.fsync_interval,
+            segment_bytes=settings.wal_segment_bytes,
+        )
+        try:
+            return cls._recover_from(
+                wal, settings, fallback_classifier, reloader,
+                artifact_dir, plan, clock, started,
+            )
+        except BaseException:
+            wal.close()
+            raise
+
+    @classmethod
+    def _recover_from(
+        cls, wal, settings, fallback_classifier, reloader,
+        artifact_dir, plan, clock, started,
+    ) -> "StreamingPipeline":
+        records = iter(wal.replay())
+        state: dict | None = None
+        first = next(records, None)
+        if first is not None and first.type == RECORD_SNAPSHOT:
+            state = first.snapshot_payload()
+        elif first is not None:
+            # No checkpoint survived (crash before the base snapshot);
+            # everything in the log replays over the fallback model.
+            records = iter([first, *records])
+
+        used_fallback = False
+        if state is not None:
+            classifier = None
+            path = state.get("classifier_path")
+            if path is not None:
+                try:
+                    classifier = prepare_classifier(
+                        load_model(resolve_model_path(path))
+                    )
+                except Exception as exc:  # noqa: BLE001 - fail soft to fallback
+                    log.warning(
+                        "recovery: snapshot classifier %s failed to load "
+                        "(%s: %s); falling back to the provided model",
+                        path, type(exc).__name__, exc,
+                    )
+            if classifier is None:
+                if fallback_classifier is None:
+                    raise WalError(
+                        "WAL snapshot has no loadable classifier "
+                        f"(classifier_path={path!r}) and no "
+                        "fallback_classifier was provided"
+                    )
+                classifier = fallback_classifier
+                used_fallback = True
+            model = IncrementalTKDC(classifier.config, auto_refit=False)
+            model.adopt(
+                classifier,
+                n_indexed=int(state["n_indexed"]),
+                generation=int(state["model_generation"]),
+            )
+        else:
+            if fallback_classifier is None:
+                raise WalError(
+                    f"WAL at {wal.directory} holds no snapshot and no "
+                    "fallback_classifier was provided"
+                )
+            classifier = fallback_classifier
+            used_fallback = True
+            population = (
+                classifier.coreset_.n
+                if classifier.coreset_ is not None
+                else classifier.tree.size
+            )
+            model = IncrementalTKDC(classifier.config, auto_refit=False)
+            model.adopt(classifier, n_indexed=int(population))
+
+        pipeline = cls(
+            model, settings=settings, reloader=reloader,
+            artifact_dir=artifact_dir, plan=plan, wal=wal, clock=clock,
+        )
+        if state is not None:
+            pipeline.sketch = StreamSketch.restore(state["sketch"])
+            pipeline._sketch_base = int(state["sketch_base"])
+            pipeline.initial_n = int(state["initial_n"])
+            pipeline.ingested_total = int(state["ingested_total"])
+            pipeline.duplicates_skipped = int(state["duplicates_skipped"])
+            pipeline.refits_triggered = int(state["refits_triggered"])
+            pipeline.refits_succeeded = int(state["refits_succeeded"])
+            pipeline.refits_failed = int(state["refits_failed"])
+            pipeline.swaps = int(state["swaps"])
+            pipeline.rollbacks = int(state["rollbacks"])
+            pipeline._refit_generation = int(state["refit_generation"])
+            pipeline._ingest_watermarks = dict(state["watermarks"])
+            pipeline._classifier_path = state.get("classifier_path")
+            if state["buffer"] is not None:
+                pipeline.model.insert(state["buffer"])
+            if state["window"] is not None:
+                pipeline._window.extend(state["window"])
+
+        counts: dict[str, int] = {}
+        points_replayed = 0
+        skipped_swaps = 0
+        pending_triggers: dict[int, dict] = {}
+        for record in records:
+            counts[record.type_name] = counts.get(record.type_name, 0) + 1
+            if record.type == RECORD_INGEST:
+                points, meta = record.ingest_payload()
+                source, seq = meta.get("source"), meta.get("seq")
+                if source is not None and seq is not None:
+                    watermark = pipeline._ingest_watermarks.get(source)
+                    if watermark is not None and seq <= watermark:
+                        pipeline.duplicates_skipped += 1
+                        continue
+                    pipeline._ingest_watermarks[source] = int(seq)
+                pipeline.model.insert(points)
+                pipeline.sketch.append(points)
+                pipeline._window.extend(points)
+                pipeline.ingested_total += points.shape[0]
+                points_replayed += points.shape[0]
+            elif record.type == RECORD_REFIT_TRIGGER:
+                payload = record.marker_payload()
+                pipeline.refits_triggered += 1
+                pending_triggers[int(payload["generation"])] = payload
+            elif record.type == RECORD_SWAP_COMMIT:
+                payload = record.marker_payload()
+                generation = int(payload["generation"])
+                if generation in pending_triggers:
+                    del pending_triggers[generation]
+                else:  # trigger compacted away; count the refit anyway
+                    pipeline.refits_triggered += 1
+                pipeline.refits_succeeded += 1
+                pipeline._refit_generation = max(
+                    pipeline._refit_generation, generation
+                )
+                candidate = None
+                try:
+                    candidate = prepare_classifier(
+                        load_model(resolve_model_path(payload["artifact"]))
+                    )
+                except Exception as exc:  # noqa: BLE001 - fail soft
+                    log.warning(
+                        "recovery: committed artifact %s no longer loads "
+                        "(%s: %s); skipping the swap — its points stay in "
+                        "the exact buffer, conservation holds",
+                        payload["artifact"], type(exc).__name__, exc,
+                    )
+                if candidate is None:
+                    pipeline.rollbacks += 1
+                    skipped_swaps += 1
+                    continue
+                # keep = points not represented by the committed model;
+                # derived from totals so that conservation survives an
+                # earlier skipped swap too.
+                keep = pipeline.model.n_total - int(payload["n_indexed"])
+                keep = max(0, min(keep, pipeline.model.n_buffered))
+                pipeline.model.adopt(
+                    candidate,
+                    n_indexed=int(payload["n_indexed"]),
+                    keep_last=keep,
+                    generation=payload.get("model_generation"),
+                )
+                pipeline.swaps += 1
+                pipeline._classifier_path = payload["artifact"]
+        # A trigger whose commit never landed: the refit was in flight
+        # when the process died — it failed.
+        unresolved = len(pending_triggers)
+        pipeline.refits_failed += unresolved
+        if pending_triggers:
+            pipeline._refit_generation = max(
+                pipeline._refit_generation, *pending_triggers
+            )
+
+        pipeline.recovery = {
+            "recovered": state is not None,
+            "records_replayed": int(sum(counts.values())),
+            "replayed_by_type": counts,
+            "points_replayed": int(points_replayed),
+            "recovered_torn_records": int(wal.recovered_torn_records),
+            "skipped_swaps": int(skipped_swaps),
+            "unresolved_refits": int(unresolved),
+            "used_fallback_classifier": bool(used_fallback),
+            "seconds": float(time.perf_counter() - started),
+        }
+        record_wal_replay(counts, wal.recovered_torn_records)
+        record_stream_recovery()
+        pipeline._write_wal_snapshot()
+        log.info(
+            "recovered streaming pipeline from %s: %d records (%d points) "
+            "replayed in %.3fs, %d torn, %d skipped swaps, %d unresolved "
+            "refits",
+            wal.directory, pipeline.recovery["records_replayed"],
+            points_replayed, pipeline.recovery["seconds"],
+            wal.recovered_torn_records, skipped_swaps, unresolved,
+        )
+        return pipeline
+
     # ------------------------------------------------------------------
     # Ingest + serve
     # ------------------------------------------------------------------
 
     def ingest(self, points: np.ndarray) -> int:
         """Fold new points into buffer, sketch, and drift window."""
+        return int(self.ingest_batch(points)["accepted"])
+
+    def ingest_batch(
+        self,
+        points: np.ndarray,
+        source: str | None = None,
+        source_seq: int | None = None,
+    ) -> dict:
+        """Durable, idempotent ingest of one batch.
+
+        With a WAL attached the batch is appended (and, per the fsync
+        policy, made durable) *before* it touches the in-memory state —
+        returning from this method is the acknowledgement contract.
+
+        ``(source, source_seq)`` is an optional idempotency key: batches
+        at or below a source's high-water mark are skipped as duplicates
+        (the fleet router retries a forwarded batch with the same key
+        after an owner failure, so a retry that raced a successful
+        append cannot double-ingest). Sequence numbers must be assigned
+        monotonically per source.
+        """
         points = np.atleast_2d(np.asarray(points, dtype=np.float64))
-        if points.shape[0] == 0:
-            return 0
+        rows = int(points.shape[0])
+        if rows == 0:
+            return {"accepted": 0, "duplicate": False}
+        dim = self.model.classifier.kernel.dim
+        if points.ndim != 2 or points.shape[1] != dim:
+            raise ValueError(
+                f"ingest dimensionality {points.shape[-1]} does not match "
+                f"the model dimensionality {dim}"
+            )
         with self._lock:
-            self.model.insert(points)  # validates dimensionality
+            if source is not None and source_seq is not None:
+                watermark = self._ingest_watermarks.get(source)
+                if watermark is not None and source_seq <= watermark:
+                    self.duplicates_skipped += 1
+                    return {"accepted": 0, "duplicate": True}
+            if self.wal is not None:
+                meta = (
+                    {"source": source, "seq": int(source_seq)}
+                    if source is not None and source_seq is not None
+                    else {}
+                )
+                self.wal.append_ingest(points, meta)
+            if source is not None and source_seq is not None:
+                self._ingest_watermarks[source] = int(source_seq)
+            self.model.insert(points)
             self.sketch.append(points)
             self._window.extend(points)
-            self.ingested_total += points.shape[0]
-        record_ingest(points.shape[0])
-        return int(points.shape[0])
+            self.ingested_total += rows
+            compact_due = (
+                self.wal is not None
+                and self.wal.size_bytes() > self.settings.wal_compact_bytes
+            )
+        record_ingest(rows)
+        if compact_due:
+            # Swap-free ingest (e.g. the fleet's ingest owner) would
+            # otherwise grow the log without bound; checkpoint + truncate.
+            self._write_wal_snapshot()
+        return {"accepted": rows, "duplicate": False}
+
+    # ------------------------------------------------------------------
+    # WAL checkpointing
+    # ------------------------------------------------------------------
+
+    def _wal_state_locked(self) -> dict:
+        """Full pipeline state for a WAL snapshot (caller holds the lock).
+
+        The adopted classifier itself is NOT pickled — snapshots record
+        its artifact path (swapped refits live under the durable
+        ``artifact_dir``); the initial, never-swapped model has no path
+        and :meth:`recover` falls back to a caller-provided classifier.
+        """
+        rows = self.model.buffer_view
+        return {
+            "version": 1,
+            "model_generation": int(self.model.generation),
+            "n_indexed": int(self.model.n_indexed),
+            "buffer": rows.copy() if rows.shape[0] else None,
+            "classifier_path": self._classifier_path,
+            "initial_n": int(self.initial_n),
+            "ingested_total": int(self.ingested_total),
+            "duplicates_skipped": int(self.duplicates_skipped),
+            "refits_triggered": int(self.refits_triggered),
+            "refits_succeeded": int(self.refits_succeeded),
+            "refits_failed": int(self.refits_failed),
+            "swaps": int(self.swaps),
+            "rollbacks": int(self.rollbacks),
+            "refit_generation": int(self._refit_generation),
+            "sketch": self.sketch.state(),
+            "sketch_base": int(self._sketch_base),
+            "watermarks": dict(self._ingest_watermarks),
+            "window": np.array(self._window) if self._window else None,
+        }
+
+    def _write_wal_snapshot(self) -> None:
+        """Checkpoint state into the WAL and truncate replayed history.
+
+        Holds the pipeline lock across capture *and* truncation, so a
+        concurrent acknowledged append can never fall between the
+        snapshot's state and the records it deletes.
+        """
+        wal = self.wal
+        if wal is None or wal.closed:
+            return
+        with self._lock:
+            wal.write_snapshot(self._wal_state_locked())
 
     def classify(self, queries: np.ndarray) -> np.ndarray:
         """Serve labels including every ingested point (exact buffer)."""
@@ -364,7 +795,9 @@ class StreamingPipeline:
         directly for deterministic control flow.
         """
         with self._lock:
-            if len(self._window) < self.settings.monitor_window:
+            self._update_cadence_locked()
+            effective = self._effective_window_locked()
+            if len(self._window) < effective:
                 decision = DriftDecision(
                     checked=False, drifted=False, fired=False,
                     reason="window_filling", window=len(self._window),
@@ -381,7 +814,10 @@ class StreamingPipeline:
         densities = classifier.estimate_density(window)
         threshold = classifier.threshold.value
         tolerance = classifier.config.epsilon * threshold
-        decision = self.monitor.observe(densities, threshold, tolerance=tolerance)
+        decision = self.monitor.observe(
+            densities, threshold, tolerance=tolerance,
+            window=effective if self.settings.adaptive_window else None,
+        )
         with self._lock:
             self._last_decision = decision
             if decision.drifted and self._drift_since is None:
@@ -397,6 +833,41 @@ class StreamingPipeline:
         if decision.fired:
             self.refit_and_swap()
         return decision
+
+    def _update_cadence_locked(self) -> None:
+        """Fold one observed check gap into the cadence EWMAs."""
+        now = self._clock()
+        if self._last_check_at is not None:
+            alpha = 0.2
+            gap = max(now - self._last_check_at, 0.0)
+            points = self.ingested_total - self._ingested_at_last_check
+            self._check_gap_ewma = (
+                gap if self._check_gap_ewma is None
+                else (1.0 - alpha) * self._check_gap_ewma + alpha * gap
+            )
+            self._points_per_gap_ewma = (
+                float(points) if self._points_per_gap_ewma is None
+                else (1.0 - alpha) * self._points_per_gap_ewma + alpha * points
+            )
+        self._last_check_at = now
+        self._ingested_at_last_check = self.ingested_total
+
+    def _effective_window_locked(self) -> int:
+        """The drift window this check should use.
+
+        Fixed ``monitor_window`` unless ``adaptive_window`` is on, in
+        which case the window tracks the points actually arriving per
+        check gap (EWMA), clamped to ``[monitor_window_min,
+        monitor_window]`` — a fast check cadence then checks small fresh
+        windows instead of re-testing a mostly-stale large one.
+        """
+        settings = self.settings
+        if not settings.adaptive_window or self._points_per_gap_ewma is None:
+            return settings.monitor_window
+        return int(min(
+            settings.monitor_window,
+            max(settings.monitor_window_min, round(self._points_per_gap_ewma)),
+        ))
 
     def refit_and_swap(self) -> RefitOutcome | None:
         """Run one supervised refit and, if it survives, the verified swap.
@@ -420,6 +891,13 @@ class StreamingPipeline:
             snapshot = self.sketch.training_sample(
                 self.settings.refit_sample_cap, self._rng
             )
+            sketch_info = self.sketch.snapshot()
+            if self.wal is not None and not self.wal.closed:
+                self.wal.append_marker(RECORD_REFIT_TRIGGER, {
+                    "generation": generation,
+                    "n_snapshot": int(n_snapshot),
+                    "buffered_at_snapshot": int(buffered_at_snapshot),
+                })
         record_refit("triggered")
         log.info(
             "refit generation %d triggered: %d sketch rows for %d stream points",
@@ -435,6 +913,8 @@ class StreamingPipeline:
             outcome = run_refit(
                 snapshot, self.model.config, out_path, generation,
                 policy=policy, plan=self.plan,
+                sketch_displacement=sketch_info["raw_displacement"],
+                sketch_n=sketch_info["n_seen"],
             )
             with self._lock:
                 self._last_refit = outcome
@@ -473,7 +953,23 @@ class StreamingPipeline:
                 self.model.adopt(candidate, n_indexed=n_snapshot, keep_last=keep)
                 self.swaps += 1
                 self._drift_since = None
+                self._classifier_path = str(outcome.model_path)
+                if self.wal is not None and not self.wal.closed:
+                    self.wal.append_marker(RECORD_SWAP_COMMIT, {
+                        "generation": generation,
+                        "model_generation": int(self.model.generation),
+                        "n_indexed": int(n_snapshot),
+                        "buffered_at_snapshot": int(buffered_at_snapshot),
+                        "artifact": str(outcome.model_path),
+                        "threshold": float(outcome.threshold),
+                        "eta": float(outcome.eta),
+                        "eta_applied": float(outcome.eta_applied),
+                    })
                 self._publish_staleness_locked()
+            # Compaction rides every successful swap: the snapshot
+            # embodies the new generation, so the replayed-history
+            # prefix (including this swap's markers) is truncated.
+            self._write_wal_snapshot()
             record_refit("swapped")
             self.monitor.note_refit()
             log.info(
@@ -502,7 +998,12 @@ class StreamingPipeline:
             self._thread.start()
 
     def stop(self, join: bool = True) -> None:
-        """Signal the loop to stop; optionally wait for it."""
+        """Signal the loop to stop; optionally wait for it.
+
+        With a WAL attached, a final snapshot is written and the log is
+        closed (fsync + lock release) — a clean shutdown recovers with
+        zero records to replay.
+        """
         self._stop.set()
         thread = self._thread
         if thread is not None and join:
@@ -510,6 +1011,9 @@ class StreamingPipeline:
             thread.join(timeout=self.settings.staleness_bound + 5.0)
         with self._lock:
             self._thread = None
+        if self.wal is not None and not self.wal.closed:
+            self._write_wal_snapshot()
+            self.wal.close()
 
     def _monitor_loop(self) -> None:
         while not self._stop.wait(self.settings.check_interval):
@@ -611,8 +1115,16 @@ class StreamingPipeline:
                 ),
                 "staleness_bound_seconds": self.settings.staleness_bound,
                 "monitor_errors": int(self.monitor_errors),
+                "monitor_window_effective": int(self._effective_window_locked()),
+                "check_gap_ewma_seconds": (
+                    None if self._check_gap_ewma is None
+                    else float(self._check_gap_ewma)
+                ),
+                "duplicates_skipped": int(self.duplicates_skipped),
                 "sketch": self.sketch.snapshot(),
                 "accounting": self.verify_accounting(),
+                "wal": None if self.wal is None else self.wal.stats(),
+                "recovery": self.recovery,
                 "last_decision": last_decision,
                 "last_refit": last_refit,
                 "last_swap": last_swap,

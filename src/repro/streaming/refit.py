@@ -56,6 +56,10 @@ class RefitOutcome:
     timeouts: int = 0
     retries: int = 0
     serial_refusals: int = 0
+    #: Sketch displacement certificate offered to the fit (eta units).
+    eta: float = 0.0
+    #: The eta actually folded into the threshold bracket (0 = none).
+    eta_applied: float = 0.0
 
     def as_dict(self) -> dict:
         return {
@@ -70,6 +74,8 @@ class RefitOutcome:
             "timeouts": self.timeouts,
             "retries": self.retries,
             "serial_refusals": self.serial_refusals,
+            "eta": self.eta,
+            "eta_applied": self.eta_applied,
         }
 
 
@@ -84,9 +90,36 @@ def _flip_byte(path: Path) -> None:
         handle.write(bytes([byte[0] ^ 0xFF]))
 
 
+def _stream_eta(classifier: TKDCClassifier, displacement: float, n_seen: int) -> float:
+    """Sketch certificate under the *fitted* kernel's bandwidth.
+
+    The sketch accumulates raw displacement before any bandwidth exists;
+    only after the refit's kernel is fitted can the certificate be
+    scaled: ``L * displacement / (n_seen * min_j h_j)`` (the same bound
+    :meth:`StreamSketch.eta_for` documents).
+    """
+    if displacement <= 0.0 or n_seen <= 0:
+        return 0.0
+    kernel = classifier.kernel
+    lipschitz = kernel.lipschitz_constant
+    if not np.isfinite(lipschitz):
+        return float("inf")
+    min_bandwidth = float(np.min(kernel.bandwidth))
+    return float(lipschitz * displacement / (n_seen * min_bandwidth))
+
+
 def _fit_and_save(payload: dict) -> dict:
     """The actual refit work; runs in the subprocess (or fallback)."""
     classifier = TKDCClassifier(payload["config"]).fit(payload["data"])
+    # Fold the sketch's displacement certificate into the threshold
+    # bracket BEFORE saving, so the artifact itself carries the widened
+    # bounds and the swap manifest can surface eta_applied.
+    eta = _stream_eta(
+        classifier,
+        float(payload.get("sketch_displacement", 0.0)),
+        int(payload.get("sketch_n", 0)),
+    )
+    eta_applied = classifier.widen_threshold_bracket(eta)
     path = save_model(payload["path"], classifier)
     plan: DriftPlan | None = payload.get("plan")
     generation: int = payload["generation"]
@@ -97,6 +130,8 @@ def _fit_and_save(payload: dict) -> dict:
         "path": str(path),
         "threshold": float(classifier.threshold.value),
         "error": None,
+        "eta": float(eta),
+        "eta_applied": float(eta_applied),
     }
 
 
@@ -131,8 +166,15 @@ def run_refit(
     generation: int,
     policy: SupervisionPolicy | None = None,
     plan: DriftPlan | None = None,
+    sketch_displacement: float = 0.0,
+    sketch_n: int = 0,
 ) -> RefitOutcome:
     """Fit a fresh model on ``data`` in a supervised subprocess.
+
+    ``sketch_displacement`` / ``sketch_n`` carry the training sketch's
+    raw displacement certificate; once the refit's kernel exists the
+    certificate is scaled to an eta and folded into the saved model's
+    threshold bracket (``RefitOutcome.eta_applied``).
 
     Returns a :class:`RefitOutcome`; ``ok=False`` means every attempt
     failed (crash, poison, deadline) and **nothing was produced** — the
@@ -154,6 +196,8 @@ def run_refit(
         "path": str(out_path),
         "generation": generation,
         "plan": plan,
+        "sketch_displacement": float(sketch_displacement),
+        "sketch_n": int(sketch_n),
     }
 
     def serial_fallback(chunk_index: int, chunk: dict) -> dict:
@@ -204,4 +248,6 @@ def run_refit(
         timeouts=report.timeouts,
         retries=report.retries,
         serial_refusals=refused,
+        eta=float(outcome.get("eta") or 0.0),
+        eta_applied=float(outcome.get("eta_applied") or 0.0),
     )

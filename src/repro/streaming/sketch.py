@@ -188,6 +188,32 @@ class StreamSketch:
             )
             return points[picks].copy()
 
+    def state(self) -> dict:
+        """Full picklable state for WAL snapshots (see :meth:`restore`)."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "points": None if self._points is None else self._points.copy(),
+                "weights": None if self._weights is None else self._weights.copy(),
+                "raw_displacement": float(self.raw_displacement),
+                "n_seen": int(self.n_seen),
+                "rounds": int(self.rounds),
+            }
+
+    @classmethod
+    def restore(cls, state: dict) -> "StreamSketch":
+        """Rebuild a sketch from :meth:`state` output, bit-for-bit."""
+        sketch = cls(capacity=int(state["capacity"]))
+        points = state["points"]
+        weights = state["weights"]
+        with sketch._lock:
+            sketch._points = None if points is None else np.array(points, dtype=np.float64)
+            sketch._weights = None if weights is None else np.array(weights, dtype=np.float64)
+            sketch.raw_displacement = float(state["raw_displacement"])
+            sketch.n_seen = int(state["n_seen"])
+            sketch.rounds = int(state["rounds"])
+        return sketch
+
     def snapshot(self) -> dict:
         """JSON-ready summary for /statz and pipeline status."""
         with self._lock:

@@ -195,3 +195,67 @@ class TestLocalReloader:
         assert result.ok and result.stage == "swapped"
         assert reloader.classifier is not None
         assert result.threshold == pytest.approx(classifier.threshold.value)
+
+
+class TestAdaptiveWindow:
+    def _pipeline(self, pipeline_factory, adaptive=True):
+        fake = [100.0]
+        pipeline = pipeline_factory(
+            settings_overrides={
+                "adaptive_window": adaptive, "monitor_window_min": 8,
+            },
+            clock=lambda: fake[0],
+        )
+        return pipeline, fake
+
+    def test_window_tracks_ingest_cadence(self, pipeline_factory):
+        pipeline, fake = self._pipeline(pipeline_factory)
+        rng = np.random.default_rng(31)
+        # No cadence yet: the full configured window applies.
+        pipeline.check_drift_once()
+        assert pipeline.status()["monitor_window_effective"] == 64
+        # A slow trickle (10 points/gap) shrinks the effective window to
+        # the fresh points actually arriving, so the next check does not
+        # re-test 54 stale rows.
+        pipeline.ingest(rng.normal(size=(10, 2)) * 0.5)
+        fake[0] += 1.0
+        decision = pipeline.check_drift_once()
+        status = pipeline.status()
+        assert status["monitor_window_effective"] == 10
+        assert status["check_gap_ewma_seconds"] == pytest.approx(1.0)
+        assert decision.checked and decision.window == 10
+        # A burst pulls the EWMA (and the window) back up, clamped at
+        # the configured maximum.
+        pipeline.ingest(rng.normal(size=(500, 2)) * 0.5)
+        fake[0] += 1.0
+        pipeline.check_drift_once()
+        assert pipeline.status()["monitor_window_effective"] == 64
+
+    def test_floor_clamps_tiny_cadence(self, pipeline_factory):
+        pipeline, fake = self._pipeline(pipeline_factory)
+        rng = np.random.default_rng(32)
+        pipeline.check_drift_once()
+        pipeline.ingest(rng.normal(size=(2, 2)) * 0.5)
+        fake[0] += 1.0
+        pipeline.check_drift_once()
+        assert pipeline.status()["monitor_window_effective"] == 8
+
+    def test_fixed_window_by_default(self, pipeline_factory):
+        pipeline, fake = self._pipeline(pipeline_factory, adaptive=False)
+        rng = np.random.default_rng(33)
+        pipeline.check_drift_once()
+        pipeline.ingest(rng.normal(size=(10, 2)) * 0.5)
+        fake[0] += 1.0
+        pipeline.check_drift_once()
+        assert pipeline.status()["monitor_window_effective"] == 64
+
+    def test_settings_validation(self):
+        with pytest.raises(ValueError):
+            StreamSettings(**{**FAST_SETTINGS, "monitor_window_min": 4})
+        with pytest.raises(ValueError):
+            StreamSettings(**{**FAST_SETTINGS, "monitor_window_min": 128})
+        with pytest.raises(ValueError):
+            StreamSettings(**{**FAST_SETTINGS, "fsync_policy": "maybe"})
+        with pytest.raises(ValueError):
+            StreamSettings(**{**FAST_SETTINGS, "wal_compact_bytes": 1024,
+                              "wal_segment_bytes": 4096})

@@ -152,3 +152,151 @@ def test_soak_artifacts_on_disk(pipeline_factory, tmp_path):
     assert second.ok and pipeline.swaps == 1
     artifacts = sorted(p.name for p in pipeline.artifact_dir.iterdir())
     assert artifacts == ["model-gen-0001.tkdc", "model-gen-0002.tkdc"]
+
+
+# ---------------------------------------------------------------------------
+# Crash-recovery soak: SIGKILL mid-ingest, zero acknowledged-point loss
+# ---------------------------------------------------------------------------
+
+CHILD_SCRIPT = r"""
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.io.models import load_model
+from repro.serve.reload import prepare_classifier
+from repro.streaming import StreamingPipeline, StreamSettings
+
+model_path, wal_dir = sys.argv[1], sys.argv[2]
+settings = StreamSettings(
+    fsync_policy="always", check_interval=0.05, min_refit_interval=0.0,
+)
+classifier = prepare_classifier(load_model(model_path))
+if any(Path(wal_dir).glob("wal-*.seg")):
+    pipeline = StreamingPipeline.recover(
+        wal_dir, settings=settings, fallback_classifier=classifier,
+    )
+else:
+    pipeline = StreamingPipeline.from_classifier(
+        classifier, settings=settings, wal_dir=wal_dir,
+    )
+seq = pipeline._ingest_watermarks.get("soak", 0)
+print(f"READY n_total={pipeline.model.n_total} seq={seq}", flush=True)
+rng = np.random.default_rng(1000 + seq)
+while True:
+    seq += 1
+    batch = rng.normal(size=(16, 2)) * 0.5
+    out = pipeline.ingest_batch(batch, source="soak", source_seq=seq)
+    # The ACK is printed only after ingest_batch returns — i.e. after
+    # the WAL fsync under fsync_policy="always". Printing IS the
+    # client-visible acknowledgement the parent holds us to.
+    print(f"ACK {seq} {out['accepted']}", flush=True)
+"""
+
+KILL_AFTER_ACKS = (3, 7, 2)  # three phases, killed at different depths
+SOAK_BATCH_ROWS = 16
+
+
+def _run_child_until_kill(script_path, model_path, wal_dir, ack_target):
+    """Start one ingest child, SIGKILL it after ``ack_target`` ACKs.
+
+    Returns the list of acknowledged sequence numbers. The kill lands
+    immediately after the Nth ACK line, i.e. while the next append is
+    very likely mid-flight — the torn-tail case recovery must absorb.
+    """
+    import os
+    import signal
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    import repro
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(filter(None, [
+        str(Path(repro.__file__).resolve().parents[1]),
+        env.get("PYTHONPATH", ""),
+    ]))
+    process = subprocess.Popen(
+        [sys.executable, str(script_path), str(model_path), str(wal_dir)],
+        stdout=subprocess.PIPE, text=True, env=env,
+    )
+    acked = []
+    try:
+        ready = process.stdout.readline().strip()
+        assert ready.startswith("READY"), f"child not ready: {ready!r}"
+        while len(acked) < ack_target:
+            line = process.stdout.readline().strip()
+            assert line.startswith("ACK"), f"unexpected child line: {line!r}"
+            __, seq, rows = line.split()
+            assert int(rows) == SOAK_BATCH_ROWS
+            acked.append(int(seq))
+        os.kill(process.pid, signal.SIGKILL)
+    finally:
+        if process.poll() is None:
+            process.kill()
+        process.wait()
+        process.stdout.close()
+    return acked
+
+
+def test_kill9_soak_zero_acknowledged_loss(stream_config, base_data, tmp_path):
+    """SIGKILL an ingesting process at arbitrary points; every point it
+    acknowledged must survive recovery, across repeated takeovers."""
+    from repro import TKDCClassifier
+    from repro.io.models import load_model, save_model
+    from repro.serve.reload import prepare_classifier
+    from repro.streaming import StreamingPipeline, StreamSettings
+
+    classifier = TKDCClassifier(stream_config).fit(base_data)
+    model_path = save_model(tmp_path / "soak-model.tkdc", classifier)
+    script_path = tmp_path / "ingest_child.py"
+    script_path.write_text(CHILD_SCRIPT)
+    wal_dir = tmp_path / "wal"
+
+    all_acked: list[int] = []
+    phases: list[list[int]] = []
+    for ack_target in KILL_AFTER_ACKS:
+        acked = _run_child_until_kill(
+            script_path, model_path, wal_dir, ack_target
+        )
+        phases.append(acked)
+        all_acked.extend(acked)
+    # Within a phase the ACK stream is gapless; across a kill the
+    # successor may resume ONE past the last ACK — a batch that became
+    # durable between its fsync and its ACK print. It must never repeat
+    # a sequence (double-ingest) and never skip more than that one.
+    for acked in phases:
+        assert acked == list(range(acked[0], acked[0] + len(acked)))
+    for previous, current in zip(phases, phases[1:]):
+        assert current[0] - previous[-1] in (1, 2)
+
+    # Final takeover happens in-process so we can inspect everything.
+    recovered = StreamingPipeline.recover(
+        wal_dir,
+        settings=StreamSettings(fsync_policy="always"),
+        fallback_classifier=prepare_classifier(load_model(model_path)),
+    )
+    try:
+        acked_points = SOAK_BATCH_ROWS * len(all_acked)
+        # ZERO acknowledged-point loss: everything acked is in n_total.
+        assert recovered.ingested_total >= acked_points
+        # At most one un-acked batch per kill can have reached the WAL
+        # (appended + fsynced, killed before the ACK printed). Those are
+        # durable-but-unacknowledged: replaying them is correct, losing
+        # acked ones is not.
+        assert recovered.ingested_total <= acked_points + (
+            SOAK_BATCH_ROWS * len(KILL_AFTER_ACKS)
+        )
+        assert recovered._ingest_watermarks["soak"] >= max(all_acked)
+        assert recovered.model.n_total == (
+            recovered.initial_n + recovered.ingested_total
+        )
+        accounting = recovered.verify_accounting()
+        assert accounting["ok"], accounting
+        # Serving works immediately on the recovered state.
+        labels = recovered.classify(np.zeros((1, 2)))
+        assert labels.shape == (1,)
+    finally:
+        recovered.stop(join=True)

@@ -90,6 +90,10 @@ def canned_robustness_report(
     bound: float = 605.0,
     label_lag: int | None = 64,
     include_streaming: bool = True,
+    include_durability: bool = True,
+    acknowledged_loss: int = 0,
+    recovery_seconds: float = 0.02,
+    conservation_ok: bool = True,
 ) -> dict:
     report: dict = {"benchmark": "robustness", "rows": []}
     if include_streaming:
@@ -103,6 +107,20 @@ def canned_robustness_report(
             "swaps": 1,
             "converged": converged,
             "accounting_ok": accounting_ok,
+        })
+    if include_durability:
+        report["rows"].append({
+            "section": "durability", "variant": "wal_append",
+            "fsync_policy": "always", "appends": 200,
+            "append_p50_ms": 0.08, "append_p99_ms": 0.4,
+        })
+        report["rows"].append({
+            "section": "durability", "variant": "recovery",
+            "acknowledged_batches": 256, "acknowledged_points": 16_384,
+            "wal_bytes": 340_000,
+            "recovery_seconds": recovery_seconds,
+            "acknowledged_loss": acknowledged_loss,
+            "conservation_ok": conservation_ok,
         })
     return report
 
@@ -442,6 +460,49 @@ class TestRobustnessChecks:
         (tmp_path / "BENCH_robustness.json").unlink()
         checks = {c.name: c for c in gate.run_gate(baseline_dir=tmp_path)}
         assert not checks["baseline[robustness]"].ok
+
+    def test_healthy_durability_rows_pass(self, tmp_path, canned_measurements):
+        checks = self._robustness_checks(tmp_path, canned_robustness_report())
+        assert checks["durability_zero_acknowledged_loss"].ok
+        assert checks["durability_recovery_time"].ok
+
+    def test_any_acknowledged_loss_fails(self, tmp_path, canned_measurements):
+        checks = self._robustness_checks(
+            tmp_path, canned_robustness_report(acknowledged_loss=1)
+        )
+        check = checks["durability_zero_acknowledged_loss"]
+        assert not check.ok
+        assert check.measured == 1.0
+
+    def test_broken_conservation_fails(self, tmp_path, canned_measurements):
+        checks = self._robustness_checks(
+            tmp_path, canned_robustness_report(conservation_ok=False)
+        )
+        assert not checks["durability_zero_acknowledged_loss"].ok
+
+    def test_slow_recovery_fails(self, tmp_path, canned_measurements):
+        checks = self._robustness_checks(
+            tmp_path, canned_robustness_report(recovery_seconds=12.0)
+        )
+        assert not checks["durability_recovery_time"].ok
+
+    def test_missing_durability_rows_fail(self, tmp_path, canned_measurements):
+        checks = self._robustness_checks(
+            tmp_path, canned_robustness_report(include_durability=False)
+        )
+        failed = checks["baseline[robustness.durability]"]
+        assert not failed.ok and "bench-robustness" in failed.detail
+
+    def test_recovery_ceiling_flag(self, tmp_path, canned_measurements):
+        write_baseline(
+            tmp_path, canned_smoke_rows(),
+            robustness=canned_robustness_report(recovery_seconds=12.0),
+        )
+        assert gate.main(["--baseline-dir", str(tmp_path)]) == 1
+        assert gate.main([
+            "--baseline-dir", str(tmp_path),
+            "--recovery-seconds-ceiling", "20.0",
+        ]) == 0
 
     def test_label_lag_ceiling_flag(self, tmp_path, canned_measurements):
         write_baseline(
