@@ -351,7 +351,7 @@ class TKDCServer(ThreadingHTTPServer):
         if batch is not None:
             # Idempotency key stamped by the fleet router: a retried
             # forward after an owner failure reuses the same (source,
-            # seq), so the WAL-replayed watermark makes it a no-op.
+            # seq), so the WAL-replayed dedup state makes it a no-op.
             if (
                 not isinstance(batch, dict)
                 or not isinstance(batch.get("source"), str)

@@ -221,6 +221,10 @@ class WorkerFleet:
                 "at %s (gone after shutdown)", self.wal_dir,
             )
         self._ingest_lock = threading.Lock()
+        # Elections make adopt-ingest HTTP calls (up to 60s per
+        # candidate); they serialize on their own lock so seq stamping
+        # under _ingest_lock never waits on a slow candidate.
+        self._ingest_election_lock = threading.Lock()
         self._ingest_owner: WorkerHandle | None = None
         self._ingest_epoch = f"router-{os.getpid():x}-{os.urandom(6).hex()}"
         self._ingest_seq = 0
@@ -544,17 +548,35 @@ class WorkerFleet:
         """
         if not self.streaming or self.wal_dir is None:
             return None
+        owner = self._live_ingest_owner()
+        if owner is not None:
+            return owner
+        with self._ingest_election_lock:
+            # Concurrent requests wait here for ONE election; whoever
+            # lost the race to this lock finds the winner installed.
+            owner = self._live_ingest_owner()
+            if owner is not None:
+                return owner
+            return self._elect_ingest_owner()
+
+    def _live_ingest_owner(self) -> WorkerHandle | None:
         with self._ingest_lock:
             owner = self._ingest_owner
-            if (
-                owner is not None
-                and owner.healthy
-                and owner.process.poll() is None
-            ):
-                return owner
-            return self._elect_ingest_owner_locked()
+        if (
+            owner is not None
+            and owner.healthy
+            and owner.process.poll() is None
+        ):
+            return owner
+        return None
 
-    def _elect_ingest_owner_locked(self) -> WorkerHandle | None:
+    def _elect_ingest_owner(self) -> WorkerHandle | None:
+        """Run one owner election (the election lock is held).
+
+        Only the owner-pointer reads/writes take ``_ingest_lock``; the
+        adopt-ingest round trips happen outside it so ingest requests
+        keep stamping seqs while a candidate is slow to answer.
+        """
         body = {
             "wal_dir": str(self.wal_dir),
             "settings": self._settings_payload(),
@@ -565,7 +587,8 @@ class WorkerFleet:
         # Prefer healthy workers but fall through to unprobed ones: a
         # freshly respawned worker may not have passed a heartbeat yet.
         candidates = sorted(handles, key=lambda h: not h.healthy)
-        previous = self._ingest_owner
+        with self._ingest_lock:
+            previous = self._ingest_owner
         for handle in candidates:
             if handle.process.poll() is not None:
                 continue
@@ -583,7 +606,8 @@ class WorkerFleet:
                 )
                 continue
             if status == 200:
-                self._ingest_owner = handle
+                with self._ingest_lock:
+                    self._ingest_owner = handle
                 if handle is not previous:
                     recovery = payload.get("recovery") or {}
                     log.info(
@@ -601,7 +625,8 @@ class WorkerFleet:
                     previous is not None
                     and previous.process.poll() is None
                 ):
-                    self._ingest_owner = previous
+                    with self._ingest_lock:
+                        self._ingest_owner = previous
                     return previous
                 continue
             log.warning(

@@ -295,6 +295,15 @@ class StreamingPipeline:
         Injectable monotonic clock.
     """
 
+    #: Out-of-order tolerance for exact-duplicate ingest detection: at
+    #: most this many applied-but-non-contiguous seqs are remembered
+    #: per source. A seq that never arrives (its batch was refused
+    #: before reaching the WAL) would pin the watermark forever; once
+    #: the window overflows, the oldest gap is declared permanently
+    #: failed and collapsed — by then the router's single same-seq
+    #: retry has long since happened or never will.
+    REORDER_WINDOW = 4096
+
     def __init__(
         self,
         model: IncrementalTKDC,
@@ -359,9 +368,16 @@ class StreamingPipeline:
         self._last_decision: DriftDecision | None = None
         self._last_refit: RefitOutcome | None = None
         self._last_swap: ReloadResult | None = None
-        #: Per-source high-water marks for idempotent ingest (the fleet
-        #: router stamps each forwarded batch with (epoch, seq)).
+        #: Per-source contiguous watermarks for idempotent ingest (the
+        #: fleet router stamps each forwarded batch with (epoch, seq)).
+        #: A watermark only advances through consecutive seqs; applied
+        #: seqs above it wait in :attr:`_ingest_pending_seqs`, so a
+        #: lower-seq batch that merely *arrives* late (two concurrent
+        #: forwards racing) is never mistaken for a duplicate.
         self._ingest_watermarks: dict[str, int] = {}
+        #: Applied-but-not-yet-contiguous seqs per source (the
+        #: out-of-order window above each watermark).
+        self._ingest_pending_seqs: dict[str, set[int]] = {}
         #: Artifact path of the currently adopted classifier, when it
         #: came from a swapped refit (None for the initial model — the
         #: recovery path falls back to a caller-provided classifier).
@@ -431,7 +447,7 @@ class StreamingPipeline:
         newest snapshot's full state — exact buffer, sketch,
         conservation counters, idempotency watermarks, accounting
         generation — then replays every later record: acknowledged
-        ingest batches are re-applied (duplicates skipped by watermark),
+        ingest batches are re-applied (exact duplicates skipped),
         committed swaps re-adopt their recorded artifact, and a refit
         trigger with no matching commit is accounted as failed (the
         refit died with the process; the monitor will re-detect).
@@ -540,6 +556,9 @@ class StreamingPipeline:
             pipeline.rollbacks = int(state["rollbacks"])
             pipeline._refit_generation = int(state["refit_generation"])
             pipeline._ingest_watermarks = dict(state["watermarks"])
+            pipeline._ingest_pending_seqs = {
+                s: set(p) for s, p in state.get("pending_seqs", {}).items()
+            }
             pipeline._classifier_path = state.get("classifier_path")
             if state["buffer"] is not None:
                 pipeline.model.insert(state["buffer"])
@@ -556,11 +575,12 @@ class StreamingPipeline:
                 points, meta = record.ingest_payload()
                 source, seq = meta.get("source"), meta.get("seq")
                 if source is not None and seq is not None:
-                    watermark = pipeline._ingest_watermarks.get(source)
-                    if watermark is not None and seq <= watermark:
-                        pipeline.duplicates_skipped += 1
-                        continue
-                    pipeline._ingest_watermarks[source] = int(seq)
+                    seq = int(seq)
+                    if seq >= 1:
+                        if pipeline._seq_is_duplicate_locked(source, seq):
+                            pipeline.duplicates_skipped += 1
+                            continue
+                        pipeline._mark_seq_applied_locked(source, seq)
                 pipeline.model.insert(points)
                 pipeline.sketch.append(points)
                 pipeline._window.extend(points)
@@ -631,7 +651,10 @@ class StreamingPipeline:
             "seconds": float(time.perf_counter() - started),
         }
         record_wal_replay(counts, wal.recovered_torn_records)
-        record_stream_recovery()
+        if state is not None or counts:
+            # A first boot over a brand-new empty WAL restores nothing;
+            # only count runs that actually carried state forward.
+            record_stream_recovery()
         pipeline._write_wal_snapshot()
         log.info(
             "recovered streaming pipeline from %s: %d records (%d points) "
@@ -651,6 +674,40 @@ class StreamingPipeline:
         """Fold new points into buffer, sketch, and drift window."""
         return int(self.ingest_batch(points)["accepted"])
 
+    def _seq_is_duplicate_locked(self, source: str, seq: int) -> bool:
+        """Exact-duplicate check for one idempotency key (lock held).
+
+        A batch is a duplicate only if that *exact* seq was already
+        applied: at or below the source's contiguous watermark, or in
+        the out-of-order window above it. Concurrent forwards from the
+        router can reach this worker out of seq order, so a lower seq
+        arriving after a higher one is new data, not a retry.
+        """
+        if seq <= self._ingest_watermarks.get(source, 0):
+            return True
+        return seq in self._ingest_pending_seqs.get(source, ())
+
+    def _mark_seq_applied_locked(self, source: str, seq: int) -> None:
+        """Record an applied seq; advance the watermark only through
+        consecutive values (lock held)."""
+        pending = self._ingest_pending_seqs.setdefault(source, set())
+        pending.add(seq)
+        watermark = self._ingest_watermarks.get(source, 0)
+        while watermark + 1 in pending:
+            watermark += 1
+            pending.discard(watermark)
+        while len(pending) > self.REORDER_WINDOW:
+            # Window overflow: the lowest gap's batch is never coming
+            # (see REORDER_WINDOW); jump the watermark over it.
+            watermark = min(pending)
+            pending.discard(watermark)
+            while watermark + 1 in pending:
+                watermark += 1
+                pending.discard(watermark)
+        self._ingest_watermarks[source] = watermark
+        if not pending:
+            del self._ingest_pending_seqs[source]
+
     def ingest_batch(
         self,
         points: np.ndarray,
@@ -663,12 +720,17 @@ class StreamingPipeline:
         policy, made durable) *before* it touches the in-memory state —
         returning from this method is the acknowledgement contract.
 
-        ``(source, source_seq)`` is an optional idempotency key: batches
-        at or below a source's high-water mark are skipped as duplicates
-        (the fleet router retries a forwarded batch with the same key
-        after an owner failure, so a retry that raced a successful
-        append cannot double-ingest). Sequence numbers must be assigned
-        monotonically per source.
+        ``(source, source_seq)`` is an optional idempotency key with
+        *exact-duplicate* semantics: a batch is refused only when that
+        precise seq was already applied — at or below the source's
+        contiguous watermark, or in the bounded out-of-order window
+        above it (:attr:`REORDER_WINDOW`). The fleet router retries a
+        forwarded batch with the same key after an owner failure, so a
+        retry that raced a successful append cannot double-ingest; and
+        because concurrent forwards can arrive here out of seq order, a
+        late lower-seq batch is applied, not dropped. Sequence numbers
+        are assigned per source from 1 upward, each used exactly once
+        (``source_seq`` must be >= 1).
         """
         points = np.atleast_2d(np.asarray(points, dtype=np.float64))
         rows = int(points.shape[0])
@@ -680,21 +742,24 @@ class StreamingPipeline:
                 f"ingest dimensionality {points.shape[-1]} does not match "
                 f"the model dimensionality {dim}"
             )
+        keyed = source is not None and source_seq is not None
+        if keyed:
+            source_seq = int(source_seq)
+            if source_seq < 1:
+                raise ValueError(
+                    f"source_seq must be a positive integer, got {source_seq}"
+                )
         with self._lock:
-            if source is not None and source_seq is not None:
-                watermark = self._ingest_watermarks.get(source)
-                if watermark is not None and source_seq <= watermark:
-                    self.duplicates_skipped += 1
-                    return {"accepted": 0, "duplicate": True}
+            if keyed and self._seq_is_duplicate_locked(source, source_seq):
+                self.duplicates_skipped += 1
+                return {"accepted": 0, "duplicate": True}
             if self.wal is not None:
                 meta = (
-                    {"source": source, "seq": int(source_seq)}
-                    if source is not None and source_seq is not None
-                    else {}
+                    {"source": source, "seq": source_seq} if keyed else {}
                 )
                 self.wal.append_ingest(points, meta)
-            if source is not None and source_seq is not None:
-                self._ingest_watermarks[source] = int(source_seq)
+            if keyed:
+                self._mark_seq_applied_locked(source, source_seq)
             self.model.insert(points)
             self.sketch.append(points)
             self._window.extend(points)
@@ -741,6 +806,9 @@ class StreamingPipeline:
             "sketch": self.sketch.state(),
             "sketch_base": int(self._sketch_base),
             "watermarks": dict(self._ingest_watermarks),
+            "pending_seqs": {
+                s: set(p) for s, p in self._ingest_pending_seqs.items()
+            },
             "window": np.array(self._window) if self._window else None,
         }
 

@@ -224,6 +224,7 @@ class WriteAheadLog:
         self.recovered_torn_records = 0
         self.appends = 0
         self.fsyncs = 0
+        self.dir_fsyncs = 0
         self.rotations = 0
         self.snapshots_written = 0
         self.bytes_appended = 0
@@ -387,6 +388,26 @@ class WriteAheadLog:
             handle.truncate(max(offset, 0))
             handle.flush()
             os.fsync(handle.fileno())
+        # The crashed writer may never have made this file's directory
+        # entry durable (a zero-length header file is exactly that
+        # footprint); pin entry and truncation down together.
+        self._fsync_directory()
+
+    def _fsync_directory(self) -> None:
+        """fsync the log directory itself.
+
+        Record fsyncs make *contents* durable; segment creation,
+        deletion, and truncation also change the directory, and only a
+        directory fsync makes those entries survive a power loss. The
+        ``always``/``interval`` ack contract depends on the segment the
+        ack landed in still being linked after a crash.
+        """
+        fd = os.open(self.directory, os.O_RDONLY | getattr(os, "O_DIRECTORY", 0))
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        self.dir_fsyncs += 1
 
     # ------------------------------------------------------------------
     # Appending
@@ -414,6 +435,11 @@ class WriteAheadLog:
             handle.write(SEGMENT_MAGIC)
         self._handle = handle
         self._current_path = path
+        if self.fsync_policy != "off":
+            # Make the new segment's directory entry durable before any
+            # acknowledged record lands in it — an fsynced record in an
+            # unlinked-after-crash file is still lost data.
+            self._fsync_directory()
 
     def _rotate_locked(self) -> None:
         self._fsync_locked(force=True)
@@ -505,10 +531,16 @@ class WriteAheadLog:
             self._start_segment(self.next_seq)
             seq = self._append_locked(RECORD_SNAPSHOT, body)
             self._fsync_locked(force=True)
+            # The snapshot must be durable — contents AND directory
+            # entry — before the history it replaces is deleted, and
+            # the deletions must be pinned down too or a crash replays
+            # pre-snapshot segments against post-snapshot state.
+            self._fsync_directory()
             self._snapshot_position = (self._current_path, len(SEGMENT_MAGIC))
             for path in old_paths:
                 if path != self._current_path:
                     path.unlink(missing_ok=True)
+            self._fsync_directory()
             self.snapshots_written += 1
             fsyncs = self.fsyncs - fsyncs_before
         record_wal_append(
@@ -571,6 +603,7 @@ class WriteAheadLog:
             "next_seq": int(self.next_seq),
             "appends": int(self.appends),
             "fsyncs": int(self.fsyncs),
+            "dir_fsyncs": int(self.dir_fsyncs),
             "rotations": int(self.rotations),
             "snapshots_written": int(self.snapshots_written),
             "bytes_appended": int(self.bytes_appended),

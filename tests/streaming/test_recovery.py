@@ -148,6 +148,86 @@ class TestRecoverAfterCrash:
             StreamingPipeline.recover(wal_dir, settings=_settings())
 
 
+class TestOutOfOrderIngest:
+    """Concurrent router forwards can reach the owner out of seq order;
+    exact-duplicate detection must not mistake a late lower seq for a
+    retry (the old high-water-mark dedup silently dropped it)."""
+
+    def test_late_lower_seq_is_applied_not_dropped(
+        self, pipeline_factory, wal_dir
+    ):
+        pipeline = pipeline_factory(wal_dir=wal_dir)
+        rng = np.random.default_rng(31)
+        batch = lambda: rng.normal(size=(10, 2)) * 0.5  # noqa: E731
+        # seq 2's forward wins the race to the worker...
+        assert pipeline.ingest_batch(
+            batch(), source="ep1", source_seq=2
+        ) == {"accepted": 10, "duplicate": False}
+        # ...and seq 1 arriving afterwards is NEW data, not a duplicate.
+        assert pipeline.ingest_batch(
+            batch(), source="ep1", source_seq=1
+        ) == {"accepted": 10, "duplicate": False}
+        assert pipeline.ingested_total == 20
+        # Retries of either exact seq ARE duplicates.
+        for seq in (1, 2):
+            assert pipeline.ingest_batch(
+                np.zeros((3, 2)), source="ep1", source_seq=seq
+            ) == {"accepted": 0, "duplicate": True}
+        # The watermark advanced contiguously and the window drained.
+        assert pipeline._ingest_watermarks["ep1"] == 2
+        assert "ep1" not in pipeline._ingest_pending_seqs
+        assert pipeline.verify_accounting()["ok"]
+
+    def test_reorder_window_survives_crash(
+        self, pipeline_factory, wal_dir, recovered_pipelines
+    ):
+        pipeline = pipeline_factory(wal_dir=wal_dir)
+        fallback = pipeline.model.classifier
+        rng = np.random.default_rng(32)
+        # seqs 1 and 3 applied; seq 2 still in flight at crash time.
+        for seq in (1, 3):
+            pipeline.ingest_batch(
+                rng.normal(size=(10, 2)) * 0.5, source="ep1", source_seq=seq
+            )
+        pipeline.wal.abandon()  # SIGKILL
+
+        recovered = _recover(
+            recovered_pipelines, wal_dir,
+            settings=pipeline.settings, fallback_classifier=fallback,
+        )
+        assert recovered.ingested_total == 20
+        # The retry of applied seq 3 is still a duplicate after replay...
+        assert recovered.ingest_batch(
+            np.zeros((2, 2)), source="ep1", source_seq=3
+        ) == {"accepted": 0, "duplicate": True}
+        # ...while the delayed seq 2 lands as new data.
+        assert recovered.ingest_batch(
+            rng.normal(size=(10, 2)) * 0.5, source="ep1", source_seq=2
+        ) == {"accepted": 10, "duplicate": False}
+        assert recovered._ingest_watermarks["ep1"] == 3
+        assert recovered.verify_accounting()["ok"]
+
+    def test_overflowed_gap_is_collapsed(self, pipeline_factory, wal_dir):
+        pipeline = pipeline_factory(wal_dir=wal_dir)
+        pipeline.REORDER_WINDOW = 4  # shadow the class default
+        rng = np.random.default_rng(33)
+        # seq 1 was refused upstream and never arrives; its gap must
+        # not pin the pending window open forever.
+        for seq in range(2, 8):
+            pipeline.ingest_batch(
+                rng.normal(size=(2, 2)) * 0.5, source="ep1", source_seq=seq
+            )
+        assert len(pipeline._ingest_pending_seqs.get("ep1", ())) <= 4
+        assert pipeline._ingest_watermarks["ep1"] >= 2
+
+    def test_nonpositive_seq_is_refused(self, pipeline_factory, wal_dir):
+        pipeline = pipeline_factory(wal_dir=wal_dir)
+        with pytest.raises(ValueError, match="source_seq"):
+            pipeline.ingest_batch(
+                np.zeros((2, 2)), source="ep1", source_seq=0
+            )
+
+
 class TestSwapReplay:
     def _crash_with_markers(self, pipeline, artifact, n_indexed):
         """Append trigger+commit markers as a mid-swap crash would leave
