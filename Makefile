@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-faults test-recovery test-serve test-streaming serve-smoke bench bench-batch bench-coreset bench-coreset-smoke bench-gate bench-hbe bench-hbe-smoke bench-robustness bench-serving bench-serving-smoke experiments demo clean
+.PHONY: install test test-fast test-faults test-recovery test-serve test-streaming serve-smoke bench bench-batch bench-coreset bench-coreset-smoke bench-gate bench-hbe bench-hbe-smoke bench-robustness bench-serving bench-serving-smoke bench-suite experiments demo clean
 
 install:
 	pip install -e ".[test]"
@@ -58,6 +58,19 @@ bench-coreset-smoke:
 bench-gate:
 	$(PYTHON) scripts/bench_gate.py
 
+# Orchestrated smoke-suite end to end (docs/benchmarking.md): run the
+# gate-compatible smoke grid twice as two named experiments in a fresh
+# store, then render the comparative report — table to stdout, HTML to
+# results/bench_report.html. Exercises spec expansion, journaling, the
+# store, and the significance machinery on a seconds-scale workload.
+# CI wraps this in a hard `timeout` and uploads the HTML artifact.
+bench-suite:
+	rm -rf .repro-bench-suite
+	$(PYTHON) -m repro bench run --suite smoke --experiment smoke-a --store .repro-bench-suite
+	$(PYTHON) -m repro bench run --suite smoke --experiment smoke-b --store .repro-bench-suite
+	mkdir -p results
+	$(PYTHON) -m repro bench report smoke-a smoke-b --store .repro-bench-suite --html results/bench_report.html
+
 # HBE engine vs batch across dimensionality (n=50k; regenerates
 # BENCH_hbe.json — takes tens of minutes at full size).
 bench-hbe:
@@ -84,5 +97,5 @@ demo:
 	$(PYTHON) -m repro demo
 
 clean:
-	rm -rf results/ .pytest_cache .hypothesis
+	rm -rf results/ .pytest_cache .hypothesis .repro-bench .repro-bench-suite
 	find . -name __pycache__ -type d -exec rm -rf {} +

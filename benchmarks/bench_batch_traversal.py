@@ -1,40 +1,43 @@
 """Batch traversal engine: per-query vs batch vs batch+n_jobs.
 
-Times the same fitted :class:`~repro.core.classifier.TKDCClassifier`
-classifying one query block under each engine and records the result in
-``BENCH_batch_traversal.json`` at the repo root so the perf trajectory
-is tracked across commits. Labels must be identical across engines on
-every workload — the batch engine replicates the per-query traversal
-exactly, it only amortizes the interpreter overhead.
+A thin wrapper over the experiment orchestrator: each section is a
+declarative :class:`~repro.orchestrator.spec.ExperimentSpec`, executed
+through the :class:`~repro.orchestrator.scheduler.TrialScheduler` (one
+trial at a time — wall-clock numbers must never share a machine), and
+the resulting store records are reshaped into the same rows this
+benchmark has always committed to ``BENCH_batch_traversal.json``. The
+measurements themselves run in :mod:`repro.orchestrator.runner` — the
+exact code path ``tkdc bench run`` and the bench gate use — and every
+run leaves build-stamped trial records in the results store
+(``.repro-bench/``) as a side effect, so the perf trajectory
+accumulates per build instead of being overwritten per run.
 
-Two extra sections cover the engine's tuning knobs:
+Sections:
 
-- the parallel path is only attempted at or above the classifier's
-  spawn-amortization floor (``_PARALLEL_MIN_QUERIES``); small blocks
-  fall back to the serial batch engine, which the ``parallel_fallback``
-  row flag records. A large-block section times n_jobs=1 vs 2 above the
-  floor, where the pool actually pays off;
-- a block-size sweep times the batch engine at block sizes 128/512/2048
-  on a 2048-query block, backing the DEFAULT_BLOCK_SIZE choice in
-  :mod:`repro.core.batch_bounds`;
-- a ``section: "smoke"`` block produced by
+- per-workload engine comparison (per-query vs batch, serial and
+  n_jobs=2), with the ``parallel_fallback`` flag recording when the
+  classifier's spawn-amortization floor forces the serial path;
+- a dedicated parallel section far above that floor, where the pool
+  pays off;
+- a block-size sweep backing DEFAULT_BLOCK_SIZE (a tuning knob, not a
+  trial axis — measured directly through the runner's primitives);
+- the ``section: "smoke"`` rows from
   :func:`repro.bench.gate.traversal_smoke_rows` — the committed
-  baseline the bench regression gate (``make bench-gate``) compares
-  fresh runs against.
+  baseline the bench regression gate compares fresh runs against.
 
-Run standalone (``make bench-batch``) or under pytest.
+Run standalone (``make bench-batch``), with ``--smoke`` for a
+CI-sized pass that writes no report, or under pytest.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
 
-import numpy as np
-
 from repro.bench.gate import traversal_smoke_rows
-from repro.bench.harness import Timer, human_rate, throughput
+from repro.bench.harness import human_rate
 from repro.bench.reporting import report_metadata
 from repro.core.batch_bounds import DEFAULT_BLOCK_SIZE
 from repro.core.classifier import (
@@ -43,8 +46,16 @@ from repro.core.classifier import (
     TKDCClassifier,
 )
 from repro.core.config import TKDCConfig
-from repro.io.atomic import atomic_write_text
 from repro.datasets.registry import load
+from repro.io.atomic import atomic_write_text
+from repro.orchestrator import (
+    ExperimentSpec,
+    ResultsStore,
+    SchedulerPolicy,
+    TrialScheduler,
+)
+from repro.orchestrator.runner import fit_for_trial, measure_engine
+from repro.orchestrator.spec import Trial
 
 REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_batch_traversal.json"
 
@@ -55,11 +66,8 @@ WORKLOADS = (
     ("hep", 20_000, 100),
 )
 
-ENGINES = (
-    ("per-query", 1),
-    ("batch", 1),
-    ("batch", 2),
-)
+#: CI-sized workload for ``--smoke`` (report not written).
+SMOKE_WORKLOADS = (("gauss", 8_000, 256),)
 
 #: Query count for the dedicated parallel section: far enough above the
 #: spawn-amortization floor that pool startup is amortized.
@@ -68,6 +76,9 @@ PARALLEL_QUERIES = 16_384
 #: Batch-engine block sizes swept on a 2048-query block.
 BLOCK_SIZES = (128, 512, 2048)
 BLOCK_SWEEP_QUERIES = 2048
+
+#: Per-trial deadline for the scheduler (hep per-query is the slow one).
+TRIAL_DEADLINE = 1_800.0
 
 
 def _falls_back(engine: str, n_jobs: int, n_queries: int) -> bool:
@@ -81,93 +92,107 @@ def _falls_back(engine: str, n_jobs: int, n_queries: int) -> bool:
     )
 
 
-def _query_block(data: np.ndarray, n_queries: int, rng: np.random.Generator) -> np.ndarray:
-    # Outlier-scoring mix: half in-distribution points, half uniform
-    # over the data bounding box. All-inlier query sets short-circuit
-    # through the grid cache and never reach the traversal engine.
-    inliers = data[rng.choice(data.shape[0], size=n_queries // 2, replace=False)]
-    box = rng.uniform(
-        data.min(axis=0), data.max(axis=0),
-        size=(n_queries - n_queries // 2, data.shape[1]),
+def _run_spec(spec: ExperimentSpec, store: ResultsStore | None = None) -> list[dict]:
+    """Run a spec's trials sequentially; returns its store records.
+
+    Sequential on purpose: these are wall-clock measurements, and two
+    trials sharing the machine would contaminate each other. The
+    experiment name is timestamped so repeated bench runs accumulate in
+    the store instead of colliding.
+    """
+    store = store if store is not None else ResultsStore()
+    experiment = f"{spec.name}-{time.strftime('%Y%m%d-%H%M%S')}"
+    summary = TrialScheduler(
+        store, SchedulerPolicy(jobs=1, deadline=TRIAL_DEADLINE)
+    ).run(spec, experiment)
+    if not summary.complete:
+        raise RuntimeError(
+            f"benchmark trials failed: {summary.render()} — "
+            f"`tkdc bench run --resume {experiment}` retries them"
+        )
+    return store.records(experiment)
+
+
+def _engine_spec(workloads) -> ExperimentSpec:
+    """The per-workload engine-comparison grid."""
+    return ExperimentSpec(
+        name="bench-batch-traversal",
+        description="per-query vs batch engine, serial and n_jobs=2",
+        workloads=tuple(workloads),
+        engines=("per-query", "batch"),
+        jobs=(1, 2),
     )
-    return rng.permutation(np.concatenate([inliers, box]))
 
 
-def _fit(dataset: str, n: int, seed: int = 0) -> tuple[TKDCClassifier, np.ndarray]:
-    data = load(dataset, n=n, seed=seed)
-    config = TKDCConfig(
-        p=0.01, seed=seed, refine_threshold=False, bootstrap_s0=min(2000, n)
+def _parallel_spec() -> ExperimentSpec:
+    """n_jobs=1 vs 2 above the spawn-amortization floor."""
+    return ExperimentSpec(
+        name="bench-batch-parallel",
+        description="batch engine pool payoff above the amortization floor",
+        workloads=(("gauss", 50_000, PARALLEL_QUERIES),),
+        engines=("batch",),
+        jobs=(1, 2),
     )
-    clf = TKDCClassifier(config).fit(data)
-    clf.tree.flatten()  # build the flat view outside the timed region
-    return clf, data
 
 
-def _bench_workload(dataset: str, n: int, n_queries: int, seed: int = 0) -> list[dict]:
-    clf, data = _fit(dataset, n, seed)
-    rng = np.random.default_rng(seed + 1)
-    queries = _query_block(data, n_queries, rng)
+def _record_row(record: dict) -> dict:
+    """One legacy benchmark row from one store record."""
+    config = record["config"]
+    metrics = record["metrics"]
+    return {
+        "dataset": config["dataset"],
+        "n": config["n"],
+        "dim": metrics["dim"],
+        "n_queries": config["n_queries"],
+        "engine": config["engine"],
+        "n_jobs": config["jobs"],
+        "seed": record["seed"],
+        "parallel_fallback": _falls_back(
+            config["engine"], config["jobs"], config["n_queries"]
+        ),
+        "seconds": metrics["seconds"],
+        "queries_per_s": metrics["queries_per_s"],
+        "kernels_per_query": metrics["kernels_per_query"],
+        "labels_sha256": metrics["labels_sha256"],
+    }
 
-    rows = []
-    reference_labels: np.ndarray | None = None
-    for engine, n_jobs in ENGINES:
-        clf.classify(queries[:8], engine=engine, n_jobs=n_jobs)  # warm up
-        kernels_before = clf.stats.kernel_evaluations
-        with Timer() as timer:
-            labels = clf.predict(queries, engine=engine, n_jobs=n_jobs)
-        kernels = clf.stats.kernel_evaluations - kernels_before
-        if reference_labels is None:
-            reference_labels = labels
-        rows.append({
-            "dataset": dataset,
-            "n": n,
-            "dim": data.shape[1],
-            "n_queries": n_queries,
-            "engine": engine,
-            "n_jobs": n_jobs,
-            "parallel_fallback": _falls_back(engine, n_jobs, n_queries),
-            "seconds": timer.elapsed,
-            "queries_per_s": throughput(n_queries, timer.elapsed),
-            # Machine-independent cost proxy (the paper's figure-12
-            # currency); pooled runs include worker counts via the
-            # TraversalStats to_dict/from_dict round-trip.
-            "kernels_per_query": kernels / n_queries,
-            "labels_match_per_query": bool(np.array_equal(labels, reference_labels)),
-        })
 
-    base = rows[0]["queries_per_s"]
-    for row in rows:
-        row["speedup_vs_per_query"] = row["queries_per_s"] / base
+def _engine_rows(records: list[dict]) -> list[dict]:
+    """Engine-comparison rows, grouped per workload, referenced to the
+    serial per-query trial of the same workload."""
+    rows: list[dict] = []
+    by_workload: dict[tuple, list[dict]] = {}
+    for record in records:
+        config = record["config"]
+        key = (config["dataset"], config["n"], config["n_queries"])
+        by_workload.setdefault(key, []).append(_record_row(record))
+    for key in sorted(by_workload, key=lambda k: str(k)):
+        group = sorted(
+            by_workload[key],
+            key=lambda r: (r["engine"] != "per-query", r["engine"], r["n_jobs"]),
+        )
+        reference = next(
+            r for r in group if r["engine"] == "per-query" and r["n_jobs"] == 1
+        )
+        reference_sha = reference["labels_sha256"]
+        reference_rate = reference["queries_per_s"]
+        for row in group:
+            row["labels_match_per_query"] = row["labels_sha256"] == reference_sha
+            row["speedup_vs_per_query"] = row["queries_per_s"] / reference_rate
+            del row["labels_sha256"]
+        rows.extend(group)
     return rows
 
 
-def _bench_parallel(
-    dataset: str = "gauss", n: int = 50_000,
-    n_queries: int = PARALLEL_QUERIES, seed: int = 0,
-) -> list[dict]:
-    """n_jobs=1 vs 2 above the spawn-amortization floor."""
-    clf, data = _fit(dataset, n, seed)
-    queries = _query_block(data, n_queries, np.random.default_rng(seed + 2))
-    rows = []
-    reference_labels: np.ndarray | None = None
-    for n_jobs in (1, 2):
-        clf.classify(queries[:8], n_jobs=1)  # warm up
-        with Timer() as timer:
-            labels = clf.predict(queries, engine="batch", n_jobs=n_jobs)
-        if reference_labels is None:
-            reference_labels = labels
-        rows.append({
-            "section": "parallel",
-            "dataset": dataset, "n": n, "dim": data.shape[1],
-            "n_queries": n_queries, "engine": "batch", "n_jobs": n_jobs,
-            "parallel_fallback": _falls_back("batch", n_jobs, n_queries),
-            "seconds": timer.elapsed,
-            "queries_per_s": throughput(n_queries, timer.elapsed),
-            "labels_match_per_query": bool(np.array_equal(labels, reference_labels)),
-        })
-    base = rows[0]["queries_per_s"]
+def _parallel_rows(records: list[dict]) -> list[dict]:
+    rows = sorted((_record_row(r) for r in records), key=lambda r: r["n_jobs"])
+    reference_sha = rows[0]["labels_sha256"]
+    reference_rate = rows[0]["queries_per_s"]
     for row in rows:
-        row["speedup_vs_serial"] = row["queries_per_s"] / base
+        row["section"] = "parallel"
+        row["labels_match_per_query"] = row["labels_sha256"] == reference_sha
+        row["speedup_vs_serial"] = row["queries_per_s"] / reference_rate
+        del row["labels_sha256"], row["kernels_per_query"]
     return rows
 
 
@@ -175,43 +200,53 @@ def _bench_block_sizes(
     dataset: str = "gauss", n: int = 50_000,
     n_queries: int = BLOCK_SWEEP_QUERIES, seed: int = 0,
 ) -> list[dict]:
-    """Batch-engine throughput as a function of the traversal block size."""
-    clf, data = _fit(dataset, n, seed)
-    queries = _query_block(data, n_queries, np.random.default_rng(seed + 3))
+    """Batch-engine throughput as a function of the traversal block size.
+
+    Block size is a tuning knob of one engine, not a scenario axis, so
+    this section measures directly through the runner's primitives
+    (same fit, same query block, same timed region as a trial).
+    """
+    trial = Trial(
+        experiment="bench", dataset=dataset, n=n, n_queries=n_queries,
+        engine="batch", seed=seed,
+    )
+    clf, data, queries = fit_for_trial(trial)
     rows = []
     for block_size in BLOCK_SIZES:
         clf.config = clf.config.with_updates(batch_block_size=block_size)
-        clf.predict(queries[:8])  # warm up
-        with Timer() as timer:
-            clf.predict(queries, engine="batch", n_jobs=1)
+        metrics, __ = measure_engine(clf, queries, trial)
         rows.append({
             "section": "block_size",
             "dataset": dataset, "n": n, "dim": data.shape[1],
             "n_queries": n_queries, "engine": "batch", "n_jobs": 1,
             "block_size": block_size,
-            "seconds": timer.elapsed,
-            "queries_per_s": throughput(n_queries, timer.elapsed),
+            "seed": seed,
+            "seconds": metrics["seconds"],
+            "queries_per_s": metrics["queries_per_s"],
         })
     clf.config = clf.config.with_updates(batch_block_size=DEFAULT_BLOCK_SIZE)
     return rows
 
 
-def run_benchmark(workloads=WORKLOADS) -> list[dict]:
+def run_benchmark(workloads=WORKLOADS, store: ResultsStore | None = None) -> list[dict]:
     rows = []
-    for dataset, n, n_queries in workloads:
-        print(f"\n[{dataset} n={n}]")
-        for row in _bench_workload(dataset, n, n_queries):
-            rows.append(row)
-            print(
-                f"  {row['engine']:>9} n_jobs={row['n_jobs']}: "
-                f"{human_rate(row['queries_per_s'])} "
-                f"({row['speedup_vs_per_query']:.2f}x, "
-                f"labels_match={row['labels_match_per_query']}, "
-                f"fallback={row['parallel_fallback']})"
-            )
+    engine_rows = _engine_rows(_run_spec(_engine_spec(workloads), store))
+    current = None
+    for row in engine_rows:
+        if (row["dataset"], row["n"]) != current:
+            current = (row["dataset"], row["n"])
+            print(f"\n[{row['dataset']} n={row['n']}]")
+        rows.append(row)
+        print(
+            f"  {row['engine']:>9} n_jobs={row['n_jobs']}: "
+            f"{human_rate(row['queries_per_s'])} "
+            f"({row['speedup_vs_per_query']:.2f}x, "
+            f"labels_match={row['labels_match_per_query']}, "
+            f"fallback={row['parallel_fallback']})"
+        )
 
     print(f"\n[parallel section: gauss n=50k, {PARALLEL_QUERIES} queries]")
-    for row in _bench_parallel():
+    for row in _parallel_rows(_run_spec(_parallel_spec(), store)):
         rows.append(row)
         print(
             f"  batch n_jobs={row['n_jobs']}: {human_rate(row['queries_per_s'])} "
@@ -227,8 +262,8 @@ def run_benchmark(workloads=WORKLOADS) -> list[dict]:
         )
 
     # The bench-gate's smoke workload, produced by the exact code the
-    # gate re-runs (repro.bench.gate) so baseline and measurement can
-    # never drift apart structurally.
+    # gate re-runs (repro.bench.gate, itself on the orchestrator's
+    # runner) so baseline and measurement can never drift structurally.
     print("\n[gate smoke workload]")
     for row in traversal_smoke_rows():
         rows.append(row)
@@ -236,6 +271,18 @@ def run_benchmark(workloads=WORKLOADS) -> list[dict]:
             f"  {row['engine']:>9}: {human_rate(row['queries_per_s'])} "
             f"({row['speedup_vs_per_query']:.2f}x, "
             f"{row['kernels_per_query']:.1f} kernels/query)"
+        )
+    return rows
+
+
+def run_smoke(store: ResultsStore | None = None) -> list[dict]:
+    """CI-sized pass: the smoke workload grid only, report not written."""
+    rows = _engine_rows(_run_spec(_engine_spec(SMOKE_WORKLOADS), store))
+    for row in rows:
+        print(
+            f"  {row['engine']:>9} n_jobs={row['n_jobs']}: "
+            f"{human_rate(row['queries_per_s'])} "
+            f"(labels_match={row['labels_match_per_query']})"
         )
     return rows
 
@@ -272,8 +319,8 @@ def test_batch_engine_speedup(benchmark):
     # pre-fallback regression: 2.15x with a pool vs 4.36x serial).
     gauss_parallel_small = next(
         r for r in rows
-        if r["dataset"] == "gauss" and r["n_jobs"] == 2
-        and "speedup_vs_per_query" in r
+        if r["dataset"] == "gauss" and r["engine"] == "batch"
+        and r["n_jobs"] == 2 and "speedup_vs_per_query" in r
     )
     assert gauss_parallel_small["parallel_fallback"]
     assert gauss_parallel_small["speedup_vs_per_query"] >= 3.0
@@ -288,5 +335,12 @@ def test_batch_engine_speedup(benchmark):
 
 
 if __name__ == "__main__":
-    write_report(run_benchmark())
-    print(f"\nwrote {REPORT_PATH}")
+    import sys
+
+    if "--smoke" in sys.argv:
+        smoke_rows = run_smoke()
+        assert all(r["labels_match_per_query"] for r in smoke_rows)
+        print(f"\nsmoke OK ({len(smoke_rows)} rows, report not written)")
+    else:
+        write_report(run_benchmark())
+        print(f"\nwrote {REPORT_PATH}")

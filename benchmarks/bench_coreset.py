@@ -1,44 +1,64 @@
 """Coreset compression: classify against a sketch vs the full index.
 
-For each workload and compression level this fits one uncompressed
-classifier and one per coreset construction, times the same query block
-through ``classify`` (batch engine, serial), and records the result in
-``BENCH_coreset.json`` at the repo root. Alongside throughput it reports
-the quality ledger compression is accountable to:
+A thin wrapper over the experiment orchestrator: the workload x
+construction x fraction grid is one declarative
+:class:`~repro.orchestrator.spec.ExperimentSpec` (coresets are a native
+grid axis), run through the
+:class:`~repro.orchestrator.scheduler.TrialScheduler` with
+``record_labels=True`` so every trial's label vector lands in the
+results store. The trial runner already computes the certificate ledger
+per coreset trial (``k``, ``eta``, ``eta_empirical``, ``eta_applied``,
+``certified``, ``rounds``); the only thing the wrapper adds is the
+*exact* full-data density of the query block — which needs the data and
+the fitted kernel in-process, via the same
+:func:`~repro.orchestrator.runner.fit_for_trial` the trials themselves
+used — to derive the band-membership quality columns:
 
 - ``label_agreement``: fraction of queries labeled identically to the
   uncompressed classifier;
 - ``agreement_outside_band``: the same fraction restricted to queries
-  whose *exact* full-data density lies outside the allowed widened band
+  whose exact full-data density lies outside the allowed widened band
   ``|f_X(q) - t| <= eps * t + 2 * eta`` — the only region where the
   certificate permits a flip (eta of estimate error plus eta of
   threshold shift plus the paper's eps-tolerance). Must be 1.0 whenever
   the certificate ``eta`` actually bounds the sketch error;
 - ``fraction_in_band``: how much of the query block the widened band
-  swallows (small for a sharp certificate, 1.0 when ``eta`` is so coarse
-  the guarantee is vacuous);
-- ``eta_empirical``: measured ``max |f_X - f_S|`` over probes
-  (:func:`repro.coresets.validate.empirical_eta`), to show the
-  certificate's slack.
+  swallows (small for a sharp certificate, 1.0 when ``eta`` is so
+  coarse the guarantee is vacuous);
+- ``eta_empirical``: measured ``max |f_X - f_S|`` over probes, to show
+  the certificate's slack.
 
-Run standalone (``make bench-coreset``) or under pytest.
+Results go to ``BENCH_coreset.json`` as always, and every run also
+leaves build-stamped trial records in ``.repro-bench/``.
+
+Run standalone (``make bench-coreset``), with ``--smoke`` for a
+CI-sized pass that writes no report, or under pytest.
 """
 
 from __future__ import annotations
 
 import json
 import math
+import time
 from pathlib import Path
 
 import numpy as np
 
-from repro.bench.harness import Timer, human_rate, throughput
+from repro.bench.harness import human_rate
 from repro.bench.reporting import report_metadata
 from repro.core.classifier import TKDCClassifier
 from repro.core.config import TKDCConfig
-from repro.coresets.validate import empirical_eta, exact_density
+from repro.coresets.validate import exact_density
 from repro.io.atomic import atomic_write_text
 from repro.datasets.registry import load
+from repro.orchestrator import (
+    ExperimentSpec,
+    ResultsStore,
+    SchedulerPolicy,
+    TrialScheduler,
+)
+from repro.orchestrator.runner import fit_for_trial
+from repro.orchestrator.spec import Trial
 
 REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_coreset.json"
 
@@ -60,99 +80,142 @@ FRACTIONS = (0.01, 0.05, 0.20)
 SMOKE_WORKLOADS = (("gauss", 5_000, 200),)
 SMOKE_FRACTIONS = (0.05,)
 
+#: Per-trial deadline (merge-reduce at n=50k is the slow fit).
+TRIAL_DEADLINE = 1_800.0
 
-def _query_block(data: np.ndarray, n_queries: int, rng: np.random.Generator) -> np.ndarray:
-    """Half in-distribution points, half uniform box draws (outlier mix)."""
-    inliers = data[rng.choice(data.shape[0], size=n_queries // 2, replace=False)]
-    box = rng.uniform(
-        data.min(axis=0), data.max(axis=0),
-        size=(n_queries - n_queries // 2, data.shape[1]),
+
+def _coreset_axis(fractions) -> tuple[tuple[str | None, float], ...]:
+    """The grid axis: uncompressed first, then method x fraction."""
+    return ((None, 1.0),) + tuple(
+        (method, fraction) for fraction in fractions for method in METHODS
     )
-    return rng.permutation(np.concatenate([inliers, box]))
 
 
-def _bench_workload(
-    dataset: str, n: int, n_queries: int, fractions=FRACTIONS, seed: int = 0
+def _spec(workloads, fractions) -> ExperimentSpec:
+    return ExperimentSpec(
+        name="bench-coreset",
+        description="coreset constructions x fractions vs uncompressed, "
+                    "with labels recorded for the agreement ledger",
+        workloads=tuple(workloads),
+        engines=("batch",),
+        coresets=_coreset_axis(fractions),
+        record_labels=True,
+    )
+
+
+def _run_spec(spec: ExperimentSpec, store: ResultsStore | None = None) -> list[dict]:
+    """Run a spec's trials sequentially; returns its store records."""
+    store = store if store is not None else ResultsStore()
+    experiment = f"{spec.name}-{time.strftime('%Y%m%d-%H%M%S')}"
+    summary = TrialScheduler(
+        store, SchedulerPolicy(jobs=1, deadline=TRIAL_DEADLINE)
+    ).run(spec, experiment)
+    if not summary.complete:
+        raise RuntimeError(
+            f"benchmark trials failed: {summary.render()} — "
+            f"`tkdc bench run --resume {experiment}` retries them"
+        )
+    return store.records(experiment)
+
+
+def _metric(metrics: dict, key: str) -> float:
+    """A stored metric as a float (the store spells infinity "inf")."""
+    value = metrics[key]
+    return math.inf if value == "inf" else float(value)
+
+
+def _workload_rows(
+    dataset: str, n: int, records: list[dict], seed: int = 0
 ) -> list[dict]:
-    data = load(dataset, n=n, seed=seed)
-    rng = np.random.default_rng(seed + 1)
-    queries = _query_block(data, n_queries, rng)
-    base_config = TKDCConfig(
-        p=0.01, seed=seed, refine_threshold=False, bootstrap_s0=min(2000, n)
+    """Legacy benchmark rows for one workload's store records."""
+    base = next(
+        r for r in records if r["config"]["coreset"] is None
     )
-
-    base = TKDCClassifier(base_config).fit(data)
-    base.tree.flatten()
-    base.predict(queries[:8])  # warm up
-    with Timer() as timer:
-        base_labels = base.predict(queries)
-    base_rate = throughput(n_queries, timer.elapsed)
-    t_base = base.threshold.value
-    epsilon = base_config.epsilon
+    n_queries = base["config"]["n_queries"]
+    base_metrics = base["metrics"]
+    base_rate = base_metrics["queries_per_s"]
+    base_labels = np.asarray(base_metrics["labels"], dtype=np.int64)
+    t_base = base_metrics["threshold"]
+    epsilon = base["config"]["epsilon"]
 
     # Exact full-data densities of the query block, for band membership.
-    scaled_data = base.kernel.scale(data)
-    f_exact = exact_density(scaled_data, base.kernel, base.kernel.scale(queries))
+    # Same fit, data draw, and query block as the base trial itself
+    # (fit_for_trial is deterministic in the trial seed), re-done here
+    # because the kernel object can't travel through a JSONL record.
+    base_trial = Trial(
+        experiment="bench", dataset=dataset, n=n, n_queries=n_queries,
+        engine="batch", seed=seed,
+    )
+    clf, data, queries = fit_for_trial(base_trial)
+    scaled_data = clf.kernel.scale(data)
+    f_exact = exact_density(scaled_data, clf.kernel, clf.kernel.scale(queries))
 
     rows = [{
-        "dataset": dataset, "n": n, "dim": data.shape[1],
+        "dataset": dataset, "n": n, "dim": base_metrics["dim"],
         "n_queries": n_queries, "method": "none", "fraction": 1.0,
         "k": n, "eta": 0.0, "eta_empirical": 0.0, "eta_applied": 0.0,
         "certified": True, "rounds": 0,
-        "threshold": t_base, "seconds": timer.elapsed,
+        "threshold": t_base, "seed": seed,
+        "seconds": base_metrics["seconds"],
         "queries_per_s": base_rate, "speedup_vs_uncompressed": 1.0,
         "label_agreement": 1.0, "fraction_in_band": 0.0,
         "agreement_outside_band": 1.0,
     }]
-    for fraction in fractions:
-        for method in METHODS:
-            config = base_config.with_updates(
-                coreset=method, coreset_fraction=fraction
-            )
-            with Timer() as fit_timer:
-                clf = TKDCClassifier(config).fit(data)
-            clf.tree.flatten()
-            clf.predict(queries[:8])  # warm up
-            with Timer() as timer:
-                labels = clf.predict(queries)
-            rate = throughput(n_queries, timer.elapsed)
-
-            coreset = clf.coreset_
-            eta = coreset.eta
-            eta_emp = empirical_eta(
-                scaled_data, coreset, clf.kernel,
-                rng=np.random.default_rng(seed + 2),
-            )
-            # A flip is only permitted where estimate error (eta),
-            # threshold shift (eta again) and the paper's tolerance
-            # (eps * t) can together carry f_X across the threshold.
-            band = epsilon * t_base + 2.0 * eta
-            outside = np.abs(f_exact - t_base) > band
-            agree = labels == base_labels
-            rows.append({
-                "dataset": dataset, "n": n, "dim": data.shape[1],
-                "n_queries": n_queries, "method": method, "fraction": fraction,
-                "k": coreset.k, "eta": eta, "eta_empirical": eta_emp,
-                "eta_applied": clf.eta_applied, "certified": clf.certified,
-                "rounds": coreset.rounds,
-                "threshold": clf.threshold.value,
-                "fit_seconds": fit_timer.elapsed,
-                "seconds": timer.elapsed, "queries_per_s": rate,
-                "speedup_vs_uncompressed": rate / base_rate,
-                "label_agreement": float(np.mean(agree)),
-                "fraction_in_band": float(np.mean(~outside)),
-                "agreement_outside_band": (
-                    float(np.mean(agree[outside])) if outside.any() else 1.0
-                ),
-            })
+    compressed = sorted(
+        (r for r in records if r["config"]["coreset"] is not None),
+        key=lambda r: (r["config"]["coreset_fraction"], r["config"]["coreset"]),
+    )
+    for record in compressed:
+        config = record["config"]
+        metrics = record["metrics"]
+        labels = np.asarray(metrics["labels"], dtype=np.int64)
+        eta = _metric(metrics, "eta")
+        # A flip is only permitted where estimate error (eta), threshold
+        # shift (eta again) and the paper's tolerance (eps * t) can
+        # together carry f_X across the threshold.
+        band = epsilon * t_base + 2.0 * eta
+        outside = np.abs(f_exact - t_base) > band
+        agree = labels == base_labels
+        rows.append({
+            "dataset": dataset, "n": n, "dim": metrics["dim"],
+            "n_queries": n_queries,
+            "method": config["coreset"], "fraction": config["coreset_fraction"],
+            "k": metrics["k"], "eta": eta,
+            "eta_empirical": _metric(metrics, "eta_empirical"),
+            "eta_applied": _metric(metrics, "eta_applied"),
+            "certified": metrics["certified"],
+            "rounds": metrics["rounds"],
+            "threshold": metrics["threshold"],
+            "seed": record["seed"],
+            "fit_seconds": metrics["fit_seconds"],
+            "seconds": metrics["seconds"],
+            "queries_per_s": metrics["queries_per_s"],
+            "speedup_vs_uncompressed": metrics["queries_per_s"] / base_rate,
+            "label_agreement": float(np.mean(agree)),
+            "fraction_in_band": float(np.mean(~outside)),
+            "agreement_outside_band": (
+                float(np.mean(agree[outside])) if outside.any() else 1.0
+            ),
+        })
     return rows
 
 
-def run_benchmark(workloads=WORKLOADS, fractions=FRACTIONS) -> list[dict]:
+def run_benchmark(
+    workloads=WORKLOADS, fractions=FRACTIONS,
+    store: ResultsStore | None = None,
+) -> list[dict]:
+    records = _run_spec(_spec(workloads, fractions), store)
+    by_workload: dict[tuple[str, int], list[dict]] = {}
+    for record in records:
+        config = record["config"]
+        by_workload.setdefault(
+            (config["dataset"], config["n"]), []
+        ).append(record)
+
     rows = []
-    for dataset, n, n_queries in workloads:
+    for dataset, n, __ in workloads:
         print(f"\n[{dataset} n={n}]")
-        for row in _bench_workload(dataset, n, n_queries, fractions=fractions):
+        for row in _workload_rows(dataset, n, by_workload[(dataset, n)]):
             rows.append(row)
             print(
                 f"  {row['method']:>12} k/n={row['fraction']:.0%}: "

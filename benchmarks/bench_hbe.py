@@ -132,6 +132,7 @@ def _bench_dim(
         "dim": dim,
         "bandwidth_scale": BANDWIDTH_SCALE[dim],
         "n_queries": n_queries,
+        "seed": seed,
         "threshold": t_base,
         "hash_depth": index.tables.depth,
         "tables": index.n_tables,

@@ -68,7 +68,7 @@ def run_benchmark(seed: int = 0) -> list[dict]:
             lambda: clf.predict(queries, engine="batch", n_jobs=1)
         )
         rows.append({
-            "mode": "metrics_off", "seconds": off_seconds,
+            "mode": "metrics_off", "seed": seed, "seconds": off_seconds,
             "queries_per_s": throughput(N_QUERIES, off_seconds),
             "overhead_vs_off": 0.0, "labels_match_off": True,
         })
@@ -78,7 +78,7 @@ def run_benchmark(seed: int = 0) -> list[dict]:
             lambda: clf.predict(queries, engine="batch", n_jobs=1)
         )
         rows.append({
-            "mode": "metrics_on", "seconds": on_seconds,
+            "mode": "metrics_on", "seed": seed, "seconds": on_seconds,
             "queries_per_s": throughput(N_QUERIES, on_seconds),
             "overhead_vs_off": on_seconds / off_seconds - 1.0,
             "labels_match_off": bool(np.array_equal(on_labels, off_labels)),
@@ -92,7 +92,7 @@ def run_benchmark(seed: int = 0) -> list[dict]:
 
         trace_seconds, trace_labels = _median_time(traced)
         rows.append({
-            "mode": "tracing_on", "seconds": trace_seconds,
+            "mode": "tracing_on", "seed": seed, "seconds": trace_seconds,
             "queries_per_s": throughput(N_QUERIES, trace_seconds),
             "overhead_vs_off": trace_seconds / off_seconds - 1.0,
             "labels_match_off": bool(

@@ -193,6 +193,7 @@ def drive(
     return {
         "clients": n_threads,
         "requests": total,
+        "seed": SEED,
         "deadline_ms": deadline_ms,
         "wall_s": round(wall, 3),
         "answered_per_s": round(counts["ok"] / wall, 1) if wall else 0.0,

@@ -43,9 +43,16 @@ machine-tolerant metrics against those baselines:
 
 The same :func:`traversal_smoke_rows` produces both the baseline's
 smoke section (via ``benchmarks/bench_batch_traversal.py``) and the
-gate's fresh measurement, so the two sides can never diverge by
-construction. Run via ``make bench-gate`` or ``scripts/bench_gate.py``;
-exits non-zero on any failed check.
+gate's fresh measurement — and both now measure through the
+orchestrator's one-code-path runner
+(:mod:`repro.orchestrator.runner`), so the two sides can never diverge
+by construction. With ``--from-store``, the fresh measurement is
+replaced by the newest matching trial records in the orchestrator's
+results store (``.repro-bench/``) — refused loudly when their build
+identity is not the current HEAD, because comparing a baseline against
+stale-build numbers would let a regression gate itself in. Run via
+``make bench-gate`` or ``scripts/bench_gate.py``; exits non-zero on any
+failed check.
 """
 
 from __future__ import annotations
@@ -53,17 +60,19 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 
 import numpy as np
 
-from repro.bench.harness import Timer, throughput
 from repro.core.classifier import TKDCClassifier
 from repro.core.config import TKDCConfig
 from repro.coresets.validate import exact_density
 from repro.datasets.registry import load
 from repro.obs.buildinfo import build_info
+from repro.orchestrator.runner import fit_for_trial, measure_engine, query_block
+from repro.orchestrator.spec import Trial
+from repro.orchestrator.store import DEFAULT_STORE_ROOT, ResultsStore
 
 #: Repo root — where the committed ``BENCH_*.json`` baselines live.
 REPO_ROOT = Path(__file__).resolve().parents[3]
@@ -139,20 +148,8 @@ class GateCheck:
         )
 
 
-def query_block(
-    data: np.ndarray, n_queries: int, rng: np.random.Generator
-) -> np.ndarray:
-    """Half in-distribution points, half uniform box draws (outlier mix).
-
-    Identical to the block construction in the standalone benchmarks so
-    smoke reruns see the same query distribution the baselines did.
-    """
-    inliers = data[rng.choice(data.shape[0], size=n_queries // 2, replace=False)]
-    box = rng.uniform(
-        data.min(axis=0), data.max(axis=0),
-        size=(n_queries - n_queries // 2, data.shape[1]),
-    )
-    return rng.permutation(np.concatenate([inliers, box]))
+class GateStoreError(RuntimeError):
+    """``--from-store`` cannot produce trustworthy gate rows."""
 
 
 def traversal_smoke_rows(
@@ -166,26 +163,24 @@ def traversal_smoke_rows(
     Shared between ``benchmarks/bench_batch_traversal.py`` (which
     commits these rows into the baseline under ``section: "smoke"``)
     and :func:`run_gate` (which re-measures them), so both sides of the
-    comparison come from the same code path.
+    comparison come from the same code path. The measurement itself is
+    the orchestrator's trial runner — one fit, then one
+    :func:`~repro.orchestrator.runner.measure_engine` pass per engine —
+    the exact functions a ``tkdc bench run`` trial executes.
     """
-    data = load(dataset, n=n, seed=seed)
-    config = TKDCConfig(
-        p=0.01, seed=seed, refine_threshold=False, bootstrap_s0=min(2000, n)
+    base_trial = Trial(
+        experiment="gate", dataset=dataset, n=n, n_queries=n_queries,
+        engine="per-query", seed=seed,
     )
-    clf = TKDCClassifier(config).fit(data)
-    clf.tree.flatten()
-    queries = query_block(data, n_queries, np.random.default_rng(seed + 1))
-
+    clf, data, queries = fit_for_trial(base_trial)
     rows: list[dict] = []
-    reference_labels: np.ndarray | None = None
+    reference_digest: str | None = None
     for engine in ("per-query", "batch"):
-        clf.predict(queries[:8], engine=engine, n_jobs=1)  # warm up
-        kernels_before = clf.stats.kernel_evaluations
-        with Timer() as timer:
-            labels = clf.predict(queries, engine=engine, n_jobs=1)
-        kernels = clf.stats.kernel_evaluations - kernels_before
-        if reference_labels is None:
-            reference_labels = labels
+        metrics, __ = measure_engine(
+            clf, queries, replace(base_trial, engine=engine)
+        )
+        if reference_digest is None:
+            reference_digest = metrics["labels_sha256"]
         rows.append({
             "section": "smoke",
             "dataset": dataset,
@@ -194,11 +189,109 @@ def traversal_smoke_rows(
             "n_queries": n_queries,
             "engine": engine,
             "n_jobs": 1,
-            "seconds": timer.elapsed,
-            "queries_per_s": throughput(n_queries, timer.elapsed),
-            "kernels_per_query": kernels / n_queries,
-            "labels_match_per_query": bool(
-                np.array_equal(labels, reference_labels)
+            "seed": seed,
+            "seconds": metrics["seconds"],
+            "queries_per_s": metrics["queries_per_s"],
+            "kernels_per_query": metrics["kernels_per_query"],
+            "labels_match_per_query": (
+                metrics["labels_sha256"] == reference_digest
+            ),
+        })
+    base = rows[0]["queries_per_s"]
+    for row in rows:
+        row["speedup_vs_per_query"] = row["queries_per_s"] / base
+    return rows
+
+
+def _smoke_record_matches(config: dict, seed: int, record_seed: int) -> bool:
+    return (
+        config.get("dataset") == SMOKE_DATASET
+        and config.get("n") == SMOKE_N
+        and config.get("n_queries") == SMOKE_QUERIES
+        and config.get("engine") in ("per-query", "batch")
+        and config.get("coreset") is None
+        and config.get("fault_plan") is None
+        and config.get("jobs") == 1
+        and record_seed == seed
+    )
+
+
+def traversal_rows_from_store(
+    store_root: Path | str = DEFAULT_STORE_ROOT,
+    experiment: str | None = None,
+    seed: int = 0,
+) -> list[dict]:
+    """Gate smoke rows from the orchestrator's results store.
+
+    Finds the newest experiment (or the named one) holding completed
+    smoke-scenario trials for both engines at this seed, and converts
+    them to the same row shape :func:`traversal_smoke_rows` measures
+    fresh. Refuses loudly — :class:`GateStoreError` — when no such
+    records exist or when their recorded build identity differs from
+    the current checkout: gating against another build's numbers would
+    certify the wrong code.
+    """
+    store = ResultsStore(store_root)
+
+    def smoke_records(records: list[dict]) -> dict[str, dict]:
+        by_engine: dict[str, dict] = {}
+        for record in records:
+            if record.get("status") != "done":
+                continue
+            config = record.get("config", {})
+            if _smoke_record_matches(config, seed, record.get("seed")):
+                by_engine[config["engine"]] = record
+        return by_engine
+
+    if experiment is None:
+        experiment = store.latest_experiment(
+            lambda records: len(smoke_records(records)) == 2
+        )
+        if experiment is None:
+            raise GateStoreError(
+                f"no experiment under {store.root} holds completed smoke "
+                f"trials for both engines at seed {seed} — run "
+                "`tkdc bench run --suite smoke` first"
+            )
+    by_engine = smoke_records(store.records(experiment))
+    missing = [e for e in ("per-query", "batch") if e not in by_engine]
+    if missing:
+        raise GateStoreError(
+            f"experiment {experiment!r} has no completed smoke trial for "
+            f"engine(s) {', '.join(missing)} at seed {seed} — run "
+            "`tkdc bench run --suite smoke` (or resume it) first"
+        )
+    head = build_info()["git"]
+    for record in by_engine.values():
+        recorded = record.get("build", {}).get("git", "unknown")
+        if recorded != head:
+            raise GateStoreError(
+                f"experiment {experiment!r} was recorded on build "
+                f"{recorded}, but HEAD is {head} — refusing to gate "
+                "against another build's numbers; re-run "
+                "`tkdc bench run --suite smoke` on this checkout"
+            )
+    print(f"bench-gate: traversal rows from store experiment "
+          f"{experiment!r} (build {head})")
+    rows = []
+    reference_digest = by_engine["per-query"]["metrics"]["labels_sha256"]
+    for engine in ("per-query", "batch"):
+        record = by_engine[engine]
+        metrics = record["metrics"]
+        rows.append({
+            "section": "smoke",
+            "dataset": SMOKE_DATASET,
+            "n": SMOKE_N,
+            "dim": metrics.get("dim"),
+            "n_queries": SMOKE_QUERIES,
+            "engine": engine,
+            "n_jobs": 1,
+            "seed": seed,
+            "seconds": metrics["seconds"],
+            "queries_per_s": metrics["queries_per_s"],
+            "kernels_per_query": metrics["kernels_per_query"],
+            "labels_match_per_query": (
+                metrics["labels_sha256"] == reference_digest
             ),
         })
     base = rows[0]["queries_per_s"]
@@ -255,10 +348,13 @@ def load_report(baseline_dir: Path, name: str) -> dict | None:
 
 
 def _check_traversal(
-    baseline: dict | None, tolerances: GateTolerances, seed: int
+    baseline: dict | None,
+    tolerances: GateTolerances,
+    seed: int,
+    rows: list[dict] | None = None,
 ) -> list[GateCheck]:
     checks: list[GateCheck] = []
-    measured = traversal_smoke_rows(seed=seed)
+    measured = rows if rows is not None else traversal_smoke_rows(seed=seed)
 
     for row in measured:
         checks.append(GateCheck(
@@ -552,12 +648,26 @@ def run_gate(
     tolerances: GateTolerances | None = None,
     seed: int = 0,
     skip_coreset: bool = False,
+    from_store: bool = False,
+    store_root: Path | str = DEFAULT_STORE_ROOT,
+    store_experiment: str | None = None,
 ) -> list[GateCheck]:
-    """Run every gate check; returns the full list of verdicts."""
+    """Run every gate check; returns the full list of verdicts.
+
+    With ``from_store=True`` the traversal smoke rows come from the
+    orchestrator's results store instead of a fresh measurement —
+    raising :class:`GateStoreError` when no current-build records
+    qualify.
+    """
     baseline_dir = Path(baseline_dir)
     tolerances = tolerances if tolerances is not None else GateTolerances()
+    stored_rows = (
+        traversal_rows_from_store(store_root, store_experiment, seed)
+        if from_store else None
+    )
     checks = _check_traversal(
-        load_report(baseline_dir, "batch_traversal"), tolerances, seed
+        load_report(baseline_dir, "batch_traversal"), tolerances, seed,
+        rows=stored_rows,
     )
     if not skip_coreset:
         checks.extend(_check_coreset(
@@ -589,6 +699,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--skip-coreset", action="store_true",
         help="skip the coreset agreement check (traversal only)",
+    )
+    parser.add_argument(
+        "--from-store", nargs="?", const="", default=None,
+        metavar="EXPERIMENT",
+        help="take the traversal smoke rows from the orchestrator's "
+             "results store instead of measuring fresh — from this "
+             "experiment, or the newest matching one when no name is "
+             "given; refused loudly unless the records' build matches "
+             "HEAD",
+    )
+    parser.add_argument(
+        "--store", default=str(DEFAULT_STORE_ROOT),
+        help="results store root for --from-store (default: .repro-bench)",
     )
     parser.add_argument(
         "--min-speedup-fraction", type=float,
@@ -634,20 +757,27 @@ def main(argv: list[str] | None = None) -> int:
     info = build_info()
     print(f"bench-gate: repro {info['version']} ({info['git']}), "
           f"python {info['python']}, baselines from {args.baseline_dir}")
-    checks = run_gate(
-        baseline_dir=args.baseline_dir,
-        tolerances=GateTolerances(
-            min_speedup_fraction=args.min_speedup_fraction,
-            kernels_rel_tol=args.kernels_rel_tol,
-            agreement_slack=args.agreement_slack,
-            fleet_scaling_floor=args.fleet_scaling_floor,
-            streaming_label_lag_ceiling=args.streaming_label_lag_ceiling,
-            recovery_seconds_ceiling=args.recovery_seconds_ceiling,
-            hbe_speedup_floor=args.hbe_speedup_floor,
-        ),
-        seed=args.seed,
-        skip_coreset=args.skip_coreset,
-    )
+    try:
+        checks = run_gate(
+            baseline_dir=args.baseline_dir,
+            tolerances=GateTolerances(
+                min_speedup_fraction=args.min_speedup_fraction,
+                kernels_rel_tol=args.kernels_rel_tol,
+                agreement_slack=args.agreement_slack,
+                fleet_scaling_floor=args.fleet_scaling_floor,
+                streaming_label_lag_ceiling=args.streaming_label_lag_ceiling,
+                recovery_seconds_ceiling=args.recovery_seconds_ceiling,
+                hbe_speedup_floor=args.hbe_speedup_floor,
+            ),
+            seed=args.seed,
+            skip_coreset=args.skip_coreset,
+            from_store=args.from_store is not None,
+            store_root=args.store,
+            store_experiment=args.from_store or None,
+        )
+    except GateStoreError as exc:
+        print(f"bench-gate: {exc}", file=sys.stderr)
+        return 2
     for check in checks:
         print(check.render())
     failed = [check for check in checks if not check.ok]

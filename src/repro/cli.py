@@ -8,6 +8,8 @@ Usage examples::
     python -m repro demo
     python -m repro explain queries.csv --model model.tkdc
     python -m repro metrics-dump --model model.tkdc --queries queries.csv
+    python -m repro bench run --suite smoke
+    python -m repro bench report smoke-a smoke-b --format table
 """
 
 from __future__ import annotations
@@ -234,6 +236,10 @@ def main(argv: list[str] | None = None) -> int:
     _add_diagnose_parser(subparsers)
     _add_explain_parser(subparsers)
     _add_metrics_dump_parser(subparsers)
+    # The bench tree lives with the orchestrator package it drives.
+    from repro.orchestrator.cli import add_bench_parser
+
+    add_bench_parser(subparsers)
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -258,6 +264,10 @@ def main(argv: list[str] | None = None) -> int:
         return _explain(args)
     if args.command == "metrics-dump":
         return _metrics_dump(args)
+    if args.command == "bench":
+        from repro.orchestrator.cli import run_bench
+
+        return run_bench(args)
     return _run(args)
 
 

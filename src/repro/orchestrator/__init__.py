@@ -1,0 +1,47 @@
+"""Experiment orchestrator: spec-driven trials, crash-resume, reports.
+
+The benchmark scripts under ``benchmarks/`` each measure one workload
+and overwrite one ``BENCH_*.json`` snapshot. This package is the layer
+above them — the machinery that makes performance evidence
+*longitudinal*:
+
+- :mod:`repro.orchestrator.spec` — a declarative
+  :class:`~repro.orchestrator.spec.ExperimentSpec` expands a scenario
+  grid (dataset × n × d × engine × coreset × fault plan × seed) into
+  deterministic, individually-seeded
+  :class:`~repro.orchestrator.spec.Trial`\\ s, with named built-in
+  suites (``smoke``, ``engines``, ``coreset``, ``full``);
+- :mod:`repro.orchestrator.runner` — the one-code-path trial runner
+  shared with the bench gate's smoke measurement;
+- :mod:`repro.orchestrator.scheduler` — runs trials through the
+  supervised-pool machinery with per-trial deadlines and crash
+  isolation, journaling every trial so ``tkdc bench run --resume``
+  after a ``kill -9`` completes exactly the missing trials;
+- :mod:`repro.orchestrator.store` — an append-only on-disk results
+  store under ``.repro-bench/``, every record keyed by build identity,
+  trial seed, and config hash;
+- :mod:`repro.orchestrator.report` — compares two named experiments
+  with bootstrap confidence intervals and Mann–Whitney U significance
+  tests, rendered as a console table, csv/json, or a static HTML page.
+
+CLI entry points: ``tkdc bench run | report | list`` (see
+``docs/benchmarking.md``).
+"""
+
+from repro.orchestrator.spec import ExperimentSpec, Trial, SUITES
+from repro.orchestrator.store import ResultsStore
+from repro.orchestrator.scheduler import RunSummary, SchedulerPolicy, TrialScheduler
+from repro.orchestrator.report import ExperimentComparison, format_output, render_html
+
+__all__ = [
+    "ExperimentComparison",
+    "ExperimentSpec",
+    "ResultsStore",
+    "RunSummary",
+    "SchedulerPolicy",
+    "SUITES",
+    "Trial",
+    "TrialScheduler",
+    "format_output",
+    "render_html",
+]

@@ -1,0 +1,183 @@
+"""``tkdc bench``: the orchestrator's command-line surface.
+
+Three subcommands over the experiment store:
+
+- ``tkdc bench run`` — expand a suite or spec file into trials and run
+  them under supervision; ``--resume <experiment>`` finishes a killed
+  run by replaying its journal and re-running exactly the missing or
+  failed trials.
+- ``tkdc bench report`` — compare two named experiments scenario by
+  scenario (bootstrap CI + Mann–Whitney U), as a console table, csv,
+  json, or a self-contained HTML page.
+- ``tkdc bench list`` — what the store holds, newest first.
+
+Kept separate from :mod:`repro.cli` so importing the main CLI never
+pays for numpy-heavy orchestrator modules until a bench command
+actually runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.orchestrator.journal import JournalError
+from repro.orchestrator.report import (
+    DEFAULT_METRIC,
+    ExperimentComparison,
+    ReportError,
+    format_output,
+    render_html,
+)
+from repro.orchestrator.scheduler import (
+    SchedulerError,
+    SchedulerPolicy,
+    TrialScheduler,
+)
+from repro.orchestrator.spec import SUITES, ExperimentSpec
+from repro.orchestrator.store import DEFAULT_STORE_ROOT, ResultsStore, StoreError
+
+
+def add_bench_parser(subparsers: argparse._SubParsersAction) -> None:
+    """Attach the ``bench`` subcommand tree to the main CLI parser."""
+    bench = subparsers.add_parser(
+        "bench",
+        help="spec-driven benchmark experiments: run, resume, compare",
+        description="Experiment orchestrator: runs declarative trial grids "
+                    "under crash isolation with journaled resume, stores "
+                    "build-stamped results, and renders comparative reports "
+                    "(see docs/benchmarking.md).",
+    )
+    commands = bench.add_subparsers(dest="bench_command", required=True)
+
+    run = commands.add_parser(
+        "run", help="run a suite or spec file (or resume a killed run)"
+    )
+    source = run.add_mutually_exclusive_group()
+    source.add_argument("--suite", choices=sorted(SUITES),
+                        help="a built-in suite")
+    source.add_argument("--spec", metavar="FILE",
+                        help="a .json or .toml experiment spec file")
+    source.add_argument("--resume", metavar="EXPERIMENT",
+                        help="finish a killed/failed run: re-runs exactly "
+                             "the trials without a done record in the "
+                             "experiment's journal")
+    run.add_argument("--experiment", default=None,
+                     help="store this run under this name "
+                          "(default: the suite/spec name)")
+    run.add_argument("--store", default=str(DEFAULT_STORE_ROOT),
+                     help="results store root (default: .repro-bench)")
+    run.add_argument("--jobs", type=int, default=1,
+                     help="concurrent trial processes")
+    run.add_argument("--deadline", type=float, default=600.0,
+                     help="per-trial wall deadline in seconds")
+    run.add_argument("--max-retries", type=int, default=1,
+                     help="re-dispatches after a trial worker crash/stall")
+
+    report = commands.add_parser(
+        "report", help="compare two named experiments scenario by scenario"
+    )
+    report.add_argument("baseline", help="baseline experiment name (the 'a' side)")
+    report.add_argument("candidate", help="candidate experiment name (the 'b' side)")
+    report.add_argument("--store", default=str(DEFAULT_STORE_ROOT))
+    report.add_argument("--metric", default=DEFAULT_METRIC,
+                        help="metric to compare (higher is better; "
+                             f"default: {DEFAULT_METRIC})")
+    report.add_argument("--format", choices=("table", "csv", "json"),
+                        default="table", dest="fmt")
+    report.add_argument("--alpha", type=float, default=0.05,
+                        help="significance level for the verdict column")
+    report.add_argument("--html", metavar="PATH", default=None,
+                        help="also write a self-contained HTML report here")
+
+    listing = commands.add_parser(
+        "list", help="list the experiments the store holds"
+    )
+    listing.add_argument("--store", default=str(DEFAULT_STORE_ROOT))
+
+
+def run_bench(args: argparse.Namespace) -> int:
+    """Dispatch a parsed ``tkdc bench ...`` invocation."""
+    try:
+        if args.bench_command == "run":
+            return _bench_run(args)
+        if args.bench_command == "report":
+            return _bench_report(args)
+        return _bench_list(args)
+    except (SchedulerError, StoreError, ReportError, JournalError) as exc:
+        print(f"bench: {exc}", file=sys.stderr)
+        return 2
+
+
+def _bench_run(args: argparse.Namespace) -> int:
+    store = ResultsStore(Path(args.store))
+    policy = SchedulerPolicy(
+        jobs=args.jobs, deadline=args.deadline, max_retries=args.max_retries,
+    )
+    scheduler = TrialScheduler(store, policy)
+    if args.resume:
+        summary = scheduler.resume(args.resume)
+    else:
+        if args.suite:
+            spec = SUITES[args.suite]
+        elif args.spec:
+            spec = ExperimentSpec.from_file(args.spec)
+        else:
+            print("bench run: choose one of --suite, --spec, or --resume",
+                  file=sys.stderr)
+            return 2
+        summary = scheduler.run(spec, args.experiment)
+    return 0 if summary.complete else 1
+
+
+def _bench_report(args: argparse.Namespace) -> int:
+    store = ResultsStore(Path(args.store))
+    comparison = ExperimentComparison(
+        store, args.baseline, args.candidate,
+        metric=args.metric, alpha=args.alpha,
+    )
+    print(format_output(
+        comparison.rows, fmt=args.fmt,
+        title=f"{args.candidate} vs {args.baseline} on {args.metric}"
+              if args.fmt == "table" else None,
+    ), end="" if args.fmt != "table" else "\n")
+    if args.fmt == "table":
+        summary = comparison.summary
+        print(
+            f"\n{summary['n_scenarios']} scenarios: "
+            f"{summary['n_faster']} faster, {summary['n_slower']} slower, "
+            f"{summary['n_inconclusive']} inconclusive "
+            f"(alpha={summary['alpha']}); geomean speedup "
+            f"{summary['geomean_speedup']:.3f}x\n"
+            f"baseline build {summary['build_a'].get('git', '?')} | "
+            f"candidate build {summary['build_b'].get('git', '?')}"
+        )
+        for experiment, keys in summary["unmatched"].items():
+            if keys:
+                print(f"only in {experiment}: {', '.join(keys)}")
+    if args.html:
+        from repro.io.atomic import atomic_write_text
+
+        path = atomic_write_text(Path(args.html), render_html(comparison))
+        print(f"wrote HTML report to {path}", file=sys.stderr)
+    return 0
+
+
+def _bench_list(args: argparse.Namespace) -> int:
+    store = ResultsStore(Path(args.store))
+    summaries = store.experiments()
+    if not summaries:
+        print(f"no experiments under {store.root}")
+        return 0
+    rows = [
+        {
+            "experiment": s["experiment"],
+            "done": s["n_done"],
+            "failed": s["n_failed"],
+            "builds": ",".join(s["builds"]) or "-",
+        }
+        for s in summaries
+    ]
+    print(format_output(rows, columns=("experiment", "done", "failed", "builds")))
+    return 0

@@ -1,0 +1,238 @@
+"""The trial journal: a checksummed write-ahead log of trial status.
+
+The scheduler appends one CRC-guarded JSON line per event — experiment
+header, ``start``, ``done`` (with metrics), ``failed`` — and fsyncs
+before moving on, so after a ``kill -9`` the journal is the authority
+on exactly which trials completed. Resume is then a set difference:
+every trial whose ``done`` record survived is skipped, everything else
+(never started, started-but-unterminated, failed) re-runs.
+
+This reuses the *idiom* of :mod:`repro.streaming.wal` — checksummed
+records, torn-tail-only tolerance, a flock that dies with the process —
+not the module itself: the WAL's binary framing, segment rotation and
+snapshot compaction earn their complexity at ingest rates; a journal
+that writes a handful of records per trial does not. Line framing is
+``<crc32 hex8> <json>\\n``; a record interrupted mid-write is detected
+by CRC or parse failure *on the final line only* and dropped (the trial
+it described simply re-runs). Damage anywhere earlier is corruption,
+refused loudly with :class:`JournalCorruptionError`.
+"""
+
+from __future__ import annotations
+
+import fcntl
+import json
+import os
+import weakref
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.io.atomic import fsync_directory
+
+#: Journals open in this process; forked children must drop their
+#: inherited copies (see :func:`_close_journals_after_fork`).
+_LIVE_JOURNALS: "weakref.WeakSet[TrialJournal]" = weakref.WeakSet()
+
+
+def _close_journals_after_fork() -> None:
+    """Close inherited journal handles in a freshly-forked child.
+
+    flock lives on the *open file description*, which a fork shares: if
+    pool workers kept their inherited copy, SIGKILLing the scheduler
+    would leave orphaned workers holding the experiment's lock and
+    ``--resume`` would be refused forever. Dropping the child's copy at
+    fork keeps the lock's lifetime exactly the scheduler process's.
+    """
+    for journal in list(_LIVE_JOURNALS):
+        journal.close_inherited()
+
+
+os.register_at_fork(after_in_child=_close_journals_after_fork)
+
+
+class JournalError(RuntimeError):
+    """Base class for journal failures."""
+
+
+class JournalCorruptionError(JournalError):
+    """Damage before the final record — replaying would lie."""
+
+
+class JournalLockedError(JournalError):
+    """Another live scheduler holds this experiment's journal."""
+
+
+@dataclass
+class JournalState:
+    """What a journal replay established about an experiment."""
+
+    header: dict | None = None
+    done: dict[str, dict] = field(default_factory=dict)  #: trial_id -> done record
+    failed: dict[str, dict] = field(default_factory=dict)
+    started: set[str] = field(default_factory=set)
+    torn_records: int = 0
+    n_records: int = 0
+
+    @property
+    def spec_hash(self) -> str | None:
+        return None if self.header is None else self.header.get("spec_hash")
+
+
+def _frame(record: dict) -> bytes:
+    body = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    crc = zlib.crc32(body.encode()) & 0xFFFFFFFF
+    return f"{crc:08x} {body}\n".encode()
+
+
+def _parse_line(line: bytes) -> dict | None:
+    """Decode one framed line; ``None`` when the line is damaged."""
+    if not line.endswith(b"\n") or len(line) < 10 or line[8:9] != b" ":
+        return None
+    try:
+        crc = int(line[:8], 16)
+        body = line[9:-1]
+    except ValueError:
+        return None
+    if zlib.crc32(body) & 0xFFFFFFFF != crc:
+        return None
+    try:
+        record = json.loads(body)
+    except ValueError:
+        return None
+    return record if isinstance(record, dict) else None
+
+
+def _tail_repair_offset(raw: bytes) -> int:
+    """Byte count to keep: everything up to the last intact record.
+
+    Drops a write cut mid-line (no trailing newline) and, after that, a
+    final complete-looking line with a damaged CRC — exactly the two
+    torn-tail shapes a crash can leave. Damage further in is *not*
+    repaired here; replay raises :class:`JournalCorruptionError`.
+    """
+    end = len(raw)
+    last_newline = raw.rfind(b"\n")
+    if last_newline + 1 != end:
+        end = last_newline + 1
+    if end:
+        previous = raw.rfind(b"\n", 0, end - 1)
+        if _parse_line(raw[previous + 1:end]) is None:
+            end = previous + 1
+    return end
+
+
+def read_journal(path: Path | str) -> tuple[list[dict], int]:
+    """Replay a journal file; returns ``(records, torn_records)``.
+
+    Only the final line may be damaged (a write cut by a crash); it is
+    dropped and counted. A bad line with valid lines after it means the
+    file was corrupted in place — refused loudly.
+    """
+    path = Path(path)
+    records: list[dict] = []
+    torn = 0
+    raw = path.read_bytes()
+    if not raw:
+        return records, torn
+    lines = raw.split(b"\n")
+    trailing = lines.pop()  # b"" when the file ends with a newline
+    for index, line in enumerate(lines):
+        record = _parse_line(line + b"\n")
+        if record is None:
+            if index == len(lines) - 1 and not trailing:
+                torn += 1  # final complete-looking line failed its CRC
+                break
+            raise JournalCorruptionError(
+                f"{path}: damaged record at line {index + 1} with valid "
+                "records after it — refusing to replay a lying journal"
+            )
+        records.append(record)
+    if trailing:
+        torn += 1  # bytes past the last newline: a write cut mid-line
+    return records, torn
+
+
+def load_state(path: Path | str) -> JournalState:
+    """Fold a journal's records into the resume-relevant state."""
+    state = JournalState()
+    records, state.torn_records = read_journal(path)
+    state.n_records = len(records)
+    for record in records:
+        kind = record.get("type")
+        if kind == "experiment":
+            state.header = record
+        elif kind == "start":
+            state.started.add(record["trial_id"])
+        elif kind == "done":
+            state.done[record["trial_id"]] = record
+            state.failed.pop(record["trial_id"], None)
+        elif kind == "failed":
+            state.failed[record["trial_id"]] = record
+    return state
+
+
+class TrialJournal:
+    """Appender with crash-grade durability and single-writer locking.
+
+    The flock is advisory and dies with the process — exactly the
+    footprint of a SIGKILL — so a resumed scheduler can always acquire
+    it, while two *live* schedulers on one experiment cannot.
+    """
+
+    def __init__(self, path: Path | str) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        created = not self.path.exists()
+        self._handle = open(self.path, "ab")
+        try:
+            fcntl.flock(self._handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError as exc:
+            self._handle.close()
+            raise JournalLockedError(
+                f"{self.path}: another scheduler holds this experiment's "
+                "journal (finish or kill it first)"
+            ) from exc
+        if created:
+            # The journal file itself must survive a power cut: fsync
+            # the directory entry once, at creation.
+            fsync_directory(self.path.parent)
+        else:
+            # Appending after a torn write would glue the new record
+            # onto the partial line and turn a tolerated torn tail into
+            # mid-file corruption — truncate the tail first. The trial
+            # the dropped record described simply re-runs.
+            raw = self.path.read_bytes()
+            keep = _tail_repair_offset(raw)
+            if keep != len(raw):
+                os.ftruncate(self._handle.fileno(), keep)
+                os.fsync(self._handle.fileno())
+        _LIVE_JOURNALS.add(self)
+
+    def close_inherited(self) -> None:
+        """Drop this (forked) process's copy of the handle, lock intact
+        in the parent."""
+        _LIVE_JOURNALS.discard(self)
+        try:
+            self._handle.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    def append(self, record: dict) -> None:
+        self._handle.write(_frame(record))
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        _LIVE_JOURNALS.discard(self)
+        try:
+            fcntl.flock(self._handle.fileno(), fcntl.LOCK_UN)
+        except (OSError, ValueError):  # pragma: no cover - already closed
+            pass
+        self._handle.close()
+
+    def __enter__(self) -> "TrialJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,337 @@
+"""Comparative reports over two stored experiments.
+
+:class:`ExperimentComparison` is a lazy report context: every derived
+view (matched scenarios, per-scenario statistics, the summary line) is
+a ``functools.cached_property`` computed on first access from the two
+experiments' store records, so building the object is free and a CLI
+path that only prints the table never pays for the HTML chart's data.
+
+Scenarios are matched across experiments by ``config_hash`` — the
+content hash of everything that defines a scenario *except* the seed —
+so a comparison is always seed-population against seed-population of
+the *same* workload, and scenarios present on only one side are
+reported as unmatched rather than silently dropped.
+
+Output goes through :func:`format_output` (console table / csv / json
+over the same row dicts) or :func:`render_html`, which embeds the
+per-scenario speedup chart from :mod:`repro.bench.svg` into a single
+self-contained page.
+"""
+
+from __future__ import annotations
+
+import csv
+import html
+import io
+import json
+import math
+from functools import cached_property
+from typing import Mapping, Sequence
+
+from repro.bench.reporting import ConsoleTable
+from repro.bench.svg import bar_chart_svg
+from repro.orchestrator.stats import (
+    bootstrap_ratio_ci,
+    mann_whitney_u,
+    verdict,
+)
+from repro.orchestrator.store import ResultsStore, StoreError
+
+#: The default metric a comparison ranks scenarios on.
+DEFAULT_METRIC = "queries_per_s"
+
+#: Column order for every tabular rendering of comparison rows.
+REPORT_COLUMNS = (
+    "scenario", "n_a", "n_b", "a_mean", "b_mean",
+    "speedup", "ci_lo", "ci_hi", "p_value", "verdict",
+)
+
+
+class ReportError(RuntimeError):
+    """A comparison cannot be built from what the store holds."""
+
+
+class ExperimentComparison:
+    """Lazy comparison of experiment ``b`` (candidate) against ``a``
+    (baseline) on one metric; higher metric values are better."""
+
+    def __init__(
+        self,
+        store: ResultsStore,
+        experiment_a: str,
+        experiment_b: str,
+        metric: str = DEFAULT_METRIC,
+        alpha: float = 0.05,
+    ) -> None:
+        self.store = store
+        self.experiment_a = experiment_a
+        self.experiment_b = experiment_b
+        self.metric = metric
+        self.alpha = alpha
+
+    # -- raw material ------------------------------------------------
+
+    def _done_records(self, experiment: str) -> list[dict]:
+        records = [
+            record
+            for record in self.store.records(experiment)
+            if record.get("status") == "done"
+        ]
+        if not records:
+            known = [s["experiment"] for s in self.store.experiments()]
+            raise ReportError(
+                f"experiment {experiment!r} has no completed trials in "
+                f"{self.store.root} (known experiments: "
+                f"{', '.join(known) or 'none'})"
+            )
+        return records
+
+    @cached_property
+    def records_a(self) -> list[dict]:
+        return self._done_records(self.experiment_a)
+
+    @cached_property
+    def records_b(self) -> list[dict]:
+        return self._done_records(self.experiment_b)
+
+    @cached_property
+    def build_a(self) -> dict:
+        return self.records_a[0].get("build", {})
+
+    @cached_property
+    def build_b(self) -> dict:
+        return self.records_b[0].get("build", {})
+
+    # -- matching ----------------------------------------------------
+
+    @staticmethod
+    def _by_scenario(records: list[dict]) -> dict[str, list[dict]]:
+        grouped: dict[str, list[dict]] = {}
+        for record in records:
+            grouped.setdefault(record["config_hash"], []).append(record)
+        return grouped
+
+    @cached_property
+    def scenarios(self) -> list[tuple[str, list[dict], list[dict]]]:
+        """Matched ``(scenario_key, a_records, b_records)`` triples, in
+        a deterministic scenario-key order."""
+        group_a = self._by_scenario(self.records_a)
+        group_b = self._by_scenario(self.records_b)
+        matched = []
+        for config_hash in group_a.keys() & group_b.keys():
+            a_records = group_a[config_hash]
+            matched.append((
+                a_records[0]["scenario_key"], a_records, group_b[config_hash],
+            ))
+        matched.sort(key=lambda triple: triple[0])
+        return matched
+
+    @cached_property
+    def unmatched(self) -> dict[str, list[str]]:
+        """Scenario keys present on only one side, by experiment name."""
+        group_a = self._by_scenario(self.records_a)
+        group_b = self._by_scenario(self.records_b)
+        return {
+            self.experiment_a: sorted(
+                group_a[h][0]["scenario_key"] for h in group_a.keys() - group_b.keys()
+            ),
+            self.experiment_b: sorted(
+                group_b[h][0]["scenario_key"] for h in group_b.keys() - group_a.keys()
+            ),
+        }
+
+    # -- statistics --------------------------------------------------
+
+    def _metric_values(self, records: list[dict], where: str) -> list[float]:
+        values = []
+        for record in records:
+            value = record.get("metrics", {}).get(self.metric)
+            if not isinstance(value, (int, float)):
+                raise ReportError(
+                    f"trial {record['trial_id']} of {where} has no numeric "
+                    f"metric {self.metric!r} — choose a --metric every "
+                    "trial recorded"
+                )
+            values.append(float(value))
+        return values
+
+    @cached_property
+    def rows(self) -> list[dict]:
+        """One comparison row per matched scenario (see REPORT_COLUMNS)."""
+        rows = []
+        for scenario_key, a_records, b_records in self.scenarios:
+            a_values = self._metric_values(a_records, self.experiment_a)
+            b_values = self._metric_values(b_records, self.experiment_b)
+            a_mean = sum(a_values) / len(a_values)
+            b_mean = sum(b_values) / len(b_values)
+            speedup = b_mean / a_mean if a_mean > 0 else float("inf")
+            ci_lo, ci_hi = bootstrap_ratio_ci(a_values, b_values)
+            test = mann_whitney_u(a_values, b_values)
+            rows.append({
+                "scenario": scenario_key,
+                "n_a": len(a_values),
+                "n_b": len(b_values),
+                "a_mean": a_mean,
+                "b_mean": b_mean,
+                "speedup": speedup,
+                "ci_lo": ci_lo,
+                "ci_hi": ci_hi,
+                "p_value": test.p_value,
+                "verdict": verdict(speedup, test.p_value, self.alpha),
+            })
+        return rows
+
+    @cached_property
+    def summary(self) -> dict:
+        """Headline numbers for the whole comparison."""
+        speedups = [row["speedup"] for row in self.rows]
+        geomean = geometric_mean(speedups) if speedups else float("nan")
+        return {
+            "baseline": self.experiment_a,
+            "candidate": self.experiment_b,
+            "metric": self.metric,
+            "alpha": self.alpha,
+            "n_scenarios": len(self.rows),
+            "n_faster": sum(1 for r in self.rows if r["verdict"] == "faster"),
+            "n_slower": sum(1 for r in self.rows if r["verdict"] == "slower"),
+            "n_inconclusive": sum(1 for r in self.rows if r["verdict"] == "~"),
+            "geomean_speedup": geomean,
+            "build_a": self.build_a,
+            "build_b": self.build_b,
+            "unmatched": self.unmatched,
+        }
+
+    def to_payload(self) -> dict:
+        """The whole comparison as one JSON-serializable dict."""
+        return {"summary": self.summary, "rows": self.rows}
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean; non-positive poisoned inputs give nan, not a raise."""
+    try:
+        logs = [math.log(v) for v in values]
+    except ValueError:
+        return float("nan")
+    return math.exp(sum(logs) / len(logs)) if logs else float("nan")
+
+
+def format_output(
+    rows: Sequence[Mapping],
+    columns: Sequence[str] = REPORT_COLUMNS,
+    fmt: str = "table",
+    title: str | None = None,
+) -> str:
+    """Render row dicts as an aligned console table, csv, or json.
+
+    One row shape, three renderings — the table goes to humans, csv to
+    spreadsheets, json to scripts; all draw the same columns in the
+    same order.
+    """
+    if fmt == "table":
+        table = ConsoleTable(list(columns))
+        for row in rows:
+            table.add_row(row)
+        rendered = table.render()
+        return f"== {title} ==\n{rendered}" if title else rendered
+    if fmt == "csv":
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=list(columns), extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({col: row.get(col, "") for col in columns})
+        return buffer.getvalue()
+    if fmt == "json":
+        payload = [
+            {col: row.get(col) for col in columns} for row in rows
+        ]
+        return json.dumps(payload, indent=2) + "\n"
+    raise ValueError(f"unknown format {fmt!r}: use table, csv, or json")
+
+
+_HTML_PAGE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{title}</title>
+<style>
+  body {{ font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto;
+          max-width: 72rem; padding: 0 1rem; color: #1a1a2e; }}
+  h1 {{ font-size: 1.4rem; }}
+  table {{ border-collapse: collapse; width: 100%; margin: 1rem 0; }}
+  th, td {{ border: 1px solid #d0d0e0; padding: .35rem .6rem;
+            text-align: right; font-variant-numeric: tabular-nums; }}
+  th:first-child, td:first-child {{ text-align: left; }}
+  tr.faster td {{ background: #e8f7ee; }}
+  tr.slower td {{ background: #fdeaea; }}
+  .meta {{ color: #555; font-size: .85rem; }}
+  figure {{ margin: 1.5rem 0; }}
+</style>
+</head>
+<body>
+<h1>{title}</h1>
+<p class="meta">baseline <code>{experiment_a}</code> ({build_a})
+ vs candidate <code>{experiment_b}</code> ({build_b})
+ &middot; metric <code>{metric}</code>
+ &middot; {n_scenarios} scenarios, geomean speedup {geomean:.3f}&times;</p>
+<figure>{chart}</figure>
+{table}
+{unmatched}
+</body>
+</html>
+"""
+
+
+def _html_table(rows: Sequence[Mapping]) -> str:
+    head = "".join(f"<th>{html.escape(col)}</th>" for col in REPORT_COLUMNS)
+    body = []
+    for row in rows:
+        cells = []
+        for col in REPORT_COLUMNS:
+            value = row.get(col)
+            if isinstance(value, float):
+                text = f"{value:.4g}"
+            else:
+                text = html.escape(str(value))
+            cells.append(f"<td>{text}</td>")
+        css = {"faster": "faster", "slower": "slower"}.get(row.get("verdict"), "")
+        body.append(f'<tr class="{css}">' + "".join(cells) + "</tr>")
+    return (
+        "<table><thead><tr>" + head + "</tr></thead>"
+        "<tbody>" + "".join(body) + "</tbody></table>"
+    )
+
+
+def render_html(comparison: ExperimentComparison) -> str:
+    """One self-contained HTML page: metadata, speedup chart, full table."""
+    summary = comparison.summary
+    rows = comparison.rows
+    if rows:
+        chart = bar_chart_svg(
+            labels=[row["scenario"] for row in rows],
+            values=[row["speedup"] for row in rows],
+            title=f"speedup on {comparison.metric} "
+                  f"({comparison.experiment_b} / {comparison.experiment_a})",
+            value_label="speedup (x)",
+        )
+    else:
+        chart = "<p>No matched scenarios.</p>"
+    unmatched_bits = []
+    for experiment, keys in summary["unmatched"].items():
+        if keys:
+            unmatched_bits.append(
+                f"<p class=\"meta\">only in <code>{html.escape(experiment)}</code>: "
+                + ", ".join(html.escape(key) for key in keys) + "</p>"
+            )
+    return _HTML_PAGE.format(
+        title=f"bench report: {comparison.experiment_b} vs {comparison.experiment_a}",
+        experiment_a=html.escape(comparison.experiment_a),
+        experiment_b=html.escape(comparison.experiment_b),
+        build_a=html.escape(str(summary["build_a"].get("git", "unknown"))),
+        build_b=html.escape(str(summary["build_b"].get("git", "unknown"))),
+        metric=html.escape(comparison.metric),
+        n_scenarios=summary["n_scenarios"],
+        geomean=summary["geomean_speedup"],
+        chart=chart,
+        table=_html_table(rows),
+        unmatched="".join(unmatched_bits),
+    )

@@ -1,0 +1,172 @@
+"""The one-code-path trial runner.
+
+Every scheduled trial, the bench gate's smoke measurement, and the
+migrated ``benchmarks/bench_*.py`` wrappers all measure through the two
+functions here — :func:`fit_for_trial` and :func:`measure_engine` — so
+a committed baseline and a fresh gate run can never diverge
+structurally. The split exists because the gate (and the batch
+traversal bench) times several engines against *one* fitted classifier,
+while a scheduled trial is fully independent: it fits its own
+classifier from its own seed. Both give bit-identical deterministic
+metrics (kernels/query, labels) because the fit, the data draw, and the
+query block are all functions of the trial seed alone.
+
+The module-level :func:`trial_worker` is what the scheduler dispatches
+to pool processes — it must stay importable (picklable) and must catch
+its own exceptions: a trial that *errors* is a result ("failed"), not a
+supervision event; only a killed or stalled worker is.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import traceback
+
+import numpy as np
+
+from repro.bench.harness import Timer, throughput
+from repro.core.classifier import TKDCClassifier
+from repro.core.config import TKDCConfig
+from repro.orchestrator.spec import FAULT_PLANS, Trial
+
+
+def query_block(
+    data: np.ndarray, n_queries: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Half in-distribution points, half uniform box draws (outlier mix).
+
+    The canonical query-block construction every benchmark and the gate
+    share: all-inlier query sets short-circuit through the grid cache
+    and never reach the traversal engine, so half the block is drawn
+    uniformly over the data bounding box.
+    """
+    inliers = data[rng.choice(data.shape[0], size=n_queries // 2, replace=False)]
+    box = rng.uniform(
+        data.min(axis=0), data.max(axis=0),
+        size=(n_queries - n_queries // 2, data.shape[1]),
+    )
+    return rng.permutation(np.concatenate([inliers, box]))
+
+
+def trial_config(trial: Trial, n: int) -> TKDCConfig:
+    """The classifier config a trial's scenario resolves to."""
+    overrides: dict = {}
+    if trial.coreset is not None:
+        overrides["coreset"] = trial.coreset
+        overrides["coreset_fraction"] = trial.coreset_fraction
+    if trial.fault_plan is not None:
+        overrides["fault_plan"] = FAULT_PLANS[trial.fault_plan]
+        overrides["guard_policy"] = "repair"
+    return TKDCConfig(
+        p=trial.p, epsilon=trial.epsilon, seed=trial.seed,
+        refine_threshold=False, bootstrap_s0=min(2000, n), **overrides,
+    )
+
+
+def fit_for_trial(trial: Trial) -> tuple[TKDCClassifier, np.ndarray, np.ndarray]:
+    """Fit the trial's classifier; returns ``(clf, data, queries)``.
+
+    Deterministic given the trial's scenario and seed; engine and jobs
+    play no part (they only matter at measure time), so one fit can be
+    shared across engine measurements of the same scenario.
+    """
+    from repro.datasets.registry import load
+
+    data = load(trial.dataset, n=trial.n, d=trial.dim, seed=trial.seed)
+    clf = TKDCClassifier(trial_config(trial, data.shape[0])).fit(data)
+    clf.tree.flatten()  # build the flat view outside any timed region
+    queries = query_block(
+        data, trial.n_queries, np.random.default_rng(trial.seed + 1)
+    )
+    return clf, data, queries
+
+
+def labels_digest(labels: np.ndarray) -> str:
+    """Short content hash of a label vector, for cross-engine parity
+    checks without storing the labels themselves."""
+    return hashlib.sha256(
+        np.asarray(labels, dtype=np.int64).tobytes()
+    ).hexdigest()[:16]
+
+
+def measure_engine(
+    clf: TKDCClassifier, queries: np.ndarray, trial: Trial
+) -> tuple[dict, np.ndarray]:
+    """Warm up, then time one engine pass; returns ``(metrics, labels)``."""
+    clf.predict(queries[:8], engine=trial.engine, n_jobs=trial.jobs)  # warm up
+    kernels_before = clf.stats.kernel_evaluations
+    expansions_before = clf.stats.node_expansions
+    with Timer() as timer:
+        labels = clf.predict(queries, engine=trial.engine, n_jobs=trial.jobs)
+    kernels = clf.stats.kernel_evaluations - kernels_before
+    expansions = clf.stats.node_expansions - expansions_before
+    metrics = {
+        "seconds": timer.elapsed,
+        "queries_per_s": throughput(trial.n_queries, timer.elapsed),
+        "kernels_total": int(kernels),
+        "kernels_per_query": kernels / trial.n_queries,
+        "expansions_per_query": expansions / trial.n_queries,
+        "labels_sha256": labels_digest(labels),
+        "n_low": int(np.count_nonzero(np.asarray(labels, dtype=np.int64) == 0)),
+    }
+    return metrics, labels
+
+
+def _finite(value: float) -> float | str:
+    """JSON-safe float: strict JSON has no inf (coarse eta can be)."""
+    return value if math.isfinite(value) else "inf"
+
+
+def run_trial(trial: Trial) -> dict:
+    """Run one trial end to end; returns its full metrics dict."""
+    with Timer() as fit_timer:
+        clf, data, queries = fit_for_trial(trial)
+    metrics, labels = measure_engine(clf, queries, trial)
+    metrics.update({
+        "fit_seconds": fit_timer.elapsed,
+        "dim": int(data.shape[1]),
+        "threshold": float(clf.threshold.value),
+        "seed": trial.seed,
+    })
+    if trial.coreset is not None and clf.coreset_ is not None:
+        from repro.coresets.validate import empirical_eta
+
+        coreset = clf.coreset_
+        metrics.update({
+            "k": int(coreset.k),
+            "rounds": int(coreset.rounds),
+            "eta": _finite(float(coreset.eta)),
+            "eta_applied": _finite(float(clf.eta_applied)),
+            "eta_empirical": _finite(float(empirical_eta(
+                clf.kernel.scale(data), coreset, clf.kernel,
+                rng=np.random.default_rng(trial.seed + 2),
+            ))),
+            "certified": bool(clf.certified),
+        })
+    if trial.record_labels:
+        metrics["labels"] = [int(v) for v in np.asarray(labels, dtype=np.int64)]
+    return metrics
+
+
+def trial_worker(chunk_index: int, attempt: int, payload: dict) -> dict:
+    """Pool-process entry point: run the trial described by ``payload``.
+
+    Returns ``{"ok": True, "metrics": ...}`` or ``{"ok": False,
+    "error": ...}`` — an exception inside the trial is a *result* (the
+    scenario is broken), not a reason for the supervisor to retry.
+    ``chunk_index``/``attempt`` exist for the supervised-pool calling
+    convention and deterministic fault injection.
+    """
+    del chunk_index, attempt
+    try:
+        trial = Trial.from_record(payload)
+        return {"ok": True, "metrics": run_trial(trial)}
+    except BaseException as exc:  # noqa: BLE001 - reported, not swallowed
+        if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+            raise
+        return {
+            "ok": False,
+            "error": f"{type(exc).__name__}: {exc}",
+            "traceback": traceback.format_exc(limit=20),
+        }

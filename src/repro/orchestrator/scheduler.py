@@ -1,0 +1,295 @@
+"""The trial scheduler: supervised execution with journaled resume.
+
+Trials run in pool processes through the same supervised-dispatch
+machinery the classifier's parallel path uses
+(:func:`repro.robustness.supervisor.supervised_map`): a per-trial
+deadline, prompt dead-worker detection, bounded retries. One deliberate
+divergence from the classify path — there, a chunk that exhausts its
+retries is recomputed in-process because a serving answer *must*
+complete; here, a trial that keeps crashing or stalling is marked
+``failed`` instead. Trials are units of *measurement*: a number
+produced by a third-attempt in-process fallback under a blown deadline
+is not evidence, and ``--resume`` can always retry failed trials later.
+
+Resume protocol (the journal is the authority, see
+:mod:`repro.orchestrator.journal`):
+
+- first run writes ``spec.json`` and an ``experiment`` header record;
+- every trial gets ``start`` before dispatch and ``done``/``failed``
+  (fsynced) after; store records are flushed after every round;
+- ``--resume`` replays the journal, refuses a changed spec hash, and
+  re-runs exactly the trials without a surviving ``done`` record —
+  a SIGKILL mid-suite therefore costs at most the in-flight round.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+from dataclasses import dataclass
+
+from repro.bench.harness import Timer
+from repro.obs.buildinfo import build_info
+from repro.orchestrator import runner as runner_mod
+from repro.orchestrator.journal import TrialJournal, load_state
+from repro.orchestrator.spec import ExperimentSpec, Trial
+from repro.orchestrator.store import ResultsStore, trial_record
+from repro.robustness.supervisor import SupervisionPolicy, supervised_map
+
+
+class SchedulerError(RuntimeError):
+    """Misuse the scheduler refuses: name collisions, changed specs."""
+
+
+@dataclass(frozen=True)
+class SchedulerPolicy:
+    """How trials are dispatched and how hard failure is retried."""
+
+    jobs: int = 1  #: concurrent trial processes
+    deadline: float = 600.0  #: per-trial wall deadline (seconds)
+    max_retries: int = 1  #: re-dispatches after a crash/stall
+    backoff: float = 0.1  #: base retry sleep, doubling per attempt
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {self.deadline}")
+
+
+@dataclass
+class RunSummary:
+    """What one scheduler invocation did."""
+
+    experiment: str
+    n_trials: int  #: size of the full expanded grid
+    n_skipped: int  #: completed in a previous run (resume)
+    n_run: int  #: executed this invocation
+    n_done: int  #: succeeded this invocation
+    n_failed: int  #: failed this invocation
+    wall_seconds: float
+    resumed: bool
+
+    @property
+    def complete(self) -> bool:
+        """Every trial in the grid has a successful record."""
+        return self.n_skipped + self.n_done == self.n_trials
+
+    def render(self) -> str:
+        status = "complete" if self.complete else "INCOMPLETE"
+        return (
+            f"experiment {self.experiment!r}: {self.n_trials} trials, "
+            f"{self.n_skipped} already done, {self.n_done} succeeded, "
+            f"{self.n_failed} failed this run "
+            f"({self.wall_seconds:.1f}s) — {status}"
+        )
+
+
+def _mp_context():
+    """Match the classifier's pool context choice: fork where it exists
+    (cheap per-round pools), spawn elsewhere."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-posix
+        return multiprocessing.get_context("spawn")
+
+
+def _failed_result(index: int, payload: object) -> dict:
+    """Serial 'fallback' for a trial that exhausted supervision: report
+    failure honestly instead of measuring under degraded conditions."""
+    del index, payload
+    return {
+        "ok": False,
+        "error": "trial exhausted its supervised retries "
+                 "(worker crash or per-trial deadline exceeded)",
+    }
+
+
+class TrialScheduler:
+    """Runs an :class:`ExperimentSpec` to completion, resumably."""
+
+    def __init__(
+        self,
+        store: ResultsStore | None = None,
+        policy: SchedulerPolicy | None = None,
+        run_trial=None,
+        progress=None,
+    ) -> None:
+        self.store = store if store is not None else ResultsStore()
+        self.policy = policy if policy is not None else SchedulerPolicy()
+        # Injectable for tests; the default is the one-code-path runner.
+        self._worker = run_trial if run_trial is not None else runner_mod.trial_worker
+        self._progress = progress if progress is not None else self._print
+
+    @staticmethod
+    def _print(message: str) -> None:
+        print(message, flush=True)
+
+    # -- public entry points ----------------------------------------
+
+    def run(self, spec: ExperimentSpec, experiment: str | None = None) -> RunSummary:
+        """Run a spec from scratch; refuses an already-started name."""
+        experiment = experiment or spec.name
+        journal_path = self.store.journal_path(experiment)
+        if journal_path.exists() and load_state(journal_path).n_records:
+            raise SchedulerError(
+                f"experiment {experiment!r} already has a journal under "
+                f"{self.store.experiment_dir(experiment)} — use --resume to "
+                "finish it, or pick a new --experiment name"
+            )
+        self.store.write_spec(experiment, spec.to_dict())
+        return self._execute(spec, experiment, resumed=False, completed={})
+
+    def resume(self, experiment: str) -> RunSummary:
+        """Finish a killed/failed run: re-run exactly the trials without
+        a surviving ``done`` record."""
+        spec = ExperimentSpec.from_dict(self.store.read_spec(experiment))
+        journal_path = self.store.journal_path(experiment)
+        if not journal_path.exists():
+            raise SchedulerError(
+                f"experiment {experiment!r} has a spec but no journal — "
+                "nothing to resume; run it without --resume"
+            )
+        state = load_state(journal_path)
+        if state.spec_hash is not None and state.spec_hash != spec.spec_hash:
+            raise SchedulerError(
+                f"experiment {experiment!r}: stored spec hash "
+                f"{spec.spec_hash} does not match the journal's "
+                f"{state.spec_hash} — the spec changed after the run "
+                "started; use a new experiment name"
+            )
+        # The journal fsyncs per trial but the store flushes per round,
+        # so a kill between the two leaves journaled-done trials absent
+        # from results.jsonl; repair that before skipping them.
+        self._backfill_store(spec, experiment, state.done)
+        return self._execute(spec, experiment, resumed=True, completed=state.done)
+
+    def _backfill_store(
+        self, spec: ExperimentSpec, experiment: str, done: dict[str, dict]
+    ) -> int:
+        """Write store records for journaled-done trials the store lost."""
+        existing = {r["trial_id"] for r in self.store.records(experiment)}
+        records = [
+            trial_record(
+                experiment, trial.to_record(), "done",
+                metrics=done[trial.trial_id].get("metrics", {}),
+            )
+            for trial in spec.expand(experiment)
+            if trial.trial_id in done and trial.trial_id not in existing
+        ]
+        if records:
+            self.store.append_records(experiment, records)
+        return len(records)
+
+    # -- core loop ---------------------------------------------------
+
+    def _execute(
+        self,
+        spec: ExperimentSpec,
+        experiment: str,
+        resumed: bool,
+        completed: dict[str, dict],
+    ) -> RunSummary:
+        trials = spec.expand(experiment)
+        pending = [t for t in trials if t.trial_id not in completed]
+        summary = RunSummary(
+            experiment=experiment, n_trials=len(trials),
+            n_skipped=len(trials) - len(pending), n_run=0, n_done=0,
+            n_failed=0, wall_seconds=0.0, resumed=resumed,
+        )
+        policy = SupervisionPolicy(
+            timeout=self.policy.deadline,
+            max_retries=self.policy.max_retries,
+            backoff=self.policy.backoff,
+        )
+        self._progress(
+            f"[{experiment}] {len(trials)} trials "
+            f"({summary.n_skipped} already done, {len(pending)} to run; "
+            f"jobs={self.policy.jobs}, deadline={self.policy.deadline:.0f}s)"
+        )
+        with Timer() as timer, TrialJournal(self.store.journal_path(experiment)) as journal:
+            journal.append({
+                "type": "experiment", "experiment": experiment,
+                "spec_hash": spec.spec_hash, "n_trials": len(trials),
+                "resumed": resumed, "build": build_info(),
+            })
+            round_size = max(1, self.policy.jobs)
+            for round_start in range(0, len(pending), round_size):
+                round_trials = pending[round_start:round_start + round_size]
+                for trial in round_trials:
+                    journal.append({"type": "start", "trial_id": trial.trial_id})
+                results, __ = supervised_map(
+                    self._worker,
+                    [t.to_record() for t in round_trials],
+                    n_jobs=self.policy.jobs,
+                    policy=policy,
+                    serial_fallback=_failed_result,
+                    mp_context=_mp_context(),
+                )
+                records = []
+                for trial, result in zip(round_trials, results):
+                    summary.n_run += 1
+                    records.append(self._conclude(journal, trial, result))
+                    if records[-1]["status"] == "done":
+                        summary.n_done += 1
+                    else:
+                        summary.n_failed += 1
+                # Store flush after the journal records: a crash between
+                # the two is repaired on resume (journal is authority).
+                self.store.append_records(experiment, records)
+        summary.wall_seconds = timer.elapsed
+        self._progress(summary.render())
+        return summary
+
+    def _conclude(self, journal: TrialJournal, trial: Trial, result) -> dict:
+        """Journal one trial's outcome and build its store record."""
+        record = trial.to_record()
+        if isinstance(result, dict) and result.get("ok"):
+            journal.append({
+                "type": "done", "trial_id": trial.trial_id,
+                "metrics": result["metrics"],
+            })
+            self._progress(
+                f"  done {trial.scenario_key} seed={trial.seed} "
+                f"({result['metrics'].get('seconds', 0.0):.2f}s, "
+                f"{result['metrics'].get('queries_per_s', 0.0):,.0f} q/s)"
+            )
+            return trial_record(
+                trial.experiment, record, "done", metrics=result["metrics"]
+            )
+        error = "trial produced no result"
+        if isinstance(result, dict):
+            error = result.get("error", error)
+            if result.get("traceback"):
+                print(result["traceback"], file=sys.stderr)
+        journal.append({
+            "type": "failed", "trial_id": trial.trial_id, "error": error,
+        })
+        self._progress(
+            f"  FAILED {trial.scenario_key} seed={trial.seed}: {error}"
+        )
+        return trial_record(trial.experiment, record, "failed", error=error)
+
+
+def rebuild_store_from_journal(store: ResultsStore, experiment: str) -> int:
+    """Re-derive ``results.jsonl`` from the journal's ``done`` records.
+
+    The journal fsyncs per trial while the store flushes per round, so a
+    kill between the two can leave the store one round behind; resume
+    calls this implicitly by re-running nothing and re-flushing, but the
+    repair is also useful standalone (e.g. a deleted results file).
+    Returns the number of records written.
+    """
+    state = load_state(store.journal_path(experiment))
+    spec = ExperimentSpec.from_dict(store.read_spec(experiment))
+    records = []
+    for trial in spec.expand(experiment):
+        done = state.done.get(trial.trial_id)
+        if done is not None:
+            records.append(trial_record(
+                experiment, trial.to_record(), "done",
+                metrics=done.get("metrics", {}),
+            ))
+    if records:
+        store.append_records(experiment, records)
+    return len(records)

@@ -1,0 +1,339 @@
+"""Experiment specs: a declarative scenario grid, expanded to trials.
+
+An :class:`ExperimentSpec` names an experiment and the axes of its
+scenario grid; :meth:`ExperimentSpec.expand` multiplies the axes out
+into an ordered list of :class:`Trial`\\ s. Expansion is deterministic:
+the same spec always yields the same trials in the same order, each
+carrying an explicit seed and a content-derived ``trial_id`` — which is
+what lets the scheduler resume a killed run by set difference and lets
+the results store dedupe re-runs by identity.
+
+Specs come from three places, all producing the same object:
+
+- a named built-in suite (:data:`SUITES`): ``smoke``, ``engines``,
+  ``coreset``, ``full``;
+- a JSON or TOML file (:func:`ExperimentSpec.from_file`);
+- Python code (the migrated ``benchmarks/bench_*.py`` wrappers).
+
+Grid axes and sugar
+-------------------
+``workloads`` is the primary axis: ``(dataset, n, n_queries)`` triples,
+because per-dataset sizing is the norm (hep at d=27 costs ~50x a gauss
+query, so it gets a smaller block). When a file spec gives ``datasets``
+/ ``ns`` / ``n_queries`` instead, the product is taken as sugar.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+from repro.datasets.registry import DATASETS
+from repro.robustness.faults import FaultPlan
+
+#: Engines a trial may name (mirrors ``TKDCConfig.engine`` plus the
+#: explicit per-query reference traversal).
+ENGINES = ("per-query", "batch", "hbe", "auto")
+
+#: Named deterministic fault plans a spec may put on the grid. Each maps
+#: to a :class:`~repro.robustness.faults.FaultPlan` run under
+#: ``guard_policy="repair"`` — the orchestrator measures the *guarded*
+#: cost of surviving the fault, not the crash.
+FAULT_PLANS: dict[str, FaultPlan] = {
+    "bound-nan": FaultPlan(corrupt_bound_nodes=(3, 17), corrupt_bound_mode="nan"),
+    "bound-invert": FaultPlan(corrupt_bound_nodes=(2, 9), corrupt_bound_mode="invert"),
+    "leaf-underflow": FaultPlan(underflow_leaves=(1, 5)),
+}
+
+
+@dataclass(frozen=True)
+class Trial:
+    """One fully-resolved scenario: everything a measurement needs.
+
+    ``trial_id`` (a content hash of every field below) is the identity
+    the journal, the store, and resume logic all key on; ``seed`` is the
+    only randomness source the runner may use — data draw, fit, and
+    query block are all derived from it.
+    """
+
+    experiment: str
+    dataset: str
+    n: int
+    n_queries: int
+    dim: int | None = None
+    engine: str = "batch"
+    jobs: int = 1
+    coreset: str | None = None
+    coreset_fraction: float = 1.0
+    fault_plan: str | None = None
+    p: float = 0.01
+    epsilon: float = 0.01
+    record_labels: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.dataset not in DATASETS:
+            raise ValueError(
+                f"unknown dataset {self.dataset!r}; choose from {sorted(DATASETS)}"
+            )
+        if self.engine not in ENGINES:
+            raise ValueError(f"unknown engine {self.engine!r}; choose from {ENGINES}")
+        if self.fault_plan is not None and self.fault_plan not in FAULT_PLANS:
+            raise ValueError(
+                f"unknown fault plan {self.fault_plan!r}; "
+                f"choose from {sorted(FAULT_PLANS)}"
+            )
+        if self.n < 2 or self.n_queries < 1:
+            raise ValueError("n must be >= 2 and n_queries >= 1")
+        if not 0.0 < self.coreset_fraction <= 1.0:
+            raise ValueError(
+                f"coreset_fraction must be in (0, 1], got {self.coreset_fraction}"
+            )
+
+    @property
+    def scenario(self) -> dict:
+        """The trial's config minus its seed — the axis the report
+        groups on (seeds within one scenario are its repetitions)."""
+        config = asdict(self)
+        for key in ("experiment", "seed", "record_labels"):
+            config.pop(key)
+        return config
+
+    @property
+    def scenario_key(self) -> str:
+        """Compact human-readable scenario label for tables/charts."""
+        parts = [self.dataset, f"n={self.n}"]
+        if self.dim is not None:
+            parts.append(f"d={self.dim}")
+        parts.append(self.engine)
+        if self.jobs != 1:
+            parts.append(f"j{self.jobs}")
+        if self.coreset is not None:
+            parts.append(f"{self.coreset}@{self.coreset_fraction:.0%}")
+        if self.fault_plan is not None:
+            parts.append(f"fault={self.fault_plan}")
+        return "/".join(parts)
+
+    @property
+    def config_hash(self) -> str:
+        """Hash of the scenario config (seed excluded)."""
+        return _digest(self.scenario)
+
+    @property
+    def trial_id(self) -> str:
+        """Content identity: scenario config *plus* seed."""
+        return _digest({**self.scenario, "seed": self.seed})
+
+    def to_record(self) -> dict:
+        """JSON-safe dict carrying the derived identities too."""
+        return {
+            **asdict(self),
+            "trial_id": self.trial_id,
+            "config_hash": self.config_hash,
+            "scenario_key": self.scenario_key,
+        }
+
+    @classmethod
+    def from_record(cls, record: Mapping) -> "Trial":
+        fields = {
+            key: record[key]
+            for key in (
+                "experiment", "dataset", "n", "n_queries", "dim", "engine",
+                "jobs", "coreset", "coreset_fraction", "fault_plan", "p",
+                "epsilon", "record_labels", "seed",
+            )
+            if key in record
+        }
+        return cls(**fields)
+
+
+def _digest(payload: Mapping) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def _normalize_coreset(entry) -> tuple[str | None, float]:
+    """Accept ``None``, ``"uniform:0.05"``, or ``{"method","fraction"}``."""
+    if entry is None or entry == "none":
+        return None, 1.0
+    if isinstance(entry, str):
+        method, __, fraction = entry.partition(":")
+        return method, float(fraction) if fraction else 0.05
+    if isinstance(entry, Mapping):
+        return entry["method"], float(entry.get("fraction", 0.05))
+    method, fraction = entry  # (method, fraction) pair
+    return method, float(fraction)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """The declarative scenario grid of one named experiment."""
+
+    name: str
+    workloads: tuple[tuple[str, int, int], ...]
+    dims: tuple[int | None, ...] = (None,)
+    engines: tuple[str, ...] = ("batch",)
+    jobs: tuple[int, ...] = (1,)
+    coresets: tuple[tuple[str | None, float], ...] = ((None, 1.0),)
+    fault_plans: tuple[str | None, ...] = (None,)
+    seeds: tuple[int, ...] = (0,)
+    p: float = 0.01
+    epsilon: float = 0.01
+    record_labels: bool = False
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("an experiment spec needs a name")
+        if not self.workloads:
+            raise ValueError("an experiment spec needs at least one workload")
+        if not self.seeds:
+            raise ValueError("an experiment spec needs at least one seed")
+
+    def expand(self, experiment: str | None = None) -> list[Trial]:
+        """The full ordered trial list (deterministic given the spec)."""
+        experiment = experiment or self.name
+        trials: list[Trial] = []
+        for (dataset, n, n_queries), dim, engine, jobs, coreset, fault, seed in (
+            itertools.product(
+                self.workloads, self.dims, self.engines, self.jobs,
+                self.coresets, self.fault_plans, self.seeds,
+            )
+        ):
+            method, fraction = coreset
+            trials.append(Trial(
+                experiment=experiment,
+                dataset=dataset, n=int(n), n_queries=int(n_queries),
+                dim=dim, engine=engine, jobs=int(jobs),
+                coreset=method, coreset_fraction=fraction,
+                fault_plan=fault, p=self.p, epsilon=self.epsilon,
+                record_labels=self.record_labels, seed=int(seed),
+            ))
+        return trials
+
+    @property
+    def n_trials(self) -> int:
+        return len(self.expand())
+
+    @property
+    def spec_hash(self) -> str:
+        """Identity of the grid itself — resume refuses a changed spec."""
+        return _digest(self.to_dict())
+
+    def to_dict(self) -> dict:
+        payload = asdict(self)
+        payload["workloads"] = [list(w) for w in self.workloads]
+        payload["coresets"] = [list(c) for c in self.coresets]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "ExperimentSpec":
+        data = dict(payload)
+        if "workloads" in data:
+            workloads = tuple(
+                (str(d), int(n), int(q)) for d, n, q in data.pop("workloads")
+            )
+        else:
+            # datasets/ns/n_queries sugar: take the product.
+            datasets = data.pop("datasets")
+            ns = data.pop("ns")
+            n_queries = int(data.pop("n_queries", 256))
+            workloads = tuple(
+                (str(d), int(n), n_queries)
+                for d, n in itertools.product(datasets, ns)
+            )
+        coresets = tuple(
+            _normalize_coreset(entry) for entry in data.pop("coresets", (None,))
+        )
+        known = {
+            "name", "dims", "engines", "jobs", "fault_plans", "seeds",
+            "p", "epsilon", "record_labels", "description",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown spec fields: {sorted(unknown)}")
+        for key in ("dims", "engines", "jobs", "fault_plans", "seeds"):
+            if key in data:
+                data[key] = tuple(data[key])
+        return cls(workloads=workloads, coresets=coresets, **data)
+
+    @classmethod
+    def from_file(cls, path: Path | str) -> "ExperimentSpec":
+        """Load a spec from a ``.json`` or ``.toml`` file."""
+        path = Path(path)
+        text = path.read_text()
+        if path.suffix == ".toml":
+            import tomllib
+
+            payload = tomllib.loads(text)
+        else:
+            payload = json.loads(text)
+        if "name" not in payload:
+            payload["name"] = path.stem
+        return cls.from_dict(payload)
+
+
+def _suite_smoke() -> ExperimentSpec:
+    """CI-sized suite matching the bench gate's smoke scenarios, so a
+    smoke run's store records can back ``bench-gate --from-store``."""
+    return ExperimentSpec(
+        name="smoke",
+        description="gate-compatible smoke grid: engines x coreset, seconds-scale",
+        workloads=(("gauss", 8_000, 256),),
+        engines=("per-query", "batch"),
+        coresets=((None, 1.0), ("uniform", 0.05)),
+        seeds=(0, 1),
+    )
+
+
+def _suite_engines() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="engines",
+        description="all four engines across a low-d and a high-d workload",
+        workloads=(("gauss", 20_000, 512), ("hep", 20_000, 128)),
+        engines=("per-query", "batch", "hbe", "auto"),
+        seeds=(0, 1, 2),
+    )
+
+
+def _suite_coreset() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="coreset",
+        description="coreset constructions x fractions vs uncompressed",
+        workloads=(("gauss", 20_000, 512), ("hep", 20_000, 128)),
+        engines=("batch",),
+        coresets=(
+            (None, 1.0),
+            ("uniform", 0.01), ("uniform", 0.05), ("uniform", 0.20),
+            ("merge-reduce", 0.05),
+        ),
+        record_labels=True,
+        seeds=(0, 1, 2),
+    )
+
+
+def _suite_full() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="full",
+        description="the ROADMAP matrix: every dataset x engines x coreset "
+                    "x fault plans (hours at full size)",
+        workloads=tuple(
+            (name, 20_000, 256 if DATASETS[name].dim <= 30 else 64)
+            for name in sorted(DATASETS)
+        ),
+        engines=("per-query", "batch", "hbe", "auto"),
+        coresets=((None, 1.0), ("uniform", 0.05)),
+        fault_plans=(None, "bound-nan", "leaf-underflow"),
+        seeds=(0, 1, 2),
+    )
+
+
+#: Built-in suites: ``tkdc bench run --suite <name>``.
+SUITES: dict[str, ExperimentSpec] = {
+    spec.name: spec
+    for spec in (_suite_smoke(), _suite_engines(), _suite_coreset(), _suite_full())
+}

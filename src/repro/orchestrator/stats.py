@@ -1,0 +1,153 @@
+"""Comparison statistics: bootstrap CIs and Mann–Whitney U.
+
+Numpy plus the stdlib only — no scipy at runtime, by design: the
+orchestrator must run anywhere the library runs (the test suite
+cross-checks the U test against ``scipy.stats`` where scipy happens to
+be installed, but nothing here imports it).
+
+Two experiments' per-scenario samples are small (one observation per
+seed), so the report leans on:
+
+- :func:`bootstrap_ratio_ci` — a percentile-bootstrap interval on the
+  ratio of mean throughputs, resampling each side independently;
+- :func:`mann_whitney_u` — the rank-sum test with tie-corrected normal
+  approximation and continuity correction. At n < ~8 per side the
+  approximation is coarse and deliberately conservative; the report
+  prints sample sizes next to every p-value so nobody mistakes a
+  3-seed comparison for strong evidence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Bootstrap resamples per interval (deterministic given the seed).
+DEFAULT_BOOTSTRAPS = 4_000
+
+
+def bootstrap_mean_ci(
+    values,
+    alpha: float = 0.05,
+    n_boot: int = DEFAULT_BOOTSTRAPS,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Percentile-bootstrap CI for the mean of one sample."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("cannot bootstrap an empty sample")
+    if values.size == 1:
+        return float(values[0]), float(values[0])
+    rng = np.random.default_rng(seed)
+    draws = rng.integers(0, values.size, size=(n_boot, values.size))
+    means = values[draws].mean(axis=1)
+    lo, hi = np.quantile(means, [alpha / 2.0, 1.0 - alpha / 2.0])
+    return float(lo), float(hi)
+
+
+def bootstrap_ratio_ci(
+    baseline,
+    candidate,
+    alpha: float = 0.05,
+    n_boot: int = DEFAULT_BOOTSTRAPS,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Percentile-bootstrap CI for ``mean(candidate) / mean(baseline)``.
+
+    Sides are resampled independently (trials of the two experiments
+    are independent runs, possibly on different builds). Degenerate
+    single-observation sides collapse to the point ratio on that side.
+    """
+    baseline = np.asarray(baseline, dtype=np.float64)
+    candidate = np.asarray(candidate, dtype=np.float64)
+    if baseline.size == 0 or candidate.size == 0:
+        raise ValueError("cannot bootstrap an empty sample")
+    if np.any(baseline <= 0):
+        raise ValueError("ratio bootstrap requires positive baseline values")
+    rng = np.random.default_rng(seed)
+    base_means = (
+        baseline[rng.integers(0, baseline.size, size=(n_boot, baseline.size))]
+        .mean(axis=1)
+        if baseline.size > 1 else np.full(n_boot, baseline[0])
+    )
+    cand_means = (
+        candidate[rng.integers(0, candidate.size, size=(n_boot, candidate.size))]
+        .mean(axis=1)
+        if candidate.size > 1 else np.full(n_boot, candidate[0])
+    )
+    ratios = cand_means / base_means
+    lo, hi = np.quantile(ratios, [alpha / 2.0, 1.0 - alpha / 2.0])
+    return float(lo), float(hi)
+
+
+def _average_ranks(values: np.ndarray) -> np.ndarray:
+    """Midranks (ties share the average of the ranks they span)."""
+    order = np.argsort(values, kind="mergesort")
+    ranks = np.empty(values.size, dtype=np.float64)
+    sorted_values = values[order]
+    i = 0
+    while i < values.size:
+        j = i
+        while j + 1 < values.size and sorted_values[j + 1] == sorted_values[i]:
+            j += 1
+        # ranks are 1-based; a run [i, j] shares the midrank.
+        ranks[order[i:j + 1]] = (i + j) / 2.0 + 1.0
+        i = j + 1
+    return ranks
+
+
+@dataclass(frozen=True)
+class MannWhitneyResult:
+    """Two-sided rank-sum verdict for samples ``a`` (baseline) vs ``b``."""
+
+    u_statistic: float  #: U for the *second* sample (b over a)
+    p_value: float  #: two-sided, tie-corrected normal approximation
+    n_a: int
+    n_b: int
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        return self.p_value < alpha
+
+
+def mann_whitney_u(a, b) -> MannWhitneyResult:
+    """Two-sided Mann–Whitney U test (normal approximation).
+
+    Matches ``scipy.stats.mannwhitneyu(method="asymptotic",
+    use_continuity=True)`` to floating-point noise on untied and tied
+    inputs alike. Identical constant samples give ``p = 1.0``.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    n_a, n_b = a.size, b.size
+    if n_a == 0 or n_b == 0:
+        raise ValueError("both samples must be non-empty")
+    combined = np.concatenate([a, b])
+    ranks = _average_ranks(combined)
+    rank_sum_b = float(ranks[n_a:].sum())
+    u_b = rank_sum_b - n_b * (n_b + 1) / 2.0
+
+    total = n_a + n_b
+    mean_u = n_a * n_b / 2.0
+    __, tie_counts = np.unique(combined, return_counts=True)
+    tie_term = float(np.sum(tie_counts**3 - tie_counts))
+    variance = (
+        n_a * n_b / 12.0
+        * ((total + 1.0) - tie_term / (total * (total - 1.0)))
+        if total > 1 else 0.0
+    )
+    if variance <= 0.0:
+        return MannWhitneyResult(u_b, 1.0, n_a, n_b)
+    # Continuity-corrected two-sided z on the larger-tail U.
+    u_max = max(u_b, n_a * n_b - u_b)
+    z = (u_max - mean_u - 0.5) / math.sqrt(variance)
+    p = math.erfc(max(z, 0.0) / math.sqrt(2.0))
+    return MannWhitneyResult(u_b, min(1.0, p), n_a, n_b)
+
+
+def verdict(speedup: float, p_value: float, alpha: float = 0.05) -> str:
+    """Human verdict: ``faster`` / ``slower`` when significant, else ``~``."""
+    if p_value < alpha:
+        return "faster" if speedup > 1.0 else "slower"
+    return "~"

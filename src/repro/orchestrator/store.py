@@ -1,0 +1,204 @@
+"""The results store: append-only trial records keyed by build identity.
+
+Layout (under ``.repro-bench/`` at the repo root by default)::
+
+    .repro-bench/
+      experiments/<name>/
+        spec.json       # the spec as first run (resume validates its hash)
+        journal.log     # the scheduler's trial journal (resume authority)
+        results.jsonl   # one record per completed/failed trial
+
+Every record carries the ``build_info()`` identity already stamped into
+every ``BENCH_*.json`` report, the trial's explicit seed, its config
+hash, and the runner's wall/kernel/expansion metrics — which is what
+lets ``tkdc bench report`` compare two experiments (or two builds of
+the same suite) and lets the bench gate trust a store row only when its
+build matches HEAD.
+
+Appends go through :func:`repro.io.atomic.atomic_write_text` as a
+read-merge-rewrite: records are merged *by trial id* (a re-run replaces
+its predecessor, never duplicates it) and readers observe either the
+old complete file or the new complete file, never a torn line. At
+orchestrator scale — thousands of sub-kilobyte records, one rewrite per
+scheduler round — the O(n) rewrite is noise next to a single trial's
+fit; the journal, not this file, is the high-rate append path.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import re
+import time
+from pathlib import Path
+from typing import Callable, Iterable, Mapping
+
+from repro.io.atomic import atomic_write_text
+from repro.obs.buildinfo import build_info
+
+#: Default store root, relative to the working directory (the repo root
+#: in every documented flow).
+DEFAULT_STORE_ROOT = Path(".repro-bench")
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+class StoreError(RuntimeError):
+    """A results-store file is missing or damaged."""
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(
+            f"bad experiment name {name!r}: use letters, digits, . _ -"
+        )
+    return name
+
+
+def trial_record(
+    experiment: str,
+    trial: Mapping,
+    status: str,
+    metrics: Mapping | None = None,
+    error: str | None = None,
+) -> dict:
+    """Assemble one store record from a trial and its outcome."""
+    record = {
+        "experiment": experiment,
+        "trial_id": trial["trial_id"],
+        "config_hash": trial["config_hash"],
+        "scenario_key": trial["scenario_key"],
+        "seed": trial["seed"],
+        "config": {
+            key: trial[key]
+            for key in (
+                "dataset", "n", "n_queries", "dim", "engine", "jobs",
+                "coreset", "coreset_fraction", "fault_plan", "p", "epsilon",
+            )
+        },
+        "status": status,
+        "build": build_info(),
+        "machine": platform.machine(),
+        "recorded_at": time.time(),
+    }
+    if metrics is not None:
+        record["metrics"] = dict(metrics)
+    if error is not None:
+        record["error"] = error
+    return record
+
+
+class ResultsStore:
+    """On-disk store of experiment specs and trial records."""
+
+    def __init__(self, root: Path | str = DEFAULT_STORE_ROOT) -> None:
+        self.root = Path(root)
+
+    # -- layout ------------------------------------------------------
+
+    def experiment_dir(self, name: str) -> Path:
+        return self.root / "experiments" / _check_name(name)
+
+    def journal_path(self, name: str) -> Path:
+        return self.experiment_dir(name) / "journal.log"
+
+    def spec_path(self, name: str) -> Path:
+        return self.experiment_dir(name) / "spec.json"
+
+    def results_path(self, name: str) -> Path:
+        return self.experiment_dir(name) / "results.jsonl"
+
+    # -- specs -------------------------------------------------------
+
+    def write_spec(self, name: str, spec_payload: Mapping) -> Path:
+        return atomic_write_text(
+            self.spec_path(name), json.dumps(spec_payload, indent=2) + "\n"
+        )
+
+    def read_spec(self, name: str) -> dict:
+        path = self.spec_path(name)
+        if not path.exists():
+            raise StoreError(
+                f"experiment {name!r} has no spec at {path} — was it ever run?"
+            )
+        return json.loads(path.read_text())
+
+    # -- records -----------------------------------------------------
+
+    def records(self, name: str) -> list[dict]:
+        """Every stored record of one experiment (may be empty)."""
+        path = self.results_path(name)
+        if not path.exists():
+            return []
+        records = []
+        for line_no, line in enumerate(path.read_text().splitlines(), start=1):
+            if not line.strip():
+                continue
+            try:
+                records.append(json.loads(line))
+            except ValueError as exc:
+                raise StoreError(
+                    f"{path}:{line_no}: damaged record ({exc}) — the store "
+                    "is written atomically, so this file was edited or the "
+                    "filesystem lied; delete the experiment directory and "
+                    "re-run"
+                ) from exc
+        return records
+
+    def append_records(self, name: str, new_records: Iterable[Mapping]) -> Path:
+        """Merge records in by trial id and rewrite atomically."""
+        merged: dict[str, dict] = {
+            record["trial_id"]: record for record in self.records(name)
+        }
+        for record in new_records:
+            merged[record["trial_id"]] = dict(record)
+        lines = [
+            json.dumps(record, sort_keys=True) for record in merged.values()
+        ]
+        return atomic_write_text(
+            self.results_path(name), "\n".join(lines) + "\n"
+        )
+
+    # -- queries -----------------------------------------------------
+
+    def experiments(self) -> list[dict]:
+        """Summaries of every experiment in the store, newest first."""
+        base = self.root / "experiments"
+        if not base.is_dir():
+            return []
+        summaries = []
+        for directory in sorted(base.iterdir()):
+            if not directory.is_dir():
+                continue
+            name = directory.name
+            records = self.records(name) if self.results_path(name).exists() else []
+            done = [r for r in records if r.get("status") == "done"]
+            failed = [r for r in records if r.get("status") == "failed"]
+            newest = max(
+                (float(r.get("recorded_at", 0.0)) for r in records),
+                default=0.0,
+            )
+            builds = sorted({
+                r.get("build", {}).get("git", "unknown") for r in records
+            })
+            summaries.append({
+                "experiment": name,
+                "n_done": len(done),
+                "n_failed": len(failed),
+                "builds": builds,
+                "recorded_at": newest,
+                "has_spec": self.spec_path(name).exists(),
+            })
+        summaries.sort(key=lambda s: s["recorded_at"], reverse=True)
+        return summaries
+
+    def latest_experiment(
+        self, matches: Callable[[list[dict]], bool] | None = None
+    ) -> str | None:
+        """Name of the newest experiment (optionally: whose records
+        satisfy ``matches``); ``None`` when the store has none."""
+        for summary in self.experiments():
+            name = summary["experiment"]
+            if matches is None or matches(self.records(name)):
+                return name
+        return None

@@ -1,0 +1,61 @@
+"""Fixtures and picklable fake trial workers for orchestrator tests.
+
+The scheduler dispatches its worker callable into pool processes, so
+every injected fake must be a *module-level* function here (a closure
+would fail to pickle and silently land in the supervisor's serial
+fallback — the opposite of what a test wants to exercise).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.orchestrator.spec import ExperimentSpec
+from repro.orchestrator.store import ResultsStore
+
+
+def ok_worker(chunk_index: int, attempt: int, payload: dict) -> dict:
+    """Succeed instantly with seed-derived metrics (deterministic)."""
+    del chunk_index, attempt
+    return {
+        "ok": True,
+        "metrics": {
+            "seconds": 0.01,
+            "queries_per_s": 1000.0 + 100.0 * payload["seed"],
+            "kernels_per_query": 5.0,
+            "labels_sha256": "feedfeedfeedfeed",
+            "dim": 2,
+        },
+    }
+
+
+def flaky_worker(chunk_index: int, attempt: int, payload: dict) -> dict:
+    """Fail (as a *result*, not a crash) for seed == 1."""
+    if payload["seed"] == 1:
+        return {"ok": False, "error": "injected failure for seed 1"}
+    return ok_worker(chunk_index, attempt, payload)
+
+
+def crashing_worker(chunk_index: int, attempt: int, payload: dict) -> dict:
+    """Die like a segfault for seed == 1 — exercises supervision."""
+    if payload["seed"] == 1:
+        os._exit(3)
+    return ok_worker(chunk_index, attempt, payload)
+
+
+@pytest.fixture
+def store(tmp_path) -> ResultsStore:
+    return ResultsStore(tmp_path / "store")
+
+
+@pytest.fixture
+def tiny_spec() -> ExperimentSpec:
+    """Three one-scenario trials (seeds 0..2) — the smallest useful grid."""
+    return ExperimentSpec(
+        name="tiny",
+        workloads=(("gauss", 100, 4),),
+        engines=("batch",),
+        seeds=(0, 1, 2),
+    )

@@ -1,0 +1,78 @@
+"""Gate ``--from-store``: trusted only when the build matches HEAD."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.gate import (
+    SMOKE_DATASET,
+    SMOKE_N,
+    SMOKE_QUERIES,
+    GateStoreError,
+    traversal_rows_from_store,
+)
+from repro.orchestrator.spec import Trial
+from repro.orchestrator.store import ResultsStore, trial_record
+
+
+def smoke_store(tmp_path, git: str | None = None) -> ResultsStore:
+    """A store holding one completed smoke trial per engine; ``git``
+    overrides the recorded build identity (None keeps HEAD's)."""
+    store = ResultsStore(tmp_path / "store")
+    records = []
+    for engine, rate in (("per-query", 1000.0), ("batch", 4000.0)):
+        trial = Trial(
+            experiment="smoke", dataset=SMOKE_DATASET, n=SMOKE_N,
+            n_queries=SMOKE_QUERIES, engine=engine, seed=0,
+        )
+        record = trial_record(
+            "smoke", trial.to_record(), "done",
+            metrics={
+                "seconds": 0.1, "queries_per_s": rate,
+                "kernels_per_query": 12.5, "labels_sha256": "aaaa",
+                "dim": 2,
+            },
+        )
+        if git is not None:
+            record["build"]["git"] = git
+        records.append(record)
+    store.append_records("smoke", records)
+    return store
+
+
+def test_current_build_records_become_gate_rows(tmp_path):
+    store = smoke_store(tmp_path)
+    rows = traversal_rows_from_store(store.root)
+    assert [r["engine"] for r in rows] == ["per-query", "batch"]
+    assert all(r["labels_match_per_query"] for r in rows)
+    batch = rows[1]
+    assert batch["speedup_vs_per_query"] == pytest.approx(4.0)
+    assert batch["kernels_per_query"] == 12.5
+    assert batch["section"] == "smoke"
+
+
+def test_stale_build_is_refused(tmp_path):
+    store = smoke_store(tmp_path, git="deadbee")
+    with pytest.raises(GateStoreError, match="another build"):
+        traversal_rows_from_store(store.root)
+
+
+def test_empty_store_is_refused(tmp_path):
+    store = ResultsStore(tmp_path / "empty")
+    with pytest.raises(GateStoreError, match="no experiment"):
+        traversal_rows_from_store(store.root)
+
+
+def test_missing_engine_is_refused(tmp_path):
+    store = ResultsStore(tmp_path / "store")
+    trial = Trial(
+        experiment="half", dataset=SMOKE_DATASET, n=SMOKE_N,
+        n_queries=SMOKE_QUERIES, engine="batch", seed=0,
+    )
+    store.append_records("half", [trial_record(
+        "half", trial.to_record(), "done",
+        metrics={"seconds": 0.1, "queries_per_s": 1.0,
+                 "kernels_per_query": 1.0, "labels_sha256": "aa", "dim": 2},
+    )])
+    with pytest.raises(GateStoreError, match="per-query"):
+        traversal_rows_from_store(store.root, experiment="half")

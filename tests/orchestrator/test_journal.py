@@ -1,0 +1,135 @@
+"""Journal durability: CRC framing, torn tails, locking, state folding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.orchestrator.journal import (
+    JournalCorruptionError,
+    JournalLockedError,
+    TrialJournal,
+    load_state,
+    read_journal,
+)
+
+
+@pytest.fixture
+def journal_path(tmp_path):
+    return tmp_path / "journal.log"
+
+
+def write_records(path, records):
+    with TrialJournal(path) as journal:
+        for record in records:
+            journal.append(record)
+
+
+SAMPLE = [
+    {"type": "experiment", "experiment": "e", "spec_hash": "abc", "n_trials": 2},
+    {"type": "start", "trial_id": "t1"},
+    {"type": "done", "trial_id": "t1", "metrics": {"queries_per_s": 10.0}},
+    {"type": "start", "trial_id": "t2"},
+    {"type": "failed", "trial_id": "t2", "error": "boom"},
+]
+
+
+class TestRoundTrip:
+    def test_append_then_read(self, journal_path):
+        write_records(journal_path, SAMPLE)
+        records, torn = read_journal(journal_path)
+        assert records == SAMPLE
+        assert torn == 0
+
+    def test_state_folding(self, journal_path):
+        write_records(journal_path, SAMPLE)
+        state = load_state(journal_path)
+        assert state.spec_hash == "abc"
+        assert set(state.done) == {"t1"}
+        assert set(state.failed) == {"t2"}
+        assert state.started == {"t1", "t2"}
+        assert state.n_records == len(SAMPLE)
+
+    def test_done_supersedes_failed(self, journal_path):
+        write_records(journal_path, SAMPLE + [
+            {"type": "done", "trial_id": "t2", "metrics": {}},
+        ])
+        state = load_state(journal_path)
+        assert set(state.done) == {"t1", "t2"}
+        assert not state.failed
+
+    def test_empty_file(self, journal_path):
+        journal_path.write_bytes(b"")
+        assert read_journal(journal_path) == ([], 0)
+
+
+class TestTornTail:
+    def test_truncation_at_every_byte_offset(self, journal_path):
+        """A crash can cut the file anywhere; only the cut record may go."""
+        write_records(journal_path, SAMPLE)
+        raw = journal_path.read_bytes()
+        # Byte offset just past each record's newline == a clean boundary.
+        boundaries = [0] + [
+            index + 1 for index, byte in enumerate(raw) if byte == ord("\n")
+        ]
+        for cut in range(len(raw) + 1):
+            journal_path.write_bytes(raw[:cut])
+            records, torn = read_journal(journal_path)
+            complete = sum(1 for b in boundaries[1:] if b <= cut)
+            # Every record whose bytes fully survived must replay;
+            # at most the one cut mid-line is dropped (and counted).
+            assert records == SAMPLE[:complete]
+            assert torn == (0 if cut in boundaries else 1)
+
+    def test_garbage_tail_without_newline(self, journal_path):
+        write_records(journal_path, SAMPLE)
+        with journal_path.open("ab") as handle:
+            handle.write(b"deadbeef {\"type\": \"done\", \"trial")
+        records, torn = read_journal(journal_path)
+        assert records == SAMPLE
+        assert torn == 1
+
+    def test_reopen_after_torn_tail_repairs_then_appends(self, journal_path):
+        """Appending after a crash must not glue the new record onto the
+        torn partial line (that would be mid-file corruption)."""
+        write_records(journal_path, SAMPLE)
+        raw = journal_path.read_bytes()
+        journal_path.write_bytes(raw[:-10])  # cut the final record
+        with TrialJournal(journal_path) as journal:
+            journal.append({"type": "done", "trial_id": "t9"})
+        records, torn = read_journal(journal_path)
+        assert torn == 0
+        assert records == SAMPLE[:-1] + [{"type": "done", "trial_id": "t9"}]
+
+    def test_final_line_with_bad_crc(self, journal_path):
+        write_records(journal_path, SAMPLE)
+        raw = bytearray(journal_path.read_bytes())
+        raw[-5] ^= 0xFF  # damage inside the final record's body
+        journal_path.write_bytes(bytes(raw))
+        records, torn = read_journal(journal_path)
+        assert records == SAMPLE[:-1]
+        assert torn == 1
+
+
+class TestCorruption:
+    def test_mid_file_damage_is_refused(self, journal_path):
+        write_records(journal_path, SAMPLE)
+        raw = bytearray(journal_path.read_bytes())
+        raw[15] ^= 0xFF  # first record's body, valid records after it
+        journal_path.write_bytes(bytes(raw))
+        with pytest.raises(JournalCorruptionError, match="line 1"):
+            read_journal(journal_path)
+
+
+class TestLocking:
+    def test_second_writer_is_refused(self, journal_path):
+        with TrialJournal(journal_path):
+            with pytest.raises(JournalLockedError):
+                TrialJournal(journal_path)
+
+    def test_lock_releases_on_close(self, journal_path):
+        with TrialJournal(journal_path) as journal:
+            journal.append(SAMPLE[0])
+        with TrialJournal(journal_path) as journal:
+            journal.append(SAMPLE[1])
+        records, __ = read_journal(journal_path)
+        assert records == SAMPLE[:2]

@@ -1,0 +1,158 @@
+"""Comparative reports: matching, statistics rows, the three renderings."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.orchestrator.report import (
+    ExperimentComparison,
+    ReportError,
+    format_output,
+    geometric_mean,
+    render_html,
+)
+from repro.orchestrator.spec import Trial
+from repro.orchestrator.store import trial_record
+
+SEEDS = (0, 1, 2, 3, 4)
+
+
+def seed_records(experiment, engine, rate, seeds=SEEDS, jitter=1.0):
+    """Done records for one scenario: one trial per seed, tight spread."""
+    records = []
+    for index, seed in enumerate(seeds):
+        trial = Trial(
+            experiment=experiment, dataset="gauss", n=100, n_queries=4,
+            engine=engine, seed=seed,
+        )
+        records.append(trial_record(
+            experiment, trial.to_record(), "done",
+            metrics={"queries_per_s": rate + jitter * index, "seconds": 0.1},
+        ))
+    return records
+
+
+@pytest.fixture
+def populated(store):
+    """Baseline 'v1' vs candidate 'v2': batch 2x faster, per-query equal,
+    plus one scenario only the candidate ran."""
+    store.append_records("v1", (
+        seed_records("v1", "batch", 100.0)
+        + seed_records("v1", "per-query", 50.0)
+    ))
+    store.append_records("v2", (
+        seed_records("v2", "batch", 200.0)
+        + seed_records("v2", "per-query", 50.0)
+        + seed_records("v2", "hbe", 300.0)
+    ))
+    return ExperimentComparison(store, "v1", "v2")
+
+
+class TestMatching:
+    def test_scenarios_match_by_config_hash(self, populated):
+        keys = [key for key, __, __ in populated.scenarios]
+        assert len(keys) == 2
+        assert any("batch" in key for key in keys)
+
+    def test_one_sided_scenarios_are_reported_not_dropped(self, populated):
+        assert populated.unmatched["v1"] == []
+        assert len(populated.unmatched["v2"]) == 1
+        assert "hbe" in populated.unmatched["v2"][0]
+
+    def test_unknown_experiment_is_loud(self, store):
+        store.append_records("only", seed_records("only", "batch", 100.0))
+        comparison = ExperimentComparison(store, "only", "never-ran")
+        with pytest.raises(ReportError, match="known experiments"):
+            comparison.rows
+
+    def test_missing_metric_is_loud(self, populated):
+        broken = ExperimentComparison(
+            populated.store, "v1", "v2", metric="no_such_metric"
+        )
+        with pytest.raises(ReportError, match="no_such_metric"):
+            broken.rows
+
+
+class TestRows:
+    def test_speedup_ci_and_verdict(self, populated):
+        by_scenario = {row["scenario"]: row for row in populated.rows}
+        batch = next(v for k, v in by_scenario.items() if "batch" in k)
+        assert batch["speedup"] == pytest.approx(2.0, rel=0.05)
+        assert batch["ci_lo"] < batch["speedup"] < batch["ci_hi"]
+        assert batch["verdict"] == "faster"
+        assert batch["n_a"] == batch["n_b"] == len(SEEDS)
+
+        per_query = next(v for k, v in by_scenario.items() if "per-query" in k)
+        assert per_query["speedup"] == pytest.approx(1.0, rel=0.1)
+        assert per_query["verdict"] == "~"
+
+    def test_summary(self, populated):
+        summary = populated.summary
+        assert summary["n_scenarios"] == 2
+        assert summary["n_faster"] == 1
+        assert summary["n_inconclusive"] == 1
+        assert summary["geomean_speedup"] == pytest.approx(
+            (2.0 * 1.0) ** 0.5, rel=0.1
+        )
+        assert summary["build_a"].get("git")
+
+    def test_payload_is_json_serializable(self, populated):
+        json.dumps(populated.to_payload())
+
+
+class TestFormatOutput:
+    ROWS = [
+        {"scenario": "gauss/batch", "n_a": 3, "n_b": 3, "a_mean": 10.0,
+         "b_mean": 20.0, "speedup": 2.0, "ci_lo": 1.8, "ci_hi": 2.2,
+         "p_value": 0.03, "verdict": "faster"},
+    ]
+
+    def test_table(self):
+        text = format_output(self.ROWS, fmt="table", title="demo")
+        assert "== demo ==" in text
+        assert "gauss/batch" in text and "faster" in text
+
+    def test_csv_round_trips(self):
+        text = format_output(self.ROWS, fmt="csv")
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert rows[0]["scenario"] == "gauss/batch"
+        assert float(rows[0]["speedup"]) == 2.0
+
+    def test_json_round_trips(self):
+        payload = json.loads(format_output(self.ROWS, fmt="json"))
+        assert payload[0]["verdict"] == "faster"
+
+    def test_unknown_format_is_refused(self):
+        with pytest.raises(ValueError, match="unknown format"):
+            format_output(self.ROWS, fmt="yaml")
+
+
+class TestHtml:
+    def test_page_embeds_chart_table_and_unmatched(self, populated):
+        page = render_html(populated)
+        assert page.startswith("<!DOCTYPE html>")
+        assert "<svg" in page  # the speedup bar chart
+        assert "v1" in page and "v2" in page
+        assert 'class="faster"' in page
+        assert "only in" in page or "hbe" in page  # unmatched footnote
+
+    def test_empty_comparison_renders(self, store):
+        store.append_records("a", seed_records("a", "batch", 100.0))
+        store.append_records("b", seed_records("b", "hbe", 100.0))
+        page = render_html(ExperimentComparison(store, "a", "b"))
+        assert "No matched scenarios" in page
+
+
+class TestGeometricMean:
+    def test_values(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geometric_mean([1.0]) == pytest.approx(1.0)
+
+    def test_nonpositive_gives_nan(self):
+        import math
+        assert math.isnan(geometric_mean([2.0, 0.0]))
+        assert math.isnan(geometric_mean([]))

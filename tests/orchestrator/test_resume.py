@@ -1,0 +1,162 @@
+"""Scheduler crash-resume: journal authority, set-difference re-runs.
+
+These tests inject module-level fake workers (see conftest) so the
+scheduler's machinery — journaling, supervision, store flushes, resume
+arithmetic — is exercised without paying for real fits. The real
+end-to-end SIGKILL test lives in test_sigkill_cli.py.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.orchestrator.journal import load_state, read_journal
+from repro.orchestrator.scheduler import (
+    SchedulerError,
+    SchedulerPolicy,
+    TrialScheduler,
+    rebuild_store_from_journal,
+)
+from repro.orchestrator.spec import ExperimentSpec
+
+from .conftest import crashing_worker, flaky_worker, ok_worker
+
+FAST = SchedulerPolicy(jobs=1, deadline=30.0, max_retries=0, backoff=0.01)
+
+
+def scheduler(store, worker=ok_worker, policy=FAST):
+    return TrialScheduler(
+        store, policy, run_trial=worker, progress=lambda message: None
+    )
+
+
+class TestRun:
+    def test_complete_run_populates_journal_and_store(self, store, tiny_spec):
+        summary = scheduler(store).run(tiny_spec, "exp")
+        assert summary.complete
+        assert summary.n_done == 3 and summary.n_skipped == 0
+
+        state = load_state(store.journal_path("exp"))
+        assert len(state.done) == 3
+        records = store.records("exp")
+        assert len(records) == 3
+        assert all(r["status"] == "done" for r in records)
+        # The metric the fake worker derives from the seed came through.
+        assert {r["metrics"]["queries_per_s"] for r in records} == {
+            1000.0, 1100.0, 1200.0,
+        }
+
+    def test_rerunning_a_started_experiment_is_refused(self, store, tiny_spec):
+        scheduler(store).run(tiny_spec, "exp")
+        with pytest.raises(SchedulerError, match="already has a journal"):
+            scheduler(store).run(tiny_spec, "exp")
+
+    def test_trial_errors_are_results_not_crashes(self, store, tiny_spec):
+        summary = scheduler(store, worker=flaky_worker).run(tiny_spec, "exp")
+        assert not summary.complete
+        assert summary.n_done == 2 and summary.n_failed == 1
+        failed = [r for r in store.records("exp") if r["status"] == "failed"]
+        assert len(failed) == 1
+        assert failed[0]["seed"] == 1
+        assert "injected failure" in failed[0]["error"]
+
+    def test_crashing_worker_exhausts_supervision_and_fails(
+        self, store, tiny_spec
+    ):
+        summary = scheduler(store, worker=crashing_worker).run(tiny_spec, "exp")
+        assert summary.n_done == 2 and summary.n_failed == 1
+        failed = [r for r in store.records("exp") if r["status"] == "failed"]
+        assert failed[0]["seed"] == 1
+        assert "supervised retries" in failed[0]["error"]
+
+
+class TestResume:
+    def test_resume_reruns_exactly_the_failed_trials(self, store, tiny_spec):
+        scheduler(store, worker=flaky_worker).run(tiny_spec, "exp")
+        summary = scheduler(store, worker=ok_worker).resume("exp")
+        assert summary.resumed
+        assert summary.n_skipped == 2  # the two that succeeded first time
+        assert summary.n_run == 1
+        assert summary.complete
+        records = store.records("exp")
+        assert len(records) == 3  # replaced, not duplicated
+        assert all(r["status"] == "done" for r in records)
+
+    def test_resume_after_journal_truncation(self, store, tiny_spec):
+        """Cutting the journal mid final record loses only that trial."""
+        scheduler(store).run(tiny_spec, "exp")
+        journal_path = store.journal_path("exp")
+        raw = journal_path.read_bytes()
+        journal_path.write_bytes(raw[: len(raw) - 10])  # cut the last 'done'
+        store.results_path("exp").unlink()  # store lags the journal
+
+        summary = scheduler(store).resume("exp")
+        assert summary.n_skipped == 2 and summary.n_run == 1
+        assert summary.complete
+        # Resume backfills the journaled-done trials the store lost,
+        # then appends the re-run one: the store is whole again.
+        state = load_state(journal_path)
+        assert len(state.done) == 3
+        records = store.records("exp")
+        assert len(records) == 3
+        assert all(r["status"] == "done" for r in records)
+
+    def test_resume_with_nothing_pending_runs_nothing(self, store, tiny_spec):
+        scheduler(store).run(tiny_spec, "exp")
+        summary = scheduler(store).resume("exp")
+        assert summary.complete and summary.n_run == 0
+        assert summary.n_skipped == 3
+
+    def test_resume_refuses_a_changed_spec(self, store, tiny_spec):
+        scheduler(store).run(tiny_spec, "exp")
+        changed = ExperimentSpec(
+            name="tiny", workloads=(("gauss", 100, 4),),
+            engines=("batch",), seeds=(0, 1, 2, 3),
+        )
+        store.write_spec("exp", changed.to_dict())
+        with pytest.raises(SchedulerError, match="spec changed"):
+            scheduler(store).resume("exp")
+
+    def test_resume_without_a_journal_is_refused(self, store, tiny_spec):
+        store.write_spec("exp", tiny_spec.to_dict())
+        with pytest.raises(SchedulerError, match="nothing to resume"):
+            scheduler(store).resume("exp")
+
+    def test_resume_journal_appends_a_second_header(self, store, tiny_spec):
+        scheduler(store, worker=flaky_worker).run(tiny_spec, "exp")
+        scheduler(store).resume("exp")
+        records, torn = read_journal(store.journal_path("exp"))
+        assert torn == 0
+        headers = [r for r in records if r["type"] == "experiment"]
+        assert len(headers) == 2
+        assert headers[1]["resumed"] is True
+
+
+class TestRebuild:
+    def test_store_rebuilt_from_journal(self, store, tiny_spec):
+        scheduler(store).run(tiny_spec, "exp")
+        store.results_path("exp").unlink()
+        n = rebuild_store_from_journal(store, "exp")
+        assert n == 3
+        records = store.records("exp")
+        assert len(records) == 3
+        assert {r["metrics"]["queries_per_s"] for r in records} == {
+            1000.0, 1100.0, 1200.0,
+        }
+
+
+class TestPolicy:
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            SchedulerPolicy(jobs=0)
+        with pytest.raises(ValueError):
+            SchedulerPolicy(deadline=0.0)
+
+    def test_parallel_rounds_complete(self, store):
+        spec = ExperimentSpec(
+            name="wide", workloads=(("gauss", 100, 4),),
+            engines=("batch",), seeds=tuple(range(6)),
+        )
+        policy = SchedulerPolicy(jobs=2, deadline=30.0, max_retries=0)
+        summary = scheduler(store, policy=policy).run(spec, "exp")
+        assert summary.complete and summary.n_done == 6

@@ -1,0 +1,112 @@
+"""End-to-end crash-resume: SIGKILL a real ``tkdc bench run``, resume it.
+
+The one test here drives the real CLI in a subprocess against a real
+(tiny) spec: it waits for the journal to record at least one completed
+trial, delivers SIGKILL — no atexit, no finally blocks, orphaned pool
+workers and all — then runs ``bench run --resume`` and asserts the
+experiment completes with zero missing and zero duplicated trials.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.orchestrator.journal import load_state
+from repro.orchestrator.spec import ExperimentSpec
+from repro.orchestrator.store import ResultsStore
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Big enough per-trial that the kill lands mid-run, small enough that
+#: the whole test stays seconds-scale.
+SPEC = {
+    "name": "kill-test",
+    "workloads": [["gauss", 4000, 128]],
+    "engines": ["per-query", "batch"],
+    "seeds": [0, 1, 2],
+}
+
+
+def bench_cmd(*args: str) -> list[str]:
+    return [sys.executable, "-m", "repro", "bench", *args]
+
+
+def bench_env() -> dict:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH") else src
+    )
+    return env
+
+
+def test_sigkill_mid_run_then_resume_completes(tmp_path):
+    spec_path = tmp_path / "kill-test.json"
+    spec_path.write_text(json.dumps(SPEC))
+    store = ResultsStore(tmp_path / "store")
+    n_trials = ExperimentSpec.from_dict(SPEC).n_trials
+    journal_path = store.journal_path("kill-test")
+
+    proc = subprocess.Popen(
+        bench_cmd("run", "--spec", str(spec_path), "--store", str(store.root)),
+        env=bench_env(), cwd=str(tmp_path),
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    try:
+        # Kill as soon as the journal holds >= 1 done record — several
+        # trials must still be pending for the resume to be meaningful.
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            if proc.poll() is not None:
+                pytest.fail(
+                    "bench run finished before the kill landed — grow "
+                    "the spec so trials outlast the polling loop"
+                )
+            if journal_path.exists() and b'"type":"done"' in journal_path.read_bytes():
+                break
+            time.sleep(0.005)
+        else:
+            pytest.fail("journal never recorded a completed trial")
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=30.0)
+    finally:
+        if proc.poll() is None:  # pragma: no cover - cleanup on failure
+            proc.kill()
+            proc.wait(timeout=30.0)
+
+    state = load_state(journal_path)
+    n_done_at_kill = len(state.done)
+    assert 1 <= n_done_at_kill < n_trials, (
+        "the kill must land mid-run for this test to mean anything"
+    )
+
+    # The SIGKILLed scheduler's flock must have died with it (including
+    # copies inherited by orphaned pool workers) — resume must not be
+    # refused, and must run exactly the missing trials.
+    resumed = subprocess.run(
+        bench_cmd("run", "--resume", "kill-test", "--store", str(store.root)),
+        env=bench_env(), cwd=str(tmp_path),
+        capture_output=True, text=True, timeout=90.0,
+    )
+    assert resumed.returncode == 0, resumed.stderr
+    assert f"{n_done_at_kill} already done" in resumed.stdout
+    assert f"{n_trials - n_done_at_kill} to run" in resumed.stdout
+
+    # Zero missing, zero duplicated.
+    records = store.records("kill-test")
+    expected_ids = {
+        t.trial_id for t in ExperimentSpec.from_dict(SPEC).expand("kill-test")
+    }
+    done_ids = [r["trial_id"] for r in records if r["status"] == "done"]
+    assert sorted(done_ids) == sorted(set(done_ids)), "duplicated trials"
+    assert set(done_ids) == expected_ids, "missing trials after resume"
+    assert len(load_state(journal_path).done) == n_trials

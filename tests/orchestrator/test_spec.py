@@ -1,0 +1,171 @@
+"""Spec expansion: deterministic grids, stable identities, file loading."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.orchestrator.spec import SUITES, ExperimentSpec, Trial
+
+
+class TestTrial:
+    def test_trial_id_covers_seed_config_hash_does_not(self):
+        a = Trial(experiment="e", dataset="gauss", n=100, n_queries=4, seed=0)
+        b = Trial(experiment="e", dataset="gauss", n=100, n_queries=4, seed=1)
+        assert a.config_hash == b.config_hash
+        assert a.trial_id != b.trial_id
+
+    def test_engine_changes_both_hashes(self):
+        a = Trial(experiment="e", dataset="gauss", n=100, n_queries=4)
+        b = Trial(experiment="e", dataset="gauss", n=100, n_queries=4,
+                  engine="per-query")
+        assert a.config_hash != b.config_hash
+        assert a.trial_id != b.trial_id
+
+    def test_experiment_name_does_not_change_identity(self):
+        a = Trial(experiment="run-1", dataset="gauss", n=100, n_queries=4)
+        b = Trial(experiment="run-2", dataset="gauss", n=100, n_queries=4)
+        assert a.trial_id == b.trial_id
+
+    def test_record_round_trip(self):
+        trial = Trial(
+            experiment="e", dataset="gauss", n=100, n_queries=4,
+            coreset="uniform", coreset_fraction=0.05, seed=3,
+        )
+        record = trial.to_record()
+        assert record["trial_id"] == trial.trial_id
+        assert record["config_hash"] == trial.config_hash
+        assert Trial.from_record(record) == trial
+
+    def test_scenario_key_mentions_the_axes(self):
+        trial = Trial(
+            experiment="e", dataset="gauss", n=100, n_queries=4, jobs=2,
+            coreset="uniform", coreset_fraction=0.05, fault_plan="bound-nan",
+        )
+        key = trial.scenario_key
+        assert "gauss" in key and "j2" in key
+        assert "uniform@5%" in key and "fault=bound-nan" in key
+
+    @pytest.mark.parametrize("kwargs", [
+        {"dataset": "no-such-dataset"},
+        {"engine": "no-such-engine"},
+        {"fault_plan": "no-such-plan"},
+        {"n": 1},
+        {"n_queries": 0},
+        {"coreset_fraction": 0.0},
+        {"coreset_fraction": 1.5},
+    ])
+    def test_validation_rejects(self, kwargs):
+        base = {"experiment": "e", "dataset": "gauss", "n": 100, "n_queries": 4}
+        with pytest.raises(ValueError):
+            Trial(**{**base, **kwargs})
+
+
+class TestExpansion:
+    def test_grid_is_the_full_product(self):
+        spec = ExperimentSpec(
+            name="grid",
+            workloads=(("gauss", 100, 4), ("gauss", 200, 4)),
+            engines=("batch", "per-query"),
+            jobs=(1, 2),
+            seeds=(0, 1, 2),
+        )
+        trials = spec.expand()
+        assert len(trials) == 2 * 2 * 2 * 3
+        assert len({t.trial_id for t in trials}) == len(trials)
+
+    def test_expansion_is_deterministic(self, tiny_spec):
+        first = [t.trial_id for t in tiny_spec.expand()]
+        second = [t.trial_id for t in tiny_spec.expand()]
+        assert first == second
+
+    def test_expand_stamps_the_experiment_name(self, tiny_spec):
+        assert all(t.experiment == "run-x" for t in tiny_spec.expand("run-x"))
+
+    def test_spec_hash_tracks_the_grid(self, tiny_spec):
+        changed = ExperimentSpec(
+            name="tiny",
+            workloads=(("gauss", 100, 4),),
+            engines=("batch",),
+            seeds=(0, 1, 2, 3),
+        )
+        assert tiny_spec.spec_hash != changed.spec_hash
+        assert tiny_spec.spec_hash == ExperimentSpec.from_dict(
+            tiny_spec.to_dict()
+        ).spec_hash
+
+    def test_empty_axes_are_refused(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(name="", workloads=(("gauss", 100, 4),))
+        with pytest.raises(ValueError):
+            ExperimentSpec(name="x", workloads=())
+        with pytest.raises(ValueError):
+            ExperimentSpec(name="x", workloads=(("gauss", 100, 4),), seeds=())
+
+
+class TestFromDict:
+    def test_datasets_ns_sugar_takes_the_product(self):
+        spec = ExperimentSpec.from_dict({
+            "name": "sugar",
+            "datasets": ["gauss"],
+            "ns": [100, 200],
+            "n_queries": 8,
+        })
+        assert spec.workloads == (("gauss", 100, 8), ("gauss", 200, 8))
+
+    def test_coreset_string_sugar(self):
+        spec = ExperimentSpec.from_dict({
+            "name": "c",
+            "workloads": [["gauss", 100, 4]],
+            "coresets": [None, "uniform:0.2", {"method": "merge-reduce"}],
+        })
+        assert spec.coresets == (
+            (None, 1.0), ("uniform", 0.2), ("merge-reduce", 0.05),
+        )
+
+    def test_unknown_fields_are_refused(self):
+        with pytest.raises(ValueError, match="unknown spec fields"):
+            ExperimentSpec.from_dict({
+                "name": "x",
+                "workloads": [["gauss", 100, 4]],
+                "wokloads_typo": 1,
+            })
+
+
+class TestFromFile:
+    def test_json(self, tmp_path):
+        path = tmp_path / "exp.json"
+        path.write_text(json.dumps({
+            "workloads": [["gauss", 100, 4]], "seeds": [0, 1],
+        }))
+        spec = ExperimentSpec.from_file(path)
+        assert spec.name == "exp"  # stem fallback
+        assert spec.n_trials == 2
+
+    def test_toml(self, tmp_path):
+        path = tmp_path / "exp.toml"
+        path.write_text(
+            'name = "toml-exp"\n'
+            "workloads = [[\"gauss\", 100, 4]]\n"
+            "engines = [\"batch\", \"per-query\"]\n"
+        )
+        spec = ExperimentSpec.from_file(path)
+        assert spec.name == "toml-exp"
+        assert spec.engines == ("batch", "per-query")
+
+
+class TestSuites:
+    def test_expected_suites_exist(self):
+        assert set(SUITES) == {"smoke", "engines", "coreset", "full"}
+
+    def test_smoke_matches_the_gate_grid(self):
+        # 1 workload x 2 engines x 2 coreset settings x 2 seeds.
+        assert SUITES["smoke"].n_trials == 8
+        assert ("gauss", 8_000, 256) in SUITES["smoke"].workloads
+
+    def test_suite_sizes(self):
+        assert SUITES["engines"].n_trials == 24
+        assert SUITES["coreset"].n_trials == 30
+        assert SUITES["coreset"].record_labels
+        assert SUITES["full"].n_trials > 100

@@ -1,0 +1,135 @@
+"""Comparison statistics: bootstrap CIs and the rank-sum test.
+
+The Mann–Whitney implementation is cross-checked against scipy when
+scipy happens to be installed (the runtime never imports it — that is
+the point of carrying our own).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.orchestrator.stats import (
+    MannWhitneyResult,
+    _average_ranks,
+    bootstrap_mean_ci,
+    bootstrap_ratio_ci,
+    mann_whitney_u,
+    verdict,
+)
+
+
+class TestBootstrapMean:
+    def test_constant_sample_collapses(self):
+        assert bootstrap_mean_ci([5.0, 5.0, 5.0]) == (5.0, 5.0)
+
+    def test_single_observation_is_a_point(self):
+        assert bootstrap_mean_ci([3.0]) == (3.0, 3.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([])
+
+    def test_interval_brackets_the_mean_and_is_deterministic(self):
+        values = [10.0, 11.0, 12.0, 13.0, 14.0]
+        lo, hi = bootstrap_mean_ci(values, seed=0)
+        assert lo <= float(np.mean(values)) <= hi
+        assert min(values) <= lo < hi <= max(values)
+        assert (lo, hi) == bootstrap_mean_ci(values, seed=0)
+
+    def test_narrower_at_higher_alpha(self):
+        values = [10.0, 12.0, 14.0, 16.0, 18.0]
+        lo95, hi95 = bootstrap_mean_ci(values, alpha=0.05)
+        lo50, hi50 = bootstrap_mean_ci(values, alpha=0.50)
+        assert lo95 <= lo50 and hi50 <= hi95
+
+
+class TestBootstrapRatio:
+    def test_point_samples_give_the_point_ratio(self):
+        assert bootstrap_ratio_ci([100.0], [200.0]) == (2.0, 2.0)
+
+    def test_interval_brackets_the_true_ratio(self):
+        baseline = [100.0, 101.0, 99.0, 100.0, 100.5]
+        candidate = [199.0, 200.0, 201.0, 200.0, 200.5]
+        lo, hi = bootstrap_ratio_ci(baseline, candidate)
+        assert lo < 2.0 < hi
+        assert hi - lo < 0.2  # tight samples, tight interval
+
+    def test_nonpositive_baseline_is_refused(self):
+        with pytest.raises(ValueError, match="positive"):
+            bootstrap_ratio_ci([0.0, 1.0], [1.0])
+        with pytest.raises(ValueError):
+            bootstrap_ratio_ci([], [1.0])
+
+
+class TestRanks:
+    def test_midranks_share_ties(self):
+        ranks = _average_ranks(np.array([10.0, 20.0, 20.0, 30.0]))
+        assert ranks.tolist() == [1.0, 2.5, 2.5, 4.0]
+
+    def test_untied_ranks_are_a_permutation(self):
+        ranks = _average_ranks(np.array([3.0, 1.0, 2.0]))
+        assert ranks.tolist() == [3.0, 1.0, 2.0]
+
+
+class TestMannWhitney:
+    def test_hand_computed_separated_samples(self):
+        # a=[1,2,3], b=[4,5,6]: U_b = 9, var = 5.25,
+        # z = (9 - 4.5 - 0.5)/sqrt(5.25), p = erfc(z/sqrt(2)).
+        result = mann_whitney_u([1.0, 2.0, 3.0], [4.0, 5.0, 6.0])
+        assert result.u_statistic == 9.0
+        expected_p = math.erfc((4.0 / math.sqrt(5.25)) / math.sqrt(2.0))
+        assert result.p_value == pytest.approx(expected_p)
+        assert result.n_a == result.n_b == 3
+
+    def test_identical_constant_samples_are_not_significant(self):
+        result = mann_whitney_u([5.0, 5.0], [5.0, 5.0])
+        assert result.p_value == 1.0
+        assert not result.significant()
+
+    def test_symmetry_of_the_two_sided_p(self):
+        a, b = [1.0, 3.0, 5.0, 7.0], [2.0, 4.0, 6.0, 8.0]
+        assert mann_whitney_u(a, b).p_value == pytest.approx(
+            mann_whitney_u(b, a).p_value
+        )
+
+    def test_empty_sample_raises(self):
+        with pytest.raises(ValueError):
+            mann_whitney_u([], [1.0])
+
+    def test_clear_separation_is_significant_at_n5(self):
+        a = [100.0, 101.0, 102.0, 103.0, 104.0]
+        b = [200.0, 201.0, 202.0, 203.0, 204.0]
+        result = mann_whitney_u(a, b)
+        assert result.significant(alpha=0.05)
+
+    @pytest.mark.parametrize("a,b", [
+        ([1.0, 2.0, 3.0], [4.0, 5.0, 6.0]),
+        ([1.0, 2.0, 2.0, 3.0], [2.0, 3.0, 3.0, 4.0]),  # cross-sample ties
+        ([5.0] * 4, [5.0] * 3 + [6.0]),                # heavy ties
+        (list(range(10)), [x + 0.5 for x in range(10)]),
+    ])
+    def test_matches_scipy_asymptotic(self, a, b):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        ours = mann_whitney_u(a, b)
+        theirs = scipy_stats.mannwhitneyu(
+            b, a, alternative="two-sided", method="asymptotic",
+            use_continuity=True,
+        )
+        assert ours.u_statistic == pytest.approx(float(theirs.statistic))
+        assert ours.p_value == pytest.approx(float(theirs.pvalue), rel=1e-9)
+
+
+class TestVerdict:
+    def test_verdicts(self):
+        assert verdict(speedup=2.0, p_value=0.01) == "faster"
+        assert verdict(speedup=0.5, p_value=0.01) == "slower"
+        assert verdict(speedup=2.0, p_value=0.20) == "~"
+        assert verdict(speedup=0.5, p_value=0.049, alpha=0.01) == "~"
+
+    def test_result_dataclass_significance(self):
+        assert MannWhitneyResult(1.0, 0.04, 3, 3).significant()
+        assert not MannWhitneyResult(1.0, 0.06, 3, 3).significant()

@@ -1,0 +1,96 @@
+"""Results store: record shape, dedupe-by-identity, damage detection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.orchestrator.spec import Trial
+from repro.orchestrator.store import ResultsStore, StoreError, trial_record
+
+
+def make_record(seed=0, status="done", experiment="exp", **metrics):
+    trial = Trial(
+        experiment=experiment, dataset="gauss", n=100, n_queries=4, seed=seed,
+    )
+    return trial_record(
+        experiment, trial.to_record(), status,
+        metrics={"queries_per_s": 100.0, **metrics} if status == "done" else None,
+        error=None if status == "done" else "boom",
+    )
+
+
+class TestRecordShape:
+    def test_identity_and_build_are_stamped(self):
+        record = make_record(seed=7)
+        assert record["seed"] == 7
+        assert record["status"] == "done"
+        assert len(record["trial_id"]) == 16
+        assert len(record["config_hash"]) == 16
+        assert set(record["build"]) == {"version", "git", "python"}
+        assert record["config"]["dataset"] == "gauss"
+        assert "seed" not in record["config"]  # seed is top-level, not config
+
+    def test_failed_record_has_error_not_metrics(self):
+        record = make_record(status="failed")
+        assert record["error"] == "boom"
+        assert "metrics" not in record
+
+
+class TestRoundTrip:
+    def test_append_and_read(self, store):
+        records = [make_record(seed=s) for s in range(3)]
+        store.append_records("exp", records)
+        stored = store.records("exp")
+        assert {r["trial_id"] for r in stored} == {
+            r["trial_id"] for r in records
+        }
+
+    def test_missing_experiment_reads_empty(self, store):
+        assert store.records("never-ran") == []
+
+    def test_rerun_replaces_not_duplicates(self, store):
+        first = make_record(seed=0, status="failed")
+        store.append_records("exp", [first])
+        second = make_record(seed=0, status="done")
+        assert first["trial_id"] == second["trial_id"]
+        store.append_records("exp", [second])
+        stored = store.records("exp")
+        assert len(stored) == 1
+        assert stored[0]["status"] == "done"
+
+    def test_damaged_line_is_loud(self, store):
+        store.append_records("exp", [make_record()])
+        path = store.results_path("exp")
+        path.write_text(path.read_text() + "{not json\n")
+        with pytest.raises(StoreError, match="damaged record"):
+            store.records("exp")
+
+
+class TestQueries:
+    def test_experiment_summaries(self, store):
+        store.append_records("a", [make_record(seed=0, experiment="a")])
+        store.append_records("b", [
+            make_record(seed=0, experiment="b"),
+            make_record(seed=1, experiment="b", status="failed"),
+        ])
+        summaries = {s["experiment"]: s for s in store.experiments()}
+        assert summaries["a"]["n_done"] == 1
+        assert summaries["b"]["n_done"] == 1
+        assert summaries["b"]["n_failed"] == 1
+
+    def test_latest_experiment_with_matcher(self, store):
+        store.append_records("old", [make_record(experiment="old")])
+        store.append_records("new", [
+            make_record(experiment="new", status="failed")
+        ])
+        assert store.latest_experiment() is not None
+        only_done = store.latest_experiment(
+            lambda records: any(r["status"] == "done" for r in records)
+        )
+        assert only_done == "old"
+        assert store.latest_experiment(lambda records: False) is None
+
+    def test_bad_experiment_names_are_refused(self, store):
+        for name in ("../escape", "", "a b", ".hidden"):
+            with pytest.raises(ValueError, match="bad experiment name"):
+                store.experiment_dir(name)
